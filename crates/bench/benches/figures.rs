@@ -1,0 +1,117 @@
+//! One criterion group per evaluation figure/analysis of the paper.
+//!
+//! Each group benchmarks the host-side cost of regenerating its artifact at
+//! reduced scale (full-scale regeneration is the `repro` binary's job); the
+//! measured work is the *same code path* the artifact uses — pipelines,
+//! probes, instrumentation, estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenness_core::breakdown::CaseBreakdown;
+use greenness_core::{experiment, pipeline::PipelineKind, probes, CaseComparison, ExperimentSetup, PipelineConfig};
+use greenness_platform::Phase;
+use greenness_power::PowerProfile;
+use std::hint::black_box;
+
+fn cfg() -> PipelineConfig {
+    let mut c = PipelineConfig::small(1);
+    c.timesteps = 6;
+    c
+}
+
+fn setup() -> ExperimentSetup {
+    ExperimentSetup::noiseless()
+}
+
+fn fig04_time_breakdown(c: &mut Criterion) {
+    let cfg = cfg();
+    let setup = setup();
+    c.bench_function("fig04_time_breakdown", |b| {
+        b.iter(|| {
+            let r = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+            black_box(r.phase_rows())
+        })
+    });
+}
+
+fn fig05_power_profiles(c: &mut Criterion) {
+    let cfg = cfg();
+    let setup = setup();
+    let report = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+    c.bench_function("fig05_power_profiles", |b| {
+        b.iter(|| black_box(PowerProfile::measure(&report.timeline, &setup.meter)))
+    });
+}
+
+fn fig06_nn_probes(c: &mut Criterion) {
+    let setup = setup();
+    c.bench_function("fig06_nn_probes", |b| {
+        b.iter(|| {
+            let r = probes::nnread(&setup, 8 * 1024, 1.0);
+            let w = probes::nnwrite(&setup, 8 * 1024, 1.0);
+            black_box((r.avg_total_w, w.avg_total_w))
+        })
+    });
+}
+
+fn comparison_metric(c: &mut Criterion, name: &'static str, f: fn(&CaseComparison) -> (f64, f64)) {
+    let cfg = cfg();
+    let setup = setup();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let cmp = CaseComparison::run_config(1, &cfg, &setup);
+            black_box(f(&cmp))
+        })
+    });
+}
+
+fn fig07_execution_time(c: &mut Criterion) {
+    comparison_metric(c, "fig07_execution_time", CaseComparison::execution_times_s);
+}
+
+fn fig08_average_power(c: &mut Criterion) {
+    comparison_metric(c, "fig08_average_power", CaseComparison::average_powers_w);
+}
+
+fn fig09_peak_power(c: &mut Criterion) {
+    comparison_metric(c, "fig09_peak_power", CaseComparison::peak_powers_w);
+}
+
+fn fig10_energy(c: &mut Criterion) {
+    comparison_metric(c, "fig10_energy", |cmp| cmp.energies_j());
+}
+
+fn fig11_efficiency(c: &mut Criterion) {
+    comparison_metric(c, "fig11_efficiency", CaseComparison::normalized_efficiencies);
+}
+
+fn sec5c_savings_breakdown(c: &mut Criterion) {
+    let cfg = cfg();
+    let setup = setup();
+    let cmp = CaseComparison::run_config(1, &cfg, &setup);
+    c.bench_function("sec5c_savings_breakdown", |b| {
+        b.iter(|| black_box(CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 1.0)))
+    });
+}
+
+fn table2_probe_stats(c: &mut Criterion) {
+    let setup = setup();
+    let probe = probes::nnwrite(&setup, 8 * 1024, 2.0);
+    c.bench_function("table2_probe_stats", |b| {
+        b.iter(|| {
+            black_box((
+                probe.timeline.average_power_w(),
+                probe.timeline.phase_average_power_w(Phase::IoBench),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig04_time_breakdown, fig05_power_profiles, fig06_nn_probes,
+        fig07_execution_time, fig08_average_power, fig09_peak_power,
+        fig10_energy, fig11_efficiency, sec5c_savings_breakdown,
+        table2_probe_stats
+}
+criterion_main!(figures);

@@ -1,0 +1,143 @@
+//! Micro-benchmarks of the real code paths under the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenness_core::PipelineConfig;
+use greenness_heatsim::{Grid, HeatSolver};
+use greenness_platform::{Phase, PowerDraw, Segment, SimDuration, SimTime, Timeline};
+use greenness_power::{RaplDomain, RaplMsr, RaplReader};
+use greenness_storage::{BlockDevice, MemBlockDevice, PageCache};
+use greenness_viz::{contour_lines, encode_ppm, render_field, RenderOptions};
+use std::hint::black_box;
+
+fn solver_step(c: &mut Criterion) {
+    let g = Grid::from_fn(512, 512, |x, y| (x * 9.0).sin() * (y * 5.0).cos());
+    c.bench_function("solver_step_512x512", |b| {
+        let mut s = HeatSolver::new(g.clone(), PipelineConfig::default_solver(512, 512));
+        b.iter(|| {
+            s.step();
+            black_box(s.steps_taken())
+        })
+    });
+}
+
+fn render_frame(c: &mut Criterion) {
+    let g = Grid::from_fn(512, 512, |x, y| x * y);
+    let opts = RenderOptions::default();
+    c.bench_function("render_frame_512x512", |b| b.iter(|| black_box(render_field(&g, &opts))));
+}
+
+fn marching_squares(c: &mut Criterion) {
+    let g = Grid::from_fn(256, 256, |x, y| ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt());
+    c.bench_function("marching_squares_256x256", |b| {
+        b.iter(|| black_box(contour_lines(&g, 0.25)))
+    });
+}
+
+fn ppm_encode(c: &mut Criterion) {
+    let g = Grid::from_fn(256, 256, |x, y| x + y);
+    let fb = render_field(&g, &RenderOptions { width: 256, height: 256, ..Default::default() });
+    c.bench_function("ppm_encode_256x256", |b| b.iter(|| black_box(encode_ppm(&fb))));
+}
+
+fn grid_serialize(c: &mut Criterion) {
+    let g = Grid::from_fn(512, 512, |x, y| x - y);
+    c.bench_function("grid_to_bytes_512x512", |b| b.iter(|| black_box(g.to_bytes())));
+}
+
+fn pagecache_throughput(c: &mut Criterion) {
+    c.bench_function("pagecache_write_sync_1mib", |b| {
+        b.iter(|| {
+            let mut dev = MemBlockDevice::with_capacity_bytes(4 * 1024 * 1024);
+            let mut cache = PageCache::new();
+            let block = vec![0x42u8; 4096];
+            for i in 0..256u64 {
+                cache.write_block(&dev, i, 0, &block);
+            }
+            black_box(cache.sync(&mut dev))
+        })
+    });
+    c.bench_function("pagecache_read_hit_1mib", |b| {
+        let dev = MemBlockDevice::with_capacity_bytes(4 * 1024 * 1024);
+        let mut cache = PageCache::new();
+        for i in 0..256u64 {
+            cache.read_block(&dev, i);
+        }
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..256u64 {
+                let (page, _) = cache.read_block(&dev, i);
+                sum += page[0] as u64;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn block_device_round_trip(c: &mut Criterion) {
+    c.bench_function("mem_device_rw_4kib", |b| {
+        let mut dev = MemBlockDevice::new(1024);
+        let data = vec![9u8; 4096];
+        let mut buf = vec![0u8; 4096];
+        let mut i = 0u64;
+        b.iter(|| {
+            dev.write_block(i % 1024, &data);
+            dev.read_block(i % 1024, &mut buf);
+            i += 1;
+            black_box(buf[0])
+        })
+    });
+}
+
+fn long_timeline() -> Timeline {
+    let mut tl = Timeline::new();
+    let mut t = SimTime::ZERO;
+    for k in 0..10_000u64 {
+        let d = SimDuration::from_millis(50 + (k % 7) * 13);
+        tl.push(Segment {
+            start: t,
+            duration: d,
+            draw: PowerDraw {
+                package_w: 40.0 + (k % 11) as f64,
+                dram_w: 10.0,
+                disk_w: 5.0,
+                net_w: 0.0,
+                board_w: 49.9,
+            },
+            phase: if k % 3 == 0 { Phase::Simulation } else { Phase::Write },
+        });
+        t += d;
+    }
+    tl
+}
+
+fn timeline_integration(c: &mut Criterion) {
+    let tl = long_timeline();
+    c.bench_function("timeline_energy_10k_segments", |b| {
+        b.iter(|| black_box(tl.total_energy_j()))
+    });
+    c.bench_function("timeline_window_energy_10k_segments", |b| {
+        b.iter(|| {
+            black_box(
+                tl.energy_between(SimTime::from_secs_f64(100.0), SimTime::from_secs_f64(300.0)),
+            )
+        })
+    });
+}
+
+fn rapl_polling(c: &mut Criterion) {
+    let tl = long_timeline();
+    let msr = RaplMsr::new(&tl);
+    let reader = RaplReader::default();
+    c.bench_function("rapl_poll_long_run", |b| {
+        b.iter(|| black_box(reader.poll(&msr, RaplDomain::Package)))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = solver_step, render_frame, marching_squares, ppm_encode,
+        grid_serialize, pagecache_throughput, block_device_round_trip,
+        timeline_integration, rapl_polling
+}
+criterion_main!(micro);

@@ -1,0 +1,58 @@
+//! Criterion benches for Table III (fio) and the §V-D what-if.
+//!
+//! The 4 GiB model-only jobs exercise the disk timing/power model at the
+//! paper's scale; the verified job additionally moves and checks real bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenness_core::whatif::WhatIfAnalysis;
+use greenness_core::ExperimentSetup;
+use greenness_platform::{HardwareSpec, Node};
+use greenness_storage::{fio, FioJob, FioKind, MemBlockDevice, NullBlockDevice};
+use std::hint::black_box;
+
+const GIB4: u64 = 4 * 1024 * 1024 * 1024;
+
+fn table3_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_fio");
+    for kind in FioKind::ALL {
+        group.bench_function(kind.label().replace(' ', "_").to_lowercase(), |b| {
+            b.iter(|| {
+                let mut node = Node::new(HardwareSpec::table1());
+                let mut dev = NullBlockDevice::with_capacity_bytes(GIB4);
+                black_box(fio::run(&mut node, &mut dev, &FioJob::table3(kind)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table3_verified_real_bytes(c: &mut Criterion) {
+    c.bench_function("table3_verified_8mib", |b| {
+        b.iter(|| {
+            let mut node = Node::new(HardwareSpec::table1());
+            let mut dev = MemBlockDevice::with_capacity_bytes(8 * 1024 * 1024);
+            let job = FioJob {
+                kind: FioKind::RandomWrite,
+                total_bytes: 8 * 1024 * 1024,
+                block_bytes: 4096,
+                queue_depth: 32,
+                verify: true,
+            };
+            black_box(fio::run(&mut node, &mut dev, &job))
+        })
+    });
+}
+
+fn sec5d_whatif(c: &mut Criterion) {
+    let setup = ExperimentSetup::noiseless();
+    c.bench_function("sec5d_whatif", |b| {
+        b.iter(|| black_box(WhatIfAnalysis::run(&setup, GIB4)))
+    });
+}
+
+criterion_group! {
+    name = table3;
+    config = Criterion::default().sample_size(20);
+    targets = table3_jobs, table3_verified_real_bytes, sec5d_whatif
+}
+criterion_main!(table3);

@@ -1,0 +1,274 @@
+//! `greenness` — the command-line front end.
+//!
+//! ```text
+//! greenness case <1|2|3>                run one case study, both pipelines
+//! greenness fio [bytes]                 Table III fio matrix (default 4 GiB)
+//! greenness probes                      Table II nnread/nnwrite probes
+//! greenness cluster [nodes] [servers]   distributed pipelines
+//! greenness cap <watts> [watts...]      power-cap sweep (in-situ)
+//! greenness adaptive [threshold]        adaptive runtime demo
+//! greenness advisor <bytes> <passes> <seq|rand> <explore|no-explore>
+//! ```
+//!
+//! Everything prints fixed-width tables; see the `repro` binary for the
+//! paper's full table/figure set.
+
+use greenness_cluster::{run_cluster, ClusterConfig, ClusterKind};
+use greenness_core::adaptive::{run_adaptive, AdaptivePolicy};
+use greenness_core::advisor::{recommend, IoBehavior, Technique, WorkloadProfile};
+use greenness_core::capping::cap_sweep;
+use greenness_core::whatif::WhatIfAnalysis;
+use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineConfig};
+use greenness_platform::{HardwareSpec, Node};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: greenness <command>\n\
+         \n\
+         commands:\n\
+         \x20 case <1|2|3>                         one case study, both pipelines\n\
+         \x20 fio [bytes]                          Table III matrix (default 4 GiB)\n\
+         \x20 probes                               Table II nnread/nnwrite probes\n\
+         \x20 cluster [nodes] [servers]            distributed pipelines\n\
+         \x20 cap <watts> [watts ...]              power-cap sweep (in-situ)\n\
+         \x20 adaptive [io-energy-threshold]       adaptive runtime demo\n\
+         \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what}: {s}");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_case(args: &[String]) {
+    let n: u32 = args.first().map(|s| parse(s, "case number")).unwrap_or(1);
+    if !(1..=3).contains(&n) {
+        eprintln!("case studies are 1-3");
+        std::process::exit(2);
+    }
+    eprintln!("running case study {n} (both pipelines)...");
+    let cmp = CaseComparison::run_case(n, &ExperimentSetup::default());
+    let rows = vec![
+        vec![
+            "Execution time (s)".into(),
+            report::f(cmp.insitu.metrics.execution_time_s, 1),
+            report::f(cmp.post.metrics.execution_time_s, 1),
+        ],
+        vec![
+            "Average power (W)".into(),
+            report::f(cmp.insitu.metrics.average_power_w, 1),
+            report::f(cmp.post.metrics.average_power_w, 1),
+        ],
+        vec![
+            "Peak power (W)".into(),
+            report::f(cmp.insitu.metrics.peak_power_w, 1),
+            report::f(cmp.post.metrics.peak_power_w, 1),
+        ],
+        vec![
+            "Energy (kJ)".into(),
+            report::f(cmp.insitu.metrics.energy_j / 1000.0, 1),
+            report::f(cmp.post.metrics.energy_j / 1000.0, 1),
+        ],
+    ];
+    print!(
+        "{}",
+        report::render_table(
+            &format!("Case study {n}"),
+            &["Metric", "In-situ", "Traditional"],
+            &rows
+        )
+    );
+    println!("energy savings: {}", report::pct(cmp.energy_savings_pct()));
+}
+
+fn cmd_fio(args: &[String]) {
+    let bytes: u64 = args.first().map(|s| parse(s, "byte count")).unwrap_or(4 << 30);
+    eprintln!("running fio matrix at {} bytes...", bytes);
+    let w = WhatIfAnalysis::run(&ExperimentSetup::default(), bytes);
+    let mut rows = Vec::new();
+    for r in &w.fio {
+        rows.push(vec![
+            r.kind.label().to_string(),
+            report::f(r.execution_time_s, 1),
+            report::f(r.full_system_power_w, 1),
+            report::f(r.disk_dyn_power_w, 1),
+            report::f(r.full_system_energy_kj, 1),
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table(
+            "fio matrix",
+            &["Job", "Time (s)", "System W", "Disk dyn W", "Energy (kJ)"],
+            &rows
+        )
+    );
+    println!(
+        "random-I/O app: in-situ saves {:.1} kJ; reorganization retains only {:.1} kJ",
+        w.random_io_energy_kj, w.reorganized_io_energy_kj
+    );
+}
+
+fn cmd_probes() {
+    let setup = ExperimentSetup::default();
+    eprintln!("running nnread/nnwrite probes (50 s each)...");
+    let read = probes::nnread(&setup, 128 * 1024, 50.0);
+    let write = probes::nnwrite(&setup, 128 * 1024, 50.0);
+    let rows = vec![
+        vec![
+            "Avg. Power (Total)".into(),
+            report::f(read.avg_total_w, 1),
+            report::f(write.avg_total_w, 1),
+        ],
+        vec![
+            "Avg. Power (Dynamic)".into(),
+            report::f(read.avg_dynamic_w, 1),
+            report::f(write.avg_dynamic_w, 1),
+        ],
+    ];
+    print!("{}", report::render_table("Probe stages", &["Metric", "nnread", "nnwrite"], &rows));
+}
+
+fn cmd_cluster(args: &[String]) {
+    let nodes: usize = args.first().map(|s| parse(s, "node count")).unwrap_or(4);
+    let servers: usize = args.get(1).map(|s| parse(s, "server count")).unwrap_or(2);
+    let cfg = ClusterConfig::small(nodes, servers);
+    eprintln!("running distributed pipelines on {nodes}+{servers}+1 nodes...");
+    let mut rows = Vec::new();
+    for kind in [ClusterKind::PostProcessing, ClusterKind::InSitu, ClusterKind::InTransit] {
+        let r = run_cluster(kind, &cfg);
+        rows.push(vec![
+            format!("{kind:?}"),
+            report::f(r.makespan_s, 2),
+            report::f(r.total_energy_j / 1000.0, 2),
+            report::f(r.average_power_w, 0),
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table(
+            "Distributed pipelines",
+            &["Pipeline", "Makespan (s)", "Energy (kJ)", "Avg W"],
+            &rows
+        )
+    );
+}
+
+fn cmd_cap(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let caps: Vec<f64> = args.iter().map(|s| parse(s, "cap in watts")).collect();
+    let cfg = PipelineConfig::case_study(1);
+    eprintln!("sweeping {} power caps over the in-situ pipeline...", caps.len());
+    let runs = cap_sweep(&cfg, &caps);
+    if runs.is_empty() {
+        println!("no feasible cap (the node's floor is ~123.5 W)");
+        return;
+    }
+    let mut rows = Vec::new();
+    for r in &runs {
+        rows.push(vec![
+            report::f(r.cap_w, 0),
+            format!("{:.0}%", r.freq_scale * 100.0),
+            report::f(r.execution_time_s, 1),
+            report::f(r.energy_j / 1000.0, 1),
+            report::f(r.peak_power_w, 1),
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table(
+            "Power-cap sweep (in-situ)",
+            &["Cap (W)", "Clock", "Time (s)", "Energy (kJ)", "Peak (W)"],
+            &rows
+        )
+    );
+}
+
+fn cmd_adaptive(args: &[String]) {
+    let threshold: f64 = args.first().map(|s| parse(s, "threshold")).unwrap_or(0.15);
+    let cfg = PipelineConfig::case_study(1);
+    let policy = AdaptivePolicy { window_steps: 5, io_energy_threshold: threshold };
+    eprintln!("running the adaptive runtime (threshold {threshold})...");
+    let mut node = Node::new(HardwareSpec::table1());
+    let r = run_adaptive(&mut node, &cfg, &policy);
+    match r.switched_at_step {
+        Some(step) => println!("switched to in-situ after step {step}"),
+        None => println!("stayed in post-processing for the whole run"),
+    }
+    println!(
+        "time {:.1} s, energy {:.1} kJ, {} raw snapshots kept, {} images written",
+        r.execution_time_s,
+        r.energy_j / 1000.0,
+        r.snapshots_kept,
+        r.images_written
+    );
+}
+
+fn cmd_advisor(args: &[String]) {
+    if args.len() < 4 {
+        usage();
+    }
+    let bytes: u64 = parse(&args[0], "byte count");
+    let passes: u32 = parse(&args[1], "pass count");
+    let behavior = match args[2].as_str() {
+        "seq" => IoBehavior::Sequential,
+        "rand" => IoBehavior::Random { op_bytes: 4096 },
+        other => {
+            eprintln!("expected seq|rand, got {other}");
+            std::process::exit(2);
+        }
+    };
+    let needs_exploration = match args[3].as_str() {
+        "explore" => true,
+        "no-explore" => false,
+        other => {
+            eprintln!("expected explore|no-explore, got {other}");
+            std::process::exit(2);
+        }
+    };
+    let w = WorkloadProfile {
+        pass_bytes: bytes,
+        passes,
+        behavior,
+        needs_exploration,
+        min_keep_fraction: 1.0,
+    };
+    let a = recommend(&HardwareSpec::table1(), &w);
+    println!("current I/O energy : {:.2} kJ", a.current_io_j / 1000.0);
+    println!("in-situ            : {:.2} kJ", a.insitu_io_j / 1000.0);
+    println!(
+        "reorganized        : {:.2} kJ (one-time {:.2} kJ)",
+        (a.reorg_cost_j + a.reorg_pass_j * passes.max(1) as f64) / 1000.0,
+        a.reorg_cost_j / 1000.0
+    );
+    let verdict = match a.technique {
+        Technique::InSitu => "go in-situ".to_string(),
+        Technique::Reorganize => "reorganize the data layout".to_string(),
+        Technique::DataSampling { keep_fraction } => {
+            format!("sample (keep {:.0}%)", keep_fraction * 100.0)
+        }
+        Technique::KeepPostProcessing => "keep post-processing".to_string(),
+    };
+    println!("recommendation     : {verdict}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "case" => cmd_case(&args[1..]),
+        "fio" => cmd_fio(&args[1..]),
+        "probes" => cmd_probes(),
+        "cluster" => cmd_cluster(&args[1..]),
+        "cap" => cmd_cap(&args[1..]),
+        "adaptive" => cmd_adaptive(&args[1..]),
+        "advisor" => cmd_advisor(&args[1..]),
+        _ => usage(),
+    }
+}

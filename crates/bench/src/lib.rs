@@ -1,0 +1,44 @@
+//! # greenness-bench
+//!
+//! The benchmark harness: shared runners used by the `repro` binary (which
+//! regenerates every table and figure of the paper) and by the criterion
+//! bench targets (`figures`, `table3_fio`, `ablations`, `micro`).
+
+use greenness_core::{CaseComparison, ExperimentSetup};
+use rayon::prelude::*;
+
+/// Run all three §IV-C case studies (both pipelines each), in parallel.
+pub fn run_all_cases(setup: &ExperimentSetup) -> Vec<CaseComparison> {
+    let mut cases: Vec<CaseComparison> = [1u32, 2, 3]
+        .into_par_iter()
+        .map(|n| CaseComparison::run_case(n, setup))
+        .collect();
+    cases.sort_by_key(|c| c.case);
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_case_runs_are_ordered_and_complete() {
+        // Scaled-down smoke test of the parallel runner path.
+        let setup = ExperimentSetup::noiseless();
+        let cases: Vec<_> = [1u32, 2, 3]
+            .into_iter()
+            .map(|n| {
+                let cfg = greenness_core::PipelineConfig::small(match n {
+                    1 => 1,
+                    2 => 2,
+                    _ => 8,
+                });
+                CaseComparison::run_config(n, &cfg, &setup)
+            })
+            .collect();
+        assert_eq!(cases.iter().map(|c| c.case).collect::<Vec<_>>(), vec![1, 2, 3]);
+        for c in &cases {
+            assert!(c.post.metrics.energy_j > 0.0);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The cluster interconnect and clock coordination.
+//!
+//! Every node carries its own virtual clock; cross-node interactions must
+//! keep them causally consistent. The two primitives here are all the
+//! higher layers need: [`sync_to`] (idle a node forward to an instant —
+//! waiting is *real static energy*, never free) and [`Fabric::transfer`]
+//! (occupy both endpoints' NICs for the duration of a message).
+
+use greenness_platform::{Activity, NetModel, Node, Phase, SimTime};
+
+/// Idle `node` forward to instant `t` (no-op if already past it). The idle
+/// span is charged at static power under the given phase — a node waiting at
+/// a barrier or for a remote service burns real energy.
+pub fn sync_to(node: &mut Node, t: SimTime, phase: Phase) {
+    if t > node.now() {
+        let wait = t.duration_since(node.now());
+        node.execute(Activity::Idle { duration: wait }, phase);
+    }
+}
+
+/// Advance every node to the latest clock among them (a barrier).
+pub fn barrier(nodes: &mut [Node], phase: Phase) {
+    let t = nodes.iter().map(Node::now).max().unwrap_or(SimTime::ZERO);
+    for n in nodes {
+        sync_to(n, t, phase);
+    }
+}
+
+/// The interconnect between nodes.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// Link model (bandwidth, per-message latency, NIC power).
+    pub net: NetModel,
+}
+
+impl Fabric {
+    /// A 10 GbE fabric.
+    pub fn ten_gbe() -> Fabric {
+        Fabric { net: NetModel::ten_gbe() }
+    }
+
+    /// Move `bytes` from `src` to `dst` as `messages` messages. The transfer
+    /// starts when both endpoints are ready (the earlier one idles) and
+    /// occupies both NICs until it completes. Returns the completion instant.
+    pub fn transfer(
+        &self,
+        src: &mut Node,
+        dst: &mut Node,
+        bytes: u64,
+        messages: u32,
+        phase: Phase,
+    ) -> SimTime {
+        let start = src.now().max(dst.now());
+        sync_to(src, start, phase);
+        sync_to(dst, start, phase);
+        let a = src.execute(Activity::NetTransfer { bytes, messages }, phase);
+        dst.execute(Activity::NetTransfer { bytes, messages }, phase);
+        a.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_platform::HardwareSpec;
+
+    fn node() -> Node {
+        Node::new(HardwareSpec::table1())
+    }
+
+    #[test]
+    fn sync_to_idles_forward_only() {
+        let mut n = node();
+        sync_to(&mut n, SimTime::from_secs_f64(2.0), Phase::Idle);
+        assert_eq!(n.now(), SimTime::from_secs_f64(2.0));
+        // Syncing backwards is a no-op.
+        sync_to(&mut n, SimTime::from_secs_f64(1.0), Phase::Idle);
+        assert_eq!(n.now(), SimTime::from_secs_f64(2.0));
+        // The wait was charged at static power.
+        let e = n.timeline().total_energy_j();
+        assert!((e - n.spec().static_w() * 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barrier_aligns_all_clocks() {
+        let mut nodes = vec![node(), node(), node()];
+        nodes[0].execute(Activity::idle_secs(1.0), Phase::Idle);
+        nodes[2].execute(Activity::idle_secs(3.0), Phase::Idle);
+        barrier(&mut nodes, Phase::Idle);
+        for n in &nodes {
+            assert_eq!(n.now(), SimTime::from_secs_f64(3.0));
+        }
+    }
+
+    #[test]
+    fn transfer_occupies_both_endpoints() {
+        let fabric = Fabric::ten_gbe();
+        let mut a = node();
+        let mut b = node();
+        b.execute(Activity::idle_secs(1.0), Phase::Idle); // receiver is "behind"
+        let end = fabric.transfer(&mut a, &mut b, 100_000_000, 1, Phase::Network);
+        // Start was at b's clock (1.0 s); 100 MB over 1 GB/s = 0.1 s.
+        assert!((end.as_secs_f64() - 1.1).abs() < 1e-3, "end {end}");
+        assert_eq!(a.now(), b.now());
+        // Both NICs drew power.
+        assert!(a.timeline().segments().iter().any(|s| s.draw.net_w > 0.0));
+        assert!(b.timeline().segments().iter().any(|s| s.draw.net_w > 0.0));
+    }
+
+    #[test]
+    fn empty_barrier_is_harmless() {
+        barrier(&mut [], Phase::Idle);
+    }
+}

@@ -1,0 +1,266 @@
+//! A striped parallel filesystem over dedicated I/O server nodes.
+//!
+//! Lustre-style shape: clients stripe file data round-robin across object
+//! servers; each server runs the *full single-node storage stack* (page
+//! cache, extent allocator, journal barriers) on its own disk, with its own
+//! power timeline. Stripes to different servers are serviced concurrently,
+//! so parallel-file-system bandwidth — and its energy cost of many spinning
+//! disks — emerges from the composition, which is exactly the future-work
+//! question the paper poses about file systems.
+
+use greenness_platform::{HardwareSpec, Node, Phase, SimTime};
+use greenness_storage::{FileSystem, FsConfig, FsError, MemBlockDevice};
+
+use crate::fabric::{sync_to, Fabric};
+
+/// One object storage server: a node plus its filesystem.
+#[derive(Debug)]
+pub struct IoServer {
+    /// The server's hardware clock + power timeline.
+    pub node: Node,
+    fs: FileSystem<MemBlockDevice>,
+}
+
+/// The parallel filesystem.
+#[derive(Debug)]
+pub struct ParallelFs {
+    servers: Vec<IoServer>,
+    stripe_bytes: usize,
+}
+
+impl ParallelFs {
+    /// Build a PFS with `n_servers` object servers of the given hardware,
+    /// each formatted with `capacity_bytes` of storage, striping at
+    /// `stripe_bytes`.
+    pub fn new(
+        n_servers: usize,
+        spec: &HardwareSpec,
+        stripe_bytes: usize,
+        capacity_bytes: u64,
+    ) -> ParallelFs {
+        assert!(n_servers >= 1, "need at least one I/O server");
+        assert!(stripe_bytes > 0, "stripe size must be positive");
+        let servers = (0..n_servers)
+            .map(|_| IoServer {
+                node: Node::new(spec.clone()),
+                fs: FileSystem::format(
+                    MemBlockDevice::with_capacity_bytes(capacity_bytes),
+                    FsConfig::default(),
+                ),
+            })
+            .collect();
+        ParallelFs { servers, stripe_bytes }
+    }
+
+    /// Number of object servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The servers (for energy accounting).
+    pub fn servers(&self) -> &[IoServer] {
+        &self.servers
+    }
+
+    /// Stripe size in bytes.
+    pub fn stripe_bytes(&self) -> usize {
+        self.stripe_bytes
+    }
+
+    fn stripe_file(name: &str, stripe: usize) -> String {
+        format!("{name}.s{stripe:05}")
+    }
+
+    /// Round-robin starting server for a file, so small files distribute
+    /// across servers instead of all landing on server 0.
+    fn start_server(&self, name: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % self.servers.len() as u64) as usize
+    }
+
+    /// Striped durable write of `data` under `name` from `client`. The
+    /// client ships each stripe over the fabric to its server, the server
+    /// writes-and-fsyncs it, and the client returns once every stripe is
+    /// durable (idling for stragglers).
+    pub fn write(
+        &mut self,
+        client: &mut Node,
+        fabric: &Fabric,
+        name: &str,
+        data: &[u8],
+        phase: Phase,
+    ) -> Result<(), FsError> {
+        let n = self.servers.len();
+        let start = self.start_server(name);
+        for (k, chunk) in data.chunks(self.stripe_bytes).enumerate() {
+            let server = &mut self.servers[(start + k) % n];
+            fabric.transfer(client, &mut server.node, chunk.len() as u64, 1, phase);
+            let fname = Self::stripe_file(name, k);
+            server.fs.write(&mut server.node, &fname, 0, chunk, phase)?;
+            server.fs.fsync(&mut server.node, &fname, phase)?;
+        }
+        // The write returns when the slowest server acknowledges.
+        let done = self.servers.iter().map(|s| s.node.now()).max().unwrap_or(client.now());
+        sync_to(client, done, phase);
+        Ok(())
+    }
+
+    /// Striped read of `name` back to `client`: servers fetch their stripes
+    /// concurrently (from the moment the request arrives), then stream them
+    /// to the client in order.
+    pub fn read(
+        &mut self,
+        client: &mut Node,
+        fabric: &Fabric,
+        name: &str,
+        phase: Phase,
+    ) -> Result<Vec<u8>, FsError> {
+        let n = self.servers.len();
+        let start = self.start_server(name);
+        // Discover the stripes (metadata lookup, not charged).
+        let mut stripes = Vec::new();
+        loop {
+            let k = stripes.len();
+            let server = &self.servers[(start + k) % n];
+            let fname = Self::stripe_file(name, k);
+            if !server.fs.exists(&fname) {
+                break;
+            }
+            stripes.push(fname);
+        }
+        if stripes.is_empty() {
+            return Err(FsError::NotFound(name.to_string()));
+        }
+        // Phase A: every involved server services its reads starting at the
+        // request time, in parallel with the others.
+        let request_t = client.now();
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(stripes.len());
+        for (k, fname) in stripes.iter().enumerate() {
+            let server = &mut self.servers[(start + k) % n];
+            sync_to(&mut server.node, request_t, phase);
+            let size = server.fs.size(fname)?;
+            payloads.push(server.fs.read(&mut server.node, fname, 0, size, phase)?);
+        }
+        // Phase B: stream stripes to the client in order (its NIC
+        // serializes).
+        let mut out = Vec::with_capacity(payloads.iter().map(Vec::len).sum());
+        for (k, payload) in payloads.into_iter().enumerate() {
+            let server = &mut self.servers[(start + k) % n];
+            fabric.transfer(&mut server.node, client, payload.len() as u64, 1, phase);
+            out.extend(payload);
+        }
+        Ok(out)
+    }
+
+    /// True if `name` has at least one stripe.
+    pub fn exists(&self, name: &str) -> bool {
+        self.servers[self.start_server(name)].fs.exists(&Self::stripe_file(name, 0))
+    }
+
+    /// `sync; drop_caches` on every server (the paper's §IV-C discipline),
+    /// then align all server clocks.
+    pub fn sync_and_drop_all(&mut self, phase: Phase) {
+        for s in &mut self.servers {
+            s.fs.sync(&mut s.node, phase);
+            s.fs.drop_caches();
+        }
+        let t = self.servers.iter().map(|s| s.node.now()).max().unwrap_or(SimTime::ZERO);
+        for s in &mut self.servers {
+            sync_to(&mut s.node, t, phase);
+        }
+    }
+
+    /// Sum of all server energies, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.servers.iter().map(|s| s.node.timeline().total_energy_j()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Node, Fabric, ParallelFs) {
+        let spec = HardwareSpec::table1();
+        let client = Node::new(spec.clone());
+        let pfs = ParallelFs::new(n, &spec, 128 * 1024, 256 * 1024 * 1024);
+        (client, Fabric::ten_gbe(), pfs)
+    }
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 241) as u8).collect()
+    }
+
+    #[test]
+    fn striped_write_read_round_trip() {
+        let (mut client, fabric, mut pfs) = setup(4);
+        let data = payload(1_000_000);
+        pfs.write(&mut client, &fabric, "snap", &data, Phase::Write).unwrap();
+        pfs.sync_and_drop_all(Phase::CacheControl);
+        let back = pfs.read(&mut client, &fabric, "snap", Phase::Read).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn stripes_spread_across_servers() {
+        let (mut client, fabric, mut pfs) = setup(4);
+        let data = payload(4 * 128 * 1024); // exactly one stripe per server
+        pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+        for s in pfs.servers() {
+            assert!(s.node.timeline().total_energy_j() > 0.0, "an idle server got no stripe");
+        }
+    }
+
+    #[test]
+    fn more_servers_cut_write_latency() {
+        let data = payload(16 * 128 * 1024);
+        let wall = |n: usize| {
+            let (mut client, fabric, mut pfs) = setup(n);
+            pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+            client.now().as_secs_f64()
+        };
+        let one = wall(1);
+        let four = wall(4);
+        assert!(four < one / 2.0, "1 server: {one}s, 4 servers: {four}s");
+    }
+
+    #[test]
+    fn more_servers_burn_more_idle_energy() {
+        // The cluster trade-off: faster wall time, more spinning hardware.
+        let data = payload(4 * 128 * 1024);
+        let energy = |n: usize| {
+            let (mut client, fabric, mut pfs) = setup(n);
+            pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+            // Normalize: bring all servers to the client's clock so each
+            // configuration accounts the same wall window.
+            for s in &mut pfs.servers {
+                sync_to(&mut s.node, client.now(), Phase::Idle);
+            }
+            pfs.total_energy_j() / client.now().as_secs_f64()
+        };
+        assert!(energy(8) > energy(2), "aggregate PFS power should grow with servers");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let (mut client, fabric, mut pfs) = setup(2);
+        assert!(matches!(
+            pfs.read(&mut client, &fabric, "ghost", Phase::Read),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(!pfs.exists("ghost"));
+    }
+
+    #[test]
+    fn client_waits_for_the_slowest_server() {
+        let (mut client, fabric, mut pfs) = setup(3);
+        let data = payload(9 * 128 * 1024);
+        pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+        let slowest = pfs.servers().iter().map(|s| s.node.now()).max().unwrap();
+        assert!(client.now() >= slowest);
+    }
+}

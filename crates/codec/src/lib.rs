@@ -1,0 +1,67 @@
+//! # greenness-codec
+//!
+//! Snapshot compression for the paper's data-reduction discussion.
+//! "Application-Driven Compression for Visualizing Large-Scale Time-Varying
+//! Data" (Wang, Yu, Ma — the paper's ref [22]) is cited as one of the
+//! techniques that shrink post-processing I/O; this crate provides real,
+//! tested codecs so the `compressed post-processing` pipeline variant and
+//! the `ablate_compression` bench trade actual CPU work against actual byte
+//! counts:
+//!
+//! * [`rle`] — byte-level run-length coding (effective on rendered images
+//!   and constant field regions);
+//! * [`delta`] — lossless f64 bit-delta + zigzag varint coding (effective
+//!   only on near-identical samples — a deliberately naive baseline);
+//! * [`transpose`] — byte-plane transposition + RLE, the standard lossless
+//!   trick for floating-point fields (the codec the compressed pipeline
+//!   variant uses);
+//! * [`quant`] — lossy bounded-error quantization to u16 + delta coding
+//!   (the paper's sampling/triage family trades information for bytes; this
+//!   codec makes the loss *bounded and measurable*);
+//! * [`cost`] — calibrated CPU cost of (de)compression, charged to the
+//!   platform like every other activity.
+
+pub mod cost;
+pub mod delta;
+pub mod quant;
+pub mod rle;
+pub mod transpose;
+
+pub use cost::CodecCostModel;
+
+/// A byte-stream codec.
+pub trait Codec {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Compress `input`.
+    fn encode(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Decompress `input`. Returns `None` on malformed streams.
+    fn decode(&self, input: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// Compression ratio achieved on `input` (original / encoded; > 1 is a win).
+pub fn ratio(codec: &dyn Codec, input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    let encoded = codec.encode(input);
+    input.len() as f64 / encoded.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rle::Rle;
+
+    #[test]
+    fn ratio_reflects_compressibility() {
+        let rle = Rle;
+        let runs = vec![7u8; 10_000];
+        let noise: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+        assert!(ratio(&rle, &runs) > 100.0);
+        assert!(ratio(&rle, &noise) < 1.1);
+        assert_eq!(ratio(&rle, &[]), 1.0);
+    }
+}

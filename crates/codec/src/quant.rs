@@ -1,0 +1,185 @@
+//! Lossy bounded-error quantization.
+//!
+//! Maps each `f64` sample onto a `u16` lattice over the stream's value range
+//! (max absolute error ≤ range / 2·(2¹⁶−1)), then delta + varint codes the
+//! lattice indices. This is the "acceptable information loss" end of the
+//! paper's data-reduction spectrum, with the loss explicit and checkable.
+//!
+//! Stream format: `min: f64 | max: f64 | n: u64 | varint(zigzag(Δindex))…`.
+
+use crate::Codec;
+
+/// The quantizing codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Quant16;
+
+const LEVELS: f64 = u16::MAX as f64;
+
+impl Quant16 {
+    /// The maximum absolute reconstruction error for data spanning `range`.
+    pub fn max_error(range: f64) -> f64 {
+        range / (2.0 * LEVELS)
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+impl Codec for Quant16 {
+    fn name(&self) -> &'static str {
+        "quant16"
+    }
+
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        assert!(input.len() % 8 == 0, "quant codec expects a stream of f64s");
+        let samples: Vec<f64> = input
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &samples {
+            assert!(v.is_finite(), "quantization requires finite samples");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if samples.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        let span = (hi - lo).max(0.0);
+        let mut out = Vec::with_capacity(samples.len() + 24);
+        out.extend_from_slice(&lo.to_le_bytes());
+        out.extend_from_slice(&hi.to_le_bytes());
+        out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
+        let mut prev = 0i64;
+        for &v in &samples {
+            let idx = if span == 0.0 { 0 } else { ((v - lo) / span * LEVELS).round() as i64 };
+            let delta = idx - prev;
+            push_varint(&mut out, ((delta << 1) ^ (delta >> 63)) as u64);
+            prev = idx;
+        }
+        out
+    }
+
+    fn decode(&self, input: &[u8]) -> Option<Vec<u8>> {
+        if input.len() < 24 {
+            return None;
+        }
+        let lo = f64::from_le_bytes(input[0..8].try_into().ok()?);
+        let hi = f64::from_le_bytes(input[8..16].try_into().ok()?);
+        let n = u64::from_le_bytes(input[16..24].try_into().ok()?) as usize;
+        // Each index delta costs at least one varint byte; a header claiming
+        // more samples than remaining bytes is malformed (and must not drive
+        // a huge allocation).
+        if n > input.len() - 24 {
+            return None;
+        }
+        let span = hi - lo;
+        if !(lo.is_finite() && hi.is_finite()) || span < 0.0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n * 8);
+        let mut pos = 24usize;
+        let mut prev = 0i64;
+        for _ in 0..n {
+            let z = read_varint(input, &mut pos)?;
+            let delta = ((z >> 1) as i64) ^ -((z & 1) as i64);
+            prev += delta;
+            if !(0..=u16::MAX as i64).contains(&prev) {
+                return None;
+            }
+            let v = lo + (prev as f64 / LEVELS) * span;
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        if pos != input.len() {
+            return None; // trailing garbage
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_heatsim::Grid;
+
+    fn samples_of(bytes: &[u8]) -> Vec<f64> {
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn error_is_bounded() {
+        let g = Grid::from_fn(48, 48, |x, y| 100.0 * (x * 5.0).sin() + 30.0 * y);
+        let bytes = g.to_bytes();
+        let codec = Quant16;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        let orig = samples_of(&bytes);
+        let rec = samples_of(&back);
+        let range = g.max() - g.min();
+        let bound = Quant16::max_error(range) * 1.001;
+        for (a, b) in orig.iter().zip(&rec) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn compresses_smooth_fields_about_4x_or_better() {
+        let g = Grid::from_fn(64, 64, |x, y| (x + y) * 0.5);
+        let bytes = g.to_bytes();
+        let enc = Quant16.encode(&bytes);
+        // ~2 bytes per sample on a smooth ramp vs 8 raw.
+        assert!(enc.len() * 3 <= bytes.len(), "{} vs {}", enc.len(), bytes.len());
+    }
+
+    #[test]
+    fn constant_and_empty_streams() {
+        let codec = Quant16;
+        let g = Grid::filled(8, 8, 42.0);
+        let bytes = g.to_bytes();
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        assert_eq!(samples_of(&back), samples_of(&bytes));
+        assert_eq!(codec.decode(&codec.encode(&[])).expect("decode"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        let codec = Quant16;
+        assert!(codec.decode(&[0u8; 10]).is_none(), "short header");
+        let g = Grid::filled(8, 8, 1.0);
+        let mut enc = codec.encode(&g.to_bytes());
+        enc.push(0); // trailing garbage
+        assert!(codec.decode(&enc).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_samples_are_rejected() {
+        let _ = Quant16.encode(&f64::NAN.to_le_bytes());
+    }
+}

@@ -1,0 +1,82 @@
+//! Byte-level run-length coding.
+//!
+//! Stream format: a sequence of `(count: u8 >= 1, byte)` pairs. Dead simple,
+//! worst case 2× expansion on incompressible data — which the tests and the
+//! `ablate_compression` bench make visible rather than hide.
+
+use crate::Codec;
+
+/// The run-length codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rle;
+
+impl Codec for Rle {
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+
+    fn encode(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 4 + 8);
+        let mut i = 0;
+        while i < input.len() {
+            let b = input[i];
+            let mut run = 1usize;
+            while run < 255 && i + run < input.len() && input[i + run] == b {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(b);
+            i += run;
+        }
+        out
+    }
+
+    fn decode(&self, input: &[u8]) -> Option<Vec<u8>> {
+        if input.len() % 2 != 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(input.len());
+        for pair in input.chunks_exact(2) {
+            let count = pair[0] as usize;
+            if count == 0 {
+                return None;
+            }
+            out.extend(std::iter::repeat(pair[1]).take(count));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_runs_and_noise() {
+        let rle = Rle;
+        for input in [
+            vec![],
+            vec![5u8; 1000],
+            b"abcabcabc".to_vec(),
+            (0..=255u8).collect::<Vec<u8>>(),
+            vec![0u8; 300], // run longer than the 255 cap
+        ] {
+            let enc = rle.encode(&input);
+            assert_eq!(rle.decode(&enc).expect("decode"), input);
+        }
+    }
+
+    #[test]
+    fn long_runs_compress_hard() {
+        let rle = Rle;
+        let enc = rle.encode(&vec![9u8; 255 * 4]);
+        assert_eq!(enc.len(), 8);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        let rle = Rle;
+        assert!(rle.decode(&[1]).is_none(), "odd length");
+        assert!(rle.decode(&[0, 7]).is_none(), "zero count");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the codecs.
+
+use greenness_codec::delta::DeltaVarint;
+use greenness_codec::quant::Quant16;
+use greenness_codec::rle::Rle;
+use greenness_codec::Codec;
+use proptest::prelude::*;
+
+proptest! {
+    /// RLE round-trips arbitrary byte streams.
+    #[test]
+    fn rle_round_trip(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let rle = Rle;
+        let enc = rle.encode(&input);
+        prop_assert_eq!(rle.decode(&enc).expect("decode"), input);
+    }
+
+    /// Delta-varint round-trips arbitrary f64 streams bit-exactly.
+    #[test]
+    fn delta_round_trip(vals in prop::collection::vec(prop::num::f64::ANY, 0..512)) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = DeltaVarint;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        prop_assert_eq!(back, bytes);
+    }
+
+    /// Quantization keeps every sample within the advertised error bound.
+    #[test]
+    fn quant_error_bound(vals in prop::collection::vec(-1.0e6..1.0e6f64, 1..512)) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = Quant16;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        let rec: Vec<f64> =
+            back.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        prop_assert_eq!(rec.len(), vals.len());
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let bound = Quant16::max_error(hi - lo) * (1.0 + 1e-9) + 1e-12 * hi.abs().max(lo.abs());
+        for (a, b) in vals.iter().zip(&rec) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    /// Quantizing twice is idempotent on the value lattice: decode(encode(x))
+    /// is a fixed point (up to the lattice snap of the first pass).
+    #[test]
+    fn quant_is_idempotent(vals in prop::collection::vec(-100.0..100.0f64, 1..128)) {
+        let mut bytes = Vec::new();
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = Quant16;
+        let once = codec.decode(&codec.encode(&bytes)).expect("first pass");
+        let twice = codec.decode(&codec.encode(&once)).expect("second pass");
+        let a: Vec<f64> =
+            once.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        let b: Vec<f64> =
+            twice.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    /// Decoders never panic on arbitrary garbage — they return None or a
+    /// (meaningless but safe) result.
+    #[test]
+    fn decoders_are_total(garbage in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = Rle.decode(&garbage);
+        let _ = DeltaVarint.decode(&garbage);
+        let _ = Quant16.decode(&garbage);
+    }
+}

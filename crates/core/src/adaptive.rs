@@ -1,0 +1,226 @@
+//! The adaptive runtime — the full version of the paper's §VI-A proposal.
+//!
+//! "We would also like to develop a runtime system that makes use of our
+//! characterization studies … the runtime will decide the power
+//! optimization technique to be used." The [`advisor`](crate::advisor)
+//! decides *offline* from a workload description; this module decides
+//! *online*: it starts in post-processing mode (scientists keep raw data by
+//! default), monitors the energy it spends on I/O through the same RAPL/
+//! timeline instrumentation the paper uses, and switches the remaining
+//! steps to in-situ when the observed I/O energy share crosses a threshold.
+//! Snapshots already written stay on disk; the switch is logged. Whatever
+//! mode each step ran in, every I/O step ends up *visualized*: snapshots
+//! kept on disk are read back and rendered in a final phase, so the
+//! adaptive and never-switch runs deliver identical scientific output and
+//! their energies compare apples to apples.
+
+use greenness_heatsim::{Grid, HeatSolver};
+use greenness_platform::{Node, Phase};
+use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
+use greenness_viz::{encode_ppm, render_field};
+use serde::{Deserialize, Serialize};
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{read_chunked, write_chunked};
+
+/// Adaptive policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePolicy {
+    /// Re-evaluate every `window_steps` timesteps.
+    pub window_steps: u64,
+    /// Switch to in-situ when the windowed I/O share of energy exceeds this
+    /// fraction.
+    pub io_energy_threshold: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.30 }
+    }
+}
+
+/// What the adaptive run did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// Step after which the runtime switched to in-situ (`None` = never).
+    pub switched_at_step: Option<u64>,
+    /// Virtual execution time, seconds.
+    pub execution_time_s: f64,
+    /// Full-system energy, joules.
+    pub energy_j: f64,
+    /// Raw snapshots persisted before the switch.
+    pub snapshots_kept: u64,
+    /// Images persisted after the switch.
+    pub images_written: u64,
+}
+
+/// Run the workload under the adaptive runtime.
+pub fn run_adaptive(node: &mut Node, cfg: &PipelineConfig, policy: &AdaptivePolicy) -> AdaptiveReport {
+    assert!(policy.window_steps >= 1, "window must be at least one step");
+    assert!(
+        (0.0..=1.0).contains(&policy.io_energy_threshold),
+        "threshold must be a fraction"
+    );
+    let mut fs = FileSystem::format(
+        MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
+        FsConfig::default(),
+    );
+    let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
+        0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
+    });
+    let mut solver = HeatSolver::new(initial, cfg.solver.clone());
+    let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
+    let pixels = (cfg.render.width * cfg.render.height) as u64;
+
+    let mut insitu_mode = false;
+    let mut switched_at_step = None;
+    let mut snapshots_kept = 0u64;
+    let mut images_written = 0u64;
+    let mut window_start_energy = 0.0f64;
+    let mut window_start_io = 0.0f64;
+
+    let io_energy = |node: &Node| -> f64 {
+        node.timeline().phase_energy(Phase::Write).system_j()
+            + node.timeline().phase_energy(Phase::CacheControl).system_j()
+    };
+
+    for step in 1..=cfg.timesteps {
+        solver.step();
+        node.execute(cfg.sim_cost.activity(cells), Phase::Simulation);
+        if step % cfg.io_interval == 0 {
+            if insitu_mode {
+                node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+                let image = render_field(solver.grid(), &cfg.render);
+                let ppm = encode_ppm(&image);
+                write_chunked(
+                    node,
+                    &mut fs,
+                    &format!("frame{step:04}.ppm"),
+                    &ppm,
+                    cfg.chunk_bytes,
+                    Phase::ImageWrite,
+                );
+                images_written += 1;
+            } else {
+                let bytes = solver.grid().to_bytes();
+                write_chunked(
+                    node,
+                    &mut fs,
+                    &format!("snap{step:04}"),
+                    &bytes,
+                    cfg.chunk_bytes,
+                    Phase::Write,
+                );
+                snapshots_kept += 1;
+            }
+        }
+        // Policy evaluation at window boundaries, while still writing raw.
+        if !insitu_mode && step % policy.window_steps == 0 {
+            let total = node.timeline().total_energy_j();
+            let io = io_energy(node);
+            let window_total = total - window_start_energy;
+            let window_io = io - window_start_io;
+            if window_total > 0.0 && window_io / window_total > policy.io_energy_threshold {
+                insitu_mode = true;
+                switched_at_step = Some(step);
+            }
+            window_start_energy = total;
+            window_start_io = io;
+        }
+    }
+    fs.sync(node, Phase::CacheControl);
+    fs.drop_caches();
+
+    // Final phase: visualize the snapshots that stayed raw, exactly as the
+    // post-processing pipeline would.
+    let mut kept: Vec<String> =
+        fs.list().into_iter().filter(|n| n.starts_with("snap")).collect();
+    kept.sort();
+    for name in kept {
+        let bytes = read_chunked(node, &mut fs, &name, cfg.chunk_bytes, Phase::Read);
+        let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &bytes)
+            .expect("snapshot has the configured shape");
+        node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+        let _ = render_field(&grid, &cfg.render);
+    }
+
+    AdaptiveReport {
+        switched_at_step,
+        execution_time_s: node.now().as_secs_f64(),
+        energy_j: node.timeline().total_energy_j(),
+        snapshots_kept,
+        images_written,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_platform::HardwareSpec;
+
+    fn run(cfg: &PipelineConfig, policy: &AdaptivePolicy) -> AdaptiveReport {
+        let mut node = Node::new(HardwareSpec::table1());
+        run_adaptive(&mut node, cfg, policy)
+    }
+
+    fn io_heavy() -> PipelineConfig {
+        let mut c = PipelineConfig::small(1); // I/O every step: ~19% write share
+        c.timesteps = 12;
+        c
+    }
+
+    fn compute_heavy() -> PipelineConfig {
+        let mut c = PipelineConfig::small(6); // I/O every 6th step
+        c.timesteps = 12;
+        c
+    }
+
+    #[test]
+    fn switches_on_io_heavy_workloads() {
+        let policy = AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.10 };
+        let r = run(&io_heavy(), &policy);
+        assert_eq!(r.switched_at_step, Some(4));
+        assert!(r.snapshots_kept >= 4);
+        assert!(r.images_written >= 1);
+    }
+
+    #[test]
+    fn stays_in_post_processing_on_compute_heavy_workloads() {
+        let policy = AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.10 };
+        let r = run(&compute_heavy(), &policy);
+        assert_eq!(r.switched_at_step, None);
+        assert_eq!(r.images_written, 0);
+        assert_eq!(r.snapshots_kept, 2);
+    }
+
+    #[test]
+    fn switching_saves_energy_over_never_switching() {
+        let never = AdaptivePolicy { window_steps: 4, io_energy_threshold: 1.0 };
+        let eager = AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.10 };
+        let stayed = run(&io_heavy(), &never);
+        let switched = run(&io_heavy(), &eager);
+        assert_eq!(stayed.switched_at_step, None);
+        assert!(
+            switched.energy_j < stayed.energy_j,
+            "{} !< {}",
+            switched.energy_j,
+            stayed.energy_j
+        );
+    }
+
+    #[test]
+    fn early_snapshots_survive_the_switch() {
+        let policy = AdaptivePolicy { window_steps: 2, io_energy_threshold: 0.10 };
+        let r = run(&io_heavy(), &policy);
+        assert_eq!(r.switched_at_step, Some(2));
+        assert_eq!(r.snapshots_kept, 2);
+        assert_eq!(r.images_written, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn zero_window_is_rejected() {
+        let policy = AdaptivePolicy { window_steps: 0, io_energy_threshold: 0.5 };
+        let _ = run(&io_heavy(), &policy);
+    }
+}

@@ -1,0 +1,184 @@
+//! Application configurations (§IV-C).
+//!
+//! The paper runs its proxy app for fifty timesteps with grid and chunk size
+//! fixed at 128 KB, performing I/O + visualization every iteration (case
+//! study 1), every second iteration (case 2), or every eighth (case 3). A
+//! 512×512 `f64` grid (2 MiB snapshot, written as sixteen 128 KiB chunks)
+//! reproduces the measured per-iteration I/O cost; see DESIGN.md §4.
+
+use greenness_heatsim::{Boundary, PointSource, SimCostModel, SolverConfig};
+use greenness_viz::{Colormap, RenderCostModel, RenderOptions};
+
+/// Full description of one pipeline workload.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Human-readable label ("case study 1").
+    pub label: String,
+    /// Grid cells along x.
+    pub grid_nx: usize,
+    /// Grid cells along y.
+    pub grid_ny: usize,
+    /// Simulation timesteps (paper: 50).
+    pub timesteps: u64,
+    /// Perform I/O + visualization every `io_interval` timesteps
+    /// (paper: 1 / 2 / 8).
+    pub io_interval: u64,
+    /// I/O chunk size in bytes (paper: 128 KiB).
+    pub chunk_bytes: usize,
+    /// Physics configuration of the proxy solver.
+    pub solver: SolverConfig,
+    /// Calibrated compute cost of one solver timestep.
+    pub sim_cost: SimCostModel,
+    /// Calibrated cost of rendering one frame.
+    pub render_cost: RenderCostModel,
+    /// Rendering controls.
+    pub render: RenderOptions,
+    /// Keep rendered frames in the pipeline output (tests/examples).
+    pub keep_frames: bool,
+    /// Simulated storage capacity to format for the run, bytes.
+    pub device_bytes: u64,
+}
+
+impl PipelineConfig {
+    /// The paper's §IV-C configuration for case study `n` (1, 2, or 3):
+    /// 512×512 grid, 50 timesteps, 128 KiB chunks, I/O every 1/2/8 steps.
+    pub fn case_study(n: u32) -> PipelineConfig {
+        let io_interval = match n {
+            1 => 1,
+            2 => 2,
+            3 => 8,
+            _ => panic!("the paper defines case studies 1-3, got {n}"),
+        };
+        PipelineConfig {
+            label: format!("case study {n}"),
+            grid_nx: 512,
+            grid_ny: 512,
+            timesteps: 50,
+            io_interval,
+            chunk_bytes: 128 * 1024,
+            solver: Self::default_solver(512, 512),
+            sim_cost: SimCostModel::default(),
+            render_cost: RenderCostModel::default(),
+            render: RenderOptions {
+                width: 512,
+                height: 512,
+                colormap: Colormap::Hot,
+                range: Some((0.0, 1.0)),
+            },
+            keep_frames: false,
+            device_bytes: 512 * 1024 * 1024,
+        }
+    }
+
+    /// A scaled-down workload (64×64 grid, 10 steps) with the same structure
+    /// — runs in milliseconds of host time, for tests and doc examples.
+    /// Per-cell/per-pixel cost constants are scaled up by the grid-area
+    /// ratio so the *virtual* per-step durations (and hence the phase
+    /// structure and power levels) match the full-scale case studies.
+    /// `io_interval` as in [`Self::case_study`].
+    pub fn small(io_interval: u64) -> PipelineConfig {
+        // 512²/64² = 64: one small timestep carries the same modeled work as
+        // a full-scale one.
+        let scale = (512.0 * 512.0) / (64.0 * 64.0);
+        let mut sim_cost = SimCostModel::default();
+        sim_cost.flops_per_cell_update *= scale;
+        sim_cost.dram_bytes_per_cell_update *= scale;
+        let mut render_cost = RenderCostModel::default();
+        render_cost.flops_per_pixel *= scale;
+        render_cost.dram_bytes_per_pixel *= scale;
+        PipelineConfig {
+            label: format!("small (interval {io_interval})"),
+            grid_nx: 64,
+            grid_ny: 64,
+            timesteps: 10,
+            io_interval,
+            chunk_bytes: 8 * 1024,
+            solver: Self::default_solver(64, 64),
+            sim_cost,
+            render_cost,
+            render: RenderOptions {
+                width: 64,
+                height: 64,
+                colormap: Colormap::Hot,
+                range: Some((0.0, 1.0)),
+            },
+            keep_frames: false,
+            device_bytes: 64 * 1024 * 1024,
+        }
+    }
+
+    /// A stable FTCS configuration for an `nx × ny` grid: a pair of hot
+    /// sources on a cold plate with insulating walls — visually interesting
+    /// and strictly CFL-stable.
+    pub fn default_solver(nx: usize, ny: usize) -> SolverConfig {
+        // CFL: alpha*dt*(nx² + ny²) ≤ 0.5 on the unit square.
+        let limit = 0.5 / ((nx * nx + ny * ny) as f64);
+        let alpha = 1.0e-4;
+        let dt = 0.8 * limit / alpha;
+        SolverConfig {
+            alpha,
+            dt,
+            boundary: Boundary::Neumann,
+            sources: vec![
+                PointSource { i: nx / 3, j: ny / 3, rate: 40.0 / dt / 50.0 },
+                PointSource { i: 2 * nx / 3, j: 2 * ny / 3, rate: 24.0 / dt / 50.0 },
+            ],
+        }
+    }
+
+    /// Snapshot size in bytes (`nx × ny × 8`).
+    pub fn snapshot_bytes(&self) -> u64 {
+        (self.grid_nx * self.grid_ny * 8) as u64
+    }
+
+    /// Number of timesteps that perform I/O + visualization.
+    pub fn io_steps(&self) -> u64 {
+        (1..=self.timesteps).filter(|s| s % self.io_interval == 0).count() as u64
+    }
+
+    /// Total cell updates over the run — the work-unit basis of the
+    /// efficiency metric (identical for both pipelines by construction).
+    pub fn work_units(&self) -> f64 {
+        (self.grid_nx * self.grid_ny) as f64 * self.timesteps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_io_counts_match_the_paper() {
+        assert_eq!(PipelineConfig::case_study(1).io_steps(), 50);
+        assert_eq!(PipelineConfig::case_study(2).io_steps(), 25);
+        assert_eq!(PipelineConfig::case_study(3).io_steps(), 6);
+    }
+
+    #[test]
+    fn snapshot_is_sixteen_paper_chunks() {
+        let cfg = PipelineConfig::case_study(1);
+        assert_eq!(cfg.snapshot_bytes(), 2 * 1024 * 1024);
+        assert_eq!(cfg.snapshot_bytes() / cfg.chunk_bytes as u64, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "case studies 1-3")]
+    fn unknown_case_study_is_rejected() {
+        let _ = PipelineConfig::case_study(4);
+    }
+
+    #[test]
+    fn default_solver_is_cfl_stable() {
+        for n in [32, 64, 512] {
+            let cfg = PipelineConfig::default_solver(n, n);
+            let cfl = cfg.alpha * cfg.dt * ((n * n + n * n) as f64);
+            assert!(cfl <= 0.5 + 1e-12, "CFL {cfl} at {n}");
+        }
+    }
+
+    #[test]
+    fn work_units_are_pipeline_independent() {
+        let cfg = PipelineConfig::case_study(1);
+        assert_eq!(cfg.work_units(), 512.0 * 512.0 * 50.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Instrumented experiment runs.
+//!
+//! One experiment = one pipeline on one *fresh* node with the paper's
+//! measurement rig attached: the Wattsup wall meter out-of-band, RAPL polled
+//! on-node at 1 Hz with the measured +0.2 W overhead (§IV-B). Everything
+//! needed by the figures comes back in one [`PipelineReport`].
+
+use greenness_platform::{HardwareSpec, Node, Phase, SimDuration, Timeline};
+use greenness_power::{GreenMetrics, PowerProfile, WattsupMeter};
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{self, PipelineKind, PipelineOutput};
+
+/// The measurement rig and hardware for a run.
+#[derive(Debug, Clone)]
+pub struct ExperimentSetup {
+    /// The node under test.
+    pub spec: HardwareSpec,
+    /// Wall meter configuration (noise, cadence, seed).
+    pub meter: WattsupMeter,
+    /// On-node monitoring overhead, watts (paper: +0.2 W at 1 Hz RAPL).
+    pub monitoring_overhead_w: f64,
+}
+
+impl Default for ExperimentSetup {
+    fn default() -> Self {
+        ExperimentSetup {
+            spec: HardwareSpec::table1(),
+            meter: WattsupMeter::default(),
+            monitoring_overhead_w: 0.2,
+        }
+    }
+}
+
+impl ExperimentSetup {
+    /// A noise-free rig for exact regression tests.
+    pub fn noiseless() -> Self {
+        ExperimentSetup { meter: WattsupMeter::noiseless(), ..Self::default() }
+    }
+}
+
+/// Per-phase accounting row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRow {
+    /// The pipeline stage.
+    pub phase: Phase,
+    /// Time spent in it.
+    pub duration: SimDuration,
+    /// Share of total execution time, percent (Figure 4's quantity).
+    pub time_pct: f64,
+    /// Full-system energy it consumed, joules.
+    pub energy_j: f64,
+    /// Its average full-system power, watts.
+    pub avg_power_w: f64,
+}
+
+/// Everything one instrumented run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Which pipeline ran.
+    pub kind: PipelineKind,
+    /// Workload label ("case study 1").
+    pub config_label: String,
+    /// The Figure 7–11 quantities.
+    pub metrics: GreenMetrics,
+    /// The sampled Figure 5-style profile (system / package / DRAM).
+    pub profile: PowerProfile,
+    /// The exact power history (for downstream analyses).
+    pub timeline: Timeline,
+    /// Data-side results (bytes moved, frames, verification).
+    pub output: PipelineOutput,
+}
+
+impl PipelineReport {
+    /// Per-phase accounting over the run, Figure-4 style.
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        let total = self.timeline.end().as_secs_f64().max(1e-300);
+        self.timeline
+            .phase_breakdown()
+            .into_iter()
+            .map(|(phase, duration)| PhaseRow {
+                phase,
+                duration,
+                time_pct: duration.as_secs_f64() / total * 100.0,
+                energy_j: self.timeline.phase_energy(phase).system_j(),
+                avg_power_w: self.timeline.phase_average_power_w(phase),
+            })
+            .collect()
+    }
+
+    /// Share of execution time spent in `phase`, percent.
+    pub fn time_pct(&self, phase: Phase) -> f64 {
+        self.phase_rows()
+            .iter()
+            .find(|r| r.phase == phase)
+            .map_or(0.0, |r| r.time_pct)
+    }
+}
+
+/// Run `kind` over `cfg` on a fresh instrumented node.
+pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) -> PipelineReport {
+    let mut node = Node::new(setup.spec.clone());
+    node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
+    let output = pipeline::run(kind, &mut node, cfg);
+    let timeline = node.into_timeline();
+    let metrics = GreenMetrics::from_timeline(&timeline, cfg.work_units());
+    let profile = PowerProfile::measure(&timeline, &setup.meter);
+    PipelineReport {
+        kind,
+        config_label: cfg.label.clone(),
+        metrics,
+        profile,
+        timeline,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_carries_consistent_metrics() {
+        let cfg = PipelineConfig::small(1);
+        let r = run(PipelineKind::PostProcessing, &cfg, &ExperimentSetup::noiseless());
+        assert!((r.metrics.execution_time_s - r.timeline.end().as_secs_f64()).abs() < 1e-9);
+        assert!((r.metrics.energy_j - r.timeline.total_energy_j()).abs() < 1e-6);
+        // The 1 Hz profile covers the run (minus the partial last second).
+        assert!(r.profile.len() as f64 <= r.metrics.execution_time_s + 1.0);
+        assert!(r.profile.len() as f64 >= r.metrics.execution_time_s - 1.0);
+    }
+
+    #[test]
+    fn phase_rows_partition_time_and_energy() {
+        let cfg = PipelineConfig::small(2);
+        let r = run(PipelineKind::PostProcessing, &cfg, &ExperimentSetup::noiseless());
+        let rows = r.phase_rows();
+        let pct: f64 = rows.iter().map(|x| x.time_pct).sum();
+        assert!((pct - 100.0).abs() < 1e-6, "phases cover {pct}%");
+        let e: f64 = rows.iter().map(|x| x.energy_j).sum();
+        assert!((e - r.metrics.energy_j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monitoring_overhead_shows_up_in_energy() {
+        let cfg = PipelineConfig::small(1);
+        let with = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::noiseless());
+        let without = run(
+            PipelineKind::InSitu,
+            &cfg,
+            &ExperimentSetup { monitoring_overhead_w: 0.0, ..ExperimentSetup::noiseless() },
+        );
+        let dt = with.metrics.execution_time_s;
+        let de = with.metrics.energy_j - without.metrics.energy_j;
+        assert!((de - 0.2 * dt).abs() < 1e-6, "overhead energy {de} J over {dt} s");
+    }
+
+    #[test]
+    fn seeded_meter_noise_is_reproducible() {
+        let cfg = PipelineConfig::small(1);
+        let a = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::default());
+        let b = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::default());
+        assert_eq!(a.profile.samples, b.profile.samples);
+    }
+}

@@ -1,0 +1,319 @@
+//! The visualization pipelines (Figure 2).
+//!
+//! Both pipelines drive the *same* solver, storage stack, and renderer over
+//! the *same* node; they differ only in where the visualization stage gets
+//! its data — which is exactly the comparison the paper isolates:
+//!
+//! * **post-processing** (Fig. 2a): every I/O step serializes the field and
+//!   writes it to disk in 128 KiB fsync'd chunks; after the simulation
+//!   finishes (and a `sync; drop_caches`, §IV-C), a second phase reads every
+//!   snapshot back chunk-by-chunk and renders it;
+//! * **in-situ** (Fig. 2b): every I/O step renders straight from the
+//!   solver's memory and persists only the (much smaller) image;
+//! * **in-transit** (extension, after Bennett et al., the paper's ref [10]):
+//!   every I/O step ships the raw snapshot to a staging node over the NIC
+//!   and does no local rendering. Only the compute-node side is metered,
+//!   matching the single-node scope of the paper.
+//!
+//! Data honesty: snapshots are real solver output; the post-processing
+//! pipeline re-renders from the bytes it reads back from the simulated disk
+//! and *verifies* them against a checksum taken at write time, so any
+//! storage-stack corruption fails loudly.
+
+use greenness_heatsim::{Grid, HeatSolver};
+use greenness_platform::{Activity, Node, Phase};
+use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
+use greenness_viz::{encode_ppm, render_field, Framebuffer};
+
+use crate::config::PipelineConfig;
+
+/// Which pipeline organization to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// Simulate → write raw data → read back → visualize (Fig. 2a).
+    PostProcessing,
+    /// Simulate → visualize in memory → write images (Fig. 2b).
+    InSitu,
+    /// Simulate → ship raw data to a staging node (extension).
+    InTransit,
+}
+
+impl PipelineKind {
+    /// Label used in reports ("Traditional" is the paper's term for
+    /// post-processing in Figures 7–11).
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineKind::PostProcessing => "Traditional",
+            PipelineKind::InSitu => "In-situ",
+            PipelineKind::InTransit => "In-transit",
+        }
+    }
+}
+
+/// A rendered frame and the timestep it shows.
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// The solver timestep the frame renders.
+    pub step: u64,
+    /// The image.
+    pub image: Framebuffer,
+}
+
+/// What a pipeline run produced (beyond the node's power timeline).
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Which pipeline ran.
+    pub kind: PipelineKind,
+    /// Useful work performed (cell updates).
+    pub work_units: f64,
+    /// Timesteps that performed I/O + visualization.
+    pub io_steps: u64,
+    /// Raw bytes written to the filesystem.
+    pub bytes_written: u64,
+    /// Raw bytes read back from the filesystem.
+    pub bytes_read: u64,
+    /// Rendered frames (only if `keep_frames` was set).
+    pub frames: Vec<FrameRecord>,
+    /// Post-processing only: every read-back snapshot matched its write-time
+    /// checksum.
+    pub verified: bool,
+}
+
+/// FNV-1a, for cheap snapshot checksums.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn write_chunked(
+    node: &mut Node,
+    fs: &mut FileSystem<MemBlockDevice>,
+    name: &str,
+    data: &[u8],
+    chunk: usize,
+    phase: Phase,
+) -> u64 {
+    let mut off = 0usize;
+    while off < data.len() {
+        let end = (off + chunk).min(data.len());
+        fs.write(node, name, off as u64, &data[off..end], phase)
+            .expect("device sized for the run");
+        fs.fsync(node, name, phase).expect("file just written");
+        off = end;
+    }
+    data.len() as u64
+}
+
+pub(crate) fn read_chunked(
+    node: &mut Node,
+    fs: &mut FileSystem<MemBlockDevice>,
+    name: &str,
+    chunk: usize,
+    phase: Phase,
+) -> Vec<u8> {
+    let size = fs.size(name).expect("snapshot exists");
+    let mut out = Vec::with_capacity(size as usize);
+    let mut off = 0u64;
+    while off < size {
+        let part = fs
+            .read(node, name, off, chunk as u64, phase)
+            .expect("snapshot readable");
+        off += part.len() as u64;
+        out.extend_from_slice(&part);
+    }
+    out
+}
+
+/// Run the chosen pipeline over `node`. The node accumulates the power
+/// timeline; the returned output carries the data-side results.
+pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> PipelineOutput {
+    let mut fs = FileSystem::format(
+        MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
+        FsConfig::default(),
+    );
+    let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
+        // A warm Gaussian patch on a cold plate.
+        0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
+    });
+    let mut solver = HeatSolver::new(initial, cfg.solver.clone());
+    let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
+    let pixels = (cfg.render.width * cfg.render.height) as u64;
+
+    let mut out = PipelineOutput {
+        kind,
+        work_units: cfg.work_units(),
+        io_steps: 0,
+        bytes_written: 0,
+        bytes_read: 0,
+        frames: Vec::new(),
+        verified: true,
+    };
+    let mut checksums: Vec<(String, u64)> = Vec::new();
+
+    // ---- Phase 1: simulation (+ per-step I/O or in-situ visualization) ----
+    for step in 1..=cfg.timesteps {
+        solver.step();
+        node.execute(cfg.sim_cost.activity(cells), Phase::Simulation);
+        if step % cfg.io_interval != 0 {
+            continue;
+        }
+        out.io_steps += 1;
+        match kind {
+            PipelineKind::PostProcessing => {
+                let bytes = solver.grid().to_bytes();
+                let name = format!("snap{step:04}");
+                checksums.push((name.clone(), fnv1a(&bytes)));
+                out.bytes_written +=
+                    write_chunked(node, &mut fs, &name, &bytes, cfg.chunk_bytes, Phase::Write);
+            }
+            PipelineKind::InSitu => {
+                // Hand the live field to the renderer (in-memory).
+                node.execute(
+                    Activity::MemTraffic { bytes: cfg.snapshot_bytes() },
+                    Phase::Visualization,
+                );
+                node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+                let image = render_field(solver.grid(), &cfg.render);
+                let ppm = encode_ppm(&image);
+                out.bytes_written += write_chunked(
+                    node,
+                    &mut fs,
+                    &format!("frame{step:04}.ppm"),
+                    &ppm,
+                    cfg.chunk_bytes,
+                    Phase::ImageWrite,
+                );
+                if cfg.keep_frames {
+                    out.frames.push(FrameRecord { step, image });
+                }
+            }
+            PipelineKind::InTransit => {
+                let bytes = solver.grid().to_bytes();
+                let messages = bytes.len().div_ceil(cfg.chunk_bytes) as u32;
+                node.execute(
+                    Activity::NetTransfer { bytes: bytes.len() as u64, messages },
+                    Phase::Network,
+                );
+                out.bytes_written += bytes.len() as u64;
+            }
+        }
+    }
+
+    // §IV-C: sync and drop caches between phases.
+    fs.sync(node, Phase::CacheControl);
+    fs.drop_caches();
+
+    // ---- Phase 2 (post-processing only): read back and visualize ----
+    if kind == PipelineKind::PostProcessing {
+        for (name, checksum) in &checksums {
+            let bytes = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read);
+            out.bytes_read += bytes.len() as u64;
+            if fnv1a(&bytes) != *checksum {
+                out.verified = false;
+            }
+            let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &bytes)
+                .expect("snapshot has the configured grid shape");
+            node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+            let image = render_field(&grid, &cfg.render);
+            if cfg.keep_frames {
+                let step: u64 = name["snap".len()..].parse().expect("snapNNNN name");
+                out.frames.push(FrameRecord { step, image });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_platform::HardwareSpec;
+
+    fn run_small(kind: PipelineKind, interval: u64) -> (Node, PipelineOutput) {
+        let mut node = Node::new(HardwareSpec::table1());
+        let cfg = PipelineConfig::small(interval);
+        let out = run(kind, &mut node, &cfg);
+        (node, out)
+    }
+
+    #[test]
+    fn post_processing_has_all_four_phases() {
+        let (node, out) = run_small(PipelineKind::PostProcessing, 1);
+        let tl = node.timeline();
+        for phase in [Phase::Simulation, Phase::Write, Phase::Read, Phase::Visualization] {
+            assert!(!tl.phase_duration(phase).is_zero(), "{phase} missing");
+        }
+        assert!(out.verified, "read-back snapshots must match write-time checksums");
+        assert_eq!(out.io_steps, 10);
+        assert_eq!(out.bytes_read, out.bytes_written);
+    }
+
+    #[test]
+    fn insitu_has_no_read_phase_and_writes_only_images() {
+        let (node, out) = run_small(PipelineKind::InSitu, 1);
+        let tl = node.timeline();
+        assert!(tl.phase_duration(Phase::Read).is_zero());
+        assert!(tl.phase_duration(Phase::Write).is_zero());
+        assert!(!tl.phase_duration(Phase::ImageWrite).is_zero());
+        assert!(!tl.phase_duration(Phase::Visualization).is_zero());
+        assert_eq!(out.bytes_read, 0);
+        assert_eq!(out.bytes_written, 10 * greenness_viz::image::ppm_size_bytes(64, 64));
+    }
+
+    #[test]
+    fn intransit_only_computes_and_ships() {
+        let (node, out) = run_small(PipelineKind::InTransit, 1);
+        let tl = node.timeline();
+        assert!(!tl.phase_duration(Phase::Network).is_zero());
+        assert!(tl.phase_duration(Phase::Visualization).is_zero());
+        assert!(tl.phase_duration(Phase::Write).is_zero());
+        assert_eq!(out.bytes_written, 10 * 64 * 64 * 8);
+    }
+
+    #[test]
+    fn io_interval_scales_io_work() {
+        let (_, every) = run_small(PipelineKind::PostProcessing, 1);
+        let (_, eighth) = run_small(PipelineKind::PostProcessing, 8);
+        assert_eq!(every.io_steps, 10);
+        assert_eq!(eighth.io_steps, 1);
+        assert!(eighth.bytes_written < every.bytes_written / 5);
+    }
+
+    #[test]
+    fn insitu_beats_post_processing_on_time_and_energy() {
+        let (post_node, _) = run_small(PipelineKind::PostProcessing, 1);
+        let (insitu_node, _) = run_small(PipelineKind::InSitu, 1);
+        assert!(insitu_node.now() < post_node.now());
+        assert!(insitu_node.timeline().total_energy_j() < post_node.timeline().total_energy_j());
+    }
+
+    #[test]
+    fn both_pipelines_render_identical_frames() {
+        let mut cfg = PipelineConfig::small(2);
+        cfg.keep_frames = true;
+        let mut a = Node::new(HardwareSpec::table1());
+        let post = run(PipelineKind::PostProcessing, &mut a, &cfg);
+        let mut b = Node::new(HardwareSpec::table1());
+        let insitu = run(PipelineKind::InSitu, &mut b, &cfg);
+        assert_eq!(post.frames.len(), insitu.frames.len());
+        for (p, i) in post.frames.iter().zip(&insitu.frames) {
+            assert_eq!(p.step, i.step);
+            assert_eq!(p.image, i.image, "frame {} differs between pipelines", p.step);
+        }
+    }
+
+    #[test]
+    fn simulation_work_is_identical_across_pipelines() {
+        let (post_node, post) = run_small(PipelineKind::PostProcessing, 1);
+        let (insitu_node, insitu) = run_small(PipelineKind::InSitu, 1);
+        assert_eq!(post.work_units, insitu.work_units);
+        let sim_post = post_node.timeline().phase_duration(Phase::Simulation);
+        let sim_insitu = insitu_node.timeline().phase_duration(Phase::Simulation);
+        assert_eq!(sim_post, sim_insitu);
+    }
+}

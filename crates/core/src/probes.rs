@@ -1,0 +1,125 @@
+//! The `nnread` / `nnwrite` probe stages (Figure 6, Table II).
+//!
+//! To split energy savings into static and dynamic parts, the paper first
+//! profiles its application's read and write stages *in isolation*: the
+//! `nnwrite` probe repeatedly writes-and-fsyncs 128 KiB chunks; the `nnread`
+//! probe reads chunks back cold (caches dropped). Table II reports their
+//! average total power (114.8 / 115.1 W) and dynamic power (10.0 / 10.3 W);
+//! Figure 6 plots the 50-second profiles.
+
+use greenness_platform::{Node, Phase, Timeline};
+use greenness_power::probe_dynamic_power_w;
+use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
+
+use crate::experiment::ExperimentSetup;
+
+/// Summary of one probe run (one Table II column).
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// "nnread" or "nnwrite".
+    pub name: &'static str,
+    /// The probe's power history.
+    pub timeline: Timeline,
+    /// Average total (full-system) power, watts.
+    pub avg_total_w: f64,
+    /// Average dynamic power — total minus the machine's static floor, watts.
+    pub avg_dynamic_w: f64,
+}
+
+fn summarize(name: &'static str, timeline: Timeline, static_w: f64) -> ProbeResult {
+    let avg_total_w = timeline.average_power_w();
+    let avg_dynamic_w = probe_dynamic_power_w(&timeline, static_w);
+    ProbeResult { name, timeline, avg_total_w, avg_dynamic_w }
+}
+
+/// Run the `nnwrite` probe: write-and-fsync `chunk_bytes` chunks for at
+/// least `duration_s` seconds of virtual time.
+pub fn nnwrite(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> ProbeResult {
+    let mut node = Node::new(setup.spec.clone());
+    node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
+    let mut fs = FileSystem::format(
+        MemBlockDevice::with_capacity_bytes(256 * 1024 * 1024),
+        FsConfig::default(),
+    );
+    let chunk = vec![0x6eu8; chunk_bytes];
+    let mut k = 0u64;
+    while node.now().as_secs_f64() < duration_s {
+        let name = format!("nn{k:06}");
+        fs.write(&mut node, &name, 0, &chunk, Phase::IoBench).expect("device sized");
+        fs.fsync(&mut node, &name, Phase::IoBench).expect("file exists");
+        k += 1;
+    }
+    let static_w = setup.spec.static_w();
+    summarize("nnwrite", node.into_timeline(), static_w)
+}
+
+/// Run the `nnread` probe: pre-create chunk files (not metered), drop caches,
+/// then read them back cold for at least `duration_s` seconds.
+pub fn nnread(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> ProbeResult {
+    // Staging pass on a scratch node — layout preparation is not part of the
+    // probe, exactly as the paper profiles only the read stage.
+    let mut scratch = Node::new(setup.spec.clone());
+    let mut fs = FileSystem::format(
+        MemBlockDevice::with_capacity_bytes(256 * 1024 * 1024),
+        FsConfig::default(),
+    );
+    let chunk = vec![0x6eu8; chunk_bytes];
+    // Enough files to cover the probe duration at the calibrated ≈84 ms per
+    // cold chunk read.
+    let files = (duration_s / 0.08) as u64 + 8;
+    for k in 0..files {
+        fs.write(&mut scratch, &format!("nn{k:06}"), 0, &chunk, Phase::IoBench)
+            .expect("device sized");
+    }
+    fs.sync(&mut scratch, Phase::IoBench);
+    fs.drop_caches();
+
+    let mut node = Node::new(setup.spec.clone());
+    node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
+    let mut k = 0u64;
+    while node.now().as_secs_f64() < duration_s && k < files {
+        fs.read(&mut node, &format!("nn{k:06}"), 0, chunk_bytes as u64, Phase::IoBench)
+            .expect("staged above");
+        k += 1;
+    }
+    let static_w = setup.spec.static_w();
+    summarize("nnread", node.into_timeline(), static_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_nnwrite_power() {
+        let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 20.0);
+        // Paper: 114.8 W total, 10.0 W dynamic.
+        assert!((r.avg_total_w - 114.8).abs() < 0.7, "total {}", r.avg_total_w);
+        assert!((r.avg_dynamic_w - 10.0).abs() < 0.7, "dynamic {}", r.avg_dynamic_w);
+    }
+
+    #[test]
+    fn table2_nnread_power() {
+        let r = nnread(&ExperimentSetup::noiseless(), 128 * 1024, 20.0);
+        // Paper: 115.1 W total, 10.3 W dynamic.
+        assert!((r.avg_total_w - 115.1).abs() < 0.7, "total {}", r.avg_total_w);
+        assert!((r.avg_dynamic_w - 10.3).abs() < 0.7, "dynamic {}", r.avg_dynamic_w);
+    }
+
+    #[test]
+    fn read_and_write_probes_draw_nearly_the_same_power() {
+        // §V-A: "the average power consumed by the reads and the writes is
+        // nearly the same".
+        let setup = ExperimentSetup::noiseless();
+        let w = nnwrite(&setup, 128 * 1024, 10.0);
+        let r = nnread(&setup, 128 * 1024, 10.0);
+        assert!((w.avg_total_w - r.avg_total_w).abs() < 1.5);
+    }
+
+    #[test]
+    fn probes_run_for_the_requested_duration() {
+        let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 5.0);
+        let t = r.timeline.end().as_secs_f64();
+        assert!((5.0..6.0).contains(&t), "ran {t}s");
+    }
+}

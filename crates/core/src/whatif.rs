@@ -1,0 +1,88 @@
+//! The §V-D what-if analysis.
+//!
+//! The paper's pipelines do sequential I/O, but real applications often
+//! don't. Using the fio measurements (Table III), §V-D argues: an
+//! application with *random* I/O behavior (one 4 GB read + one 4 GB write
+//! pass) would save **242.2 kJ** (238.6 + 3.6) by going in-situ — but if it
+//! instead adopted software-directed data reorganization, its passes become
+//! sequential and the residual I/O cost is only **7.3 kJ** (4.2 + 3.1),
+//! while exploratory analysis is retained.
+
+use greenness_platform::Node;
+use greenness_storage::{fio, FioJob, FioKind, FioResult, NullBlockDevice};
+
+use crate::experiment::ExperimentSetup;
+
+/// The §V-D numbers, derived from freshly-run fio jobs.
+#[derive(Debug, Clone)]
+pub struct WhatIfAnalysis {
+    /// All four Table III results, in table column order.
+    pub fio: Vec<FioResult>,
+    /// Energy a random-I/O application spends on its I/O passes — what
+    /// in-situ would eliminate, kJ (paper: 242.2).
+    pub random_io_energy_kj: f64,
+    /// Energy the same passes cost after data reorganization, kJ
+    /// (paper: 7.3).
+    pub reorganized_io_energy_kj: f64,
+}
+
+impl WhatIfAnalysis {
+    /// Run the four Table III fio jobs at `total_bytes` (paper: 4 GiB) and
+    /// derive the §V-D comparison.
+    pub fn run(setup: &ExperimentSetup, total_bytes: u64) -> WhatIfAnalysis {
+        let mut fio_results = Vec::with_capacity(4);
+        for kind in FioKind::ALL {
+            // Each job on a fresh node, as separate fio invocations would be.
+            let mut node = Node::new(setup.spec.clone());
+            node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
+            let mut dev = NullBlockDevice::with_capacity_bytes(total_bytes);
+            let job = FioJob { total_bytes, ..FioJob::table3(kind) };
+            fio_results.push(fio::run(&mut node, &mut dev, &job));
+        }
+        let energy = |k: FioKind| {
+            fio_results
+                .iter()
+                .find(|r| r.kind == k)
+                .expect("all four kinds ran")
+                .full_system_energy_kj
+        };
+        WhatIfAnalysis {
+            random_io_energy_kj: energy(FioKind::RandomRead) + energy(FioKind::RandomWrite),
+            reorganized_io_energy_kj: energy(FioKind::SequentialRead)
+                + energy(FioKind::SequentialWrite),
+            fio: fio_results,
+        }
+    }
+
+    /// The headline ratio: how much of the random-I/O energy reorganization
+    /// retains (the paper: 7.3 / 242.2 ≈ 3%).
+    pub fn retained_fraction(&self) -> f64 {
+        if self.random_io_energy_kj <= 0.0 {
+            0.0
+        } else {
+            self.reorganized_io_energy_kj / self.random_io_energy_kj
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_at_4gib() {
+        let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024);
+        // Paper: 242.2 kJ vs 7.3 kJ.
+        assert!((w.random_io_energy_kj - 242.2).abs() < 10.0, "{}", w.random_io_energy_kj);
+        assert!((w.reorganized_io_energy_kj - 7.3).abs() < 0.4, "{}", w.reorganized_io_energy_kj);
+        assert!(w.retained_fraction() < 0.05);
+        assert_eq!(w.fio.len(), 4);
+    }
+
+    #[test]
+    fn scales_down_with_job_size() {
+        let big = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024);
+        let small = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 1024 * 1024 * 1024);
+        assert!(small.random_io_energy_kj < big.random_io_energy_kj / 3.0);
+    }
+}

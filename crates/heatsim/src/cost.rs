@@ -1,0 +1,92 @@
+//! Translate solver work into platform activities.
+//!
+//! The paper's proxy application is an implicit finite-element heat solver;
+//! ours is an explicit finite-difference sweep. One explicit sweep is ~4
+//! orders of magnitude cheaper per cell than an implicit FEM assembly +
+//! solve, so charging the platform for the raw sweep flops would shrink the
+//! simulation phase to microseconds and destroy the paper's phase structure.
+//! Instead, the cost model charges a *calibrated per-cell-update budget*
+//! representing the full proxy-app step, chosen so a 512×512 grid timestep
+//! takes ≈1.57 s on the Table I node — which reproduces the Figure 4 time
+//! split (33% simulation for case study 1). The substitution is documented
+//! in DESIGN.md §1/§4 and EXPERIMENTS.md.
+
+use greenness_platform::Activity;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated conversion from cell updates to platform compute activities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimCostModel {
+    /// Floating-point operations charged per interior cell update
+    /// (calibrated: implicit FEM step of the paper's proxy ≈ 4.6e5 flops per
+    /// nodal unknown, giving 1.57 s per 512×512 timestep at the Table I
+    /// node's 76.8 Gflop/s sustained).
+    pub flops_per_cell_update: f64,
+    /// DRAM traffic charged per cell update, bytes (calibrated to the ≈6 W
+    /// DRAM dynamic power of the Figure 5 simulation phase).
+    pub dram_bytes_per_cell_update: f64,
+    /// Cores the solver keeps busy.
+    pub cores: u32,
+    /// Arithmetic intensity of the solve (1.0 = dense compute).
+    pub intensity: f64,
+}
+
+impl Default for SimCostModel {
+    fn default() -> Self {
+        SimCostModel {
+            flops_per_cell_update: 4.6e5,
+            dram_bytes_per_cell_update: 7.55e4,
+            cores: 16,
+            intensity: 1.0,
+        }
+    }
+}
+
+impl SimCostModel {
+    /// The compute activity for `cell_updates` interior updates.
+    pub fn activity(&self, cell_updates: u64) -> Activity {
+        Activity::Compute {
+            flops: cell_updates as f64 * self.flops_per_cell_update,
+            cores: self.cores,
+            intensity: self.intensity,
+            dram_bytes: (cell_updates as f64 * self.dram_bytes_per_cell_update) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_platform::{HardwareSpec, Node, Phase};
+
+    #[test]
+    fn calibrated_timestep_duration_and_power() {
+        // One 512×512 timestep on the Table I node: ≈1.57 s at ≈143 W
+        // (the Figure 4/5 calibration anchors).
+        let cost = SimCostModel::default();
+        let mut node = Node::new(HardwareSpec::table1());
+        let e = node.execute(cost.activity(512 * 512), Phase::Simulation);
+        let secs = e.duration.as_secs_f64();
+        assert!((secs - 1.57).abs() < 0.02, "got {secs}");
+        let sys = e.draw.system_w();
+        assert!((sys - 143.0).abs() < 0.7, "got {sys}");
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_updates() {
+        let cost = SimCostModel::default();
+        let node = Node::new(HardwareSpec::table1());
+        let (t1, _) = node.cost_of(cost.activity(100_000));
+        let (t2, _) = node.cost_of(cost.activity(200_000));
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_cores_take_longer() {
+        let cost = SimCostModel { cores: 4, ..SimCostModel::default() };
+        let node = Node::new(HardwareSpec::table1());
+        let (t4, _) = node.cost_of(cost.activity(512 * 512));
+        let (t16, _) = node.cost_of(SimCostModel::default().activity(512 * 512));
+        assert!((t4 / t16 - 4.0).abs() < 1e-9);
+    }
+}

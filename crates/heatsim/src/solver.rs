@@ -1,0 +1,296 @@
+//! Explicit (FTCS) finite-difference solver for the 2-D heat equation.
+//!
+//! `∂u/∂t = α ∇²u + q`, advanced with forward-time centered-space stepping on
+//! the unit square. The interior update is parallelized over rows with rayon
+//! (each output row depends only on the previous time level, so rows are
+//! independent). Stability requires the CFL condition
+//! `α·Δt·(1/Δx² + 1/Δy²) ≤ ½`, checked at construction.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Grid;
+
+/// Boundary condition applied on all four edges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Boundary {
+    /// Fixed edge temperature (heat flows through the walls).
+    Dirichlet(f64),
+    /// Insulated walls (zero flux; total heat is conserved).
+    Neumann,
+}
+
+/// A continuous point heat source: adds `rate` to one cell per unit time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointSource {
+    /// Cell x-index.
+    pub i: usize,
+    /// Cell y-index.
+    pub j: usize,
+    /// Heating rate, temperature units per second.
+    pub rate: f64,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Thermal diffusivity α.
+    pub alpha: f64,
+    /// Timestep Δt, seconds of *physical* (not virtual-platform) time.
+    pub dt: f64,
+    /// Boundary condition on every edge.
+    pub boundary: Boundary,
+    /// Point sources active throughout the run.
+    pub sources: Vec<PointSource>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            alpha: 1.0e-4,
+            dt: 0.1,
+            boundary: Boundary::Dirichlet(0.0),
+            sources: Vec::new(),
+        }
+    }
+}
+
+/// The heat-equation integrator. Owns the current and scratch fields.
+#[derive(Debug, Clone)]
+pub struct HeatSolver {
+    config: SolverConfig,
+    grid: Grid,
+    scratch: Grid,
+    steps_taken: u64,
+    cell_updates: u64,
+}
+
+impl HeatSolver {
+    /// Build a solver over `initial`. Panics if the CFL stability condition
+    /// is violated or a source lies outside the grid.
+    pub fn new(initial: Grid, config: SolverConfig) -> HeatSolver {
+        let nx = initial.nx();
+        let ny = initial.ny();
+        let dx = 1.0 / nx as f64;
+        let dy = 1.0 / ny as f64;
+        let cfl = config.alpha * config.dt * (1.0 / (dx * dx) + 1.0 / (dy * dy));
+        assert!(
+            cfl <= 0.5 + 1e-12,
+            "FTCS unstable: alpha*dt*(1/dx^2+1/dy^2) = {cfl:.3} > 0.5"
+        );
+        for s in &config.sources {
+            assert!(s.i < nx && s.j < ny, "source ({}, {}) outside {nx}x{ny} grid", s.i, s.j);
+        }
+        let scratch = initial.clone();
+        HeatSolver { config, grid: initial, scratch, steps_taken: 0, cell_updates: 0 }
+    }
+
+    /// The current field.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Timesteps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Interior cell updates performed so far (the work measure the cost
+    /// model charges).
+    pub fn cell_updates(&self) -> u64 {
+        self.cell_updates
+    }
+
+    /// Advance one timestep.
+    pub fn step(&mut self) {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let dx = 1.0 / nx as f64;
+        let dy = 1.0 / ny as f64;
+        let rx = self.config.alpha * self.config.dt / (dx * dx);
+        let ry = self.config.alpha * self.config.dt / (dy * dy);
+
+        // Ghost-cell view of the previous level under the active boundary.
+        let prev = self.grid.as_slice();
+        let boundary = self.config.boundary;
+        let sample = move |i: isize, j: isize| -> f64 {
+            match boundary {
+                Boundary::Dirichlet(v) => {
+                    if i < 0 || j < 0 || i >= nx as isize || j >= ny as isize {
+                        // Second-order ghost for a cell-centered mesh: the
+                        // wall value sits on the face between the ghost and
+                        // the nearest interior cell.
+                        let ii = i.clamp(0, nx as isize - 1) as usize;
+                        let jj = j.clamp(0, ny as isize - 1) as usize;
+                        2.0 * v - prev[jj * nx + ii]
+                    } else {
+                        prev[j as usize * nx + i as usize]
+                    }
+                }
+                Boundary::Neumann => {
+                    // Reflect: zero-flux mirror at the walls.
+                    let i = i.clamp(0, nx as isize - 1) as usize;
+                    let j = j.clamp(0, ny as isize - 1) as usize;
+                    prev[j * nx + i]
+                }
+            }
+        };
+
+        self.scratch
+            .as_mut_slice()
+            .par_chunks_mut(nx)
+            .enumerate()
+            .for_each(|(j, row)| {
+                let j = j as isize;
+                for (i_us, out) in row.iter_mut().enumerate() {
+                    let i = i_us as isize;
+                    let u = sample(i, j);
+                    *out = u
+                        + rx * (sample(i + 1, j) - 2.0 * u + sample(i - 1, j))
+                        + ry * (sample(i, j + 1) - 2.0 * u + sample(i, j - 1));
+                }
+            });
+
+        for s in &self.config.sources {
+            let v = self.scratch.at(s.i, s.j) + s.rate * self.config.dt;
+            self.scratch.set(s.i, s.j, v);
+        }
+
+        std::mem::swap(&mut self.grid, &mut self.scratch);
+        self.steps_taken += 1;
+        self.cell_updates += (nx * ny) as u64;
+    }
+
+    /// Advance `n` timesteps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_center(n: usize) -> Grid {
+        let mut g = Grid::zeros(n, n);
+        g.set(n / 2, n / 2, 100.0);
+        g
+    }
+
+    #[test]
+    #[should_panic(expected = "FTCS unstable")]
+    fn cfl_violation_is_rejected() {
+        let cfg = SolverConfig { alpha: 1.0, dt: 1.0, ..Default::default() };
+        let _ = HeatSolver::new(Grid::zeros(32, 32), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_source_is_rejected() {
+        let cfg = SolverConfig {
+            sources: vec![PointSource { i: 99, j: 0, rate: 1.0 }],
+            ..Default::default()
+        };
+        let _ = HeatSolver::new(Grid::zeros(16, 16), cfg);
+    }
+
+    #[test]
+    fn heat_diffuses_outward() {
+        let mut s = HeatSolver::new(hot_center(33), SolverConfig::default());
+        let peak_before = s.grid().max();
+        s.run(50);
+        let c = 33 / 2;
+        assert!(s.grid().max() < peak_before, "peak must decay");
+        assert!(s.grid().at(c + 1, c) > 0.0, "neighbors must warm up");
+        assert_eq!(s.steps_taken(), 50);
+        assert_eq!(s.cell_updates(), 50 * 33 * 33);
+    }
+
+    #[test]
+    fn maximum_principle_without_sources() {
+        let mut s = HeatSolver::new(
+            Grid::from_fn(24, 24, |x, y| (x * 9.0).sin() * (y * 7.0).cos()),
+            SolverConfig::default(),
+        );
+        let (lo, hi) = (s.grid().min().min(0.0), s.grid().max().max(0.0));
+        s.run(200);
+        assert!(s.grid().min() >= lo - 1e-9, "new minimum appeared");
+        assert!(s.grid().max() <= hi + 1e-9, "new maximum appeared");
+    }
+
+    #[test]
+    fn neumann_conserves_total_heat() {
+        let cfg = SolverConfig { boundary: Boundary::Neumann, ..Default::default() };
+        let mut s = HeatSolver::new(hot_center(21), cfg);
+        let before = s.grid().total();
+        s.run(300);
+        let after = s.grid().total();
+        assert!((after - before).abs() < 1e-8 * before.abs().max(1.0), "{before} -> {after}");
+    }
+
+    #[test]
+    fn dirichlet_relaxes_to_wall_temperature() {
+        let cfg = SolverConfig {
+            alpha: 1.0e-3,
+            dt: 0.1,
+            boundary: Boundary::Dirichlet(5.0),
+            sources: Vec::new(),
+        };
+        let mut s = HeatSolver::new(Grid::zeros(16, 16), cfg);
+        s.run(5000);
+        let center = s.grid().at(8, 8);
+        assert!((center - 5.0).abs() < 0.05, "center {center} should approach 5.0");
+    }
+
+    #[test]
+    fn point_source_injects_heat() {
+        let cfg = SolverConfig {
+            boundary: Boundary::Neumann,
+            sources: vec![PointSource { i: 8, j: 8, rate: 10.0 }],
+            ..Default::default()
+        };
+        let mut s = HeatSolver::new(Grid::zeros(17, 17), cfg);
+        s.run(100);
+        // 100 steps × 10 units/s × 0.1 s = 100 units of heat injected.
+        assert!((s.grid().total() - 100.0).abs() < 1e-9);
+        assert!(s.grid().at(8, 8) > s.grid().at(0, 0));
+    }
+
+    #[test]
+    fn symmetric_initial_condition_stays_symmetric() {
+        let mut s = HeatSolver::new(hot_center(33), SolverConfig::default());
+        s.run(80);
+        let g = s.grid();
+        for j in 0..33 {
+            for i in 0..17 {
+                let a = g.at(i, j);
+                let b = g.at(32 - i, j);
+                assert!((a - b).abs() < 1e-12, "x-asymmetry at ({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_results_agree() {
+        // Run the same problem under a single-thread pool and the global
+        // pool; rayon must not change the arithmetic.
+        let cfg = SolverConfig::default();
+        let init = Grid::from_fn(48, 32, |x, y| (x * 3.0).sin() + (y * 5.0).cos());
+        let mut par = HeatSolver::new(init.clone(), cfg.clone());
+        par.run(60);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq = pool.install(|| {
+            let mut s = HeatSolver::new(init, cfg);
+            s.run(60);
+            s.grid().clone()
+        });
+        assert_eq!(par.grid(), &seq);
+    }
+}

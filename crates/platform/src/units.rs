@@ -1,0 +1,41 @@
+//! Byte-size and rate constants shared across the workspace.
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1024 * MIB;
+
+/// Format a byte count with a binary-prefix unit, for reports.
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GIB && bytes % GIB == 0 {
+        format!("{} GiB", bytes / GIB)
+    } else if bytes >= MIB && bytes % MIB == 0 {
+        format!("{} MiB", bytes / MIB)
+    } else if bytes >= KIB && bytes % KIB == 0 {
+        format!("{} KiB", bytes / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MIB, 1_048_576);
+        assert_eq!(GIB, 1_073_741_824);
+    }
+
+    #[test]
+    fn formatting_picks_the_largest_exact_unit() {
+        assert_eq!(format_bytes(4 * GIB), "4 GiB");
+        assert_eq!(format_bytes(128 * KIB), "128 KiB");
+        assert_eq!(format_bytes(3 * MIB), "3 MiB");
+        assert_eq!(format_bytes(1000), "1000 B");
+        assert_eq!(format_bytes(MIB + KIB), "1025 KiB");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the platform substrate.
+
+use greenness_platform::{
+    AccessPattern, Activity, HardwareSpec, Node, Phase, PowerDraw, Segment, SimDuration, SimTime,
+    Timeline,
+};
+use proptest::prelude::*;
+
+fn arb_draw() -> impl Strategy<Value = PowerDraw> {
+    (0.0..200.0f64, 0.0..50.0f64, 0.0..20.0f64, 0.0..5.0f64, 0.0..80.0f64).prop_map(
+        |(package_w, dram_w, disk_w, net_w, board_w)| PowerDraw {
+            package_w,
+            dram_w,
+            disk_w,
+            net_w,
+            board_w,
+        },
+    )
+}
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    prop::sample::select(Phase::ALL.to_vec())
+}
+
+fn arb_timeline() -> impl Strategy<Value = Timeline> {
+    prop::collection::vec((1u64..5_000_000_000, arb_draw(), arb_phase()), 1..40).prop_map(
+        |spans| {
+            let mut tl = Timeline::new();
+            let mut t = SimTime::ZERO;
+            for (ns, draw, phase) in spans {
+                let duration = SimDuration::from_nanos(ns);
+                tl.push(Segment { start: t, duration, draw, phase });
+                t += duration;
+            }
+            tl
+        },
+    )
+}
+
+proptest! {
+    /// Total energy equals the closed-form sum of segment power × duration.
+    #[test]
+    fn energy_integration_is_exact(tl in arb_timeline()) {
+        let expected: f64 = tl
+            .segments()
+            .iter()
+            .map(|s| s.draw.system_w() * s.duration.as_secs_f64())
+            .sum();
+        prop_assert!((tl.total_energy_j() - expected).abs() <= 1e-9 * expected.max(1.0));
+    }
+
+    /// Energy over the full window equals total energy; windows partition.
+    #[test]
+    fn energy_between_partitions(tl in arb_timeline(), cut_frac in 0.0..1.0f64) {
+        let end = tl.end();
+        let cut = SimTime::from_nanos((end.as_nanos() as f64 * cut_frac) as u64);
+        let a = tl.energy_between(SimTime::ZERO, cut).system_j();
+        let b = tl.energy_between(cut, end).system_j();
+        let total = tl.total_energy_j();
+        prop_assert!((a + b - total).abs() <= 1e-6 * total.max(1.0), "{a} + {b} != {total}");
+    }
+
+    /// Phase durations sum to the full run length, and phase energies to the
+    /// total energy.
+    #[test]
+    fn phase_accounting_partitions(tl in arb_timeline()) {
+        let dur_sum: SimDuration = Phase::ALL.iter().map(|&p| tl.phase_duration(p)).sum();
+        prop_assert_eq!(dur_sum.as_nanos(), tl.end().as_nanos());
+        let e_sum: f64 = Phase::ALL.iter().map(|&p| tl.phase_energy(p).system_j()).sum();
+        let total = tl.total_energy_j();
+        prop_assert!((e_sum - total).abs() <= 1e-6 * total.max(1.0));
+    }
+
+    /// Average power is always between the min and max segment power.
+    #[test]
+    fn average_power_is_bounded_by_extremes(tl in arb_timeline()) {
+        let avg = tl.average_power_w();
+        let lo = tl.segments().iter().map(|s| s.draw.system_w()).fold(f64::INFINITY, f64::min);
+        let hi = tl.peak_power_w();
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "{lo} <= {avg} <= {hi}");
+    }
+
+    /// draw_at agrees with the owning segment for every sampled instant.
+    #[test]
+    fn draw_at_matches_segments(tl in arb_timeline(), frac in 0.0..1.0f64) {
+        let t = SimTime::from_nanos((tl.end().as_nanos() as f64 * frac) as u64);
+        if t < tl.end() {
+            let seg = tl
+                .segments()
+                .iter()
+                .find(|s| s.start <= t && t < s.end())
+                .expect("contiguous timeline must contain t");
+            prop_assert_eq!(tl.draw_at(t), seg.draw);
+        }
+    }
+
+    /// Disk transfer time is monotone non-decreasing in bytes for every
+    /// pattern, and positive power only when time is positive.
+    #[test]
+    fn disk_time_monotone_in_bytes(
+        a in 1u64..1_000_000_000,
+        b in 1u64..1_000_000_000,
+        pat_sel in 0u8..3,
+        op in 512u64..1_048_576,
+        qd in 1u32..64,
+    ) {
+        use greenness_platform::disk::{DiskModel, IoDir};
+        let d = DiskModel::seagate_7200rpm_500gb();
+        let pattern = match pat_sel {
+            0 => AccessPattern::Sequential,
+            1 => AccessPattern::Chunked { op_bytes: op },
+            _ => AccessPattern::Random { op_bytes: op, queue_depth: qd },
+        };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for dir in [IoDir::Read, IoDir::Write] {
+            let c_lo = d.transfer(lo, dir, pattern);
+            let c_hi = d.transfer(hi, dir, pattern);
+            prop_assert!(c_hi.seconds >= c_lo.seconds,
+                "bytes {lo}->{hi} gave {} -> {}", c_lo.seconds, c_hi.seconds);
+            prop_assert!(c_lo.dyn_w >= 0.0 && c_lo.dyn_w.is_finite());
+        }
+    }
+
+    /// Node execution always produces physical draws and a contiguous clock.
+    #[test]
+    fn node_execution_is_physical(
+        acts in prop::collection::vec(0u8..6, 1..20),
+        bytes in 1u64..50_000_000,
+        flops in 1.0..1e12f64,
+    ) {
+        let mut node = Node::new(HardwareSpec::table1());
+        for a in acts {
+            let activity = match a {
+                0 => Activity::compute(flops, 16),
+                1 => Activity::write_seq(bytes),
+                2 => Activity::read_seq(bytes),
+                3 => Activity::DiskRead {
+                    bytes,
+                    pattern: AccessPattern::Random { op_bytes: 4096, queue_depth: 32 },
+                    buffered: false,
+                },
+                4 => Activity::idle_secs(0.5),
+                _ => Activity::MemTraffic { bytes },
+            };
+            let e = node.execute(activity, Phase::Other);
+            prop_assert!(e.draw.is_physical());
+            // Every draw is at least the static floor.
+            prop_assert!(e.draw.system_w() >= node.spec().static_w() - 1e-9);
+        }
+        prop_assert_eq!(node.timeline().end(), node.now());
+    }
+}

@@ -1,0 +1,156 @@
+//! Block devices: real byte storage under the filesystem.
+
+/// Device block (and page-cache page) size in bytes, matching the Linux page
+/// size of the paper's testbed.
+pub const BLOCK_SIZE: u64 = 4096;
+
+/// A fixed-geometry array of blocks. Devices store *data only*; all timing
+/// and power accounting happens in the layers above via the platform's
+/// [`DiskModel`](greenness_platform::DiskModel).
+pub trait BlockDevice {
+    /// Number of addressable blocks.
+    fn block_count(&self) -> u64;
+
+    /// Copy block `idx` into `buf` (`buf.len() == BLOCK_SIZE`). Unwritten
+    /// blocks read as zeros.
+    fn read_block(&self, idx: u64, buf: &mut [u8]);
+
+    /// Overwrite block `idx` with `data` (`data.len() == BLOCK_SIZE`).
+    fn write_block(&mut self, idx: u64, data: &[u8]);
+
+    /// Device capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.block_count() * BLOCK_SIZE
+    }
+}
+
+/// An in-memory, sparse block device: blocks materialize on first write and
+/// read back exactly; untouched blocks are zero. This is the device under
+/// the pipelines' filesystem — every snapshot byte is really stored.
+#[derive(Debug, Clone, Default)]
+pub struct MemBlockDevice {
+    blocks: std::collections::HashMap<u64, Box<[u8]>>,
+    count: u64,
+}
+
+impl MemBlockDevice {
+    /// A device with `count` blocks.
+    pub fn new(count: u64) -> Self {
+        MemBlockDevice { blocks: std::collections::HashMap::new(), count }
+    }
+
+    /// A device of `bytes` capacity (rounded up to whole blocks).
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        Self::new(bytes.div_ceil(BLOCK_SIZE))
+    }
+
+    /// Number of blocks actually materialized (written at least once).
+    pub fn materialized_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl BlockDevice for MemBlockDevice {
+    fn block_count(&self) -> u64 {
+        self.count
+    }
+
+    fn read_block(&self, idx: u64, buf: &mut [u8]) {
+        assert!(idx < self.count, "block {idx} out of range ({})", self.count);
+        assert_eq!(buf.len() as u64, BLOCK_SIZE);
+        match self.blocks.get(&idx) {
+            Some(b) => buf.copy_from_slice(b),
+            None => buf.fill(0),
+        }
+    }
+
+    fn write_block(&mut self, idx: u64, data: &[u8]) {
+        assert!(idx < self.count, "block {idx} out of range ({})", self.count);
+        assert_eq!(data.len() as u64, BLOCK_SIZE);
+        self.blocks.insert(idx, data.to_vec().into_boxed_slice());
+    }
+}
+
+/// A data-less device for capacity-scale benchmark jobs (the 4 GiB Table III
+/// fio runs): writes are discarded, reads return zeros. Equivalent to fio's
+/// raw direct-I/O mode where content is meaningless by construction; the
+/// *timing and power* model is exercised identically to [`MemBlockDevice`].
+#[derive(Debug, Clone)]
+pub struct NullBlockDevice {
+    count: u64,
+}
+
+impl NullBlockDevice {
+    /// A device with `count` blocks.
+    pub fn new(count: u64) -> Self {
+        NullBlockDevice { count }
+    }
+
+    /// A device of `bytes` capacity (rounded up to whole blocks).
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        Self::new(bytes.div_ceil(BLOCK_SIZE))
+    }
+}
+
+impl BlockDevice for NullBlockDevice {
+    fn block_count(&self) -> u64 {
+        self.count
+    }
+
+    fn read_block(&self, idx: u64, buf: &mut [u8]) {
+        assert!(idx < self.count);
+        buf.fill(0);
+    }
+
+    fn write_block(&mut self, idx: u64, _data: &[u8]) {
+        assert!(idx < self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_device_round_trips_blocks() {
+        let mut d = MemBlockDevice::new(16);
+        let data = vec![0xabu8; BLOCK_SIZE as usize];
+        d.write_block(3, &data);
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        d.read_block(3, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(d.materialized_blocks(), 1);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let d = MemBlockDevice::new(16);
+        let mut buf = vec![0xffu8; BLOCK_SIZE as usize];
+        d.read_block(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let d = MemBlockDevice::with_capacity_bytes(BLOCK_SIZE + 1);
+        assert_eq!(d.block_count(), 2);
+        assert_eq!(d.capacity_bytes(), 2 * BLOCK_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let d = MemBlockDevice::new(4);
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        d.read_block(4, &mut buf);
+    }
+
+    #[test]
+    fn null_device_discards_and_zeros() {
+        let mut d = NullBlockDevice::with_capacity_bytes(8 * BLOCK_SIZE);
+        d.write_block(1, &vec![7u8; BLOCK_SIZE as usize]);
+        let mut buf = vec![9u8; BLOCK_SIZE as usize];
+        d.read_block(1, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

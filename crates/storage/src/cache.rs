@@ -1,0 +1,255 @@
+//! A Linux-style page cache with dirty-page write-back.
+//!
+//! Reads allocate pages; writes dirty them; `sync` pushes dirty pages to the
+//! device; `drop_caches` evicts *clean* pages (like `echo 3 >
+//! /proc/sys/vm/drop_caches`, which skips dirty ones). The paper syncs and
+//! drops caches between pipeline phases "to ensure the data does not get
+//! cached in memory and is actually written to the disk" (§IV-C) — without
+//! that discipline the post-processing read phase would be served from RAM
+//! and the whole I/O cost the paper measures would vanish. The
+//! `ablate_page_cache` bench demonstrates exactly that.
+
+use std::collections::HashMap;
+
+use crate::block::{BlockDevice, BLOCK_SIZE};
+
+/// Hit/miss/write-back counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block lookups served from cache.
+    pub hits: u64,
+    /// Block lookups that went to the device.
+    pub misses: u64,
+    /// Dirty pages written back by sync.
+    pub writebacks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Page {
+    data: Box<[u8]>,
+    dirty: bool,
+}
+
+/// The page cache. Indexed by device block; page size == block size.
+#[derive(Debug, Clone, Default)]
+pub struct PageCache {
+    pages: HashMap<u64, Page>,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PageCache::default()
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if block `idx` is resident.
+    pub fn contains(&self, idx: u64) -> bool {
+        self.pages.contains_key(&idx)
+    }
+
+    /// True if block `idx` is resident and dirty.
+    pub fn is_dirty(&self, idx: u64) -> bool {
+        self.pages.get(&idx).is_some_and(|p| p.dirty)
+    }
+
+    /// Read block `idx` through the cache. Returns `(data, was_miss)`; on a
+    /// miss the page is fetched from `dev` and becomes resident.
+    pub fn read_block(&mut self, dev: &impl BlockDevice, idx: u64) -> (&[u8], bool) {
+        let miss = !self.pages.contains_key(&idx);
+        if miss {
+            let mut buf = vec![0u8; BLOCK_SIZE as usize];
+            dev.read_block(idx, &mut buf);
+            self.pages.insert(idx, Page { data: buf.into_boxed_slice(), dirty: false });
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        (&self.pages[&idx].data, miss)
+    }
+
+    /// Write `data` into block `idx` at `offset` within the block, marking
+    /// the page dirty. Partial writes to a non-resident page first fault it
+    /// in (read-modify-write); returns whether that fault happened so the
+    /// caller can charge a device read.
+    pub fn write_block(
+        &mut self,
+        dev: &impl BlockDevice,
+        idx: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> bool {
+        assert!(offset + data.len() <= BLOCK_SIZE as usize, "write exceeds block");
+        let mut faulted = false;
+        if !self.pages.contains_key(&idx) {
+            let full = offset == 0 && data.len() == BLOCK_SIZE as usize;
+            let mut buf = vec![0u8; BLOCK_SIZE as usize];
+            if !full {
+                // Read-modify-write: must fetch the rest of the block.
+                dev.read_block(idx, &mut buf);
+                self.stats.misses += 1;
+                faulted = true;
+            }
+            self.pages.insert(idx, Page { data: buf.into_boxed_slice(), dirty: false });
+        }
+        let page = self.pages.get_mut(&idx).expect("just inserted");
+        page.data[offset..offset + data.len()].copy_from_slice(data);
+        page.dirty = true;
+        faulted
+    }
+
+    /// All dirty block indices, sorted (the order write-back visits them).
+    pub fn dirty_blocks(&self) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.pages.iter().filter(|(_, p)| p.dirty).map(|(&i, _)| i).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Dirty blocks among `candidates`, sorted.
+    pub fn dirty_among(&self, candidates: &[u64]) -> Vec<u64> {
+        let mut v: Vec<u64> = candidates
+            .iter()
+            .copied()
+            .filter(|i| self.pages.get(i).is_some_and(|p| p.dirty))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Write the given dirty blocks to the device and mark them clean.
+    /// Blocks that are not resident or not dirty are skipped.
+    pub fn flush_blocks(&mut self, dev: &mut impl BlockDevice, blocks: &[u64]) {
+        for &idx in blocks {
+            if let Some(page) = self.pages.get_mut(&idx) {
+                if page.dirty {
+                    dev.write_block(idx, &page.data);
+                    page.dirty = false;
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    /// Write back *all* dirty pages (the `sync` syscall).
+    pub fn sync(&mut self, dev: &mut impl BlockDevice) -> u64 {
+        let dirty = self.dirty_blocks();
+        let n = dirty.len() as u64;
+        self.flush_blocks(dev, &dirty);
+        n
+    }
+
+    /// Evict clean pages (`drop_caches`); dirty pages survive, as on Linux.
+    pub fn drop_caches(&mut self) {
+        self.pages.retain(|_, p| p.dirty);
+    }
+
+    /// Discard the given pages outright, dirty or not — the truncate/delete
+    /// path, where the blocks no longer belong to any file and their
+    /// contents must not leak into a future owner.
+    pub fn invalidate(&mut self, blocks: &[u64]) {
+        for idx in blocks {
+            self.pages.remove(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemBlockDevice;
+
+    fn filled(b: u8) -> Vec<u8> {
+        vec![b; BLOCK_SIZE as usize]
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        let (_, miss1) = c.read_block(&dev, 2);
+        let (_, miss2) = c.read_block(&dev, 2);
+        assert!(miss1);
+        assert!(!miss2);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, writebacks: 0 });
+    }
+
+    #[test]
+    fn writes_are_cached_until_sync() {
+        let mut dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        c.write_block(&dev, 1, 0, &filled(0x5a));
+        // Device still sees zeros.
+        let mut buf = filled(0);
+        dev.read_block(1, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert!(c.is_dirty(1));
+        // Sync pushes it through.
+        assert_eq!(c.sync(&mut dev), 1);
+        dev.read_block(1, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0x5a));
+        assert!(!c.is_dirty(1));
+    }
+
+    #[test]
+    fn partial_write_faults_the_block_in() {
+        let mut dev = MemBlockDevice::new(8);
+        dev.write_block(0, &filled(0x11));
+        let mut c = PageCache::new();
+        let faulted = c.write_block(&dev, 0, 100, &[0xff; 8]);
+        assert!(faulted, "partial write to cold page must read-modify-write");
+        c.sync(&mut dev);
+        let mut buf = filled(0);
+        dev.read_block(0, &mut buf);
+        assert_eq!(&buf[100..108], &[0xff; 8]);
+        assert_eq!(buf[0], 0x11, "untouched bytes preserved");
+    }
+
+    #[test]
+    fn full_block_write_does_not_fault() {
+        let dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        let faulted = c.write_block(&dev, 0, 0, &filled(1));
+        assert!(!faulted);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn drop_caches_keeps_dirty_pages() {
+        let mut dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        c.read_block(&dev, 0);
+        c.write_block(&dev, 1, 0, &filled(2));
+        c.drop_caches();
+        assert!(!c.contains(0), "clean page must be evicted");
+        assert!(c.contains(1), "dirty page must survive");
+        // After sync + drop, everything is gone.
+        c.sync(&mut dev);
+        c.drop_caches();
+        assert_eq!(c.resident_pages(), 0);
+    }
+
+    #[test]
+    fn dirty_tracking_and_selective_flush() {
+        let mut dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        for i in [5u64, 1, 3] {
+            c.write_block(&dev, i, 0, &filled(i as u8));
+        }
+        assert_eq!(c.dirty_blocks(), vec![1, 3, 5]);
+        assert_eq!(c.dirty_among(&[3, 4, 5]), vec![3, 5]);
+        c.flush_blocks(&mut dev, &[3]);
+        assert_eq!(c.dirty_blocks(), vec![1, 5]);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+}

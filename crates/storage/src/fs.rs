@@ -1,0 +1,747 @@
+//! A small extent-based filesystem over a block device.
+//!
+//! Provides exactly what the paper's pipelines need from ext3-on-HDD:
+//! named files, buffered reads/writes through the page cache, `fsync` with
+//! journal-commit barriers, whole-filesystem `sync`, and `drop_caches`. The
+//! extent allocator supports a deliberately *scattered* mode so experiments
+//! can create fragmented files — the precondition of the §V-D data-
+//! reorganization analysis (a fragmented file forces random device I/O; the
+//! reorganization pass in [`crate::reorg`] restores sequential layout).
+//!
+//! Every device transfer is charged to the node with an access pattern
+//! derived from the actual on-device layout of the touched blocks, so the
+//! filesystem — not the caller — decides whether an operation is sequential,
+//! chunked-cold, or random. Calibration (DESIGN.md §4): a cold 128 KiB chunk
+//! read costs ≈84 ms (read-ahead window per rotation) and a 128 KiB chunk
+//! write + fsync ≈90 ms (one stream + journal seeks), reproducing the paper's
+//! Figure 4 time split.
+
+use std::collections::{BTreeMap, HashMap};
+
+use greenness_platform::{AccessPattern, Activity, Node, Phase};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BlockDevice, BLOCK_SIZE};
+use crate::cache::{CacheStats, PageCache};
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with that name.
+    NotFound(String),
+    /// The device has no free extent large enough.
+    NoSpace,
+    /// Read offset past end of file.
+    BadOffset {
+        /// Requested offset.
+        offset: u64,
+        /// Current file size.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(n) => write!(f, "no such file: {n}"),
+            FsError::NoSpace => write!(f, "device full"),
+            FsError::BadOffset { offset, size } => {
+                write!(f, "offset {offset} beyond end of file ({size})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// How the allocator places new blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AllocMode {
+    /// First-fit contiguous extents (fresh-filesystem behavior).
+    Contiguous,
+    /// Deterministically scattered single-block extents — creates the
+    /// fragmented layouts of the §V-D study.
+    Scattered {
+        /// RNG seed; same seed ⇒ same layout.
+        seed: u64,
+    },
+}
+
+/// Filesystem tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsConfig {
+    /// Read-ahead window for cold, small buffered reads, bytes.
+    pub readahead_bytes: u64,
+    /// Reads at least this large on a contiguous extent stream at full rate.
+    pub sequential_threshold: u64,
+    /// Positioning operations charged per fsync (data + inode + journal
+    /// descriptor + commit + directory + superblock on ext3-like journals).
+    pub journal_seeks_per_fsync: u32,
+    /// Queue depth the kernel keeps against the device for scattered
+    /// buffered reads. A single-threaded buffered reader drives the disk
+    /// synchronously (depth 1); only explicit async engines (fio's libaio)
+    /// sustain deep queues.
+    pub queue_depth: u32,
+    /// Block placement policy.
+    pub alloc_mode: AllocMode,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            readahead_bytes: 8 * 1024,
+            sequential_threshold: 1024 * 1024,
+            journal_seeks_per_fsync: 6,
+            queue_depth: 1,
+            alloc_mode: AllocMode::Contiguous,
+        }
+    }
+}
+
+/// A contiguous run of device blocks owned by one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    /// First device block.
+    pub start: u64,
+    /// Number of blocks.
+    pub len: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Inode {
+    extents: Vec<Extent>,
+    size: u64,
+}
+
+impl Inode {
+    fn blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// Device block holding file block `fb`.
+    fn map_block(&self, fb: u64) -> u64 {
+        let mut remaining = fb;
+        for e in &self.extents {
+            if remaining < e.len {
+                return e.start + remaining;
+            }
+            remaining -= e.len;
+        }
+        panic!("file block {fb} beyond allocation ({} blocks)", self.blocks());
+    }
+
+    /// All device blocks in file order.
+    fn device_blocks(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.blocks() as usize);
+        for e in &self.extents {
+            v.extend(e.start..e.start + e.len);
+        }
+        v
+    }
+}
+
+/// The filesystem: allocator + page cache + inode table over a device.
+#[derive(Debug)]
+pub struct FileSystem<D: BlockDevice> {
+    dev: D,
+    cache: PageCache,
+    files: HashMap<String, Inode>,
+    /// Free runs: start block → run length.
+    free: BTreeMap<u64, u64>,
+    config: FsConfig,
+    rng: SmallRng,
+}
+
+impl<D: BlockDevice> FileSystem<D> {
+    /// Format `dev` with an empty filesystem.
+    pub fn format(dev: D, config: FsConfig) -> Self {
+        let mut free = BTreeMap::new();
+        if dev.block_count() > 0 {
+            free.insert(0, dev.block_count());
+        }
+        let seed = match config.alloc_mode {
+            AllocMode::Scattered { seed } => seed,
+            AllocMode::Contiguous => 0,
+        };
+        FileSystem { dev, cache: PageCache::new(), files: HashMap::new(), free, config, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FsConfig {
+        &self.config
+    }
+
+    /// Switch allocation mode for subsequently written blocks.
+    pub fn set_alloc_mode(&mut self, mode: AllocMode) {
+        self.config.alloc_mode = mode;
+        if let AllocMode::Scattered { seed } = mode {
+            self.rng = SmallRng::seed_from_u64(seed);
+        }
+    }
+
+    /// Page-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// True if `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Size of `name` in bytes.
+    pub fn size(&self, name: &str) -> Result<u64, FsError> {
+        self.files.get(name).map(|i| i.size).ok_or_else(|| FsError::NotFound(name.into()))
+    }
+
+    /// Number of contiguous device runs backing `name` (1 = perfectly
+    /// sequential layout).
+    pub fn fragmentation(&self, name: &str) -> Result<usize, FsError> {
+        let inode =
+            self.files.get(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        Ok(runs_of(&inode.device_blocks()).len())
+    }
+
+    /// File names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    fn alloc(&mut self, blocks: u64) -> Result<Vec<Extent>, FsError> {
+        if blocks == 0 {
+            return Ok(Vec::new());
+        }
+        if self.free_blocks() < blocks {
+            return Err(FsError::NoSpace);
+        }
+        match self.config.alloc_mode {
+            AllocMode::Contiguous => self.alloc_contiguous(blocks),
+            AllocMode::Scattered { .. } => self.alloc_scattered(blocks),
+        }
+    }
+
+    fn alloc_contiguous(&mut self, mut blocks: u64) -> Result<Vec<Extent>, FsError> {
+        // First-fit over free runs; spill across runs if no single run fits.
+        let mut got = Vec::new();
+        while blocks > 0 {
+            let (&start, &len) = self
+                .free
+                .iter()
+                .find(|(_, &len)| len >= blocks)
+                .or_else(|| self.free.iter().next())
+                .ok_or(FsError::NoSpace)?;
+            let take = len.min(blocks);
+            self.free.remove(&start);
+            if take < len {
+                self.free.insert(start + take, len - take);
+            }
+            got.push(Extent { start, len: take });
+            blocks -= take;
+        }
+        Ok(got)
+    }
+
+    fn alloc_scattered(&mut self, blocks: u64) -> Result<Vec<Extent>, FsError> {
+        let mut got = Vec::with_capacity(blocks as usize);
+        for _ in 0..blocks {
+            let starts: Vec<u64> = self.free.keys().copied().collect();
+            if starts.is_empty() {
+                return Err(FsError::NoSpace);
+            }
+            let run_start = starts[self.rng.gen_range(0..starts.len())];
+            let run_len = self.free.remove(&run_start).expect("key just listed");
+            let pick = run_start + self.rng.gen_range(0..run_len);
+            if pick > run_start {
+                self.free.insert(run_start, pick - run_start);
+            }
+            if pick + 1 < run_start + run_len {
+                self.free.insert(pick + 1, run_start + run_len - pick - 1);
+            }
+            got.push(Extent { start: pick, len: 1 });
+        }
+        Ok(got)
+    }
+
+    fn free_extents(&mut self, extents: &[Extent]) {
+        for e in extents {
+            self.free.insert(e.start, e.len);
+        }
+        // Coalesce adjacent free runs.
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&start, &len) in &self.free {
+            match merged.iter_mut().next_back() {
+                Some((&last_start, last_len)) if last_start + *last_len >= start => {
+                    *last_len = (*last_len).max(start + len - last_start);
+                }
+                _ => {
+                    merged.insert(start, len);
+                }
+            }
+        }
+        self.free = merged;
+    }
+
+    /// Charge `node` for reading `miss_blocks` (device block indices, file
+    /// order) from the device, choosing the access pattern from the layout.
+    fn charge_read(&self, node: &mut Node, miss_blocks: &[u64], phase: Phase) {
+        if miss_blocks.is_empty() {
+            return;
+        }
+        let bytes = miss_blocks.len() as u64 * BLOCK_SIZE;
+        let runs = runs_of(miss_blocks);
+        let pattern = if runs.len() == 1 {
+            if bytes >= self.config.sequential_threshold {
+                AccessPattern::Sequential
+            } else {
+                AccessPattern::Chunked { op_bytes: self.config.readahead_bytes }
+            }
+        } else {
+            let avg_run = bytes / runs.len() as u64;
+            if avg_run >= self.config.sequential_threshold {
+                AccessPattern::Sequential
+            } else if avg_run > self.config.readahead_bytes {
+                AccessPattern::Chunked { op_bytes: avg_run }
+            } else {
+                AccessPattern::Random {
+                    op_bytes: avg_run.max(BLOCK_SIZE),
+                    queue_depth: self.config.queue_depth,
+                }
+            }
+        };
+        node.execute(Activity::DiskRead { bytes, pattern, buffered: true }, phase);
+    }
+
+    /// Charge `node` for flushing `dirty_blocks` to the device.
+    fn charge_writeback(&self, node: &mut Node, dirty_blocks: &[u64], phase: Phase) {
+        if dirty_blocks.is_empty() {
+            return;
+        }
+        let bytes = dirty_blocks.len() as u64 * BLOCK_SIZE;
+        let runs = runs_of(dirty_blocks);
+        let pattern = if runs.len() == 1 {
+            AccessPattern::Sequential
+        } else {
+            let avg_run = bytes / runs.len() as u64;
+            if avg_run > self.config.readahead_bytes {
+                AccessPattern::Chunked { op_bytes: avg_run }
+            } else {
+                AccessPattern::Random {
+                    op_bytes: avg_run.max(BLOCK_SIZE),
+                    queue_depth: self.config.queue_depth,
+                }
+            }
+        };
+        node.execute(Activity::DiskWrite { bytes, pattern, buffered: true }, phase);
+    }
+
+    /// Write `data` at `offset` into `name` (creating or extending the file),
+    /// buffered: data lands in the page cache and is charged as memory
+    /// traffic; the device is touched only by read-modify-write faults here,
+    /// and by [`Self::fsync`]/[`Self::sync`] later.
+    pub fn write(
+        &mut self,
+        node: &mut Node,
+        name: &str,
+        offset: u64,
+        data: &[u8],
+        phase: Phase,
+    ) -> Result<(), FsError> {
+        if data.is_empty() {
+            self.files.entry(name.to_string()).or_default();
+            return Ok(());
+        }
+        let end = offset + data.len() as u64;
+        let needed_blocks = end.div_ceil(BLOCK_SIZE);
+        let have_blocks = self.files.get(name).map_or(0, Inode::blocks);
+        if needed_blocks > have_blocks {
+            let new = self.alloc(needed_blocks - have_blocks)?;
+            // Newly allocated blocks may hold a previous owner's bytes on the
+            // device; POSIX holes must read zero, so materialize them as
+            // zeroed dirty pages (they reach the device at the next sync).
+            let zeros = [0u8; BLOCK_SIZE as usize];
+            for e in &new {
+                for b in e.start..e.start + e.len {
+                    self.cache.write_block(&self.dev, b, 0, &zeros);
+                }
+            }
+            let inode = self.files.entry(name.to_string()).or_default();
+            inode.extents.extend(new);
+        }
+        let inode = self.files.get_mut(name).expect("created above");
+        inode.size = inode.size.max(end);
+        // Copy into the cache block by block, collecting RMW faults.
+        let inode = self.files.get(name).expect("exists");
+        let mut faults = Vec::new();
+        let mut cursor = 0usize;
+        let mut pos = offset;
+        while cursor < data.len() {
+            let fb = pos / BLOCK_SIZE;
+            let in_block = (pos % BLOCK_SIZE) as usize;
+            let take = (BLOCK_SIZE as usize - in_block).min(data.len() - cursor);
+            let dev_block = inode.map_block(fb);
+            if self.cache.write_block(&self.dev, dev_block, in_block, &data[cursor..cursor + take])
+            {
+                faults.push(dev_block);
+            }
+            cursor += take;
+            pos += take as u64;
+        }
+        self.charge_read(node, &faults, phase);
+        node.execute(Activity::MemTraffic { bytes: data.len() as u64 }, phase);
+        Ok(())
+    }
+
+    /// Append `data` to `name`.
+    pub fn append(
+        &mut self,
+        node: &mut Node,
+        name: &str,
+        data: &[u8],
+        phase: Phase,
+    ) -> Result<(), FsError> {
+        let offset = self.files.get(name).map_or(0, |i| i.size);
+        self.write(node, name, offset, data, phase)
+    }
+
+    /// Read `len` bytes at `offset` from `name`. Cold blocks are charged to
+    /// the device with a layout-derived pattern; the returned bytes are the
+    /// real stored data.
+    pub fn read(
+        &mut self,
+        node: &mut Node,
+        name: &str,
+        offset: u64,
+        len: u64,
+        phase: Phase,
+    ) -> Result<Vec<u8>, FsError> {
+        let inode =
+            self.files.get(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        if offset > inode.size {
+            return Err(FsError::BadOffset { offset, size: inode.size });
+        }
+        let len = len.min(inode.size - offset);
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let first_fb = offset / BLOCK_SIZE;
+        let last_fb = (offset + len - 1) / BLOCK_SIZE;
+        let dev_blocks: Vec<u64> = (first_fb..=last_fb).map(|fb| inode.map_block(fb)).collect();
+        let misses: Vec<u64> =
+            dev_blocks.iter().copied().filter(|b| !self.cache.contains(*b)).collect();
+        self.charge_read(node, &misses, phase);
+        // Assemble the bytes through the cache.
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let fb = pos / BLOCK_SIZE;
+            let in_block = (pos % BLOCK_SIZE) as usize;
+            let take = ((BLOCK_SIZE as usize - in_block) as u64).min(remaining) as usize;
+            let dev_block = dev_blocks[(fb - first_fb) as usize];
+            let (page, _) = self.cache.read_block(&self.dev, dev_block);
+            out.extend_from_slice(&page[in_block..in_block + take]);
+            pos += take as u64;
+            remaining -= take as u64;
+        }
+        node.execute(Activity::MemTraffic { bytes: len }, phase);
+        Ok(out)
+    }
+
+    /// Flush `name`'s dirty pages durably: write-back charged by layout plus
+    /// the journal-commit barrier (the dominant cost for small chunks on a
+    /// 7200 rpm disk).
+    pub fn fsync(&mut self, node: &mut Node, name: &str, phase: Phase) -> Result<(), FsError> {
+        let inode =
+            self.files.get(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let file_blocks = inode.device_blocks();
+        let dirty = self.cache.dirty_among(&file_blocks);
+        self.charge_writeback(node, &dirty, phase);
+        node.execute(
+            Activity::DiskBarrier { seeks: self.config.journal_seeks_per_fsync },
+            phase,
+        );
+        self.cache.flush_blocks(&mut self.dev, &dirty);
+        Ok(())
+    }
+
+    /// Whole-filesystem `sync`: flush every dirty page, one barrier.
+    pub fn sync(&mut self, node: &mut Node, phase: Phase) {
+        let dirty = self.cache.dirty_blocks();
+        self.charge_writeback(node, &dirty, phase);
+        node.execute(
+            Activity::DiskBarrier { seeks: self.config.journal_seeks_per_fsync },
+            phase,
+        );
+        self.cache.flush_blocks(&mut self.dev, &dirty);
+    }
+
+    /// Evict clean pages (`drop_caches`). Call after [`Self::sync`] to leave
+    /// the cache empty, as the paper does between phases.
+    pub fn drop_caches(&mut self) {
+        self.cache.drop_caches();
+    }
+
+    /// Delete `name`, returning its blocks to the allocator.
+    pub fn delete(&mut self, name: &str) -> Result<(), FsError> {
+        let inode =
+            self.files.remove(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        // Invalidate cached pages before the blocks can be reallocated —
+        // stale dirty pages must not leak into a future owner of the blocks.
+        self.cache.invalidate(&inode.device_blocks());
+        self.free_extents(&inode.extents);
+        Ok(())
+    }
+
+    /// Replace the extents of `name` (used by the reorganization pass).
+    /// Returns the old extents; the caller is responsible for having copied
+    /// the data.
+    pub(crate) fn swap_extents(&mut self, name: &str, new: Vec<Extent>) -> Vec<Extent> {
+        let inode = self.files.get_mut(name).expect("swap_extents on missing file");
+        std::mem::replace(&mut inode.extents, new)
+    }
+
+    /// Allocate raw extents (used by the reorganization pass).
+    pub(crate) fn alloc_raw(&mut self, blocks: u64) -> Result<Vec<Extent>, FsError> {
+        self.alloc(blocks)
+    }
+
+    /// Free raw extents (used by the reorganization pass).
+    pub(crate) fn free_raw(&mut self, extents: &[Extent]) {
+        let blocks: Vec<u64> = extents.iter().flat_map(|e| e.start..e.start + e.len).collect();
+        self.cache.invalidate(&blocks);
+        self.free_extents(extents);
+    }
+
+    /// Direct device + cache access (used by the reorganization pass).
+    pub(crate) fn cache_and_dev(&mut self) -> (&mut PageCache, &mut D) {
+        (&mut self.cache, &mut self.dev)
+    }
+
+    /// Device blocks of `name` in file order (used by the reorganization
+    /// pass and by layout assertions in tests).
+    pub fn device_blocks(&self, name: &str) -> Result<Vec<u64>, FsError> {
+        self.files
+            .get(name)
+            .map(Inode::device_blocks)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))
+    }
+}
+
+/// Group sorted-or-not block lists into contiguous ascending runs
+/// `(start, len)`.
+pub(crate) fn runs_of(blocks: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &b in blocks {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == b => *len += 1,
+            _ => runs.push((b, 1)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemBlockDevice;
+    use greenness_platform::HardwareSpec;
+
+    fn setup() -> (Node, FileSystem<MemBlockDevice>) {
+        let node = Node::new(HardwareSpec::table1());
+        let fs = FileSystem::format(
+            MemBlockDevice::with_capacity_bytes(64 * 1024 * 1024),
+            FsConfig::default(),
+        );
+        (node, fs)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (mut node, mut fs) = setup();
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        fs.write(&mut node, "snap", 0, &data, Phase::Write).unwrap();
+        fs.fsync(&mut node, "snap", Phase::Write).unwrap();
+        fs.sync(&mut node, Phase::CacheControl);
+        fs.drop_caches();
+        let back = fs.read(&mut node, "snap", 0, data.len() as u64, Phase::Read).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn data_survives_cache_drop_only_after_sync() {
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "f", 0, b"hello world", Phase::Write).unwrap();
+        // Dirty pages survive a drop (Linux semantics), so the data is still
+        // there even without sync.
+        fs.drop_caches();
+        let back = fs.read(&mut node, "f", 0, 11, Phase::Read).unwrap();
+        assert_eq!(&back, b"hello world");
+    }
+
+    #[test]
+    fn unaligned_offsets_and_partial_blocks() {
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "f", 0, &[1u8; 5000], Phase::Write).unwrap();
+        fs.write(&mut node, "f", 4090, &[2u8; 20], Phase::Write).unwrap();
+        let back = fs.read(&mut node, "f", 4085, 30, Phase::Read).unwrap();
+        assert_eq!(&back[..5], &[1u8; 5]);
+        assert_eq!(&back[5..25], &[2u8; 20]);
+        assert_eq!(fs.size("f").unwrap(), 5000);
+    }
+
+    #[test]
+    fn read_past_eof_is_an_error_and_reads_clip() {
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "f", 0, &[7u8; 100], Phase::Write).unwrap();
+        assert!(matches!(
+            fs.read(&mut node, "f", 101, 1, Phase::Read),
+            Err(FsError::BadOffset { .. })
+        ));
+        let tail = fs.read(&mut node, "f", 90, 1000, Phase::Read).unwrap();
+        assert_eq!(tail.len(), 10);
+        assert!(matches!(
+            fs.read(&mut node, "nope", 0, 1, Phase::Read),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn contiguous_allocation_yields_single_run() {
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "a", 0, &[0u8; 128 * 1024], Phase::Write).unwrap();
+        assert_eq!(fs.fragmentation("a").unwrap(), 1);
+    }
+
+    #[test]
+    fn scattered_allocation_fragments() {
+        let (mut node, mut fs) = setup();
+        fs.set_alloc_mode(AllocMode::Scattered { seed: 7 });
+        fs.write(&mut node, "a", 0, &[1u8; 256 * 1024], Phase::Write).unwrap();
+        let frag = fs.fragmentation("a").unwrap();
+        assert!(frag > 16, "expected heavy fragmentation, got {frag} runs");
+        // Content still round-trips.
+        fs.sync(&mut node, Phase::CacheControl);
+        fs.drop_caches();
+        let back = fs.read(&mut node, "a", 0, 256 * 1024, Phase::Read).unwrap();
+        assert!(back.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn fragmented_reads_cost_more_than_sequential() {
+        let (mut node_a, mut fs_a) = setup();
+        fs_a.write(&mut node_a, "f", 0, &[1u8; 512 * 1024], Phase::Write).unwrap();
+        fs_a.sync(&mut node_a, Phase::CacheControl);
+        fs_a.drop_caches();
+        let t0 = node_a.now();
+        fs_a.read(&mut node_a, "f", 0, 512 * 1024, Phase::Read).unwrap();
+        let seq_cost = (node_a.now() - t0).as_secs_f64();
+
+        let (mut node_b, mut fs_b) = setup();
+        fs_b.set_alloc_mode(AllocMode::Scattered { seed: 3 });
+        fs_b.write(&mut node_b, "f", 0, &[1u8; 512 * 1024], Phase::Write).unwrap();
+        fs_b.sync(&mut node_b, Phase::CacheControl);
+        fs_b.drop_caches();
+        let t0 = node_b.now();
+        fs_b.read(&mut node_b, "f", 0, 512 * 1024, Phase::Read).unwrap();
+        let rand_cost = (node_b.now() - t0).as_secs_f64();
+
+        assert!(
+            rand_cost > 2.0 * seq_cost,
+            "fragmented read {rand_cost}s should dwarf sequential {seq_cost}s"
+        );
+    }
+
+    #[test]
+    fn cached_reads_are_nearly_free() {
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "f", 0, &[1u8; 128 * 1024], Phase::Write).unwrap();
+        fs.fsync(&mut node, "f", Phase::Write).unwrap();
+        // First (cold-after-drop) read pays the device.
+        fs.drop_caches();
+        let t0 = node.now();
+        fs.read(&mut node, "f", 0, 128 * 1024, Phase::Read).unwrap();
+        let cold = (node.now() - t0).as_secs_f64();
+        // Second read is all hits.
+        let t1 = node.now();
+        fs.read(&mut node, "f", 0, 128 * 1024, Phase::Read).unwrap();
+        let warm = (node.now() - t1).as_secs_f64();
+        assert!(warm < cold / 100.0, "warm {warm}s vs cold {cold}s");
+    }
+
+    #[test]
+    fn chunk_write_fsync_cost_matches_calibration() {
+        // 128 KiB chunk + fsync ≈ 90 ms on the Table I disk (DESIGN.md §4).
+        let (mut node, mut fs) = setup();
+        let t0 = node.now();
+        fs.write(&mut node, "chunk", 0, &[9u8; 128 * 1024], Phase::Write).unwrap();
+        fs.fsync(&mut node, "chunk", Phase::Write).unwrap();
+        let cost = (node.now() - t0).as_secs_f64();
+        assert!((cost - 0.090).abs() < 0.01, "got {cost}s");
+    }
+
+    #[test]
+    fn cold_chunk_read_cost_matches_calibration() {
+        // Cold 128 KiB chunk read ≈ 84 ms (read-ahead window per rotation).
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "chunk", 0, &[9u8; 128 * 1024], Phase::Write).unwrap();
+        fs.sync(&mut node, Phase::CacheControl);
+        fs.drop_caches();
+        let t0 = node.now();
+        fs.read(&mut node, "chunk", 0, 128 * 1024, Phase::Read).unwrap();
+        let cost = (node.now() - t0).as_secs_f64();
+        assert!((cost - 0.084).abs() < 0.01, "got {cost}s");
+    }
+
+    #[test]
+    fn delete_returns_space() {
+        let (mut node, mut fs) = setup();
+        let before = fs.free_blocks();
+        fs.write(&mut node, "f", 0, &[0u8; 1024 * 1024], Phase::Write).unwrap();
+        assert!(fs.free_blocks() < before);
+        fs.delete("f").unwrap();
+        assert_eq!(fs.free_blocks(), before);
+        assert!(!fs.exists("f"));
+        assert!(fs.delete("f").is_err());
+    }
+
+    #[test]
+    fn no_space_is_reported() {
+        let mut node = Node::new(HardwareSpec::table1());
+        let mut fs = FileSystem::format(
+            MemBlockDevice::with_capacity_bytes(8 * BLOCK_SIZE),
+            FsConfig::default(),
+        );
+        let r = fs.write(&mut node, "big", 0, &vec![0u8; 9 * BLOCK_SIZE as usize], Phase::Write);
+        assert_eq!(r.unwrap_err(), FsError::NoSpace);
+    }
+
+    #[test]
+    fn runs_grouping() {
+        assert_eq!(runs_of(&[]), vec![]);
+        assert_eq!(runs_of(&[5, 6, 7]), vec![(5, 3)]);
+        assert_eq!(runs_of(&[1, 3, 4, 9]), vec![(1, 1), (3, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn free_run_coalescing() {
+        let (mut node, mut fs) = setup();
+        fs.write(&mut node, "a", 0, &[0u8; 4096 * 4], Phase::Write).unwrap();
+        fs.write(&mut node, "b", 0, &[0u8; 4096 * 4], Phase::Write).unwrap();
+        fs.write(&mut node, "c", 0, &[0u8; 4096 * 4], Phase::Write).unwrap();
+        fs.delete("a").unwrap();
+        fs.delete("b").unwrap();
+        // a and b were adjacent; their free runs must coalesce so a new
+        // 8-block file allocates a single extent.
+        fs.write(&mut node, "d", 0, &[0u8; 4096 * 8], Phase::Write).unwrap();
+        assert_eq!(fs.fragmentation("d").unwrap(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the storage stack.
+
+use greenness_platform::{HardwareSpec, Node, Phase};
+use greenness_storage::{
+    reorganize, AllocMode, FileSystem, FsConfig, MemBlockDevice, BLOCK_SIZE,
+};
+use proptest::prelude::*;
+
+/// A scripted filesystem operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { file: u8, offset: u16, len: u16, fill: u8 },
+    Fsync { file: u8 },
+    Sync,
+    DropCaches,
+    Delete { file: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u16..20_000, 1u16..8_000, any::<u8>())
+            .prop_map(|(file, offset, len, fill)| Op::Write { file, offset, len, fill }),
+        (0u8..4).prop_map(|file| Op::Fsync { file }),
+        Just(Op::Sync),
+        Just(Op::DropCaches),
+        (0u8..4).prop_map(|file| Op::Delete { file }),
+    ]
+}
+
+/// A trivial in-memory reference model: file → bytes.
+#[derive(Default)]
+struct Model {
+    files: std::collections::HashMap<u8, Vec<u8>>,
+}
+
+impl Model {
+    fn write(&mut self, file: u8, offset: usize, len: usize, fill: u8) {
+        let f = self.files.entry(file).or_default();
+        if f.len() < offset + len {
+            f.resize(offset + len, 0);
+        }
+        f[offset..offset + len].fill(fill);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The filesystem agrees with a byte-array reference model under any
+    /// sequence of writes, syncs, cache drops, and deletes.
+    #[test]
+    fn fs_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut node = Node::new(HardwareSpec::table1());
+        let mut fs = FileSystem::format(
+            MemBlockDevice::with_capacity_bytes(32 * 1024 * 1024),
+            FsConfig::default(),
+        );
+        let mut model = Model::default();
+        for op in &ops {
+            match *op {
+                Op::Write { file, offset, len, fill } => {
+                    let data = vec![fill; len as usize];
+                    fs.write(&mut node, &format!("f{file}"), offset as u64, &data, Phase::Write)
+                        .unwrap();
+                    model.write(file, offset as usize, len as usize, fill);
+                }
+                Op::Fsync { file } => {
+                    let name = format!("f{file}");
+                    if fs.exists(&name) {
+                        fs.fsync(&mut node, &name, Phase::Write).unwrap();
+                    }
+                }
+                Op::Sync => fs.sync(&mut node, Phase::CacheControl),
+                Op::DropCaches => fs.drop_caches(),
+                Op::Delete { file } => {
+                    let name = format!("f{file}");
+                    if fs.exists(&name) {
+                        fs.delete(&name).unwrap();
+                        model.files.remove(&file);
+                    }
+                }
+            }
+        }
+        // Final readback must match the model exactly.
+        fs.sync(&mut node, Phase::CacheControl);
+        fs.drop_caches();
+        for (file, expect) in &model.files {
+            let name = format!("f{file}");
+            let got = fs
+                .read(&mut node, &name, 0, expect.len() as u64, Phase::Read)
+                .unwrap();
+            prop_assert_eq!(&got, expect, "file {} diverged", file);
+        }
+    }
+
+    /// Scattered allocation never loses data, and reorganization restores a
+    /// near-contiguous layout while preserving every byte.
+    #[test]
+    fn reorg_preserves_bytes(
+        len in (BLOCK_SIZE as usize)..(600 * BLOCK_SIZE as usize),
+        seed in any::<u64>(),
+    ) {
+        let mut node = Node::new(HardwareSpec::table1());
+        let mut fs = FileSystem::format(
+            MemBlockDevice::with_capacity_bytes(64 * 1024 * 1024),
+            FsConfig::default(),
+        );
+        fs.set_alloc_mode(AllocMode::Scattered { seed });
+        let data: Vec<u8> = (0..len).map(|i| (i as u64).wrapping_mul(31).to_le_bytes()[0]).collect();
+        fs.write(&mut node, "f", 0, &data, Phase::Write).unwrap();
+        fs.sync(&mut node, Phase::CacheControl);
+        fs.drop_caches();
+        fs.set_alloc_mode(AllocMode::Contiguous);
+        let report = reorganize(&mut node, &mut fs, "f", Phase::Other).unwrap();
+        prop_assert!(report.runs_after <= report.runs_before);
+        let back = fs.read(&mut node, "f", 0, len as u64, Phase::Read).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Free-space accounting: allocate-then-delete always restores the free
+    /// block count, regardless of allocation mode.
+    #[test]
+    fn space_accounting_balances(
+        sizes in prop::collection::vec((BLOCK_SIZE as usize)..(100 * BLOCK_SIZE as usize), 1..6),
+        scattered in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut node = Node::new(HardwareSpec::table1());
+        let mut fs = FileSystem::format(
+            MemBlockDevice::with_capacity_bytes(64 * 1024 * 1024),
+            FsConfig::default(),
+        );
+        if scattered {
+            fs.set_alloc_mode(AllocMode::Scattered { seed });
+        }
+        let before = fs.free_blocks();
+        for (k, len) in sizes.iter().enumerate() {
+            fs.write(&mut node, &format!("f{k}"), 0, &vec![1u8; *len], Phase::Write).unwrap();
+        }
+        for k in 0..sizes.len() {
+            fs.delete(&format!("f{k}")).unwrap();
+        }
+        prop_assert_eq!(fs.free_blocks(), before);
+    }
+
+    /// Device virtual-time cost of an fs read is monotone: reading more bytes
+    /// cold never takes less time.
+    #[test]
+    fn cold_read_cost_monotone(a in 1u64..400_000, b in 1u64..400_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let cost = |bytes: u64| {
+            let mut node = Node::new(HardwareSpec::table1());
+            let mut fs = FileSystem::format(
+                MemBlockDevice::with_capacity_bytes(8 * 1024 * 1024),
+                FsConfig::default(),
+            );
+            fs.write(&mut node, "f", 0, &vec![3u8; 400_000], Phase::Write).unwrap();
+            fs.sync(&mut node, Phase::CacheControl);
+            fs.drop_caches();
+            let t0 = node.now();
+            fs.read(&mut node, "f", 0, bytes, Phase::Read).unwrap();
+            (node.now() - t0).as_secs_f64()
+        };
+        prop_assert!(cost(hi) >= cost(lo) - 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Marching-squares isocontour extraction.
+//!
+//! Produces line segments (in normalized `[0,1]²` coordinates) where the
+//! field crosses a given iso-value, with linear interpolation along cell
+//! edges — the standard 16-case marching-squares table, with the two
+//! ambiguous saddle cases resolved by the cell-center average.
+
+use greenness_heatsim::Grid;
+
+use crate::colormap::Rgb;
+use crate::raster::Framebuffer;
+
+/// One contour line segment in normalized coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContourSegment {
+    /// Segment start `(x, y)`.
+    pub a: (f64, f64),
+    /// Segment end `(x, y)`.
+    pub b: (f64, f64),
+}
+
+/// Extract the iso-contour of `field` at `level` as line segments.
+pub fn contour_lines(field: &Grid, level: f64) -> Vec<ContourSegment> {
+    let nx = field.nx();
+    let ny = field.ny();
+    let mut segments = Vec::new();
+    // Normalized position of sample (i, j) — cell centers.
+    let px = |i: usize| (i as f64 + 0.5) / nx as f64;
+    let py = |j: usize| (j as f64 + 0.5) / ny as f64;
+    // Interpolate the crossing along an edge between two sample values.
+    let t_of = |v0: f64, v1: f64| {
+        if (v1 - v0).abs() < 1e-300 {
+            0.5
+        } else {
+            ((level - v0) / (v1 - v0)).clamp(0.0, 1.0)
+        }
+    };
+
+    for j in 0..ny.saturating_sub(1) {
+        for i in 0..nx.saturating_sub(1) {
+            // Corner values, counterclockwise from bottom-left.
+            let v00 = field.at(i, j);
+            let v10 = field.at(i + 1, j);
+            let v11 = field.at(i + 1, j + 1);
+            let v01 = field.at(i, j + 1);
+            let mut case = 0u8;
+            if v00 >= level {
+                case |= 1;
+            }
+            if v10 >= level {
+                case |= 2;
+            }
+            if v11 >= level {
+                case |= 4;
+            }
+            if v01 >= level {
+                case |= 8;
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            // Edge crossing points.
+            let bottom = (px(i) + t_of(v00, v10) * (px(i + 1) - px(i)), py(j));
+            let top = (px(i) + t_of(v01, v11) * (px(i + 1) - px(i)), py(j + 1));
+            let left = (px(i), py(j) + t_of(v00, v01) * (py(j + 1) - py(j)));
+            let right = (px(i + 1), py(j) + t_of(v10, v11) * (py(j + 1) - py(j)));
+            let mut emit = |a: (f64, f64), b: (f64, f64)| {
+                segments.push(ContourSegment { a, b });
+            };
+            match case {
+                1 => emit(left, bottom),
+                2 => emit(bottom, right),
+                3 => emit(left, right),
+                4 => emit(right, top),
+                5 => {
+                    // Saddle: disambiguate by the center value.
+                    let center = (v00 + v10 + v11 + v01) / 4.0;
+                    if center >= level {
+                        emit(left, top);
+                        emit(bottom, right);
+                    } else {
+                        emit(left, bottom);
+                        emit(right, top);
+                    }
+                }
+                6 => emit(bottom, top),
+                7 => emit(left, top),
+                8 => emit(top, left),
+                9 => emit(top, bottom),
+                10 => {
+                    let center = (v00 + v10 + v11 + v01) / 4.0;
+                    if center >= level {
+                        emit(top, right);
+                        emit(left, bottom);
+                    } else {
+                        emit(top, left);
+                        emit(bottom, right);
+                    }
+                }
+                11 => emit(top, right),
+                12 => emit(right, left),
+                13 => emit(right, bottom),
+                14 => emit(bottom, left),
+                _ => unreachable!("cases 0 and 15 already skipped"),
+            }
+        }
+    }
+    segments
+}
+
+/// Rasterize contour segments onto an image.
+pub fn draw_contours(fb: &mut Framebuffer, segments: &[ContourSegment], color: Rgb) {
+    let w = fb.width() as f64;
+    let h = fb.height() as f64;
+    for s in segments {
+        fb.draw_line(s.a.0 * (w - 1.0), s.a.1 * (h - 1.0), s.b.0 * (w - 1.0), s.b.1 * (h - 1.0), color);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_heatsim::Grid;
+
+    #[test]
+    fn constant_field_has_no_contours() {
+        let g = Grid::filled(16, 16, 1.0);
+        assert!(contour_lines(&g, 0.5).is_empty());
+        assert!(contour_lines(&g, 1.5).is_empty());
+    }
+
+    #[test]
+    fn vertical_gradient_gives_horizontal_contour() {
+        let g = Grid::from_fn(16, 16, |_, y| y);
+        let segs = contour_lines(&g, 0.5);
+        assert!(!segs.is_empty());
+        for s in &segs {
+            assert!((s.a.1 - 0.5).abs() < 0.05, "segment not on the mid-line: {s:?}");
+            assert!((s.b.1 - 0.5).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn circle_contour_has_correct_radius() {
+        let g = Grid::from_fn(64, 64, |x, y| {
+            let dx = x - 0.5;
+            let dy = y - 0.5;
+            (dx * dx + dy * dy).sqrt()
+        });
+        let segs = contour_lines(&g, 0.25);
+        assert!(segs.len() > 20);
+        for s in &segs {
+            for (x, y) in [s.a, s.b] {
+                let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt();
+                assert!((r - 0.25).abs() < 0.02, "point ({x},{y}) at radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_count_matches_topology() {
+        // A single peak: every iso-level below the peak and above the floor
+        // yields a closed loop (segment count > 0 and each segment endpoint
+        // shared-ish). We check non-emptiness at several levels.
+        let g = Grid::from_fn(32, 32, |x, y| {
+            (-((x - 0.5).powi(2) + (y - 0.5).powi(2)) * 30.0).exp()
+        });
+        for level in [0.2, 0.4, 0.6, 0.8] {
+            assert!(!contour_lines(&g, level).is_empty(), "no contour at {level}");
+        }
+    }
+
+    #[test]
+    fn saddle_cases_emit_two_segments() {
+        // Checkerboard 2x2: high at two opposite corners.
+        let mut g = Grid::zeros(3, 3);
+        g.set(0, 0, 1.0);
+        g.set(2, 2, 1.0);
+        g.set(1, 1, 0.0);
+        let segs = contour_lines(&g, 0.5);
+        assert!(segs.len() >= 2);
+    }
+
+    #[test]
+    fn drawing_contours_marks_pixels() {
+        let g = Grid::from_fn(16, 16, |_, y| y);
+        let segs = contour_lines(&g, 0.5);
+        let mut fb = Framebuffer::new(32, 32);
+        draw_contours(&mut fb, &segs, [255, 0, 0]);
+        let reds = fb
+            .as_bytes()
+            .chunks(3)
+            .filter(|p| p[0] == 255 && p[1] == 0)
+            .count();
+        assert!(reds >= 16, "contour line barely drawn: {reds} pixels");
+    }
+}

@@ -1,0 +1,225 @@
+//! Framebuffer and scalar-field rasterization.
+
+use greenness_heatsim::Grid;
+use rayon::prelude::*;
+
+use crate::colormap::{Colormap, Rgb};
+
+/// A dense RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>, // RGB, row-major
+}
+
+impl Framebuffer {
+    /// A black image of the given size.
+    pub fn new(width: usize, height: usize) -> Framebuffer {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        Framebuffer { width, height, pixels: vec![0; width * height * 3] }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Raw RGB bytes, row-major.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        let o = (y * self.width + x) * 3;
+        [self.pixels[o], self.pixels[o + 1], self.pixels[o + 2]]
+    }
+
+    /// Set pixel `(x, y)`; out-of-bounds coordinates are ignored (clip).
+    pub fn set(&mut self, x: usize, y: usize, c: Rgb) {
+        if x < self.width && y < self.height {
+            let o = (y * self.width + x) * 3;
+            self.pixels[o..o + 3].copy_from_slice(&c);
+        }
+    }
+
+    /// Draw a line with integer Bresenham stepping, clipped to the image.
+    pub fn draw_line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, c: Rgb) {
+        let steps = ((x1 - x0).abs().max((y1 - y0).abs()).ceil() as usize).max(1);
+        for k in 0..=steps {
+            let t = k as f64 / steps as f64;
+            let x = x0 + (x1 - x0) * t;
+            let y = y0 + (y1 - y0) * t;
+            if x >= 0.0 && y >= 0.0 {
+                self.set(x.round() as usize, y.round() as usize, c);
+            }
+        }
+    }
+
+    /// Construct from raw RGB bytes.
+    pub fn from_bytes(width: usize, height: usize, bytes: Vec<u8>) -> Option<Framebuffer> {
+        if width == 0 || height == 0 || bytes.len() != width * height * 3 {
+            return None;
+        }
+        Some(Framebuffer { width, height, pixels: bytes })
+    }
+}
+
+/// Rendering controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Output width, pixels.
+    pub width: usize,
+    /// Output height, pixels.
+    pub height: usize,
+    /// Colormap applied to the normalized field.
+    pub colormap: Colormap,
+    /// Fixed normalization range; `None` auto-scales to the field's min/max
+    /// (auto-scaling differs frame to frame, so pipelines comparing frames
+    /// should fix it).
+    pub range: Option<(f64, f64)>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { width: 512, height: 512, colormap: Colormap::Viridis, range: None }
+    }
+}
+
+/// Render `field` into an image by bilinear sampling, rows in parallel.
+pub fn render_field(field: &Grid, opts: &RenderOptions) -> Framebuffer {
+    let (lo, hi) = opts.range.unwrap_or_else(|| (field.min(), field.max()));
+    let span = (hi - lo).max(1e-300);
+    let mut fb = Framebuffer::new(opts.width, opts.height);
+    let width = opts.width;
+    let cm = opts.colormap;
+    fb.pixels
+        .par_chunks_mut(width * 3)
+        .enumerate()
+        .for_each(|(y, row)| {
+            let v = (y as f64 + 0.5) / opts.height as f64;
+            for x in 0..width {
+                let u = (x as f64 + 0.5) / width as f64;
+                let t = (bilinear(field, u, v) - lo) / span;
+                let c = cm.map(t);
+                row[x * 3..x * 3 + 3].copy_from_slice(&c);
+            }
+        });
+    fb
+}
+
+/// Bilinear sample of `field` at normalized coordinates `(u, v) ∈ [0,1]²`,
+/// cell-centered.
+pub fn bilinear(field: &Grid, u: f64, v: f64) -> f64 {
+    let nx = field.nx();
+    let ny = field.ny();
+    let fx = (u.clamp(0.0, 1.0) * nx as f64 - 0.5).clamp(0.0, (nx - 1) as f64);
+    let fy = (v.clamp(0.0, 1.0) * ny as f64 - 0.5).clamp(0.0, (ny - 1) as f64);
+    let x0 = fx.floor() as usize;
+    let y0 = fy.floor() as usize;
+    let x1 = (x0 + 1).min(nx - 1);
+    let y1 = (y0 + 1).min(ny - 1);
+    let tx = fx - x0 as f64;
+    let ty = fy - y0 as f64;
+    let a = field.at(x0, y0) * (1.0 - tx) + field.at(x1, y0) * tx;
+    let b = field.at(x0, y1) * (1.0 - tx) + field.at(x1, y1) * tx;
+    a * (1.0 - ty) + b * ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_heatsim::Grid;
+
+    #[test]
+    fn constant_field_renders_uniformly() {
+        let g = Grid::filled(8, 8, 3.0);
+        let opts = RenderOptions {
+            width: 16,
+            height: 16,
+            colormap: Colormap::Gray,
+            range: Some((0.0, 6.0)),
+        };
+        let fb = render_field(&g, &opts);
+        let mid = Colormap::Gray.map(0.5);
+        assert!(fb.as_bytes().chunks(3).all(|p| p == mid));
+    }
+
+    #[test]
+    fn gradient_field_renders_a_gradient() {
+        let g = Grid::from_fn(32, 32, |x, _| x);
+        let fb = render_field(
+            &g,
+            &RenderOptions { width: 64, height: 8, colormap: Colormap::Gray, range: Some((0.0, 1.0)) },
+        );
+        // Left darker than right.
+        let l = Colormap::luminance(fb.get(2, 4));
+        let r = Colormap::luminance(fb.get(61, 4));
+        assert!(l < r, "{l} !< {r}");
+    }
+
+    #[test]
+    fn autoscale_uses_field_extrema() {
+        let mut g = Grid::filled(8, 8, 5.0);
+        g.set(0, 0, 1.0);
+        g.set(7, 7, 9.0);
+        let fb = render_field(
+            &g,
+            &RenderOptions { width: 8, height: 8, colormap: Colormap::Gray, range: None },
+        );
+        assert_eq!(fb.get(0, 0), [0, 0, 0]);
+        assert_eq!(fb.get(7, 7), [255, 255, 255]);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_parallel_safe() {
+        let g = Grid::from_fn(64, 48, |x, y| (9.0 * x).sin() * (7.0 * y).cos());
+        let opts = RenderOptions::default();
+        let a = render_field(&g, &opts);
+        let b = render_field(&g, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bilinear_interpolates_between_cells() {
+        let g = Grid::from_fn(4, 4, |x, _| x);
+        let left = bilinear(&g, 0.0, 0.5);
+        let mid = bilinear(&g, 0.5, 0.5);
+        let right = bilinear(&g, 1.0, 0.5);
+        assert!(left < mid && mid < right);
+        assert!((mid - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn set_clips_out_of_bounds() {
+        let mut fb = Framebuffer::new(4, 4);
+        fb.set(100, 100, [255, 0, 0]); // must not panic
+        assert_eq!(fb.get(3, 3), [0, 0, 0]);
+    }
+
+    #[test]
+    fn line_drawing_touches_endpoints() {
+        let mut fb = Framebuffer::new(16, 16);
+        fb.draw_line(1.0, 1.0, 12.0, 9.0, [0, 255, 0]);
+        assert_eq!(fb.get(1, 1), [0, 255, 0]);
+        assert_eq!(fb.get(12, 9), [0, 255, 0]);
+    }
+
+    #[test]
+    fn from_bytes_validates_length() {
+        assert!(Framebuffer::from_bytes(2, 2, vec![0; 12]).is_some());
+        assert!(Framebuffer::from_bytes(2, 2, vec![0; 11]).is_none());
+        assert!(Framebuffer::from_bytes(0, 2, vec![]).is_none());
+    }
+}

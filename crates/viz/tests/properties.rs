@@ -1,0 +1,84 @@
+//! Property-based tests for the renderer.
+
+use greenness_heatsim::Grid;
+use greenness_viz::{
+    contour_lines, decode_ppm, encode_ppm, render_field, stride_sample, threshold_sample,
+    Colormap, RenderOptions,
+};
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    (3usize..32, 3usize..32, -10.0..10.0f64, 0.1..20.0f64, 0.1..20.0f64).prop_map(
+        |(nx, ny, base, fx, fy)| {
+            Grid::from_fn(nx, ny, |x, y| base + (fx * x).sin() * (fy * y).cos())
+        },
+    )
+}
+
+proptest! {
+    /// PPM encoding round-trips for arbitrary rendered fields.
+    #[test]
+    fn ppm_round_trip(g in arb_grid(), w in 1usize..64, h in 1usize..64) {
+        let fb = render_field(
+            &g,
+            &RenderOptions { width: w, height: h, colormap: Colormap::Viridis, range: None },
+        );
+        let back = decode_ppm(&encode_ppm(&fb)).expect("decode");
+        prop_assert_eq!(back, fb);
+    }
+
+    /// Rendering the same field twice is bit-identical (rayon must not leak
+    /// nondeterminism) and every pixel is a valid colormap output.
+    #[test]
+    fn rendering_is_pure(g in arb_grid()) {
+        let opts = RenderOptions { width: 48, height: 48, ..Default::default() };
+        let a = render_field(&g, &opts);
+        let b = render_field(&g, &opts);
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// Contour segment endpoints always lie in the unit square, and no
+    /// contour exists outside the field's value range.
+    #[test]
+    fn contours_are_well_formed(g in arb_grid(), t in 0.0..1.0f64) {
+        let level = g.min() + t * (g.max() - g.min());
+        for s in contour_lines(&g, level) {
+            for (x, y) in [s.a, s.b] {
+                prop_assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+                    "endpoint ({x},{y}) outside unit square");
+            }
+        }
+        prop_assert!(contour_lines(&g, g.max() + 1.0).is_empty());
+        prop_assert!(contour_lines(&g, g.min() - 1.0).is_empty());
+    }
+
+    /// Stride sampling never invents values outside the source range, and
+    /// always shrinks (or keeps) the snapshot size.
+    #[test]
+    fn sampling_is_conservative(g in arb_grid(), stride in 1usize..8) {
+        let s = stride_sample(&g, stride);
+        prop_assert!(s.min() >= g.min() - 1e-12);
+        prop_assert!(s.max() <= g.max() + 1e-12);
+        prop_assert!(s.snapshot_bytes() <= g.snapshot_bytes());
+    }
+
+    /// Threshold sampling keeps exactly the cells meeting the threshold.
+    #[test]
+    fn threshold_is_exact(g in arb_grid(), thr in 0.0..5.0f64) {
+        let kept = threshold_sample(&g, thr);
+        let expected = g.as_slice().iter().filter(|v| v.abs() >= thr).count();
+        prop_assert_eq!(kept.len(), expected);
+        for (i, j, v) in kept {
+            prop_assert_eq!(g.at(i as usize, j as usize), v);
+            prop_assert!(v.abs() >= thr);
+        }
+    }
+
+    /// Colormaps are total over all inputs including pathological ones.
+    #[test]
+    fn colormaps_are_total(t in prop::num::f64::ANY) {
+        for cm in [Colormap::Viridis, Colormap::Hot, Colormap::CoolWarm, Colormap::Gray] {
+            let _ = cm.map(t); // must not panic for NaN/inf/any value
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The runtime advisor (the paper's §VI-A future-work system) in action.
+//!
+//! Feeds several workload profiles to the advisor — which estimates I/O
+//! energy from access count, size, and pattern using the calibrated disk
+//! model — and prints its recommendations.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_advisor
+//! ```
+
+use greenness_core::advisor::{recommend, IoBehavior, Technique, WorkloadProfile};
+use greenness_core::report;
+use greenness_platform::units::{GIB, KIB, MIB};
+use greenness_platform::HardwareSpec;
+
+fn technique_name(t: Technique) -> String {
+    match t {
+        Technique::InSitu => "in-situ".into(),
+        Technique::Reorganize => "reorganize layout".into(),
+        Technique::DataSampling { keep_fraction } => {
+            format!("sample (keep {:.0}%)", keep_fraction * 100.0)
+        }
+        Technique::KeepPostProcessing => "keep post-processing".into(),
+    }
+}
+
+fn main() {
+    let spec = HardwareSpec::table1();
+    let workloads = [
+        (
+            "monitoring dashboard (no exploration)",
+            WorkloadProfile {
+                pass_bytes: 2 * GIB,
+                passes: 10,
+                behavior: IoBehavior::Random { op_bytes: 4 * KIB },
+                needs_exploration: false,
+                min_keep_fraction: 1.0,
+            },
+        ),
+        (
+            "random-access exploratory analysis (the §V-D case)",
+            WorkloadProfile {
+                pass_bytes: 4 * GIB,
+                passes: 3,
+                behavior: IoBehavior::Random { op_bytes: 4 * KIB },
+                needs_exploration: true,
+                min_keep_fraction: 1.0,
+            },
+        ),
+        (
+            "streaming checkpoint analysis",
+            WorkloadProfile {
+                pass_bytes: 4 * GIB,
+                passes: 4,
+                behavior: IoBehavior::Sequential,
+                needs_exploration: true,
+                min_keep_fraction: 1.0,
+            },
+        ),
+        (
+            "statistics over a decimatable field",
+            WorkloadProfile {
+                pass_bytes: 8 * GIB,
+                passes: 12,
+                behavior: IoBehavior::Sequential,
+                needs_exploration: true,
+                min_keep_fraction: 0.05,
+            },
+        ),
+        (
+            "tiny metadata stream",
+            WorkloadProfile {
+                pass_bytes: 4 * MIB,
+                passes: 2,
+                behavior: IoBehavior::Sequential,
+                needs_exploration: true,
+                min_keep_fraction: 1.0,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, w) in workloads {
+        let a = recommend(&spec, &w);
+        rows.push(vec![
+            name.to_string(),
+            report::f(a.current_io_j / 1000.0, 2),
+            report::f(a.insitu_io_j / 1000.0, 2),
+            report::f((a.reorg_cost_j + a.reorg_pass_j * w.passes as f64) / 1000.0, 2),
+            technique_name(a.technique),
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table(
+            "Advisor recommendations (energies in kJ over the data lifetime)",
+            &["Workload", "As-is", "In-situ", "Reorganized", "Recommendation"],
+            &rows
+        )
+    );
+}

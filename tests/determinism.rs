@@ -1,0 +1,59 @@
+//! Reproducibility guarantees: the whole experiment stack is deterministic.
+
+use greenness_core::{experiment, pipeline::PipelineKind, ExperimentSetup, PipelineConfig};
+use greenness_power::WattsupMeter;
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let cfg = PipelineConfig::small(1);
+    let setup = ExperimentSetup::default(); // noisy meter, fixed seed
+    let a = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+    let b = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+    assert_eq!(a.metrics.execution_time_s, b.metrics.execution_time_s);
+    assert_eq!(a.metrics.energy_j, b.metrics.energy_j);
+    assert_eq!(a.profile.samples, b.profile.samples);
+    assert_eq!(a.timeline.len(), b.timeline.len());
+}
+
+#[test]
+fn meter_seed_changes_profile_but_not_truth() {
+    let cfg = PipelineConfig::small(1);
+    let s1 = ExperimentSetup::default();
+    let s2 = ExperimentSetup {
+        meter: WattsupMeter { seed: 77, ..WattsupMeter::default() },
+        ..ExperimentSetup::default()
+    };
+    let a = experiment::run(PipelineKind::InSitu, &cfg, &s1);
+    let b = experiment::run(PipelineKind::InSitu, &cfg, &s2);
+    // The underlying physics is identical...
+    assert_eq!(a.metrics.energy_j, b.metrics.energy_j);
+    assert_eq!(a.metrics.execution_time_s, b.metrics.execution_time_s);
+    // ...but the instrument's accuracy noise differs.
+    assert_ne!(a.profile.samples, b.profile.samples);
+}
+
+#[test]
+fn noiseless_profile_integrates_to_timeline_energy() {
+    let cfg = PipelineConfig::small(2);
+    let r = experiment::run(PipelineKind::PostProcessing, &cfg, &ExperimentSetup::noiseless());
+    // Integer-watt rounding plus the dropped partial final interval bound
+    // the integration error.
+    let covered = r.profile.len() as f64 * r.profile.period_s;
+    let truth = r.timeline.energy_between(
+        greenness_platform::SimTime::ZERO,
+        greenness_platform::SimTime::from_secs_f64(covered),
+    );
+    assert!((r.profile.energy_j() - truth.system_j()).abs() <= 0.5 * r.profile.len() as f64 + 1e-6);
+}
+
+#[test]
+fn all_pipelines_are_deterministic() {
+    let cfg = PipelineConfig::small(2);
+    let setup = ExperimentSetup::noiseless();
+    for kind in [PipelineKind::PostProcessing, PipelineKind::InSitu, PipelineKind::InTransit] {
+        let a = experiment::run(kind, &cfg, &setup);
+        let b = experiment::run(kind, &cfg, &setup);
+        assert_eq!(a.metrics.energy_j, b.metrics.energy_j, "{kind:?}");
+        assert_eq!(a.output.bytes_written, b.output.bytes_written, "{kind:?}");
+    }
+}
