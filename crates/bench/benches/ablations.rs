@@ -30,7 +30,8 @@ fn ablate_page_cache(c: &mut Criterion) {
             fs.drop_caches();
         }
         let t0 = node.now();
-        fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read).unwrap();
+        fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         (node.now() - t0).as_secs_f64()
     };
     PRINTED.call_once(|| {
@@ -40,7 +41,9 @@ fn ablate_page_cache(c: &mut Criterion) {
             run(false)
         );
     });
-    c.bench_function("ablate_page_cache_cold_read", |b| b.iter(|| black_box(run(true))));
+    c.bench_function("ablate_page_cache_cold_read", |b| {
+        b.iter(|| black_box(run(true)))
+    });
 }
 
 /// On-disk write cache on/off: the mechanism behind Table III's cheap
@@ -54,7 +57,10 @@ fn ablate_write_cache(c: &mut Criterion) {
         let node = Node::new(spec);
         let (secs, _) = node.cost_of(Activity::DiskWrite {
             bytes: 256 * 1024 * 1024,
-            pattern: AccessPattern::Random { op_bytes: 4096, queue_depth: 32 },
+            pattern: AccessPattern::Random {
+                op_bytes: 4096,
+                queue_depth: 32,
+            },
             buffered: false,
         });
         secs
@@ -64,7 +70,9 @@ fn ablate_write_cache(c: &mut Criterion) {
         run(true),
         run(false)
     );
-    c.bench_function("ablate_write_cache_model", |b| b.iter(|| black_box((run(true), run(false)))));
+    c.bench_function("ablate_write_cache_model", |b| {
+        b.iter(|| black_box((run(true), run(false))))
+    });
 }
 
 /// NCQ queue-depth sweep for random reads.
@@ -73,7 +81,10 @@ fn ablate_ncq(c: &mut Criterion) {
         let node = Node::new(HardwareSpec::table1());
         let (secs, _) = node.cost_of(Activity::DiskRead {
             bytes: 256 * 1024 * 1024,
-            pattern: AccessPattern::Random { op_bytes: 4096, queue_depth: qd },
+            pattern: AccessPattern::Random {
+                op_bytes: 4096,
+                queue_depth: qd,
+            },
             buffered: false,
         });
         secs
@@ -100,8 +111,10 @@ fn ablate_dvfs(c: &mut Criterion) {
         let (secs, draw) = node.cost_of(Activity::compute(1.0e12, 16));
         (secs, draw.system_w() * secs)
     };
-    let sweep: Vec<(f64, f64, f64)> =
-        [1.0, 0.8, 0.6, 0.5].iter().map(|&s| (s, run(s).0, run(s).1)).collect();
+    let sweep: Vec<(f64, f64, f64)> = [1.0, 0.8, 0.6, 0.5]
+        .iter()
+        .map(|&s| (s, run(s).0, run(s).1))
+        .collect();
     println!("[ablate_dvfs] 1 Tflop at freq scale (scale, secs, joules): {sweep:.1?}");
     c.bench_function("ablate_dvfs_sweep", |b| {
         b.iter(|| {
@@ -116,8 +129,10 @@ fn ablate_dvfs(c: &mut Criterion) {
 /// dynamic-energy optimization, refs [21]–[23]).
 fn ablate_sampling(c: &mut Criterion) {
     let field = greenness_heatsim::Grid::from_fn(256, 256, |x, y| (x * 7.0).sin() + y);
-    let volumes: Vec<(usize, u64)> =
-        [1usize, 2, 4, 8].iter().map(|&s| (s, stride_sample(&field, s).snapshot_bytes())).collect();
+    let volumes: Vec<(usize, u64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&s| (s, stride_sample(&field, s).snapshot_bytes()))
+        .collect();
     println!("[ablate_sampling] snapshot bytes vs stride: {volumes:?}");
     c.bench_function("ablate_sampling_stride4", |b| {
         b.iter(|| black_box(stride_sample(&field, 4)))
@@ -129,7 +144,10 @@ fn ablate_parallelism(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_parallelism");
     for threads in [1usize, 2, 4] {
         group.bench_function(format!("solver_256x256_{threads}thr"), |b| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             b.iter(|| {
                 pool.install(|| {
                     let g = greenness_heatsim::Grid::from_fn(256, 256, |x, y| x * y);
@@ -171,8 +189,12 @@ fn ablate_compression(c: &mut Criterion) {
         bytes.len() as f64 / quant as f64,
     );
     let mut group = c.benchmark_group("ablate_compression");
-    group.bench_function("transpose_rle_encode", |b| b.iter(|| black_box(TransposeRle.encode(&bytes))));
-    group.bench_function("quant16_encode", |b| b.iter(|| black_box(Quant16.encode(&bytes))));
+    group.bench_function("transpose_rle_encode", |b| {
+        b.iter(|| black_box(TransposeRle.encode(&bytes)))
+    });
+    group.bench_function("quant16_encode", |b| {
+        b.iter(|| black_box(Quant16.encode(&bytes)))
+    });
     group.finish();
 }
 
@@ -189,10 +211,13 @@ fn ablate_raid(c: &mut Criterion) {
         });
         (secs, draw.disk_w)
     };
-    let sweep: Vec<(u32, f64, f64)> = [1, 2, 4, 8].iter().map(|&m| {
-        let (t, w) = run(m);
-        (m, t, w)
-    }).collect();
+    let sweep: Vec<(u32, f64, f64)> = [1, 2, 4, 8]
+        .iter()
+        .map(|&m| {
+            let (t, w) = run(m);
+            (m, t, w)
+        })
+        .collect();
     println!("[ablate_raid] 4 GiB stream (members, secs, disk W): {sweep:.1?}");
     c.bench_function("ablate_raid_sweep", |b| {
         b.iter(|| {
@@ -227,7 +252,12 @@ fn ablate_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_variants");
     let variants = [
         ("sampled4", Variant::SampledPost { stride: 4 }),
-        ("quant16", Variant::CompressedPost { codec: CodecChoice::Quantized }),
+        (
+            "quant16",
+            Variant::CompressedPost {
+                codec: CodecChoice::Quantized,
+            },
+        ),
         ("dvfs08", Variant::DvfsSim { freq_scale: 0.8 }),
         ("imagedb2", Variant::ImageDatabase { views: 2 }),
     ];

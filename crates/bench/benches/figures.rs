@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use greenness_core::breakdown::CaseBreakdown;
-use greenness_core::{experiment, pipeline::PipelineKind, probes, CaseComparison, ExperimentSetup, PipelineConfig};
+use greenness_core::{
+    experiment, pipeline::PipelineKind, probes, CaseComparison, ExperimentSetup, PipelineConfig,
+};
 use greenness_platform::Phase;
 use greenness_power::PowerProfile;
 use std::hint::black_box;
@@ -81,7 +83,11 @@ fn fig10_energy(c: &mut Criterion) {
 }
 
 fn fig11_efficiency(c: &mut Criterion) {
-    comparison_metric(c, "fig11_efficiency", CaseComparison::normalized_efficiencies);
+    comparison_metric(
+        c,
+        "fig11_efficiency",
+        CaseComparison::normalized_efficiencies,
+    );
 }
 
 fn sec5c_savings_breakdown(c: &mut Criterion) {

@@ -23,11 +23,15 @@ fn solver_step(c: &mut Criterion) {
 fn render_frame(c: &mut Criterion) {
     let g = Grid::from_fn(512, 512, |x, y| x * y);
     let opts = RenderOptions::default();
-    c.bench_function("render_frame_512x512", |b| b.iter(|| black_box(render_field(&g, &opts))));
+    c.bench_function("render_frame_512x512", |b| {
+        b.iter(|| black_box(render_field(&g, &opts)))
+    });
 }
 
 fn marching_squares(c: &mut Criterion) {
-    let g = Grid::from_fn(256, 256, |x, y| ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt());
+    let g = Grid::from_fn(256, 256, |x, y| {
+        ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt()
+    });
     c.bench_function("marching_squares_256x256", |b| {
         b.iter(|| black_box(contour_lines(&g, 0.25)))
     });
@@ -35,13 +39,24 @@ fn marching_squares(c: &mut Criterion) {
 
 fn ppm_encode(c: &mut Criterion) {
     let g = Grid::from_fn(256, 256, |x, y| x + y);
-    let fb = render_field(&g, &RenderOptions { width: 256, height: 256, ..Default::default() });
-    c.bench_function("ppm_encode_256x256", |b| b.iter(|| black_box(encode_ppm(&fb))));
+    let fb = render_field(
+        &g,
+        &RenderOptions {
+            width: 256,
+            height: 256,
+            ..Default::default()
+        },
+    );
+    c.bench_function("ppm_encode_256x256", |b| {
+        b.iter(|| black_box(encode_ppm(&fb)))
+    });
 }
 
 fn grid_serialize(c: &mut Criterion) {
     let g = Grid::from_fn(512, 512, |x, y| x - y);
-    c.bench_function("grid_to_bytes_512x512", |b| b.iter(|| black_box(g.to_bytes())));
+    c.bench_function("grid_to_bytes_512x512", |b| {
+        b.iter(|| black_box(g.to_bytes()))
+    });
 }
 
 fn pagecache_throughput(c: &mut Criterion) {
@@ -103,7 +118,11 @@ fn long_timeline() -> Timeline {
                 net_w: 0.0,
                 board_w: 49.9,
             },
-            phase: if k % 3 == 0 { Phase::Simulation } else { Phase::Write },
+            phase: if k % 3 == 0 {
+                Phase::Simulation
+            } else {
+                Phase::Write
+            },
         });
         t += d;
     }

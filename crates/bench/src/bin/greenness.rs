@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! greenness case <1|2|3>                run one case study, both pipelines
+//! greenness sweep [--jobs N]            full 3-case grid on the parallel executor
 //! greenness fio [bytes]                 Table III fio matrix (default 4 GiB)
 //! greenness probes                      Table II nnread/nnwrite probes
 //! greenness cluster [nodes] [servers]   distributed pipelines
@@ -17,6 +18,7 @@ use greenness_cluster::{run_cluster, ClusterConfig, ClusterKind};
 use greenness_core::adaptive::{run_adaptive, AdaptivePolicy};
 use greenness_core::advisor::{recommend, IoBehavior, Technique, WorkloadProfile};
 use greenness_core::capping::cap_sweep;
+use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineConfig};
 use greenness_platform::{HardwareSpec, Node};
@@ -27,6 +29,7 @@ fn usage() -> ! {
          \n\
          commands:\n\
          \x20 case <1|2|3>                         one case study, both pipelines\n\
+         \x20 sweep [--jobs N]                     full 3-case grid, parallel + manifest\n\
          \x20 fio [bytes]                          Table III matrix (default 4 GiB)\n\
          \x20 probes                               Table II nnread/nnwrite probes\n\
          \x20 cluster [nodes] [servers]            distributed pipelines\n\
@@ -85,8 +88,68 @@ fn cmd_case(args: &[String]) {
     println!("energy savings: {}", report::pct(cmp.energy_savings_pct()));
 }
 
+fn cmd_sweep(args: &[String]) {
+    let mut jobs = greenness_bench::default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .map(|s| parse(s, "worker count"))
+                    .unwrap_or_else(|| usage())
+            }
+            other => match other.strip_prefix("--jobs=") {
+                Some(n) => jobs = parse(n, "worker count"),
+                None => usage(),
+            },
+        }
+    }
+    eprintln!("running the full case-study grid on {jobs} worker(s)...");
+    let t0 = std::time::Instant::now();
+    let results =
+        greenness_bench::run_case_grid(&ExperimentSetup::default(), jobs, &|done, total, key| {
+            eprintln!("[sweep] {done}/{total} done: {key}");
+        });
+    eprintln!(
+        "grid finished in {:.2} s host wall-clock",
+        t0.elapsed().as_secs_f64()
+    );
+    std::fs::create_dir_all("repro_out").expect("create ./repro_out");
+    std::fs::write("repro_out/manifest.json", sweep::manifest_json(&results))
+        .expect("write manifest");
+    eprintln!("wrote repro_out/manifest.json");
+    let mut rows = Vec::new();
+    for c in sweep::comparisons(&results) {
+        rows.push(vec![
+            format!("Case study {}", c.case),
+            report::f(c.insitu.metrics.energy_j / 1000.0, 1),
+            report::f(c.post.metrics.energy_j / 1000.0, 1),
+            report::pct(c.energy_savings_pct()),
+            report::pct(c.time_reduction_pct()),
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table(
+            "Case-study grid",
+            &[
+                "",
+                "In-situ (kJ)",
+                "Traditional (kJ)",
+                "Energy saved",
+                "Time saved"
+            ],
+            &rows
+        )
+    );
+}
+
 fn cmd_fio(args: &[String]) {
-    let bytes: u64 = args.first().map(|s| parse(s, "byte count")).unwrap_or(4 << 30);
+    let bytes: u64 = args
+        .first()
+        .map(|s| parse(s, "byte count"))
+        .unwrap_or(4 << 30);
     eprintln!("running fio matrix at {} bytes...", bytes);
     let w = WhatIfAnalysis::run(&ExperimentSetup::default(), bytes);
     let mut rows = Vec::new();
@@ -130,7 +193,10 @@ fn cmd_probes() {
             report::f(write.avg_dynamic_w, 1),
         ],
     ];
-    print!("{}", report::render_table("Probe stages", &["Metric", "nnread", "nnwrite"], &rows));
+    print!(
+        "{}",
+        report::render_table("Probe stages", &["Metric", "nnread", "nnwrite"], &rows)
+    );
 }
 
 fn cmd_cluster(args: &[String]) {
@@ -139,7 +205,11 @@ fn cmd_cluster(args: &[String]) {
     let cfg = ClusterConfig::small(nodes, servers);
     eprintln!("running distributed pipelines on {nodes}+{servers}+1 nodes...");
     let mut rows = Vec::new();
-    for kind in [ClusterKind::PostProcessing, ClusterKind::InSitu, ClusterKind::InTransit] {
+    for kind in [
+        ClusterKind::PostProcessing,
+        ClusterKind::InSitu,
+        ClusterKind::InTransit,
+    ] {
         let r = run_cluster(kind, &cfg);
         rows.push(vec![
             format!("{kind:?}"),
@@ -164,7 +234,10 @@ fn cmd_cap(args: &[String]) {
     }
     let caps: Vec<f64> = args.iter().map(|s| parse(s, "cap in watts")).collect();
     let cfg = PipelineConfig::case_study(1);
-    eprintln!("sweeping {} power caps over the in-situ pipeline...", caps.len());
+    eprintln!(
+        "sweeping {} power caps over the in-situ pipeline...",
+        caps.len()
+    );
     let runs = cap_sweep(&cfg, &caps);
     if runs.is_empty() {
         println!("no feasible cap (the node's floor is ~123.5 W)");
@@ -193,7 +266,10 @@ fn cmd_cap(args: &[String]) {
 fn cmd_adaptive(args: &[String]) {
     let threshold: f64 = args.first().map(|s| parse(s, "threshold")).unwrap_or(0.15);
     let cfg = PipelineConfig::case_study(1);
-    let policy = AdaptivePolicy { window_steps: 5, io_energy_threshold: threshold };
+    let policy = AdaptivePolicy {
+        window_steps: 5,
+        io_energy_threshold: threshold,
+    };
     eprintln!("running the adaptive runtime (threshold {threshold})...");
     let mut node = Node::new(HardwareSpec::table1());
     let r = run_adaptive(&mut node, &cfg, &policy);
@@ -263,6 +339,7 @@ fn main() {
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
         "case" => cmd_case(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
         "fio" => cmd_fio(&args[1..]),
         "probes" => cmd_probes(),
         "cluster" => cmd_cluster(&args[1..]),

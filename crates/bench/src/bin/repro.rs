@@ -3,28 +3,49 @@
 //! ```sh
 //! cargo run --release -p greenness-bench --bin repro            # everything
 //! cargo run --release -p greenness-bench --bin repro fig10 table3
+//! cargo run --release -p greenness-bench --bin repro --jobs 8   # parallel grid
 //! ```
 //!
 //! Artifacts: `table1 fig4 fig5 fig6 table2 fig7 fig8 fig9 fig10 fig11
-//! breakdown table3 whatif`. Figure time-series (5, 6) are additionally
-//! written as CSV under `./repro_out/`.
+//! breakdown table3 whatif ext`. Figure time-series (5, 6) are additionally
+//! written as CSV under `./repro_out/`, and every grid run writes the
+//! per-job results manifest `./repro_out/manifest.json`.
+//!
+//! `--jobs N` sets the worker-thread count of the sweep executor (default:
+//! all cores). Artifacts and the manifest are **byte-identical for every
+//! `--jobs` value**: each grid job derives its RNG seed from its job key,
+//! never from scheduling (see `greenness_core::sweep`).
 
 use std::collections::BTreeSet;
 
-use greenness_bench::run_all_cases;
+use greenness_bench::{default_jobs, run_case_grid};
 use greenness_core::breakdown::CaseBreakdown;
+use greenness_core::sweep::{self, SweepJob};
 use greenness_core::whatif::WhatIfAnalysis;
-use greenness_core::{probes, report, CaseComparison, ExperimentSetup};
+use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineKind};
 use greenness_platform::{HardwareSpec, Phase};
 use greenness_power::PowerProfile;
 
 const ARTIFACTS: &[&str] = &[
-    "table1", "fig4", "fig5", "fig6", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "breakdown", "table3", "whatif", "ext",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "breakdown",
+    "table3",
+    "whatif",
+    "ext",
 ];
 
 struct Lazy {
     setup: ExperimentSetup,
+    jobs: usize,
     cases: Option<Vec<CaseComparison>>,
     nnprobes: Option<(probes::ProbeResult, probes::ProbeResult)>,
 }
@@ -32,8 +53,24 @@ struct Lazy {
 impl Lazy {
     fn cases(&mut self) -> &[CaseComparison] {
         if self.cases.is_none() {
-            eprintln!("[repro] running all case studies (both pipelines x 3)...");
-            self.cases = Some(run_all_cases(&self.setup));
+            eprintln!(
+                "[repro] running all case studies (both pipelines x 3) on {} worker(s)...",
+                self.jobs
+            );
+            let t0 = std::time::Instant::now();
+            let results = run_case_grid(&self.setup, self.jobs, &|done, total, key| {
+                eprintln!("[sweep] {done}/{total} done: {key}");
+            });
+            eprintln!(
+                "[repro] grid finished in {:.2} s host wall-clock ({} jobs, {} workers)",
+                t0.elapsed().as_secs_f64(),
+                results.len(),
+                self.jobs
+            );
+            let manifest = sweep::manifest_json(&results);
+            std::fs::write("repro_out/manifest.json", manifest).expect("write manifest");
+            eprintln!("[repro] wrote repro_out/manifest.json");
+            self.cases = Some(sweep::comparisons(&results));
         }
         self.cases.as_ref().expect("just computed")
     }
@@ -68,15 +105,51 @@ fn pair_rows(
         .collect()
 }
 
-fn emit_pair_table(title: &str, cases: &[CaseComparison], f: impl Fn(&CaseComparison) -> (f64, f64), prec: usize) {
+fn emit_pair_table(
+    title: &str,
+    cases: &[CaseComparison],
+    f: impl Fn(&CaseComparison) -> (f64, f64),
+    prec: usize,
+) {
     print!(
         "\n{}",
-        report::render_table(title, &["", "In-situ", "Traditional"], &pair_rows(cases, f, prec))
+        report::render_table(
+            title,
+            &["", "In-situ", "Traditional"],
+            &pair_rows(cases, f, prec)
+        )
     );
 }
 
+/// Split `--jobs N` / `--jobs=N` / `-j N` out of the raw argument list.
+fn parse_jobs(args: Vec<String>) -> (usize, Vec<String>) {
+    fn count(s: &str) -> usize {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid worker count: {s}");
+            std::process::exit(2);
+        })
+    }
+    let mut jobs = default_jobs();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            let n = it.next().unwrap_or_else(|| {
+                eprintln!("{a} needs a worker count");
+                std::process::exit(2);
+            });
+            jobs = count(&n);
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = count(n);
+        } else {
+            rest.push(a);
+        }
+    }
+    (jobs.max(1), rest)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (jobs, args) = parse_jobs(std::env::args().skip(1).collect());
     let wanted: BTreeSet<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ARTIFACTS.iter().map(|s| s.to_string()).collect()
     } else {
@@ -88,7 +161,12 @@ fn main() {
         }
         args.into_iter().collect()
     };
-    let mut lazy = Lazy { setup: ExperimentSetup::default(), cases: None, nnprobes: None };
+    let mut lazy = Lazy {
+        setup: ExperimentSetup::default(),
+        jobs,
+        cases: None,
+        nnprobes: None,
+    };
     std::fs::create_dir_all("repro_out").expect("create ./repro_out");
 
     if wanted.contains("table1") {
@@ -99,7 +177,11 @@ fn main() {
             .collect();
         print!(
             "\n{}",
-            report::render_table("Table I — hardware specification", &["H/W Type", "H/W Detail"], &rows)
+            report::render_table(
+                "Table I — hardware specification",
+                &["H/W Type", "H/W Detail"],
+                &rows
+            )
         );
     }
 
@@ -138,7 +220,11 @@ fn main() {
             .iter()
             .flat_map(|c| {
                 [
-                    (c.case, "post-processing".to_string(), c.post.profile.clone()),
+                    (
+                        c.case,
+                        "post-processing".to_string(),
+                        c.post.profile.clone(),
+                    ),
                     (c.case, "in-situ".to_string(), c.insitu.profile.clone()),
                 ]
             })
@@ -199,22 +285,46 @@ fn main() {
     }
 
     if wanted.contains("fig7") {
-        emit_pair_table("Figure 7 — execution time (s)", lazy.cases(), CaseComparison::execution_times_s, 1);
-        let reductions: Vec<String> =
-            lazy.cases().iter().map(|c| report::pct(c.time_reduction_pct())).collect();
+        emit_pair_table(
+            "Figure 7 — execution time (s)",
+            lazy.cases(),
+            CaseComparison::execution_times_s,
+            1,
+        );
+        let reductions: Vec<String> = lazy
+            .cases()
+            .iter()
+            .map(|c| report::pct(c.time_reduction_pct()))
+            .collect();
         println!("in-situ time reduction: {}", reductions.join(", "));
         println!("(the paper's text claims 92/52/26% here, inconsistent with its Figs 8-10; see EXPERIMENTS.md)");
     }
 
     if wanted.contains("fig8") {
-        emit_pair_table("Figure 8 — average power (W)", lazy.cases(), CaseComparison::average_powers_w, 1);
-        let incs: Vec<String> =
-            lazy.cases().iter().map(|c| report::pct(c.power_increase_pct())).collect();
-        println!("in-situ power increase: {} (paper: 8/5/3%)", incs.join(", "));
+        emit_pair_table(
+            "Figure 8 — average power (W)",
+            lazy.cases(),
+            CaseComparison::average_powers_w,
+            1,
+        );
+        let incs: Vec<String> = lazy
+            .cases()
+            .iter()
+            .map(|c| report::pct(c.power_increase_pct()))
+            .collect();
+        println!(
+            "in-situ power increase: {} (paper: 8/5/3%)",
+            incs.join(", ")
+        );
     }
 
     if wanted.contains("fig9") {
-        emit_pair_table("Figure 9 — peak power (W)", lazy.cases(), CaseComparison::peak_powers_w, 1);
+        emit_pair_table(
+            "Figure 9 — peak power (W)",
+            lazy.cases(),
+            CaseComparison::peak_powers_w,
+            1,
+        );
         println!("(paper: no significant difference)");
     }
 
@@ -225,9 +335,15 @@ fn main() {
             |c| c.energies_j(),
             0,
         );
-        let savings: Vec<String> =
-            lazy.cases().iter().map(|c| report::pct(c.energy_savings_pct())).collect();
-        println!("in-situ energy savings: {} (paper: 43/30/18%)", savings.join(", "));
+        let savings: Vec<String> = lazy
+            .cases()
+            .iter()
+            .map(|c| report::pct(c.energy_savings_pct()))
+            .collect();
+        println!(
+            "in-situ energy savings: {} (paper: 43/30/18%)",
+            savings.join(", ")
+        );
     }
 
     if wanted.contains("fig11") {
@@ -242,20 +358,25 @@ fn main() {
             .iter()
             .map(|c| report::pct(c.efficiency_improvement_pct()))
             .collect();
-        println!("in-situ efficiency improvement: {} (paper: 22% to 72%)", gains.join(", "));
+        println!(
+            "in-situ efficiency improvement: {} (paper: 22% to 72%)",
+            gains.join(", ")
+        );
     }
 
     if wanted.contains("breakdown") {
         // §V-C for case study 1.
         let setup = lazy.setup.clone();
-        let case1 = lazy.cases().iter().find(|c| c.case == 1).expect("case 1 ran").clone();
+        let case1 = lazy
+            .cases()
+            .iter()
+            .find(|c| c.case == 1)
+            .expect("case 1 ran")
+            .clone();
         eprintln!("[repro] running the §V-C breakdown (probes + estimator)...");
         let b = CaseBreakdown::analyze(&case1, &setup, 128 * 1024, 50.0);
         println!("\nSection V-C — energy savings breakdown (case study 1)");
-        println!(
-            "  total savings : {:>7.2} kJ",
-            b.savings.total_j / 1000.0
-        );
+        println!("  total savings : {:>7.2} kJ", b.savings.total_j / 1000.0);
         println!(
             "  static (idle-time) : {:>7.2} kJ  ({:.0}%)   [paper: 12.8 kJ, 91%]",
             b.savings.static_j / 1000.0,
@@ -278,17 +399,35 @@ fn main() {
             };
             let mut rows = Vec::new();
             for (name, vals) in [
-                ("Execution time (s)", col(&|r| report::f(r.execution_time_s, 1))),
-                ("Full-system power (W)", col(&|r| report::f(r.full_system_power_w, 1))),
-                ("Disk dynamic power (W)", col(&|r| report::f(r.disk_dyn_power_w, 1))),
-                ("Disk dynamic energy (kJ)", col(&|r| report::f(r.disk_dyn_energy_kj, 2))),
-                ("Full-system energy (kJ)", col(&|r| report::f(r.full_system_energy_kj, 1))),
+                (
+                    "Execution time (s)",
+                    col(&|r| report::f(r.execution_time_s, 1)),
+                ),
+                (
+                    "Full-system power (W)",
+                    col(&|r| report::f(r.full_system_power_w, 1)),
+                ),
+                (
+                    "Disk dynamic power (W)",
+                    col(&|r| report::f(r.disk_dyn_power_w, 1)),
+                ),
+                (
+                    "Disk dynamic energy (kJ)",
+                    col(&|r| report::f(r.disk_dyn_energy_kj, 2)),
+                ),
+                (
+                    "Full-system energy (kJ)",
+                    col(&|r| report::f(r.full_system_energy_kj, 1)),
+                ),
             ] {
                 let mut row = vec![name.to_string()];
                 row.extend(vals);
                 rows.push(row);
             }
-            print!("\n{}", report::render_table("Table III — fio tests", &headers, &rows));
+            print!(
+                "\n{}",
+                report::render_table("Table III — fio tests", &headers, &rows)
+            );
             println!("(paper rows: 35.9/2230.0/27.0/31.0 s; 118/107/115.4/117.9 W; 13.5/2.5/10.9/13.4 W)");
         }
         if wanted.contains("whatif") {
@@ -305,7 +444,7 @@ fn main() {
         }
     }
     if wanted.contains("ext") {
-        print_extensions(&lazy.setup);
+        print_extensions(&lazy.setup, jobs);
     }
     println!();
 }
@@ -313,7 +452,7 @@ fn main() {
 /// Future-work extension studies (not in the paper's evaluation): storage
 /// technologies, distributed pipelines, data-reduction variants, DVFS, and
 /// the fitted disk-energy model.
-fn print_extensions(setup: &ExperimentSetup) {
+fn print_extensions(setup: &ExperimentSetup, jobs: usize) {
     use greenness_cluster::{run_cluster, ClusterConfig, ClusterKind};
     use greenness_core::variants::{run_variant, CodecChoice, Variant};
     use greenness_core::PipelineConfig;
@@ -321,22 +460,43 @@ fn print_extensions(setup: &ExperimentSetup) {
 
     eprintln!("[repro] running extension studies...");
 
-    // Storage technologies (§VI-A: SSD / NVRAM / RAID).
+    // Storage technologies (§VI-A: SSD / NVRAM / RAID) — an 8-job grid
+    // (4 specs × both pipelines) submitted through the sweep executor.
     let cfg = PipelineConfig::case_study(1);
-    let mut rows = Vec::new();
     let mut raid_spec = HardwareSpec::table1();
     raid_spec.disk = raid_spec.disk.raid0(4);
     raid_spec.name = "Table I node with 4x RAID-0 HDDs".into();
-    for spec in [
+    let specs = [
         HardwareSpec::table1(),
         raid_spec,
         HardwareSpec::table1_with_ssd(),
         HardwareSpec::table1_with_nvram(),
-    ] {
-        let s = ExperimentSetup { spec: spec.clone(), ..setup.clone() };
-        let cmp = CaseComparison::run_config(1, &cfg, &s);
+    ];
+    let grid: Vec<SweepJob> = specs
+        .iter()
+        .flat_map(|spec| {
+            [PipelineKind::PostProcessing, PipelineKind::InSitu].map(|kind| SweepJob {
+                case: 1,
+                kind,
+                cfg: cfg.clone(),
+                setup: ExperimentSetup {
+                    spec: spec.clone(),
+                    ..setup.clone()
+                },
+            })
+        })
+        .collect();
+    let results = sweep::run_sweep(grid, jobs, &|done, total, key| {
+        eprintln!("[sweep] {done}/{total} done: {key}");
+    });
+    let mut rows = Vec::new();
+    for (spec, cmp) in specs.iter().zip(sweep::comparisons(&results)) {
         rows.push(vec![
-            spec.name.split(',').next().unwrap_or(&spec.name).to_string(),
+            spec.name
+                .split(',')
+                .next()
+                .unwrap_or(&spec.name)
+                .to_string(),
             report::f(cmp.post.metrics.execution_time_s, 1),
             report::f(cmp.post.metrics.energy_j / 1000.0, 1),
             report::pct(cmp.energy_savings_pct()),
@@ -354,7 +514,11 @@ fn print_extensions(setup: &ExperimentSetup) {
     // Distributed pipelines.
     let ccfg = ClusterConfig::small(4, 2);
     let mut rows = Vec::new();
-    for kind in [ClusterKind::PostProcessing, ClusterKind::InSitu, ClusterKind::InTransit] {
+    for kind in [
+        ClusterKind::PostProcessing,
+        ClusterKind::InSitu,
+        ClusterKind::InTransit,
+    ] {
         let r = run_cluster(kind, &ccfg);
         rows.push(vec![
             format!("{kind:?}"),
@@ -376,8 +540,18 @@ fn print_extensions(setup: &ExperimentSetup) {
     let mut rows = Vec::new();
     for (name, v) in [
         ("sampled (stride 4)", Variant::SampledPost { stride: 4 }),
-        ("compressed lossless", Variant::CompressedPost { codec: CodecChoice::Lossless }),
-        ("compressed quant16", Variant::CompressedPost { codec: CodecChoice::Quantized }),
+        (
+            "compressed lossless",
+            Variant::CompressedPost {
+                codec: CodecChoice::Lossless,
+            },
+        ),
+        (
+            "compressed quant16",
+            Variant::CompressedPost {
+                codec: CodecChoice::Quantized,
+            },
+        ),
         ("image DB (3 views)", Variant::ImageDatabase { views: 3 }),
     ] {
         let mut node = Node::new(setup.spec.clone());
@@ -387,14 +561,24 @@ fn print_extensions(setup: &ExperimentSetup) {
             report::f(out.execution_time_s, 1),
             report::f(out.energy_j / 1000.0, 1),
             format!("{:.1}x", out.reduction_factor()),
-            if out.verified { "yes".into() } else { "NO".into() },
+            if out.verified {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print!(
         "\n{}",
         report::render_table(
             "Extension — pipeline variants (case-1 workload)",
-            &["Variant", "Time (s)", "Energy (kJ)", "Reduction", "Verified"],
+            &[
+                "Variant",
+                "Time (s)",
+                "Energy (kJ)",
+                "Reduction",
+                "Verified"
+            ],
             &rows
         )
     );

@@ -3,18 +3,36 @@
 //! The benchmark harness: shared runners used by the `repro` binary (which
 //! regenerates every table and figure of the paper) and by the criterion
 //! bench targets (`figures`, `table3_fio`, `ablations`, `micro`).
+//!
+//! All grid execution goes through `greenness_core::sweep`, the
+//! deterministic work-stealing executor: results (and the manifest written
+//! by `repro`) are bit-identical for any `--jobs` value.
 
+use greenness_core::sweep::{self, JobResult};
 use greenness_core::{CaseComparison, ExperimentSetup};
-use rayon::prelude::*;
 
-/// Run all three §IV-C case studies (both pipelines each), in parallel.
+/// Default worker count: one per available core, capped by the job count
+/// inside the executor.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run all three §IV-C case studies (both pipelines each) on `jobs` worker
+/// threads, reporting progress through `on_done`. Returns the raw per-job
+/// results in submission order (the manifest's input).
+pub fn run_case_grid(
+    setup: &ExperimentSetup,
+    jobs: usize,
+    on_done: sweep::Progress<'_>,
+) -> Vec<JobResult> {
+    sweep::run_sweep(sweep::case_grid(setup, &[1, 2, 3]), jobs, on_done)
+}
+
+/// Run all three §IV-C case studies (both pipelines each), in parallel on
+/// all available cores.
 pub fn run_all_cases(setup: &ExperimentSetup) -> Vec<CaseComparison> {
-    let mut cases: Vec<CaseComparison> = [1u32, 2, 3]
-        .into_par_iter()
-        .map(|n| CaseComparison::run_case(n, setup))
-        .collect();
-    cases.sort_by_key(|c| c.case);
-    cases
+    let results = run_case_grid(setup, default_jobs(), &sweep::silent_progress());
+    sweep::comparisons(&results)
 }
 
 #[cfg(test)]
@@ -25,18 +43,17 @@ mod tests {
     fn parallel_case_runs_are_ordered_and_complete() {
         // Scaled-down smoke test of the parallel runner path.
         let setup = ExperimentSetup::noiseless();
-        let cases: Vec<_> = [1u32, 2, 3]
+        let configs: Vec<_> = [(1u32, 1u64), (2, 2), (3, 8)]
             .into_iter()
-            .map(|n| {
-                let cfg = greenness_core::PipelineConfig::small(match n {
-                    1 => 1,
-                    2 => 2,
-                    _ => 8,
-                });
-                CaseComparison::run_config(n, &cfg, &setup)
-            })
+            .map(|(n, interval)| (n, greenness_core::PipelineConfig::small(interval)))
             .collect();
-        assert_eq!(cases.iter().map(|c| c.case).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let jobs = sweep::config_grid(&setup, &configs);
+        let results = sweep::run_sweep(jobs, 4, &sweep::silent_progress());
+        let cases = sweep::comparisons(&results);
+        assert_eq!(
+            cases.iter().map(|c| c.case).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         for c in &cases {
             assert!(c.post.metrics.energy_j > 0.0);
         }

@@ -36,7 +36,9 @@ pub struct Fabric {
 impl Fabric {
     /// A 10 GbE fabric.
     pub fn ten_gbe() -> Fabric {
-        Fabric { net: NetModel::ten_gbe() }
+        Fabric {
+            net: NetModel::ten_gbe(),
+        }
     }
 
     /// Move `bytes` from `src` to `dst` as `messages` messages. The transfer

@@ -49,7 +49,10 @@ impl ParallelFs {
                 ),
             })
             .collect();
-        ParallelFs { servers, stripe_bytes }
+        ParallelFs {
+            servers,
+            stripe_bytes,
+        }
     }
 
     /// Number of object servers.
@@ -104,7 +107,12 @@ impl ParallelFs {
             server.fs.fsync(&mut server.node, &fname, phase)?;
         }
         // The write returns when the slowest server acknowledges.
-        let done = self.servers.iter().map(|s| s.node.now()).max().unwrap_or(client.now());
+        let done = self
+            .servers
+            .iter()
+            .map(|s| s.node.now())
+            .max()
+            .unwrap_or(client.now());
         sync_to(client, done, phase);
         Ok(())
     }
@@ -158,7 +166,9 @@ impl ParallelFs {
 
     /// True if `name` has at least one stripe.
     pub fn exists(&self, name: &str) -> bool {
-        self.servers[self.start_server(name)].fs.exists(&Self::stripe_file(name, 0))
+        self.servers[self.start_server(name)]
+            .fs
+            .exists(&Self::stripe_file(name, 0))
     }
 
     /// `sync; drop_caches` on every server (the paper's §IV-C discipline),
@@ -168,7 +178,12 @@ impl ParallelFs {
             s.fs.sync(&mut s.node, phase);
             s.fs.drop_caches();
         }
-        let t = self.servers.iter().map(|s| s.node.now()).max().unwrap_or(SimTime::ZERO);
+        let t = self
+            .servers
+            .iter()
+            .map(|s| s.node.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
         for s in &mut self.servers {
             sync_to(&mut s.node, t, phase);
         }
@@ -176,7 +191,10 @@ impl ParallelFs {
 
     /// Sum of all server energies, joules.
     pub fn total_energy_j(&self) -> f64 {
-        self.servers.iter().map(|s| s.node.timeline().total_energy_j()).sum()
+        self.servers
+            .iter()
+            .map(|s| s.node.timeline().total_energy_j())
+            .sum()
     }
 }
 
@@ -199,7 +217,8 @@ mod tests {
     fn striped_write_read_round_trip() {
         let (mut client, fabric, mut pfs) = setup(4);
         let data = payload(1_000_000);
-        pfs.write(&mut client, &fabric, "snap", &data, Phase::Write).unwrap();
+        pfs.write(&mut client, &fabric, "snap", &data, Phase::Write)
+            .unwrap();
         pfs.sync_and_drop_all(Phase::CacheControl);
         let back = pfs.read(&mut client, &fabric, "snap", Phase::Read).unwrap();
         assert_eq!(back, data);
@@ -209,9 +228,13 @@ mod tests {
     fn stripes_spread_across_servers() {
         let (mut client, fabric, mut pfs) = setup(4);
         let data = payload(4 * 128 * 1024); // exactly one stripe per server
-        pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+        pfs.write(&mut client, &fabric, "f", &data, Phase::Write)
+            .unwrap();
         for s in pfs.servers() {
-            assert!(s.node.timeline().total_energy_j() > 0.0, "an idle server got no stripe");
+            assert!(
+                s.node.timeline().total_energy_j() > 0.0,
+                "an idle server got no stripe"
+            );
         }
     }
 
@@ -220,7 +243,8 @@ mod tests {
         let data = payload(16 * 128 * 1024);
         let wall = |n: usize| {
             let (mut client, fabric, mut pfs) = setup(n);
-            pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+            pfs.write(&mut client, &fabric, "f", &data, Phase::Write)
+                .unwrap();
             client.now().as_secs_f64()
         };
         let one = wall(1);
@@ -234,7 +258,8 @@ mod tests {
         let data = payload(4 * 128 * 1024);
         let energy = |n: usize| {
             let (mut client, fabric, mut pfs) = setup(n);
-            pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+            pfs.write(&mut client, &fabric, "f", &data, Phase::Write)
+                .unwrap();
             // Normalize: bring all servers to the client's clock so each
             // configuration accounts the same wall window.
             for s in &mut pfs.servers {
@@ -242,7 +267,10 @@ mod tests {
             }
             pfs.total_energy_j() / client.now().as_secs_f64()
         };
-        assert!(energy(8) > energy(2), "aggregate PFS power should grow with servers");
+        assert!(
+            energy(8) > energy(2),
+            "aggregate PFS power should grow with servers"
+        );
     }
 
     #[test]
@@ -259,7 +287,8 @@ mod tests {
     fn client_waits_for_the_slowest_server() {
         let (mut client, fabric, mut pfs) = setup(3);
         let data = payload(9 * 128 * 1024);
-        pfs.write(&mut client, &fabric, "f", &data, Phase::Write).unwrap();
+        pfs.write(&mut client, &fabric, "f", &data, Phase::Write)
+            .unwrap();
         let slowest = pfs.servers().iter().map(|s| s.node.now()).max().unwrap();
         assert!(client.now() >= slowest);
     }

@@ -170,8 +170,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Run the distributed pipeline described by `cfg`.
 pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
     let fabric = Fabric::ten_gbe();
-    let mut compute: Vec<Node> =
-        (0..cfg.compute_nodes).map(|_| Node::new(cfg.spec.clone())).collect();
+    let mut compute: Vec<Node> = (0..cfg.compute_nodes)
+        .map(|_| Node::new(cfg.spec.clone()))
+        .collect();
     let mut viz = Node::new(cfg.spec.clone());
     let mut pfs = ParallelFs::new(
         cfg.io_servers,
@@ -218,8 +219,14 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                     let bytes = solver.slab_bytes(k);
                     sums.push(fnv1a(&bytes));
                     bytes_out += bytes.len() as u64;
-                    pfs.write(node, &fabric, &format!("snap{step:04}.n{k:02}"), &bytes, Phase::Write)
-                        .expect("PFS sized for the run");
+                    pfs.write(
+                        node,
+                        &fabric,
+                        &format!("snap{step:04}.n{k:02}"),
+                        &bytes,
+                        Phase::Write,
+                    )
+                    .expect("PFS sized for the run");
                 }
                 checksums.push((step, sums));
             }
@@ -241,8 +248,14 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                     );
                     let ppm = encode_ppm(&slab_render);
                     bytes_out += ppm.len() as u64;
-                    pfs.write(node, &fabric, &format!("frame{step:04}.n{k:02}.ppm"), &ppm, Phase::ImageWrite)
-                        .expect("PFS sized for the run");
+                    pfs.write(
+                        node,
+                        &fabric,
+                        &format!("frame{step:04}.n{k:02}.ppm"),
+                        &ppm,
+                        Phase::ImageWrite,
+                    )
+                    .expect("PFS sized for the run");
                 }
             }
             ClusterKind::InTransit => {
@@ -258,8 +271,14 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                 viz.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
                 let frame = render_field(&solver.assemble(), &cfg.render);
                 let ppm = encode_ppm(&frame);
-                pfs.write(&mut viz, &fabric, &format!("frame{step:04}.ppm"), &ppm, Phase::ImageWrite)
-                    .expect("PFS sized for the run");
+                pfs.write(
+                    &mut viz,
+                    &fabric,
+                    &format!("frame{step:04}.ppm"),
+                    &ppm,
+                    Phase::ImageWrite,
+                )
+                .expect("PFS sized for the run");
             }
         }
         barrier(&mut compute, Phase::Idle);
@@ -276,7 +295,12 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
             let mut slabs = Vec::with_capacity(cfg.compute_nodes);
             for (k, sum) in sums.iter().enumerate() {
                 let bytes = pfs
-                    .read(&mut viz, &fabric, &format!("snap{step:04}.n{k:02}"), Phase::Read)
+                    .read(
+                        &mut viz,
+                        &fabric,
+                        &format!("snap{step:04}.n{k:02}"),
+                        Phase::Read,
+                    )
                     .expect("snapshot exists");
                 if fnv1a(&bytes) != *sum {
                     verified = false;
@@ -304,16 +328,14 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
         sync_to(node, makespan, Phase::Idle);
     }
 
-    let compute_energy_j: f64 =
-        compute.iter().map(|n| n.timeline().total_energy_j()).sum();
+    let compute_energy_j: f64 = compute.iter().map(|n| n.timeline().total_energy_j()).sum();
     // PFS servers also idle to the makespan for fair accounting.
     let io_energy_j: f64 = pfs
         .servers()
         .iter()
         .map(|s| {
             s.node.timeline().total_energy_j()
-                + s.node.spec().static_w()
-                    * makespan.duration_since(s.node.now()).as_secs_f64()
+                + s.node.spec().static_w() * makespan.duration_since(s.node.now()).as_secs_f64()
         })
         .sum();
     let viz_energy_j = viz.timeline().total_energy_j();
@@ -324,7 +346,11 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
         kind,
         makespan_s,
         total_energy_j,
-        average_power_w: if makespan_s > 0.0 { total_energy_j / makespan_s } else { 0.0 },
+        average_power_w: if makespan_s > 0.0 {
+            total_energy_j / makespan_s
+        } else {
+            0.0
+        },
         compute_energy_j,
         io_energy_j,
         viz_energy_j,
@@ -339,7 +365,10 @@ mod tests {
     use super::*;
 
     fn small() -> ClusterConfig {
-        ClusterConfig { timesteps: 6, ..ClusterConfig::small(4, 2) }
+        ClusterConfig {
+            timesteps: 6,
+            ..ClusterConfig::small(4, 2)
+        }
     }
 
     #[test]
@@ -398,6 +427,11 @@ mod tests {
         four.io_servers = 4;
         let slow = run_cluster(ClusterKind::PostProcessing, &one);
         let fast = run_cluster(ClusterKind::PostProcessing, &four);
-        assert!(fast.makespan_s < slow.makespan_s, "{} vs {}", fast.makespan_s, slow.makespan_s);
+        assert!(
+            fast.makespan_s < slow.makespan_s,
+            "{} vs {}",
+            fast.makespan_s,
+            slow.makespan_s
+        );
     }
 }

@@ -60,7 +60,10 @@ impl DecomposedSolver {
         assert!(parts >= 1, "need at least one slab");
         let nx = initial.nx();
         let ny = initial.ny();
-        assert!(ny / parts >= 3, "each slab needs at least 3 rows ({ny} rows / {parts} parts)");
+        assert!(
+            ny / parts >= 3,
+            "each slab needs at least 3 rows ({ny} rows / {parts} parts)"
+        );
         let dx = 1.0 / nx as f64;
         let dy = 1.0 / ny as f64;
         let cfl = config.alpha * config.dt * (1.0 / (dx * dx) + 1.0 / (dy * dy));
@@ -81,10 +84,21 @@ impl DecomposedSolver {
                     data[(r + 1) * nx + i] = initial.at(i, j0 + r);
                 }
             }
-            slabs.push(Slab { j0, rows, scratch: data.clone(), data });
+            slabs.push(Slab {
+                j0,
+                rows,
+                scratch: data.clone(),
+                data,
+            });
             j0 += rows;
         }
-        DecomposedSolver { config, nx, ny, slabs, steps_taken: 0 }
+        DecomposedSolver {
+            config,
+            nx,
+            ny,
+            slabs,
+            steps_taken: 0,
+        }
     }
 
     /// Number of slabs.
@@ -105,7 +119,11 @@ impl DecomposedSolver {
     /// Metadata for slab `k`.
     pub fn slab_info(&self, k: usize) -> SlabInfo {
         let s = &self.slabs[k];
-        SlabInfo { j0: s.j0, rows: s.rows, cells: (s.rows * self.nx) as u64 }
+        SlabInfo {
+            j0: s.j0,
+            rows: s.rows,
+            cells: (s.rows * self.nx) as u64,
+        }
     }
 
     /// The ghost traffic each step generates, for fabric accounting.
@@ -270,7 +288,11 @@ mod tests {
             alpha: 1.0e-4,
             dt: 0.05,
             boundary: Boundary::Dirichlet(0.5),
-            sources: vec![PointSource { i: 5, j: 17, rate: 2.0 }],
+            sources: vec![PointSource {
+                i: 5,
+                j: 17,
+                rate: 2.0,
+            }],
         }
     }
 
@@ -293,14 +315,21 @@ mod tests {
     fn neumann_decomposition_matches_too() {
         let cfg = SolverConfig {
             boundary: Boundary::Neumann,
-            sources: vec![PointSource { i: 10, j: 3, rate: 5.0 }],
+            sources: vec![PointSource {
+                i: 10,
+                j: 3,
+                rate: 5.0,
+            }],
             ..config()
         };
         let mut reference = HeatSolver::new(initial(24), cfg.clone());
         let mut decomposed = DecomposedSolver::new(&initial(24), cfg, 4);
         reference.run(60);
         decomposed.run(60);
-        assert_eq!(decomposed.assemble().as_slice(), reference.grid().as_slice());
+        assert_eq!(
+            decomposed.assemble().as_slice(),
+            reference.grid().as_slice()
+        );
     }
 
     #[test]

@@ -108,12 +108,24 @@ mod tests {
         let bytes = g.to_bytes();
         let enc = DeltaVarint.encode(&bytes);
         // One full varint for the first sample, ~1 byte per repeat.
-        assert!(enc.len() < bytes.len() / 6, "{} vs {}", enc.len(), bytes.len());
+        assert!(
+            enc.len() < bytes.len() / 6,
+            "{} vs {}",
+            enc.len(),
+            bytes.len()
+        );
     }
 
     #[test]
     fn special_values_survive() {
-        let vals = [0.0f64, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE];
+        let vals = [
+            0.0f64,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ];
         let mut bytes = Vec::new();
         for v in vals {
             bytes.extend_from_slice(&v.to_le_bytes());

@@ -59,7 +59,9 @@ mod tests {
     fn ratio_reflects_compressibility() {
         let rle = Rle;
         let runs = vec![7u8; 10_000];
-        let noise: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+        let noise: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761)) as u8)
+            .collect();
         assert!(ratio(&rle, &runs) > 100.0);
         assert!(ratio(&rle, &noise) < 1.1);
         assert_eq!(ratio(&rle, &[]), 1.0);

@@ -79,7 +79,11 @@ impl Codec for Quant16 {
         out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
         let mut prev = 0i64;
         for &v in &samples {
-            let idx = if span == 0.0 { 0 } else { ((v - lo) / span * LEVELS).round() as i64 };
+            let idx = if span == 0.0 {
+                0
+            } else {
+                ((v - lo) / span * LEVELS).round() as i64
+            };
             let delta = idx - prev;
             push_varint(&mut out, ((delta << 1) ^ (delta >> 63)) as u64);
             prev = idx;
@@ -130,7 +134,10 @@ mod tests {
     use greenness_heatsim::Grid;
 
     fn samples_of(bytes: &[u8]) -> Vec<f64> {
-        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
     }
 
     #[test]
@@ -154,7 +161,12 @@ mod tests {
         let bytes = g.to_bytes();
         let enc = Quant16.encode(&bytes);
         // ~2 bytes per sample on a smooth ramp vs 8 raw.
-        assert!(enc.len() * 3 <= bytes.len(), "{} vs {}", enc.len(), bytes.len());
+        assert!(
+            enc.len() * 3 <= bytes.len(),
+            "{} vs {}",
+            enc.len(),
+            bytes.len()
+        );
     }
 
     #[test]
@@ -164,7 +176,10 @@ mod tests {
         let bytes = g.to_bytes();
         let back = codec.decode(&codec.encode(&bytes)).expect("decode");
         assert_eq!(samples_of(&back), samples_of(&bytes));
-        assert_eq!(codec.decode(&codec.encode(&[])).expect("decode"), Vec::<u8>::new());
+        assert_eq!(
+            codec.decode(&codec.encode(&[])).expect("decode"),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Codec for TransposeRle {
     }
 
     fn encode(&self, input: &[u8]) -> Vec<u8> {
-        assert!(input.len() % 8 == 0, "transpose codec expects a stream of f64s");
+        assert!(
+            input.len() % 8 == 0,
+            "transpose codec expects a stream of f64s"
+        );
         let n = input.len() / 8;
         let rle = Rle;
         let mut out = Vec::with_capacity(input.len() / 2 + 72);
@@ -46,8 +49,7 @@ impl Codec for TransposeRle {
                 *b = d;
             }
             let delta_coded = rle.encode(&delta_plane);
-            let (flag, payload): (u8, &[u8]) = if delta_coded.len() < coded.len().min(plane.len())
-            {
+            let (flag, payload): (u8, &[u8]) = if delta_coded.len() < coded.len().min(plane.len()) {
                 (2, &delta_coded)
             } else if coded.len() < plane.len() {
                 (1, &coded)
@@ -79,8 +81,7 @@ impl Codec for TransposeRle {
             let flag = *input.get(pos)?;
             pos += 1;
             let len_end = pos.checked_add(8)?;
-            let coded_len =
-                u64::from_le_bytes(input.get(pos..len_end)?.try_into().ok()?) as usize;
+            let coded_len = u64::from_le_bytes(input.get(pos..len_end)?.try_into().ok()?) as usize;
             pos = len_end;
             let coded_end = pos.checked_add(coded_len)?;
             let plane = match flag {
@@ -119,10 +120,15 @@ mod tests {
 
     #[test]
     fn round_trips_exactly() {
-        let g = Grid::from_fn(48, 48, |x, y| 0.3 * (-((x - 0.5).powi(2) + y * y) * 20.0).exp());
+        let g = Grid::from_fn(48, 48, |x, y| {
+            0.3 * (-((x - 0.5).powi(2) + y * y) * 20.0).exp()
+        });
         let bytes = g.to_bytes();
         let codec = TransposeRle;
-        assert_eq!(codec.decode(&codec.encode(&bytes)).expect("decode"), &bytes[..]);
+        assert_eq!(
+            codec.decode(&codec.encode(&bytes)).expect("decode"),
+            &bytes[..]
+        );
     }
 
     #[test]
@@ -138,8 +144,11 @@ mod tests {
         // Wide-dynamic-range f64 fields compress poorly losslessly (this is
         // exactly why ZFP/SZ-class scientific compressors are lossy);
         // expect a modest but real win.
-        assert!((bytes.len() as f64 / t as f64) > 1.08,
-            "ratio only {}", bytes.len() as f64 / t as f64);
+        assert!(
+            (bytes.len() as f64 / t as f64) > 1.08,
+            "ratio only {}",
+            bytes.len() as f64 / t as f64
+        );
     }
 
     #[test]
@@ -169,6 +178,9 @@ mod tests {
     #[test]
     fn empty_stream() {
         let codec = TransposeRle;
-        assert_eq!(codec.decode(&codec.encode(&[])).expect("decode"), Vec::<u8>::new());
+        assert_eq!(
+            codec.decode(&codec.encode(&[])).expect("decode"),
+            Vec::<u8>::new()
+        );
     }
 }

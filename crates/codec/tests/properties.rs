@@ -75,4 +75,94 @@ proptest! {
         let _ = DeltaVarint.decode(&garbage);
         let _ = Quant16.decode(&garbage);
     }
+
+    /// Composing delta under RLE round-trips arbitrary f64 streams
+    /// bit-exactly: decode must invert the composition in reverse order.
+    #[test]
+    fn delta_then_rle_round_trip(vals in prop::collection::vec(prop::num::f64::ANY, 0..256)) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let staged = Rle.encode(&DeltaVarint.encode(&bytes));
+        let back = DeltaVarint
+            .decode(&Rle.decode(&staged).expect("rle decode"))
+            .expect("delta decode");
+        prop_assert_eq!(back, bytes);
+    }
+
+    /// On constant streams the delta+RLE composition must also *compress*:
+    /// deltas collapse to zero runs, which RLE then folds away.
+    #[test]
+    fn delta_then_rle_compresses_constant_streams(
+        v in -1.0e12..1.0e12f64,
+        n in 64usize..512,
+    ) {
+        let mut bytes = Vec::with_capacity(n * 8);
+        for _ in 0..n {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let staged = Rle.encode(&DeltaVarint.encode(&bytes));
+        prop_assert!(
+            staged.len() * 4 < bytes.len(),
+            "constant stream grew: {} -> {}",
+            bytes.len(),
+            staged.len()
+        );
+        let back = DeltaVarint
+            .decode(&Rle.decode(&staged).expect("rle decode"))
+            .expect("delta decode");
+        prop_assert_eq!(back, bytes);
+    }
+
+    /// Quantization on adversarial value patterns — all-equal, strictly
+    /// alternating extremes, and huge-but-finite magnitudes — still honors
+    /// the advertised bound and preserves sample count.
+    #[test]
+    fn quant_error_bound_adversarial(
+        lo in -1.0e15..1.0e15f64,
+        span in 0.0..1.0e15f64,
+        n in 1usize..256,
+        pattern in 0u8..3,
+    ) {
+        let hi = lo + span;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| match pattern {
+                0 => lo,                                   // all-equal
+                1 => if i % 2 == 0 { lo } else { hi },     // alternating extremes
+                _ => lo + span * (i as f64 / n.max(1) as f64), // ramp to the extreme
+            })
+            .collect();
+        let mut bytes = Vec::with_capacity(n * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = Quant16;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        let rec: Vec<f64> =
+            back.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        prop_assert_eq!(rec.len(), vals.len());
+        let bound = Quant16::max_error(span) * (1.0 + 1e-9)
+            + 1e-9 * hi.abs().max(lo.abs()).max(1.0);
+        for (a, b) in vals.iter().zip(&rec) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    /// Zero-range (all samples identical) is the degenerate quantization
+    /// case: reconstruction must be exact, not NaN or divide-by-zero junk.
+    #[test]
+    fn quant_zero_range_is_exact(v in -1.0e12..1.0e12f64, n in 1usize..128) {
+        let mut bytes = Vec::with_capacity(n * 8);
+        for _ in 0..n {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = Quant16;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        for c in back.chunks_exact(8) {
+            let r = f64::from_le_bytes(c.try_into().unwrap());
+            prop_assert!(r.is_finite());
+            prop_assert!((r - v).abs() <= 1e-9 * v.abs().max(1.0), "{r} vs {v}");
+        }
+    }
 }

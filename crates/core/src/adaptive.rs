@@ -35,7 +35,10 @@ pub struct AdaptivePolicy {
 
 impl Default for AdaptivePolicy {
     fn default() -> Self {
-        AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.30 }
+        AdaptivePolicy {
+            window_steps: 4,
+            io_energy_threshold: 0.30,
+        }
     }
 }
 
@@ -55,7 +58,11 @@ pub struct AdaptiveReport {
 }
 
 /// Run the workload under the adaptive runtime.
-pub fn run_adaptive(node: &mut Node, cfg: &PipelineConfig, policy: &AdaptivePolicy) -> AdaptiveReport {
+pub fn run_adaptive(
+    node: &mut Node,
+    cfg: &PipelineConfig,
+    policy: &AdaptivePolicy,
+) -> AdaptiveReport {
     assert!(policy.window_steps >= 1, "window must be at least one step");
     assert!(
         (0.0..=1.0).contains(&policy.io_energy_threshold),
@@ -133,8 +140,11 @@ pub fn run_adaptive(node: &mut Node, cfg: &PipelineConfig, policy: &AdaptivePoli
 
     // Final phase: visualize the snapshots that stayed raw, exactly as the
     // post-processing pipeline would.
-    let mut kept: Vec<String> =
-        fs.list().into_iter().filter(|n| n.starts_with("snap")).collect();
+    let mut kept: Vec<String> = fs
+        .list()
+        .into_iter()
+        .filter(|n| n.starts_with("snap"))
+        .collect();
     kept.sort();
     for name in kept {
         let bytes = read_chunked(node, &mut fs, &name, cfg.chunk_bytes, Phase::Read);
@@ -177,7 +187,10 @@ mod tests {
 
     #[test]
     fn switches_on_io_heavy_workloads() {
-        let policy = AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.10 };
+        let policy = AdaptivePolicy {
+            window_steps: 4,
+            io_energy_threshold: 0.10,
+        };
         let r = run(&io_heavy(), &policy);
         assert_eq!(r.switched_at_step, Some(4));
         assert!(r.snapshots_kept >= 4);
@@ -186,7 +199,10 @@ mod tests {
 
     #[test]
     fn stays_in_post_processing_on_compute_heavy_workloads() {
-        let policy = AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.10 };
+        let policy = AdaptivePolicy {
+            window_steps: 4,
+            io_energy_threshold: 0.10,
+        };
         let r = run(&compute_heavy(), &policy);
         assert_eq!(r.switched_at_step, None);
         assert_eq!(r.images_written, 0);
@@ -195,8 +211,14 @@ mod tests {
 
     #[test]
     fn switching_saves_energy_over_never_switching() {
-        let never = AdaptivePolicy { window_steps: 4, io_energy_threshold: 1.0 };
-        let eager = AdaptivePolicy { window_steps: 4, io_energy_threshold: 0.10 };
+        let never = AdaptivePolicy {
+            window_steps: 4,
+            io_energy_threshold: 1.0,
+        };
+        let eager = AdaptivePolicy {
+            window_steps: 4,
+            io_energy_threshold: 0.10,
+        };
         let stayed = run(&io_heavy(), &never);
         let switched = run(&io_heavy(), &eager);
         assert_eq!(stayed.switched_at_step, None);
@@ -210,7 +232,10 @@ mod tests {
 
     #[test]
     fn early_snapshots_survive_the_switch() {
-        let policy = AdaptivePolicy { window_steps: 2, io_energy_threshold: 0.10 };
+        let policy = AdaptivePolicy {
+            window_steps: 2,
+            io_energy_threshold: 0.10,
+        };
         let r = run(&io_heavy(), &policy);
         assert_eq!(r.switched_at_step, Some(2));
         assert_eq!(r.snapshots_kept, 2);
@@ -220,7 +245,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be")]
     fn zero_window_is_rejected() {
-        let policy = AdaptivePolicy { window_steps: 0, io_energy_threshold: 0.5 };
+        let policy = AdaptivePolicy {
+            window_steps: 0,
+            io_energy_threshold: 0.5,
+        };
         let _ = run(&io_heavy(), &policy);
     }
 }

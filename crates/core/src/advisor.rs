@@ -93,11 +93,27 @@ fn pass_energy_j(spec: &HardwareSpec, bytes: u64, behavior: IoBehavior) -> f64 {
     }
     let pattern = match behavior {
         IoBehavior::Sequential => AccessPattern::Sequential,
-        IoBehavior::Random { op_bytes } => AccessPattern::Random { op_bytes, queue_depth: 1 },
+        IoBehavior::Random { op_bytes } => AccessPattern::Random {
+            op_bytes,
+            queue_depth: 1,
+        },
     };
     // One write pass + one read pass per exploration cycle, as in §V-D.
-    io_energy_j(spec, Activity::DiskWrite { bytes, pattern, buffered: true })
-        + io_energy_j(spec, Activity::DiskRead { bytes, pattern, buffered: true })
+    io_energy_j(
+        spec,
+        Activity::DiskWrite {
+            bytes,
+            pattern,
+            buffered: true,
+        },
+    ) + io_energy_j(
+        spec,
+        Activity::DiskRead {
+            bytes,
+            pattern,
+            buffered: true,
+        },
+    )
 }
 
 /// Estimate all techniques and recommend one.
@@ -112,11 +128,14 @@ pub fn recommend(spec: &HardwareSpec, w: &WorkloadProfile) -> Advice {
 
     // In-situ: raw I/O disappears; rendered images ≈ 2% of the raw volume.
     let image_bytes = w.pass_bytes / 50;
-    let insitu_io_j =
-        io_energy_j(
-            spec,
-            Activity::DiskWrite { bytes: image_bytes, pattern: AccessPattern::Sequential, buffered: true },
-        ) * passes;
+    let insitu_io_j = io_energy_j(
+        spec,
+        Activity::DiskWrite {
+            bytes: image_bytes,
+            pattern: AccessPattern::Sequential,
+            buffered: true,
+        },
+    ) * passes;
 
     // Software-directed reorganization (refs [30], [31]) happens at *write*
     // time — the scheduler emits the data in sequential layout — so its cost
@@ -150,7 +169,9 @@ pub fn recommend(spec: &HardwareSpec, w: &WorkloadProfile) -> Advice {
         if reorg_total < keep_total * 0.9 && reorg_total <= sampling_total {
             Technique::Reorganize
         } else if w.min_keep_fraction < 1.0 && sampling_total < keep_total * 0.9 {
-            Technique::DataSampling { keep_fraction: w.min_keep_fraction }
+            Technique::DataSampling {
+                keep_fraction: w.min_keep_fraction,
+            }
         } else {
             Technique::KeepPostProcessing
         }

@@ -48,7 +48,12 @@ impl CaseBreakdown {
             cmp.insitu.metrics.execution_time_s,
             probe_dyn_w,
         );
-        CaseBreakdown { case: cmp.case, nnread: read, nnwrite: write, savings }
+        CaseBreakdown {
+            case: cmp.case,
+            nnread: read,
+            nnwrite: write,
+            savings,
+        }
     }
 }
 

@@ -120,7 +120,10 @@ pub fn run_capped_insitu(cfg: &PipelineConfig, cap_w: f64) -> Option<CappedRun> 
 
 /// Sweep a set of caps; infeasible caps are skipped.
 pub fn cap_sweep(cfg: &PipelineConfig, caps_w: &[f64]) -> Vec<CappedRun> {
-    caps_w.iter().filter_map(|&cap| run_capped_insitu(cfg, cap)).collect()
+    caps_w
+        .iter()
+        .filter_map(|&cap| run_capped_insitu(cfg, cap))
+        .collect()
 }
 
 #[cfg(test)]

@@ -30,19 +30,41 @@ impl CaseComparison {
         }
     }
 
+    /// Run several case studies through the parallel sweep executor
+    /// (`workers` threads) and return comparisons in case order. Results are
+    /// bit-identical for any `workers`, including 1 — see [`crate::sweep`].
+    pub fn run_cases_parallel(
+        cases: &[u32],
+        setup: &ExperimentSetup,
+        workers: usize,
+    ) -> Vec<CaseComparison> {
+        let jobs = crate::sweep::case_grid(setup, cases);
+        let results = crate::sweep::run_sweep(jobs, workers, &crate::sweep::silent_progress());
+        crate::sweep::comparisons(&results)
+    }
+
     /// Figure 7: execution-time pair `(in-situ, traditional)`, seconds.
     pub fn execution_times_s(&self) -> (f64, f64) {
-        (self.insitu.metrics.execution_time_s, self.post.metrics.execution_time_s)
+        (
+            self.insitu.metrics.execution_time_s,
+            self.post.metrics.execution_time_s,
+        )
     }
 
     /// Figure 8: average-power pair `(in-situ, traditional)`, watts.
     pub fn average_powers_w(&self) -> (f64, f64) {
-        (self.insitu.metrics.average_power_w, self.post.metrics.average_power_w)
+        (
+            self.insitu.metrics.average_power_w,
+            self.post.metrics.average_power_w,
+        )
     }
 
     /// Figure 9: peak-power pair `(in-situ, traditional)`, watts.
     pub fn peak_powers_w(&self) -> (f64, f64) {
-        (self.insitu.metrics.peak_power_w, self.post.metrics.peak_power_w)
+        (
+            self.insitu.metrics.peak_power_w,
+            self.post.metrics.peak_power_w,
+        )
     }
 
     /// Figure 10: energy pair `(in-situ, traditional)`, joules.
@@ -53,7 +75,12 @@ impl CaseComparison {
     /// Figure 11: efficiency pair normalized to the in-situ run
     /// `(in-situ = 1.0, traditional < 1.0)`.
     pub fn normalized_efficiencies(&self) -> (f64, f64) {
-        (1.0, self.post.metrics.normalized_efficiency(&self.insitu.metrics))
+        (
+            1.0,
+            self.post
+                .metrics
+                .normalized_efficiency(&self.insitu.metrics),
+        )
     }
 
     /// Headline: percent energy the in-situ pipeline saves (the paper's
@@ -74,7 +101,12 @@ impl CaseComparison {
 
     /// Percent efficiency improvement from in-situ (the paper's 22–72%).
     pub fn efficiency_improvement_pct(&self) -> f64 {
-        (self.insitu.metrics.normalized_efficiency(&self.post.metrics) - 1.0) * 100.0
+        (self
+            .insitu
+            .metrics
+            .normalized_efficiency(&self.post.metrics)
+            - 1.0)
+            * 100.0
     }
 }
 

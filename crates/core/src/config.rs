@@ -120,8 +120,16 @@ impl PipelineConfig {
             dt,
             boundary: Boundary::Neumann,
             sources: vec![
-                PointSource { i: nx / 3, j: ny / 3, rate: 40.0 / dt / 50.0 },
-                PointSource { i: 2 * nx / 3, j: 2 * ny / 3, rate: 24.0 / dt / 50.0 },
+                PointSource {
+                    i: nx / 3,
+                    j: ny / 3,
+                    rate: 40.0 / dt / 50.0,
+                },
+                PointSource {
+                    i: 2 * nx / 3,
+                    j: 2 * ny / 3,
+                    rate: 24.0 / dt / 50.0,
+                },
             ],
         }
     }
@@ -133,7 +141,9 @@ impl PipelineConfig {
 
     /// Number of timesteps that perform I/O + visualization.
     pub fn io_steps(&self) -> u64 {
-        (1..=self.timesteps).filter(|s| s % self.io_interval == 0).count() as u64
+        (1..=self.timesteps)
+            .filter(|s| s % self.io_interval == 0)
+            .count() as u64
     }
 
     /// Total cell updates over the run — the work-unit basis of the

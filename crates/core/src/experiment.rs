@@ -35,7 +35,10 @@ impl Default for ExperimentSetup {
 impl ExperimentSetup {
     /// A noise-free rig for exact regression tests.
     pub fn noiseless() -> Self {
-        ExperimentSetup { meter: WattsupMeter::noiseless(), ..Self::default() }
+        ExperimentSetup {
+            meter: WattsupMeter::noiseless(),
+            ..Self::default()
+        }
     }
 }
 
@@ -122,7 +125,11 @@ mod tests {
     #[test]
     fn report_carries_consistent_metrics() {
         let cfg = PipelineConfig::small(1);
-        let r = run(PipelineKind::PostProcessing, &cfg, &ExperimentSetup::noiseless());
+        let r = run(
+            PipelineKind::PostProcessing,
+            &cfg,
+            &ExperimentSetup::noiseless(),
+        );
         assert!((r.metrics.execution_time_s - r.timeline.end().as_secs_f64()).abs() < 1e-9);
         assert!((r.metrics.energy_j - r.timeline.total_energy_j()).abs() < 1e-6);
         // The 1 Hz profile covers the run (minus the partial last second).
@@ -133,7 +140,11 @@ mod tests {
     #[test]
     fn phase_rows_partition_time_and_energy() {
         let cfg = PipelineConfig::small(2);
-        let r = run(PipelineKind::PostProcessing, &cfg, &ExperimentSetup::noiseless());
+        let r = run(
+            PipelineKind::PostProcessing,
+            &cfg,
+            &ExperimentSetup::noiseless(),
+        );
         let rows = r.phase_rows();
         let pct: f64 = rows.iter().map(|x| x.time_pct).sum();
         assert!((pct - 100.0).abs() < 1e-6, "phases cover {pct}%");
@@ -148,11 +159,17 @@ mod tests {
         let without = run(
             PipelineKind::InSitu,
             &cfg,
-            &ExperimentSetup { monitoring_overhead_w: 0.0, ..ExperimentSetup::noiseless() },
+            &ExperimentSetup {
+                monitoring_overhead_w: 0.0,
+                ..ExperimentSetup::noiseless()
+            },
         );
         let dt = with.metrics.execution_time_s;
         let de = with.metrics.energy_j - without.metrics.energy_j;
-        assert!((de - 0.2 * dt).abs() < 1e-6, "overhead energy {de} J over {dt} s");
+        assert!(
+            (de - 0.2 * dt).abs() < 1e-6,
+            "overhead energy {de} J over {dt} s"
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`probes`] — the isolated `nnread`/`nnwrite` stages of Figure 6 /
 //!   Table II.
 //! * [`compare`] — head-to-head comparison (Figures 7–11).
+//! * [`sweep`] — deterministic parallel executor for the experiment grid:
+//!   a work-stealing `std::thread` pool whose per-job RNG seeds derive from
+//!   job keys, so results are bit-identical for any worker count.
 //! * [`breakdown`] — the §V-C static/dynamic energy-savings decomposition.
 //! * [`whatif`] — the §V-D fio-based analysis: in-situ vs data
 //!   reorganization for a random-I/O application.
@@ -51,6 +54,7 @@ pub mod experiment;
 pub mod pipeline;
 pub mod probes;
 pub mod report;
+pub mod sweep;
 pub mod variants;
 pub mod whatif;
 

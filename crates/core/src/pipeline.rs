@@ -173,7 +173,9 @@ pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> Pipelin
             PipelineKind::InSitu => {
                 // Hand the live field to the renderer (in-memory).
                 node.execute(
-                    Activity::MemTraffic { bytes: cfg.snapshot_bytes() },
+                    Activity::MemTraffic {
+                        bytes: cfg.snapshot_bytes(),
+                    },
                     Phase::Visualization,
                 );
                 node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
@@ -195,7 +197,10 @@ pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> Pipelin
                 let bytes = solver.grid().to_bytes();
                 let messages = bytes.len().div_ceil(cfg.chunk_bytes) as u32;
                 node.execute(
-                    Activity::NetTransfer { bytes: bytes.len() as u64, messages },
+                    Activity::NetTransfer {
+                        bytes: bytes.len() as u64,
+                        messages,
+                    },
                     Phase::Network,
                 );
                 out.bytes_written += bytes.len() as u64;
@@ -245,10 +250,18 @@ mod tests {
     fn post_processing_has_all_four_phases() {
         let (node, out) = run_small(PipelineKind::PostProcessing, 1);
         let tl = node.timeline();
-        for phase in [Phase::Simulation, Phase::Write, Phase::Read, Phase::Visualization] {
+        for phase in [
+            Phase::Simulation,
+            Phase::Write,
+            Phase::Read,
+            Phase::Visualization,
+        ] {
             assert!(!tl.phase_duration(phase).is_zero(), "{phase} missing");
         }
-        assert!(out.verified, "read-back snapshots must match write-time checksums");
+        assert!(
+            out.verified,
+            "read-back snapshots must match write-time checksums"
+        );
         assert_eq!(out.io_steps, 10);
         assert_eq!(out.bytes_read, out.bytes_written);
     }
@@ -262,7 +275,10 @@ mod tests {
         assert!(!tl.phase_duration(Phase::ImageWrite).is_zero());
         assert!(!tl.phase_duration(Phase::Visualization).is_zero());
         assert_eq!(out.bytes_read, 0);
-        assert_eq!(out.bytes_written, 10 * greenness_viz::image::ppm_size_bytes(64, 64));
+        assert_eq!(
+            out.bytes_written,
+            10 * greenness_viz::image::ppm_size_bytes(64, 64)
+        );
     }
 
     #[test]
@@ -303,7 +319,11 @@ mod tests {
         assert_eq!(post.frames.len(), insitu.frames.len());
         for (p, i) in post.frames.iter().zip(&insitu.frames) {
             assert_eq!(p.step, i.step);
-            assert_eq!(p.image, i.image, "frame {} differs between pipelines", p.step);
+            assert_eq!(
+                p.image, i.image,
+                "frame {} differs between pipelines",
+                p.step
+            );
         }
     }
 

@@ -29,7 +29,12 @@ pub struct ProbeResult {
 fn summarize(name: &'static str, timeline: Timeline, static_w: f64) -> ProbeResult {
     let avg_total_w = timeline.average_power_w();
     let avg_dynamic_w = probe_dynamic_power_w(&timeline, static_w);
-    ProbeResult { name, timeline, avg_total_w, avg_dynamic_w }
+    ProbeResult {
+        name,
+        timeline,
+        avg_total_w,
+        avg_dynamic_w,
+    }
 }
 
 /// Run the `nnwrite` probe: write-and-fsync `chunk_bytes` chunks for at
@@ -45,8 +50,10 @@ pub fn nnwrite(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> 
     let mut k = 0u64;
     while node.now().as_secs_f64() < duration_s {
         let name = format!("nn{k:06}");
-        fs.write(&mut node, &name, 0, &chunk, Phase::IoBench).expect("device sized");
-        fs.fsync(&mut node, &name, Phase::IoBench).expect("file exists");
+        fs.write(&mut node, &name, 0, &chunk, Phase::IoBench)
+            .expect("device sized");
+        fs.fsync(&mut node, &name, Phase::IoBench)
+            .expect("file exists");
         k += 1;
     }
     let static_w = setup.spec.static_w();
@@ -68,8 +75,14 @@ pub fn nnread(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> P
     // cold chunk read.
     let files = (duration_s / 0.08) as u64 + 8;
     for k in 0..files {
-        fs.write(&mut scratch, &format!("nn{k:06}"), 0, &chunk, Phase::IoBench)
-            .expect("device sized");
+        fs.write(
+            &mut scratch,
+            &format!("nn{k:06}"),
+            0,
+            &chunk,
+            Phase::IoBench,
+        )
+        .expect("device sized");
     }
     fs.sync(&mut scratch, Phase::IoBench);
     fs.drop_caches();
@@ -78,8 +91,14 @@ pub fn nnread(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> P
     node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
     let mut k = 0u64;
     while node.now().as_secs_f64() < duration_s && k < files {
-        fs.read(&mut node, &format!("nn{k:06}"), 0, chunk_bytes as u64, Phase::IoBench)
-            .expect("staged above");
+        fs.read(
+            &mut node,
+            &format!("nn{k:06}"),
+            0,
+            chunk_bytes as u64,
+            Phase::IoBench,
+        )
+        .expect("staged above");
         k += 1;
     }
     let static_w = setup.spec.static_w();
@@ -94,16 +113,32 @@ mod tests {
     fn table2_nnwrite_power() {
         let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 20.0);
         // Paper: 114.8 W total, 10.0 W dynamic.
-        assert!((r.avg_total_w - 114.8).abs() < 0.7, "total {}", r.avg_total_w);
-        assert!((r.avg_dynamic_w - 10.0).abs() < 0.7, "dynamic {}", r.avg_dynamic_w);
+        assert!(
+            (r.avg_total_w - 114.8).abs() < 0.7,
+            "total {}",
+            r.avg_total_w
+        );
+        assert!(
+            (r.avg_dynamic_w - 10.0).abs() < 0.7,
+            "dynamic {}",
+            r.avg_dynamic_w
+        );
     }
 
     #[test]
     fn table2_nnread_power() {
         let r = nnread(&ExperimentSetup::noiseless(), 128 * 1024, 20.0);
         // Paper: 115.1 W total, 10.3 W dynamic.
-        assert!((r.avg_total_w - 115.1).abs() < 0.7, "total {}", r.avg_total_w);
-        assert!((r.avg_dynamic_w - 10.3).abs() < 0.7, "dynamic {}", r.avg_dynamic_w);
+        assert!(
+            (r.avg_total_w - 115.1).abs() < 0.7,
+            "total {}",
+            r.avg_total_w
+        );
+        assert!(
+            (r.avg_dynamic_w - 10.3).abs() < 0.7,
+            "dynamic {}",
+            r.avg_dynamic_w
+        );
     }
 
     #[test]

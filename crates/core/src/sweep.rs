@@ -1,0 +1,462 @@
+//! Deterministic parallel sweep executor for the paper's experiment grid.
+//!
+//! The paper's results are a grid of *independent* runs — 3 case studies ×
+//! pipeline kinds × hardware/interval variants (Figures 4–11, Tables
+//! II–III) — so reproduction wall-clock should be bounded by the slowest
+//! job, not the sum. This module provides the batch layer everything above
+//! it (the `repro` and `greenness` binaries, the integration tests, and the
+//! extension studies) submits through:
+//!
+//! * a [`SweepJob`] is one pipeline run: `(case, PipelineKind,
+//!   PipelineConfig, ExperimentSetup)`;
+//! * [`run_sweep`] executes a batch on a bounded **work-stealing pool**
+//!   built on `std::thread` + `std::sync::mpsc` (no external dependencies —
+//!   the crate registry is not always reachable from the build hosts);
+//! * results come back **keyed and ordered by job id** (submission order),
+//!   so output never depends on scheduling;
+//! * every job derives its RNG seed from its own *job key* — never from
+//!   worker identity or execution order — so a sweep is **bit-identical for
+//!   any worker count, including 1** (pinned by
+//!   `tests/parallel_determinism.rs`);
+//! * [`manifest_json`] renders the per-job results manifest the `repro`
+//!   binary writes to `repro_out/manifest.json` and the golden tests
+//!   consume.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+use crate::compare::CaseComparison;
+use crate::config::PipelineConfig;
+use crate::experiment::{run, ExperimentSetup, PipelineReport};
+use crate::pipeline::PipelineKind;
+
+/// One cell of the experiment grid.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Case-study number the job belongs to (1–3 for the paper grid;
+    /// synthetic grids may use other values).
+    pub case: u32,
+    /// Which pipeline to run.
+    pub kind: PipelineKind,
+    /// The workload.
+    pub cfg: PipelineConfig,
+    /// The measurement rig. The meter seed in here acts as the sweep-level
+    /// *base* seed; the job reseeds it via [`SweepJob::derived_seed`].
+    pub setup: ExperimentSetup,
+}
+
+impl SweepJob {
+    /// The job's stable identity: every field that distinguishes one grid
+    /// cell from another, and nothing about *how* the grid is executed.
+    pub fn key(&self) -> String {
+        format!(
+            "case{}/{}/{}",
+            self.case,
+            self.kind.label(),
+            self.group_tail()
+        )
+    }
+
+    /// The identity shared by both pipeline kinds of one grid cell —
+    /// everything in the key except the pipeline kind. Comparison pairing
+    /// matches on `(case, group)`.
+    pub fn group(&self) -> String {
+        format!("case{}/{}", self.case, self.group_tail())
+    }
+
+    fn group_tail(&self) -> String {
+        format!("{}/{}", self.cfg.label, self.setup.spec.name)
+    }
+
+    /// Seed for this job's meter noise, derived from the job key and the
+    /// sweep's base seed only. Worker identity and execution order never
+    /// enter, which is what makes sweeps schedule-independent.
+    pub fn derived_seed(&self) -> u64 {
+        splitmix64(fnv1a64(self.key().as_bytes()) ^ self.setup.meter.seed)
+    }
+
+    /// Run the job (on whatever thread the executor picked).
+    fn execute(&self) -> PipelineReport {
+        let mut setup = self.setup.clone();
+        setup.meter.seed = self.derived_seed();
+        run(self.kind, &self.cfg, &setup)
+    }
+}
+
+/// One finished grid cell, in submission order.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Index of the job in the submitted batch (the manifest's primary key).
+    pub id: usize,
+    /// The job's stable identity string.
+    pub key: String,
+    /// The key minus the pipeline kind (shared by a post/in-situ pair).
+    pub group: String,
+    /// The meter seed the job actually ran with.
+    pub seed: u64,
+    /// Case-study number (copied from the job).
+    pub case: u32,
+    /// Pipeline kind (copied from the job).
+    pub kind: PipelineKind,
+    /// Everything the instrumented run produced.
+    pub report: PipelineReport,
+}
+
+/// Progress notification passed to the `on_done` callback of [`run_sweep`]:
+/// `(jobs finished so far, total jobs, key of the job that just finished)`.
+pub type Progress<'a> = &'a (dyn Fn(usize, usize, &str) + Sync);
+
+/// No-op progress callback for callers that don't report.
+pub fn silent_progress() -> impl Fn(usize, usize, &str) + Sync {
+    |_, _, _| {}
+}
+
+/// Execute `jobs` on `workers` threads and return results ordered by job id.
+///
+/// `workers` is clamped to `1..=jobs.len()`; `workers == 1` degenerates to a
+/// serial run on one spawned thread. `on_done` fires on the *calling* thread
+/// as results arrive (arrival order is scheduling-dependent; the returned
+/// `Vec` is not).
+///
+/// # Panics
+/// Propagates a panic from any job, and panics if two jobs share a key
+/// (duplicate keys would silently collapse distinct grid cells in the
+/// manifest).
+pub fn run_sweep(jobs: Vec<SweepJob>, workers: usize, on_done: Progress<'_>) -> Vec<JobResult> {
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    {
+        let mut keys: Vec<String> = jobs.iter().map(SweepJob::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "sweep jobs must have unique keys");
+    }
+    let workers = workers.clamp(1, total);
+
+    // Per-worker deques, dealt round-robin. A worker pops from the front of
+    // its own deque and steals from the *back* of the busiest other deque,
+    // the classic Arora-Blumofe-Plaxton shape, here with plain mutexed
+    // deques: the batch is fixed (no dynamic spawning), so lock-free
+    // machinery would buy nothing this side of thousands of jobs.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, _) in jobs.iter().enumerate() {
+        queues[i % workers]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(i);
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, PipelineReport)>();
+    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let jobs = &jobs;
+            scope.spawn(move || loop {
+                let next = pop_own(&queues[me]).or_else(|| steal_other(queues, me));
+                let Some(idx) = next else { break };
+                let report = jobs[idx].execute();
+                if tx.send((idx, report)).is_err() {
+                    break; // collector gone; nothing left to report to
+                }
+            });
+        }
+        drop(tx);
+
+        let mut finished = 0usize;
+        for (idx, report) in rx {
+            finished += 1;
+            on_done(finished, total, &jobs[idx].key());
+            slots[idx] = Some(JobResult {
+                id: idx,
+                key: jobs[idx].key(),
+                group: jobs[idx].group(),
+                seed: jobs[idx].derived_seed(),
+                case: jobs[idx].case,
+                kind: jobs[idx].kind,
+                report,
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} finished without a result")))
+        .collect()
+}
+
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("queue poisoned").pop_front()
+}
+
+fn steal_other(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    // Steal from the currently longest queue; ties break toward the lowest
+    // worker index. Which worker *runs* a job never affects its result.
+    let victim = queues
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != me)
+        .max_by_key(|(i, q)| (q.lock().expect("queue poisoned").len(), usize::MAX - i))?;
+    victim.1.lock().expect("queue poisoned").pop_back()
+}
+
+/// The standard figure grid: both measured pipelines over each requested
+/// case study, in deterministic submission order (case-major, then
+/// post-processing before in-situ — the column order of Figures 7–11).
+pub fn case_grid(setup: &ExperimentSetup, cases: &[u32]) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(cases.len() * 2);
+    for &n in cases {
+        for kind in [PipelineKind::PostProcessing, PipelineKind::InSitu] {
+            jobs.push(SweepJob {
+                case: n,
+                kind,
+                cfg: PipelineConfig::case_study(n),
+                setup: setup.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Same grid over an explicit `(case, cfg)` list — tests use scaled-down
+/// configs, the extension studies use per-spec setups.
+pub fn config_grid(setup: &ExperimentSetup, configs: &[(u32, PipelineConfig)]) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(configs.len() * 2);
+    for (n, cfg) in configs {
+        for kind in [PipelineKind::PostProcessing, PipelineKind::InSitu] {
+            jobs.push(SweepJob {
+                case: *n,
+                kind,
+                cfg: cfg.clone(),
+                setup: setup.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Pair post-processing and in-situ results back into [`CaseComparison`]s,
+/// in job-id order of the post-processing half. Jobs that lack a partner of
+/// the other kind (e.g. in-transit runs) are skipped.
+pub fn comparisons(results: &[JobResult]) -> Vec<CaseComparison> {
+    let mut out = Vec::new();
+    for r in results {
+        if r.kind != PipelineKind::PostProcessing {
+            continue;
+        }
+        let partner = results
+            .iter()
+            .find(|p| p.kind == PipelineKind::InSitu && p.group == r.group);
+        if let Some(insitu) = partner {
+            out.push(CaseComparison {
+                case: r.case,
+                post: r.report.clone(),
+                insitu: insitu.report.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Render the structured per-job manifest (`repro_out/manifest.json`).
+///
+/// The output is a pure function of the job results: ids, keys, derived
+/// seeds, metrics, per-phase accounting, and data-side outputs — nothing
+/// about wall-clock, worker count, or host. Byte-identical manifests across
+/// `--jobs` values are an acceptance gate (`tests/parallel_determinism.rs`).
+pub fn manifest_json(results: &[JobResult]) -> String {
+    let mut s = String::with_capacity(1024 + 1024 * results.len());
+    s.push_str("{\n  \"schema\": \"greenness-sweep-manifest/v1\",\n  \"jobs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let m = &r.report.metrics;
+        let o = &r.report.output;
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"id\": {},\n", r.id));
+        s.push_str(&format!("      \"key\": \"{}\",\n", escape_json(&r.key)));
+        s.push_str(&format!("      \"case\": {},\n", r.case));
+        s.push_str(&format!(
+            "      \"pipeline\": \"{}\",\n",
+            escape_json(r.kind.label())
+        ));
+        s.push_str(&format!(
+            "      \"config\": \"{}\",\n",
+            escape_json(&r.report.config_label)
+        ));
+        s.push_str(&format!("      \"seed\": {},\n", r.seed));
+        s.push_str(&format!(
+            "      \"execution_time_s\": {:?},\n",
+            m.execution_time_s
+        ));
+        s.push_str(&format!(
+            "      \"average_power_w\": {:?},\n",
+            m.average_power_w
+        ));
+        s.push_str(&format!("      \"peak_power_w\": {:?},\n", m.peak_power_w));
+        s.push_str(&format!("      \"energy_j\": {:?},\n", m.energy_j));
+        s.push_str(&format!("      \"work_units\": {:?},\n", m.work_units));
+        s.push_str("      \"phases\": [");
+        for (j, row) in r.report.phase_rows().iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"phase\": \"{:?}\", \"time_s\": {:?}, \"time_pct\": {:?}, \
+                 \"energy_j\": {:?}, \"avg_power_w\": {:?}}}",
+                row.phase,
+                row.duration.as_secs_f64(),
+                row.time_pct,
+                row.energy_j,
+                row.avg_power_w
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!(
+            "      \"output\": {{\"io_steps\": {}, \"bytes_written\": {}, \
+             \"bytes_read\": {}, \"frames\": {}, \"verified\": {}}},\n",
+            o.io_steps,
+            o.bytes_written,
+            o.bytes_read,
+            o.frames.len(),
+            o.verified
+        ));
+        s.push_str(&format!(
+            "      \"profile\": {{\"samples\": {}, \"avg_system_w\": {:?}}}\n",
+            r.report.profile.len(),
+            r.report.profile.average_system_w()
+        ));
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn escape_json(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> Vec<SweepJob> {
+        let setup = ExperimentSetup::noiseless();
+        config_grid(
+            &setup,
+            &[
+                (1, PipelineConfig::small(1)),
+                (2, PipelineConfig::small(2)),
+                (3, PipelineConfig::small(8)),
+            ],
+        )
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs = small_grid();
+        let expected: Vec<String> = jobs.iter().map(SweepJob::key).collect();
+        let results = run_sweep(jobs, 4, &silent_progress());
+        let got: Vec<String> = results.iter().map(|r| r.key.clone()).collect();
+        assert_eq!(got, expected);
+        assert!(results.iter().enumerate().all(|(i, r)| r.id == i));
+    }
+
+    #[test]
+    fn seeds_depend_on_key_not_schedule() {
+        let jobs = small_grid();
+        let direct: Vec<u64> = jobs.iter().map(SweepJob::derived_seed).collect();
+        let serial = run_sweep(jobs.clone(), 1, &silent_progress());
+        let wide = run_sweep(jobs, 3, &silent_progress());
+        assert_eq!(serial.iter().map(|r| r.seed).collect::<Vec<_>>(), direct);
+        assert_eq!(wide.iter().map(|r| r.seed).collect::<Vec<_>>(), direct);
+        // Distinct keys get distinct seeds.
+        let mut sorted = direct.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), direct.len());
+    }
+
+    #[test]
+    fn progress_reports_every_job_exactly_once() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let jobs = small_grid();
+        let total = jobs.len();
+        run_sweep(jobs, 2, &|done, of, key| {
+            seen.lock().unwrap().push((done, of, key.to_string()));
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), total);
+        assert!(seen.iter().all(|(_, of, _)| *of == total));
+        assert_eq!(seen.last().unwrap().0, total);
+    }
+
+    #[test]
+    fn comparisons_pair_pipelines_per_case() {
+        let results = run_sweep(small_grid(), 2, &silent_progress());
+        let cmps = comparisons(&results);
+        assert_eq!(
+            cmps.iter().map(|c| c.case).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        for c in &cmps {
+            assert!(c.post.metrics.energy_j > c.insitu.metrics.energy_j);
+        }
+    }
+
+    #[test]
+    fn manifest_is_schedule_invariant() {
+        let a = manifest_json(&run_sweep(small_grid(), 1, &silent_progress()));
+        let b = manifest_json(&run_sweep(small_grid(), 3, &silent_progress()));
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"greenness-sweep-manifest/v1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "unique keys")]
+    fn duplicate_keys_are_rejected() {
+        let setup = ExperimentSetup::noiseless();
+        let job = SweepJob {
+            case: 1,
+            kind: PipelineKind::InSitu,
+            cfg: PipelineConfig::small(1),
+            setup,
+        };
+        run_sweep(vec![job.clone(), job], 2, &silent_progress());
+    }
+}

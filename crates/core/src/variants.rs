@@ -18,8 +18,8 @@
 //! applicable) real codecs; post-processing variants verify their read-back
 //! data (bit-exact for lossless paths, bounded-error for quantization).
 
-use greenness_codec::transpose::TransposeRle;
 use greenness_codec::quant::Quant16;
+use greenness_codec::transpose::TransposeRle;
 use greenness_codec::{Codec, CodecCostModel};
 use greenness_heatsim::{Grid, HeatSolver};
 use greenness_platform::{Node, Phase};
@@ -182,7 +182,13 @@ fn sampled_post(node: &mut Node, cfg: &PipelineConfig, stride: usize) -> Variant
         node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
         let _ = render_field(&grid, &cfg.render);
     }
-    finish(Variant::SampledPost { stride }, node, written, raw, verified)
+    finish(
+        Variant::SampledPost { stride },
+        node,
+        written,
+        raw,
+        verified,
+    )
 }
 
 fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -> VariantOutput {
@@ -210,8 +216,20 @@ fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -
         node.execute(codec_cost.encode_activity(bytes.len() as u64), Phase::Write);
         let encoded = codec.encode(&bytes);
         let name = format!("snap{step:04}");
-        names.push((name.clone(), fnv1a(&bytes), solver.grid().min(), solver.grid().max()));
-        written += write_chunked(node, &mut fs, &name, &encoded, cfg.chunk_bytes, Phase::Write);
+        names.push((
+            name.clone(),
+            fnv1a(&bytes),
+            solver.grid().min(),
+            solver.grid().max(),
+        ));
+        written += write_chunked(
+            node,
+            &mut fs,
+            &name,
+            &encoded,
+            cfg.chunk_bytes,
+            Phase::Write,
+        );
     }
     fs.sync(node, Phase::CacheControl);
     fs.drop_caches();
@@ -226,7 +244,10 @@ fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -
                 continue;
             }
         };
-        node.execute(codec_cost.decode_activity(decoded.len() as u64), Phase::Read);
+        node.execute(
+            codec_cost.decode_activity(decoded.len() as u64),
+            Phase::Read,
+        );
         match choice {
             CodecChoice::Lossless => {
                 if fnv1a(&decoded) != *raw_sum {
@@ -245,12 +266,18 @@ fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -
                 }
             }
         }
-        let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &decoded)
-            .expect("decoded snapshot shape");
+        let grid =
+            Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &decoded).expect("decoded snapshot shape");
         node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
         let _ = render_field(&grid, &cfg.render);
     }
-    finish(Variant::CompressedPost { codec: choice }, node, written, raw, verified)
+    finish(
+        Variant::CompressedPost { codec: choice },
+        node,
+        written,
+        raw,
+        verified,
+    )
 }
 
 fn dvfs_insitu(node: &mut Node, cfg: &PipelineConfig, freq_scale: f64) -> VariantOutput {
@@ -368,7 +395,8 @@ fn burst_buffer_post(node: &mut Node, cfg: &PipelineConfig, buffer_bytes: u64) -
         raw += bytes.len() as u64;
         let name = format!("snap{step:04}");
         names.push((name.clone(), fnv1a(&bytes)));
-        bb.stage(node, &mut fs, &name, &bytes, Phase::Write).expect("buffer sized");
+        bb.stage(node, &mut fs, &name, &bytes, Phase::Write)
+            .expect("buffer sized");
     }
     // End of phase 1: drain the tier, then the paper's sync + drop.
     bb.drain_all(node, &mut fs, Phase::Write).expect("drain");
@@ -388,7 +416,13 @@ fn burst_buffer_post(node: &mut Node, cfg: &PipelineConfig, buffer_bytes: u64) -
         node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
         let _ = render_field(&grid, &cfg.render);
     }
-    finish(Variant::BurstBufferPost { buffer_bytes }, node, written, raw, verified)
+    finish(
+        Variant::BurstBufferPost { buffer_bytes },
+        node,
+        written,
+        raw,
+        verified,
+    )
 }
 
 #[cfg(test)]
@@ -413,7 +447,10 @@ mod tests {
         let r = crate::experiment::run(
             PipelineKind::PostProcessing,
             &cfg(),
-            &ExperimentSetup { monitoring_overhead_w: 0.0, ..ExperimentSetup::noiseless() },
+            &ExperimentSetup {
+                monitoring_overhead_w: 0.0,
+                ..ExperimentSetup::noiseless()
+            },
         );
         (r.metrics.energy_j, r.metrics.execution_time_s)
     }
@@ -435,7 +472,9 @@ mod tests {
         // best flat (and the codec CPU makes it slightly worse). This is
         // exactly why scientific compressors (ZFP/SZ) are lossy.
         let (post_e, _) = baseline_post();
-        let v = run_on_fresh(Variant::CompressedPost { codec: CodecChoice::Lossless });
+        let v = run_on_fresh(Variant::CompressedPost {
+            codec: CodecChoice::Lossless,
+        });
         assert!(v.verified, "lossless round trip failed");
         assert!(v.reduction_factor() > 1.05, "got {}", v.reduction_factor());
         assert!(v.energy_j < post_e * 1.03, "{} vs {post_e}", v.energy_j);
@@ -444,11 +483,19 @@ mod tests {
     #[test]
     fn quantized_compression_shrinks_more_and_saves_energy() {
         let (post_e, _) = baseline_post();
-        let lossless = run_on_fresh(Variant::CompressedPost { codec: CodecChoice::Lossless });
-        let quant = run_on_fresh(Variant::CompressedPost { codec: CodecChoice::Quantized });
+        let lossless = run_on_fresh(Variant::CompressedPost {
+            codec: CodecChoice::Lossless,
+        });
+        let quant = run_on_fresh(Variant::CompressedPost {
+            codec: CodecChoice::Quantized,
+        });
         assert!(quant.verified, "quantized values escaped the error bound");
         assert!(quant.bytes_written < lossless.bytes_written);
-        assert!(quant.reduction_factor() > 3.0, "got {}", quant.reduction_factor());
+        assert!(
+            quant.reduction_factor() > 3.0,
+            "got {}",
+            quant.reduction_factor()
+        );
         assert!(quant.energy_j < post_e, "{} vs {post_e}", quant.energy_j);
     }
 
@@ -481,7 +528,9 @@ mod tests {
     #[test]
     fn burst_buffer_keeps_raw_data_and_beats_plain_post_processing() {
         let (post_e, post_t) = baseline_post();
-        let v = run_on_fresh(Variant::BurstBufferPost { buffer_bytes: 64 * 1024 * 1024 });
+        let v = run_on_fresh(Variant::BurstBufferPost {
+            buffer_bytes: 64 * 1024 * 1024,
+        });
         assert!(v.verified, "burst-buffered snapshots corrupted");
         assert_eq!(v.bytes_written, v.raw_bytes, "all raw data must survive");
         // At this reduced scale only the write phase crosses the burst
@@ -498,7 +547,9 @@ mod tests {
         cfg.timesteps = 6;
         let mut node = Node::new(HardwareSpec::table1());
         let v = run_variant(
-            Variant::BurstBufferPost { buffer_bytes: 64 * 1024 },
+            Variant::BurstBufferPost {
+                buffer_bytes: 64 * 1024,
+            },
             &mut node,
             &cfg,
         );

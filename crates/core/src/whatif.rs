@@ -36,7 +36,10 @@ impl WhatIfAnalysis {
             let mut node = Node::new(setup.spec.clone());
             node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
             let mut dev = NullBlockDevice::with_capacity_bytes(total_bytes);
-            let job = FioJob { total_bytes, ..FioJob::table3(kind) };
+            let job = FioJob {
+                total_bytes,
+                ..FioJob::table3(kind)
+            };
             fio_results.push(fio::run(&mut node, &mut dev, &job));
         }
         let energy = |k: FioKind| {
@@ -73,8 +76,16 @@ mod tests {
     fn paper_numbers_at_4gib() {
         let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024);
         // Paper: 242.2 kJ vs 7.3 kJ.
-        assert!((w.random_io_energy_kj - 242.2).abs() < 10.0, "{}", w.random_io_energy_kj);
-        assert!((w.reorganized_io_energy_kj - 7.3).abs() < 0.4, "{}", w.reorganized_io_energy_kj);
+        assert!(
+            (w.random_io_energy_kj - 242.2).abs() < 10.0,
+            "{}",
+            w.random_io_energy_kj
+        );
+        assert!(
+            (w.reorganized_io_energy_kj - 7.3).abs() < 0.4,
+            "{}",
+            w.reorganized_io_energy_kj
+        );
         assert!(w.retained_fraction() < 0.05);
         assert_eq!(w.fio.len(), 4);
     }

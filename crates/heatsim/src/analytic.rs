@@ -17,7 +17,9 @@ use crate::grid::Grid;
 
 /// The separable eigenmode `sin(mπx)·sin(nπy)` sampled at cell centers.
 pub fn eigenmode(nx: usize, ny: usize, m: u32, n: u32) -> Grid {
-    Grid::from_fn(nx, ny, |x, y| (m as f64 * PI * x).sin() * (n as f64 * PI * y).sin())
+    Grid::from_fn(nx, ny, |x, y| {
+        (m as f64 * PI * x).sin() * (n as f64 * PI * y).sin()
+    })
 }
 
 /// Decay factor of mode `(m, n)` after time `t` with diffusivity `alpha`.

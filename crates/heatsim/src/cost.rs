@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn fewer_cores_take_longer() {
-        let cost = SimCostModel { cores: 4, ..SimCostModel::default() };
+        let cost = SimCostModel {
+            cores: 4,
+            ..SimCostModel::default()
+        };
         let node = Node::new(HardwareSpec::table1());
         let (t4, _) = node.cost_of(cost.activity(512 * 512));
         let (t16, _) = node.cost_of(SimCostModel::default().activity(512 * 512));

@@ -79,10 +79,21 @@ impl HeatSolver {
             "FTCS unstable: alpha*dt*(1/dx^2+1/dy^2) = {cfl:.3} > 0.5"
         );
         for s in &config.sources {
-            assert!(s.i < nx && s.j < ny, "source ({}, {}) outside {nx}x{ny} grid", s.i, s.j);
+            assert!(
+                s.i < nx && s.j < ny,
+                "source ({}, {}) outside {nx}x{ny} grid",
+                s.i,
+                s.j
+            );
         }
         let scratch = initial.clone();
-        HeatSolver { config, grid: initial, scratch, steps_taken: 0, cell_updates: 0 }
+        HeatSolver {
+            config,
+            grid: initial,
+            scratch,
+            steps_taken: 0,
+            cell_updates: 0,
+        }
     }
 
     /// The current field.
@@ -187,7 +198,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "FTCS unstable")]
     fn cfl_violation_is_rejected() {
-        let cfg = SolverConfig { alpha: 1.0, dt: 1.0, ..Default::default() };
+        let cfg = SolverConfig {
+            alpha: 1.0,
+            dt: 1.0,
+            ..Default::default()
+        };
         let _ = HeatSolver::new(Grid::zeros(32, 32), cfg);
     }
 
@@ -195,7 +210,11 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn out_of_grid_source_is_rejected() {
         let cfg = SolverConfig {
-            sources: vec![PointSource { i: 99, j: 0, rate: 1.0 }],
+            sources: vec![PointSource {
+                i: 99,
+                j: 0,
+                rate: 1.0,
+            }],
             ..Default::default()
         };
         let _ = HeatSolver::new(Grid::zeros(16, 16), cfg);
@@ -227,12 +246,18 @@ mod tests {
 
     #[test]
     fn neumann_conserves_total_heat() {
-        let cfg = SolverConfig { boundary: Boundary::Neumann, ..Default::default() };
+        let cfg = SolverConfig {
+            boundary: Boundary::Neumann,
+            ..Default::default()
+        };
         let mut s = HeatSolver::new(hot_center(21), cfg);
         let before = s.grid().total();
         s.run(300);
         let after = s.grid().total();
-        assert!((after - before).abs() < 1e-8 * before.abs().max(1.0), "{before} -> {after}");
+        assert!(
+            (after - before).abs() < 1e-8 * before.abs().max(1.0),
+            "{before} -> {after}"
+        );
     }
 
     #[test]
@@ -246,14 +271,21 @@ mod tests {
         let mut s = HeatSolver::new(Grid::zeros(16, 16), cfg);
         s.run(5000);
         let center = s.grid().at(8, 8);
-        assert!((center - 5.0).abs() < 0.05, "center {center} should approach 5.0");
+        assert!(
+            (center - 5.0).abs() < 0.05,
+            "center {center} should approach 5.0"
+        );
     }
 
     #[test]
     fn point_source_injects_heat() {
         let cfg = SolverConfig {
             boundary: Boundary::Neumann,
-            sources: vec![PointSource { i: 8, j: 8, rate: 10.0 }],
+            sources: vec![PointSource {
+                i: 8,
+                j: 8,
+                rate: 10.0,
+            }],
             ..Default::default()
         };
         let mut s = HeatSolver::new(Grid::zeros(17, 17), cfg);
@@ -272,7 +304,10 @@ mod tests {
             for i in 0..17 {
                 let a = g.at(i, j);
                 let b = g.at(32 - i, j);
-                assert!((a - b).abs() < 1e-12, "x-asymmetry at ({i},{j}): {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "x-asymmetry at ({i},{j}): {a} vs {b}"
+                );
             }
         }
     }
@@ -285,7 +320,10 @@ mod tests {
         let init = Grid::from_fn(48, 32, |x, y| (x * 3.0).sin() + (y * 5.0).cos());
         let mut par = HeatSolver::new(init.clone(), cfg.clone());
         par.run(60);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let seq = pool.install(|| {
             let mut s = HeatSolver::new(init, cfg);
             s.run(60);

@@ -4,8 +4,12 @@ use greenness_heatsim::{Boundary, Grid, HeatSolver, PointSource, SolverConfig};
 use proptest::prelude::*;
 
 fn arb_grid() -> impl Strategy<Value = Grid> {
-    (3usize..24, 3usize..24, prop::collection::vec(-50.0..50.0f64, 1..16)).prop_map(
-        |(nx, ny, seeds)| {
+    (
+        3usize..24,
+        3usize..24,
+        prop::collection::vec(-50.0..50.0f64, 1..16),
+    )
+        .prop_map(|(nx, ny, seeds)| {
             Grid::from_fn(nx, ny, |x, y| {
                 seeds
                     .iter()
@@ -13,8 +17,7 @@ fn arb_grid() -> impl Strategy<Value = Grid> {
                     .map(|(k, s)| s * ((k as f64 + 1.0) * (x + 2.0 * y)).sin())
                     .sum()
             })
-        },
-    )
+        })
 }
 
 proptest! {

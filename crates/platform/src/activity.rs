@@ -94,22 +94,37 @@ impl Activity {
     /// Dense compute on `cores` cores at full intensity with no modeled DRAM
     /// traffic.
     pub fn compute(flops: f64, cores: u32) -> Activity {
-        Activity::Compute { flops, cores, intensity: 1.0, dram_bytes: 0 }
+        Activity::Compute {
+            flops,
+            cores,
+            intensity: 1.0,
+            dram_bytes: 0,
+        }
     }
 
     /// Buffered sequential write of `bytes`.
     pub fn write_seq(bytes: u64) -> Activity {
-        Activity::DiskWrite { bytes, pattern: AccessPattern::Sequential, buffered: true }
+        Activity::DiskWrite {
+            bytes,
+            pattern: AccessPattern::Sequential,
+            buffered: true,
+        }
     }
 
     /// Buffered sequential read of `bytes`.
     pub fn read_seq(bytes: u64) -> Activity {
-        Activity::DiskRead { bytes, pattern: AccessPattern::Sequential, buffered: true }
+        Activity::DiskRead {
+            bytes,
+            pattern: AccessPattern::Sequential,
+            buffered: true,
+        }
     }
 
     /// Idle for `secs` seconds.
     pub fn idle_secs(secs: f64) -> Activity {
-        Activity::Idle { duration: SimDuration::from_secs_f64(secs) }
+        Activity::Idle {
+            duration: SimDuration::from_secs_f64(secs),
+        }
     }
 }
 
@@ -120,7 +135,12 @@ mod tests {
     #[test]
     fn helper_constructors() {
         match Activity::compute(1e9, 16) {
-            Activity::Compute { flops, cores, intensity, dram_bytes } => {
+            Activity::Compute {
+                flops,
+                cores,
+                intensity,
+                dram_bytes,
+            } => {
                 assert_eq!(flops, 1e9);
                 assert_eq!(cores, 16);
                 assert_eq!(intensity, 1.0);

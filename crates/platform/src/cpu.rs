@@ -109,7 +109,12 @@ impl CpuModel {
 
     /// Package power while servicing buffered I/O, watts.
     pub fn io_busy_w(&self, is_read: bool) -> f64 {
-        self.idle_w() + if is_read { self.io_assist_read_w } else { self.io_assist_write_w }
+        self.idle_w()
+            + if is_read {
+                self.io_assist_read_w
+            } else {
+                self.io_assist_write_w
+            }
     }
 
     /// A copy of this model re-clocked to `scale × base frequency`.
@@ -179,7 +184,9 @@ mod tests {
     fn dvfs_slows_compute_and_cuts_dynamic_power_cubically() {
         let cpu = CpuModel::e5_2665_pair();
         let half = cpu.with_freq_scale(0.5);
-        assert!((half.compute_seconds(1e12, 16) / cpu.compute_seconds(1e12, 16) - 2.0).abs() < 1e-9);
+        assert!(
+            (half.compute_seconds(1e12, 16) / cpu.compute_seconds(1e12, 16) - 2.0).abs() < 1e-9
+        );
         let dyn_full = cpu.busy_w(16, 1.0) - cpu.idle_w();
         let dyn_half = half.busy_w(16, 1.0) - half.idle_w();
         assert!((dyn_half / dyn_full - 0.125).abs() < 1e-9);

@@ -231,7 +231,10 @@ impl DiskModel {
     fn blended(&self, position_s: f64, transfer_s: f64, dir: IoDir) -> DiskOpCost {
         let total = position_s + transfer_s;
         if total <= 0.0 {
-            return DiskOpCost { seconds: 0.0, dyn_w: 0.0 };
+            return DiskOpCost {
+                seconds: 0.0,
+                dyn_w: 0.0,
+            };
         }
         let energy_above_idle = position_s * self.seek_w + transfer_s * self.transfer_w(dir);
         DiskOpCost {
@@ -244,13 +247,20 @@ impl DiskModel {
     /// pattern.
     pub fn transfer(&self, bytes: u64, dir: IoDir, pattern: AccessPattern) -> DiskOpCost {
         if bytes == 0 {
-            return DiskOpCost { seconds: 0.0, dyn_w: 0.0 };
+            return DiskOpCost {
+                seconds: 0.0,
+                dyn_w: 0.0,
+            };
         }
         let rate = self.streaming_rate(dir);
         match pattern {
             AccessPattern::Sequential => {
                 // One initial positioning, then streaming.
-                self.blended(self.avg_seek_s + self.rot_latency_s, bytes as f64 / rate, dir)
+                self.blended(
+                    self.avg_seek_s + self.rot_latency_s,
+                    bytes as f64 / rate,
+                    dir,
+                )
             }
             AccessPattern::Chunked { op_bytes } => {
                 // Cold chunked access: a short settle + rotational miss per
@@ -260,7 +270,10 @@ impl DiskModel {
                 let position = ops * (self.settle_seek_s + self.rot_latency_s);
                 self.blended(position, bytes as f64 / rate, dir)
             }
-            AccessPattern::Random { op_bytes, queue_depth } => {
+            AccessPattern::Random {
+                op_bytes,
+                queue_depth,
+            } => {
                 let op = op_bytes.max(1).min(bytes);
                 let ops = bytes.div_ceil(op) as f64;
                 if dir == IoDir::Write && self.write_cache {
@@ -268,7 +281,10 @@ impl DiskModel {
                     // elevator writes them back in near-sequential order
                     // (Table III: 31.0 s vs 27.0 s for 4 GB).
                     let secs = bytes as f64 / rate / self.elevator_efficiency;
-                    return DiskOpCost { seconds: secs, dyn_w: self.elevator_w };
+                    return DiskOpCost {
+                        seconds: secs,
+                        dyn_w: self.elevator_w,
+                    };
                 }
                 // Uncached random access: full positioning per op, shortened
                 // by NCQ for queued requests.
@@ -283,7 +299,10 @@ impl DiskModel {
     /// barriers): no data transfer, seek power.
     pub fn barrier(&self, count: u32) -> DiskOpCost {
         let secs = count as f64 * (self.avg_seek_s + self.rot_latency_s);
-        DiskOpCost { seconds: secs, dyn_w: if count > 0 { self.journal_w } else { 0.0 } }
+        DiskOpCost {
+            seconds: secs,
+            dyn_w: if count > 0 { self.journal_w } else { 0.0 },
+        }
     }
 }
 
@@ -308,7 +327,10 @@ mod tests {
         let c = hdd().transfer(
             4 * GIB,
             IoDir::Read,
-            AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 },
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 32,
+            },
         );
         // Paper: 2230 s at +2.5 W.
         assert!((c.seconds - 2230.0).abs() < 50.0, "got {}", c.seconds);
@@ -327,7 +349,10 @@ mod tests {
         let c = hdd().transfer(
             4 * GIB,
             IoDir::Write,
-            AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 },
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 32,
+            },
         );
         assert!((c.seconds - 31.0).abs() < 0.2, "got {}", c.seconds);
         assert!((c.dyn_w - 13.4).abs() < 0.1, "got {}", c.dyn_w);
@@ -339,7 +364,10 @@ mod tests {
         let c = nc.transfer(
             GIB,
             IoDir::Write,
-            AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 1 },
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 1,
+            },
         );
         // Every 4 KiB op pays a full seek + rotation: ≈12.7 ms × 262144 ops.
         assert!(c.seconds > 3000.0, "got {}", c.seconds);
@@ -348,21 +376,44 @@ mod tests {
     #[test]
     fn ncq_shortens_random_reads() {
         let d = hdd();
-        let qd1 = d.transfer(GIB, IoDir::Read, AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 1 });
-        let qd32 = d.transfer(GIB, IoDir::Read, AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 });
+        let qd1 = d.transfer(
+            GIB,
+            IoDir::Read,
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 1,
+            },
+        );
+        let qd32 = d.transfer(
+            GIB,
+            IoDir::Read,
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 32,
+            },
+        );
         assert!(qd32.seconds < qd1.seconds / 4.0);
     }
 
     #[test]
     fn chunked_reads_pay_per_chunk_rotation() {
         let d = hdd();
-        let seq = d.transfer(2 * crate::units::MIB, IoDir::Read, AccessPattern::Sequential);
+        let seq = d.transfer(
+            2 * crate::units::MIB,
+            IoDir::Read,
+            AccessPattern::Sequential,
+        );
         let chunked = d.transfer(
             2 * crate::units::MIB,
             IoDir::Read,
             AccessPattern::Chunked { op_bytes: 8 * KIB },
         );
-        assert!(chunked.seconds > seq.seconds, "{} vs {}", chunked.seconds, seq.seconds);
+        assert!(
+            chunked.seconds > seq.seconds,
+            "{} vs {}",
+            chunked.seconds,
+            seq.seconds
+        );
     }
 
     #[test]
@@ -383,11 +434,21 @@ mod tests {
 
     #[test]
     fn ssd_random_reads_are_orders_of_magnitude_faster_than_hdd() {
-        let hdd_cost = hdd().transfer(GIB, IoDir::Read, AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 });
+        let hdd_cost = hdd().transfer(
+            GIB,
+            IoDir::Read,
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 32,
+            },
+        );
         let ssd_cost = DiskModel::sata_ssd_512gb().transfer(
             GIB,
             IoDir::Read,
-            AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 },
+            AccessPattern::Random {
+                op_bytes: 4 * KIB,
+                queue_depth: 32,
+            },
         );
         assert!(hdd_cost.seconds / ssd_cost.seconds > 20.0);
     }
@@ -405,7 +466,10 @@ mod tests {
         let c = d.transfer(
             4 * KIB,
             IoDir::Read,
-            AccessPattern::Random { op_bytes: GIB, queue_depth: 1 },
+            AccessPattern::Random {
+                op_bytes: GIB,
+                queue_depth: 1,
+            },
         );
         assert!(c.seconds > 0.0 && c.seconds < 0.1);
     }
@@ -439,7 +503,10 @@ mod raid_tests {
     fn raid0_random_reads_benefit_from_parallel_spindles() {
         let base = DiskModel::seagate_7200rpm_500gb();
         let r4 = base.raid0(4);
-        let pat = AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 };
+        let pat = AccessPattern::Random {
+            op_bytes: 4 * KIB,
+            queue_depth: 32,
+        };
         let t_base = base.transfer(GIB, IoDir::Read, pat).seconds;
         let t_r4 = r4.transfer(GIB, IoDir::Read, pat).seconds;
         assert!(t_r4 < t_base / 2.0, "{t_r4} vs {t_base}");

@@ -105,10 +105,19 @@ impl Node {
         let (secs, draw) = self.cost_of(activity);
         let duration = SimDuration::from_secs_f64(secs);
         let start = self.now;
-        let seg = Segment { start, duration, draw, phase };
+        let seg = Segment {
+            start,
+            duration,
+            draw,
+            phase,
+        };
         self.timeline.push(seg);
         self.now += duration;
-        Executed { start, duration, draw }
+        Executed {
+            start,
+            duration,
+            draw,
+        }
     }
 
     /// Record an explicit `(seconds, draw)` span — for callers that costed
@@ -117,9 +126,18 @@ impl Node {
     pub fn execute_raw(&mut self, secs: f64, draw: PowerDraw, phase: Phase) -> Executed {
         let duration = SimDuration::from_secs_f64(secs);
         let start = self.now;
-        self.timeline.push(Segment { start, duration, draw, phase });
+        self.timeline.push(Segment {
+            start,
+            duration,
+            draw,
+            phase,
+        });
         self.now += duration;
-        Executed { start, duration, draw }
+        Executed {
+            start,
+            duration,
+            draw,
+        }
     }
 
     /// Compute the `(seconds, draw)` an activity would cost without executing
@@ -128,14 +146,22 @@ impl Node {
         let spec = &self.spec;
         let mut draw = self.idle_draw();
         let secs = match activity {
-            Activity::Compute { flops, cores, intensity, dram_bytes } => {
+            Activity::Compute {
+                flops,
+                cores,
+                intensity,
+                dram_bytes,
+            } => {
                 let secs = spec.cpu.compute_seconds(flops, cores);
-                draw.package_w =
-                    spec.cpu.busy_w(cores, intensity) + self.monitoring_overhead_w;
+                draw.package_w = spec.cpu.busy_w(cores, intensity) + self.monitoring_overhead_w;
                 draw.dram_w += spec.dram.dynamic_w(dram_bytes, secs);
                 secs
             }
-            Activity::DiskRead { bytes, pattern, buffered } => {
+            Activity::DiskRead {
+                bytes,
+                pattern,
+                buffered,
+            } => {
                 let cost = spec.disk.transfer(bytes, IoDir::Read, pattern);
                 draw.disk_w += cost.dyn_w;
                 if buffered {
@@ -144,7 +170,11 @@ impl Node {
                 }
                 cost.seconds
             }
-            Activity::DiskWrite { bytes, pattern, buffered } => {
+            Activity::DiskWrite {
+                bytes,
+                pattern,
+                buffered,
+            } => {
                 let cost = spec.disk.transfer(bytes, IoDir::Write, pattern);
                 draw.disk_w += cost.dyn_w;
                 if buffered {
@@ -206,7 +236,12 @@ mod tests {
         let mut n = node();
         let flops = n.spec().cpu.sustained_flops(16) * 1.57; // 1.57 s of work
         let e = n.execute(
-            Activity::Compute { flops, cores: 16, intensity: 1.0, dram_bytes: 19_800_000_000 },
+            Activity::Compute {
+                flops,
+                cores: 16,
+                intensity: 1.0,
+                dram_bytes: 19_800_000_000,
+            },
             Phase::Simulation,
         );
         assert!((e.duration.as_secs_f64() - 1.57).abs() < 0.01);
@@ -221,12 +256,20 @@ mod tests {
     fn fio_sequential_read_power_matches_table3() {
         let mut n = node();
         let e = n.execute(
-            Activity::DiskRead { bytes: 4 * GIB, pattern: AccessPattern::Sequential, buffered: false },
+            Activity::DiskRead {
+                bytes: 4 * GIB,
+                pattern: AccessPattern::Sequential,
+                buffered: false,
+            },
             Phase::IoBench,
         );
         // Paper: 35.9 s at 118 W full-system, disk dynamic 13.5 W.
         assert!((e.duration.as_secs_f64() - 35.9).abs() < 0.1);
-        assert!((e.draw.system_w() - 118.0).abs() < 0.6, "got {}", e.draw.system_w());
+        assert!(
+            (e.draw.system_w() - 118.0).abs() < 0.6,
+            "got {}",
+            e.draw.system_w()
+        );
         assert!((e.disk_dyn_w(n.spec().disk.idle_w) - 13.5).abs() < 0.1);
     }
 
@@ -236,13 +279,20 @@ mod tests {
         let e = n.execute(
             Activity::DiskRead {
                 bytes: 4 * GIB,
-                pattern: AccessPattern::Random { op_bytes: 4 * KIB, queue_depth: 32 },
+                pattern: AccessPattern::Random {
+                    op_bytes: 4 * KIB,
+                    queue_depth: 32,
+                },
                 buffered: false,
             },
             Phase::IoBench,
         );
         assert!((e.duration.as_secs_f64() - 2230.0).abs() < 50.0);
-        assert!((e.draw.system_w() - 107.0).abs() < 0.6, "got {}", e.draw.system_w());
+        assert!(
+            (e.draw.system_w() - 107.0).abs() < 0.6,
+            "got {}",
+            e.draw.system_w()
+        );
     }
 
     #[test]

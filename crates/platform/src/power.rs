@@ -51,9 +51,15 @@ impl PowerDraw {
 
     /// True if every channel is finite and non-negative.
     pub fn is_physical(&self) -> bool {
-        [self.package_w, self.dram_w, self.disk_w, self.net_w, self.board_w]
-            .iter()
-            .all(|w| w.is_finite() && *w >= 0.0)
+        [
+            self.package_w,
+            self.dram_w,
+            self.disk_w,
+            self.net_w,
+            self.board_w,
+        ]
+        .iter()
+        .all(|w| w.is_finite() && *w >= 0.0)
     }
 }
 

@@ -70,10 +70,25 @@ impl HardwareSpec {
     /// report.
     pub fn table1_rows(&self) -> Vec<(&'static str, String)> {
         vec![
-            ("CPU", format!("{}x {}-core package", self.cpu.sockets, self.cpu.cores_per_socket)),
-            ("CPU frequency", format!("{:.1} GHz", self.cpu.base_freq_hz / 1e9)),
-            ("Memory size", crate::units::format_bytes(self.dram.capacity_bytes)),
-            ("Storage size", format!("{} GB", self.disk.capacity_bytes / 1_000_000_000)),
+            (
+                "CPU",
+                format!(
+                    "{}x {}-core package",
+                    self.cpu.sockets, self.cpu.cores_per_socket
+                ),
+            ),
+            (
+                "CPU frequency",
+                format!("{:.1} GHz", self.cpu.base_freq_hz / 1e9),
+            ),
+            (
+                "Memory size",
+                crate::units::format_bytes(self.dram.capacity_bytes),
+            ),
+            (
+                "Storage size",
+                format!("{} GB", self.disk.capacity_bytes / 1_000_000_000),
+            ),
             (
                 "Disk",
                 match self.disk.kind {
@@ -95,7 +110,11 @@ mod tests {
     fn static_power_matches_table2_inference() {
         // 115.1 W (nnread total) − 10.3 W (nnread dynamic) ≈ 104.8 W.
         let spec = HardwareSpec::table1();
-        assert!((spec.static_w() - 104.9).abs() < 0.2, "got {}", spec.static_w());
+        assert!(
+            (spec.static_w() - 104.9).abs() < 0.2,
+            "got {}",
+            spec.static_w()
+        );
     }
 
     #[test]
@@ -106,7 +125,11 @@ mod tests {
     #[test]
     fn table1_rows_render() {
         let rows = HardwareSpec::table1().table1_rows();
-        assert!(rows.iter().any(|(k, v)| *k == "CPU frequency" && v == "2.4 GHz"));
-        assert!(rows.iter().any(|(k, v)| *k == "Memory size" && v == "64 GiB"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| *k == "CPU frequency" && v == "2.4 GHz"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| *k == "Memory size" && v == "64 GiB"));
     }
 }

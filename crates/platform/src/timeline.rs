@@ -83,7 +83,11 @@ impl Timeline {
             "timeline segments must be contiguous (gap/overlap at {})",
             seg.start
         );
-        assert!(seg.draw.is_physical(), "non-physical power draw {:?}", seg.draw);
+        assert!(
+            seg.draw.is_physical(),
+            "non-physical power draw {:?}",
+            seg.draw
+        );
         if seg.duration.is_zero() {
             return; // zero-length spans carry no energy and only bloat the history
         }
@@ -289,7 +293,10 @@ mod tests {
         tl.push(seg(0, 6, 143.0, Phase::Simulation));
         tl.push(seg(6, 4, 115.0, Phase::Write));
         tl.push(seg(10, 6, 143.0, Phase::Simulation));
-        assert_eq!(tl.phase_duration(Phase::Simulation), SimDuration::from_secs(12));
+        assert_eq!(
+            tl.phase_duration(Phase::Simulation),
+            SimDuration::from_secs(12)
+        );
         assert!((tl.phase_average_power_w(Phase::Simulation) - 143.0).abs() < 1e-9);
         assert!((tl.phase_energy(Phase::Write).system_j() - 460.0).abs() < 1e-9);
         let breakdown = tl.phase_breakdown();

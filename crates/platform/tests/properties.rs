@@ -7,15 +7,20 @@ use greenness_platform::{
 use proptest::prelude::*;
 
 fn arb_draw() -> impl Strategy<Value = PowerDraw> {
-    (0.0..200.0f64, 0.0..50.0f64, 0.0..20.0f64, 0.0..5.0f64, 0.0..80.0f64).prop_map(
-        |(package_w, dram_w, disk_w, net_w, board_w)| PowerDraw {
+    (
+        0.0..200.0f64,
+        0.0..50.0f64,
+        0.0..20.0f64,
+        0.0..5.0f64,
+        0.0..80.0f64,
+    )
+        .prop_map(|(package_w, dram_w, disk_w, net_w, board_w)| PowerDraw {
             package_w,
             dram_w,
             disk_w,
             net_w,
             board_w,
-        },
-    )
+        })
 }
 
 fn arb_phase() -> impl Strategy<Value = Phase> {
@@ -23,18 +28,21 @@ fn arb_phase() -> impl Strategy<Value = Phase> {
 }
 
 fn arb_timeline() -> impl Strategy<Value = Timeline> {
-    prop::collection::vec((1u64..5_000_000_000, arb_draw(), arb_phase()), 1..40).prop_map(
-        |spans| {
-            let mut tl = Timeline::new();
-            let mut t = SimTime::ZERO;
-            for (ns, draw, phase) in spans {
-                let duration = SimDuration::from_nanos(ns);
-                tl.push(Segment { start: t, duration, draw, phase });
-                t += duration;
-            }
-            tl
-        },
-    )
+    prop::collection::vec((1u64..5_000_000_000, arb_draw(), arb_phase()), 1..40).prop_map(|spans| {
+        let mut tl = Timeline::new();
+        let mut t = SimTime::ZERO;
+        for (ns, draw, phase) in spans {
+            let duration = SimDuration::from_nanos(ns);
+            tl.push(Segment {
+                start: t,
+                duration,
+                draw,
+                phase,
+            });
+            t += duration;
+        }
+        tl
+    })
 }
 
 proptest! {

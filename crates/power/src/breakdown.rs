@@ -55,7 +55,11 @@ impl SavingsBreakdown {
         // Dynamic savings cannot exceed the total (the estimator is a bound,
         // not an oracle).
         let dynamic_j = (probe_dynamic_w * dt).min(total_j.max(0.0));
-        SavingsBreakdown { total_j, dynamic_j, static_j: total_j - dynamic_j }
+        SavingsBreakdown {
+            total_j,
+            dynamic_j,
+            static_j: total_j - dynamic_j,
+        }
     }
 
     /// Static share of the savings, percent (the paper's headline 91%).
@@ -88,7 +92,10 @@ mod tests {
         tl.push(Segment {
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(50),
-            draw: PowerDraw { board_w: 115.1, ..PowerDraw::ZERO },
+            draw: PowerDraw {
+                board_w: 115.1,
+                ..PowerDraw::ZERO
+            },
             phase: Phase::IoBench,
         });
         let dyn_w = probe_dynamic_power_w(&tl, 104.8);
@@ -104,7 +111,11 @@ mod tests {
         let b = SavingsBreakdown::estimate(29_700.0, 238.0, 17_000.0, 127.0, 10.15);
         assert!((b.total_j - 12_700.0).abs() < 1.0);
         assert!((b.dynamic_j - 10.15 * 111.0).abs() < 1.0);
-        assert!((b.static_pct() - 91.1).abs() < 1.0, "got {}", b.static_pct());
+        assert!(
+            (b.static_pct() - 91.1).abs() < 1.0,
+            "got {}",
+            b.static_pct()
+        );
         assert!((b.static_pct() + b.dynamic_pct() - 100.0).abs() < 1e-9);
     }
 

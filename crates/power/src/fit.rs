@@ -145,7 +145,11 @@ mod tests {
     use crate::profile::ProfileSample;
 
     fn features(ops: f64, bytes: f64, position_s: f64) -> DiskAccessFeatures {
-        DiskAccessFeatures { ops, bytes, position_s }
+        DiskAccessFeatures {
+            ops,
+            bytes,
+            position_s,
+        }
     }
 
     /// Ground truth generator with known coefficients.
@@ -214,7 +218,10 @@ mod tests {
                 dram_w: 0.0,
             })
             .collect();
-        let profile = PowerProfile { samples, period_s: 1.0 };
+        let profile = PowerProfile {
+            samples,
+            period_s: 1.0,
+        };
         let floor = estimate_static_floor_w(&profile, 0.05);
         assert!((floor - 105.0).abs() < 1.0, "got {floor}");
         // Degenerate cases.

@@ -109,7 +109,10 @@ mod tests {
         tl.push(Segment {
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(secs),
-            draw: PowerDraw { board_w: avg_w, ..PowerDraw::ZERO },
+            draw: PowerDraw {
+                board_w: avg_w,
+                ..PowerDraw::ZERO
+            },
             phase: Phase::Other,
         });
         GreenMetrics::from_timeline(&tl, 1000.0)

@@ -47,7 +47,9 @@ impl PowerProfile {
     pub fn measure(timeline: &Timeline, meter: &WattsupMeter) -> PowerProfile {
         let wall = meter.sample(timeline);
         let msr = RaplMsr::new(timeline);
-        let reader = RaplReader { period_s: meter.period_s };
+        let reader = RaplReader {
+            period_s: meter.period_s,
+        };
         let pkg = reader.poll(&msr, RaplDomain::Package);
         let dram = reader.poll(&msr, RaplDomain::Dram);
         let n = wall.len().min(pkg.len()).min(dram.len());
@@ -59,7 +61,10 @@ impl PowerProfile {
                 dram_w: dram[i].1,
             })
             .collect();
-        PowerProfile { samples, period_s: meter.period_s }
+        PowerProfile {
+            samples,
+            period_s: meter.period_s,
+        }
     }
 
     /// Noise-free 1 Hz measurement (regression-friendly).
@@ -92,7 +97,10 @@ impl PowerProfile {
 
     /// Energy implied by the profile (reading × period summed), joules.
     pub fn energy_j(&self) -> f64 {
-        self.samples.iter().map(|s| s.system_w * self.period_s).sum()
+        self.samples
+            .iter()
+            .map(|s| s.system_w * self.period_s)
+            .sum()
     }
 
     /// Render as CSV with a header — the format the `repro` binary emits for
@@ -119,7 +127,11 @@ impl PowerProfile {
             return String::new();
         }
         const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-        let lo = self.samples.iter().map(|s| s.system_w).fold(f64::INFINITY, f64::min);
+        let lo = self
+            .samples
+            .iter()
+            .map(|s| s.system_w)
+            .fold(f64::INFINITY, f64::min);
         let hi = self.peak_system_w();
         let span = (hi - lo).max(1e-9);
         let stride = (self.samples.len() as f64 / width as f64).max(1.0);
@@ -145,13 +157,25 @@ mod tests {
         tl.push(Segment {
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(10),
-            draw: PowerDraw { package_w: 71.8, dram_w: 16.3, disk_w: 5.0, net_w: 0.0, board_w: 49.9 },
+            draw: PowerDraw {
+                package_w: 71.8,
+                dram_w: 16.3,
+                disk_w: 5.0,
+                net_w: 0.0,
+                board_w: 49.9,
+            },
             phase: Phase::Simulation,
         });
         tl.push(Segment {
             start: SimTime::from_secs_f64(10.0),
             duration: SimDuration::from_secs(10),
-            draw: PowerDraw { package_w: 46.0, dram_w: 11.0, disk_w: 13.0, net_w: 0.0, board_w: 49.9 },
+            draw: PowerDraw {
+                package_w: 46.0,
+                dram_w: 11.0,
+                disk_w: 13.0,
+                net_w: 0.0,
+                board_w: 49.9,
+            },
             phase: Phase::Write,
         });
         tl
@@ -176,7 +200,10 @@ mod tests {
         let p = PowerProfile::measure_noiseless(&tl);
         let early = p.samples[4].system_w;
         let late = p.samples[15].system_w;
-        assert!(early > late + 15.0, "sim phase {early} should exceed write phase {late}");
+        assert!(
+            early > late + 15.0,
+            "sim phase {early} should exceed write phase {late}"
+        );
     }
 
     #[test]

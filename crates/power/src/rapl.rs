@@ -38,7 +38,11 @@ pub struct RaplMsr<'a> {
 impl<'a> RaplMsr<'a> {
     /// RAPL registers for a node run, with the Sandy Bridge default unit.
     pub fn new(timeline: &'a Timeline) -> Self {
-        RaplMsr { timeline, energy_unit_exp: 16, uncore_floor_w: 14.0 }
+        RaplMsr {
+            timeline,
+            energy_unit_exp: 16,
+            uncore_floor_w: 14.0,
+        }
     }
 
     /// The energy quantum in joules (`2^-exp`).
@@ -121,7 +125,13 @@ mod tests {
         tl.push(Segment {
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(secs),
-            draw: PowerDraw { package_w, dram_w, disk_w: 5.0, net_w: 0.0, board_w: 50.0 },
+            draw: PowerDraw {
+                package_w,
+                dram_w,
+                disk_w: 5.0,
+                net_w: 0.0,
+                board_w: 50.0,
+            },
             phase: Phase::Other,
         });
         tl
@@ -144,7 +154,10 @@ mod tests {
         let raw = msr.read_energy_status_msr(RaplDomain::Package, t);
         let reconstructed = raw as f64 * msr.energy_unit_j();
         let truth = msr.true_energy_j(RaplDomain::Package, t);
-        assert!((reconstructed - truth).abs() <= msr.energy_unit_j(), "{reconstructed} vs {truth}");
+        assert!(
+            (reconstructed - truth).abs() <= msr.energy_unit_j(),
+            "{reconstructed} vs {truth}"
+        );
     }
 
     #[test]

@@ -27,14 +27,21 @@ pub struct WattsupMeter {
 
 impl Default for WattsupMeter {
     fn default() -> Self {
-        WattsupMeter { period_s: 1.0, noise_rel_sigma: 0.005, seed: 0x9e3779b97f4a7c15 }
+        WattsupMeter {
+            period_s: 1.0,
+            noise_rel_sigma: 0.005,
+            seed: 0x9e3779b97f4a7c15,
+        }
     }
 }
 
 impl WattsupMeter {
     /// A noise-free meter (for exact regression tests).
     pub fn noiseless() -> Self {
-        WattsupMeter { noise_rel_sigma: 0.0, ..Self::default() }
+        WattsupMeter {
+            noise_rel_sigma: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Sample the completed run: one `(interval_end_s, watts)` reading per
@@ -48,7 +55,10 @@ impl WattsupMeter {
         let mut t = self.period_s;
         while t <= end_s + 1e-9 {
             let e = timeline
-                .energy_between(SimTime::from_secs_f64(t - self.period_s), SimTime::from_secs_f64(t))
+                .energy_between(
+                    SimTime::from_secs_f64(t - self.period_s),
+                    SimTime::from_secs_f64(t),
+                )
                 .system_j();
             let mut w = e / self.period_s;
             if self.noise_rel_sigma > 0.0 {
@@ -82,7 +92,10 @@ mod tests {
         tl.push(Segment {
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(secs),
-            draw: PowerDraw { board_w: system_w, ..PowerDraw::ZERO },
+            draw: PowerDraw {
+                board_w: system_w,
+                ..PowerDraw::ZERO
+            },
             phase: Phase::Other,
         });
         tl
@@ -103,13 +116,19 @@ mod tests {
         tl.push(Segment {
             start: SimTime::ZERO,
             duration: SimDuration::from_millis(500),
-            draw: PowerDraw { board_w: 100.0, ..PowerDraw::ZERO },
+            draw: PowerDraw {
+                board_w: 100.0,
+                ..PowerDraw::ZERO
+            },
             phase: Phase::Other,
         });
         tl.push(Segment {
             start: SimTime::from_secs_f64(0.5),
             duration: SimDuration::from_millis(500),
-            draw: PowerDraw { board_w: 200.0, ..PowerDraw::ZERO },
+            draw: PowerDraw {
+                board_w: 200.0,
+                ..PowerDraw::ZERO
+            },
             phase: Phase::Other,
         });
         let log = WattsupMeter::noiseless().sample(&tl);
@@ -127,7 +146,10 @@ mod tests {
         assert_ne!(a, other, "different seeds should differ");
         // All readings within ±5σ of truth.
         for (_, w) in &a {
-            assert!((w - 120.0).abs() <= 120.0 * 0.005 * 5.0 + 0.5, "reading {w}");
+            assert!(
+                (w - 120.0).abs() <= 120.0 * 0.005 * 5.0 + 0.5,
+                "reading {w}"
+            );
         }
     }
 
@@ -145,7 +167,10 @@ mod tests {
         let tl = constant_timeline(100.0, 10);
         // 10 s run, 3 s period → readings at 3, 6, 9; the trailing second is
         // not reported (the meter never completed that interval).
-        let meter = WattsupMeter { period_s: 3.0, ..WattsupMeter::noiseless() };
+        let meter = WattsupMeter {
+            period_s: 3.0,
+            ..WattsupMeter::noiseless()
+        };
         let log = meter.sample(&tl);
         assert_eq!(log.len(), 3);
     }

@@ -9,7 +9,12 @@ use proptest::prelude::*;
 
 fn arb_timeline() -> impl Strategy<Value = Timeline> {
     prop::collection::vec(
-        (1u64..30_000_000_000, 20.0..120.0f64, 1.0..30.0f64, 30.0..80.0f64),
+        (
+            1u64..30_000_000_000,
+            20.0..120.0f64,
+            1.0..30.0f64,
+            30.0..80.0f64,
+        ),
         1..25,
     )
     .prop_map(|spans| {
@@ -20,7 +25,13 @@ fn arb_timeline() -> impl Strategy<Value = Timeline> {
             tl.push(Segment {
                 start: t,
                 duration,
-                draw: PowerDraw { package_w, dram_w, disk_w: 5.0, net_w: 0.0, board_w },
+                draw: PowerDraw {
+                    package_w,
+                    dram_w,
+                    disk_w: 5.0,
+                    net_w: 0.0,
+                    board_w,
+                },
                 phase: Phase::Other,
             });
             t += duration;

@@ -36,7 +36,10 @@ pub struct MemBlockDevice {
 impl MemBlockDevice {
     /// A device with `count` blocks.
     pub fn new(count: u64) -> Self {
-        MemBlockDevice { blocks: std::collections::HashMap::new(), count }
+        MemBlockDevice {
+            blocks: std::collections::HashMap::new(),
+            count,
+        }
     }
 
     /// A device of `bytes` capacity (rounded up to whole blocks).
@@ -56,7 +59,11 @@ impl BlockDevice for MemBlockDevice {
     }
 
     fn read_block(&self, idx: u64, buf: &mut [u8]) {
-        assert!(idx < self.count, "block {idx} out of range ({})", self.count);
+        assert!(
+            idx < self.count,
+            "block {idx} out of range ({})",
+            self.count
+        );
         assert_eq!(buf.len() as u64, BLOCK_SIZE);
         match self.blocks.get(&idx) {
             Some(b) => buf.copy_from_slice(b),
@@ -65,7 +72,11 @@ impl BlockDevice for MemBlockDevice {
     }
 
     fn write_block(&mut self, idx: u64, data: &[u8]) {
-        assert!(idx < self.count, "block {idx} out of range ({})", self.count);
+        assert!(
+            idx < self.count,
+            "block {idx} out of range ({})",
+            self.count
+        );
         assert_eq!(data.len() as u64, BLOCK_SIZE);
         self.blocks.insert(idx, data.to_vec().into_boxed_slice());
     }

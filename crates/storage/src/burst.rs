@@ -157,14 +157,22 @@ mod tests {
         let data = vec![3u8; 2 * 1024 * 1024];
         // Staged write.
         let t0 = node.now();
-        bb.stage(&mut node, &mut fs, "snap", &data, Phase::Write).unwrap();
+        bb.stage(&mut node, &mut fs, "snap", &data, Phase::Write)
+            .unwrap();
         let staged_cost = (node.now() - t0).as_secs_f64();
         // Direct chunked-fsync write of the same data.
         let t1 = node.now();
         let mut off = 0usize;
         while off < data.len() {
             let end = (off + 128 * 1024).min(data.len());
-            fs.write(&mut node, "direct", off as u64, &data[off..end], Phase::Write).unwrap();
+            fs.write(
+                &mut node,
+                "direct",
+                off as u64,
+                &data[off..end],
+                Phase::Write,
+            )
+            .unwrap();
             fs.fsync(&mut node, "direct", Phase::Write).unwrap();
             off = end;
         }
@@ -179,13 +187,16 @@ mod tests {
     fn drain_preserves_bytes_through_the_real_fs() {
         let (mut node, mut fs, mut bb) = setup(64 * 1024 * 1024);
         let data: Vec<u8> = (0..500_000).map(|i| (i % 249) as u8).collect();
-        bb.stage(&mut node, &mut fs, "snap", &data, Phase::Write).unwrap();
+        bb.stage(&mut node, &mut fs, "snap", &data, Phase::Write)
+            .unwrap();
         bb.drain_all(&mut node, &mut fs, Phase::Write).unwrap();
         assert_eq!(bb.staged_bytes(), 0);
         assert_eq!(bb.drained_bytes(), data.len() as u64);
         fs.sync(&mut node, Phase::CacheControl);
         fs.drop_caches();
-        let back = fs.read(&mut node, "snap", 0, data.len() as u64, Phase::Read).unwrap();
+        let back = fs
+            .read(&mut node, "snap", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         assert_eq!(back, data);
     }
 
@@ -193,13 +204,15 @@ mod tests {
     fn drained_files_are_contiguous_and_read_sequentially() {
         let (mut node, mut fs, mut bb) = setup(64 * 1024 * 1024);
         let data = vec![7u8; 2 * 1024 * 1024];
-        bb.stage(&mut node, &mut fs, "snap", &data, Phase::Write).unwrap();
+        bb.stage(&mut node, &mut fs, "snap", &data, Phase::Write)
+            .unwrap();
         bb.drain_all(&mut node, &mut fs, Phase::Write).unwrap();
         assert_eq!(fs.fragmentation("snap").unwrap(), 1);
         fs.sync(&mut node, Phase::CacheControl);
         fs.drop_caches();
         let t0 = node.now();
-        fs.read(&mut node, "snap", 0, data.len() as u64, Phase::Read).unwrap();
+        fs.read(&mut node, "snap", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         let cold_read = (node.now() - t0).as_secs_f64();
         // One big sequential read: tens of milliseconds, not the ~1.3 s of
         // sixteen cold chunk reads.
@@ -211,15 +224,25 @@ mod tests {
         let (mut node, mut fs, mut bb) = setup(3 * 1024 * 1024);
         let snap = vec![1u8; 1024 * 1024];
         for k in 0..5 {
-            bb.stage(&mut node, &mut fs, &format!("s{k}"), &snap, Phase::Write).unwrap();
+            bb.stage(&mut node, &mut fs, &format!("s{k}"), &snap, Phase::Write)
+                .unwrap();
         }
         assert!(bb.staged_bytes() <= 3 * 1024 * 1024);
-        assert!(bb.drained_bytes() >= 2 * 1024 * 1024, "pressure never drained");
+        assert!(
+            bb.drained_bytes() >= 2 * 1024 * 1024,
+            "pressure never drained"
+        );
         // Everything is still readable: drained from fs, resident from tier.
         bb.drain_all(&mut node, &mut fs, Phase::Write).unwrap();
         for k in 0..5 {
             let back = fs
-                .read(&mut node, &format!("s{k}"), 0, snap.len() as u64, Phase::Read)
+                .read(
+                    &mut node,
+                    &format!("s{k}"),
+                    0,
+                    snap.len() as u64,
+                    Phase::Read,
+                )
                 .unwrap();
             assert_eq!(back, snap);
         }
@@ -229,8 +252,11 @@ mod tests {
     fn staged_reads_hit_the_tier() {
         let (mut node, mut fs, mut bb) = setup(16 * 1024 * 1024);
         let data = vec![9u8; 100_000];
-        bb.stage(&mut node, &mut fs, "hot", &data, Phase::Write).unwrap();
-        let got = bb.read_staged(&mut node, "hot", Phase::Read).expect("resident");
+        bb.stage(&mut node, &mut fs, "hot", &data, Phase::Write)
+            .unwrap();
+        let got = bb
+            .read_staged(&mut node, "hot", Phase::Read)
+            .expect("resident");
         assert_eq!(got, data);
         assert!(bb.read_staged(&mut node, "cold", Phase::Read).is_none());
     }

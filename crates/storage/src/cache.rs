@@ -70,7 +70,13 @@ impl PageCache {
         if miss {
             let mut buf = vec![0u8; BLOCK_SIZE as usize];
             dev.read_block(idx, &mut buf);
-            self.pages.insert(idx, Page { data: buf.into_boxed_slice(), dirty: false });
+            self.pages.insert(
+                idx,
+                Page {
+                    data: buf.into_boxed_slice(),
+                    dirty: false,
+                },
+            );
             self.stats.misses += 1;
         } else {
             self.stats.hits += 1;
@@ -89,7 +95,10 @@ impl PageCache {
         offset: usize,
         data: &[u8],
     ) -> bool {
-        assert!(offset + data.len() <= BLOCK_SIZE as usize, "write exceeds block");
+        assert!(
+            offset + data.len() <= BLOCK_SIZE as usize,
+            "write exceeds block"
+        );
         let mut faulted = false;
         if !self.pages.contains_key(&idx) {
             let full = offset == 0 && data.len() == BLOCK_SIZE as usize;
@@ -100,7 +109,13 @@ impl PageCache {
                 self.stats.misses += 1;
                 faulted = true;
             }
-            self.pages.insert(idx, Page { data: buf.into_boxed_slice(), dirty: false });
+            self.pages.insert(
+                idx,
+                Page {
+                    data: buf.into_boxed_slice(),
+                    dirty: false,
+                },
+            );
         }
         let page = self.pages.get_mut(&idx).expect("just inserted");
         page.data[offset..offset + data.len()].copy_from_slice(data);
@@ -110,8 +125,12 @@ impl PageCache {
 
     /// All dirty block indices, sorted (the order write-back visits them).
     pub fn dirty_blocks(&self) -> Vec<u64> {
-        let mut v: Vec<u64> =
-            self.pages.iter().filter(|(_, p)| p.dirty).map(|(&i, _)| i).collect();
+        let mut v: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&i, _)| i)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -181,7 +200,14 @@ mod tests {
         let (_, miss2) = c.read_block(&dev, 2);
         assert!(miss1);
         assert!(!miss2);
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, writebacks: 0 });
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                writebacks: 0
+            }
+        );
     }
 
     #[test]

@@ -127,9 +127,14 @@ fn random_block_order(blocks: u64) -> impl Iterator<Item = u64> {
 /// Run `job` against `dev`, charging `node` for the device work. Returns the
 /// Table III metrics. Panics if a verified job reads back wrong data.
 pub fn run(node: &mut Node, dev: &mut impl BlockDevice, job: &FioJob) -> FioResult {
-    assert!(job.block_bytes > 0 && job.block_bytes % BLOCK_SIZE == 0,
-        "fio block size must be a positive multiple of {BLOCK_SIZE}");
-    assert!(job.total_bytes >= job.block_bytes, "job smaller than one block");
+    assert!(
+        job.block_bytes > 0 && job.block_bytes % BLOCK_SIZE == 0,
+        "fio block size must be a positive multiple of {BLOCK_SIZE}"
+    );
+    assert!(
+        job.total_bytes >= job.block_bytes,
+        "job smaller than one block"
+    );
     let region_blocks = job.total_bytes / BLOCK_SIZE;
     assert!(region_blocks <= dev.block_count(), "job larger than device");
 
@@ -178,14 +183,25 @@ pub fn run(node: &mut Node, dev: &mut impl BlockDevice, job: &FioJob) -> FioResu
 
     // Accounting phase: one aggregate direct-I/O activity.
     let pattern = if job.kind.is_random() {
-        AccessPattern::Random { op_bytes: job.block_bytes, queue_depth: job.queue_depth }
+        AccessPattern::Random {
+            op_bytes: job.block_bytes,
+            queue_depth: job.queue_depth,
+        }
     } else {
         AccessPattern::Sequential
     };
     let activity = if job.kind.is_read() {
-        Activity::DiskRead { bytes: job.total_bytes, pattern, buffered: false }
+        Activity::DiskRead {
+            bytes: job.total_bytes,
+            pattern,
+            buffered: false,
+        }
     } else {
-        Activity::DiskWrite { bytes: job.total_bytes, pattern, buffered: false }
+        Activity::DiskWrite {
+            bytes: job.total_bytes,
+            pattern,
+            buffered: false,
+        }
     };
     let e = node.execute(activity, Phase::IoBench);
 

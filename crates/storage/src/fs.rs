@@ -129,7 +129,10 @@ impl Inode {
             }
             remaining -= e.len;
         }
-        panic!("file block {fb} beyond allocation ({} blocks)", self.blocks());
+        panic!(
+            "file block {fb} beyond allocation ({} blocks)",
+            self.blocks()
+        );
     }
 
     /// All device blocks in file order.
@@ -165,7 +168,14 @@ impl<D: BlockDevice> FileSystem<D> {
             AllocMode::Scattered { seed } => seed,
             AllocMode::Contiguous => 0,
         };
-        FileSystem { dev, cache: PageCache::new(), files: HashMap::new(), free, config, rng: SmallRng::seed_from_u64(seed) }
+        FileSystem {
+            dev,
+            cache: PageCache::new(),
+            files: HashMap::new(),
+            free,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The active configuration.
@@ -193,14 +203,19 @@ impl<D: BlockDevice> FileSystem<D> {
 
     /// Size of `name` in bytes.
     pub fn size(&self, name: &str) -> Result<u64, FsError> {
-        self.files.get(name).map(|i| i.size).ok_or_else(|| FsError::NotFound(name.into()))
+        self.files
+            .get(name)
+            .map(|i| i.size)
+            .ok_or_else(|| FsError::NotFound(name.into()))
     }
 
     /// Number of contiguous device runs backing `name` (1 = perfectly
     /// sequential layout).
     pub fn fragmentation(&self, name: &str) -> Result<usize, FsError> {
-        let inode =
-            self.files.get(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let inode = self
+            .files
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         Ok(runs_of(&inode.device_blocks()).len())
     }
 
@@ -266,7 +281,10 @@ impl<D: BlockDevice> FileSystem<D> {
             if pick + 1 < run_start + run_len {
                 self.free.insert(pick + 1, run_start + run_len - pick - 1);
             }
-            got.push(Extent { start: pick, len: 1 });
+            got.push(Extent {
+                start: pick,
+                len: 1,
+            });
         }
         Ok(got)
     }
@@ -302,7 +320,9 @@ impl<D: BlockDevice> FileSystem<D> {
             if bytes >= self.config.sequential_threshold {
                 AccessPattern::Sequential
             } else {
-                AccessPattern::Chunked { op_bytes: self.config.readahead_bytes }
+                AccessPattern::Chunked {
+                    op_bytes: self.config.readahead_bytes,
+                }
             }
         } else {
             let avg_run = bytes / runs.len() as u64;
@@ -317,7 +337,14 @@ impl<D: BlockDevice> FileSystem<D> {
                 }
             }
         };
-        node.execute(Activity::DiskRead { bytes, pattern, buffered: true }, phase);
+        node.execute(
+            Activity::DiskRead {
+                bytes,
+                pattern,
+                buffered: true,
+            },
+            phase,
+        );
     }
 
     /// Charge `node` for flushing `dirty_blocks` to the device.
@@ -340,7 +367,14 @@ impl<D: BlockDevice> FileSystem<D> {
                 }
             }
         };
-        node.execute(Activity::DiskWrite { bytes, pattern, buffered: true }, phase);
+        node.execute(
+            Activity::DiskWrite {
+                bytes,
+                pattern,
+                buffered: true,
+            },
+            phase,
+        );
     }
 
     /// Write `data` at `offset` into `name` (creating or extending the file),
@@ -388,7 +422,9 @@ impl<D: BlockDevice> FileSystem<D> {
             let in_block = (pos % BLOCK_SIZE) as usize;
             let take = (BLOCK_SIZE as usize - in_block).min(data.len() - cursor);
             let dev_block = inode.map_block(fb);
-            if self.cache.write_block(&self.dev, dev_block, in_block, &data[cursor..cursor + take])
+            if self
+                .cache
+                .write_block(&self.dev, dev_block, in_block, &data[cursor..cursor + take])
             {
                 faults.push(dev_block);
             }
@@ -396,7 +432,12 @@ impl<D: BlockDevice> FileSystem<D> {
             pos += take as u64;
         }
         self.charge_read(node, &faults, phase);
-        node.execute(Activity::MemTraffic { bytes: data.len() as u64 }, phase);
+        node.execute(
+            Activity::MemTraffic {
+                bytes: data.len() as u64,
+            },
+            phase,
+        );
         Ok(())
     }
 
@@ -423,10 +464,15 @@ impl<D: BlockDevice> FileSystem<D> {
         len: u64,
         phase: Phase,
     ) -> Result<Vec<u8>, FsError> {
-        let inode =
-            self.files.get(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let inode = self
+            .files
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         if offset > inode.size {
-            return Err(FsError::BadOffset { offset, size: inode.size });
+            return Err(FsError::BadOffset {
+                offset,
+                size: inode.size,
+            });
         }
         let len = len.min(inode.size - offset);
         if len == 0 {
@@ -435,8 +481,11 @@ impl<D: BlockDevice> FileSystem<D> {
         let first_fb = offset / BLOCK_SIZE;
         let last_fb = (offset + len - 1) / BLOCK_SIZE;
         let dev_blocks: Vec<u64> = (first_fb..=last_fb).map(|fb| inode.map_block(fb)).collect();
-        let misses: Vec<u64> =
-            dev_blocks.iter().copied().filter(|b| !self.cache.contains(*b)).collect();
+        let misses: Vec<u64> = dev_blocks
+            .iter()
+            .copied()
+            .filter(|b| !self.cache.contains(*b))
+            .collect();
         self.charge_read(node, &misses, phase);
         // Assemble the bytes through the cache.
         let mut out = Vec::with_capacity(len as usize);
@@ -460,13 +509,17 @@ impl<D: BlockDevice> FileSystem<D> {
     /// the journal-commit barrier (the dominant cost for small chunks on a
     /// 7200 rpm disk).
     pub fn fsync(&mut self, node: &mut Node, name: &str, phase: Phase) -> Result<(), FsError> {
-        let inode =
-            self.files.get(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let inode = self
+            .files
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         let file_blocks = inode.device_blocks();
         let dirty = self.cache.dirty_among(&file_blocks);
         self.charge_writeback(node, &dirty, phase);
         node.execute(
-            Activity::DiskBarrier { seeks: self.config.journal_seeks_per_fsync },
+            Activity::DiskBarrier {
+                seeks: self.config.journal_seeks_per_fsync,
+            },
             phase,
         );
         self.cache.flush_blocks(&mut self.dev, &dirty);
@@ -478,7 +531,9 @@ impl<D: BlockDevice> FileSystem<D> {
         let dirty = self.cache.dirty_blocks();
         self.charge_writeback(node, &dirty, phase);
         node.execute(
-            Activity::DiskBarrier { seeks: self.config.journal_seeks_per_fsync },
+            Activity::DiskBarrier {
+                seeks: self.config.journal_seeks_per_fsync,
+            },
             phase,
         );
         self.cache.flush_blocks(&mut self.dev, &dirty);
@@ -492,8 +547,10 @@ impl<D: BlockDevice> FileSystem<D> {
 
     /// Delete `name`, returning its blocks to the allocator.
     pub fn delete(&mut self, name: &str) -> Result<(), FsError> {
-        let inode =
-            self.files.remove(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let inode = self
+            .files
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         // Invalidate cached pages before the blocks can be reallocated —
         // stale dirty pages must not leak into a future owner of the blocks.
         self.cache.invalidate(&inode.device_blocks());
@@ -505,7 +562,10 @@ impl<D: BlockDevice> FileSystem<D> {
     /// Returns the old extents; the caller is responsible for having copied
     /// the data.
     pub(crate) fn swap_extents(&mut self, name: &str, new: Vec<Extent>) -> Vec<Extent> {
-        let inode = self.files.get_mut(name).expect("swap_extents on missing file");
+        let inode = self
+            .files
+            .get_mut(name)
+            .expect("swap_extents on missing file");
         std::mem::replace(&mut inode.extents, new)
     }
 
@@ -516,7 +576,10 @@ impl<D: BlockDevice> FileSystem<D> {
 
     /// Free raw extents (used by the reorganization pass).
     pub(crate) fn free_raw(&mut self, extents: &[Extent]) {
-        let blocks: Vec<u64> = extents.iter().flat_map(|e| e.start..e.start + e.len).collect();
+        let blocks: Vec<u64> = extents
+            .iter()
+            .flat_map(|e| e.start..e.start + e.len)
+            .collect();
         self.cache.invalidate(&blocks);
         self.free_extents(extents);
     }
@@ -572,14 +635,17 @@ mod tests {
         fs.fsync(&mut node, "snap", Phase::Write).unwrap();
         fs.sync(&mut node, Phase::CacheControl);
         fs.drop_caches();
-        let back = fs.read(&mut node, "snap", 0, data.len() as u64, Phase::Read).unwrap();
+        let back = fs
+            .read(&mut node, "snap", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         assert_eq!(back, data);
     }
 
     #[test]
     fn data_survives_cache_drop_only_after_sync() {
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "f", 0, b"hello world", Phase::Write).unwrap();
+        fs.write(&mut node, "f", 0, b"hello world", Phase::Write)
+            .unwrap();
         // Dirty pages survive a drop (Linux semantics), so the data is still
         // there even without sync.
         fs.drop_caches();
@@ -590,8 +656,10 @@ mod tests {
     #[test]
     fn unaligned_offsets_and_partial_blocks() {
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "f", 0, &[1u8; 5000], Phase::Write).unwrap();
-        fs.write(&mut node, "f", 4090, &[2u8; 20], Phase::Write).unwrap();
+        fs.write(&mut node, "f", 0, &[1u8; 5000], Phase::Write)
+            .unwrap();
+        fs.write(&mut node, "f", 4090, &[2u8; 20], Phase::Write)
+            .unwrap();
         let back = fs.read(&mut node, "f", 4085, 30, Phase::Read).unwrap();
         assert_eq!(&back[..5], &[1u8; 5]);
         assert_eq!(&back[5..25], &[2u8; 20]);
@@ -601,7 +669,8 @@ mod tests {
     #[test]
     fn read_past_eof_is_an_error_and_reads_clip() {
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "f", 0, &[7u8; 100], Phase::Write).unwrap();
+        fs.write(&mut node, "f", 0, &[7u8; 100], Phase::Write)
+            .unwrap();
         assert!(matches!(
             fs.read(&mut node, "f", 101, 1, Phase::Read),
             Err(FsError::BadOffset { .. })
@@ -617,7 +686,8 @@ mod tests {
     #[test]
     fn contiguous_allocation_yields_single_run() {
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "a", 0, &[0u8; 128 * 1024], Phase::Write).unwrap();
+        fs.write(&mut node, "a", 0, &[0u8; 128 * 1024], Phase::Write)
+            .unwrap();
         assert_eq!(fs.fragmentation("a").unwrap(), 1);
     }
 
@@ -625,7 +695,8 @@ mod tests {
     fn scattered_allocation_fragments() {
         let (mut node, mut fs) = setup();
         fs.set_alloc_mode(AllocMode::Scattered { seed: 7 });
-        fs.write(&mut node, "a", 0, &[1u8; 256 * 1024], Phase::Write).unwrap();
+        fs.write(&mut node, "a", 0, &[1u8; 256 * 1024], Phase::Write)
+            .unwrap();
         let frag = fs.fragmentation("a").unwrap();
         assert!(frag > 16, "expected heavy fragmentation, got {frag} runs");
         // Content still round-trips.
@@ -638,20 +709,24 @@ mod tests {
     #[test]
     fn fragmented_reads_cost_more_than_sequential() {
         let (mut node_a, mut fs_a) = setup();
-        fs_a.write(&mut node_a, "f", 0, &[1u8; 512 * 1024], Phase::Write).unwrap();
+        fs_a.write(&mut node_a, "f", 0, &[1u8; 512 * 1024], Phase::Write)
+            .unwrap();
         fs_a.sync(&mut node_a, Phase::CacheControl);
         fs_a.drop_caches();
         let t0 = node_a.now();
-        fs_a.read(&mut node_a, "f", 0, 512 * 1024, Phase::Read).unwrap();
+        fs_a.read(&mut node_a, "f", 0, 512 * 1024, Phase::Read)
+            .unwrap();
         let seq_cost = (node_a.now() - t0).as_secs_f64();
 
         let (mut node_b, mut fs_b) = setup();
         fs_b.set_alloc_mode(AllocMode::Scattered { seed: 3 });
-        fs_b.write(&mut node_b, "f", 0, &[1u8; 512 * 1024], Phase::Write).unwrap();
+        fs_b.write(&mut node_b, "f", 0, &[1u8; 512 * 1024], Phase::Write)
+            .unwrap();
         fs_b.sync(&mut node_b, Phase::CacheControl);
         fs_b.drop_caches();
         let t0 = node_b.now();
-        fs_b.read(&mut node_b, "f", 0, 512 * 1024, Phase::Read).unwrap();
+        fs_b.read(&mut node_b, "f", 0, 512 * 1024, Phase::Read)
+            .unwrap();
         let rand_cost = (node_b.now() - t0).as_secs_f64();
 
         assert!(
@@ -663,7 +738,8 @@ mod tests {
     #[test]
     fn cached_reads_are_nearly_free() {
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "f", 0, &[1u8; 128 * 1024], Phase::Write).unwrap();
+        fs.write(&mut node, "f", 0, &[1u8; 128 * 1024], Phase::Write)
+            .unwrap();
         fs.fsync(&mut node, "f", Phase::Write).unwrap();
         // First (cold-after-drop) read pays the device.
         fs.drop_caches();
@@ -682,7 +758,8 @@ mod tests {
         // 128 KiB chunk + fsync ≈ 90 ms on the Table I disk (DESIGN.md §4).
         let (mut node, mut fs) = setup();
         let t0 = node.now();
-        fs.write(&mut node, "chunk", 0, &[9u8; 128 * 1024], Phase::Write).unwrap();
+        fs.write(&mut node, "chunk", 0, &[9u8; 128 * 1024], Phase::Write)
+            .unwrap();
         fs.fsync(&mut node, "chunk", Phase::Write).unwrap();
         let cost = (node.now() - t0).as_secs_f64();
         assert!((cost - 0.090).abs() < 0.01, "got {cost}s");
@@ -692,11 +769,13 @@ mod tests {
     fn cold_chunk_read_cost_matches_calibration() {
         // Cold 128 KiB chunk read ≈ 84 ms (read-ahead window per rotation).
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "chunk", 0, &[9u8; 128 * 1024], Phase::Write).unwrap();
+        fs.write(&mut node, "chunk", 0, &[9u8; 128 * 1024], Phase::Write)
+            .unwrap();
         fs.sync(&mut node, Phase::CacheControl);
         fs.drop_caches();
         let t0 = node.now();
-        fs.read(&mut node, "chunk", 0, 128 * 1024, Phase::Read).unwrap();
+        fs.read(&mut node, "chunk", 0, 128 * 1024, Phase::Read)
+            .unwrap();
         let cost = (node.now() - t0).as_secs_f64();
         assert!((cost - 0.084).abs() < 0.01, "got {cost}s");
     }
@@ -705,7 +784,8 @@ mod tests {
     fn delete_returns_space() {
         let (mut node, mut fs) = setup();
         let before = fs.free_blocks();
-        fs.write(&mut node, "f", 0, &[0u8; 1024 * 1024], Phase::Write).unwrap();
+        fs.write(&mut node, "f", 0, &[0u8; 1024 * 1024], Phase::Write)
+            .unwrap();
         assert!(fs.free_blocks() < before);
         fs.delete("f").unwrap();
         assert_eq!(fs.free_blocks(), before);
@@ -720,7 +800,13 @@ mod tests {
             MemBlockDevice::with_capacity_bytes(8 * BLOCK_SIZE),
             FsConfig::default(),
         );
-        let r = fs.write(&mut node, "big", 0, &vec![0u8; 9 * BLOCK_SIZE as usize], Phase::Write);
+        let r = fs.write(
+            &mut node,
+            "big",
+            0,
+            &vec![0u8; 9 * BLOCK_SIZE as usize],
+            Phase::Write,
+        );
         assert_eq!(r.unwrap_err(), FsError::NoSpace);
     }
 
@@ -734,14 +820,18 @@ mod tests {
     #[test]
     fn free_run_coalescing() {
         let (mut node, mut fs) = setup();
-        fs.write(&mut node, "a", 0, &[0u8; 4096 * 4], Phase::Write).unwrap();
-        fs.write(&mut node, "b", 0, &[0u8; 4096 * 4], Phase::Write).unwrap();
-        fs.write(&mut node, "c", 0, &[0u8; 4096 * 4], Phase::Write).unwrap();
+        fs.write(&mut node, "a", 0, &[0u8; 4096 * 4], Phase::Write)
+            .unwrap();
+        fs.write(&mut node, "b", 0, &[0u8; 4096 * 4], Phase::Write)
+            .unwrap();
+        fs.write(&mut node, "c", 0, &[0u8; 4096 * 4], Phase::Write)
+            .unwrap();
         fs.delete("a").unwrap();
         fs.delete("b").unwrap();
         // a and b were adjacent; their free runs must coalesce so a new
         // 8-block file allocates a single extent.
-        fs.write(&mut node, "d", 0, &[0u8; 4096 * 8], Phase::Write).unwrap();
+        fs.write(&mut node, "d", 0, &[0u8; 4096 * 8], Phase::Write)
+            .unwrap();
         assert_eq!(fs.fragmentation("d").unwrap(), 1);
     }
 }

@@ -55,9 +55,18 @@ pub fn reorganize<D: BlockDevice>(
         let pattern = if runs.len() <= 1 {
             AccessPattern::Sequential
         } else {
-            AccessPattern::Chunked { op_bytes: (bytes / runs.len() as u64).max(BLOCK_SIZE) }
+            AccessPattern::Chunked {
+                op_bytes: (bytes / runs.len() as u64).max(BLOCK_SIZE),
+            }
         };
-        node.execute(Activity::DiskRead { bytes, pattern, buffered: true }, phase);
+        node.execute(
+            Activity::DiskRead {
+                bytes,
+                pattern,
+                buffered: true,
+            },
+            phase,
+        );
     }
     let mut data = vec![0u8; (file_blocks.len() as u64 * BLOCK_SIZE) as usize];
     {
@@ -73,8 +82,10 @@ pub fn reorganize<D: BlockDevice>(
     let blocks = size.div_ceil(BLOCK_SIZE);
     let new_extents = fs.alloc_raw(blocks)?;
     {
-        let dev_blocks: Vec<u64> =
-            new_extents.iter().flat_map(|e| e.start..e.start + e.len).collect();
+        let dev_blocks: Vec<u64> = new_extents
+            .iter()
+            .flat_map(|e| e.start..e.start + e.len)
+            .collect();
         let (cache, dev) = fs.cache_and_dev();
         for (i, &b) in dev_blocks.iter().enumerate() {
             let off = i * BLOCK_SIZE as usize;
@@ -93,7 +104,9 @@ pub fn reorganize<D: BlockDevice>(
         phase,
     );
     node.execute(
-        Activity::DiskBarrier { seeks: fs.config().journal_seeks_per_fsync },
+        Activity::DiskBarrier {
+            seeks: fs.config().journal_seeks_per_fsync,
+        },
         phase,
     );
 
@@ -125,7 +138,8 @@ mod tests {
         );
         fs.set_alloc_mode(AllocMode::Scattered { seed: 11 });
         let data: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
-        fs.write(&mut node, "field", 0, &data, Phase::Write).unwrap();
+        fs.write(&mut node, "field", 0, &data, Phase::Write)
+            .unwrap();
         fs.sync(&mut node, Phase::CacheControl);
         fs.drop_caches();
         (node, fs, data)
@@ -139,9 +153,15 @@ mod tests {
         fs.set_alloc_mode(AllocMode::Contiguous);
         let report = reorganize(&mut node, &mut fs, "field", Phase::Other).unwrap();
         assert_eq!(report.runs_before, before);
-        assert!(report.runs_after <= 2, "still fragmented: {} runs", report.runs_after);
+        assert!(
+            report.runs_after <= 2,
+            "still fragmented: {} runs",
+            report.runs_after
+        );
         assert!(report.seconds > 0.0 && report.energy_j > 0.0);
-        let back = fs.read(&mut node, "field", 0, data.len() as u64, Phase::Read).unwrap();
+        let back = fs
+            .read(&mut node, "field", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         assert_eq!(back, data);
     }
 
@@ -150,7 +170,8 @@ mod tests {
         let (mut node, mut fs, data) = fragmented_setup(1024 * 1024);
         // Cost of a cold fragmented read.
         let t0 = node.now();
-        fs.read(&mut node, "field", 0, data.len() as u64, Phase::Read).unwrap();
+        fs.read(&mut node, "field", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         let fragmented_cost = (node.now() - t0).as_secs_f64();
         fs.drop_caches();
 
@@ -158,7 +179,8 @@ mod tests {
         reorganize(&mut node, &mut fs, "field", Phase::Other).unwrap();
 
         let t1 = node.now();
-        fs.read(&mut node, "field", 0, data.len() as u64, Phase::Read).unwrap();
+        fs.read(&mut node, "field", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         let sequential_cost = (node.now() - t1).as_secs_f64();
         assert!(
             sequential_cost < fragmented_cost / 3.0,
@@ -180,7 +202,9 @@ mod tests {
         let report = reorganize(&mut node, &mut fs, "f", Phase::Other).unwrap();
         assert_eq!(report.runs_before, 1);
         assert_eq!(report.runs_after, 1);
-        let back = fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read).unwrap();
+        let back = fs
+            .read(&mut node, "f", 0, data.len() as u64, Phase::Read)
+            .unwrap();
         assert_eq!(back, data);
     }
 

@@ -1,25 +1,38 @@
 //! Property-based tests for the storage stack.
 
 use greenness_platform::{HardwareSpec, Node, Phase};
-use greenness_storage::{
-    reorganize, AllocMode, FileSystem, FsConfig, MemBlockDevice, BLOCK_SIZE,
-};
+use greenness_storage::{reorganize, AllocMode, FileSystem, FsConfig, MemBlockDevice, BLOCK_SIZE};
 use proptest::prelude::*;
 
 /// A scripted filesystem operation.
 #[derive(Debug, Clone)]
 enum Op {
-    Write { file: u8, offset: u16, len: u16, fill: u8 },
-    Fsync { file: u8 },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Fsync {
+        file: u8,
+    },
     Sync,
     DropCaches,
-    Delete { file: u8 },
+    Delete {
+        file: u8,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..4, 0u16..20_000, 1u16..8_000, any::<u8>())
-            .prop_map(|(file, offset, len, fill)| Op::Write { file, offset, len, fill }),
+        (0u8..4, 0u16..20_000, 1u16..8_000, any::<u8>()).prop_map(|(file, offset, len, fill)| {
+            Op::Write {
+                file,
+                offset,
+                len,
+                fill,
+            }
+        }),
         (0u8..4).prop_map(|file| Op::Fsync { file }),
         Just(Op::Sync),
         Just(Op::DropCaches),

@@ -56,7 +56,9 @@ impl Colormap {
 }
 
 fn lerp_u8(a: u8, b: u8, t: f64) -> u8 {
-    (a as f64 + (b as f64 - a as f64) * t).round().clamp(0.0, 255.0) as u8
+    (a as f64 + (b as f64 - a as f64) * t)
+        .round()
+        .clamp(0.0, 255.0) as u8
 }
 
 #[cfg(test)]
@@ -89,7 +91,10 @@ mod tests {
             let mut prev = -1.0;
             for k in 0..=20 {
                 let l = Colormap::luminance(cm.map(k as f64 / 20.0));
-                assert!(l >= prev - 3.0, "{cm:?} not monotone-ish at {k}: {l} after {prev}");
+                assert!(
+                    l >= prev - 3.0,
+                    "{cm:?} not monotone-ish at {k}: {l} after {prev}"
+                );
                 prev = l;
             }
         }

@@ -113,7 +113,13 @@ pub fn draw_contours(fb: &mut Framebuffer, segments: &[ContourSegment], color: R
     let w = fb.width() as f64;
     let h = fb.height() as f64;
     for s in segments {
-        fb.draw_line(s.a.0 * (w - 1.0), s.a.1 * (h - 1.0), s.b.0 * (w - 1.0), s.b.1 * (h - 1.0), color);
+        fb.draw_line(
+            s.a.0 * (w - 1.0),
+            s.a.1 * (h - 1.0),
+            s.b.0 * (w - 1.0),
+            s.b.1 * (h - 1.0),
+            color,
+        );
     }
 }
 
@@ -135,7 +141,10 @@ mod tests {
         let segs = contour_lines(&g, 0.5);
         assert!(!segs.is_empty());
         for s in &segs {
-            assert!((s.a.1 - 0.5).abs() < 0.05, "segment not on the mid-line: {s:?}");
+            assert!(
+                (s.a.1 - 0.5).abs() < 0.05,
+                "segment not on the mid-line: {s:?}"
+            );
             assert!((s.b.1 - 0.5).abs() < 0.05);
         }
     }
@@ -166,7 +175,10 @@ mod tests {
             (-((x - 0.5).powi(2) + (y - 0.5).powi(2)) * 30.0).exp()
         });
         for level in [0.2, 0.4, 0.6, 0.8] {
-            assert!(!contour_lines(&g, level).is_empty(), "no contour at {level}");
+            assert!(
+                !contour_lines(&g, level).is_empty(),
+                "no contour at {level}"
+            );
         }
     }
 

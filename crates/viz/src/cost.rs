@@ -67,8 +67,7 @@ mod tests {
     fn viz_phase_runs_cooler_than_sim_phase() {
         let node = Node::new(HardwareSpec::table1());
         let (_, viz) = node.cost_of(RenderCostModel::default().activity(512 * 512));
-        let (_, sim) =
-            node.cost_of(greenness_heatsim::SimCostModel::default().activity(512 * 512));
+        let (_, sim) = node.cost_of(greenness_heatsim::SimCostModel::default().activity(512 * 512));
         let gap = sim.system_w() - viz.system_w();
         // The paper infers a ≈22 W gap between the two phases (§V-A).
         assert!((gap - 22.0).abs() < 2.0, "gap {gap}");

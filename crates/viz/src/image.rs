@@ -59,7 +59,12 @@ mod tests {
         let g = Grid::from_fn(16, 16, |x, y| x * y);
         render_field(
             &g,
-            &RenderOptions { width: 20, height: 14, colormap: Colormap::Hot, range: Some((0.0, 1.0)) },
+            &RenderOptions {
+                width: 20,
+                height: 14,
+                colormap: Colormap::Hot,
+                range: Some((0.0, 1.0)),
+            },
         )
     }
 

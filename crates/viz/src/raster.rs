@@ -17,7 +17,11 @@ impl Framebuffer {
     /// A black image of the given size.
     pub fn new(width: usize, height: usize) -> Framebuffer {
         assert!(width > 0 && height > 0, "framebuffer must be non-empty");
-        Framebuffer { width, height, pixels: vec![0; width * height * 3] }
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![0; width * height * 3],
+        }
     }
 
     /// Image width in pixels.
@@ -72,7 +76,11 @@ impl Framebuffer {
         if width == 0 || height == 0 || bytes.len() != width * height * 3 {
             return None;
         }
-        Some(Framebuffer { width, height, pixels: bytes })
+        Some(Framebuffer {
+            width,
+            height,
+            pixels: bytes,
+        })
     }
 }
 
@@ -93,7 +101,12 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { width: 512, height: 512, colormap: Colormap::Viridis, range: None }
+        RenderOptions {
+            width: 512,
+            height: 512,
+            colormap: Colormap::Viridis,
+            range: None,
+        }
     }
 }
 
@@ -161,7 +174,12 @@ mod tests {
         let g = Grid::from_fn(32, 32, |x, _| x);
         let fb = render_field(
             &g,
-            &RenderOptions { width: 64, height: 8, colormap: Colormap::Gray, range: Some((0.0, 1.0)) },
+            &RenderOptions {
+                width: 64,
+                height: 8,
+                colormap: Colormap::Gray,
+                range: Some((0.0, 1.0)),
+            },
         );
         // Left darker than right.
         let l = Colormap::luminance(fb.get(2, 4));
@@ -176,7 +194,12 @@ mod tests {
         g.set(7, 7, 9.0);
         let fb = render_field(
             &g,
-            &RenderOptions { width: 8, height: 8, colormap: Colormap::Gray, range: None },
+            &RenderOptions {
+                width: 8,
+                height: 8,
+                colormap: Colormap::Gray,
+                range: None,
+            },
         );
         assert_eq!(fb.get(0, 0), [0, 0, 0]);
         assert_eq!(fb.get(7, 7), [255, 255, 255]);

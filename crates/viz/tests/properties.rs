@@ -2,17 +2,22 @@
 
 use greenness_heatsim::Grid;
 use greenness_viz::{
-    contour_lines, decode_ppm, encode_ppm, render_field, stride_sample, threshold_sample,
-    Colormap, RenderOptions,
+    contour_lines, decode_ppm, encode_ppm, render_field, stride_sample, threshold_sample, Colormap,
+    RenderOptions,
 };
 use proptest::prelude::*;
 
 fn arb_grid() -> impl Strategy<Value = Grid> {
-    (3usize..32, 3usize..32, -10.0..10.0f64, 0.1..20.0f64, 0.1..20.0f64).prop_map(
-        |(nx, ny, base, fx, fy)| {
-            Grid::from_fn(nx, ny, |x, y| base + (fx * x).sin() * (fy * y).cos())
-        },
+    (
+        3usize..32,
+        3usize..32,
+        -10.0..10.0f64,
+        0.1..20.0f64,
+        0.1..20.0f64,
     )
+        .prop_map(|(nx, ny, base, fx, fy)| {
+            Grid::from_fn(nx, ny, |x, y| base + (fx * x).sin() * (fy * y).cos())
+        })
 }
 
 proptest! {

@@ -17,7 +17,11 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for kind in [ClusterKind::PostProcessing, ClusterKind::InSitu, ClusterKind::InTransit] {
+    for kind in [
+        ClusterKind::PostProcessing,
+        ClusterKind::InSitu,
+        ClusterKind::InTransit,
+    ] {
         let r = run_cluster(kind, &cfg);
         rows.push(vec![
             format!("{kind:?}"),
@@ -33,7 +37,15 @@ fn main() {
         "{}",
         report::render_table(
             "Distributed pipelines (energies in kJ)",
-            &["Pipeline", "Makespan (s)", "Total", "Compute", "PFS", "Viz", "Avg W"],
+            &[
+                "Pipeline",
+                "Makespan (s)",
+                "Total",
+                "Compute",
+                "PFS",
+                "Viz",
+                "Avg W"
+            ],
             &rows
         )
     );

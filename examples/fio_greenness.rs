@@ -29,17 +29,35 @@ fn main() {
     };
     let mut rows = Vec::new();
     for (name, vals) in [
-        ("Execution time (s)", col(&|r| report::f(r.execution_time_s, 1))),
-        ("Full-system power (W)", col(&|r| report::f(r.full_system_power_w, 1))),
-        ("Disk dynamic power (W)", col(&|r| report::f(r.disk_dyn_power_w, 1))),
-        ("Disk dynamic energy (kJ)", col(&|r| report::f(r.disk_dyn_energy_kj, 1))),
-        ("Full-system energy (kJ)", col(&|r| report::f(r.full_system_energy_kj, 1))),
+        (
+            "Execution time (s)",
+            col(&|r| report::f(r.execution_time_s, 1)),
+        ),
+        (
+            "Full-system power (W)",
+            col(&|r| report::f(r.full_system_power_w, 1)),
+        ),
+        (
+            "Disk dynamic power (W)",
+            col(&|r| report::f(r.disk_dyn_power_w, 1)),
+        ),
+        (
+            "Disk dynamic energy (kJ)",
+            col(&|r| report::f(r.disk_dyn_energy_kj, 1)),
+        ),
+        (
+            "Full-system energy (kJ)",
+            col(&|r| report::f(r.full_system_energy_kj, 1)),
+        ),
     ] {
         let mut row = vec![name.to_string()];
         row.extend(vals);
         rows.push(row);
     }
-    print!("{}", report::render_table("Table III — fio tests", &headers, &rows));
+    print!(
+        "{}",
+        report::render_table("Table III — fio tests", &headers, &rows)
+    );
 
     println!();
     println!(
@@ -61,22 +79,31 @@ fn main() {
     );
     fs.set_alloc_mode(AllocMode::Scattered { seed: 2015 });
     let data: Vec<u8> = (0..8 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
-    fs.write(&mut node, "field.dat", 0, &data, Phase::Write).expect("device sized");
+    fs.write(&mut node, "field.dat", 0, &data, Phase::Write)
+        .expect("device sized");
     fs.sync(&mut node, Phase::CacheControl);
     fs.drop_caches();
 
     let t0 = node.now();
-    fs.read(&mut node, "field.dat", 0, data.len() as u64, Phase::Read).expect("exists");
+    fs.read(&mut node, "field.dat", 0, data.len() as u64, Phase::Read)
+        .expect("exists");
     let fragmented_s = (node.now() - t0).as_secs_f64();
     fs.drop_caches();
 
     fs.set_alloc_mode(AllocMode::Contiguous);
     let r = reorganize(&mut node, &mut fs, "field.dat", Phase::Other).expect("reorg");
     let t1 = node.now();
-    fs.read(&mut node, "field.dat", 0, data.len() as u64, Phase::Read).expect("exists");
+    fs.read(&mut node, "field.dat", 0, data.len() as u64, Phase::Read)
+        .expect("exists");
     let sequential_s = (node.now() - t1).as_secs_f64();
 
     println!("  layout: {} runs -> {} runs", r.runs_before, r.runs_after);
-    println!("  one-time reorganization cost: {:.1} s / {:.2} kJ", r.seconds, r.energy_j / 1000.0);
-    println!("  cold read of the file: {fragmented_s:.1} s fragmented -> {sequential_s:.2} s sequential");
+    println!(
+        "  one-time reorganization cost: {:.1} s / {:.2} kJ",
+        r.seconds,
+        r.energy_j / 1000.0
+    );
+    println!(
+        "  cold read of the file: {fragmented_s:.1} s fragmented -> {sequential_s:.2} s sequential"
+    );
 }

@@ -28,8 +28,11 @@ fn main() -> std::io::Result<()> {
     cfg.keep_frames = true;
 
     println!("running the in-situ pipeline ({} steps)...", cfg.timesteps);
-    let report =
-        experiment::run(PipelineKind::InSitu, &cfg, &experiment::ExperimentSetup::default());
+    let report = experiment::run(
+        PipelineKind::InSitu,
+        &cfg,
+        &experiment::ExperimentSetup::default(),
+    );
 
     std::fs::create_dir_all("heat_movie")?;
     let mut written = 0usize;
@@ -37,7 +40,10 @@ fn main() -> std::io::Result<()> {
         let mut image = frame.image.clone();
         let segs = mid_luminance_contours(&image);
         draw_contours(&mut image, &segs, [255, 255, 255]);
-        std::fs::write(format!("heat_movie/frame{:04}.ppm", frame.step), encode_ppm(&image))?;
+        std::fs::write(
+            format!("heat_movie/frame{:04}.ppm", frame.step),
+            encode_ppm(&image),
+        )?;
         written += 1;
     }
 

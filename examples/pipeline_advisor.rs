@@ -86,7 +86,10 @@ fn main() {
             name.to_string(),
             report::f(a.current_io_j / 1000.0, 2),
             report::f(a.insitu_io_j / 1000.0, 2),
-            report::f((a.reorg_cost_j + a.reorg_pass_j * w.passes as f64) / 1000.0, 2),
+            report::f(
+                (a.reorg_cost_j + a.reorg_pass_j * w.passes as f64) / 1000.0,
+                2,
+            ),
             technique_name(a.technique),
         ]);
     }
@@ -94,7 +97,13 @@ fn main() {
         "{}",
         report::render_table(
             "Advisor recommendations (energies in kJ over the data lifetime)",
-            &["Workload", "As-is", "In-situ", "Reorganized", "Recommendation"],
+            &[
+                "Workload",
+                "As-is",
+                "In-situ",
+                "Reorganized",
+                "Recommendation"
+            ],
             &rows
         )
     );

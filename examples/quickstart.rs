@@ -43,7 +43,10 @@ fn main() {
         vec![
             "Efficiency (normalized)".to_string(),
             report::f(1.0, 2),
-            report::f(cmp.post.metrics.normalized_efficiency(&cmp.insitu.metrics), 2),
+            report::f(
+                cmp.post.metrics.normalized_efficiency(&cmp.insitu.metrics),
+                2,
+            ),
         ],
     ];
     println!();
@@ -65,6 +68,11 @@ fn main() {
     println!();
     println!("post-processing time split (Figure 4):");
     for row in cmp.post.phase_rows() {
-        println!("  {:<14} {:>5.1}%  ({})", row.phase.to_string(), row.time_pct, row.duration);
+        println!(
+            "  {:<14} {:>5.1}%  ({})",
+            row.phase.to_string(),
+            row.time_pct,
+            row.duration
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
     let mut rows = Vec::new();
     for (name, spec) in variants {
         println!("running case study 1 on {name}...");
-        let setup = ExperimentSetup { spec, ..ExperimentSetup::default() };
+        let setup = ExperimentSetup {
+            spec,
+            ..ExperimentSetup::default()
+        };
         let cmp = CaseComparison::run_config(1, &cfg, &setup);
         rows.push(vec![
             name.to_string(),
@@ -41,7 +44,14 @@ fn main() {
         "{}",
         report::render_table(
             "Case study 1 across storage technologies",
-            &["Device", "T_post (s)", "T_insitu (s)", "E_post (kJ)", "E_insitu (kJ)", "Savings"],
+            &[
+                "Device",
+                "T_post (s)",
+                "T_insitu (s)",
+                "E_post (kJ)",
+                "E_insitu (kJ)",
+                "Savings"
+            ],
             &rows
         )
     );

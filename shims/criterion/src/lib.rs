@@ -1,0 +1,137 @@
+//! Offline stand-in for criterion.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` bench targets compiling
+//! and *useful*: each benchmark runs `sample_size` timed samples around the
+//! closure and prints min / median / max wall-clock per iteration. No
+//! statistics engine, no HTML reports — but enough signal to catch a 2×
+//! regression from a terminal.
+
+use std::time::Instant;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the closure. One warm-up call, then one timed call per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let t = Instant::now();
+        std::hint::black_box(f());
+        self.samples_ns.push(t.elapsed().as_nanos() as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut samples_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        samples_ns.extend(b.samples_ns);
+    }
+    if samples_ns.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let fmt = |ns: f64| {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    };
+    println!(
+        "{id:<48} [{} {} {}]",
+        fmt(samples_ns[0]),
+        fmt(samples_ns[samples_ns.len() / 2]),
+        fmt(samples_ns[samples_ns.len() - 1]),
+    );
+}
+
+/// Re-export so `criterion::black_box` call sites keep working.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

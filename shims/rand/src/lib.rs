@@ -1,0 +1,196 @@
+//! Offline stand-in for the slice of `rand` 0.8 this workspace uses.
+//!
+//! `SmallRng` is xoshiro256++ seeded through SplitMix64, the same generator
+//! real `rand` 0.8 uses for `SmallRng` on 64-bit targets, so the raw `u64`
+//! stream matches upstream for a given `seed_from_u64`. The `gen_range`
+//! mappings are simpler than upstream's (lemire / canonical-float details
+//! differ), so *derived* values are deterministic but not bit-identical to
+//! real `rand`; tests that pin noisy values carry their own tolerances.
+
+use std::ops::Range;
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling within a half-open range, the only distribution the workspace
+/// draws from.
+pub trait SampleUniform: Sized {
+    fn sample(rng: &mut dyn FnMut() -> u64, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn FnMut() -> u64, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                // 128-bit multiply-shift keeps the modulo bias below 2^-64,
+                // far under anything observable in these simulations.
+                let x = ((rng() as u128 * span) >> 64) as $t;
+                range.start + x
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn FnMut() -> u64, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let x = ((rng() as u128 * span) >> 64) as i128;
+                (range.start as i128 + x) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn FnMut() -> u64, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                // 53 effective mantissa bits give a canonical uniform in [0, 1).
+                let unit = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = range.start as f64 + unit * (range.end as f64 - range.start as f64);
+                // Guard the open upper bound against rounding at the edge.
+                if v as $t >= range.end { range.start } else { v as $t }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// The sampling interface (`rand::Rng`), provided for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut draw = || self.next_u64();
+        T::sample(&mut draw, &range)
+    }
+
+    /// Uniform draws for the handful of types the workspace asks for.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types drawable "from the standard distribution" (`rng.gen()`).
+pub trait Standard {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+impl Standard for f64 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm behind real `rand` 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand_core does for u64 seeds.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all bins hit: {seen:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

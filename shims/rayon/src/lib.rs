@@ -1,0 +1,114 @@
+//! Offline stand-in for rayon with **sequential** semantics.
+//!
+//! `into_par_iter()` and `par_chunks_mut()` hand back the ordinary std
+//! iterators, so every adaptor chain written against rayon's prelude
+//! compiles and runs unchanged — on one thread, in deterministic order.
+//! That trade is deliberate: the solver and rasterizer loops stay correct
+//! and bit-stable, while *cross-job* parallelism (the part that moves
+//! wall-clock for the paper grid) lives in `greenness_core::sweep`, which
+//! is written directly against `std::thread` and needs nothing from here.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential: forwards to `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` / `par_iter_mut()` — sequential slice views.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk)
+        }
+    }
+
+    /// `par_chunks_mut()` — sequential mutable chunking.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk)
+        }
+    }
+}
+
+/// Builder-compatible stand-in; the built pool just runs closures inline.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim: infallible)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_adapters_match_sequential_results() {
+        let doubled: Vec<i32> = [1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+
+        let mut buf = [0u8; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_install_runs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

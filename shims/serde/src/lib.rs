@@ -1,0 +1,15 @@
+//! Offline stand-in for serde: the marker traits plus no-op derive macros.
+//!
+//! No code in this workspace serializes through serde (manifests and CSVs are
+//! written by hand), but many types carry `#[derive(Serialize, Deserialize)]`
+//! so they are ready for a real serializer the day the registry is reachable.
+//! Like real serde, the trait names and the derive-macro names coexist: the
+//! derives come from the sibling `serde_derive` proc-macro crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker half of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker half of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

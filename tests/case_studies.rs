@@ -50,11 +50,18 @@ fn full_scale_case_study_1_matches_the_paper() {
 
     // Figure 11: case-1 efficiency improvement near the paper's 72%.
     let eff = cmp.efficiency_improvement_pct();
-    assert!((60.0..=80.0).contains(&eff), "case-1 efficiency gain {eff}% (paper: 72%)");
+    assert!(
+        (60.0..=80.0).contains(&eff),
+        "case-1 efficiency gain {eff}% (paper: 72%)"
+    );
 
     // Average power levels are in the Figure 8 axis range (125–150 W).
     for m in [&cmp.post.metrics, &cmp.insitu.metrics] {
-        assert!((120.0..=150.0).contains(&m.average_power_w), "{}", m.average_power_w);
+        assert!(
+            (120.0..=150.0).contains(&m.average_power_w),
+            "{}",
+            m.average_power_w
+        );
     }
 
     // The storage stack really round-tripped every snapshot.
@@ -105,7 +112,12 @@ fn peak_power_is_io_frequency_invariant() {
     let p0 = cases[0].post.metrics.peak_power_w;
     for c in &cases {
         for m in [&c.post.metrics, &c.insitu.metrics] {
-            assert!((m.peak_power_w - p0).abs() < 1.0, "case {}: {}", c.case, m.peak_power_w);
+            assert!(
+                (m.peak_power_w - p0).abs() < 1.0,
+                "case {}: {}",
+                c.case,
+                m.peak_power_w
+            );
         }
     }
 }
@@ -121,8 +133,14 @@ fn post_processing_profile_has_two_power_phases() {
     };
     let post = &cmp.post.timeline;
     let phase_avg = |phases: [Phase; 2]| {
-        let e: f64 = phases.iter().map(|&p| post.phase_energy(p).system_j()).sum();
-        let t: f64 = phases.iter().map(|&p| post.phase_duration(p).as_secs_f64()).sum();
+        let e: f64 = phases
+            .iter()
+            .map(|&p| post.phase_energy(p).system_j())
+            .sum();
+        let t: f64 = phases
+            .iter()
+            .map(|&p| post.phase_duration(p).as_secs_f64())
+            .sum();
         e / t
     };
     let phase1_w = phase_avg([Phase::Simulation, Phase::Write]);

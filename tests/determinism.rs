@@ -20,7 +20,10 @@ fn meter_seed_changes_profile_but_not_truth() {
     let cfg = PipelineConfig::small(1);
     let s1 = ExperimentSetup::default();
     let s2 = ExperimentSetup {
-        meter: WattsupMeter { seed: 77, ..WattsupMeter::default() },
+        meter: WattsupMeter {
+            seed: 77,
+            ..WattsupMeter::default()
+        },
         ..ExperimentSetup::default()
     };
     let a = experiment::run(PipelineKind::InSitu, &cfg, &s1);
@@ -35,7 +38,11 @@ fn meter_seed_changes_profile_but_not_truth() {
 #[test]
 fn noiseless_profile_integrates_to_timeline_energy() {
     let cfg = PipelineConfig::small(2);
-    let r = experiment::run(PipelineKind::PostProcessing, &cfg, &ExperimentSetup::noiseless());
+    let r = experiment::run(
+        PipelineKind::PostProcessing,
+        &cfg,
+        &ExperimentSetup::noiseless(),
+    );
     // Integer-watt rounding plus the dropped partial final interval bound
     // the integration error.
     let covered = r.profile.len() as f64 * r.profile.period_s;
@@ -50,7 +57,11 @@ fn noiseless_profile_integrates_to_timeline_energy() {
 fn all_pipelines_are_deterministic() {
     let cfg = PipelineConfig::small(2);
     let setup = ExperimentSetup::noiseless();
-    for kind in [PipelineKind::PostProcessing, PipelineKind::InSitu, PipelineKind::InTransit] {
+    for kind in [
+        PipelineKind::PostProcessing,
+        PipelineKind::InSitu,
+        PipelineKind::InTransit,
+    ] {
         let a = experiment::run(kind, &cfg, &setup);
         let b = experiment::run(kind, &cfg, &setup);
         assert_eq!(a.metrics.energy_j, b.metrics.energy_j, "{kind:?}");

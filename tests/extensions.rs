@@ -32,7 +32,12 @@ fn cluster_scaling_shifts_energy_to_static_overheads() {
     large.timesteps = 6;
     let two = run_cluster(ClusterKind::PostProcessing, &small);
     let eight = run_cluster(ClusterKind::PostProcessing, &large);
-    assert!(eight.makespan_s < two.makespan_s, "{} vs {}", eight.makespan_s, two.makespan_s);
+    assert!(
+        eight.makespan_s < two.makespan_s,
+        "{} vs {}",
+        eight.makespan_s,
+        two.makespan_s
+    );
     assert!(eight.total_energy_j > two.total_energy_j);
 }
 
@@ -40,7 +45,10 @@ fn cluster_scaling_shifts_energy_to_static_overheads() {
 fn variants_rank_sensibly_against_the_baselines() {
     let mut cfg = PipelineConfig::small(1);
     cfg.timesteps = 8;
-    let setup = ExperimentSetup { monitoring_overhead_w: 0.0, ..ExperimentSetup::noiseless() };
+    let setup = ExperimentSetup {
+        monitoring_overhead_w: 0.0,
+        ..ExperimentSetup::noiseless()
+    };
     let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
     let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup);
 
@@ -48,7 +56,9 @@ fn variants_rank_sensibly_against_the_baselines() {
     let sampled = run_variant(Variant::SampledPost { stride: 4 }, &mut node, &cfg);
     let mut node = Node::new(HardwareSpec::table1());
     let quant = run_variant(
-        Variant::CompressedPost { codec: CodecChoice::Quantized },
+        Variant::CompressedPost {
+            codec: CodecChoice::Quantized,
+        },
         &mut node,
         &cfg,
     );
@@ -67,7 +77,10 @@ fn variants_rank_sensibly_against_the_baselines() {
             post.metrics.energy_j
         );
         let ratio = v.energy_j / insitu.metrics.energy_j;
-        assert!((0.8..=1.5).contains(&ratio), "{name}: ratio to in-situ {ratio}");
+        assert!(
+            (0.8..=1.5).contains(&ratio),
+            "{name}: ratio to in-situ {ratio}"
+        );
     }
 }
 
@@ -86,7 +99,10 @@ fn dvfs_sweep_has_an_interior_energy_optimum_or_monotone_gain() {
         .collect();
     let spread = energies.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - energies.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread > 0.01 * energies[0], "DVFS sweep is flat: {energies:?}");
+    assert!(
+        spread > 0.01 * energies[0],
+        "DVFS sweep is flat: {energies:?}"
+    );
     // At very low clocks static time dominates: 0.4 must be worse than 0.8.
     assert!(energies[3] > energies[1], "{energies:?}");
 }
@@ -116,7 +132,10 @@ fn raid0_speeds_streaming_but_not_fsync_bound_pipelines() {
     let raid = greenness_core::CaseComparison::run_config(
         1,
         &cfg,
-        &ExperimentSetup { spec, ..ExperimentSetup::noiseless() },
+        &ExperimentSetup {
+            spec,
+            ..ExperimentSetup::noiseless()
+        },
     );
     let delta = (raid.energy_savings_pct() - hdd.energy_savings_pct()).abs();
     assert!(delta < 3.0, "savings moved by {delta} points");
@@ -129,11 +148,16 @@ fn full_scale_burst_buffer_beats_even_insitu_while_keeping_raw_data() {
     // chunked reads — post-processing keeps all raw data yet lands *below*
     // in-situ energy.
     let cfg = PipelineConfig::case_study(1);
-    let setup = ExperimentSetup { monitoring_overhead_w: 0.0, ..ExperimentSetup::noiseless() };
+    let setup = ExperimentSetup {
+        monitoring_overhead_w: 0.0,
+        ..ExperimentSetup::noiseless()
+    };
     let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup);
     let mut node = Node::new(HardwareSpec::table1());
     let bb = run_variant(
-        Variant::BurstBufferPost { buffer_bytes: 256 * 1024 * 1024 },
+        Variant::BurstBufferPost {
+            buffer_bytes: 256 * 1024 * 1024,
+        },
         &mut node,
         &cfg,
     );
@@ -154,7 +178,11 @@ fn fitted_disk_model_predicts_unseen_transfers() {
     let node = Node::new(HardwareSpec::table1());
     let idle_w = node.spec().disk.idle_w;
     let observe = |bytes: u64, pattern: AccessPattern| -> (DiskAccessFeatures, f64) {
-        let (secs, draw) = node.cost_of(Activity::DiskRead { bytes, pattern, buffered: false });
+        let (secs, draw) = node.cost_of(Activity::DiskRead {
+            bytes,
+            pattern,
+            buffered: false,
+        });
         let energy = (draw.disk_w - idle_w) * secs;
         let (ops, position_s) = match pattern {
             AccessPattern::Sequential => (1.0, 12.67e-3),
@@ -162,28 +190,63 @@ fn fitted_disk_model_predicts_unseen_transfers() {
                 let n = bytes.div_ceil(op_bytes) as f64;
                 (n, n * 5.17e-3)
             }
-            AccessPattern::Random { op_bytes, queue_depth } => {
+            AccessPattern::Random {
+                op_bytes,
+                queue_depth,
+            } => {
                 let n = bytes.div_ceil(op_bytes) as f64;
                 let ncq = 1.0 + (queue_depth as f64).log2();
                 (n, n * 12.67e-3 / ncq)
             }
         };
-        (DiskAccessFeatures { ops, bytes: bytes as f64, position_s }, energy)
+        (
+            DiskAccessFeatures {
+                ops,
+                bytes: bytes as f64,
+                position_s,
+            },
+            energy,
+        )
     };
 
     let mut train = Vec::new();
     for mb in [1u64, 8, 64, 512] {
         let bytes = mb * 1024 * 1024;
         train.push(observe(bytes, AccessPattern::Sequential));
-        train.push(observe(bytes, AccessPattern::Chunked { op_bytes: 8 * 1024 }));
-        train.push(observe(bytes, AccessPattern::Random { op_bytes: 4096, queue_depth: 32 }));
-        train.push(observe(bytes, AccessPattern::Random { op_bytes: 4096, queue_depth: 1 }));
+        train.push(observe(
+            bytes,
+            AccessPattern::Chunked { op_bytes: 8 * 1024 },
+        ));
+        train.push(observe(
+            bytes,
+            AccessPattern::Random {
+                op_bytes: 4096,
+                queue_depth: 32,
+            },
+        ));
+        train.push(observe(
+            bytes,
+            AccessPattern::Random {
+                op_bytes: 4096,
+                queue_depth: 1,
+            },
+        ));
     }
     let model = DiskEnergyModel::fit(&train).expect("fit");
-    assert!(model.r_squared(&train) > 0.98, "R² {}", model.r_squared(&train));
+    assert!(
+        model.r_squared(&train) > 0.98,
+        "R² {}",
+        model.r_squared(&train)
+    );
 
     // Held-out: 256 MiB random with queue depth 8.
-    let (f, truth) = observe(256 * 1024 * 1024, AccessPattern::Random { op_bytes: 4096, queue_depth: 8 });
+    let (f, truth) = observe(
+        256 * 1024 * 1024,
+        AccessPattern::Random {
+            op_bytes: 4096,
+            queue_depth: 8,
+        },
+    );
     let pred = model.predict_j(f);
     assert!(
         (pred - truth).abs() < 0.15 * truth.abs().max(1.0),

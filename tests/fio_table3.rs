@@ -29,11 +29,31 @@ fn table3_rows_match_the_paper() {
     for (kind, t, sys_w, dyn_w, dyn_kj, full_kj) in expect {
         let r = run_table3(kind);
         let rel = |got: f64, want: f64| (got - want).abs() / want.max(0.1);
-        assert!(rel(r.execution_time_s, t) < 0.02, "{kind:?} time {}", r.execution_time_s);
-        assert!(rel(r.full_system_power_w, sys_w) < 0.01, "{kind:?} power {}", r.full_system_power_w);
-        assert!(rel(r.disk_dyn_power_w, dyn_w) < 0.06, "{kind:?} disk W {}", r.disk_dyn_power_w);
-        assert!(rel(r.disk_dyn_energy_kj, dyn_kj) < 0.25, "{kind:?} disk kJ {}", r.disk_dyn_energy_kj);
-        assert!(rel(r.full_system_energy_kj, full_kj) < 0.03, "{kind:?} full kJ {}", r.full_system_energy_kj);
+        assert!(
+            rel(r.execution_time_s, t) < 0.02,
+            "{kind:?} time {}",
+            r.execution_time_s
+        );
+        assert!(
+            rel(r.full_system_power_w, sys_w) < 0.01,
+            "{kind:?} power {}",
+            r.full_system_power_w
+        );
+        assert!(
+            rel(r.disk_dyn_power_w, dyn_w) < 0.06,
+            "{kind:?} disk W {}",
+            r.disk_dyn_power_w
+        );
+        assert!(
+            rel(r.disk_dyn_energy_kj, dyn_kj) < 0.25,
+            "{kind:?} disk kJ {}",
+            r.disk_dyn_energy_kj
+        );
+        assert!(
+            rel(r.full_system_energy_kj, full_kj) < 0.03,
+            "{kind:?} full kJ {}",
+            r.full_system_energy_kj
+        );
     }
 }
 
@@ -41,9 +61,16 @@ fn table3_rows_match_the_paper() {
 fn random_read_dominates_everything() {
     // The §V-D premise: random reads are two orders of magnitude worse.
     let rr = run_table3(FioKind::RandomRead);
-    for kind in [FioKind::SequentialRead, FioKind::SequentialWrite, FioKind::RandomWrite] {
+    for kind in [
+        FioKind::SequentialRead,
+        FioKind::SequentialWrite,
+        FioKind::RandomWrite,
+    ] {
         let other = run_table3(kind);
-        assert!(rr.full_system_energy_kj > 50.0 * other.full_system_energy_kj, "{kind:?}");
+        assert!(
+            rr.full_system_energy_kj > 50.0 * other.full_system_energy_kj,
+            "{kind:?}"
+        );
     }
 }
 
@@ -75,7 +102,10 @@ fn queue_depth_sweep_shows_ncq_benefit() {
     for qd in [1u32, 4, 32] {
         let mut node = Node::new(setup.spec.clone());
         let mut dev = NullBlockDevice::with_capacity_bytes(GIB4);
-        let job = FioJob { queue_depth: qd, ..FioJob::table3(FioKind::RandomRead) };
+        let job = FioJob {
+            queue_depth: qd,
+            ..FioJob::table3(FioKind::RandomRead)
+        };
         let r = fio::run(&mut node, &mut dev, &job);
         assert!(r.execution_time_s < prev, "qd {qd} did not help");
         prev = r.execution_time_s;

@@ -1,0 +1,192 @@
+//! Golden-value regression suite: pins the simulator's headline numbers to
+//! the paper's published tables so calibration drift is caught immediately.
+//!
+//! Tolerances are explicit and deliberately tight — tighter than the
+//! behavioural tests elsewhere. If one of these trips after an intentional
+//! recalibration, update the pinned value *and* EXPERIMENTS.md together.
+
+use greenness_core::breakdown::CaseBreakdown;
+use greenness_core::{probes, CaseComparison, ExperimentSetup};
+use greenness_platform::Node;
+use greenness_storage::{fio, FioJob, FioKind, NullBlockDevice};
+
+/// Relative error, guarded for small denominators.
+fn rel(got: f64, want: f64) -> f64 {
+    (got - want).abs() / want.abs().max(1e-9)
+}
+
+// ---------------------------------------------------------------- Table II
+
+#[test]
+fn golden_table2_nnread_power() {
+    // Table II, nnread column: 115.1 W total, 10.3 W dynamic. Pinned to
+    // ±0.5 % — the probe is deterministic, so any drift is a real
+    // calibration change, not noise.
+    let r = probes::nnread(&ExperimentSetup::noiseless(), 128 * 1024, 50.0);
+    assert!(
+        rel(r.avg_total_w, 115.1) < 0.005,
+        "nnread total {:.2} W (paper 115.1)",
+        r.avg_total_w
+    );
+    assert!(
+        rel(r.avg_dynamic_w, 10.3) < 0.05,
+        "nnread dyn {:.2} W (paper 10.3)",
+        r.avg_dynamic_w
+    );
+}
+
+#[test]
+fn golden_table2_nnwrite_power() {
+    // Table II, nnwrite column: 114.8 W total, 10.0 W dynamic.
+    let r = probes::nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 50.0);
+    assert!(
+        rel(r.avg_total_w, 114.8) < 0.005,
+        "nnwrite total {:.2} W (paper 114.8)",
+        r.avg_total_w
+    );
+    assert!(
+        rel(r.avg_dynamic_w, 10.0) < 0.05,
+        "nnwrite dyn {:.2} W (paper 10.0)",
+        r.avg_dynamic_w
+    );
+}
+
+#[test]
+fn golden_section5c_energy_split() {
+    // §V-C: in-situ's case-1 saving decomposes into static and dynamic
+    // parts. Paper: 12.8 kJ + 1.2 kJ; our reproduction measures 11.26 kJ +
+    // 1.09 kJ (EXPERIMENTS.md) — the 91 % / 9 % *split*, the paper's
+    // headline, matches exactly. Pin the reproduced values at ±2 % and the
+    // share at ±1 point.
+    let setup = ExperimentSetup::noiseless();
+    let cmp = CaseComparison::run_case(1, &setup);
+    let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0);
+    let static_kj = b.savings.static_j / 1000.0;
+    let dynamic_kj = b.savings.dynamic_j / 1000.0;
+    assert!(
+        rel(static_kj, 11.26) < 0.02,
+        "static {static_kj:.2} kJ (measured 11.26, paper 12.8)"
+    );
+    assert!(
+        rel(dynamic_kj, 1.09) < 0.02,
+        "dynamic {dynamic_kj:.2} kJ (measured 1.09, paper 1.2)"
+    );
+    assert!(
+        (b.savings.static_pct() - 91.0).abs() < 1.0,
+        "static share {:.1} % (paper 91 %)",
+        b.savings.static_pct()
+    );
+}
+
+// --------------------------------------------------------------- Table III
+
+fn table3(kind: FioKind) -> greenness_storage::FioResult {
+    let setup = ExperimentSetup::noiseless();
+    let mut node = Node::new(setup.spec.clone());
+    let mut dev = NullBlockDevice::with_capacity_bytes(4 * 1024 * 1024 * 1024);
+    fio::run(&mut node, &mut dev, &FioJob::table3(kind))
+}
+
+#[test]
+fn golden_table3_sequential_vs_random_energy() {
+    // Table III full-system energies: sequential read 4.2 kJ vs random
+    // read 238.6 kJ; sequential write 3.1 kJ vs random write 3.6 kJ.
+    // The read-side gap (≈57×) is the paper's central §V-D argument.
+    let sr = table3(FioKind::SequentialRead);
+    let rr = table3(FioKind::RandomRead);
+    let sw = table3(FioKind::SequentialWrite);
+    let rw = table3(FioKind::RandomWrite);
+    assert!(
+        rel(sr.full_system_energy_kj, 4.2) < 0.03,
+        "seq read {:.2} kJ",
+        sr.full_system_energy_kj
+    );
+    assert!(
+        rel(rr.full_system_energy_kj, 238.6) < 0.03,
+        "rand read {:.1} kJ",
+        rr.full_system_energy_kj
+    );
+    assert!(
+        rel(sw.full_system_energy_kj, 3.1) < 0.03,
+        "seq write {:.2} kJ",
+        sw.full_system_energy_kj
+    );
+    assert!(
+        rel(rw.full_system_energy_kj, 3.6) < 0.03,
+        "rand write {:.2} kJ",
+        rw.full_system_energy_kj
+    );
+    let ratio = rr.full_system_energy_kj / sr.full_system_energy_kj;
+    assert!(
+        (50.0..=65.0).contains(&ratio),
+        "random/sequential read ratio {ratio:.1} (paper ≈57)"
+    );
+}
+
+#[test]
+fn golden_table3_sequential_write_typo_correction() {
+    // The paper prints the sequential-write disk dynamic energy as
+    // "2.9 kJ", but its own row arithmetic gives 10.9 W × 27.0 s ≈ 0.29 kJ
+    // — a factor-of-10 typo (EXPERIMENTS.md, inconsistency #2). We pin the
+    // *corrected* value and assert the row stays self-consistent.
+    let r = table3(FioKind::SequentialWrite);
+    assert!(
+        rel(r.disk_dyn_energy_kj, 0.29) < 0.10,
+        "seq write disk energy {:.3} kJ (corrected paper value 0.29, printed as 2.9)",
+        r.disk_dyn_energy_kj
+    );
+    // Self-consistency: energy column == power column × time column.
+    let implied_kj = r.disk_dyn_power_w * r.execution_time_s / 1000.0;
+    assert!(
+        rel(r.disk_dyn_energy_kj, implied_kj) < 0.02,
+        "row arithmetic broken"
+    );
+    // And the printed 2.9 kJ is definitively NOT what the model produces.
+    assert!(
+        rel(r.disk_dyn_energy_kj, 2.9) > 0.5,
+        "typo value should not reproduce"
+    );
+}
+
+#[test]
+fn golden_table3_times_and_powers() {
+    // Time and full-system power columns, all four rows, ±2 %.
+    let expect = [
+        (FioKind::SequentialRead, 35.9, 118.0),
+        (FioKind::RandomRead, 2230.0, 107.0),
+        (FioKind::SequentialWrite, 27.0, 115.4),
+        (FioKind::RandomWrite, 31.0, 117.9),
+    ];
+    for (kind, t_s, sys_w) in expect {
+        let r = table3(kind);
+        assert!(
+            rel(r.execution_time_s, t_s) < 0.02,
+            "{kind:?} time {:.1} s",
+            r.execution_time_s
+        );
+        assert!(
+            rel(r.full_system_power_w, sys_w) < 0.01,
+            "{kind:?} power {:.1} W",
+            r.full_system_power_w
+        );
+    }
+}
+
+// -------------------------------------------------- headline case studies
+
+#[test]
+fn golden_case1_headline_numbers() {
+    // Figure 10 / §V-A: case 1 post-processing burns ≈30 kJ and in-situ
+    // saves ≈43 % (we reproduce ≈41 %, see EXPERIMENTS.md).
+    let cmp = CaseComparison::run_case(1, &ExperimentSetup::noiseless());
+    assert!(
+        rel(cmp.post.metrics.energy_j, 30_000.0) < 0.07,
+        "post energy {:.1} kJ (paper ≈30)",
+        cmp.post.metrics.energy_j / 1000.0
+    );
+    let savings = cmp.energy_savings_pct();
+    assert!(
+        (39.0..=45.0).contains(&savings),
+        "savings {savings:.1} % (paper 43 %)"
+    );
+}

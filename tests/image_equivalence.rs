@@ -2,7 +2,9 @@
 //! pictures — the paper's trade-off is about energy and exploration, never
 //! about image fidelity.
 
-use greenness_core::{experiment, pipeline, pipeline::PipelineKind, ExperimentSetup, PipelineConfig};
+use greenness_core::{
+    experiment, pipeline, pipeline::PipelineKind, ExperimentSetup, PipelineConfig,
+};
 use greenness_platform::{HardwareSpec, Node};
 use greenness_viz::{decode_ppm, encode_ppm};
 
@@ -51,7 +53,10 @@ fn frames_evolve_over_time() {
             changed += 1;
         }
     }
-    assert!(changed >= out.frames.len() - 2, "only {changed} frame transitions changed");
+    assert!(
+        changed >= out.frames.len() - 2,
+        "only {changed} frame transitions changed"
+    );
 }
 
 #[test]

@@ -12,10 +12,26 @@ fn table2_probe_powers_match_the_paper() {
     let write = probes::nnwrite(&setup, 128 * 1024, 50.0);
     // Table II: nnread 115.1 W total / 10.3 W dynamic;
     //           nnwrite 114.8 W total / 10.0 W dynamic.
-    assert!((read.avg_total_w - 115.1).abs() < 0.7, "nnread total {}", read.avg_total_w);
-    assert!((read.avg_dynamic_w - 10.3).abs() < 0.7, "nnread dyn {}", read.avg_dynamic_w);
-    assert!((write.avg_total_w - 114.8).abs() < 0.7, "nnwrite total {}", write.avg_total_w);
-    assert!((write.avg_dynamic_w - 10.0).abs() < 0.7, "nnwrite dyn {}", write.avg_dynamic_w);
+    assert!(
+        (read.avg_total_w - 115.1).abs() < 0.7,
+        "nnread total {}",
+        read.avg_total_w
+    );
+    assert!(
+        (read.avg_dynamic_w - 10.3).abs() < 0.7,
+        "nnread dyn {}",
+        read.avg_dynamic_w
+    );
+    assert!(
+        (write.avg_total_w - 114.8).abs() < 0.7,
+        "nnwrite total {}",
+        write.avg_total_w
+    );
+    assert!(
+        (write.avg_dynamic_w - 10.0).abs() < 0.7,
+        "nnwrite dyn {}",
+        write.avg_dynamic_w
+    );
 }
 
 #[test]
@@ -32,8 +48,14 @@ fn case1_savings_are_mostly_static() {
         "static share {:.1}% (paper: 91%)",
         b.savings.static_pct()
     );
-    assert!((0.8..=1.6).contains(&dynamic_kj), "dynamic {dynamic_kj:.2} kJ (paper: 1.2)");
-    assert!((10.0..=14.0).contains(&static_kj), "static {static_kj:.2} kJ (paper: 12.8)");
+    assert!(
+        (0.8..=1.6).contains(&dynamic_kj),
+        "dynamic {dynamic_kj:.2} kJ (paper: 1.2)"
+    );
+    assert!(
+        (10.0..=14.0).contains(&static_kj),
+        "static {static_kj:.2} kJ (paper: 12.8)"
+    );
 }
 
 #[test]

@@ -13,8 +13,16 @@ fn section5d_numbers() {
     let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * GIB);
     // Paper: adopting in-situ saves 242.2 kJ; reorganization retains
     // exploration at only 7.3 kJ.
-    assert!((w.random_io_energy_kj - 242.2).abs() < 10.0, "{}", w.random_io_energy_kj);
-    assert!((w.reorganized_io_energy_kj - 7.3).abs() < 0.4, "{}", w.reorganized_io_energy_kj);
+    assert!(
+        (w.random_io_energy_kj - 242.2).abs() < 10.0,
+        "{}",
+        w.random_io_energy_kj
+    );
+    assert!(
+        (w.reorganized_io_energy_kj - 7.3).abs() < 0.4,
+        "{}",
+        w.reorganized_io_energy_kj
+    );
     assert!(w.retained_fraction() < 0.05);
 }
 
@@ -89,7 +97,8 @@ fn reorganization_pays_back_within_one_pass_for_the_5d_workload() {
 
     // Cost of one fragmented pass.
     let t0 = node.now();
-    fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read).unwrap();
+    fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read)
+        .unwrap();
     let fragmented_pass_s = (node.now() - t0).as_secs_f64();
     fs.drop_caches();
 
@@ -97,7 +106,8 @@ fn reorganization_pays_back_within_one_pass_for_the_5d_workload() {
     let r = reorganize(&mut node, &mut fs, "f", Phase::Other).unwrap();
 
     let t1 = node.now();
-    fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read).unwrap();
+    fs.read(&mut node, "f", 0, data.len() as u64, Phase::Read)
+        .unwrap();
     let sequential_pass_s = (node.now() - t1).as_secs_f64();
 
     let per_pass_saving = fragmented_pass_s - sequential_pass_s;
