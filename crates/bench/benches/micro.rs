@@ -66,7 +66,7 @@ fn pagecache_throughput(c: &mut Criterion) {
             let mut cache = PageCache::new();
             let block = vec![0x42u8; 4096];
             for i in 0..256u64 {
-                cache.write_block(&dev, i, 0, &block);
+                cache.write_block(&dev, i, 0, &block).unwrap();
             }
             black_box(cache.sync(&mut dev))
         })

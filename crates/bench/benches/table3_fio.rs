@@ -19,7 +19,7 @@ fn table3_jobs(c: &mut Criterion) {
             b.iter(|| {
                 let mut node = Node::new(HardwareSpec::table1());
                 let mut dev = NullBlockDevice::with_capacity_bytes(GIB4);
-                black_box(fio::run(&mut node, &mut dev, &FioJob::table3(kind)))
+                black_box(fio::run(&mut node, &mut dev, &FioJob::table3(kind)).unwrap())
             })
         });
     }
@@ -38,7 +38,7 @@ fn table3_verified_real_bytes(c: &mut Criterion) {
                 queue_depth: 32,
                 verify: true,
             };
-            black_box(fio::run(&mut node, &mut dev, &job))
+            black_box(fio::run(&mut node, &mut dev, &job).unwrap())
         })
     });
 }
@@ -46,7 +46,7 @@ fn table3_verified_real_bytes(c: &mut Criterion) {
 fn sec5d_whatif(c: &mut Criterion) {
     let setup = ExperimentSetup::noiseless();
     c.bench_function("sec5d_whatif", |b| {
-        b.iter(|| black_box(WhatIfAnalysis::run(&setup, GIB4)))
+        b.iter(|| black_box(WhatIfAnalysis::run(&setup, GIB4).unwrap()))
     });
 }
 

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! greenness case <1|2|3>                run one case study, both pipelines
-//! greenness sweep [--jobs N]            full 3-case grid on the parallel executor
+//! greenness sweep [--jobs N] [--trace J] [--metrics M]
+//!                                       full 3-case grid on the parallel executor
+//! greenness trace summarize <journal>   reconstruct + audit a trace journal
 //! greenness fio [bytes]                 Table III fio matrix (default 4 GiB)
 //! greenness probes                      Table II nnread/nnwrite probes
 //! greenness cluster [nodes] [servers]   distributed pipelines
@@ -35,7 +37,11 @@ fn usage() -> ! {
          \x20 cluster [nodes] [servers]            distributed pipelines\n\
          \x20 cap <watts> [watts ...]              power-cap sweep (in-situ)\n\
          \x20 adaptive [io-energy-threshold]       adaptive runtime demo\n\
-         \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>"
+         \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>\n\
+         \x20 trace summarize <journal>            reconstruct + audit a trace journal\n\
+         \n\
+         sweep also accepts --trace PATH / --metrics PATH (event journal +\n\
+         metrics registry; byte-identical for every --jobs value)"
     );
     std::process::exit(2);
 }
@@ -90,6 +96,8 @@ fn cmd_case(args: &[String]) {
 
 fn cmd_sweep(args: &[String]) {
     let mut jobs = greenness_bench::default_jobs();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -99,18 +107,30 @@ fn cmd_sweep(args: &[String]) {
                     .map(|s| parse(s, "worker count"))
                     .unwrap_or_else(|| usage())
             }
-            other => match other.strip_prefix("--jobs=") {
-                Some(n) => jobs = parse(n, "worker count"),
-                None => usage(),
-            },
+            "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other => {
+                if let Some(n) = other.strip_prefix("--jobs=") {
+                    jobs = parse(n, "worker count");
+                } else if let Some(p) = other.strip_prefix("--trace=") {
+                    trace_path = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--metrics=") {
+                    metrics_path = Some(p.to_string());
+                } else {
+                    usage()
+                }
+            }
         }
     }
+    let setup = ExperimentSetup {
+        trace: trace_path.is_some() || metrics_path.is_some(),
+        ..ExperimentSetup::default()
+    };
     eprintln!("running the full case-study grid on {jobs} worker(s)...");
     let t0 = std::time::Instant::now();
-    let results =
-        greenness_bench::run_case_grid(&ExperimentSetup::default(), jobs, &|done, total, key| {
-            eprintln!("[sweep] {done}/{total} done: {key}");
-        });
+    let results = greenness_bench::run_case_grid(&setup, jobs, &|done, total, key| {
+        eprintln!("[sweep] {done}/{total} done: {key}");
+    });
     eprintln!(
         "grid finished in {:.2} s host wall-clock",
         t0.elapsed().as_secs_f64()
@@ -119,6 +139,16 @@ fn cmd_sweep(args: &[String]) {
     std::fs::write("repro_out/manifest.json", sweep::manifest_json(&results))
         .expect("write manifest");
     eprintln!("wrote repro_out/manifest.json");
+    if let Some(path) = &trace_path {
+        let journal = sweep::sweep_journal(&results).expect("grid ran traced");
+        std::fs::write(path, journal).expect("write trace journal");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let metrics = sweep::sweep_metrics_json(&results).expect("grid ran traced");
+        std::fs::write(path, metrics).expect("write metrics registry");
+        eprintln!("wrote {path}");
+    }
     let mut rows = Vec::new();
     for c in sweep::comparisons(&results) {
         rows.push(vec![
@@ -151,7 +181,13 @@ fn cmd_fio(args: &[String]) {
         .map(|s| parse(s, "byte count"))
         .unwrap_or(4 << 30);
     eprintln!("running fio matrix at {} bytes...", bytes);
-    let w = WhatIfAnalysis::run(&ExperimentSetup::default(), bytes);
+    let w = match WhatIfAnalysis::run(&ExperimentSetup::default(), bytes) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("fio matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut rows = Vec::new();
     for r in &w.fio {
         rows.push(vec![
@@ -286,6 +322,40 @@ fn cmd_adaptive(args: &[String]) {
     );
 }
 
+fn cmd_trace(args: &[String]) {
+    let (Some(verb), Some(path)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    if verb != "summarize" {
+        usage();
+    }
+    let journal = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let summary = match greenness_trace::summarize::summarize(&journal) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} event(s), {} job(s), {} span(s) checked, {} phase cross-check(s)",
+        summary.events, summary.jobs, summary.spans_checked, summary.phases_checked
+    );
+    print!("{}", summary.table());
+    if summary.audit_ok() {
+        println!("audit: OK");
+    } else {
+        eprintln!("audit: {} violation(s)", summary.audit_errors.len());
+        for e in &summary.audit_errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn cmd_advisor(args: &[String]) {
     if args.len() < 4 {
         usage();
@@ -346,6 +416,7 @@ fn main() {
         "cap" => cmd_cap(&args[1..]),
         "adaptive" => cmd_adaptive(&args[1..]),
         "advisor" => cmd_advisor(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }

@@ -15,6 +15,11 @@
 //! all cores). Artifacts and the manifest are **byte-identical for every
 //! `--jobs` value**: each grid job derives its RNG seed from its job key,
 //! never from scheduling (see `greenness_core::sweep`).
+//!
+//! `--trace PATH` writes the grid's `greenness-trace/v1` event journal and
+//! `--metrics PATH` its `greenness-metrics/v1` counter/gauge registry when
+//! the case-study grid runs (both are byte-identical across `--jobs`
+//! values; inspect a journal with `greenness trace summarize PATH`).
 
 use std::collections::BTreeSet;
 
@@ -46,6 +51,8 @@ const ARTIFACTS: &[&str] = &[
 struct Lazy {
     setup: ExperimentSetup,
     jobs: usize,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
     cases: Option<Vec<CaseComparison>>,
     nnprobes: Option<(probes::ProbeResult, probes::ProbeResult)>,
 }
@@ -70,6 +77,16 @@ impl Lazy {
             let manifest = sweep::manifest_json(&results);
             std::fs::write("repro_out/manifest.json", manifest).expect("write manifest");
             eprintln!("[repro] wrote repro_out/manifest.json");
+            if let Some(path) = &self.trace_path {
+                let journal = sweep::sweep_journal(&results).expect("grid ran traced");
+                std::fs::write(path, journal).expect("write trace journal");
+                eprintln!("[repro] wrote {path}");
+            }
+            if let Some(path) = &self.metrics_path {
+                let metrics = sweep::sweep_metrics_json(&results).expect("grid ran traced");
+                std::fs::write(path, metrics).expect("write metrics registry");
+                eprintln!("[repro] wrote {path}");
+            }
             self.cases = Some(sweep::comparisons(&results));
         }
         self.cases.as_ref().expect("just computed")
@@ -121,35 +138,60 @@ fn emit_pair_table(
     );
 }
 
-/// Split `--jobs N` / `--jobs=N` / `-j N` out of the raw argument list.
-fn parse_jobs(args: Vec<String>) -> (usize, Vec<String>) {
+/// Parsed command-line options.
+struct Cli {
+    jobs: usize,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    rest: Vec<String>,
+}
+
+/// Split `--jobs N` / `--jobs=N` / `-j N` and the observability flags
+/// `--trace PATH` / `--metrics PATH` out of the raw argument list.
+fn parse_cli(args: Vec<String>) -> Cli {
     fn count(s: &str) -> usize {
         s.parse().unwrap_or_else(|_| {
             eprintln!("invalid worker count: {s}");
             std::process::exit(2);
         })
     }
-    let mut jobs = default_jobs();
-    let mut rest = Vec::new();
+    let mut cli = Cli {
+        jobs: default_jobs(),
+        trace_path: None,
+        metrics_path: None,
+        rest: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" || a == "-j" {
-            let n = it.next().unwrap_or_else(|| {
-                eprintln!("{a} needs a worker count");
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
                 std::process::exit(2);
-            });
-            jobs = count(&n);
+            })
+        };
+        if a == "--jobs" || a == "-j" {
+            cli.jobs = count(&value(&a));
         } else if let Some(n) = a.strip_prefix("--jobs=") {
-            jobs = count(n);
+            cli.jobs = count(n);
+        } else if a == "--trace" {
+            cli.trace_path = Some(value(&a));
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            cli.trace_path = Some(p.to_string());
+        } else if a == "--metrics" {
+            cli.metrics_path = Some(value(&a));
+        } else if let Some(p) = a.strip_prefix("--metrics=") {
+            cli.metrics_path = Some(p.to_string());
         } else {
-            rest.push(a);
+            cli.rest.push(a);
         }
     }
-    (jobs.max(1), rest)
+    cli.jobs = cli.jobs.max(1);
+    cli
 }
 
 fn main() {
-    let (jobs, args) = parse_jobs(std::env::args().skip(1).collect());
+    let cli = parse_cli(std::env::args().skip(1).collect());
+    let (jobs, args) = (cli.jobs, cli.rest);
     let wanted: BTreeSet<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ARTIFACTS.iter().map(|s| s.to_string()).collect()
     } else {
@@ -161,9 +203,18 @@ fn main() {
         }
         args.into_iter().collect()
     };
+    // Either observability flag turns on the event journal + metrics
+    // registry for every grid job (deterministic: byte-identical output
+    // for every --jobs value).
+    let setup = ExperimentSetup {
+        trace: cli.trace_path.is_some() || cli.metrics_path.is_some(),
+        ..ExperimentSetup::default()
+    };
     let mut lazy = Lazy {
-        setup: ExperimentSetup::default(),
+        setup,
         jobs,
+        trace_path: cli.trace_path,
+        metrics_path: cli.metrics_path,
         cases: None,
         nnprobes: None,
     };
@@ -391,7 +442,13 @@ fn main() {
 
     if wanted.contains("table3") || wanted.contains("whatif") {
         eprintln!("[repro] running the four 4 GiB fio jobs...");
-        let analysis = WhatIfAnalysis::run(&lazy.setup, 4 * 1024 * 1024 * 1024);
+        let analysis = match WhatIfAnalysis::run(&lazy.setup, 4 * 1024 * 1024 * 1024) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("[repro] fio matrix failed: {e}");
+                std::process::exit(1);
+            }
+        };
         if wanted.contains("table3") {
             let headers = ["Metric", "Seq Read", "Rand Read", "Seq Write", "Rand Write"];
             let col = |f: &dyn Fn(&greenness_storage::FioResult) -> String| -> Vec<String> {

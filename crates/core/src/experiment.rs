@@ -7,6 +7,7 @@
 
 use greenness_platform::{HardwareSpec, Node, Phase, SimDuration, Timeline};
 use greenness_power::{GreenMetrics, PowerProfile, WattsupMeter};
+use greenness_trace::{MetricsRegistry, Tracer, Value};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{self, PipelineKind, PipelineOutput};
@@ -20,6 +21,10 @@ pub struct ExperimentSetup {
     pub meter: WattsupMeter,
     /// On-node monitoring overhead, watts (paper: +0.2 W at 1 Hz RAPL).
     pub monitoring_overhead_w: f64,
+    /// Record an event journal + metrics registry for the run (the
+    /// `greenness-trace` observability layer). Off by default; tracing is
+    /// deterministic but costs allocation per event.
+    pub trace: bool,
 }
 
 impl Default for ExperimentSetup {
@@ -28,6 +33,7 @@ impl Default for ExperimentSetup {
             spec: HardwareSpec::table1(),
             meter: WattsupMeter::default(),
             monitoring_overhead_w: 0.2,
+            trace: false,
         }
     }
 }
@@ -72,6 +78,12 @@ pub struct PipelineReport {
     pub timeline: Timeline,
     /// Data-side results (bytes moved, frames, verification).
     pub output: PipelineOutput,
+    /// The run's event journal (headerless JSONL, `greenness-trace/v1`
+    /// events) when [`ExperimentSetup::trace`] was set.
+    pub journal: Option<String>,
+    /// The run's metrics registry (counters, gauges, per-phase snapshots)
+    /// when [`ExperimentSetup::trace`] was set.
+    pub trace_metrics: Option<MetricsRegistry>,
 }
 
 impl PipelineReport {
@@ -104,10 +116,40 @@ impl PipelineReport {
 pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) -> PipelineReport {
     let mut node = Node::new(setup.spec.clone());
     node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
+    if setup.trace {
+        let tracer = Tracer::jsonl();
+        tracer.begin(
+            0,
+            "run",
+            vec![
+                ("pipeline", Value::from(kind.label())),
+                ("config", Value::from(cfg.label.as_str())),
+            ],
+        );
+        node.set_tracer(tracer);
+    }
     let output = pipeline::run(kind, &mut node, cfg);
+    node.finish_trace();
+    let tracer = node.tracer().clone();
     let timeline = node.into_timeline();
     let metrics = GreenMetrics::from_timeline(&timeline, cfg.work_units());
-    let profile = PowerProfile::measure(&timeline, &setup.meter);
+    let end_ns = timeline.end().as_nanos();
+    if tracer.is_on() {
+        tracer.begin(end_ns, "measure", Vec::new());
+    }
+    let profile = PowerProfile::measure_traced(&timeline, &setup.meter, &tracer);
+    let (journal, trace_metrics) = if tracer.is_on() {
+        tracer.end(end_ns, "measure", Vec::new());
+        dump_timeline(&tracer, &timeline, end_ns);
+        tracer.gauge("run.end_s", timeline.end().as_secs_f64());
+        tracer.gauge("energy.system_j", timeline.total_energy_j());
+        tracer.snapshot("run");
+        tracer.end(end_ns, "run", Vec::new());
+        let out = tracer.drain().expect("tracer is on");
+        (Some(out.journal), Some(out.metrics))
+    } else {
+        (None, None)
+    };
     PipelineReport {
         kind,
         config_label: cfg.label.clone(),
@@ -115,6 +157,52 @@ pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) ->
         profile,
         timeline,
         output,
+        journal,
+        trace_metrics,
+    }
+}
+
+/// Journal the exact power history: one `segment` event per timeline segment
+/// (the ground truth `trace summarize` reconstructs energy from) and one
+/// `phase_summary` event per phase with the timeline's own accounting (the
+/// figure the reconstruction is audited against).
+fn dump_timeline(tracer: &Tracer, timeline: &Timeline, end_ns: u64) {
+    for seg in timeline.segments() {
+        tracer.instant(
+            end_ns,
+            "segment",
+            vec![
+                ("start_ns", Value::from(seg.start.as_nanos())),
+                ("dur_ns", Value::from(seg.duration.as_nanos())),
+                ("phase", Value::from(seg.phase.label())),
+                ("package_w", Value::from(seg.draw.package_w)),
+                ("dram_w", Value::from(seg.draw.dram_w)),
+                ("disk_w", Value::from(seg.draw.disk_w)),
+                ("net_w", Value::from(seg.draw.net_w)),
+                ("board_w", Value::from(seg.draw.board_w)),
+            ],
+        );
+    }
+    for phase in Phase::ALL {
+        let duration = timeline.phase_duration(phase);
+        if duration.is_zero() {
+            continue;
+        }
+        let e = timeline.phase_energy(phase);
+        tracer.instant(
+            end_ns,
+            "phase_summary",
+            vec![
+                ("phase", Value::from(phase.label())),
+                ("time_s", Value::from(duration.as_secs_f64())),
+                ("package_j", Value::from(e.package_j)),
+                ("dram_j", Value::from(e.dram_j)),
+                ("disk_j", Value::from(e.disk_j)),
+                ("net_j", Value::from(e.net_j)),
+                ("board_j", Value::from(e.board_j)),
+                ("system_j", Value::from(e.system_j())),
+            ],
+        );
     }
 }
 
@@ -170,6 +258,37 @@ mod tests {
             (de - 0.2 * dt).abs() < 1e-6,
             "overhead energy {de} J over {dt} s"
         );
+    }
+
+    #[test]
+    fn traced_runs_carry_journal_and_metrics() {
+        let cfg = PipelineConfig::small(1);
+        let plain = run(
+            PipelineKind::PostProcessing,
+            &cfg,
+            &ExperimentSetup::noiseless(),
+        );
+        assert!(plain.journal.is_none());
+        assert!(plain.trace_metrics.is_none());
+
+        let traced = run(
+            PipelineKind::PostProcessing,
+            &cfg,
+            &ExperimentSetup {
+                trace: true,
+                ..ExperimentSetup::noiseless()
+            },
+        );
+        let journal = traced.journal.as_deref().expect("journal recorded");
+        assert!(journal.starts_with("{\"t_ns\":0,\"ev\":\"begin\",\"name\":\"run\""));
+        assert!(journal.contains("\"name\":\"phase_summary\""));
+        let m = traced.trace_metrics.as_ref().expect("metrics recorded");
+        assert!(m.counter("solver.steps") > 0);
+        assert!(m.counter("disk.writes") > 0);
+        assert!(m.counter("cache.evictions") > 0);
+        // Tracing must not perturb the simulated physics.
+        assert_eq!(plain.metrics.energy_j, traced.metrics.energy_j);
+        assert_eq!(plain.profile.samples, traced.profile.samples);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use greenness_heatsim::{Grid, HeatSolver};
 use greenness_platform::{Activity, Node, Phase};
 use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
+use greenness_trace::Value;
 use greenness_viz::{encode_ppm, render_field, Framebuffer};
 
 use crate::config::PipelineConfig;
@@ -157,6 +158,7 @@ pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> Pipelin
     // ---- Phase 1: simulation (+ per-step I/O or in-situ visualization) ----
     for step in 1..=cfg.timesteps {
         solver.step();
+        node.tracer().count("solver.steps", 1);
         node.execute(cfg.sim_cost.activity(cells), Phase::Simulation);
         if step % cfg.io_interval != 0 {
             continue;
@@ -210,7 +212,15 @@ pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> Pipelin
 
     // §IV-C: sync and drop caches between phases.
     fs.sync(node, Phase::CacheControl);
-    fs.drop_caches();
+    let evicted = fs.drop_caches();
+    if node.tracer().is_on() {
+        node.tracer().instant(
+            node.now().as_nanos(),
+            "cache.drop",
+            vec![("evicted", Value::from(evicted))],
+        );
+        fs.publish_cache_counters(node);
+    }
 
     // ---- Phase 2 (post-processing only): read back and visualize ----
     if kind == PipelineKind::PostProcessing {

@@ -265,6 +265,54 @@ pub fn comparisons(results: &[JobResult]) -> Vec<CaseComparison> {
     out
 }
 
+/// Assemble the sweep-level event journal: the `greenness-trace/v1` schema
+/// header, then each traced job's journal wrapped in a `job` span, in job-id
+/// order. Per-job journals use job-local virtual time (every job starts at
+/// t = 0); the `job` begin event marks the clock reset for consumers.
+///
+/// Like [`manifest_json`], the output is a pure function of the results —
+/// byte-identical across worker counts (`tests/parallel_determinism.rs`).
+/// Returns `None` when no job was traced.
+pub fn sweep_journal(results: &[JobResult]) -> Option<String> {
+    if results.iter().all(|r| r.report.journal.is_none()) {
+        return None;
+    }
+    let mut s = greenness_trace::journal_header();
+    for r in results {
+        let Some(journal) = &r.report.journal else {
+            continue;
+        };
+        s.push_str(&format!(
+            "{{\"t_ns\":0,\"ev\":\"begin\",\"name\":\"job\",\"job\":{},\"key\":\"{}\",\"seed\":{}}}\n",
+            r.id,
+            escape_json(&r.key),
+            r.seed
+        ));
+        s.push_str(journal);
+        s.push_str(&format!(
+            "{{\"t_ns\":{},\"ev\":\"end\",\"name\":\"job\",\"job\":{}}}\n",
+            r.report.timeline.end().as_nanos(),
+            r.id
+        ));
+    }
+    Some(s)
+}
+
+/// Render the sweep-level metrics file (`greenness-metrics/v1`): one labeled
+/// registry per traced job, in job-id order, labeled by job key. Returns
+/// `None` when no job was traced.
+pub fn sweep_metrics_json(results: &[JobResult]) -> Option<String> {
+    let entries: Vec<(String, greenness_trace::MetricsRegistry)> = results
+        .iter()
+        .filter_map(|r| r.report.trace_metrics.clone().map(|m| (r.key.clone(), m)))
+        .collect();
+    if entries.is_empty() {
+        None
+    } else {
+        Some(greenness_trace::metrics_file_json(&entries))
+    }
+}
+
 /// Render the structured per-job manifest (`repro_out/manifest.json`).
 ///
 /// The output is a pure function of the job results: ids, keys, derived
@@ -445,6 +493,33 @@ mod tests {
         let b = manifest_json(&run_sweep(small_grid(), 3, &silent_progress()));
         assert_eq!(a, b);
         assert!(a.starts_with("{\n  \"schema\": \"greenness-sweep-manifest/v1\""));
+    }
+
+    #[test]
+    fn traced_sweeps_are_schedule_invariant_and_untraced_emit_nothing() {
+        let plain = run_sweep(small_grid(), 2, &silent_progress());
+        assert!(sweep_journal(&plain).is_none());
+        assert!(sweep_metrics_json(&plain).is_none());
+
+        let traced_grid = || {
+            let setup = ExperimentSetup {
+                trace: true,
+                ..ExperimentSetup::noiseless()
+            };
+            config_grid(&setup, &[(1, PipelineConfig::small(2))])
+        };
+        let serial = run_sweep(traced_grid(), 1, &silent_progress());
+        let wide = run_sweep(traced_grid(), 2, &silent_progress());
+        let (ja, jb) = (
+            sweep_journal(&serial).unwrap(),
+            sweep_journal(&wide).unwrap(),
+        );
+        assert_eq!(ja, jb, "journal must not depend on worker count");
+        assert!(ja.starts_with("{\"schema\":\"greenness-trace/v1\"}\n"));
+        assert_eq!(
+            sweep_metrics_json(&serial).unwrap(),
+            sweep_metrics_json(&wide).unwrap()
+        );
     }
 
     #[test]

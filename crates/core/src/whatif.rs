@@ -9,7 +9,7 @@
 //! while exploratory analysis is retained.
 
 use greenness_platform::Node;
-use greenness_storage::{fio, FioJob, FioKind, FioResult, NullBlockDevice};
+use greenness_storage::{fio, FioJob, FioKind, FioResult, NullBlockDevice, StorageError};
 
 use crate::experiment::ExperimentSetup;
 
@@ -28,8 +28,9 @@ pub struct WhatIfAnalysis {
 
 impl WhatIfAnalysis {
     /// Run the four Table III fio jobs at `total_bytes` (paper: 4 GiB) and
-    /// derive the §V-D comparison.
-    pub fn run(setup: &ExperimentSetup, total_bytes: u64) -> WhatIfAnalysis {
+    /// derive the §V-D comparison. A malformed job configuration is reported
+    /// as a [`StorageError`] instead of panicking.
+    pub fn run(setup: &ExperimentSetup, total_bytes: u64) -> Result<WhatIfAnalysis, StorageError> {
         let mut fio_results = Vec::with_capacity(4);
         for kind in FioKind::ALL {
             // Each job on a fresh node, as separate fio invocations would be.
@@ -40,7 +41,7 @@ impl WhatIfAnalysis {
                 total_bytes,
                 ..FioJob::table3(kind)
             };
-            fio_results.push(fio::run(&mut node, &mut dev, &job));
+            fio_results.push(fio::run(&mut node, &mut dev, &job)?);
         }
         let energy = |k: FioKind| {
             fio_results
@@ -49,12 +50,12 @@ impl WhatIfAnalysis {
                 .expect("all four kinds ran")
                 .full_system_energy_kj
         };
-        WhatIfAnalysis {
+        Ok(WhatIfAnalysis {
             random_io_energy_kj: energy(FioKind::RandomRead) + energy(FioKind::RandomWrite),
             reorganized_io_energy_kj: energy(FioKind::SequentialRead)
                 + energy(FioKind::SequentialWrite),
             fio: fio_results,
-        }
+        })
     }
 
     /// The headline ratio: how much of the random-I/O energy reorganization
@@ -74,7 +75,7 @@ mod tests {
 
     #[test]
     fn paper_numbers_at_4gib() {
-        let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024);
+        let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024).unwrap();
         // Paper: 242.2 kJ vs 7.3 kJ.
         assert!(
             (w.random_io_energy_kj - 242.2).abs() < 10.0,
@@ -92,8 +93,9 @@ mod tests {
 
     #[test]
     fn scales_down_with_job_size() {
-        let big = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024);
-        let small = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 1024 * 1024 * 1024);
+        let big =
+            WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * 1024 * 1024 * 1024).unwrap();
+        let small = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 1024 * 1024 * 1024).unwrap();
         assert!(small.random_io_energy_kj < big.random_io_energy_kj / 3.0);
     }
 }

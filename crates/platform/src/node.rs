@@ -1,6 +1,7 @@
 //! The node under test: executes activities, advances the virtual clock, and
 //! records the power timeline.
 
+use greenness_trace::{Tracer, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::activity::Activity;
@@ -49,6 +50,13 @@ pub struct Node {
     /// Extra package power while energy monitoring is attached. The paper
     /// measured +0.2 W for 1 Hz RAPL polling (§IV-B).
     monitoring_overhead_w: f64,
+    /// Observability handle; `Tracer::off()` costs one branch per activity.
+    tracer: Tracer,
+    /// Phase whose journal span is currently open.
+    open_phase: Option<Phase>,
+    /// Disk activity state ("idle"/"read"/"write"/"barrier") for
+    /// state-transition events.
+    disk_state: &'static str,
 }
 
 impl Node {
@@ -59,6 +67,32 @@ impl Node {
             now: SimTime::ZERO,
             timeline: Timeline::new(),
             monitoring_overhead_w: 0.0,
+            tracer: Tracer::off(),
+            open_phase: None,
+            disk_state: "idle",
+        }
+    }
+
+    /// Attach a tracer: subsequent activities emit journal events and bump
+    /// metrics counters through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (off by default). Cloning it is cheap — clones
+    /// share the same journal and registry.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Close the open phase span (if any) and take a final per-phase metrics
+    /// snapshot. Call once when the run is over, before reading the journal.
+    pub fn finish_trace(&mut self) {
+        if let Some(phase) = self.open_phase.take() {
+            let t = self.now.as_nanos();
+            self.tracer
+                .end(t, "phase", vec![("phase", Value::from(phase.label()))]);
+            self.tracer.snapshot(&format!("phase:{}", phase.label()));
         }
     }
 
@@ -103,6 +137,9 @@ impl Node {
     /// segment. Returns what was recorded.
     pub fn execute(&mut self, activity: Activity, phase: Phase) -> Executed {
         let (secs, draw) = self.cost_of(activity);
+        if self.tracer.is_on() {
+            self.trace_activity(Some(&activity), phase, secs, &draw);
+        }
         let duration = SimDuration::from_secs_f64(secs);
         let start = self.now;
         let seg = Segment {
@@ -124,6 +161,9 @@ impl Node {
     /// an activity against a *different* hardware configuration (e.g. a
     /// DVFS-scaled CPU) and replay it here. The draw must be physical.
     pub fn execute_raw(&mut self, secs: f64, draw: PowerDraw, phase: Phase) -> Executed {
+        if self.tracer.is_on() {
+            self.trace_activity(None, phase, secs, &draw);
+        }
         let duration = SimDuration::from_secs_f64(secs);
         let start = self.now;
         self.timeline.push(Segment {
@@ -138,6 +178,112 @@ impl Node {
             duration,
             draw,
         }
+    }
+
+    /// Journal + metrics for one activity (tracing is already known to be
+    /// on). Phase transitions open/close spans and snapshot the registry;
+    /// byte counters mirror the energy model's accounting exactly: buffered
+    /// disk I/O moves `bytes * 2` through DRAM (device + user copy), network
+    /// transfers charge DRAM only when they take time.
+    fn trace_activity(
+        &mut self,
+        activity: Option<&Activity>,
+        phase: Phase,
+        secs: f64,
+        draw: &PowerDraw,
+    ) {
+        let t = self.now.as_nanos();
+        if self.open_phase != Some(phase) {
+            if let Some(prev) = self.open_phase {
+                self.tracer
+                    .end(t, "phase", vec![("phase", Value::from(prev.label()))]);
+                self.tracer.snapshot(&format!("phase:{}", prev.label()));
+            }
+            self.tracer
+                .begin(t, "phase", vec![("phase", Value::from(phase.label()))]);
+            self.open_phase = Some(phase);
+        }
+        let (kind, disk_state) = match activity {
+            Some(Activity::Compute { .. }) => ("compute", "idle"),
+            Some(Activity::DiskRead { .. }) => ("disk_read", "read"),
+            Some(Activity::DiskWrite { .. }) => ("disk_write", "write"),
+            Some(Activity::DiskBarrier { .. }) => ("disk_barrier", "barrier"),
+            Some(Activity::MemTraffic { .. }) => ("mem_traffic", "idle"),
+            Some(Activity::NetTransfer { .. }) => ("net_transfer", "idle"),
+            Some(Activity::Idle { .. }) => ("idle", "idle"),
+            None => ("raw", "idle"),
+        };
+        if disk_state != self.disk_state {
+            self.tracer.instant(
+                t,
+                "disk.state",
+                vec![
+                    ("from", Value::from(self.disk_state)),
+                    ("to", Value::from(disk_state)),
+                ],
+            );
+            self.tracer.count("disk.state_transitions", 1);
+            self.disk_state = disk_state;
+        }
+        let mut bytes = 0u64;
+        match activity {
+            Some(&Activity::Compute { dram_bytes, .. }) => {
+                self.tracer.count("dram.bytes", dram_bytes);
+            }
+            Some(&Activity::DiskRead {
+                bytes: b, buffered, ..
+            }) => {
+                bytes = b;
+                self.tracer.count("disk.reads", 1);
+                self.tracer.count("disk.bytes_read", b);
+                if buffered {
+                    self.tracer.count("dram.bytes", b * 2);
+                }
+            }
+            Some(&Activity::DiskWrite {
+                bytes: b, buffered, ..
+            }) => {
+                bytes = b;
+                self.tracer.count("disk.writes", 1);
+                self.tracer.count("disk.bytes_written", b);
+                if buffered {
+                    self.tracer.count("dram.bytes", b * 2);
+                }
+            }
+            Some(&Activity::DiskBarrier { seeks }) => {
+                self.tracer.count("disk.barriers", 1);
+                self.tracer.count("disk.seeks", u64::from(seeks));
+            }
+            Some(&Activity::MemTraffic { bytes: b }) => {
+                bytes = b;
+                self.tracer.count("dram.bytes", b);
+            }
+            Some(&Activity::NetTransfer { bytes: b, messages }) => {
+                bytes = b;
+                self.tracer.count("net.bytes", b);
+                self.tracer.count("net.messages", u64::from(messages));
+                if secs > 0.0 {
+                    self.tracer.count("dram.bytes", b);
+                }
+            }
+            Some(&Activity::Idle { .. }) | None => {}
+        }
+        self.tracer.count("activity.count", 1);
+        self.tracer.instant(
+            t,
+            "activity",
+            vec![
+                ("phase", Value::from(phase.label())),
+                ("kind", Value::from(kind)),
+                ("secs", Value::from(secs)),
+                ("bytes", Value::from(bytes)),
+                ("package_w", Value::from(draw.package_w)),
+                ("dram_w", Value::from(draw.dram_w)),
+                ("disk_w", Value::from(draw.disk_w)),
+                ("net_w", Value::from(draw.net_w)),
+                ("board_w", Value::from(draw.board_w)),
+            ],
+        );
     }
 
     /// Compute the `(seconds, draw)` an activity would cost without executing

@@ -75,14 +75,18 @@ impl Timeline {
 
     /// Append a segment. Panics if it does not start exactly where the
     /// previous one ended — the node is a single sequential workload and a gap
-    /// or overlap indicates an accounting bug.
+    /// or overlap indicates an accounting bug. The *first* segment may start
+    /// anywhere: a timeline can describe a history that begins mid-run (e.g.
+    /// a clipped view), and instants before that start draw zero power.
     pub fn push(&mut self, seg: Segment) {
-        assert_eq!(
-            seg.start,
-            self.end(),
-            "timeline segments must be contiguous (gap/overlap at {})",
-            seg.start
-        );
+        if let Some(last) = self.segments.last() {
+            assert_eq!(
+                seg.start,
+                last.end(),
+                "timeline segments must be contiguous (gap/overlap at {})",
+                seg.start
+            );
+        }
         assert!(
             seg.draw.is_physical(),
             "non-physical power draw {:?}",
@@ -133,12 +137,13 @@ impl Timeline {
     }
 
     /// The draw in effect at instant `t` (the segment containing `t`;
-    /// zero draw past the end of the history).
+    /// zero draw before the history starts and past its end).
     pub fn draw_at(&self, t: SimTime) -> PowerDraw {
         // Binary search over segment starts; segments are sorted and contiguous.
         let idx = self.segments.partition_point(|s| s.start <= t);
         if idx == 0 {
-            return self.segments.first().map_or(PowerDraw::ZERO, |s| s.draw);
+            // `t` precedes the first segment: nothing was drawing yet.
+            return PowerDraw::ZERO;
         }
         let seg = &self.segments[idx - 1];
         if t < seg.end() {
@@ -285,6 +290,25 @@ mod tests {
         assert_eq!(tl.draw_at(SimTime::from_secs_f64(9.999)).system_w(), 100.0);
         assert_eq!(tl.draw_at(SimTime::from_secs_f64(10.0)).system_w(), 200.0);
         assert_eq!(tl.draw_at(SimTime::from_secs_f64(25.0)).system_w(), 0.0);
+    }
+
+    #[test]
+    fn draw_at_is_zero_before_the_history_starts() {
+        // A timeline that begins mid-run (first segment at t = 5 s).
+        let mut tl = Timeline::new();
+        tl.push(seg(5, 10, 100.0, Phase::Simulation));
+        tl.push(seg(15, 5, 200.0, Phase::Write));
+        // Before the first segment: zero, not the first segment's draw.
+        assert_eq!(tl.draw_at(SimTime::ZERO), PowerDraw::ZERO);
+        assert_eq!(tl.draw_at(SimTime::from_secs_f64(4.999)), PowerDraw::ZERO);
+        // Exact start boundary belongs to the first segment.
+        assert_eq!(tl.draw_at(SimTime::from_secs_f64(5.0)).system_w(), 100.0);
+        // Interior boundary belongs to the later segment; exact end is past-end.
+        assert_eq!(tl.draw_at(SimTime::from_secs_f64(15.0)).system_w(), 200.0);
+        assert_eq!(tl.draw_at(SimTime::from_secs_f64(20.0)), PowerDraw::ZERO);
+        assert_eq!(tl.draw_at(SimTime::from_secs_f64(99.0)), PowerDraw::ZERO);
+        // An empty timeline draws nothing anywhere.
+        assert_eq!(Timeline::new().draw_at(SimTime::ZERO), PowerDraw::ZERO);
     }
 
     #[test]

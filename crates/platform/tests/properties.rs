@@ -158,3 +158,142 @@ proptest! {
         prop_assert_eq!(node.timeline().end(), node.now());
     }
 }
+
+/// An arbitrary unit of node work covering every `Activity` variant.
+fn arb_activity() -> impl Strategy<Value = Activity> {
+    prop_oneof![
+        (1.0..1e11f64, 1u32..32, 0u64..100_000_000).prop_map(|(flops, cores, dram_bytes)| {
+            Activity::Compute {
+                flops,
+                cores,
+                intensity: 0.8,
+                dram_bytes,
+            }
+        }),
+        (1u64..50_000_000, any::<bool>()).prop_map(|(bytes, buffered)| Activity::DiskRead {
+            bytes,
+            pattern: AccessPattern::Sequential,
+            buffered,
+        }),
+        (1u64..50_000_000, any::<bool>()).prop_map(|(bytes, buffered)| Activity::DiskWrite {
+            bytes,
+            pattern: AccessPattern::Chunked { op_bytes: 1 << 20 },
+            buffered,
+        }),
+        (1u32..16).prop_map(|seeks| Activity::DiskBarrier { seeks }),
+        (1u64..50_000_000).prop_map(|bytes| Activity::MemTraffic { bytes }),
+        (0u64..50_000_000, 0u32..64)
+            .prop_map(|(bytes, messages)| Activity::NetTransfer { bytes, messages }),
+        (0.01..2.0f64).prop_map(Activity::idle_secs),
+    ]
+}
+
+/// Independent model of the byte counters the tracer must keep: exactly the
+/// accounting the energy model applies (buffered disk I/O moves `bytes * 2`
+/// through DRAM — device + user copy; network transfers charge DRAM only
+/// when they take virtual time).
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ByteModel {
+    reads: u64,
+    writes: u64,
+    barriers: u64,
+    seeks: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    dram_bytes: u64,
+    net_bytes: u64,
+    net_messages: u64,
+}
+
+impl ByteModel {
+    fn apply(&mut self, node: &Node, activity: &Activity) {
+        match *activity {
+            Activity::Compute { dram_bytes, .. } => self.dram_bytes += dram_bytes,
+            Activity::DiskRead {
+                bytes, buffered, ..
+            } => {
+                self.reads += 1;
+                self.bytes_read += bytes;
+                if buffered {
+                    self.dram_bytes += bytes * 2;
+                }
+            }
+            Activity::DiskWrite {
+                bytes, buffered, ..
+            } => {
+                self.writes += 1;
+                self.bytes_written += bytes;
+                if buffered {
+                    self.dram_bytes += bytes * 2;
+                }
+            }
+            Activity::DiskBarrier { seeks } => {
+                self.barriers += 1;
+                self.seeks += u64::from(seeks);
+            }
+            Activity::MemTraffic { bytes } => self.dram_bytes += bytes,
+            Activity::NetTransfer { bytes, messages } => {
+                self.net_bytes += bytes;
+                self.net_messages += u64::from(messages);
+                if node.cost_of(*activity).0 > 0.0 {
+                    self.dram_bytes += bytes;
+                }
+            }
+            Activity::Idle { .. } => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The metrics registry's byte counters match the energy model's own
+    /// accounting for arbitrary activity sequences.
+    #[test]
+    fn byte_counters_mirror_the_energy_model(
+        ops in prop::collection::vec(arb_activity(), 1..40),
+    ) {
+        let mut node = Node::new(HardwareSpec::table1());
+        let (tracer, _events) = greenness_trace::Tracer::memory();
+        node.set_tracer(tracer);
+        let mut model = ByteModel::default();
+        for activity in &ops {
+            model.apply(&node, activity);
+            node.execute(*activity, Phase::Other);
+        }
+        let t = node.tracer();
+        prop_assert_eq!(t.counter("activity.count"), ops.len() as u64);
+        prop_assert_eq!(t.counter("disk.reads"), model.reads);
+        prop_assert_eq!(t.counter("disk.writes"), model.writes);
+        prop_assert_eq!(t.counter("disk.barriers"), model.barriers);
+        prop_assert_eq!(t.counter("disk.seeks"), model.seeks);
+        prop_assert_eq!(t.counter("disk.bytes_read"), model.bytes_read);
+        prop_assert_eq!(t.counter("disk.bytes_written"), model.bytes_written);
+        prop_assert_eq!(t.counter("dram.bytes"), model.dram_bytes);
+        prop_assert_eq!(t.counter("net.bytes"), model.net_bytes);
+        prop_assert_eq!(t.counter("net.messages"), model.net_messages);
+    }
+
+    /// Any traced activity sequence yields a journal the summarizer audits
+    /// clean: spans balance innermost-first and timestamps never go back.
+    #[test]
+    fn traced_journals_are_well_formed(
+        ops in prop::collection::vec((arb_activity(), 0usize..Phase::ALL.len()), 1..40),
+    ) {
+        let mut node = Node::new(HardwareSpec::table1());
+        node.set_tracer(greenness_trace::Tracer::jsonl());
+        node.tracer().begin(0, "run", Vec::new());
+        for (activity, phase) in &ops {
+            node.execute(*activity, Phase::ALL[*phase]);
+        }
+        node.finish_trace();
+        let end = node.now().as_nanos();
+        node.tracer().end(end, "run", Vec::new());
+        let out = node.tracer().drain().expect("tracer is on");
+        let journal = format!("{}{}", greenness_trace::journal_header(), out.journal);
+        let summary = greenness_trace::summarize::summarize(&journal).expect("parseable journal");
+        prop_assert!(summary.audit_ok(), "audit errors: {:?}", summary.audit_errors);
+        prop_assert!(summary.spans_checked >= 1);
+        prop_assert!(summary.events >= ops.len());
+    }
+}

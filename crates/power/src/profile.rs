@@ -6,6 +6,7 @@
 //! estimated by subtraction, exactly as §IV-B describes.
 
 use greenness_platform::Timeline;
+use greenness_trace::Tracer;
 use serde::{Deserialize, Serialize};
 
 use crate::rapl::{RaplDomain, RaplMsr, RaplReader};
@@ -45,13 +46,24 @@ impl PowerProfile {
     /// supplies noise configuration and cadence; RAPL is polled at the same
     /// cadence.
     pub fn measure(timeline: &Timeline, meter: &WattsupMeter) -> PowerProfile {
-        let wall = meter.sample(timeline);
+        Self::measure_traced(timeline, meter, &Tracer::off())
+    }
+
+    /// [`Self::measure`] with instrumentation routed through `tracer`: both
+    /// instruments journal their samples and bump their counters (RAPL wrap
+    /// events, dropped wall-meter samples, poll counts).
+    pub fn measure_traced(
+        timeline: &Timeline,
+        meter: &WattsupMeter,
+        tracer: &Tracer,
+    ) -> PowerProfile {
+        let wall = meter.sample_traced(timeline, tracer);
         let msr = RaplMsr::new(timeline);
         let reader = RaplReader {
             period_s: meter.period_s,
         };
-        let pkg = reader.poll(&msr, RaplDomain::Package);
-        let dram = reader.poll(&msr, RaplDomain::Dram);
+        let pkg = reader.poll_traced(&msr, RaplDomain::Package, tracer);
+        let dram = reader.poll_traced(&msr, RaplDomain::Dram, tracer);
         let n = wall.len().min(pkg.len()).min(dram.len());
         let samples = (0..n)
             .map(|i| ProfileSample {

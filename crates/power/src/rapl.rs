@@ -10,6 +10,7 @@
 //! RAPL consumer.
 
 use greenness_platform::{SimTime, Timeline};
+use greenness_trace::{Tracer, Value};
 use serde::{Deserialize, Serialize};
 
 /// A RAPL power domain.
@@ -95,20 +96,76 @@ impl Default for RaplReader {
 impl RaplReader {
     /// Poll `domain` over the whole run and return `(interval_end_s, watts)`
     /// per interval.
+    ///
+    /// Interval boundaries come from an integer interval index (`t = k ×
+    /// period`), never from a floating accumulator: over a 10,000 s run at a
+    /// 1 kHz period an accumulated `t += period` drifts by whole intervals,
+    /// skipping or double-sampling near the end. If the run does not end on
+    /// an interval boundary a final *partial* interval `(end_s, watts)` is
+    /// emitted so the energy tail is not dropped; its power is averaged over
+    /// the true remaining width.
     pub fn poll(&self, msr: &RaplMsr<'_>, domain: RaplDomain) -> Vec<(f64, f64)> {
+        self.poll_traced(msr, domain, &Tracer::off())
+    }
+
+    /// [`Self::poll`] with journal/metrics instrumentation: one `rapl.poll`
+    /// event per interval, plus `rapl.polls` / `rapl.wraps` /
+    /// `rapl.partial_intervals` counters. Poll events happen after the run
+    /// is over, so they carry the end-of-run virtual timestamp and the
+    /// interval time in a `t_s` field.
+    pub fn poll_traced(
+        &self,
+        msr: &RaplMsr<'_>,
+        domain: RaplDomain,
+        tracer: &Tracer,
+    ) -> Vec<(f64, f64)> {
         assert!(self.period_s > 0.0, "polling period must be positive");
-        let end_s = msr.timeline.end().as_secs_f64();
+        let end = msr.timeline.end();
+        let end_s = end.as_secs_f64();
         let unit = msr.energy_unit_j();
+        let domain_label = match domain {
+            RaplDomain::Package => "package",
+            RaplDomain::Pp0 => "pp0",
+            RaplDomain::Dram => "dram",
+        };
+        let t_ns = end.as_nanos();
         let mut out = Vec::new();
         let mut prev = msr.read_energy_status_msr(domain, SimTime::ZERO);
-        let mut t = self.period_s;
-        while t <= end_s + 1e-9 {
-            let now = msr.read_energy_status_msr(domain, SimTime::from_secs_f64(t));
+        let full = ((end_s + 1e-9) / self.period_s).floor() as u64;
+        let sample = |t: f64, at: SimTime, width: f64, prev: &mut u64| -> f64 {
+            let now = msr.read_energy_status_msr(domain, at);
+            if now < *prev {
+                tracer.count("rapl.wraps", 1);
+            }
             // 32-bit wrap-aware delta.
-            let delta = now.wrapping_sub(prev) & 0xffff_ffff;
-            out.push((t, delta as f64 * unit / self.period_s));
-            prev = now;
-            t += self.period_s;
+            let delta = now.wrapping_sub(*prev) & 0xffff_ffff;
+            *prev = now;
+            let w = delta as f64 * unit / width;
+            tracer.count("rapl.polls", 1);
+            if tracer.is_on() {
+                tracer.instant(
+                    t_ns,
+                    "rapl.poll",
+                    vec![
+                        ("domain", Value::from(domain_label)),
+                        ("t_s", Value::from(t)),
+                        ("watts", Value::from(w)),
+                    ],
+                );
+            }
+            w
+        };
+        for k in 1..=full {
+            let t = k as f64 * self.period_s;
+            let w = sample(t, SimTime::from_secs_f64(t), self.period_s, &mut prev);
+            out.push((t, w));
+        }
+        let covered = full as f64 * self.period_s;
+        let tail = end_s - covered;
+        if tail > 1e-9 {
+            let w = sample(end_s, end, tail, &mut prev);
+            out.push((end_s, w));
+            tracer.count("rapl.partial_intervals", 1);
         }
         out
     }
@@ -203,6 +260,103 @@ mod tests {
         let tl = constant_timeline(5.0, 1.0, 10); // package below uncore floor
         let msr = RaplMsr::new(&tl);
         assert_eq!(msr.true_energy_j(RaplDomain::Pp0, tl.end()), 0.0);
+    }
+
+    #[test]
+    fn long_run_polled_energy_matches_timeline_within_one_quantum() {
+        // Regression for the float-drift + dropped-tail bug: a ≥10,000 s run
+        // at 100 W package wraps the 32-bit counter every ≈655 s (15 times
+        // here) and ends 0.4 s past an interval boundary. The integer-index
+        // poller must visit every 1 s boundary exactly (no skipped or
+        // doubled intervals) and emit the trailing partial interval; summed
+        // polled energy then telescopes to the final counter value, i.e.
+        // matches `Timeline::energy_between` within one 15.26 µJ quantum
+        // per interval.
+        let mut tl = Timeline::new();
+        tl.push(Segment {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs_f64(10_000.4),
+            draw: PowerDraw {
+                package_w: 100.0,
+                dram_w: 10.0,
+                disk_w: 5.0,
+                net_w: 0.0,
+                board_w: 50.0,
+            },
+            phase: Phase::Other,
+        });
+        let msr = RaplMsr::new(&tl);
+        let quanta_total = msr.true_energy_j(RaplDomain::Package, tl.end()) / msr.energy_unit_j();
+        assert!(quanta_total > 15.0 * 2f64.powi(32), "want ≥15 wraps");
+
+        let (tracer, _handle) = Tracer::memory();
+        let reader = RaplReader::default();
+        let samples = reader.poll_traced(&msr, RaplDomain::Package, &tracer);
+
+        // 10,000 full intervals + 1 partial; boundaries exactly at k·1 s.
+        assert_eq!(samples.len(), 10_001);
+        for (k, (t, _)) in samples.iter().take(10_000).enumerate() {
+            assert!(
+                (t - (k + 1) as f64).abs() < 1e-9,
+                "interval {k} ends at {t}, drifted off the boundary"
+            );
+        }
+        let (last_t, last_w) = *samples.last().unwrap();
+        assert!((last_t - 10_000.4).abs() < 1e-9, "partial tail at {last_t}");
+        assert!((last_w - 100.0).abs() < 0.1, "tail power {last_w}");
+
+        // Summed polled energy vs exact timeline energy. Every wrap was
+        // observed (power × period ≪ 2^32 quanta), so the quantization
+        // error telescopes: well under one quantum per interval.
+        let mut polled_j = 0.0;
+        let mut prev_t = 0.0;
+        for &(t, w) in &samples {
+            polled_j += w * (t - prev_t);
+            prev_t = t;
+        }
+        let truth_j = tl.energy_between(SimTime::ZERO, tl.end()).package_j;
+        let budget_j = msr.energy_unit_j() * samples.len() as f64;
+        assert!(
+            (polled_j - truth_j).abs() <= budget_j,
+            "polled {polled_j} J vs true {truth_j} J (budget {budget_j} J)"
+        );
+        // The counters saw every wrap and the one partial interval.
+        assert_eq!(tracer.counter("rapl.wraps"), 15);
+        assert_eq!(tracer.counter("rapl.partial_intervals"), 1);
+        assert_eq!(tracer.counter("rapl.polls"), 10_001);
+    }
+
+    #[test]
+    fn partial_final_interval_is_emitted_with_true_width() {
+        // 10.5 s run, 1 s period: 10 full intervals plus a 0.5 s tail whose
+        // energy the old poller silently dropped.
+        let mut tl = Timeline::new();
+        tl.push(Segment {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs_f64(10.5),
+            draw: PowerDraw {
+                package_w: 80.0,
+                dram_w: 10.0,
+                disk_w: 5.0,
+                net_w: 0.0,
+                board_w: 50.0,
+            },
+            phase: Phase::Other,
+        });
+        let msr = RaplMsr::new(&tl);
+        let samples = RaplReader::default().poll(&msr, RaplDomain::Package);
+        assert_eq!(samples.len(), 11);
+        let (t, w) = *samples.last().unwrap();
+        assert!((t - 10.5).abs() < 1e-9);
+        // Tail power is averaged over the true 0.5 s width, not the period.
+        assert!((w - 80.0).abs() < 0.1, "got {w}");
+        // And a run that ends exactly on a boundary gains no extra sample.
+        let exact = constant_timeline(80.0, 10.0, 10);
+        let msr = RaplMsr::new(&exact);
+        assert_eq!(
+            RaplReader::default().poll(&msr, RaplDomain::Package).len(),
+            10
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! meter logs while staying deterministic.
 
 use greenness_platform::{SimTime, Timeline};
+use greenness_trace::{Tracer, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -47,13 +48,29 @@ impl WattsupMeter {
     /// Sample the completed run: one `(interval_end_s, watts)` reading per
     /// period, each reading the integer-rounded average power over its
     /// interval plus the accuracy error.
+    ///
+    /// Interval boundaries derive from an integer sample index (no floating
+    /// accumulator drift on long runs). Like the real instrument, an
+    /// incomplete trailing interval is never reported — but see
+    /// [`Self::sample_traced`], which counts the drop.
     pub fn sample(&self, timeline: &Timeline) -> Vec<(f64, f64)> {
+        self.sample_traced(timeline, &Tracer::off())
+    }
+
+    /// [`Self::sample`] with instrumentation: `wattsup.samples` counts the
+    /// readings, `wattsup.dropped_samples` counts the discarded partial
+    /// final interval (0 or 1 per run), and each reading is journaled as a
+    /// `wattsup.sample` event carrying its interval time in `t_s`.
+    pub fn sample_traced(&self, timeline: &Timeline, tracer: &Tracer) -> Vec<(f64, f64)> {
         assert!(self.period_s > 0.0, "sampling period must be positive");
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let end_s = timeline.end().as_secs_f64();
-        let mut out = Vec::with_capacity((end_s / self.period_s) as usize + 1);
-        let mut t = self.period_s;
-        while t <= end_s + 1e-9 {
+        let end = timeline.end();
+        let end_s = end.as_secs_f64();
+        let t_ns = end.as_nanos();
+        let n = ((end_s + 1e-9) / self.period_s).floor() as u64;
+        let mut out = Vec::with_capacity(n as usize);
+        for k in 1..=n {
+            let t = k as f64 * self.period_s;
             let e = timeline
                 .energy_between(
                     SimTime::from_secs_f64(t - self.period_s),
@@ -69,8 +86,21 @@ impl WattsupMeter {
                 let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                 w *= 1.0 + self.noise_rel_sigma * z;
             }
-            out.push((t, w.round().max(0.0)));
-            t += self.period_s;
+            let w = w.round().max(0.0);
+            if tracer.is_on() {
+                tracer.instant(
+                    t_ns,
+                    "wattsup.sample",
+                    vec![("t_s", Value::from(t)), ("watts", Value::from(w))],
+                );
+            }
+            out.push((t, w));
+        }
+        tracer.count("wattsup.samples", n);
+        if end_s - n as f64 * self.period_s > 1e-9 {
+            // The real meter never reports an incomplete interval; record
+            // that the tail was discarded instead of silently losing it.
+            tracer.count("wattsup.dropped_samples", 1);
         }
         out
     }
@@ -173,5 +203,23 @@ mod tests {
         };
         let log = meter.sample(&tl);
         assert_eq!(log.len(), 3);
+        // The traced variant records the drop instead of hiding it.
+        let (tracer, _handle) = Tracer::memory();
+        meter.sample_traced(&tl, &tracer);
+        assert_eq!(tracer.counter("wattsup.samples"), 3);
+        assert_eq!(tracer.counter("wattsup.dropped_samples"), 1);
+    }
+
+    #[test]
+    fn long_runs_do_not_drift_off_interval_boundaries() {
+        // 20,000 one-second intervals: a float accumulator would be off the
+        // exact boundary by ULP accumulation; the integer index is not.
+        let tl = constant_timeline(100.0, 20_000);
+        let log = WattsupMeter::noiseless().sample(&tl);
+        assert_eq!(log.len(), 20_000);
+        for (k, (t, w)) in log.iter().enumerate() {
+            assert!((t - (k + 1) as f64).abs() < 1e-9, "sample {k} at {t}");
+            assert_eq!(*w, 100.0);
+        }
     }
 }

@@ -49,11 +49,18 @@ proptest! {
         let reader = RaplReader::default();
         for domain in [RaplDomain::Package, RaplDomain::Dram] {
             let samples = reader.poll(&msr, domain);
-            let reconstructed: f64 = samples.iter().map(|(_, w)| w * reader.period_s).sum();
-            let n = samples.len() as f64;
-            let truth = msr.true_energy_j(domain, SimTime::from_secs_f64(n * reader.period_s));
+            // Integrate with each interval's actual width: the final
+            // interval may be partial (the poller emits the energy tail).
+            let mut reconstructed = 0.0;
+            let mut prev_t = 0.0;
+            for &(t, w) in &samples {
+                reconstructed += w * (t - prev_t);
+                prev_t = t;
+            }
+            let truth = msr.true_energy_j(domain, SimTime::from_secs_f64(prev_t));
             // Each interval can lose at most one quantum to truncation.
-            let tol = (n + 1.0) * msr.energy_unit_j();
+            let n = samples.len() as f64;
+            let tol = (n + 1.0) * msr.energy_unit_j() + 1e-9;
             prop_assert!((reconstructed - truth).abs() <= tol,
                 "{domain:?}: {reconstructed} vs {truth} (tol {tol})");
         }

@@ -9,9 +9,11 @@
 //! and the whole I/O cost the paper measures would vanish. The
 //! `ablate_page_cache` bench demonstrates exactly that.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
+use crate::error::StorageError;
 
 /// Hit/miss/write-back counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,6 +24,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Dirty pages written back by sync.
     pub writebacks: u64,
+    /// Pages evicted by `drop_caches` or invalidation.
+    pub evictions: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -87,40 +91,42 @@ impl PageCache {
     /// Write `data` into block `idx` at `offset` within the block, marking
     /// the page dirty. Partial writes to a non-resident page first fault it
     /// in (read-modify-write); returns whether that fault happened so the
-    /// caller can charge a device read.
+    /// caller can charge a device read. A write that would run past the end
+    /// of the block is rejected as [`StorageError::WriteExceedsBlock`].
     pub fn write_block(
         &mut self,
         dev: &impl BlockDevice,
         idx: u64,
         offset: usize,
         data: &[u8],
-    ) -> bool {
-        assert!(
-            offset + data.len() <= BLOCK_SIZE as usize,
-            "write exceeds block"
-        );
+    ) -> Result<bool, StorageError> {
+        if offset + data.len() > BLOCK_SIZE as usize {
+            return Err(StorageError::WriteExceedsBlock {
+                offset,
+                len: data.len(),
+            });
+        }
         let mut faulted = false;
-        if !self.pages.contains_key(&idx) {
-            let full = offset == 0 && data.len() == BLOCK_SIZE as usize;
-            let mut buf = vec![0u8; BLOCK_SIZE as usize];
-            if !full {
-                // Read-modify-write: must fetch the rest of the block.
-                dev.read_block(idx, &mut buf);
-                self.stats.misses += 1;
-                faulted = true;
-            }
-            self.pages.insert(
-                idx,
-                Page {
+        let page = match self.pages.entry(idx) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let full = offset == 0 && data.len() == BLOCK_SIZE as usize;
+                let mut buf = vec![0u8; BLOCK_SIZE as usize];
+                if !full {
+                    // Read-modify-write: must fetch the rest of the block.
+                    dev.read_block(idx, &mut buf);
+                    self.stats.misses += 1;
+                    faulted = true;
+                }
+                e.insert(Page {
                     data: buf.into_boxed_slice(),
                     dirty: false,
-                },
-            );
-        }
-        let page = self.pages.get_mut(&idx).expect("just inserted");
+                })
+            }
+        };
         page.data[offset..offset + data.len()].copy_from_slice(data);
         page.dirty = true;
-        faulted
+        Ok(faulted)
     }
 
     /// All dirty block indices, sorted (the order write-back visits them).
@@ -169,17 +175,28 @@ impl PageCache {
     }
 
     /// Evict clean pages (`drop_caches`); dirty pages survive, as on Linux.
-    pub fn drop_caches(&mut self) {
+    /// Returns the number of pages evicted.
+    pub fn drop_caches(&mut self) -> u64 {
+        let before = self.pages.len();
         self.pages.retain(|_, p| p.dirty);
+        let evicted = (before - self.pages.len()) as u64;
+        self.stats.evictions += evicted;
+        evicted
     }
 
     /// Discard the given pages outright, dirty or not — the truncate/delete
     /// path, where the blocks no longer belong to any file and their
-    /// contents must not leak into a future owner.
-    pub fn invalidate(&mut self, blocks: &[u64]) {
+    /// contents must not leak into a future owner. Returns the number of
+    /// pages discarded.
+    pub fn invalidate(&mut self, blocks: &[u64]) -> u64 {
+        let mut removed = 0;
         for idx in blocks {
-            self.pages.remove(idx);
+            if self.pages.remove(idx).is_some() {
+                removed += 1;
+            }
         }
+        self.stats.evictions += removed;
+        removed
     }
 }
 
@@ -205,7 +222,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                writebacks: 0
+                writebacks: 0,
+                evictions: 0
             }
         );
     }
@@ -214,7 +232,7 @@ mod tests {
     fn writes_are_cached_until_sync() {
         let mut dev = MemBlockDevice::new(8);
         let mut c = PageCache::new();
-        c.write_block(&dev, 1, 0, &filled(0x5a));
+        c.write_block(&dev, 1, 0, &filled(0x5a)).unwrap();
         // Device still sees zeros.
         let mut buf = filled(0);
         dev.read_block(1, &mut buf);
@@ -232,7 +250,7 @@ mod tests {
         let mut dev = MemBlockDevice::new(8);
         dev.write_block(0, &filled(0x11));
         let mut c = PageCache::new();
-        let faulted = c.write_block(&dev, 0, 100, &[0xff; 8]);
+        let faulted = c.write_block(&dev, 0, 100, &[0xff; 8]).unwrap();
         assert!(faulted, "partial write to cold page must read-modify-write");
         c.sync(&mut dev);
         let mut buf = filled(0);
@@ -245,9 +263,37 @@ mod tests {
     fn full_block_write_does_not_fault() {
         let dev = MemBlockDevice::new(8);
         let mut c = PageCache::new();
-        let faulted = c.write_block(&dev, 0, 0, &filled(1));
+        let faulted = c.write_block(&dev, 0, 0, &filled(1)).unwrap();
         assert!(!faulted);
         assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn oversized_write_is_an_error_not_a_panic() {
+        let dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        let r = c.write_block(&dev, 0, 100, &filled(0x77));
+        assert_eq!(
+            r,
+            Err(StorageError::WriteExceedsBlock {
+                offset: 100,
+                len: BLOCK_SIZE as usize,
+            })
+        );
+        // The failed write must not have materialized or dirtied a page.
+        assert!(!c.contains(0));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn invalidate_counts_only_resident_pages() {
+        let dev = MemBlockDevice::new(8);
+        let mut c = PageCache::new();
+        c.read_block(&dev, 1);
+        c.write_block(&dev, 2, 0, &filled(9)).unwrap();
+        assert_eq!(c.invalidate(&[1, 2, 6]), 2);
+        assert_eq!(c.resident_pages(), 0);
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]
@@ -255,14 +301,15 @@ mod tests {
         let mut dev = MemBlockDevice::new(8);
         let mut c = PageCache::new();
         c.read_block(&dev, 0);
-        c.write_block(&dev, 1, 0, &filled(2));
-        c.drop_caches();
+        c.write_block(&dev, 1, 0, &filled(2)).unwrap();
+        assert_eq!(c.drop_caches(), 1);
         assert!(!c.contains(0), "clean page must be evicted");
         assert!(c.contains(1), "dirty page must survive");
         // After sync + drop, everything is gone.
         c.sync(&mut dev);
-        c.drop_caches();
+        assert_eq!(c.drop_caches(), 1);
         assert_eq!(c.resident_pages(), 0);
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]
@@ -270,7 +317,7 @@ mod tests {
         let mut dev = MemBlockDevice::new(8);
         let mut c = PageCache::new();
         for i in [5u64, 1, 3] {
-            c.write_block(&dev, i, 0, &filled(i as u8));
+            c.write_block(&dev, i, 0, &filled(i as u8)).unwrap();
         }
         assert_eq!(c.dirty_blocks(), vec![1, 3, 5]);
         assert_eq!(c.dirty_among(&[3, 4, 5]), vec![3, 5]);

@@ -19,6 +19,7 @@ use greenness_platform::{AccessPattern, Activity, Node, Phase};
 use serde::{Deserialize, Serialize};
 
 use crate::block::{BlockDevice, BLOCK_SIZE};
+use crate::error::StorageError;
 
 /// The four Table III job types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -125,18 +126,31 @@ fn random_block_order(blocks: u64) -> impl Iterator<Item = u64> {
 }
 
 /// Run `job` against `dev`, charging `node` for the device work. Returns the
-/// Table III metrics. Panics if a verified job reads back wrong data.
-pub fn run(node: &mut Node, dev: &mut impl BlockDevice, job: &FioJob) -> FioResult {
-    assert!(
-        job.block_bytes > 0 && job.block_bytes % BLOCK_SIZE == 0,
-        "fio block size must be a positive multiple of {BLOCK_SIZE}"
-    );
-    assert!(
-        job.total_bytes >= job.block_bytes,
-        "job smaller than one block"
-    );
+/// Table III metrics, or a [`StorageError`] if the job is malformed or a
+/// verified job reads back wrong data.
+pub fn run(
+    node: &mut Node,
+    dev: &mut impl BlockDevice,
+    job: &FioJob,
+) -> Result<FioResult, StorageError> {
+    if job.block_bytes == 0 || job.block_bytes % BLOCK_SIZE != 0 {
+        return Err(StorageError::MisalignedBlockSize {
+            block_bytes: job.block_bytes,
+        });
+    }
+    if job.total_bytes < job.block_bytes {
+        return Err(StorageError::JobSmallerThanBlock {
+            total_bytes: job.total_bytes,
+            block_bytes: job.block_bytes,
+        });
+    }
     let region_blocks = job.total_bytes / BLOCK_SIZE;
-    assert!(region_blocks <= dev.block_count(), "job larger than device");
+    if region_blocks > dev.block_count() {
+        return Err(StorageError::JobExceedsDevice {
+            job_blocks: region_blocks,
+            device_blocks: dev.block_count(),
+        });
+    }
 
     // Data phase (verified jobs only): move real bytes, device-block-sized.
     if job.verify {
@@ -157,7 +171,9 @@ pub fn run(node: &mut Node, dev: &mut impl BlockDevice, job: &FioJob) -> FioResu
             for b in order {
                 dev.read_block(b, &mut buf);
                 for (i, &v) in buf.iter().enumerate() {
-                    assert_eq!(v, pattern_byte(b, i), "verify failed at block {b} byte {i}");
+                    if v != pattern_byte(b, i) {
+                        return Err(StorageError::VerifyMismatch { block: b, byte: i });
+                    }
                 }
             }
         } else {
@@ -175,7 +191,9 @@ pub fn run(node: &mut Node, dev: &mut impl BlockDevice, job: &FioJob) -> FioResu
             for b in 0..region_blocks {
                 dev.read_block(b, &mut buf);
                 for (i, &v) in buf.iter().enumerate() {
-                    assert_eq!(v, pattern_byte(b, i), "verify failed at block {b} byte {i}");
+                    if v != pattern_byte(b, i) {
+                        return Err(StorageError::VerifyMismatch { block: b, byte: i });
+                    }
                 }
             }
         }
@@ -204,17 +222,18 @@ pub fn run(node: &mut Node, dev: &mut impl BlockDevice, job: &FioJob) -> FioResu
         }
     };
     let e = node.execute(activity, Phase::IoBench);
+    node.tracer().count("fio.jobs", 1);
 
     let secs = e.duration.as_secs_f64();
     let disk_dyn_w = e.disk_dyn_w(node.spec().disk.idle_w);
-    FioResult {
+    Ok(FioResult {
         kind: job.kind,
         execution_time_s: secs,
         full_system_power_w: e.draw.system_w(),
         disk_dyn_power_w: disk_dyn_w,
         disk_dyn_energy_kj: disk_dyn_w * secs / 1000.0,
         full_system_energy_kj: e.draw.system_w() * secs / 1000.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +250,7 @@ mod tests {
     fn table3_sequential_read_row() {
         let mut n = node();
         let mut dev = NullBlockDevice::with_capacity_bytes(4 * 1024 * 1024 * 1024);
-        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::SequentialRead));
+        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::SequentialRead)).unwrap();
         // Paper row: 35.9 s, 118 W, 13.5 W, 0.4 kJ, 4.2 kJ.
         assert!((r.execution_time_s - 35.9).abs() < 0.2, "{r:?}");
         assert!((r.full_system_power_w - 118.0).abs() < 0.6, "{r:?}");
@@ -244,7 +263,7 @@ mod tests {
     fn table3_random_read_row() {
         let mut n = node();
         let mut dev = NullBlockDevice::with_capacity_bytes(4 * 1024 * 1024 * 1024);
-        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::RandomRead));
+        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::RandomRead)).unwrap();
         // Paper row: 2230 s, 107 W, 2.5 W, 5.5 kJ, 238.6 kJ.
         assert!((r.execution_time_s - 2230.0).abs() < 60.0, "{r:?}");
         assert!((r.full_system_power_w - 107.0).abs() < 0.7, "{r:?}");
@@ -257,7 +276,7 @@ mod tests {
     fn table3_sequential_write_row() {
         let mut n = node();
         let mut dev = NullBlockDevice::with_capacity_bytes(4 * 1024 * 1024 * 1024);
-        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::SequentialWrite));
+        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::SequentialWrite)).unwrap();
         // Paper row: 27.0 s, 115.4 W, 10.9 W, (0.29 kJ — the printed 2.9 kJ
         // contradicts its own row, see EXPERIMENTS.md), 3.1 kJ.
         assert!((r.execution_time_s - 27.0).abs() < 0.2, "{r:?}");
@@ -271,7 +290,7 @@ mod tests {
     fn table3_random_write_row() {
         let mut n = node();
         let mut dev = NullBlockDevice::with_capacity_bytes(4 * 1024 * 1024 * 1024);
-        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::RandomWrite));
+        let r = run(&mut n, &mut dev, &FioJob::table3(FioKind::RandomWrite)).unwrap();
         // Paper row: 31.0 s, 117.9 W, 13.4 W, 0.4 kJ, 3.6 kJ.
         assert!((r.execution_time_s - 31.0).abs() < 0.3, "{r:?}");
         assert!((r.full_system_power_w - 117.9).abs() < 0.7, "{r:?}");
@@ -292,7 +311,7 @@ mod tests {
                 queue_depth: 32,
                 verify: true,
             };
-            let r = run(&mut n, &mut dev, &job);
+            let r = run(&mut n, &mut dev, &job).unwrap();
             assert!(r.execution_time_s > 0.0);
         }
         assert!(dev.materialized_blocks() > 0);
@@ -312,8 +331,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple")]
-    fn misaligned_block_size_is_rejected() {
+    fn malformed_jobs_are_errors_not_panics() {
         let mut n = node();
         let mut dev = NullBlockDevice::with_capacity_bytes(1024 * 1024);
         let job = FioJob {
@@ -323,6 +341,35 @@ mod tests {
             queue_depth: 1,
             verify: false,
         };
-        let _ = run(&mut n, &mut dev, &job);
+        assert_eq!(
+            run(&mut n, &mut dev, &job),
+            Err(StorageError::MisalignedBlockSize { block_bytes: 1000 })
+        );
+        let job = FioJob {
+            total_bytes: 1024,
+            block_bytes: BLOCK_SIZE,
+            ..job
+        };
+        assert_eq!(
+            run(&mut n, &mut dev, &job),
+            Err(StorageError::JobSmallerThanBlock {
+                total_bytes: 1024,
+                block_bytes: BLOCK_SIZE,
+            })
+        );
+        let job = FioJob {
+            total_bytes: 2 * 1024 * 1024,
+            block_bytes: BLOCK_SIZE,
+            ..job
+        };
+        assert_eq!(
+            run(&mut n, &mut dev, &job),
+            Err(StorageError::JobExceedsDevice {
+                job_blocks: 2 * 1024 * 1024 / BLOCK_SIZE,
+                device_blocks: 1024 * 1024 / BLOCK_SIZE,
+            })
+        );
+        // No charging happened for any rejected job.
+        assert_eq!(n.now().as_nanos(), 0);
     }
 }

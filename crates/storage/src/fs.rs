@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use greenness_platform::{AccessPattern, Activity, Node, Phase};
+use greenness_trace::Value;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -155,6 +156,9 @@ pub struct FileSystem<D: BlockDevice> {
     free: BTreeMap<u64, u64>,
     config: FsConfig,
     rng: SmallRng,
+    /// Cache counters already published to a tracer (see
+    /// [`Self::publish_cache_counters`]).
+    published: CacheStats,
 }
 
 impl<D: BlockDevice> FileSystem<D> {
@@ -175,6 +179,7 @@ impl<D: BlockDevice> FileSystem<D> {
             free,
             config,
             rng: SmallRng::seed_from_u64(seed),
+            published: CacheStats::default(),
         }
     }
 
@@ -194,6 +199,27 @@ impl<D: BlockDevice> FileSystem<D> {
     /// Page-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Push page-cache counter deltas since the last publish into `node`'s
+    /// tracer (`cache.hits`, `cache.misses`, `cache.flushed_pages`,
+    /// `cache.evictions`). Called by every charged filesystem operation;
+    /// callers that evict without a node in hand (e.g. [`Self::drop_caches`])
+    /// should call this afterwards so the eviction delta is not stranded.
+    pub fn publish_cache_counters(&mut self, node: &Node) {
+        let tracer = node.tracer();
+        if !tracer.is_on() {
+            return;
+        }
+        let now = self.cache.stats();
+        tracer.count("cache.hits", now.hits - self.published.hits);
+        tracer.count("cache.misses", now.misses - self.published.misses);
+        tracer.count(
+            "cache.flushed_pages",
+            now.writebacks - self.published.writebacks,
+        );
+        tracer.count("cache.evictions", now.evictions - self.published.evictions);
+        self.published = now;
     }
 
     /// True if `name` exists.
@@ -316,6 +342,9 @@ impl<D: BlockDevice> FileSystem<D> {
         }
         let bytes = miss_blocks.len() as u64 * BLOCK_SIZE;
         let runs = runs_of(miss_blocks);
+        // Each discontinuity between runs costs the head one repositioning.
+        node.tracer()
+            .count("disk.seeks", runs.len().saturating_sub(1) as u64);
         let pattern = if runs.len() == 1 {
             if bytes >= self.config.sequential_threshold {
                 AccessPattern::Sequential
@@ -354,6 +383,8 @@ impl<D: BlockDevice> FileSystem<D> {
         }
         let bytes = dirty_blocks.len() as u64 * BLOCK_SIZE;
         let runs = runs_of(dirty_blocks);
+        node.tracer()
+            .count("disk.seeks", runs.len().saturating_sub(1) as u64);
         let pattern = if runs.len() == 1 {
             AccessPattern::Sequential
         } else {
@@ -404,7 +435,9 @@ impl<D: BlockDevice> FileSystem<D> {
             let zeros = [0u8; BLOCK_SIZE as usize];
             for e in &new {
                 for b in e.start..e.start + e.len {
-                    self.cache.write_block(&self.dev, b, 0, &zeros);
+                    self.cache
+                        .write_block(&self.dev, b, 0, &zeros)
+                        .expect("full-block zero fill cannot exceed the block");
                 }
             }
             let inode = self.files.entry(name.to_string()).or_default();
@@ -425,6 +458,7 @@ impl<D: BlockDevice> FileSystem<D> {
             if self
                 .cache
                 .write_block(&self.dev, dev_block, in_block, &data[cursor..cursor + take])
+                .expect("take is bounded by the block remainder")
             {
                 faults.push(dev_block);
             }
@@ -438,6 +472,7 @@ impl<D: BlockDevice> FileSystem<D> {
             },
             phase,
         );
+        self.publish_cache_counters(node);
         Ok(())
     }
 
@@ -502,6 +537,7 @@ impl<D: BlockDevice> FileSystem<D> {
             remaining -= take as u64;
         }
         node.execute(Activity::MemTraffic { bytes: len }, phase);
+        self.publish_cache_counters(node);
         Ok(out)
     }
 
@@ -523,6 +559,14 @@ impl<D: BlockDevice> FileSystem<D> {
             phase,
         );
         self.cache.flush_blocks(&mut self.dev, &dirty);
+        if node.tracer().is_on() {
+            node.tracer().instant(
+                node.now().as_nanos(),
+                "cache.writeback",
+                vec![("pages", Value::from(dirty.len()))],
+            );
+        }
+        self.publish_cache_counters(node);
         Ok(())
     }
 
@@ -537,12 +581,21 @@ impl<D: BlockDevice> FileSystem<D> {
             phase,
         );
         self.cache.flush_blocks(&mut self.dev, &dirty);
+        if node.tracer().is_on() {
+            node.tracer().instant(
+                node.now().as_nanos(),
+                "cache.writeback",
+                vec![("pages", Value::from(dirty.len()))],
+            );
+        }
+        self.publish_cache_counters(node);
     }
 
     /// Evict clean pages (`drop_caches`). Call after [`Self::sync`] to leave
-    /// the cache empty, as the paper does between phases.
-    pub fn drop_caches(&mut self) {
-        self.cache.drop_caches();
+    /// the cache empty, as the paper does between phases. Returns the number
+    /// of pages evicted.
+    pub fn drop_caches(&mut self) -> u64 {
+        self.cache.drop_caches()
     }
 
     /// Delete `name`, returning its blocks to the allocator.

@@ -17,6 +17,7 @@
 pub mod block;
 pub mod burst;
 pub mod cache;
+pub mod error;
 pub mod fio;
 pub mod fs;
 pub mod reorg;
@@ -24,6 +25,7 @@ pub mod reorg;
 pub use block::{BlockDevice, MemBlockDevice, NullBlockDevice, BLOCK_SIZE};
 pub use burst::BurstBuffer;
 pub use cache::{CacheStats, PageCache};
+pub use error::StorageError;
 pub use fio::{FioJob, FioKind, FioResult};
 pub use fs::{AllocMode, FileSystem, FsConfig, FsError};
 pub use reorg::reorganize;

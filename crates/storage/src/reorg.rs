@@ -90,7 +90,9 @@ pub fn reorganize<D: BlockDevice>(
         for (i, &b) in dev_blocks.iter().enumerate() {
             let off = i * BLOCK_SIZE as usize;
             let end = (off + BLOCK_SIZE as usize).min(data.len());
-            cache.write_block(dev, b, 0, &data[off..end]);
+            cache
+                .write_block(dev, b, 0, &data[off..end])
+                .expect("copy slice is bounded by the block size");
         }
         // Durable sequential write-back of the new region.
         cache.flush_blocks(dev, &dev_blocks);

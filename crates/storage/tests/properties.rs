@@ -84,7 +84,9 @@ proptest! {
                     }
                 }
                 Op::Sync => fs.sync(&mut node, Phase::CacheControl),
-                Op::DropCaches => fs.drop_caches(),
+                Op::DropCaches => {
+                    fs.drop_caches();
+                }
                 Op::Delete { file } => {
                     let name = format!("f{file}");
                     if fs.exists(&name) {

@@ -1,0 +1,231 @@
+//! Hand-rolled JSON helpers: the workspace vendors no `serde_json`, so the
+//! journal writer emits lines by string assembly and the summarizer parses
+//! them back with a minimal flat-object scanner. Floats are formatted with
+//! `{:?}` (shortest round-trip), so a value survives emit → parse exactly —
+//! the property the 1e-9 J energy-reconstruction audit relies on.
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Round-trippable float formatting; non-finite values become `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A scalar from a flat JSON object. Numbers keep their raw text so callers
+/// can choose integer or float interpretation without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Raw number token, e.g. `"1500000000"` or `"0.25"`.
+    Num(String),
+    /// Decoded string contents.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// Number as f64 (exact for round-trip `{:?}` output).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Number as u64 (integral tokens only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// String contents.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a single-line flat JSON object (string/number/bool/null values, no
+/// nesting) into key/value pairs in source order. This is all the journal
+/// format needs; anything else is a malformed line.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let bytes = line.trim().as_bytes();
+    let mut i = 0usize;
+    let err = |msg: &str, at: usize| format!("{msg} at byte {at}");
+    let skip_ws = |bytes: &[u8], mut i: usize| {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    i = skip_ws(bytes, i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            i += 1;
+            break;
+        }
+        let (key, next) = parse_string(bytes, i)?;
+        i = skip_ws(bytes, next);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(err("expected ':'", i));
+        }
+        i = skip_ws(bytes, i + 1);
+        let (value, next) = parse_value(bytes, i)?;
+        out.push((key, value));
+        i = skip_ws(bytes, next);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+    if skip_ws(bytes, i) != bytes.len() {
+        return Err(err("trailing garbage", i));
+    }
+    Ok(out)
+}
+
+fn parse_string(bytes: &[u8], mut i: usize) -> Result<(String, usize), String> {
+    if bytes.get(i) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {i}"));
+    }
+    i += 1;
+    let mut s = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((s, i + 1)),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(i + 1..i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {i}"))?;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                i += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (journal strings are UTF-8).
+                let rest = std::str::from_utf8(&bytes[i..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {i}"))?;
+                let c = rest.chars().next().ok_or("truncated string")?;
+                s.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_value(bytes: &[u8], i: usize) -> Result<(JsonValue, usize), String> {
+    match bytes.get(i) {
+        Some(b'"') => {
+            let (s, next) = parse_string(bytes, i)?;
+            Ok((JsonValue::Str(s), next))
+        }
+        Some(b't') if bytes[i..].starts_with(b"true") => Ok((JsonValue::Bool(true), i + 4)),
+        Some(b'f') if bytes[i..].starts_with(b"false") => Ok((JsonValue::Bool(false), i + 5)),
+        Some(b'n') if bytes[i..].starts_with(b"null") => Ok((JsonValue::Null, i + 4)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let mut j = i;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit()
+                    || matches!(bytes[j], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                j += 1;
+            }
+            let raw = std::str::from_utf8(&bytes[i..j]).expect("ascii");
+            Ok((JsonValue::Num(raw.to_string()), j))
+        }
+        _ => Err(format!("unexpected value at byte {i}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_round_trips() {
+        let line =
+            r#"{"t_ns":1500000000,"ev":"event","name":"activity","secs":0.25,"ok":true,"x":null}"#;
+        let kv = parse_flat_object(line).unwrap();
+        assert_eq!(kv[0].0, "t_ns");
+        assert_eq!(kv[0].1.as_u64(), Some(1_500_000_000));
+        assert_eq!(kv[1].1.as_str(), Some("event"));
+        assert_eq!(kv[3].1.as_f64(), Some(0.25));
+        assert_eq!(kv[4].1, JsonValue::Bool(true));
+        assert_eq!(kv[5].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn escaped_strings_decode() {
+        let line = "{\"k\":\"a\\\"b\\\\c\\n\\u0041\"}";
+        let kv = parse_flat_object(line).unwrap();
+        assert_eq!(kv[0].1.as_str(), Some("a\"b\\c\nA"));
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, 123456.789012345, -0.0, 15.258789e-6] {
+            let s = fmt_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_flat_object("not json").is_err());
+        assert!(parse_flat_object("{\"a\":1").is_err());
+        assert!(parse_flat_object("{\"a\":{}}").is_err());
+    }
+}

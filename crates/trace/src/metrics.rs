@@ -1,0 +1,105 @@
+//! Named monotonic counters and gauges, snapshotted at phase and job
+//! boundaries. Keys are `&'static str` so incrementing a counter on the hot
+//! path allocates nothing; `BTreeMap` keeps JSON output deterministically
+//! ordered.
+
+use std::collections::BTreeMap;
+
+use crate::json::{escape_json, fmt_f64};
+
+/// Point-in-time copy of the registry taken by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Label, e.g. `"phase:simulation"` or `"run"`.
+    pub label: String,
+    /// Counter values at snapshot time.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values at snapshot time.
+    pub gauges: BTreeMap<&'static str, f64>,
+}
+
+/// The metrics registry: monotonic counters, last-write-wins gauges, and an
+/// ordered list of snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    snapshots: Vec<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Add `by` to counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Record a labelled snapshot of the current counters and gauges.
+    pub fn snapshot(&mut self, label: &str) {
+        self.snapshots.push(MetricsSnapshot {
+            label: label.to_string(),
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+        });
+    }
+
+    /// Snapshots in recording order.
+    pub fn snapshots(&self) -> &[MetricsSnapshot] {
+        &self.snapshots
+    }
+
+    /// Compact single-line JSON object:
+    /// `{"counters":{...},"gauges":{...},"snapshots":[...]}`. The
+    /// `greenness-metrics/v1` schema tag is added by the file wrapper
+    /// ([`crate::metrics_file_json`]).
+    pub fn to_json(&self) -> String {
+        fn counters_json(m: &BTreeMap<&'static str, u64>) -> String {
+            let body: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+            format!("{{{}}}", body.join(","))
+        }
+        fn gauges_json(m: &BTreeMap<&'static str, f64>) -> String {
+            let body: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{}", fmt_f64(*v)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+        let snaps: Vec<String> = self
+            .snapshots
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"label\":\"{}\",\"counters\":{},\"gauges\":{}}}",
+                    escape_json(&s.label),
+                    counters_json(&s.counters),
+                    gauges_json(&s.gauges)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{},\"gauges\":{},\"snapshots\":[{}]}}",
+            counters_json(&self.counters),
+            gauges_json(&self.gauges),
+            snaps.join(",")
+        )
+    }
+}

@@ -1,0 +1,207 @@
+//! Trace events and the sinks that receive them.
+
+use std::sync::{Arc, Mutex};
+
+use crate::json::{escape_json, fmt_f64};
+
+/// A field value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (byte counts, block indices, nanoseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (seconds, watts, joules) — rendered round-trippably.
+    F64(f64),
+    /// String (phase labels, activity kinds, device states).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn render(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => fmt_f64(*v),
+            Value::Str(s) => format!("\"{}\"", escape_json(s)),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Span boundary or instant event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opens at `t_ns`.
+    Begin,
+    /// Span closes at `t_ns` (must match the innermost open span's name).
+    End,
+    /// Point event.
+    Instant,
+}
+
+impl EventKind {
+    /// The `ev` field value in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Instant => "event",
+        }
+    }
+}
+
+/// One journal entry: a virtual timestamp, a kind, a name, and flat fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time in integer nanoseconds (same representation as
+    /// `platform::SimTime`).
+    pub t_ns: u64,
+    /// Span boundary or instant.
+    pub kind: EventKind,
+    /// Event name (e.g. `"phase"`, `"activity"`, `"rapl.poll"`).
+    pub name: &'static str,
+    /// Flat key/value payload, emitted in order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = format!(
+            "{{\"t_ns\":{},\"ev\":\"{}\",\"name\":\"{}\"",
+            self.t_ns,
+            self.kind.label(),
+            self.name
+        );
+        for (k, v) in &self.fields {
+            s.push_str(&format!(",\"{}\":{}", k, v.render()));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Receives trace events. Implementations must be cheap: the tracer already
+/// guards every call behind its on/off branch.
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, ev: &TraceEvent);
+    /// Take the accumulated JSONL buffer (empty for sinks that do not
+    /// render, e.g. [`MemorySink`]).
+    fn drain_jsonl(&mut self) -> String {
+        String::new()
+    }
+}
+
+/// Renders each event immediately into an in-memory JSONL buffer. The
+/// buffer contains event lines only — the `greenness-trace/v1` schema header
+/// is prepended by whoever writes the journal file (see
+/// [`crate::journal_header`]), so per-job buffers can be concatenated.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    buf: String,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.buf.push_str(&ev.to_jsonl());
+        self.buf.push('\n');
+    }
+
+    fn drain_jsonl(&mut self) -> String {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Shared handle onto a [`MemorySink`]'s event list (for tests and
+/// in-process inspection).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryHandle {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemoryHandle {
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+}
+
+/// Stores structured events for inspection instead of rendering them.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// A new sink plus the handle that observes it.
+    pub fn new() -> (Self, MemoryHandle) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                events: Arc::clone(&events),
+            },
+            MemoryHandle { events },
+        )
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(ev.clone());
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
     let setup = ExperimentSetup::default();
 
     println!("running the four fio jobs (4 GiB each)...\n");
-    let analysis = WhatIfAnalysis::run(&setup, 4 * 1024 * 1024 * 1024);
+    let analysis = WhatIfAnalysis::run(&setup, 4 * 1024 * 1024 * 1024).expect("fio matrix");
 
     let headers = ["Metric", "Seq Read", "Rand Read", "Seq Write", "Rand Write"];
     let col = |f: &dyn Fn(&greenness_storage::FioResult) -> String| -> Vec<String> {

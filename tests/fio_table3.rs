@@ -11,7 +11,7 @@ fn run_table3(kind: FioKind) -> greenness_storage::FioResult {
     let setup = ExperimentSetup::noiseless();
     let mut node = Node::new(setup.spec.clone());
     let mut dev = NullBlockDevice::with_capacity_bytes(GIB4);
-    fio::run(&mut node, &mut dev, &FioJob::table3(kind))
+    fio::run(&mut node, &mut dev, &FioJob::table3(kind)).unwrap()
 }
 
 #[test]
@@ -77,7 +77,7 @@ fn random_read_dominates_everything() {
 #[test]
 fn verified_jobs_round_trip_real_bytes() {
     // 32 MiB with verification: every byte moved through the device is
-    // pattern-checked inside the engine (it panics on mismatch).
+    // pattern-checked inside the engine (mismatch surfaces as an Err).
     let setup = ExperimentSetup::noiseless();
     let mut node = Node::new(setup.spec.clone());
     let mut dev = MemBlockDevice::with_capacity_bytes(32 * 1024 * 1024);
@@ -89,7 +89,7 @@ fn verified_jobs_round_trip_real_bytes() {
             queue_depth: 32,
             verify: true,
         };
-        let r = fio::run(&mut node, &mut dev, &job);
+        let r = fio::run(&mut node, &mut dev, &job).unwrap();
         assert!(r.execution_time_s > 0.0);
         assert!(r.full_system_power_w > node.spec().static_w());
     }
@@ -106,7 +106,7 @@ fn queue_depth_sweep_shows_ncq_benefit() {
             queue_depth: qd,
             ..FioJob::table3(FioKind::RandomRead)
         };
-        let r = fio::run(&mut node, &mut dev, &job);
+        let r = fio::run(&mut node, &mut dev, &job).unwrap();
         assert!(r.execution_time_s < prev, "qd {qd} did not help");
         prev = r.execution_time_s;
     }

@@ -84,7 +84,7 @@ fn table3(kind: FioKind) -> greenness_storage::FioResult {
     let setup = ExperimentSetup::noiseless();
     let mut node = Node::new(setup.spec.clone());
     let mut dev = NullBlockDevice::with_capacity_bytes(4 * 1024 * 1024 * 1024);
-    fio::run(&mut node, &mut dev, &FioJob::table3(kind))
+    fio::run(&mut node, &mut dev, &FioJob::table3(kind)).unwrap()
 }
 
 #[test]

@@ -81,6 +81,35 @@ fn manifest_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn traced_journals_and_metrics_are_byte_identical_across_worker_counts() {
+    // The observability layer inherits the guarantee: the assembled sweep
+    // journal and metrics registry are byte-for-byte schedule-independent.
+    let setup = ExperimentSetup {
+        trace: true,
+        ..ExperimentSetup::default()
+    };
+    let serial = run_with(1, &setup);
+    let journal = sweep::sweep_journal(&serial).expect("traced sweep has a journal");
+    let metrics = sweep::sweep_metrics_json(&serial).expect("traced sweep has metrics");
+    assert!(journal.starts_with("{\"schema\":\"greenness-trace/v1\"}\n"));
+    for workers in [2usize, 8] {
+        let parallel = run_with(workers, &setup);
+        assert_eq!(
+            journal.as_bytes(),
+            sweep::sweep_journal(&parallel).expect("journal").as_bytes(),
+            "journal diverged at {workers} workers"
+        );
+        assert_eq!(
+            metrics.as_bytes(),
+            sweep::sweep_metrics_json(&parallel)
+                .expect("metrics")
+                .as_bytes(),
+            "metrics diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn comparisons_preserve_submission_order() {
     let setup = ExperimentSetup::noiseless();
     for workers in [1usize, 4] {

@@ -1,0 +1,73 @@
+//! The observability layer's built-in consistency audit, end to end: the
+//! per-phase power/energy table `trace summarize` reconstructs from a run's
+//! event journal must match the simulator's own `Timeline::phase_energy`
+//! accounting within 1e-9 J, on all three case studies and both pipelines.
+
+use greenness_core::{experiment, ExperimentSetup, PipelineConfig, PipelineKind};
+use greenness_platform::Phase;
+use greenness_trace::journal_header;
+use greenness_trace::summarize::summarize;
+
+#[test]
+fn journal_reconstruction_matches_timeline_on_all_case_studies() {
+    let setup = ExperimentSetup {
+        trace: true,
+        ..ExperimentSetup::noiseless()
+    };
+    for case in 1..=3 {
+        let cfg = PipelineConfig::case_study(case);
+        for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
+            let r = experiment::run(kind, &cfg, &setup);
+            let journal = format!(
+                "{}{}",
+                journal_header(),
+                r.journal.as_deref().expect("traced run records a journal")
+            );
+            let s = summarize(&journal).expect("journal parses");
+            assert!(
+                s.audit_ok(),
+                "case {case} {kind:?} audit: {:?}",
+                s.audit_errors
+            );
+            assert!(
+                s.phases_checked > 0,
+                "case {case} {kind:?} cross-checked nothing"
+            );
+            for phase in Phase::ALL {
+                let want = r.timeline.phase_energy(phase).system_j();
+                match s.rows.iter().find(|row| row.phase == phase.label()) {
+                    Some(row) => {
+                        assert!(
+                            (row.energy_j - want).abs() <= 1e-9,
+                            "case {case} {kind:?} {}: reconstructed {} J, timeline {want} J",
+                            phase.label(),
+                            row.energy_j
+                        );
+                        assert!(
+                            (row.time_s - r.timeline.phase_duration(phase).as_secs_f64()).abs()
+                                <= 1e-12,
+                            "case {case} {kind:?} {} time",
+                            phase.label()
+                        );
+                    }
+                    None => {
+                        assert!(
+                            r.timeline.phase_duration(phase).is_zero(),
+                            "case {case} {kind:?}: phase {} ran but has no row",
+                            phase.label()
+                        );
+                    }
+                }
+            }
+            let total: f64 = Phase::ALL
+                .iter()
+                .map(|p| r.timeline.phase_energy(*p).system_j())
+                .sum();
+            assert!(
+                (s.total_energy_j - total).abs() <= 1e-6,
+                "case {case} {kind:?} total: {} vs {total}",
+                s.total_energy_j
+            );
+        }
+    }
+}

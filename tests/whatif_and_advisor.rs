@@ -10,7 +10,7 @@ const GIB: u64 = 1024 * 1024 * 1024;
 
 #[test]
 fn section5d_numbers() {
-    let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * GIB);
+    let w = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 4 * GIB).unwrap();
     // Paper: adopting in-situ saves 242.2 kJ; reorganization retains
     // exploration at only 7.3 kJ.
     assert!(
