@@ -48,8 +48,8 @@ fn fig06_nn_probes(c: &mut Criterion) {
     let setup = setup();
     c.bench_function("fig06_nn_probes", |b| {
         b.iter(|| {
-            let r = probes::nnread(&setup, 8 * 1024, 1.0);
-            let w = probes::nnwrite(&setup, 8 * 1024, 1.0);
+            let r = probes::nnread(&setup, 8 * 1024, 1.0).expect("probe ok");
+            let w = probes::nnwrite(&setup, 8 * 1024, 1.0).expect("probe ok");
             black_box((r.avg_total_w, w.avg_total_w))
         })
     });
@@ -95,13 +95,15 @@ fn sec5c_savings_breakdown(c: &mut Criterion) {
     let setup = setup();
     let cmp = CaseComparison::run_config(1, &cfg, &setup);
     c.bench_function("sec5c_savings_breakdown", |b| {
-        b.iter(|| black_box(CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 1.0)))
+        b.iter(|| {
+            black_box(CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 1.0).expect("probes ok"))
+        })
     });
 }
 
 fn table2_probe_stats(c: &mut Criterion) {
     let setup = setup();
-    let probe = probes::nnwrite(&setup, 8 * 1024, 2.0);
+    let probe = probes::nnwrite(&setup, 8 * 1024, 2.0).expect("probe ok");
     c.bench_function("table2_probe_stats", |b| {
         b.iter(|| {
             black_box((

@@ -11,6 +11,9 @@
 //! greenness cap <watts> [watts...]      power-cap sweep (in-situ)
 //! greenness adaptive [threshold]        adaptive runtime demo
 //! greenness advisor <bytes> <passes> <seq|rand> <explore|no-explore>
+//! greenness serve [--addr A]            NDJSON query server (greenness-serve/v1)
+//! greenness query <addr> <json>         one request against a running server
+//! greenness bench-serve ...             load harness (closed/open loop, --replay)
 //! ```
 //!
 //! Everything prints fixed-width tables; see the `repro` binary for the
@@ -24,7 +27,10 @@ use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineConfig};
 use greenness_platform::{HardwareSpec, Node};
+use greenness_serve::{LoadMode, Server, ServiceConfig};
 
+/// The single usage block every argument error funnels into; all paths
+/// exit 2.
 fn usage() -> ! {
     eprintln!(
         "usage: greenness <command>\n\
@@ -39,9 +45,16 @@ fn usage() -> ! {
          \x20 adaptive [io-energy-threshold]       adaptive runtime demo\n\
          \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>\n\
          \x20 trace summarize <journal>            reconstruct + audit a trace journal\n\
+         \x20 serve [--addr A] [--jobs N]          NDJSON query server (greenness-serve/v1)\n\
+         \x20 query <addr> <json-request>          one request against a running server\n\
+         \x20 bench-serve --addr A [...]           live load harness (closed/open loop)\n\
+         \x20 bench-serve --replay [...]           deterministic in-process replay\n\
          \n\
          sweep also accepts --trace PATH / --metrics PATH (event journal +\n\
-         metrics registry; byte-identical for every --jobs value)"
+         metrics registry; byte-identical for every --jobs value)\n\
+         serve also accepts --cache-bytes B / --slots S / --queue-depth Q\n\
+         bench-serve accepts --requests N --conns C --mode closed|open --rate R,\n\
+         and with --replay: --jobs J --out FILE --metrics-out FILE"
     );
     std::process::exit(2);
 }
@@ -130,6 +143,10 @@ fn cmd_sweep(args: &[String]) {
     let t0 = std::time::Instant::now();
     let results = greenness_bench::run_case_grid(&setup, jobs, &|done, total, key| {
         eprintln!("[sweep] {done}/{total} done: {key}");
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("case-study grid failed: {e}");
+        std::process::exit(1);
     });
     eprintln!(
         "grid finished in {:.2} s host wall-clock",
@@ -215,8 +232,14 @@ fn cmd_fio(args: &[String]) {
 fn cmd_probes() {
     let setup = ExperimentSetup::default();
     eprintln!("running nnread/nnwrite probes (50 s each)...");
-    let read = probes::nnread(&setup, 128 * 1024, 50.0);
-    let write = probes::nnwrite(&setup, 128 * 1024, 50.0);
+    let probe = |r: Result<probes::ProbeResult, greenness_storage::StorageError>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("probe failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let read = probe(probes::nnread(&setup, 128 * 1024, 50.0));
+    let write = probe(probes::nnwrite(&setup, 128 * 1024, 50.0));
     let rows = vec![
         vec![
             "Avg. Power (Total)".into(),
@@ -404,6 +427,131 @@ fn cmd_advisor(args: &[String]) {
     println!("recommendation     : {verdict}");
 }
 
+fn cmd_serve(args: &[String]) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--jobs" | "-j" => config.jobs = parse(&take("--jobs"), "worker count"),
+            "--cache-bytes" => config.cache_bytes = parse(&take("--cache-bytes"), "cache budget"),
+            "--slots" => config.slots = parse(&take("--slots"), "slot count"),
+            "--queue-depth" => config.queue_depth = parse(&take("--queue-depth"), "queue depth"),
+            _ => usage(),
+        }
+    }
+    let server = Server::start(&addr, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The smoke harness greps this exact line for the ephemeral port.
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!("serving greenness-serve/v1; send {{\"op\":\"shutdown\"}} to drain");
+    server.run_to_completion();
+    eprintln!("drained; bye");
+}
+
+fn cmd_query(args: &[String]) {
+    let (Some(addr), Some(request)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let response = greenness_serve::query(addr, request).unwrap_or_else(|e| {
+        eprintln!("query to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{response}");
+    // Exit nonzero on a protocol-level error so shell callers can assert.
+    let ok = greenness_serve::json::Json::parse(&response)
+        .ok()
+        .and_then(|doc| doc.get("ok").and_then(|v| v.as_bool()))
+        .unwrap_or(false);
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_bench_serve(args: &[String]) {
+    let mut replay = false;
+    let mut addr: Option<String> = None;
+    let mut requests = 20usize;
+    let mut conns = 4usize;
+    let mut jobs = greenness_bench::default_jobs();
+    let mut mode = "closed".to_string();
+    let mut rate = 50.0f64;
+    let mut out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--replay" => replay = true,
+            "--addr" => addr = Some(take("--addr")),
+            "--requests" | "-n" => requests = parse(&take("--requests"), "request count"),
+            "--conns" | "-c" => conns = parse(&take("--conns"), "connection count"),
+            "--jobs" | "-j" => jobs = parse(&take("--jobs"), "worker count"),
+            "--mode" => mode = take("--mode"),
+            "--rate" => rate = parse(&take("--rate"), "request rate"),
+            "--out" => out = Some(take("--out")),
+            "--metrics-out" => metrics_out = Some(take("--metrics-out")),
+            _ => usage(),
+        }
+    }
+    if replay {
+        let workload = greenness_serve::replay_workload(requests);
+        let result = greenness_serve::run_replay(
+            ServiceConfig {
+                jobs,
+                ..ServiceConfig::default()
+            },
+            &workload,
+        );
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &result.responses).expect("write response log");
+                eprintln!("wrote {path}");
+            }
+            None => print!("{}", result.responses),
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, &result.metrics).expect("write metrics snapshot");
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
+    let Some(addr) = addr else {
+        eprintln!("bench-serve needs --addr (or --replay)");
+        usage()
+    };
+    let load_mode = match mode.as_str() {
+        "closed" => LoadMode::Closed,
+        "open" => LoadMode::Open { rate_rps: rate },
+        other => {
+            eprintln!("unknown mode {other} (expected closed|open)");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("driving {requests} request(s) at {addr} over {conns} connection(s)...");
+    let report = greenness_serve::run_load(&addr, requests, conns, load_mode).unwrap_or_else(|e| {
+        eprintln!("load run failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", report.to_json());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -417,6 +565,9 @@ fn main() {
         "adaptive" => cmd_adaptive(&args[1..]),
         "advisor" => cmd_advisor(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "bench-serve" => cmd_bench_serve(&args[1..]),
         _ => usage(),
     }
 }

@@ -67,6 +67,10 @@ impl Lazy {
             let t0 = std::time::Instant::now();
             let results = run_case_grid(&self.setup, self.jobs, &|done, total, key| {
                 eprintln!("[sweep] {done}/{total} done: {key}");
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("[repro] case-study grid failed: {e}");
+                std::process::exit(1);
             });
             eprintln!(
                 "[repro] grid finished in {:.2} s host wall-clock ({} jobs, {} workers)",
@@ -95,9 +99,15 @@ impl Lazy {
     fn nnprobes(&mut self) -> &(probes::ProbeResult, probes::ProbeResult) {
         if self.nnprobes.is_none() {
             eprintln!("[repro] running nnread/nnwrite probes (50 s each)...");
+            let probe = |r: Result<probes::ProbeResult, _>| {
+                r.unwrap_or_else(|e| {
+                    eprintln!("[repro] probe failed: {e}");
+                    std::process::exit(1);
+                })
+            };
             self.nnprobes = Some((
-                probes::nnread(&self.setup, 128 * 1024, 50.0),
-                probes::nnwrite(&self.setup, 128 * 1024, 50.0),
+                probe(probes::nnread(&self.setup, 128 * 1024, 50.0)),
+                probe(probes::nnwrite(&self.setup, 128 * 1024, 50.0)),
             ));
         }
         self.nnprobes.as_ref().expect("just computed")
@@ -425,7 +435,10 @@ fn main() {
             .expect("case 1 ran")
             .clone();
         eprintln!("[repro] running the §V-C breakdown (probes + estimator)...");
-        let b = CaseBreakdown::analyze(&case1, &setup, 128 * 1024, 50.0);
+        let b = CaseBreakdown::analyze(&case1, &setup, 128 * 1024, 50.0).unwrap_or_else(|e| {
+            eprintln!("[repro] breakdown probes failed: {e}");
+            std::process::exit(1);
+        });
         println!("\nSection V-C — energy savings breakdown (case study 1)");
         println!("  total savings : {:>7.2} kJ", b.savings.total_j / 1000.0);
         println!(
@@ -545,6 +558,10 @@ fn print_extensions(setup: &ExperimentSetup, jobs: usize) {
         .collect();
     let results = sweep::run_sweep(grid, jobs, &|done, total, key| {
         eprintln!("[sweep] {done}/{total} done: {key}");
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("[repro] storage-technology grid failed: {e}");
+        std::process::exit(1);
     });
     let mut rows = Vec::new();
     for (spec, cmp) in specs.iter().zip(sweep::comparisons(&results)) {

@@ -20,19 +20,26 @@ pub fn default_jobs() -> usize {
 /// Run all three §IV-C case studies (both pipelines each) on `jobs` worker
 /// threads, reporting progress through `on_done`. Returns the raw per-job
 /// results in submission order (the manifest's input).
+///
+/// # Errors
+/// Propagates a [`sweep::SweepError`] when a grid job panicked or the grid
+/// was malformed.
 pub fn run_case_grid(
     setup: &ExperimentSetup,
     jobs: usize,
     on_done: sweep::Progress<'_>,
-) -> Vec<JobResult> {
+) -> Result<Vec<JobResult>, sweep::SweepError> {
     sweep::run_sweep(sweep::case_grid(setup, &[1, 2, 3]), jobs, on_done)
 }
 
 /// Run all three §IV-C case studies (both pipelines each), in parallel on
 /// all available cores.
-pub fn run_all_cases(setup: &ExperimentSetup) -> Vec<CaseComparison> {
-    let results = run_case_grid(setup, default_jobs(), &sweep::silent_progress());
-    sweep::comparisons(&results)
+///
+/// # Errors
+/// Propagates a [`sweep::SweepError`] from the executor.
+pub fn run_all_cases(setup: &ExperimentSetup) -> Result<Vec<CaseComparison>, sweep::SweepError> {
+    let results = run_case_grid(setup, default_jobs(), &sweep::silent_progress())?;
+    Ok(sweep::comparisons(&results))
 }
 
 #[cfg(test)]
@@ -48,7 +55,7 @@ mod tests {
             .map(|(n, interval)| (n, greenness_core::PipelineConfig::small(interval)))
             .collect();
         let jobs = sweep::config_grid(&setup, &configs);
-        let results = sweep::run_sweep(jobs, 4, &sweep::silent_progress());
+        let results = sweep::run_sweep(jobs, 4, &sweep::silent_progress()).expect("sweep ok");
         let cases = sweep::comparisons(&results);
         assert_eq!(
             cases.iter().map(|c| c.case).collect::<Vec<_>>(),

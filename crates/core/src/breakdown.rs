@@ -30,14 +30,18 @@ impl CaseBreakdown {
     /// Run the probes and apply the estimator to an existing comparison.
     /// `probe_chunk_bytes` is the paper's 128 KiB; `probe_duration_s` its
     /// ≈50 s probe window.
+    ///
+    /// # Errors
+    /// Propagates a [`greenness_storage::StorageError`] from a malformed
+    /// probe configuration.
     pub fn analyze(
         cmp: &CaseComparison,
         setup: &ExperimentSetup,
         probe_chunk_bytes: usize,
         probe_duration_s: f64,
-    ) -> CaseBreakdown {
-        let read = nnread(setup, probe_chunk_bytes, probe_duration_s);
-        let write = nnwrite(setup, probe_chunk_bytes, probe_duration_s);
+    ) -> Result<CaseBreakdown, greenness_storage::StorageError> {
+        let read = nnread(setup, probe_chunk_bytes, probe_duration_s)?;
+        let write = nnwrite(setup, probe_chunk_bytes, probe_duration_s)?;
         // The I/O being removed is a mix of reads and writes; the paper uses
         // the (nearly equal) stage powers — we average them.
         let probe_dyn_w = 0.5 * (read.avg_dynamic_w + write.avg_dynamic_w);
@@ -48,12 +52,12 @@ impl CaseBreakdown {
             cmp.insitu.metrics.execution_time_s,
             probe_dyn_w,
         );
-        CaseBreakdown {
+        Ok(CaseBreakdown {
             case: cmp.case,
             nnread: read,
             nnwrite: write,
             savings,
-        }
+        })
     }
 }
 
@@ -66,7 +70,7 @@ mod tests {
     fn static_share_dominates() {
         let setup = ExperimentSetup::noiseless();
         let cmp = CaseComparison::run_config(1, &PipelineConfig::small(1), &setup);
-        let b = CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 5.0);
+        let b = CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 5.0).expect("probes ok");
         assert!(b.savings.total_j > 0.0);
         // The paper's qualitative headline: most savings are static.
         assert!(
@@ -81,7 +85,7 @@ mod tests {
     fn probe_results_are_embedded() {
         let setup = ExperimentSetup::noiseless();
         let cmp = CaseComparison::run_config(1, &PipelineConfig::small(2), &setup);
-        let b = CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 3.0);
+        let b = CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 3.0).expect("probes ok");
         assert_eq!(b.nnread.name, "nnread");
         assert_eq!(b.nnwrite.name, "nnwrite");
         assert!(b.nnread.avg_dynamic_w > 0.0);

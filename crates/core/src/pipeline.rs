@@ -51,6 +51,26 @@ impl PipelineKind {
     }
 }
 
+impl std::str::FromStr for PipelineKind {
+    type Err = String;
+
+    /// Parse the names used across the CLI and the serve protocol:
+    /// `post`/`post-processing`/`traditional`, `insitu`/`in-situ`, and
+    /// `intransit`/`in-transit` (case-insensitive).
+    fn from_str(s: &str) -> Result<PipelineKind, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "post" | "post-processing" | "postprocessing" | "traditional" => {
+                Ok(PipelineKind::PostProcessing)
+            }
+            "insitu" | "in-situ" => Ok(PipelineKind::InSitu),
+            "intransit" | "in-transit" => Ok(PipelineKind::InTransit),
+            other => Err(format!(
+                "unknown pipeline '{other}' (expected post|insitu|intransit)"
+            )),
+        }
+    }
+}
+
 /// A rendered frame and the timestep it shows.
 #[derive(Debug, Clone)]
 pub struct FrameRecord {

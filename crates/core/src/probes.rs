@@ -9,7 +9,7 @@
 
 use greenness_platform::{Node, Phase, Timeline};
 use greenness_power::probe_dynamic_power_w;
-use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
+use greenness_storage::{FileSystem, FsConfig, MemBlockDevice, StorageError};
 
 use crate::experiment::ExperimentSetup;
 
@@ -39,7 +39,16 @@ fn summarize(name: &'static str, timeline: Timeline, static_w: f64) -> ProbeResu
 
 /// Run the `nnwrite` probe: write-and-fsync `chunk_bytes` chunks for at
 /// least `duration_s` seconds of virtual time.
-pub fn nnwrite(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> ProbeResult {
+///
+/// # Errors
+/// A probe configuration the device cannot hold (oversized chunks, a probe
+/// window that fills the scratch filesystem) surfaces as a [`StorageError`]
+/// diagnostic instead of a panic.
+pub fn nnwrite(
+    setup: &ExperimentSetup,
+    chunk_bytes: usize,
+    duration_s: f64,
+) -> Result<ProbeResult, StorageError> {
     let mut node = Node::new(setup.spec.clone());
     node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
     let mut fs = FileSystem::format(
@@ -50,19 +59,25 @@ pub fn nnwrite(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> 
     let mut k = 0u64;
     while node.now().as_secs_f64() < duration_s {
         let name = format!("nn{k:06}");
-        fs.write(&mut node, &name, 0, &chunk, Phase::IoBench)
-            .expect("device sized");
-        fs.fsync(&mut node, &name, Phase::IoBench)
-            .expect("file exists");
+        fs.write(&mut node, &name, 0, &chunk, Phase::IoBench)?;
+        fs.fsync(&mut node, &name, Phase::IoBench)?;
         k += 1;
     }
     let static_w = setup.spec.static_w();
-    summarize("nnwrite", node.into_timeline(), static_w)
+    Ok(summarize("nnwrite", node.into_timeline(), static_w))
 }
 
 /// Run the `nnread` probe: pre-create chunk files (not metered), drop caches,
 /// then read them back cold for at least `duration_s` seconds.
-pub fn nnread(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> ProbeResult {
+///
+/// # Errors
+/// As for [`nnwrite`]: a malformed probe configuration returns a
+/// [`StorageError`] instead of panicking.
+pub fn nnread(
+    setup: &ExperimentSetup,
+    chunk_bytes: usize,
+    duration_s: f64,
+) -> Result<ProbeResult, StorageError> {
     // Staging pass on a scratch node — layout preparation is not part of the
     // probe, exactly as the paper profiles only the read stage.
     let mut scratch = Node::new(setup.spec.clone());
@@ -81,8 +96,7 @@ pub fn nnread(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> P
             0,
             &chunk,
             Phase::IoBench,
-        )
-        .expect("device sized");
+        )?;
     }
     fs.sync(&mut scratch, Phase::IoBench);
     fs.drop_caches();
@@ -97,12 +111,11 @@ pub fn nnread(setup: &ExperimentSetup, chunk_bytes: usize, duration_s: f64) -> P
             0,
             chunk_bytes as u64,
             Phase::IoBench,
-        )
-        .expect("staged above");
+        )?;
         k += 1;
     }
     let static_w = setup.spec.static_w();
-    summarize("nnread", node.into_timeline(), static_w)
+    Ok(summarize("nnread", node.into_timeline(), static_w))
 }
 
 #[cfg(test)]
@@ -111,7 +124,7 @@ mod tests {
 
     #[test]
     fn table2_nnwrite_power() {
-        let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 20.0);
+        let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 20.0).expect("probe ok");
         // Paper: 114.8 W total, 10.0 W dynamic.
         assert!(
             (r.avg_total_w - 114.8).abs() < 0.7,
@@ -127,7 +140,7 @@ mod tests {
 
     #[test]
     fn table2_nnread_power() {
-        let r = nnread(&ExperimentSetup::noiseless(), 128 * 1024, 20.0);
+        let r = nnread(&ExperimentSetup::noiseless(), 128 * 1024, 20.0).expect("probe ok");
         // Paper: 115.1 W total, 10.3 W dynamic.
         assert!(
             (r.avg_total_w - 115.1).abs() < 0.7,
@@ -146,15 +159,24 @@ mod tests {
         // §V-A: "the average power consumed by the reads and the writes is
         // nearly the same".
         let setup = ExperimentSetup::noiseless();
-        let w = nnwrite(&setup, 128 * 1024, 10.0);
-        let r = nnread(&setup, 128 * 1024, 10.0);
+        let w = nnwrite(&setup, 128 * 1024, 10.0).expect("probe ok");
+        let r = nnread(&setup, 128 * 1024, 10.0).expect("probe ok");
         assert!((w.avg_total_w - r.avg_total_w).abs() < 1.5);
     }
 
     #[test]
     fn probes_run_for_the_requested_duration() {
-        let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 5.0);
+        let r = nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 5.0).expect("probe ok");
         let t = r.timeline.end().as_secs_f64();
         assert!((5.0..6.0).contains(&t), "ran {t}s");
+    }
+
+    #[test]
+    fn malformed_probe_config_is_a_diagnostic_not_a_panic() {
+        // A probe window the 256 MiB scratch device cannot hold: the error
+        // comes back as a StorageError value with a printable message.
+        let err = nnwrite(&ExperimentSetup::noiseless(), 1024 * 1024, 1.0e9)
+            .expect_err("device must fill");
+        assert!(!err.to_string().is_empty());
     }
 }

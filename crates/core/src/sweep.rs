@@ -23,8 +23,9 @@
 //!   consume.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::compare::CaseComparison;
 use crate::config::PipelineConfig;
@@ -112,6 +113,64 @@ pub fn silent_progress() -> impl Fn(usize, usize, &str) + Sync {
     |_, _, _| {}
 }
 
+/// Why a sweep batch could not produce a complete result set.
+///
+/// The executor never panics on caller input: a job that panics is caught on
+/// its worker thread and reported as a value, so one bad batch fails only its
+/// own caller — a long-lived server keeps serving, and the pool state (which
+/// is all per-call) cannot be poison-cascaded into later sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// Two submitted jobs share a key; they would silently collapse into one
+    /// manifest entry.
+    DuplicateKey {
+        /// The colliding key.
+        key: String,
+    },
+    /// A job panicked while executing; the rest of the batch still ran.
+    JobPanicked {
+        /// Job id (submission index).
+        id: usize,
+        /// The job's key.
+        key: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A job neither returned nor reported a panic (a worker died without
+    /// delivering — should be unreachable).
+    JobLost {
+        /// Job id (submission index).
+        id: usize,
+        /// The job's key.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::DuplicateKey { key } => {
+                write!(f, "sweep jobs must have unique keys; '{key}' repeats")
+            }
+            SweepError::JobPanicked { id, key, message } => {
+                write!(f, "sweep job {id} ({key}) panicked: {message}")
+            }
+            SweepError::JobLost { id, key } => {
+                write!(f, "sweep job {id} ({key}) finished without a result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Lock a queue, treating a poisoned mutex as usable: the deques hold plain
+/// `usize` ids and every critical section is a single push/pop, so a panic
+/// elsewhere cannot leave them mid-mutation.
+fn lock_queue(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Execute `jobs` on `workers` threads and return results ordered by job id.
 ///
 /// `workers` is clamped to `1..=jobs.len()`; `workers == 1` degenerates to a
@@ -119,20 +178,30 @@ pub fn silent_progress() -> impl Fn(usize, usize, &str) + Sync {
 /// as results arrive (arrival order is scheduling-dependent; the returned
 /// `Vec` is not).
 ///
-/// # Panics
-/// Propagates a panic from any job, and panics if two jobs share a key
-/// (duplicate keys would silently collapse distinct grid cells in the
-/// manifest).
-pub fn run_sweep(jobs: Vec<SweepJob>, workers: usize, on_done: Progress<'_>) -> Vec<JobResult> {
+/// # Errors
+/// [`SweepError::DuplicateKey`] when two jobs share a key;
+/// [`SweepError::JobPanicked`] when a job panicked (the panic is caught on
+/// the worker — the remaining jobs still run, and the lowest-id failure is
+/// reported for determinism).
+pub fn run_sweep(
+    jobs: Vec<SweepJob>,
+    workers: usize,
+    on_done: Progress<'_>,
+) -> Result<Vec<JobResult>, SweepError> {
     let total = jobs.len();
     if total == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     {
         let mut keys: Vec<String> = jobs.iter().map(SweepJob::key).collect();
         keys.sort();
-        keys.dedup();
-        assert_eq!(keys.len(), total, "sweep jobs must have unique keys");
+        for pair in keys.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(SweepError::DuplicateKey {
+                    key: pair[0].clone(),
+                });
+            }
+        }
     }
     let workers = workers.clamp(1, total);
 
@@ -144,14 +213,12 @@ pub fn run_sweep(jobs: Vec<SweepJob>, workers: usize, on_done: Progress<'_>) -> 
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, _) in jobs.iter().enumerate() {
-        queues[i % workers]
-            .lock()
-            .expect("queue poisoned")
-            .push_back(i);
+        lock_queue(&queues[i % workers]).push_back(i);
     }
 
-    let (tx, rx) = mpsc::channel::<(usize, PipelineReport)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<PipelineReport, String>)>();
     let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
 
     std::thread::scope(|scope| {
         for me in 0..workers {
@@ -161,8 +228,9 @@ pub fn run_sweep(jobs: Vec<SweepJob>, workers: usize, on_done: Progress<'_>) -> 
             scope.spawn(move || loop {
                 let next = pop_own(&queues[me]).or_else(|| steal_other(queues, me));
                 let Some(idx) = next else { break };
-                let report = jobs[idx].execute();
-                if tx.send((idx, report)).is_err() {
+                let outcome = catch_unwind(AssertUnwindSafe(|| jobs[idx].execute()))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                if tx.send((idx, outcome)).is_err() {
                     break; // collector gone; nothing left to report to
                 }
             });
@@ -170,30 +238,58 @@ pub fn run_sweep(jobs: Vec<SweepJob>, workers: usize, on_done: Progress<'_>) -> 
         drop(tx);
 
         let mut finished = 0usize;
-        for (idx, report) in rx {
-            finished += 1;
-            on_done(finished, total, &jobs[idx].key());
-            slots[idx] = Some(JobResult {
-                id: idx,
-                key: jobs[idx].key(),
-                group: jobs[idx].group(),
-                seed: jobs[idx].derived_seed(),
-                case: jobs[idx].case,
-                kind: jobs[idx].kind,
-                report,
-            });
+        for (idx, outcome) in rx {
+            match outcome {
+                Ok(report) => {
+                    finished += 1;
+                    on_done(finished, total, &jobs[idx].key());
+                    slots[idx] = Some(JobResult {
+                        id: idx,
+                        key: jobs[idx].key(),
+                        group: jobs[idx].group(),
+                        seed: jobs[idx].derived_seed(),
+                        case: jobs[idx].case,
+                        kind: jobs[idx].kind,
+                        report,
+                    });
+                }
+                Err(message) => failures.push((idx, message)),
+            }
         }
     });
 
+    if let Some((id, message)) = failures.into_iter().min_by_key(|(id, _)| *id) {
+        return Err(SweepError::JobPanicked {
+            id,
+            key: jobs[id].key(),
+            message,
+        });
+    }
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} finished without a result")))
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| SweepError::JobLost {
+                id: i,
+                key: jobs[i].key(),
+            })
+        })
         .collect()
 }
 
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    queue.lock().expect("queue poisoned").pop_front()
+    lock_queue(queue).pop_front()
 }
 
 fn steal_other(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
@@ -203,8 +299,12 @@ fn steal_other(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
         .iter()
         .enumerate()
         .filter(|(i, _)| *i != me)
-        .max_by_key(|(i, q)| (q.lock().expect("queue poisoned").len(), usize::MAX - i))?;
-    victim.1.lock().expect("queue poisoned").pop_back()
+        .max_by_key(|(i, q)| (lock_queue(q).len(), usize::MAX - i))?;
+    victim
+        .1
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .pop_back()
 }
 
 /// The standard figure grid: both measured pipelines over each requested
@@ -438,7 +538,7 @@ mod tests {
     fn results_come_back_in_submission_order() {
         let jobs = small_grid();
         let expected: Vec<String> = jobs.iter().map(SweepJob::key).collect();
-        let results = run_sweep(jobs, 4, &silent_progress());
+        let results = run_sweep(jobs, 4, &silent_progress()).expect("sweep ok");
         let got: Vec<String> = results.iter().map(|r| r.key.clone()).collect();
         assert_eq!(got, expected);
         assert!(results.iter().enumerate().all(|(i, r)| r.id == i));
@@ -448,8 +548,8 @@ mod tests {
     fn seeds_depend_on_key_not_schedule() {
         let jobs = small_grid();
         let direct: Vec<u64> = jobs.iter().map(SweepJob::derived_seed).collect();
-        let serial = run_sweep(jobs.clone(), 1, &silent_progress());
-        let wide = run_sweep(jobs, 3, &silent_progress());
+        let serial = run_sweep(jobs.clone(), 1, &silent_progress()).expect("sweep ok");
+        let wide = run_sweep(jobs, 3, &silent_progress()).expect("sweep ok");
         assert_eq!(serial.iter().map(|r| r.seed).collect::<Vec<_>>(), direct);
         assert_eq!(wide.iter().map(|r| r.seed).collect::<Vec<_>>(), direct);
         // Distinct keys get distinct seeds.
@@ -467,7 +567,8 @@ mod tests {
         let total = jobs.len();
         run_sweep(jobs, 2, &|done, of, key| {
             seen.lock().unwrap().push((done, of, key.to_string()));
-        });
+        })
+        .expect("sweep ok");
         let seen = seen.into_inner().unwrap();
         assert_eq!(seen.len(), total);
         assert!(seen.iter().all(|(_, of, _)| *of == total));
@@ -476,7 +577,7 @@ mod tests {
 
     #[test]
     fn comparisons_pair_pipelines_per_case() {
-        let results = run_sweep(small_grid(), 2, &silent_progress());
+        let results = run_sweep(small_grid(), 2, &silent_progress()).expect("sweep ok");
         let cmps = comparisons(&results);
         assert_eq!(
             cmps.iter().map(|c| c.case).collect::<Vec<_>>(),
@@ -489,15 +590,15 @@ mod tests {
 
     #[test]
     fn manifest_is_schedule_invariant() {
-        let a = manifest_json(&run_sweep(small_grid(), 1, &silent_progress()));
-        let b = manifest_json(&run_sweep(small_grid(), 3, &silent_progress()));
+        let a = manifest_json(&run_sweep(small_grid(), 1, &silent_progress()).expect("sweep ok"));
+        let b = manifest_json(&run_sweep(small_grid(), 3, &silent_progress()).expect("sweep ok"));
         assert_eq!(a, b);
         assert!(a.starts_with("{\n  \"schema\": \"greenness-sweep-manifest/v1\""));
     }
 
     #[test]
     fn traced_sweeps_are_schedule_invariant_and_untraced_emit_nothing() {
-        let plain = run_sweep(small_grid(), 2, &silent_progress());
+        let plain = run_sweep(small_grid(), 2, &silent_progress()).expect("sweep ok");
         assert!(sweep_journal(&plain).is_none());
         assert!(sweep_metrics_json(&plain).is_none());
 
@@ -508,8 +609,8 @@ mod tests {
             };
             config_grid(&setup, &[(1, PipelineConfig::small(2))])
         };
-        let serial = run_sweep(traced_grid(), 1, &silent_progress());
-        let wide = run_sweep(traced_grid(), 2, &silent_progress());
+        let serial = run_sweep(traced_grid(), 1, &silent_progress()).expect("sweep ok");
+        let wide = run_sweep(traced_grid(), 2, &silent_progress()).expect("sweep ok");
         let (ja, jb) = (
             sweep_journal(&serial).unwrap(),
             sweep_journal(&wide).unwrap(),
@@ -523,7 +624,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unique keys")]
     fn duplicate_keys_are_rejected() {
         let setup = ExperimentSetup::noiseless();
         let job = SweepJob {
@@ -532,6 +632,66 @@ mod tests {
             cfg: PipelineConfig::small(1),
             setup,
         };
-        run_sweep(vec![job.clone(), job], 2, &silent_progress());
+        let err = run_sweep(vec![job.clone(), job], 2, &silent_progress())
+            .expect_err("duplicates must be rejected");
+        assert!(matches!(err, SweepError::DuplicateKey { .. }));
+        assert!(err.to_string().contains("unique keys"));
+    }
+
+    /// Serializes the tests that swap the global panic hook.
+    static PANIC_HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Run `f` with the default panic hook silenced (the intentional panics
+    /// below happen on worker threads, whose output libtest cannot capture).
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = PANIC_HOOK_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    /// A job whose run panics deterministically: the device is far too small
+    /// for the post-processing pipeline's snapshot writes.
+    fn poisoned_job() -> SweepJob {
+        let mut cfg = PipelineConfig::small(1);
+        cfg.label = "poisoned".into();
+        cfg.device_bytes = 16 * 1024;
+        SweepJob {
+            case: 9,
+            kind: PipelineKind::PostProcessing,
+            cfg,
+            setup: ExperimentSetup::noiseless(),
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_fails_its_batch_as_a_value_not_a_panic() {
+        let err = with_quiet_panics(|| {
+            let mut jobs = small_grid();
+            jobs.insert(1, poisoned_job());
+            run_sweep(jobs, 3, &silent_progress()).expect_err("bad job must surface")
+        });
+        match &err {
+            SweepError::JobPanicked { id, key, .. } => {
+                assert_eq!(*id, 1);
+                assert!(key.contains("poisoned"), "key {key}");
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn a_panicking_batch_does_not_poison_later_sweeps() {
+        // The server-relevant guarantee: after a request's batch fails, the
+        // next request's batch runs normally — no cascaded poisoning.
+        let bad = with_quiet_panics(|| run_sweep(vec![poisoned_job()], 1, &silent_progress()));
+        assert!(bad.is_err());
+        let good = run_sweep(small_grid(), 2, &silent_progress()).expect("healthy batch runs");
+        assert_eq!(good.len(), 6);
     }
 }

@@ -1,0 +1,184 @@
+//! Admission control: a bounded waiting room in front of a fixed number of
+//! execution slots.
+//!
+//! A request either gets a slot immediately, waits in a queue of bounded
+//! depth, or is shed with a structured error: [`Denial::Overloaded`] when
+//! the queue is already full, [`Denial::DeadlineExceeded`] when its
+//! per-request deadline elapses while queued, and [`Denial::ShuttingDown`]
+//! once the server begins draining (waiters are woken and turned away, but
+//! requests already holding a slot run to completion — that is the drain).
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why admission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Denial {
+    /// The waiting queue is full; the request was shed immediately.
+    Overloaded,
+    /// The request's deadline elapsed before a slot freed up.
+    DeadlineExceeded,
+    /// The gate is draining; no new admissions.
+    ShuttingDown,
+}
+
+#[derive(Debug)]
+struct GateState {
+    active: usize,
+    waiting: usize,
+    shutting_down: bool,
+}
+
+/// The admission gate. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct Gate {
+    slots: usize,
+    queue_depth: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+/// An execution slot, released on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    /// A gate with `slots` concurrent executions and at most `queue_depth`
+    /// waiters.
+    pub fn new(slots: usize, queue_depth: usize) -> Gate {
+        Gate {
+            slots: slots.max(1),
+            queue_depth,
+            state: Mutex::new(GateState {
+                active: 0,
+                waiting: 0,
+                shutting_down: false,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquire a slot, waiting up to `deadline` (forever when `None`).
+    pub fn admit(&self, deadline: Option<Duration>) -> Result<Permit<'_>, Denial> {
+        let mut state = self.state.lock().expect("gate lock");
+        if state.shutting_down {
+            return Err(Denial::ShuttingDown);
+        }
+        if state.active < self.slots {
+            state.active += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.waiting >= self.queue_depth {
+            return Err(Denial::Overloaded);
+        }
+        state.waiting += 1;
+        let expires = deadline.map(|d| Instant::now() + d);
+        loop {
+            state = match expires {
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        state.waiting -= 1;
+                        return Err(Denial::DeadlineExceeded);
+                    }
+                    let (guard, _) = self.freed.wait_timeout(state, at - now).expect("gate lock");
+                    guard
+                }
+                None => self.freed.wait(state).expect("gate lock"),
+            };
+            if state.shutting_down {
+                state.waiting -= 1;
+                return Err(Denial::ShuttingDown);
+            }
+            if state.active < self.slots {
+                state.waiting -= 1;
+                state.active += 1;
+                return Ok(Permit { gate: self });
+            }
+        }
+    }
+
+    /// Begin draining: refuse new admissions and wake every waiter so it can
+    /// observe the shutdown. Slots already granted stay valid.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("gate lock");
+        state.shutting_down = true;
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("gate lock");
+        state.active -= 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn slots_then_queue_then_shed() {
+        let gate = Gate::new(1, 0);
+        let held = gate.admit(None).expect("first admission");
+        // Slot busy, queue depth 0: immediate shed.
+        assert_eq!(
+            gate.admit(Some(Duration::from_secs(5))).unwrap_err(),
+            Denial::Overloaded
+        );
+        drop(held);
+        gate.admit(None).expect("slot freed");
+    }
+
+    #[test]
+    fn queued_requests_time_out() {
+        let gate = Gate::new(1, 4);
+        let _held = gate.admit(None).expect("first admission");
+        let start = Instant::now();
+        let denial = gate.admit(Some(Duration::from_millis(30))).unwrap_err();
+        assert_eq!(denial, Denial::DeadlineExceeded);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters_and_refuses_new_work() {
+        let gate = Arc::new(Gate::new(1, 4));
+        let held = gate.admit(None).expect("first admission");
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit(Some(Duration::from_secs(10))).map(|_| ()))
+        };
+        // Let the waiter park, then drain.
+        std::thread::sleep(Duration::from_millis(50));
+        gate.shutdown();
+        assert_eq!(
+            waiter.join().expect("no panic").unwrap_err(),
+            Denial::ShuttingDown
+        );
+        assert_eq!(gate.admit(None).unwrap_err(), Denial::ShuttingDown);
+        drop(held); // in-flight work still completes and releases cleanly
+    }
+
+    #[test]
+    fn freed_slot_goes_to_a_waiter() {
+        let gate = Arc::new(Gate::new(1, 1));
+        let held = gate.admit(None).expect("first admission");
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let permit = gate.admit(Some(Duration::from_secs(10)));
+                permit.map(|_| ()).is_ok()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        drop(held);
+        assert!(waiter.join().expect("no panic"));
+    }
+}

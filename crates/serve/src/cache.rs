@@ -1,0 +1,168 @@
+//! Content-addressed result cache: a strict-LRU map from request digests to
+//! serialized result payloads, bounded by a byte budget.
+//!
+//! The budget counts **payload bytes only** and is exact: after any insert,
+//! the sum of stored payload lengths never exceeds the budget, with
+//! least-recently-used entries evicted first. A payload larger than the
+//! whole budget is rejected outright (never stored, never evicts others).
+//! Hit / miss / eviction / rejection counts are kept here and surfaced
+//! through the service's `MetricsRegistry`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Cache key: a BLAKE2s-256 digest of the canonicalized request.
+pub type Key = [u8; 32];
+
+/// The LRU cache. Not thread-safe by itself; the service wraps it in a
+/// mutex.
+pub struct ResultCache {
+    budget: usize,
+    bytes: usize,
+    /// Recency order, front = least recently used.
+    order: VecDeque<Key>,
+    map: HashMap<Key, Vec<u8>>,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts refused because the payload alone exceeds the budget.
+    pub rejected: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `budget` payload bytes.
+    pub fn new(budget: usize) -> ResultCache {
+        ResultCache {
+            budget,
+            bytes: 0,
+            order: VecDeque::new(),
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Payload bytes currently stored.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &Key) -> Option<&[u8]> {
+        if self.map.contains_key(key) {
+            self.hits += 1;
+            self.touch(key);
+            self.map.get(key).map(Vec::as_slice)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Insert `value` under `key` as the most recently used entry, evicting
+    /// LRU entries until the byte budget holds.
+    pub fn insert(&mut self, key: Key, value: Vec<u8>) {
+        if value.len() > self.budget {
+            self.rejected += 1;
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.len();
+            self.order.retain(|k| k != &key);
+        }
+        self.bytes += value.len();
+        self.map.insert(key, value);
+        self.order.push_back(key);
+        while self.bytes > self.budget {
+            let lru = self.order.pop_front().expect("over budget implies entries");
+            let evicted = self.map.remove(&lru).expect("order tracks the map");
+            self.bytes -= evicted.len();
+            self.evictions += 1;
+        }
+    }
+
+    fn touch(&mut self, key: &Key) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(*key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> Key {
+        [n; 32]
+    }
+
+    #[test]
+    fn byte_budget_is_exact() {
+        let mut c = ResultCache::new(100);
+        c.insert(key(1), vec![0; 40]);
+        c.insert(key(2), vec![0; 40]);
+        assert_eq!(c.bytes(), 80);
+        // 40 + 40 + 30 = 110 > 100: exactly one eviction brings it to 70.
+        c.insert(key(3), vec![0; 30]);
+        assert_eq!(c.bytes(), 70);
+        assert_eq!(c.evictions, 1);
+        assert!(c.get(&key(1)).is_none(), "oldest entry evicted");
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        // A boundary-exact insert fits with zero headroom and no eviction.
+        let mut exact = ResultCache::new(10);
+        exact.insert(key(9), vec![0; 10]);
+        assert_eq!(exact.bytes(), 10);
+        assert_eq!(exact.evictions, 0);
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let mut c = ResultCache::new(100);
+        c.insert(key(1), vec![0; 40]);
+        c.insert(key(2), vec![0; 40]);
+        assert!(c.get(&key(1)).is_some()); // 1 becomes most recent
+        c.insert(key(3), vec![0; 40]); // must evict 2, not 1
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(1)).is_some());
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_not_thrashed() {
+        let mut c = ResultCache::new(50);
+        c.insert(key(1), vec![0; 30]);
+        c.insert(key(2), vec![0; 51]);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.evictions, 0, "a rejected insert must not evict");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = ResultCache::new(100);
+        c.insert(key(1), vec![0; 60]);
+        c.insert(key(1), vec![1; 30]);
+        assert_eq!(c.bytes(), 30);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)).unwrap(), &[1u8; 30][..]);
+    }
+}

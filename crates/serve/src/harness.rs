@@ -1,0 +1,303 @@
+//! The `bench-serve` load harness: a deterministic replay mode plus closed-
+//! and open-loop live load generation.
+//!
+//! **Replay** (`--replay`) is the determinism anchor: a fixed request
+//! sequence driven straight through an in-process [`Service`] on one
+//! thread, producing a response log and a metrics snapshot that are
+//! byte-identical across runs *and* across `--jobs` values (the sweep
+//! executor guarantees value determinism; the service keeps every
+//! schedule-dependent quantity — wall-clock latency above all — out of its
+//! own registry, recording simulated `serve.virtual_s` instead).
+//!
+//! **Live** modes drive a running server over TCP. Closed-loop: each
+//! connection fires its next request when the previous response lands —
+//! measures service capacity. Open-loop: requests are launched on a fixed
+//! schedule and latency is measured from the *scheduled* send time, so
+//! queueing delay is charged to the server (no coordinated omission).
+
+use std::time::Instant;
+
+use greenness_trace::{metrics_file_json, Histogram};
+
+use crate::client::Client;
+use crate::json::Json;
+use crate::protocol::SCHEMA;
+use crate::service::{Service, ServiceConfig};
+
+/// The fixed request mix. Templates repeat as the workload cycles, so any
+/// run longer than one cycle exercises the cache.
+const TEMPLATES: &[&str] = &[
+    r#""op":"run","params":{"pipeline":"post","case":1}"#,
+    r#""op":"compare","params":{"case":1}"#,
+    r#""op":"run","params":{"pipeline":"insitu","case":1}"#,
+    r#""op":"advisor","params":{"pass_bytes":4294967296,"passes":2,"pattern":"random"}"#,
+    r#""op":"compare","params":{"case":1}"#,
+    r#""op":"whatif","params":{"bytes":1073741824}"#,
+    r#""op":"run","params":{"pipeline":"post","case":1}"#,
+    r#""op":"sweep","params":{"cases":[1,2]}"#,
+    r#""op":"compare","params":{"case":2}"#,
+    r#""op":"advisor","params":{"pattern":"sequential","passes":10,"min_keep_fraction":0.2}"#,
+];
+
+/// The deterministic benchmark workload: `n` request lines with sequential
+/// ids over the cycling template mix.
+pub fn replay_workload(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "{{\"schema\":\"{SCHEMA}\",\"id\":{i},{}}}",
+                TEMPLATES[i % TEMPLATES.len()]
+            )
+        })
+        .collect()
+}
+
+/// What one replay run produced.
+pub struct ReplayOutput {
+    /// All response lines, newline-terminated, in request order.
+    pub responses: String,
+    /// The service metrics as a `greenness-metrics/v1` file.
+    pub metrics: String,
+}
+
+/// Drive `requests` sequentially through a fresh in-process service.
+/// Single-threaded by construction (request side); `config.jobs` still
+/// parallelizes inside `sweep` requests without affecting any output byte.
+pub fn run_replay(config: ServiceConfig, requests: &[String]) -> ReplayOutput {
+    let service = Service::new(config);
+    let mut responses = String::new();
+    for request in requests {
+        responses.push_str(&service.handle_line(request).line);
+        responses.push('\n');
+    }
+    let metrics = metrics_file_json(&[("serve".to_string(), service.metrics_clone())]);
+    ReplayOutput { responses, metrics }
+}
+
+/// Live load-generation mode.
+#[derive(Debug, Clone, Copy)]
+pub enum LoadMode {
+    /// Each connection sends its next request as soon as the previous
+    /// response arrives.
+    Closed,
+    /// Requests launch on a fixed schedule at this aggregate rate.
+    Open {
+        /// Target request rate, requests per second.
+        rate_rps: f64,
+    },
+}
+
+/// Aggregated results of one live load run.
+pub struct LoadReport {
+    /// The mode that ran.
+    pub mode: LoadMode,
+    /// Requests sent.
+    pub requests: usize,
+    /// Connections used.
+    pub conns: usize,
+    /// Responses with `"ok":true`.
+    pub ok: usize,
+    /// Error responses (including shed requests — expected under open-loop
+    /// overload).
+    pub errors: usize,
+    /// Wall-clock of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Client-side latency quantiles, milliseconds. Closed-loop: response
+    /// minus send. Open-loop: response minus *scheduled* send.
+    pub p50_ms: f64,
+    /// 90th percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// `serve.cache.hits` after the run.
+    pub cache_hits: u64,
+    /// `serve.cache.misses` after the run.
+    pub cache_misses: u64,
+}
+
+impl LoadReport {
+    /// Cache hit rate over the run, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// One-line JSON rendering for the CLI.
+    pub fn to_json(&self) -> String {
+        use greenness_trace::fmt_f64;
+        let mode = match self.mode {
+            LoadMode::Closed => "\"closed\"".to_string(),
+            LoadMode::Open { rate_rps } => {
+                format!("{{\"open\":{{\"rate_rps\":{}}}}}", fmt_f64(rate_rps))
+            }
+        };
+        format!(
+            "{{\"mode\":{mode},\"requests\":{},\"conns\":{},\"ok\":{},\"errors\":{},\"elapsed_s\":{},\"throughput_rps\":{},\"latency_ms\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}}}}",
+            self.requests,
+            self.conns,
+            self.ok,
+            self.errors,
+            fmt_f64(self.elapsed_s),
+            fmt_f64(self.requests as f64 / self.elapsed_s.max(1e-9)),
+            fmt_f64(self.p50_ms),
+            fmt_f64(self.p90_ms),
+            fmt_f64(self.p99_ms),
+            self.cache_hits,
+            self.cache_misses,
+            fmt_f64(self.hit_rate())
+        )
+    }
+}
+
+/// Drive `requests` benchmark requests at a live server over `conns`
+/// connections and measure client-side latency.
+pub fn run_load(
+    addr: &str,
+    requests: usize,
+    conns: usize,
+    mode: LoadMode,
+) -> std::io::Result<LoadReport> {
+    let conns = conns.clamp(1, requests.max(1));
+    let workload = replay_workload(requests);
+    let start = Instant::now();
+    let mut per_conn: Vec<(usize, Vec<f64>)> = Vec::new(); // (ok, latencies_ms)
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for c in 0..conns {
+            let workload = &workload;
+            handles.push(scope.spawn(move || -> std::io::Result<(usize, Vec<f64>)> {
+                let mut client = Client::connect(addr)?;
+                let mut ok = 0usize;
+                let mut latencies = Vec::new();
+                for (i, request) in workload.iter().enumerate() {
+                    if i % conns != c {
+                        continue;
+                    }
+                    let scheduled = match mode {
+                        LoadMode::Closed => Instant::now(),
+                        LoadMode::Open { rate_rps } => {
+                            let at = start
+                                + std::time::Duration::from_secs_f64(i as f64 / rate_rps.max(1e-9));
+                            if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            at
+                        }
+                    };
+                    let response = client.roundtrip(request)?;
+                    latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    if response.contains("\"ok\":true") {
+                        ok += 1;
+                    }
+                }
+                Ok((ok, latencies))
+            }));
+        }
+        for handle in handles {
+            per_conn.push(handle.join().expect("load thread must not panic")?);
+        }
+        Ok(())
+    })?;
+
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let ok: usize = per_conn.iter().map(|(k, _)| k).sum();
+    let mut latency = Histogram::default();
+    for (_, ms) in &per_conn {
+        for &v in ms {
+            latency.observe(v);
+        }
+    }
+    let (hits, misses) = fetch_cache_counters(addr)?;
+    Ok(LoadReport {
+        mode,
+        requests,
+        conns,
+        ok,
+        errors: requests - ok,
+        elapsed_s,
+        p50_ms: latency.quantile(0.50),
+        p90_ms: latency.quantile(0.90),
+        p99_ms: latency.quantile(0.99),
+        cache_hits: hits,
+        cache_misses: misses,
+    })
+}
+
+fn fetch_cache_counters(addr: &str) -> std::io::Result<(u64, u64)> {
+    let line = crate::client::query(
+        addr,
+        &format!("{{\"schema\":\"{SCHEMA}\",\"op\":\"metrics\"}}"),
+    )?;
+    let doc =
+        Json::parse(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let counter = |name: &str| {
+        doc.get("result")
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    Ok((counter("serve.cache.hits"), counter("serve.cache.misses")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_repeats_templates() {
+        let a = replay_workload(25);
+        let b = replay_workload(25);
+        assert_eq!(a, b);
+        // Same template, different ids, ten positions apart.
+        assert_ne!(a[0], a[10]);
+        assert!(a[0].contains("\"id\":0"));
+        assert!(a[10].contains("\"id\":10"));
+    }
+
+    #[test]
+    fn replay_is_byte_identical_across_runs_and_jobs() {
+        let requests = replay_workload(12);
+        let base = ServiceConfig {
+            jobs: 1,
+            ..ServiceConfig::default()
+        };
+        let again = run_replay(base, &requests);
+        let first = run_replay(base, &requests);
+        assert_eq!(first.responses, again.responses);
+        assert_eq!(first.metrics, again.metrics);
+        let wide = run_replay(
+            ServiceConfig {
+                jobs: 8,
+                ..ServiceConfig::default()
+            },
+            &requests,
+        );
+        assert_eq!(
+            first.responses, wide.responses,
+            "jobs must not leak into responses"
+        );
+        assert_eq!(
+            first.metrics, wide.metrics,
+            "jobs must not leak into metrics"
+        );
+    }
+
+    #[test]
+    fn replay_exercises_the_cache() {
+        let requests = replay_workload(20); // two full template cycles
+        let out = run_replay(ServiceConfig::default(), &requests);
+        assert!(
+            out.metrics.contains("\"serve.cache.hits\""),
+            "hits counter missing:\n{}",
+            out.metrics
+        );
+        assert_eq!(out.responses.lines().count(), 20);
+        assert!(out.responses.lines().all(|l| l.contains("\"ok\":true")));
+    }
+}

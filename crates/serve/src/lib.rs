@@ -1,0 +1,44 @@
+//! `greenness-serve` — a query service over the energy lab.
+//!
+//! The repo's analyses (`run`, `compare`, `whatif`, `advisor`, `sweep`) are
+//! deterministic pure functions of their request, which makes them ideal
+//! candidates for **content-addressed serving**: hash the canonicalized
+//! request, cache the serialized result, and answer repeats without
+//! recomputing. This crate provides the whole stack:
+//!
+//! * [`json`] — nested JSON parsing plus the canonical serialization used
+//!   as the content-addressing pre-image (sorted keys, normalized numbers);
+//! * [`hash`] — BLAKE2s-256 (RFC 7693), implemented in-repo;
+//! * [`cache`] — a byte-budgeted strict-LRU result cache with hit / miss /
+//!   eviction / rejection counters;
+//! * [`protocol`] — the `greenness-serve/v1` newline-delimited JSON wire
+//!   format and its structured error codes;
+//! * [`admission`] — bounded-queue admission control with per-request
+//!   deadlines and load shedding;
+//! * [`service`] — the request handlers, wired cache → gate → analysis;
+//! * [`server`] / [`client`] — the TCP front end and a blocking client;
+//! * [`harness`] — the `bench-serve` load harness, including the
+//!   deterministic single-threaded `--replay` mode whose response log and
+//!   metrics snapshot are byte-identical across runs and `--jobs` values.
+//!
+//! The cache is the serving-layer analogue of the paper's static-energy
+//! observation: most of a query's cost is work that does not need to be
+//! redone, so the marginal energy of a warm query is near zero. See
+//! EXPERIMENTS.md ("Serving and the static-energy argument").
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod harness;
+pub mod hash;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::ResultCache;
+pub use client::{query, Client};
+pub use harness::{replay_workload, run_load, run_replay, LoadMode, LoadReport, ReplayOutput};
+pub use protocol::{ErrorCode, SCHEMA};
+pub use server::Server;
+pub use service::{Service, ServiceConfig};

@@ -1,0 +1,232 @@
+//! The `greenness-serve/v1` wire protocol: newline-delimited JSON.
+//!
+//! Request: `{"schema":"greenness-serve/v1","id":1,"op":"compare",
+//! "params":{...},"deadline_ms":2000}`. `id` (any scalar) and `deadline_ms`
+//! are **non-semantic**: they are echoed / enforced but stripped before the
+//! request is canonicalized and hashed, so retries with fresh ids still hit
+//! the cache.
+//!
+//! Response envelopes — deliberately WITHOUT any cached/fresh marker, so a
+//! repeated request is answered byte-identically whether it hit the cache
+//! or not (hits are observable only through the metrics counters):
+//!
+//! * ok:    `{"schema":"greenness-serve/v1","id":1,"ok":true,"result":{...}}`
+//! * error: `{"schema":"greenness-serve/v1","id":1,"ok":false,
+//!           "error":{"code":"overloaded","message":"..."}}`
+
+use greenness_trace::escape_json;
+
+use crate::hash::blake2s256;
+use crate::json::Json;
+
+/// The protocol schema tag, required on every request.
+pub const SCHEMA: &str = "greenness-serve/v1";
+
+/// Structured error codes of the `greenness-serve/v1` protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON, unknown op, or invalid parameters.
+    BadRequest,
+    /// Admission queue full: the request was shed, try again later.
+    Overloaded,
+    /// The request's `deadline_ms` elapsed while it was queued.
+    DeadlineExceeded,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+    /// The analysis itself failed.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire label of this code.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed, validated request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The raw JSON of the client's `id`, echoed verbatim (`"null"` when
+    /// absent).
+    pub id: String,
+    /// The operation name.
+    pub op: String,
+    /// The op's parameter object (empty object when absent).
+    pub params: Json,
+    /// Queueing deadline, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Content address: BLAKE2s-256 of the canonical request minus the
+    /// non-semantic `id` / `deadline_ms` members.
+    pub cache_key: [u8; 32],
+}
+
+/// Parse one request line. On error, returns the best-effort echoed id and
+/// a message for a `bad_request` reply.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let no_id = || "null".to_string();
+    let doc = Json::parse(line).map_err(|e| (no_id(), format!("malformed JSON: {e}")))?;
+    let members = match &doc {
+        Json::Obj(members) => members,
+        _ => return Err((no_id(), "request must be a JSON object".to_string())),
+    };
+    let id = doc.get("id").map_or_else(no_id, Json::to_string_raw);
+    match doc.get("id") {
+        None | Some(Json::Null | Json::Num(_) | Json::Str(_)) => {}
+        Some(_) => {
+            return Err((no_id(), "id must be a scalar".to_string()));
+        }
+    }
+    let err = |msg: &str| (id.clone(), msg.to_string());
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(err(&format!("unsupported schema '{s}' (want {SCHEMA})"))),
+        None => return Err(err(&format!("missing schema (want \"{SCHEMA}\")"))),
+    }
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("missing op"))?
+        .to_string();
+    let params = match doc.get("params") {
+        None => Json::Obj(Vec::new()),
+        Some(p @ Json::Obj(_)) => p.clone(),
+        Some(_) => return Err(err("params must be an object")),
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| err("deadline_ms must be a non-negative integer"))?,
+        ),
+    };
+    let semantic = Json::Obj(
+        members
+            .iter()
+            .filter(|(k, _)| k != "id" && k != "deadline_ms")
+            .cloned()
+            .collect(),
+    );
+    let cache_key = blake2s256(semantic.to_canonical().as_bytes());
+    Ok(Request {
+        id,
+        op,
+        params,
+        deadline_ms,
+        cache_key,
+    })
+}
+
+/// A success envelope. `result` must already be serialized JSON.
+pub fn ok_line(id: &str, result: &str) -> String {
+    format!("{{\"schema\":\"{SCHEMA}\",\"id\":{id},\"ok\":true,\"result\":{result}}}")
+}
+
+/// An error envelope.
+pub fn error_line(id: &str, code: ErrorCode, message: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        code.label(),
+        escape_json(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ids_and_deadlines_do_not_change_the_cache_key() {
+        let a = parse_request(
+            r#"{"schema":"greenness-serve/v1","id":1,"op":"run","params":{"case":2}}"#,
+        )
+        .unwrap();
+        let b = parse_request(
+            r#"{"schema":"greenness-serve/v1","id":"retry-99","deadline_ms":50,"op":"run","params":{"case":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(a.cache_key, b.cache_key);
+        assert_eq!(a.id, "1");
+        assert_eq!(b.id, "\"retry-99\"");
+        assert_eq!(b.deadline_ms, Some(50));
+    }
+
+    #[test]
+    fn different_params_change_the_cache_key() {
+        let a = parse_request(r#"{"schema":"greenness-serve/v1","op":"run","params":{"case":1}}"#)
+            .unwrap();
+        let b = parse_request(r#"{"schema":"greenness-serve/v1","op":"run","params":{"case":2}}"#)
+            .unwrap();
+        assert_ne!(a.cache_key, b.cache_key);
+    }
+
+    #[test]
+    fn schema_is_mandatory() {
+        let (_, msg) = parse_request(r#"{"op":"run"}"#).unwrap_err();
+        assert!(msg.contains("schema"), "{msg}");
+    }
+
+    #[test]
+    fn envelopes_are_wellformed_json() {
+        let ok = ok_line("7", "{\"x\":1}");
+        let err = error_line("null", ErrorCode::Overloaded, "queue \"full\"");
+        for line in [&ok, &err] {
+            crate::json::Json::parse(line).expect("envelope parses");
+        }
+        assert!(err.contains("\"code\":\"overloaded\""));
+    }
+
+    /// Build a request JSON string with the given member order.
+    fn request_with_order(pairs: &[(String, u64)], rotate: usize) -> String {
+        let mut members: Vec<String> = pairs.iter().map(|(k, v)| format!("\"p{k}\":{v}")).collect();
+        let len = members.len().max(1);
+        members.rotate_left(rotate % len);
+        format!(
+            "{{\"op\":\"run\",\"schema\":\"{SCHEMA}\",\"params\":{{{}}}}}",
+            members.join(",")
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn cache_key_is_stable_under_member_reordering(
+            keys in prop::collection::vec((0u64..1000, 0u64..1_000_000), 1..8),
+            rotate in 0usize..8,
+        ) {
+            // Dedup keys so both spellings describe the same object.
+            let mut pairs: Vec<(String, u64)> = keys
+                .into_iter()
+                .map(|(k, v)| (format!("{k}"), v))
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            pairs.dedup_by(|a, b| a.0 == b.0);
+            let natural = request_with_order(&pairs, 0);
+            let shuffled = request_with_order(&pairs, rotate);
+            let a = parse_request(&natural).expect("natural parses");
+            let b = parse_request(&shuffled).expect("shuffled parses");
+            prop_assert_eq!(a.cache_key, b.cache_key);
+        }
+
+        #[test]
+        fn cache_key_distinguishes_values(
+            k in 0u64..50,
+            v1 in 0u64..1_000_000,
+            delta in 1u64..1_000_000,
+        ) {
+            let a = request_with_order(&[(format!("{k}"), v1)], 0);
+            let b = request_with_order(&[(format!("{k}"), v1 + delta)], 0);
+            let ra = parse_request(&a).expect("parses");
+            let rb = parse_request(&b).expect("parses");
+            prop_assert_ne!(ra.cache_key, rb.cache_key);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The TCP front end: one listener, one thread per connection, newline-
+//! delimited JSON both ways.
+//!
+//! Shutdown discipline: a granted `shutdown` op (or [`Server::shutdown`])
+//! first closes the admission gate — queued requests are turned away with
+//! `shutting_down`, in-flight ones run to completion — then raises the stop
+//! flag. Connection threads notice the flag at their next read timeout and
+//! hang up *between* responses; every response is written with a single
+//! `write_all`, so output is never torn even mid-drain.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::service::{Service, ServiceConfig};
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// stop flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or send a `shutdown` op) and then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving in background threads.
+    pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(Service::new(config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, service, stop))
+        };
+        Ok(Server {
+            addr,
+            service,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (the ephemeral port lives here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (tests read its metrics).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Begin draining: close the gate, then raise the stop flag.
+    pub fn shutdown(&self) {
+        self.service.gate().shutdown();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait until the accept loop and every connection thread exit.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Block the calling thread until the server is asked to stop, then
+    /// drain. This is what `greenness serve` does after printing the
+    /// address.
+    pub fn run_to_completion(self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(READ_TICK);
+        }
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<Service>, stop: Arc<AtomicBool>) {
+    let conns: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || connection_loop(stream, &service, &stop));
+                conns.lock().expect("conn list lock").push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(_) => break,
+        }
+    }
+    for handle in conns.into_inner().expect("conn list lock") {
+        let _ = handle.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    // A plain byte accumulator instead of BufReader: a buffered reader may
+    // hold a partial line across a read *timeout*, and we need timeouts to
+    // poll the stop flag without dropping bytes.
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client hung up
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let outcome = service.handle_line(trimmed);
+                    let mut response = outcome.line.into_bytes();
+                    response.push(b'\n');
+                    if stream.write_all(&response).is_err() {
+                        return;
+                    }
+                    if outcome.shutdown {
+                        let _ = stream.flush();
+                        service.gate().shutdown();
+                        stop.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

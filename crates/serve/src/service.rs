@@ -1,0 +1,614 @@
+//! The query service: request handlers over the lab's analyses, fronted by
+//! the content-addressed cache and the admission gate.
+//!
+//! Handling order is deliberate: parse → control ops (`metrics`,
+//! `shutdown`) → **cache lookup** → admission → execute → cache insert.
+//! Cache hits are answered before touching the gate, so a warm working set
+//! keeps serving at full speed even when every execution slot is busy — the
+//! serving-layer analogue of the paper's static-energy argument: work you
+//! don't redo is energy you don't spend.
+//!
+//! Every response for a given request id is byte-identical whether it was
+//! computed or replayed from cache; hits are visible only in the
+//! `serve.cache.*` counters.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use greenness_core::advisor::{self, IoBehavior, WorkloadProfile};
+use greenness_core::sweep;
+use greenness_core::whatif::WhatIfAnalysis;
+use greenness_core::{CaseComparison, ExperimentSetup, PipelineConfig, PipelineKind};
+use greenness_power::GreenMetrics;
+use greenness_trace::fmt_f64;
+use greenness_trace::MetricsRegistry;
+
+use crate::admission::{Denial, Gate};
+use crate::cache::ResultCache;
+use crate::json::Json;
+use crate::protocol::{self, ErrorCode, Request};
+
+/// Tuning knobs of one service instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads for `sweep` requests. Changes wall-clock only — sweep
+    /// results are bit-identical for any value (PR-1 executor guarantee).
+    pub jobs: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Concurrent execution slots.
+    pub slots: usize,
+    /// Bounded waiting-room depth; a request arriving beyond it is shed.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            jobs: 4,
+            cache_bytes: 1 << 20,
+            slots: 4,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// One handled request: the response line (no trailing newline) plus
+/// whether the request asked the server to drain.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The NDJSON response line.
+    pub line: String,
+    /// `true` for a granted `shutdown` op.
+    pub shutdown: bool,
+}
+
+/// The shared service state behind every connection.
+pub struct Service {
+    config: ServiceConfig,
+    cache: Mutex<ResultCache>,
+    gate: Gate,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+impl Service {
+    /// A fresh service.
+    pub fn new(config: ServiceConfig) -> Service {
+        Service {
+            cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+            gate: Gate::new(config.slots, config.queue_depth),
+            metrics: Mutex::new(MetricsRegistry::default()),
+            config,
+        }
+    }
+
+    /// The admission gate (the server drains through it on shutdown).
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// Snapshot of the service metrics registry.
+    pub fn metrics_clone(&self) -> MetricsRegistry {
+        self.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// Handle one request line and produce one response line.
+    pub fn handle_line(&self, line: &str) -> Outcome {
+        let req = match protocol::parse_request(line) {
+            Ok(req) => req,
+            Err((id, msg)) => {
+                self.count("serve.bad_request");
+                return Outcome {
+                    line: protocol::error_line(&id, ErrorCode::BadRequest, &msg),
+                    shutdown: false,
+                };
+            }
+        };
+        // Control ops bypass cache, admission, and the request counters so
+        // that observing the service never perturbs what is observed.
+        match req.op.as_str() {
+            "metrics" => {
+                let body = self.metrics.lock().expect("metrics lock").to_json();
+                return Outcome {
+                    line: protocol::ok_line(&req.id, &body),
+                    shutdown: false,
+                };
+            }
+            "shutdown" => {
+                return Outcome {
+                    line: protocol::ok_line(&req.id, "{\"status\":\"draining\"}"),
+                    shutdown: true,
+                };
+            }
+            _ => {}
+        }
+        self.count("serve.requests");
+
+        // Cache first: hits never burn an execution slot.
+        if let Some(payload) = self.cache_get(&req.cache_key) {
+            self.count("serve.cache.hits");
+            return Outcome {
+                line: protocol::ok_line(&req.id, &payload),
+                shutdown: false,
+            };
+        }
+        self.count("serve.cache.misses");
+
+        let deadline = req.deadline_ms.map(Duration::from_millis);
+        let _permit = match self.gate.admit(deadline) {
+            Ok(permit) => permit,
+            Err(denial) => {
+                let (counter, code, msg) = match denial {
+                    Denial::Overloaded => (
+                        "serve.shed.overloaded",
+                        ErrorCode::Overloaded,
+                        "admission queue full; retry later",
+                    ),
+                    Denial::DeadlineExceeded => (
+                        "serve.shed.deadline",
+                        ErrorCode::DeadlineExceeded,
+                        "deadline elapsed while queued",
+                    ),
+                    Denial::ShuttingDown => (
+                        "serve.shed.shutting_down",
+                        ErrorCode::ShuttingDown,
+                        "server is draining",
+                    ),
+                };
+                self.count(counter);
+                return Outcome {
+                    line: protocol::error_line(&req.id, code, msg),
+                    shutdown: false,
+                };
+            }
+        };
+
+        match self.execute(&req) {
+            Ok((result, virtual_s)) => {
+                self.count("serve.ok");
+                if virtual_s > 0.0 {
+                    // Deterministic cost accounting: simulated seconds the
+                    // request cost to compute, observed only on misses — the
+                    // replay harness's stand-in for wall-clock latency.
+                    let mut m = self.metrics.lock().expect("metrics lock");
+                    m.observe("serve.virtual_s", virtual_s);
+                }
+                self.cache_put(req.cache_key, result.as_bytes().to_vec());
+                Outcome {
+                    line: protocol::ok_line(&req.id, &result),
+                    shutdown: false,
+                }
+            }
+            Err((code, msg)) => {
+                self.count("serve.err");
+                Outcome {
+                    line: protocol::error_line(&req.id, code, &msg),
+                    shutdown: false,
+                }
+            }
+        }
+    }
+
+    fn count(&self, name: &'static str) {
+        self.metrics.lock().expect("metrics lock").incr(name, 1);
+    }
+
+    fn cache_get(&self, key: &[u8; 32]) -> Option<String> {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache
+            .get(key)
+            .map(|bytes| String::from_utf8(bytes.to_vec()).expect("cached payloads are JSON"))
+    }
+
+    fn cache_put(&self, key: [u8; 32], payload: Vec<u8>) {
+        let (evictions, rejected) = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let before = (cache.evictions, cache.rejected);
+            cache.insert(key, payload);
+            (cache.evictions - before.0, cache.rejected - before.1)
+        };
+        if evictions + rejected > 0 {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            m.incr("serve.cache.evictions", evictions);
+            m.incr("serve.cache.rejected", rejected);
+        }
+    }
+
+    /// Dispatch to the op handler. Returns the serialized result plus the
+    /// simulated seconds the computation covered.
+    fn execute(&self, req: &Request) -> Result<(String, f64), (ErrorCode, String)> {
+        match req.op.as_str() {
+            "run" => op_run(&req.params),
+            "compare" => op_compare(&req.params),
+            "whatif" => op_whatif(&req.params),
+            "advisor" => op_advisor(&req.params),
+            "sweep" => op_sweep(&req.params, self.config.jobs),
+            other => Err((
+                ErrorCode::BadRequest,
+                format!("unknown op '{other}' (expected run|compare|whatif|advisor|sweep|metrics|shutdown)"),
+            )),
+        }
+    }
+}
+
+type OpResult = Result<(String, f64), (ErrorCode, String)>;
+
+fn bad(msg: impl Into<String>) -> (ErrorCode, String) {
+    (ErrorCode::BadRequest, msg.into())
+}
+
+/// The case-study workload at the requested scale. `"small"` (default) is
+/// the millisecond-scale 64×64 grid with the paper's I/O cadence
+/// (interval 1/2/8 for cases 1/2/3); `"paper"` is the full §IV-C workload.
+fn workload(params: &Json) -> Result<(u32, PipelineConfig), (ErrorCode, String)> {
+    let case = match params.get("case") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .filter(|n| (1..=3).contains(n))
+            .ok_or_else(|| bad("case must be 1, 2, or 3"))? as u32,
+    };
+    let scale = match params.get("scale") {
+        None => "small",
+        Some(v) => v.as_str().ok_or_else(|| bad("scale must be a string"))?,
+    };
+    let cfg = match scale {
+        "small" => PipelineConfig::small(match case {
+            1 => 1,
+            2 => 2,
+            _ => 8,
+        }),
+        "paper" => PipelineConfig::case_study(case),
+        other => {
+            return Err(bad(format!(
+                "unknown scale '{other}' (expected small|paper)"
+            )))
+        }
+    };
+    Ok((case, cfg))
+}
+
+fn metrics_json(m: &GreenMetrics) -> String {
+    format!(
+        "{{\"execution_time_s\":{},\"average_power_w\":{},\"peak_power_w\":{},\"energy_j\":{}}}",
+        fmt_f64(m.execution_time_s),
+        fmt_f64(m.average_power_w),
+        fmt_f64(m.peak_power_w),
+        fmt_f64(m.energy_j)
+    )
+}
+
+fn op_run(params: &Json) -> OpResult {
+    let kind: PipelineKind = match params.get("pipeline") {
+        None => PipelineKind::InSitu,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad("pipeline must be a string"))?
+            .parse()
+            .map_err(bad)?,
+    };
+    let (case, cfg) = workload(params)?;
+    let report = greenness_core::experiment::run(kind, &cfg, &ExperimentSetup::default());
+    let result = format!(
+        "{{\"pipeline\":\"{}\",\"case\":{case},\"config\":\"{}\",\"metrics\":{}}}",
+        kind.label(),
+        greenness_trace::escape_json(&report.config_label),
+        metrics_json(&report.metrics)
+    );
+    Ok((result, report.metrics.execution_time_s))
+}
+
+fn comparison_json(c: &CaseComparison) -> String {
+    format!(
+        "{{\"case\":{},\"post\":{},\"insitu\":{},\"energy_savings_pct\":{},\"time_reduction_pct\":{},\"power_increase_pct\":{},\"efficiency_improvement_pct\":{}}}",
+        c.case,
+        metrics_json(&c.post.metrics),
+        metrics_json(&c.insitu.metrics),
+        fmt_f64(c.energy_savings_pct()),
+        fmt_f64(c.time_reduction_pct()),
+        fmt_f64(c.power_increase_pct()),
+        fmt_f64(c.efficiency_improvement_pct())
+    )
+}
+
+fn comparison_virtual_s(c: &CaseComparison) -> f64 {
+    c.post.metrics.execution_time_s + c.insitu.metrics.execution_time_s
+}
+
+fn op_compare(params: &Json) -> OpResult {
+    let (case, cfg) = workload(params)?;
+    let c = CaseComparison::run_config(case, &cfg, &ExperimentSetup::default());
+    Ok((comparison_json(&c), comparison_virtual_s(&c)))
+}
+
+fn op_whatif(params: &Json) -> OpResult {
+    let bytes = match params.get("bytes") {
+        None => 4 * 1024 * 1024 * 1024,
+        Some(v) => v
+            .as_u64()
+            .filter(|b| *b > 0)
+            .ok_or_else(|| bad("bytes must be a positive integer"))?,
+    };
+    let w = WhatIfAnalysis::run(&ExperimentSetup::default(), bytes)
+        .map_err(|e| (ErrorCode::Internal, format!("fio failed: {e}")))?;
+    let fio: Vec<String> = w
+        .fio
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"kind\":\"{}\",\"execution_time_s\":{},\"full_system_power_w\":{},\"disk_dyn_energy_kj\":{},\"full_system_energy_kj\":{}}}",
+                r.kind.label(),
+                fmt_f64(r.execution_time_s),
+                fmt_f64(r.full_system_power_w),
+                fmt_f64(r.disk_dyn_energy_kj),
+                fmt_f64(r.full_system_energy_kj)
+            )
+        })
+        .collect();
+    let virtual_s: f64 = w.fio.iter().map(|r| r.execution_time_s).sum();
+    let result = format!(
+        "{{\"bytes\":{bytes},\"random_io_energy_kj\":{},\"reorganized_io_energy_kj\":{},\"retained_fraction\":{},\"fio\":[{}]}}",
+        fmt_f64(w.random_io_energy_kj),
+        fmt_f64(w.reorganized_io_energy_kj),
+        fmt_f64(w.retained_fraction()),
+        fio.join(",")
+    );
+    Ok((result, virtual_s))
+}
+
+fn op_advisor(params: &Json) -> OpResult {
+    let pass_bytes = match params.get("pass_bytes") {
+        None => 1024 * 1024 * 1024,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad("pass_bytes must be an integer"))?,
+    };
+    let passes = match params.get("passes") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .filter(|p| *p <= u32::MAX as u64)
+            .ok_or_else(|| bad("passes must be an integer"))? as u32,
+    };
+    let behavior = match params.get("pattern").map(Json::as_str) {
+        None | Some(Some("random")) => IoBehavior::Random {
+            op_bytes: match params.get("op_bytes") {
+                None => 4096,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|b| *b > 0)
+                    .ok_or_else(|| bad("op_bytes must be a positive integer"))?,
+            },
+        },
+        Some(Some("sequential")) => IoBehavior::Sequential,
+        Some(Some(other)) => {
+            return Err(bad(format!(
+                "unknown pattern '{other}' (expected sequential|random)"
+            )))
+        }
+        Some(None) => return Err(bad("pattern must be a string")),
+    };
+    let needs_exploration = match params.get("needs_exploration") {
+        None => true,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad("needs_exploration must be a bool"))?,
+    };
+    let min_keep_fraction = match params.get("min_keep_fraction") {
+        None => 1.0,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad("min_keep_fraction must be a number"))?,
+    };
+    // `recommend` asserts on this; validate here so a bad request cannot
+    // panic a worker.
+    if !(min_keep_fraction > 0.0 && min_keep_fraction <= 1.0) {
+        return Err(bad("min_keep_fraction must be in (0, 1]"));
+    }
+    let profile = WorkloadProfile {
+        pass_bytes,
+        passes,
+        behavior,
+        needs_exploration,
+        min_keep_fraction,
+    };
+    let advice = advisor::recommend(&ExperimentSetup::default().spec, &profile);
+    let technique = match advice.technique {
+        advisor::Technique::InSitu => "\"insitu\"".to_string(),
+        advisor::Technique::Reorganize => "\"reorganize\"".to_string(),
+        advisor::Technique::DataSampling { keep_fraction } => {
+            format!(
+                "{{\"sampling\":{{\"keep_fraction\":{}}}}}",
+                fmt_f64(keep_fraction)
+            )
+        }
+        advisor::Technique::KeepPostProcessing => "\"keep_post_processing\"".to_string(),
+    };
+    let result = format!(
+        "{{\"current_io_j\":{},\"insitu_io_j\":{},\"reorg_cost_j\":{},\"reorg_pass_j\":{},\"sampling_pass_j\":{},\"technique\":{technique}}}",
+        fmt_f64(advice.current_io_j),
+        fmt_f64(advice.insitu_io_j),
+        fmt_f64(advice.reorg_cost_j),
+        fmt_f64(advice.reorg_pass_j),
+        fmt_f64(advice.sampling_pass_j)
+    );
+    // The advisor is a closed-form model; it simulates no pipeline time.
+    Ok((result, 0.0))
+}
+
+fn op_sweep(params: &Json, jobs: usize) -> OpResult {
+    let cases: Vec<u32> = match params.get("cases") {
+        None => vec![1, 2, 3],
+        Some(v) => {
+            let items = v.as_arr().ok_or_else(|| bad("cases must be an array"))?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(
+                    item.as_u64()
+                        .filter(|n| (1..=3).contains(n))
+                        .ok_or_else(|| bad("cases entries must be 1, 2, or 3"))?
+                        as u32,
+                );
+            }
+            if out.is_empty() {
+                return Err(bad("cases must be non-empty"));
+            }
+            out
+        }
+    };
+    let scale = match params.get("scale") {
+        None => "small",
+        Some(v) => v.as_str().ok_or_else(|| bad("scale must be a string"))?,
+    };
+    let configs: Vec<(u32, PipelineConfig)> = cases
+        .iter()
+        .map(|&n| {
+            let cfg = match scale {
+                "small" => Ok(PipelineConfig::small(match n {
+                    1 => 1,
+                    2 => 2,
+                    _ => 8,
+                })),
+                "paper" => Ok(PipelineConfig::case_study(n)),
+                other => Err(bad(format!(
+                    "unknown scale '{other}' (expected small|paper)"
+                ))),
+            }?;
+            Ok((n, cfg))
+        })
+        .collect::<Result<_, (ErrorCode, String)>>()?;
+    let grid = sweep::config_grid(&ExperimentSetup::default(), &configs);
+    let results = sweep::run_sweep(grid, jobs, &sweep::silent_progress()).map_err(|e| match e {
+        sweep::SweepError::DuplicateKey { .. } => bad(format!("{e}")),
+        other => (ErrorCode::Internal, format!("{other}")),
+    })?;
+    let comps = sweep::comparisons(&results);
+    let virtual_s: f64 = comps.iter().map(comparison_virtual_s).sum();
+    let body: Vec<String> = comps.iter().map(comparison_json).collect();
+    let result = format!(
+        "{{\"scale\":\"{scale}\",\"comparisons\":[{}]}}",
+        body.join(",")
+    );
+    Ok((result, virtual_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> Service {
+        Service::new(ServiceConfig::default())
+    }
+
+    fn line(op_and_params: &str) -> String {
+        format!("{{\"schema\":\"{}\",{op_and_params}}}", protocol::SCHEMA)
+    }
+
+    #[test]
+    fn run_request_round_trips() {
+        let s = svc();
+        let out = s.handle_line(&line(
+            r#""id":1,"op":"run","params":{"pipeline":"post","case":1}"#,
+        ));
+        assert!(!out.shutdown);
+        let doc = Json::parse(&out.line).expect("response parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(1));
+        let energy = doc
+            .get("result")
+            .and_then(|r| r.get("metrics"))
+            .and_then(|m| m.get("energy_j"))
+            .and_then(Json::as_f64)
+            .expect("energy in result");
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn warm_hit_is_byte_identical_and_counted() {
+        let s = svc();
+        let request = line(r#""id":7,"op":"compare","params":{"case":2}"#);
+        let cold = s.handle_line(&request);
+        let warm = s.handle_line(&request);
+        assert_eq!(cold.line, warm.line, "warm response must be byte-identical");
+        let m = s.metrics_clone();
+        assert_eq!(m.counter("serve.cache.hits"), 1);
+        assert_eq!(m.counter("serve.cache.misses"), 1);
+        assert_eq!(m.counter("serve.requests"), 2);
+    }
+
+    #[test]
+    fn unknown_ops_and_bad_params_are_structured_errors() {
+        let s = svc();
+        for (body, expect) in [
+            (r#""op":"frobnicate""#, "bad_request"),
+            (r#""op":"run","params":{"case":9}"#, "bad_request"),
+            (
+                r#""op":"advisor","params":{"min_keep_fraction":0}"#,
+                "bad_request",
+            ),
+            (r#""op":"sweep","params":{"cases":[]}"#, "bad_request"),
+        ] {
+            let out = s.handle_line(&line(body));
+            let doc = Json::parse(&out.line).expect("error response parses");
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{body}");
+            let code = doc
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .expect("code present")
+                .to_string();
+            assert_eq!(code, expect, "{body}");
+        }
+        // Errors are never cached: the same bad request misses twice.
+        let m = s.metrics_clone();
+        assert_eq!(m.counter("serve.cache.hits"), 0);
+    }
+
+    #[test]
+    fn advisor_recommends_over_the_wire() {
+        let s = svc();
+        let out = s.handle_line(&line(
+            r#""op":"advisor","params":{"pass_bytes":4294967296,"passes":2,"pattern":"random","needs_exploration":true}"#,
+        ));
+        let doc = Json::parse(&out.line).expect("parses");
+        assert_eq!(
+            doc.get("result")
+                .and_then(|r| r.get("technique"))
+                .and_then(Json::as_str),
+            Some("reorganize")
+        );
+    }
+
+    #[test]
+    fn metrics_and_shutdown_are_control_ops() {
+        let s = svc();
+        s.handle_line(&line(r#""op":"run","params":{}"#));
+        let metrics = s.handle_line(&line(r#""op":"metrics""#));
+        let doc = Json::parse(&metrics.line).expect("parses");
+        let counters = doc
+            .get("result")
+            .and_then(|r| r.get("counters"))
+            .expect("counters object");
+        assert_eq!(
+            counters.get("serve.requests").and_then(Json::as_u64),
+            Some(1)
+        );
+        let down = s.handle_line(&line(r#""op":"shutdown""#));
+        assert!(down.shutdown);
+        assert!(down.line.contains("\"status\":\"draining\""));
+        // Control ops did not count as requests.
+        let m = s.metrics_clone();
+        assert_eq!(m.counter("serve.requests"), 1);
+    }
+
+    #[test]
+    fn virtual_seconds_accumulate_only_on_misses() {
+        let s = svc();
+        let request = line(r#""id":1,"op":"run","params":{"case":1}"#);
+        s.handle_line(&request);
+        s.handle_line(&request);
+        let m = s.metrics_clone();
+        let h = m.histogram("serve.virtual_s").expect("histogram exists");
+        assert_eq!(h.count(), 1, "hit must not re-observe");
+    }
+}

@@ -1,11 +1,138 @@
-//! Named monotonic counters and gauges, snapshotted at phase and job
-//! boundaries. Keys are `&'static str` so incrementing a counter on the hot
-//! path allocates nothing; `BTreeMap` keeps JSON output deterministically
-//! ordered.
+//! Named monotonic counters, gauges, and latency histograms, snapshotted at
+//! phase and job boundaries. Keys are `&'static str` so incrementing a
+//! counter on the hot path allocates nothing; `BTreeMap` keeps JSON output
+//! deterministically ordered.
 
 use std::collections::BTreeMap;
 
 use crate::json::{escape_json, fmt_f64};
+
+/// Number of log-spaced histogram buckets. Bucket `i` covers
+/// `(2^(i-31), 2^(i-30)]`, so the range spans ≈4.7e-10 .. 8.6e9 — enough for
+/// nanosecond latencies and multi-gigajoule energies alike.
+const HIST_BUCKETS: usize = 64;
+
+/// Upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> f64 {
+    (2.0f64).powi(i as i32 - 30)
+}
+
+/// A fixed-bucket, log-spaced histogram of non-negative observations.
+///
+/// Buckets are compile-time constants, so two histograms fed the same
+/// observations in any order render byte-identical JSON — the property the
+/// serve-layer replay determinism check relies on. Quantiles are estimated
+/// by linear interpolation inside the owning bucket and clamped to the
+/// observed `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation. Negative and non-finite values are clamped
+    /// to 0 (they land in the first bucket).
+    pub fn observe(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let idx = (0..HIST_BUCKETS)
+            .find(|&i| v <= bucket_bound(i))
+            .unwrap_or(HIST_BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by rank-walking the
+    /// buckets and interpolating linearly inside the owning bucket. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= rank {
+                let lo = if i == 0 { 0.0 } else { bucket_bound(i - 1) };
+                let hi = bucket_bound(i);
+                let frac = (rank - seen as f64) / c as f64;
+                let est = lo + (hi - lo) * frac.clamp(0.0, 1.0);
+                return est.clamp(self.min, self.max);
+            }
+            seen = next;
+        }
+        self.max
+    }
+
+    /// Render as a compact JSON object. Only non-empty buckets appear, keyed
+    /// by their upper bound in round-trippable float formatting.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("\"{}\":{}", fmt_f64(bucket_bound(i)), c))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":{{{}}}}}",
+            self.count,
+            fmt_f64(self.sum),
+            fmt_f64(if self.count == 0 { 0.0 } else { self.min }),
+            fmt_f64(if self.count == 0 { 0.0 } else { self.max }),
+            fmt_f64(self.quantile(0.50)),
+            fmt_f64(self.quantile(0.90)),
+            fmt_f64(self.quantile(0.99)),
+            buckets.join(",")
+        )
+    }
+}
 
 /// Point-in-time copy of the registry taken by [`MetricsRegistry::snapshot`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -16,14 +143,18 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<&'static str, u64>,
     /// Gauge values at snapshot time.
     pub gauges: BTreeMap<&'static str, f64>,
+    /// Histogram states at snapshot time (empty unless the run observed
+    /// histogram samples).
+    pub histograms: BTreeMap<&'static str, Histogram>,
 }
 
-/// The metrics registry: monotonic counters, last-write-wins gauges, and an
-/// ordered list of snapshots.
+/// The metrics registry: monotonic counters, last-write-wins gauges,
+/// log-bucket histograms, and an ordered list of snapshots.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
     snapshots: Vec<MetricsSnapshot>,
 }
 
@@ -53,12 +184,24 @@ impl MetricsRegistry {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
-    /// Record a labelled snapshot of the current counters and gauges.
+    /// Record `value` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Histogram `name`, if any observation was ever recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Record a labelled snapshot of the current counters, gauges, and
+    /// histograms.
     pub fn snapshot(&mut self, label: &str) {
         self.snapshots.push(MetricsSnapshot {
             label: label.to_string(),
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
         });
     }
 
@@ -68,7 +211,9 @@ impl MetricsRegistry {
     }
 
     /// Compact single-line JSON object:
-    /// `{"counters":{...},"gauges":{...},"snapshots":[...]}`. The
+    /// `{"counters":{...},"gauges":{...},"snapshots":[...]}`, with a
+    /// `"histograms"` member appearing only when observations were recorded
+    /// (so pre-histogram artifacts stay byte-stable). The
     /// `greenness-metrics/v1` schema tag is added by the file wrapper
     /// ([`crate::metrics_file_json`]).
     pub fn to_json(&self) -> String {
@@ -83,23 +228,97 @@ impl MetricsRegistry {
                 .collect();
             format!("{{{}}}", body.join(","))
         }
+        fn histograms_json(m: &BTreeMap<&'static str, Histogram>) -> String {
+            if m.is_empty() {
+                return String::new();
+            }
+            let body: Vec<String> = m
+                .iter()
+                .map(|(k, h)| format!("\"{k}\":{}", h.to_json()))
+                .collect();
+            format!(",\"histograms\":{{{}}}", body.join(","))
+        }
         let snaps: Vec<String> = self
             .snapshots
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"label\":\"{}\",\"counters\":{},\"gauges\":{}}}",
+                    "{{\"label\":\"{}\",\"counters\":{},\"gauges\":{}{}}}",
                     escape_json(&s.label),
                     counters_json(&s.counters),
-                    gauges_json(&s.gauges)
+                    gauges_json(&s.gauges),
+                    histograms_json(&s.histograms)
                 )
             })
             .collect();
         format!(
-            "{{\"counters\":{},\"gauges\":{},\"snapshots\":[{}]}}",
+            "{{\"counters\":{},\"gauges\":{}{},\"snapshots\":[{}]}}",
             counters_json(&self.counters),
             gauges_json(&self.gauges),
+            histograms_json(&self.histograms),
             snaps.join(",")
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for i in 1..=1000u32 {
+            h.observe(i as f64 / 1000.0); // 0.001 .. 1.0
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 0.5005).abs() < 1e-9);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((0.25..=0.75).contains(&p50), "p50 {p50}");
+        assert!(p99 > p50);
+        assert!(p99 <= 1.0, "p99 {p99} exceeds max");
+    }
+
+    #[test]
+    fn histogram_is_order_independent() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let vals = [0.003, 1.25, 0.5, 17.0, 0.0001, 0.5];
+        for v in vals {
+            a.observe(v);
+        }
+        for v in vals.iter().rev() {
+            b.observe(*v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.observe(f64::NAN);
+        h.observe(-3.0);
+        h.observe(1e300); // beyond the last bound: clamped to the last bucket
+        assert_eq!(h.count(), 3);
+        assert!(h.to_json().contains("\"count\":3"));
+    }
+
+    #[test]
+    fn registry_histograms_only_render_when_used() {
+        let mut m = MetricsRegistry::default();
+        m.incr("a", 1);
+        m.snapshot("s");
+        assert!(!m.to_json().contains("histograms"));
+        m.observe("serve.virtual_s", 0.25);
+        m.snapshot("t");
+        let json = m.to_json();
+        assert!(json.contains("\"histograms\":{\"serve.virtual_s\""));
+        assert_eq!(m.histogram("serve.virtual_s").unwrap().count(), 1);
+        // The first snapshot predates the histogram and stays clean.
+        assert!(m.snapshots()[0].histograms.is_empty());
+        assert_eq!(m.snapshots()[1].histograms.len(), 1);
     }
 }

@@ -22,7 +22,7 @@ fn golden_table2_nnread_power() {
     // Table II, nnread column: 115.1 W total, 10.3 W dynamic. Pinned to
     // ±0.5 % — the probe is deterministic, so any drift is a real
     // calibration change, not noise.
-    let r = probes::nnread(&ExperimentSetup::noiseless(), 128 * 1024, 50.0);
+    let r = probes::nnread(&ExperimentSetup::noiseless(), 128 * 1024, 50.0).expect("probe ok");
     assert!(
         rel(r.avg_total_w, 115.1) < 0.005,
         "nnread total {:.2} W (paper 115.1)",
@@ -38,7 +38,7 @@ fn golden_table2_nnread_power() {
 #[test]
 fn golden_table2_nnwrite_power() {
     // Table II, nnwrite column: 114.8 W total, 10.0 W dynamic.
-    let r = probes::nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 50.0);
+    let r = probes::nnwrite(&ExperimentSetup::noiseless(), 128 * 1024, 50.0).expect("probe ok");
     assert!(
         rel(r.avg_total_w, 114.8) < 0.005,
         "nnwrite total {:.2} W (paper 114.8)",
@@ -60,7 +60,7 @@ fn golden_section5c_energy_split() {
     // share at ±1 point.
     let setup = ExperimentSetup::noiseless();
     let cmp = CaseComparison::run_case(1, &setup);
-    let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0);
+    let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0).expect("probes ok");
     let static_kj = b.savings.static_j / 1000.0;
     let dynamic_kj = b.savings.dynamic_j / 1000.0;
     assert!(

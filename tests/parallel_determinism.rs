@@ -15,7 +15,7 @@ fn small_grid(setup: &ExperimentSetup) -> Vec<SweepJob> {
 }
 
 fn run_with(workers: usize, setup: &ExperimentSetup) -> Vec<JobResult> {
-    sweep::run_sweep(small_grid(setup), workers, &sweep::silent_progress())
+    sweep::run_sweep(small_grid(setup), workers, &sweep::silent_progress()).expect("sweep ok")
 }
 
 /// Every numeric field that could conceivably drift under reordering.
@@ -125,7 +125,8 @@ fn comparisons_preserve_submission_order() {
 fn oversubscription_and_excess_workers_are_safe() {
     // More workers than jobs must clamp, not deadlock or skew results.
     let setup = ExperimentSetup::noiseless();
-    let few = sweep::run_sweep(small_grid(&setup), 64, &sweep::silent_progress());
+    let few =
+        sweep::run_sweep(small_grid(&setup), 64, &sweep::silent_progress()).expect("sweep ok");
     assert_eq!(fingerprint(&few), fingerprint(&run_with(1, &setup)));
 }
 
@@ -141,7 +142,9 @@ fn parallel_executor_matches_direct_sequential_runs() {
             .into_iter()
             .find(|j| j.key() == r.key)
             .expect("job exists");
-        let direct = sweep::run_sweep(vec![same], 1, &sweep::silent_progress()).remove(0);
+        let direct = sweep::run_sweep(vec![same], 1, &sweep::silent_progress())
+            .expect("sweep ok")
+            .remove(0);
         assert_eq!(direct.seed, r.seed, "{}", r.key);
         assert_eq!(
             direct.report.metrics.energy_j.to_bits(),

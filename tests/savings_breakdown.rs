@@ -8,8 +8,8 @@ use greenness_core::{CaseComparison, ExperimentSetup};
 #[test]
 fn table2_probe_powers_match_the_paper() {
     let setup = ExperimentSetup::noiseless();
-    let read = probes::nnread(&setup, 128 * 1024, 50.0);
-    let write = probes::nnwrite(&setup, 128 * 1024, 50.0);
+    let read = probes::nnread(&setup, 128 * 1024, 50.0).expect("probe ok");
+    let write = probes::nnwrite(&setup, 128 * 1024, 50.0).expect("probe ok");
     // Table II: nnread 115.1 W total / 10.3 W dynamic;
     //           nnwrite 114.8 W total / 10.0 W dynamic.
     assert!(
@@ -39,7 +39,7 @@ fn case1_savings_are_mostly_static() {
     // §V-C headline: ≈12.8 kJ static vs ≈1.2 kJ dynamic — 91% / 9%.
     let setup = ExperimentSetup::noiseless();
     let cmp = CaseComparison::run_case(1, &setup);
-    let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0);
+    let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0).expect("probes ok");
 
     let static_kj = b.savings.static_j / 1000.0;
     let dynamic_kj = b.savings.dynamic_j / 1000.0;
@@ -62,7 +62,7 @@ fn case1_savings_are_mostly_static() {
 fn probe_profiles_look_like_figure6() {
     // Figure 6 shows flat ≈115 W traces for both probes over ~50 s.
     let setup = ExperimentSetup::noiseless();
-    let read = probes::nnread(&setup, 128 * 1024, 30.0);
+    let read = probes::nnread(&setup, 128 * 1024, 30.0).expect("probe ok");
     let profile = greenness_power::PowerProfile::measure_noiseless(&read.timeline);
     assert!(profile.len() >= 29);
     for s in &profile.samples {
