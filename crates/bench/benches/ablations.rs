@@ -237,7 +237,7 @@ fn ablate_cluster_scaling(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = ClusterConfig::small(nodes, 2);
                 cfg.timesteps = 4;
-                black_box(run_cluster(ClusterKind::PostProcessing, &cfg))
+                black_box(run_cluster(ClusterKind::PostProcessing, &cfg).unwrap())
             })
         });
     }

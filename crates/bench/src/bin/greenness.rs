@@ -19,13 +19,14 @@
 //! Everything prints fixed-width tables; see the `repro` binary for the
 //! paper's full table/figure set.
 
-use greenness_cluster::{run_cluster, ClusterConfig, ClusterKind};
+use greenness_cluster::{run_cluster_with_faults, ClusterConfig, ClusterKind};
 use greenness_core::adaptive::{run_adaptive, AdaptivePolicy};
 use greenness_core::advisor::{recommend, IoBehavior, Technique, WorkloadProfile};
 use greenness_core::capping::cap_sweep;
 use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineConfig};
+use greenness_faults::FaultPlan;
 use greenness_platform::{HardwareSpec, Node};
 use greenness_serve::{LoadMode, Server, ServiceConfig};
 
@@ -54,7 +55,9 @@ fn usage() -> ! {
          metrics registry; byte-identical for every --jobs value)\n\
          serve also accepts --cache-bytes B / --slots S / --queue-depth Q\n\
          bench-serve accepts --requests N --conns C --mode closed|open --rate R,\n\
-         and with --replay: --jobs J --out FILE --metrics-out FILE"
+         and with --replay: --jobs J --out FILE --metrics-out FILE\n\
+         sweep, cluster, serve, and bench-serve --replay accept --fault-seed N\n\
+         (seeded fault injection with retry/recovery; deterministic per seed)"
     );
     std::process::exit(2);
 }
@@ -111,6 +114,7 @@ fn cmd_sweep(args: &[String]) {
     let mut jobs = greenness_bench::default_jobs();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -122,6 +126,13 @@ fn cmd_sweep(args: &[String]) {
             }
             "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--metrics" => metrics_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--fault-seed" => {
+                fault_seed = Some(
+                    it.next()
+                        .map(|s| parse(s, "fault seed"))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     jobs = parse(n, "worker count");
@@ -129,6 +140,8 @@ fn cmd_sweep(args: &[String]) {
                     trace_path = Some(p.to_string());
                 } else if let Some(p) = other.strip_prefix("--metrics=") {
                     metrics_path = Some(p.to_string());
+                } else if let Some(n) = other.strip_prefix("--fault-seed=") {
+                    fault_seed = Some(parse(n, "fault seed"));
                 } else {
                     usage()
                 }
@@ -137,6 +150,9 @@ fn cmd_sweep(args: &[String]) {
     }
     let setup = ExperimentSetup {
         trace: trace_path.is_some() || metrics_path.is_some(),
+        // Each grid job derives its own schedule from this base plan and its
+        // job key, so results stay byte-identical for every --jobs value.
+        faults: fault_seed.map(FaultPlan::with_seed),
         ..ExperimentSetup::default()
     };
     eprintln!("running the full case-study grid on {jobs} worker(s)...");
@@ -259,9 +275,31 @@ fn cmd_probes() {
 }
 
 fn cmd_cluster(args: &[String]) {
-    let nodes: usize = args.first().map(|s| parse(s, "node count")).unwrap_or(4);
-    let servers: usize = args.get(1).map(|s| parse(s, "server count")).unwrap_or(2);
+    let mut fault_seed: Option<u64> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fault-seed" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--fault-seed needs a value");
+                    usage()
+                });
+                fault_seed = Some(parse(v, "fault seed"));
+            }
+            _ => positional.push(a),
+        }
+    }
+    let nodes: usize = positional
+        .first()
+        .map(|s| parse(s, "node count"))
+        .unwrap_or(4);
+    let servers: usize = positional
+        .get(1)
+        .map(|s| parse(s, "server count"))
+        .unwrap_or(2);
     let cfg = ClusterConfig::small(nodes, servers);
+    let plan = fault_seed.map(FaultPlan::with_seed);
     eprintln!("running distributed pipelines on {nodes}+{servers}+1 nodes...");
     let mut rows = Vec::new();
     for kind in [
@@ -269,7 +307,13 @@ fn cmd_cluster(args: &[String]) {
         ClusterKind::InSitu,
         ClusterKind::InTransit,
     ] {
-        let r = run_cluster(kind, &cfg);
+        let (r, faults) = run_cluster_with_faults(kind, &cfg, plan).unwrap_or_else(|e| {
+            eprintln!("cluster {kind:?} failed: {e}");
+            std::process::exit(1);
+        });
+        if faults.total_faults() > 0 {
+            eprintln!("{kind:?} ran degraded: {}", faults.describe());
+        }
         rows.push(vec![
             format!("{kind:?}"),
             report::f(r.makespan_s, 2),
@@ -444,6 +488,12 @@ fn cmd_serve(args: &[String]) {
             "--cache-bytes" => config.cache_bytes = parse(&take("--cache-bytes"), "cache budget"),
             "--slots" => config.slots = parse(&take("--slots"), "slot count"),
             "--queue-depth" => config.queue_depth = parse(&take("--queue-depth"), "queue depth"),
+            "--fault-seed" => {
+                config.faults = Some(FaultPlan::with_seed(parse(
+                    &take("--fault-seed"),
+                    "fault seed",
+                )))
+            }
             _ => usage(),
         }
     }
@@ -489,6 +539,7 @@ fn cmd_bench_serve(args: &[String]) {
     let mut rate = 50.0f64;
     let mut out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| {
@@ -507,6 +558,7 @@ fn cmd_bench_serve(args: &[String]) {
             "--rate" => rate = parse(&take("--rate"), "request rate"),
             "--out" => out = Some(take("--out")),
             "--metrics-out" => metrics_out = Some(take("--metrics-out")),
+            "--fault-seed" => fault_seed = Some(parse(&take("--fault-seed"), "fault seed")),
             _ => usage(),
         }
     }
@@ -515,10 +567,17 @@ fn cmd_bench_serve(args: &[String]) {
         let result = greenness_serve::run_replay(
             ServiceConfig {
                 jobs,
+                faults: fault_seed.map(FaultPlan::with_seed),
                 ..ServiceConfig::default()
             },
             &workload,
         );
+        if result.retries > 0 {
+            eprintln!(
+                "replay ran degraded: {} dropped request(s) retried to completion",
+                result.retries
+            );
+        }
         match &out {
             Some(path) => {
                 std::fs::write(path, &result.responses).expect("write response log");
@@ -536,6 +595,9 @@ fn cmd_bench_serve(args: &[String]) {
         eprintln!("bench-serve needs --addr (or --replay)");
         usage()
     };
+    if fault_seed.is_some() {
+        eprintln!("note: --fault-seed applies to --replay; for live runs start the server with --fault-seed");
+    }
     let load_mode = match mode.as_str() {
         "closed" => LoadMode::Closed,
         "open" => LoadMode::Open { rate_rps: rate },

@@ -153,11 +153,13 @@ struct Cli {
     jobs: usize,
     trace_path: Option<String>,
     metrics_path: Option<String>,
+    fault_seed: Option<u64>,
     rest: Vec<String>,
 }
 
-/// Split `--jobs N` / `--jobs=N` / `-j N` and the observability flags
-/// `--trace PATH` / `--metrics PATH` out of the raw argument list.
+/// Split `--jobs N` / `--jobs=N` / `-j N`, the observability flags
+/// `--trace PATH` / `--metrics PATH`, and `--fault-seed N` out of the raw
+/// argument list.
 fn parse_cli(args: Vec<String>) -> Cli {
     fn count(s: &str) -> usize {
         s.parse().unwrap_or_else(|_| {
@@ -165,10 +167,17 @@ fn parse_cli(args: Vec<String>) -> Cli {
             std::process::exit(2);
         })
     }
+    fn seed(s: &str) -> u64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid fault seed: {s}");
+            std::process::exit(2);
+        })
+    }
     let mut cli = Cli {
         jobs: default_jobs(),
         trace_path: None,
         metrics_path: None,
+        fault_seed: None,
         rest: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -191,6 +200,10 @@ fn parse_cli(args: Vec<String>) -> Cli {
             cli.metrics_path = Some(value(&a));
         } else if let Some(p) = a.strip_prefix("--metrics=") {
             cli.metrics_path = Some(p.to_string());
+        } else if a == "--fault-seed" {
+            cli.fault_seed = Some(seed(&value(&a)));
+        } else if let Some(n) = a.strip_prefix("--fault-seed=") {
+            cli.fault_seed = Some(seed(n));
         } else {
             cli.rest.push(a);
         }
@@ -218,6 +231,10 @@ fn main() {
     // for every --jobs value).
     let setup = ExperimentSetup {
         trace: cli.trace_path.is_some() || cli.metrics_path.is_some(),
+        // Seeded fault injection: each grid job derives its own fault
+        // schedule from this base plan and its job key, so artifacts stay
+        // byte-identical for every --jobs value.
+        faults: cli.fault_seed.map(greenness_faults::FaultPlan::with_seed),
         ..ExperimentSetup::default()
     };
     let mut lazy = Lazy {
@@ -593,7 +610,10 @@ fn print_extensions(setup: &ExperimentSetup, jobs: usize) {
         ClusterKind::InSitu,
         ClusterKind::InTransit,
     ] {
-        let r = run_cluster(kind, &ccfg);
+        let r = run_cluster(kind, &ccfg).unwrap_or_else(|e| {
+            eprintln!("[repro] cluster {kind:?} failed: {e}");
+            std::process::exit(1);
+        });
         rows.push(vec![
             format!("{kind:?}"),
             report::f(r.makespan_s, 2),

@@ -6,7 +6,13 @@
 //! waiting is *real static energy*, never free) and [`Fabric::transfer`]
 //! (occupy both endpoints' NICs for the duration of a message).
 
+use std::cell::RefCell;
+
+use greenness_faults::FaultInjector;
 use greenness_platform::{Activity, NetModel, Node, Phase, SimTime};
+use greenness_trace::Value;
+
+use crate::error::ClusterError;
 
 /// Idle `node` forward to instant `t` (no-op if already past it). The idle
 /// span is charged at static power under the given phase — a node waiting at
@@ -26,11 +32,44 @@ pub fn barrier(nodes: &mut [Node], phase: Phase) {
     }
 }
 
+/// Record an injected fault on `node`'s tracer (counter + instant); a no-op
+/// when tracing is off.
+fn trace_fault(node: &Node, site: &'static str, mode: &'static str, attempt: u32, backoff_s: f64) {
+    let tracer = node.tracer();
+    tracer.count("faults.fabric.transfer", 1);
+    if tracer.is_on() {
+        tracer.instant(
+            node.now().as_nanos(),
+            "fault.injected",
+            vec![
+                ("site", Value::from(site)),
+                ("mode", Value::from(mode)),
+                ("attempt", Value::from(attempt)),
+                ("backoff_s", Value::from(backoff_s)),
+            ],
+        );
+    }
+}
+
+/// Per-fabric fault bookkeeping: the schedule plus what it has done so far.
+#[derive(Debug, Clone)]
+struct FaultState {
+    inj: FaultInjector,
+    drops: u64,
+    delays: u64,
+    retries: u64,
+}
+
 /// The interconnect between nodes.
 #[derive(Debug, Clone)]
 pub struct Fabric {
     /// Link model (bandwidth, per-message latency, NIC power).
     pub net: NetModel,
+    /// Seeded transfer-fault schedule; `None` is the fault-free fast path.
+    /// Interior mutability because transfers take `&self` while both
+    /// endpoint nodes are borrowed mutably (runs are single-threaded per
+    /// fabric, so a `RefCell` suffices).
+    faults: Option<RefCell<FaultState>>,
 }
 
 impl Fabric {
@@ -38,6 +77,93 @@ impl Fabric {
     pub fn ten_gbe() -> Fabric {
         Fabric {
             net: NetModel::ten_gbe(),
+            faults: None,
+        }
+    }
+
+    /// Install (or clear) a seeded transfer-fault schedule. Each
+    /// [`Self::transfer_reliable`] attempt consumes one slot; a firing slot
+    /// drops the payload in flight (entropy even) or delivers it late
+    /// (entropy odd).
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector.map(|inj| {
+            RefCell::new(FaultState {
+                inj,
+                drops: 0,
+                delays: 0,
+                retries: 0,
+            })
+        });
+    }
+
+    /// Injected-fault counters so far: `(drops, delays, retries)`.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        match &self.faults {
+            Some(cell) => {
+                let s = cell.borrow();
+                (s.drops, s.delays, s.retries)
+            }
+            None => (0, 0, 0),
+        }
+    }
+
+    /// [`Self::transfer`] hardened against the fault schedule: a dropped
+    /// payload is retransmitted after exponential backoff (both endpoints
+    /// idle — real static energy), a delayed one stalls both endpoints
+    /// before delivery. Fails only when the retry budget is exhausted. With
+    /// no schedule installed this is exactly one plain transfer.
+    pub fn transfer_reliable(
+        &self,
+        src: &mut Node,
+        dst: &mut Node,
+        bytes: u64,
+        messages: u32,
+        phase: Phase,
+    ) -> Result<SimTime, ClusterError> {
+        let Some(cell) = &self.faults else {
+            return Ok(self.transfer(src, dst, bytes, messages, phase));
+        };
+        let mut attempt = 0u32;
+        loop {
+            // Scoped borrow: the injector decision must not be held across
+            // the node mutations below.
+            let (fault, plan) = {
+                let mut s = cell.borrow_mut();
+                let f = s.inj.next();
+                (f, *s.inj.plan())
+            };
+            match fault {
+                None => return Ok(self.transfer(src, dst, bytes, messages, phase)),
+                Some(entropy) if entropy & 1 == 1 => {
+                    // Delayed delivery: congestion stalls both endpoints,
+                    // then the payload lands intact.
+                    cell.borrow_mut().delays += 1;
+                    let pause = plan.backoff_s(0);
+                    trace_fault(src, "fabric.transfer", "delay", attempt, pause);
+                    src.execute(Activity::idle_secs(pause), phase);
+                    dst.execute(Activity::idle_secs(pause), phase);
+                    return Ok(self.transfer(src, dst, bytes, messages, phase));
+                }
+                Some(_) => {
+                    // Dropped in flight: the transmission was paid for but
+                    // the payload is gone; back off and retransmit.
+                    cell.borrow_mut().drops += 1;
+                    self.transfer(src, dst, bytes, messages, phase);
+                    if attempt >= plan.max_retries {
+                        return Err(ClusterError::FabricExhausted {
+                            bytes,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    let pause = plan.backoff_s(attempt);
+                    trace_fault(src, "fabric.transfer", "drop", attempt, pause);
+                    src.execute(Activity::idle_secs(pause), phase);
+                    dst.execute(Activity::idle_secs(pause), phase);
+                    cell.borrow_mut().retries += 1;
+                    src.tracer().count("retries.fabric.transfer", 1);
+                    attempt += 1;
+                }
+            }
         }
     }
 

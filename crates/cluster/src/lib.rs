@@ -27,12 +27,16 @@
 //! and barrier waits therefore show up as *real static energy*, which is
 //! exactly the effect the paper's single-node study could not see.
 
+pub mod error;
 pub mod fabric;
 pub mod pfs;
 pub mod pipeline;
 pub mod slab;
 
+pub use error::{ClusterError, FaultSummary};
 pub use fabric::{barrier, sync_to, Fabric};
 pub use pfs::ParallelFs;
-pub use pipeline::{run_cluster, ClusterConfig, ClusterKind, ClusterReport};
+pub use pipeline::{
+    run_cluster, run_cluster_with_faults, ClusterConfig, ClusterKind, ClusterReport,
+};
 pub use slab::DecomposedSolver;

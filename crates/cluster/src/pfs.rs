@@ -8,9 +8,11 @@
 //! disks — emerges from the composition, which is exactly the future-work
 //! question the paper poses about file systems.
 
-use greenness_platform::{HardwareSpec, Node, Phase, SimTime};
+use greenness_faults::{FaultPlan, Site};
+use greenness_platform::{Activity, HardwareSpec, Node, Phase, SimTime};
 use greenness_storage::{FileSystem, FsConfig, FsError, MemBlockDevice};
 
+use crate::error::ClusterError;
 use crate::fabric::{sync_to, Fabric};
 
 /// One object storage server: a node plus its filesystem.
@@ -26,6 +28,16 @@ pub struct IoServer {
 pub struct ParallelFs {
     servers: Vec<IoServer>,
     stripe_bytes: usize,
+    /// Per-server formatted capacity, for undersized-PFS diagnostics.
+    capacity_bytes: u64,
+    /// Bytes durably written so far (across all servers).
+    written_bytes: u64,
+    /// Active fault schedule (None = fault-free fast path).
+    fault_plan: Option<FaultPlan>,
+    /// Injected fsync faults observed across all servers.
+    fsync_faults: u64,
+    /// fsync retries that absorbed them.
+    fsync_retries: u64,
 }
 
 impl ParallelFs {
@@ -52,7 +64,27 @@ impl ParallelFs {
         ParallelFs {
             servers,
             stripe_bytes,
+            capacity_bytes,
+            written_bytes: 0,
+            fault_plan: None,
+            fsync_faults: 0,
+            fsync_retries: 0,
         }
+    }
+
+    /// Install a seeded fault schedule: each object server gets its own
+    /// fsync injector (salted by server index, so schedules are independent
+    /// and stable under server-count changes to *other* configs).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            s.fs.set_fault_injector(plan.map(|p| p.injector(Site::StorageFsync, i as u64)));
+        }
+    }
+
+    /// Injected-fault counters so far: `(fsync faults, fsync retries)`.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (self.fsync_faults, self.fsync_retries)
     }
 
     /// Number of object servers.
@@ -85,10 +117,31 @@ impl ParallelFs {
         (h % self.servers.len() as u64) as usize
     }
 
+    /// Map a server filesystem error into a cluster diagnostic. `NoSpace`
+    /// becomes the undersized-PFS report (required vs configured capacity).
+    fn wrap_fs_err(&self, file: &str, requested_bytes: u64, e: FsError) -> ClusterError {
+        match e {
+            FsError::NoSpace => ClusterError::PfsUndersized {
+                file: file.to_string(),
+                requested_bytes,
+                written_bytes: self.written_bytes,
+                capacity_bytes: self.capacity_bytes * self.servers.len() as u64,
+                io_servers: self.servers.len(),
+            },
+            other => ClusterError::Fs {
+                file: file.to_string(),
+                source: other,
+            },
+        }
+    }
+
     /// Striped durable write of `data` under `name` from `client`. The
     /// client ships each stripe over the fabric to its server, the server
     /// writes-and-fsyncs it, and the client returns once every stripe is
-    /// durable (idling for stragglers).
+    /// durable (idling for stragglers). Injected fsync faults are absorbed
+    /// by bounded retry with exponential backoff — the degraded server
+    /// idles (real static energy) and recommits, slowing the run instead of
+    /// aborting it.
     pub fn write(
         &mut self,
         client: &mut Node,
@@ -96,15 +149,42 @@ impl ParallelFs {
         name: &str,
         data: &[u8],
         phase: Phase,
-    ) -> Result<(), FsError> {
+    ) -> Result<(), ClusterError> {
         let n = self.servers.len();
         let start = self.start_server(name);
+        let (max_retries, plan) = match self.fault_plan {
+            Some(p) => (p.max_retries, p),
+            None => (0, FaultPlan::quiet(0)),
+        };
         for (k, chunk) in data.chunks(self.stripe_bytes).enumerate() {
-            let server = &mut self.servers[(start + k) % n];
-            fabric.transfer(client, &mut server.node, chunk.len() as u64, 1, phase);
+            let idx = (start + k) % n;
             let fname = Self::stripe_file(name, k);
-            server.fs.write(&mut server.node, &fname, 0, chunk, phase)?;
-            server.fs.fsync(&mut server.node, &fname, phase)?;
+            let server = &mut self.servers[idx];
+            fabric.transfer_reliable(client, &mut server.node, chunk.len() as u64, 1, phase)?;
+            if let Err(e) = server.fs.write(&mut server.node, &fname, 0, chunk, phase) {
+                return Err(self.wrap_fs_err(name, chunk.len() as u64, e));
+            }
+            let mut attempt = 0u32;
+            loop {
+                let server = &mut self.servers[idx];
+                match server.fs.fsync(&mut server.node, &fname, phase) {
+                    Ok(()) => break,
+                    Err(FsError::TransientIo { .. }) if attempt < max_retries => {
+                        let pause = plan.backoff_s(attempt);
+                        server.node.execute(Activity::idle_secs(pause), phase);
+                        self.fsync_faults += 1;
+                        self.fsync_retries += 1;
+                        attempt += 1;
+                    }
+                    Err(e) => {
+                        if matches!(e, FsError::TransientIo { .. }) {
+                            self.fsync_faults += 1;
+                        }
+                        return Err(self.wrap_fs_err(name, chunk.len() as u64, e));
+                    }
+                }
+            }
+            self.written_bytes += chunk.len() as u64;
         }
         // The write returns when the slowest server acknowledges.
         let done = self
@@ -126,7 +206,7 @@ impl ParallelFs {
         fabric: &Fabric,
         name: &str,
         phase: Phase,
-    ) -> Result<Vec<u8>, FsError> {
+    ) -> Result<Vec<u8>, ClusterError> {
         let n = self.servers.len();
         let start = self.start_server(name);
         // Discover the stripes (metadata lookup, not charged).
@@ -141,7 +221,10 @@ impl ParallelFs {
             stripes.push(fname);
         }
         if stripes.is_empty() {
-            return Err(FsError::NotFound(name.to_string()));
+            return Err(ClusterError::Fs {
+                file: name.to_string(),
+                source: FsError::NotFound(name.to_string()),
+            });
         }
         // Phase A: every involved server services its reads starting at the
         // request time, in parallel with the others.
@@ -150,15 +233,21 @@ impl ParallelFs {
         for (k, fname) in stripes.iter().enumerate() {
             let server = &mut self.servers[(start + k) % n];
             sync_to(&mut server.node, request_t, phase);
-            let size = server.fs.size(fname)?;
-            payloads.push(server.fs.read(&mut server.node, fname, 0, size, phase)?);
+            let step = server
+                .fs
+                .size(fname)
+                .and_then(|size| server.fs.read(&mut server.node, fname, 0, size, phase));
+            match step {
+                Ok(bytes) => payloads.push(bytes),
+                Err(e) => return Err(self.wrap_fs_err(name, 0, e)),
+            }
         }
         // Phase B: stream stripes to the client in order (its NIC
         // serializes).
         let mut out = Vec::with_capacity(payloads.iter().map(Vec::len).sum());
         for (k, payload) in payloads.into_iter().enumerate() {
             let server = &mut self.servers[(start + k) % n];
-            fabric.transfer(&mut server.node, client, payload.len() as u64, 1, phase);
+            fabric.transfer_reliable(&mut server.node, client, payload.len() as u64, 1, phase)?;
             out.extend(payload);
         }
         Ok(out)
@@ -278,9 +367,66 @@ mod tests {
         let (mut client, fabric, mut pfs) = setup(2);
         assert!(matches!(
             pfs.read(&mut client, &fabric, "ghost", Phase::Read),
-            Err(FsError::NotFound(_))
+            Err(ClusterError::Fs {
+                source: FsError::NotFound(_),
+                ..
+            })
         ));
         assert!(!pfs.exists("ghost"));
+    }
+
+    #[test]
+    fn undersized_pfs_reports_required_vs_configured() {
+        let spec = HardwareSpec::table1();
+        let mut client = Node::new(spec.clone());
+        let fabric = Fabric::ten_gbe();
+        // Two servers of 64 KiB each: a 1 MiB write cannot fit.
+        let mut pfs = ParallelFs::new(2, &spec, 32 * 1024, 64 * 1024);
+        let err = pfs
+            .write(&mut client, &fabric, "big", &payload(1 << 20), Phase::Write)
+            .unwrap_err();
+        match err {
+            ClusterError::PfsUndersized {
+                capacity_bytes,
+                io_servers,
+                requested_bytes,
+                ..
+            } => {
+                assert_eq!(capacity_bytes, 2 * 64 * 1024);
+                assert_eq!(io_servers, 2);
+                assert!(requested_bytes > 0);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn faulted_writes_recover_and_cost_more_time() {
+        use greenness_faults::FaultPlan;
+        let data = payload(16 * 128 * 1024);
+        let wall = |plan: Option<FaultPlan>| {
+            let (mut client, fabric, mut pfs) = setup(2);
+            pfs.set_fault_plan(plan);
+            pfs.write(&mut client, &fabric, "f", &data, Phase::Write)
+                .unwrap();
+            pfs.sync_and_drop_all(Phase::CacheControl);
+            let back = pfs.read(&mut client, &fabric, "f", Phase::Read).unwrap();
+            assert_eq!(back, data, "faulted write corrupted data");
+            (client.now().as_secs_f64(), pfs.fault_counts())
+        };
+        let (clean_s, (f0, r0)) = wall(None);
+        let (faulted_s, (f1, r1)) = wall(Some(FaultPlan {
+            storage_fsync_rate: 0.3,
+            fabric_fault_rate: 0.0,
+            ..FaultPlan::with_seed(17)
+        }));
+        assert_eq!((f0, r0), (0, 0));
+        assert!(f1 > 0, "rate 0.3 over 16 stripes should fire");
+        assert_eq!(f1, r1, "every fault was absorbed by a retry");
+        assert!(
+            faulted_s > clean_s,
+            "degraded run must be slower: {faulted_s} vs {clean_s}"
+        );
     }
 
     #[test]

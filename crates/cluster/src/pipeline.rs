@@ -16,11 +16,13 @@
 //! the run ends at the makespan, and nodes that finish early idle — at real
 //! static power — until it, as in any space-shared allocation.
 
+use greenness_faults::{FaultPlan, Site};
 use greenness_heatsim::{Grid, SimCostModel, SolverConfig};
 use greenness_platform::{HardwareSpec, Node, Phase, SimTime};
 use greenness_viz::{encode_ppm, render_field, RenderCostModel, RenderOptions};
 use serde::{Deserialize, Serialize};
 
+use crate::error::{ClusterError, FaultSummary};
 use crate::fabric::{barrier, sync_to, Fabric};
 use crate::pfs::ParallelFs;
 use crate::slab::DecomposedSolver;
@@ -167,9 +169,26 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Run the distributed pipeline described by `cfg`.
-pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
-    let fabric = Fabric::ten_gbe();
+/// Run the distributed pipeline described by `cfg`, fault-free.
+pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError> {
+    run_cluster_with_faults(kind, cfg, None).map(|(report, _)| report)
+}
+
+/// Run the distributed pipeline under an optional seeded fault plan. A
+/// degraded run completes slower (retries and backoff are real idle time —
+/// static energy in every node's timeline) and reports what it absorbed in
+/// the [`FaultSummary`]; only an exhausted retry budget or a genuinely
+/// undersized PFS aborts the run with a structured [`ClusterError`].
+pub fn run_cluster_with_faults(
+    kind: ClusterKind,
+    cfg: &ClusterConfig,
+    faults: Option<FaultPlan>,
+) -> Result<(ClusterReport, FaultSummary), ClusterError> {
+    let mut fabric = Fabric::ten_gbe();
+    if let Some(plan) = faults {
+        fabric.set_fault_injector(Some(plan.injector(Site::FabricTransfer, 0)));
+    }
+    let fabric = fabric;
     let mut compute: Vec<Node> = (0..cfg.compute_nodes)
         .map(|_| Node::new(cfg.spec.clone()))
         .collect();
@@ -180,6 +199,7 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
         cfg.stripe_bytes,
         1024 * 1024 * 1024,
     );
+    pfs.set_fault_plan(faults);
 
     let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
@@ -204,8 +224,8 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
         for k in 0..ghost.pairs {
             let (a, b) = compute.split_at_mut(k + 1);
             let (lo, hi) = (&mut a[k], &mut b[0]);
-            fabric.transfer(lo, hi, ghost.bytes_per_direction, 1, Phase::Network);
-            fabric.transfer(hi, lo, ghost.bytes_per_direction, 1, Phase::Network);
+            fabric.transfer_reliable(lo, hi, ghost.bytes_per_direction, 1, Phase::Network)?;
+            fabric.transfer_reliable(hi, lo, ghost.bytes_per_direction, 1, Phase::Network)?;
         }
         barrier(&mut compute, Phase::Idle);
 
@@ -225,8 +245,7 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                         &format!("snap{step:04}.n{k:02}"),
                         &bytes,
                         Phase::Write,
-                    )
-                    .expect("PFS sized for the run");
+                    )?;
                 }
                 checksums.push((step, sums));
             }
@@ -254,8 +273,7 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                         &format!("frame{step:04}.n{k:02}.ppm"),
                         &ppm,
                         Phase::ImageWrite,
-                    )
-                    .expect("PFS sized for the run");
+                    )?;
                 }
             }
             ClusterKind::InTransit => {
@@ -263,7 +281,13 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                     let bytes = solver.slab_bytes(k);
                     bytes_out += bytes.len() as u64;
                     let messages = bytes.len().div_ceil(cfg.stripe_bytes) as u32;
-                    fabric.transfer(node, &mut viz, bytes.len() as u64, messages, Phase::Network);
+                    fabric.transfer_reliable(
+                        node,
+                        &mut viz,
+                        bytes.len() as u64,
+                        messages,
+                        Phase::Network,
+                    )?;
                 }
                 // The staging node renders the assembled frame while the
                 // compute nodes move on, and persists the image to the PFS
@@ -277,8 +301,7 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
                     &format!("frame{step:04}.ppm"),
                     &ppm,
                     Phase::ImageWrite,
-                )
-                .expect("PFS sized for the run");
+                )?;
             }
         }
         barrier(&mut compute, Phase::Idle);
@@ -294,22 +317,25 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
         for (step, sums) in &checksums {
             let mut slabs = Vec::with_capacity(cfg.compute_nodes);
             for (k, sum) in sums.iter().enumerate() {
-                let bytes = pfs
-                    .read(
-                        &mut viz,
-                        &fabric,
-                        &format!("snap{step:04}.n{k:02}"),
-                        Phase::Read,
-                    )
-                    .expect("snapshot exists");
+                let bytes = pfs.read(
+                    &mut viz,
+                    &fabric,
+                    &format!("snap{step:04}.n{k:02}"),
+                    Phase::Read,
+                )?;
                 if fnv1a(&bytes) != *sum {
                     verified = false;
                 }
                 slabs.push(bytes);
             }
             let all: Vec<u8> = slabs.concat();
-            let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &all)
-                .expect("snapshot has the configured shape");
+            let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &all).ok_or_else(|| {
+                ClusterError::SnapshotShape {
+                    file: format!("snap{step:04}"),
+                    got_bytes: all.len(),
+                    want: (cfg.grid_nx, cfg.grid_ny),
+                }
+            })?;
             viz.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
             let _ = render_field(&grid, &cfg.render);
         }
@@ -342,7 +368,17 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
     let total_energy_j = compute_energy_j + io_energy_j + viz_energy_j;
     let makespan_s = makespan.as_secs_f64();
 
-    ClusterReport {
+    let (storage_faults, storage_retries) = pfs.fault_counts();
+    let (fabric_drops, fabric_delays, fabric_retries) = fabric.fault_counts();
+    let summary = FaultSummary {
+        storage_faults,
+        storage_retries,
+        fabric_drops,
+        fabric_delays,
+        fabric_retries,
+    };
+
+    let report = ClusterReport {
         kind,
         makespan_s,
         total_energy_j,
@@ -357,7 +393,8 @@ pub fn run_cluster(kind: ClusterKind, cfg: &ClusterConfig) -> ClusterReport {
         bytes_out,
         verified,
         work_units: cfg.work_units(),
-    }
+    };
+    Ok((report, summary))
 }
 
 #[cfg(test)]
@@ -373,7 +410,7 @@ mod tests {
 
     #[test]
     fn post_processing_round_trips_and_verifies() {
-        let r = run_cluster(ClusterKind::PostProcessing, &small());
+        let r = run_cluster(ClusterKind::PostProcessing, &small()).unwrap();
         assert!(r.verified, "PFS corrupted a snapshot");
         assert!(r.makespan_s > 0.0);
         assert_eq!(r.bytes_out, 6 * 128 * 128 * 8);
@@ -383,8 +420,8 @@ mod tests {
     #[test]
     fn insitu_beats_post_processing_on_cluster_energy_too() {
         let cfg = small();
-        let post = run_cluster(ClusterKind::PostProcessing, &cfg);
-        let insitu = run_cluster(ClusterKind::InSitu, &cfg);
+        let post = run_cluster(ClusterKind::PostProcessing, &cfg).unwrap();
+        let insitu = run_cluster(ClusterKind::InSitu, &cfg).unwrap();
         assert!(
             insitu.total_energy_j < post.total_energy_j,
             "in-situ {} J vs post {} J",
@@ -403,9 +440,9 @@ mod tests {
         // full-frame write while per-node in-situ pays N smaller fsync'd
         // writes — so we only pin the robust ordering and the rough parity.
         let cfg = small();
-        let post = run_cluster(ClusterKind::PostProcessing, &cfg);
-        let transit = run_cluster(ClusterKind::InTransit, &cfg);
-        let insitu = run_cluster(ClusterKind::InSitu, &cfg);
+        let post = run_cluster(ClusterKind::PostProcessing, &cfg).unwrap();
+        let transit = run_cluster(ClusterKind::InTransit, &cfg).unwrap();
+        let insitu = run_cluster(ClusterKind::InSitu, &cfg).unwrap();
         assert!(transit.total_energy_j < post.total_energy_j);
         assert!(insitu.total_energy_j < post.total_energy_j);
         let ratio = transit.total_energy_j / insitu.total_energy_j;
@@ -414,9 +451,61 @@ mod tests {
 
     #[test]
     fn energy_partition_sums() {
-        let r = run_cluster(ClusterKind::PostProcessing, &small());
+        let r = run_cluster(ClusterKind::PostProcessing, &small()).unwrap();
         let sum = r.compute_energy_j + r.io_energy_j + r.viz_energy_j;
         assert!((sum - r.total_energy_j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faulted_run_converges_and_pays_static_energy() {
+        // Same physics, same data — the degraded run just takes longer and
+        // burns more (idle) energy. `verified` attests the final images:
+        // every snapshot read back matches its pre-write checksum.
+        let cfg = small();
+        let clean = run_cluster(ClusterKind::PostProcessing, &cfg).unwrap();
+        let (faulted, summary) = run_cluster_with_faults(
+            ClusterKind::PostProcessing,
+            &cfg,
+            Some(FaultPlan::with_seed(42)),
+        )
+        .unwrap();
+        assert!(summary.total_faults() > 0, "seed 42 injected nothing");
+        assert!(faulted.verified, "faults corrupted data");
+        assert_eq!(faulted.bytes_out, clean.bytes_out);
+        assert!(
+            faulted.makespan_s > clean.makespan_s,
+            "degraded run should be slower: {} vs {}",
+            faulted.makespan_s,
+            clean.makespan_s
+        );
+        assert!(faulted.total_energy_j > clean.total_energy_j);
+    }
+
+    #[test]
+    fn same_fault_seed_is_bit_identical() {
+        let cfg = small();
+        let run = || {
+            run_cluster_with_faults(ClusterKind::InTransit, &cfg, Some(FaultPlan::with_seed(7)))
+                .unwrap()
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(sa, sb);
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        assert_eq!(a.total_energy_j.to_bits(), b.total_energy_j.to_bits());
+    }
+
+    #[test]
+    fn no_plan_leaves_the_report_bit_identical() {
+        let cfg = small();
+        let plain = run_cluster(ClusterKind::InSitu, &cfg).unwrap();
+        let (gated, summary) = run_cluster_with_faults(ClusterKind::InSitu, &cfg, None).unwrap();
+        assert_eq!(summary, FaultSummary::default());
+        assert_eq!(plain.makespan_s.to_bits(), gated.makespan_s.to_bits());
+        assert_eq!(
+            plain.total_energy_j.to_bits(),
+            gated.total_energy_j.to_bits()
+        );
     }
 
     #[test]
@@ -425,8 +514,8 @@ mod tests {
         one.io_servers = 1;
         let mut four = small();
         four.io_servers = 4;
-        let slow = run_cluster(ClusterKind::PostProcessing, &one);
-        let fast = run_cluster(ClusterKind::PostProcessing, &four);
+        let slow = run_cluster(ClusterKind::PostProcessing, &one).unwrap();
+        let fast = run_cluster(ClusterKind::PostProcessing, &four).unwrap();
         assert!(
             fast.makespan_s < slow.makespan_s,
             "{} vs {}",

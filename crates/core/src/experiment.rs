@@ -5,6 +5,7 @@
 //! on-node at 1 Hz with the measured +0.2 W overhead (§IV-B). Everything
 //! needed by the figures comes back in one [`PipelineReport`].
 
+use greenness_faults::FaultPlan;
 use greenness_platform::{HardwareSpec, Node, Phase, SimDuration, Timeline};
 use greenness_power::{GreenMetrics, PowerProfile, WattsupMeter};
 use greenness_trace::{MetricsRegistry, Tracer, Value};
@@ -25,6 +26,10 @@ pub struct ExperimentSetup {
     /// `greenness-trace` observability layer). Off by default; tracing is
     /// deterministic but costs allocation per event.
     pub trace: bool,
+    /// Seeded storage-fault schedule (transient fsync errors, retried with
+    /// backoff inside the run). `None` — the default — is the untouched
+    /// fault-free fast path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ExperimentSetup {
@@ -34,6 +39,7 @@ impl Default for ExperimentSetup {
             meter: WattsupMeter::default(),
             monitoring_overhead_w: 0.2,
             trace: false,
+            faults: None,
         }
     }
 }
@@ -128,7 +134,7 @@ pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) ->
         );
         node.set_tracer(tracer);
     }
-    let output = pipeline::run(kind, &mut node, cfg);
+    let output = pipeline::run_with_faults(kind, &mut node, cfg, setup.faults);
     node.finish_trace();
     let tracer = node.tracer().clone();
     let timeline = node.into_timeline();
@@ -289,6 +295,36 @@ mod tests {
         // Tracing must not perturb the simulated physics.
         assert_eq!(plain.metrics.energy_j, traced.metrics.energy_j);
         assert_eq!(plain.profile.samples, traced.profile.samples);
+    }
+
+    #[test]
+    fn storage_faults_stretch_the_run_but_not_its_output() {
+        let cfg = PipelineConfig::small(1);
+        let clean = run(
+            PipelineKind::PostProcessing,
+            &cfg,
+            &ExperimentSetup::noiseless(),
+        );
+        let setup = ExperimentSetup {
+            faults: Some(FaultPlan {
+                storage_fsync_rate: 0.5,
+                ..FaultPlan::with_seed(21)
+            }),
+            ..ExperimentSetup::noiseless()
+        };
+        let faulted = run(PipelineKind::PostProcessing, &cfg, &setup);
+        let again = run(PipelineKind::PostProcessing, &cfg, &setup);
+        // Faults and retries cost time and energy but never change the data.
+        assert!(faulted.output.verified);
+        assert_eq!(faulted.output.bytes_written, clean.output.bytes_written);
+        assert_eq!(faulted.output.bytes_read, clean.output.bytes_read);
+        assert!(faulted.metrics.execution_time_s > clean.metrics.execution_time_s);
+        assert!(faulted.metrics.energy_j > clean.metrics.energy_j);
+        // Same seed, same schedule: bit-identical reruns.
+        assert_eq!(
+            faulted.metrics.energy_j.to_bits(),
+            again.metrics.energy_j.to_bits()
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! and *verifies* them against a checksum taken at write time, so any
 //! storage-stack corruption fails loudly.
 
+use greenness_faults::{FaultPlan, Site};
 use greenness_heatsim::{Grid, HeatSolver};
 use greenness_platform::{Activity, Node, Phase};
 use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
@@ -123,7 +124,11 @@ pub(crate) fn write_chunked(
         let end = (off + chunk).min(data.len());
         fs.write(node, name, off as u64, &data[off..end], phase)
             .expect("device sized for the run");
-        fs.fsync(node, name, phase).expect("file just written");
+        // Transient fsync faults (when a schedule is installed) are retried
+        // with backoff inside the filesystem; only budget exhaustion or a
+        // genuine metadata error surfaces, and either is fatal here.
+        fs.fsync_with_retry(node, name, phase)
+            .expect("fsync committed within the retry budget");
         off = end;
     }
     data.len() as u64
@@ -152,10 +157,24 @@ pub(crate) fn read_chunked(
 /// Run the chosen pipeline over `node`. The node accumulates the power
 /// timeline; the returned output carries the data-side results.
 pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> PipelineOutput {
+    run_with_faults(kind, node, cfg, None)
+}
+
+/// [`run`] with a seeded storage-fault schedule: transient fsync errors are
+/// injected per the plan and retried with exponential backoff, so a flaky
+/// disk stretches the run (real static energy) instead of changing its
+/// output. `None` is exactly the fault-free fast path.
+pub fn run_with_faults(
+    kind: PipelineKind,
+    node: &mut Node,
+    cfg: &PipelineConfig,
+    faults: Option<FaultPlan>,
+) -> PipelineOutput {
     let mut fs = FileSystem::format(
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
     );
+    fs.set_fault_injector(faults.map(|plan| plan.injector(Site::StorageFsync, 0)));
     let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
         // A warm Gaussian patch on a cold plate.
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()

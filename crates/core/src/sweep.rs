@@ -81,6 +81,9 @@ impl SweepJob {
     fn execute(&self) -> PipelineReport {
         let mut setup = self.setup.clone();
         setup.meter.seed = self.derived_seed();
+        // Fault schedules reseed the same way meter noise does: from the job
+        // key and the sweep-level base plan only, never from scheduling.
+        setup.faults = setup.faults.map(|plan| plan.derive(&self.key()));
         run(self.kind, &self.cfg, &setup)
     }
 }

@@ -1,0 +1,299 @@
+//! Deterministic, seed-driven fault injection for the simulated stack.
+//!
+//! A [`FaultPlan`] names a seed and per-site fault rates; a [`FaultInjector`]
+//! is instantiated at each injection site (one per filesystem, fabric, or
+//! service) and asked before every operation whether a fault fires. The
+//! decision is a **stateless hash** of `(plan seed, site label, site salt,
+//! operation index)` — no shared RNG state — so two runs with the same plan
+//! make identical decisions regardless of thread interleaving, and a sweep
+//! executed with `--jobs 8` is bit-identical to `--jobs 1`.
+//!
+//! With no plan configured the injector is simply absent (`Option::None` at
+//! every site) and the fault layer costs one branch, leaving every golden
+//! output byte-identical to the fault-free build.
+//!
+//! The hash chain reuses the repo's sweep-seed convention
+//! (FNV-1a 64 folded through SplitMix64) so fault schedules compose with the
+//! per-job derived RNG seeds from `greenness_core::sweep`.
+
+/// Where in the stack an injector sits. Labels are part of the deterministic
+/// schedule: renaming one reshuffles that site's faults (and only that
+/// site's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// `storage::fs` — fsync faults: transient journal-commit errors and
+    /// torn writebacks that persist only a prefix of the dirty pages.
+    StorageFsync,
+    /// `cluster::fabric` — a transfer is dropped (payload lost, must be
+    /// resent) or delayed (delivered, but at degraded bandwidth).
+    FabricTransfer,
+    /// `serve` — the connection is dropped before the response is written.
+    ServeConn,
+    /// `serve` — the handler is artificially slowed (an overloaded staging
+    /// node), observable through retry/latency accounting only.
+    ServeHandler,
+}
+
+impl Site {
+    /// Stable label hashed into the fault schedule.
+    pub fn label(self) -> &'static str {
+        match self {
+            Site::StorageFsync => "storage.fsync",
+            Site::FabricTransfer => "fabric.transfer",
+            Site::ServeConn => "serve.conn",
+            Site::ServeHandler => "serve.handler",
+        }
+    }
+
+    /// The plan's fault probability for this site.
+    pub fn rate(self, plan: &FaultPlan) -> f64 {
+        match self {
+            Site::StorageFsync => plan.storage_fsync_rate,
+            Site::FabricTransfer => plan.fabric_fault_rate,
+            Site::ServeConn => plan.serve_drop_rate,
+            Site::ServeHandler => plan.serve_slow_rate,
+        }
+    }
+}
+
+/// A seeded fault schedule: which sites fault, how often, and how patiently
+/// the layers above retry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every site derives its schedule from it.
+    pub seed: u64,
+    /// Probability an `fsync` faults (transient error or torn writeback).
+    pub storage_fsync_rate: f64,
+    /// Probability a fabric transfer is dropped or delayed.
+    pub fabric_fault_rate: f64,
+    /// Probability a serve connection is dropped before responding.
+    pub serve_drop_rate: f64,
+    /// Probability a serve handler is slowed.
+    pub serve_slow_rate: f64,
+    /// Bounded retry budget for every recovery loop.
+    pub max_retries: u32,
+    /// First-retry backoff in (virtual) seconds; doubles per attempt.
+    pub backoff_base_s: f64,
+}
+
+impl FaultPlan {
+    /// The standard chaos plan used by the CLI `--fault-seed` flags: every
+    /// site faults at a rate low enough that bounded retry always recovers,
+    /// high enough that a short run sees several faults.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            storage_fsync_rate: 0.08,
+            fabric_fault_rate: 0.06,
+            serve_drop_rate: 0.12,
+            serve_slow_rate: 0.10,
+            max_retries: 8,
+            backoff_base_s: 0.002,
+        }
+    }
+
+    /// A plan that never fires — useful to exercise the plumbing without
+    /// perturbing results.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            storage_fsync_rate: 0.0,
+            fabric_fault_rate: 0.0,
+            serve_drop_rate: 0.0,
+            serve_slow_rate: 0.0,
+            ..FaultPlan::with_seed(seed)
+        }
+    }
+
+    /// Exponential backoff for the given zero-based retry attempt, seconds.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s * f64::from(1u32 << attempt.min(16))
+    }
+
+    /// Derive a sub-plan whose schedule is independent of this one —
+    /// same rates and retry budget, seed re-keyed by `key`. Used to give
+    /// every sweep job its own fault schedule (mirroring the per-job RNG
+    /// seeds), so schedules do not depend on job execution order.
+    pub fn derive(&self, key: &str) -> Self {
+        FaultPlan {
+            seed: splitmix64(fnv1a64(key.as_bytes()) ^ self.seed),
+            ..*self
+        }
+    }
+
+    /// An injector for `site`, distinguished from same-site siblings by
+    /// `salt` (e.g. an I/O server index).
+    pub fn injector(&self, site: Site, salt: u64) -> FaultInjector {
+        FaultInjector {
+            plan: *self,
+            site,
+            salt,
+            ops: 0,
+        }
+    }
+}
+
+/// Per-site fault source: a deterministic counter over the site's schedule.
+///
+/// Each call to [`FaultInjector::next`] consumes one operation slot and
+/// reports whether that operation faults. The decision depends only on
+/// `(plan.seed, site, salt, op index)`, never on wall clock or thread
+/// timing.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    site: Site,
+    salt: u64,
+    ops: u64,
+}
+
+impl FaultInjector {
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Operations consumed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Decide the next operation. Returns `Some(entropy)` when a fault
+    /// fires — the entropy word is itself deterministic and lets the site
+    /// pick a sub-mode (torn vs transient, drop vs delay) from its bits.
+    // Not an Iterator: `None` means "this op runs clean", not exhaustion.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<u64> {
+        let op = self.ops;
+        self.ops += 1;
+        let mut x = splitmix64(self.plan.seed ^ fnv1a64(self.site.label().as_bytes()));
+        x = splitmix64(x ^ self.salt);
+        x = splitmix64(x ^ op);
+        // Top 53 bits → uniform in [0,1); compare against the site's rate.
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.site.rate(&self.plan) {
+            Some(splitmix64(x))
+        } else {
+            None
+        }
+    }
+}
+
+/// FNV-1a 64-bit — the same constants as `greenness_core::sweep`'s job-key
+/// hash, so fault seeds and RNG seeds share one derivation convention.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates structured inputs.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire_pattern(plan: &FaultPlan, site: Site, salt: u64, n: u64) -> Vec<Option<u64>> {
+        let mut inj = plan.injector(site, salt);
+        (0..n).map(|_| inj.next()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::with_seed(42);
+        assert_eq!(
+            fire_pattern(&plan, Site::StorageFsync, 0, 512),
+            fire_pattern(&plan, Site::StorageFsync, 0, 512)
+        );
+    }
+
+    #[test]
+    fn different_seeds_salts_and_sites_decorrelate() {
+        let a = fire_pattern(&FaultPlan::with_seed(1), Site::StorageFsync, 0, 2048);
+        let b = fire_pattern(&FaultPlan::with_seed(2), Site::StorageFsync, 0, 2048);
+        let c = fire_pattern(&FaultPlan::with_seed(1), Site::StorageFsync, 1, 2048);
+        let d = fire_pattern(&FaultPlan::with_seed(1), Site::FabricTransfer, 0, 2048);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Site rates differ, but even the raw schedules must diverge.
+        let fires = |v: &[Option<u64>]| -> Vec<bool> { v.iter().map(Option::is_some).collect() };
+        assert_ne!(fires(&a), fires(&d));
+    }
+
+    #[test]
+    fn empirical_rate_tracks_the_plan() {
+        let plan = FaultPlan::with_seed(7);
+        let n = 20_000u64;
+        let fired = fire_pattern(&plan, Site::ServeConn, 0, n)
+            .iter()
+            .filter(|f| f.is_some())
+            .count() as f64;
+        let rate = fired / n as f64;
+        assert!(
+            (rate - plan.serve_drop_rate).abs() < 0.02,
+            "empirical {rate} vs plan {}",
+            plan.serve_drop_rate
+        );
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = FaultPlan::quiet(99);
+        for site in [
+            Site::StorageFsync,
+            Site::FabricTransfer,
+            Site::ServeConn,
+            Site::ServeHandler,
+        ] {
+            assert!(fire_pattern(&plan, site, 3, 256)
+                .iter()
+                .all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let plan = FaultPlan::with_seed(0);
+        assert_eq!(plan.backoff_s(1), 2.0 * plan.backoff_s(0));
+        assert_eq!(plan.backoff_s(3), 8.0 * plan.backoff_s(0));
+        // Saturates instead of overflowing the shift.
+        assert!(plan.backoff_s(60).is_finite());
+    }
+
+    #[test]
+    fn derive_rekeys_but_keeps_rates() {
+        let plan = FaultPlan::with_seed(11);
+        let a = plan.derive("case1/InSitu");
+        let b = plan.derive("case2/InSitu");
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.max_retries, plan.max_retries);
+        assert_eq!(a.storage_fsync_rate, plan.storage_fsync_rate);
+        // Derivation is itself deterministic.
+        assert_eq!(a, plan.derive("case1/InSitu"));
+    }
+
+    #[test]
+    fn entropy_word_is_deterministic_and_varied() {
+        let plan = FaultPlan {
+            storage_fsync_rate: 1.0,
+            ..FaultPlan::with_seed(5)
+        };
+        let words: Vec<u64> = fire_pattern(&plan, Site::StorageFsync, 0, 64)
+            .into_iter()
+            .map(|f| f.expect("rate 1.0 always fires"))
+            .collect();
+        let odd = words.iter().filter(|w| *w & 1 == 1).count();
+        assert!(
+            (16..=48).contains(&odd),
+            "entropy bit 0 is biased: {odd}/64"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! once the server begins draining (waiters are woken and turned away, but
 //! requests already holding a slot run to completion — that is the drain).
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Why admission was refused.
@@ -62,7 +62,7 @@ impl Gate {
 
     /// Acquire a slot, waiting up to `deadline` (forever when `None`).
     pub fn admit(&self, deadline: Option<Duration>) -> Result<Permit<'_>, Denial> {
-        let mut state = self.state.lock().expect("gate lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.shutting_down {
             return Err(Denial::ShuttingDown);
         }
@@ -83,10 +83,16 @@ impl Gate {
                         state.waiting -= 1;
                         return Err(Denial::DeadlineExceeded);
                     }
-                    let (guard, _) = self.freed.wait_timeout(state, at - now).expect("gate lock");
+                    let (guard, _) = self
+                        .freed
+                        .wait_timeout(state, at - now)
+                        .unwrap_or_else(PoisonError::into_inner);
                     guard
                 }
-                None => self.freed.wait(state).expect("gate lock"),
+                None => self
+                    .freed
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner),
             };
             if state.shutting_down {
                 state.waiting -= 1;
@@ -103,7 +109,7 @@ impl Gate {
     /// Begin draining: refuse new admissions and wake every waiter so it can
     /// observe the shutdown. Slots already granted stay valid.
     pub fn shutdown(&self) {
-        let mut state = self.state.lock().expect("gate lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.shutting_down = true;
         drop(state);
         self.freed.notify_all();
@@ -112,7 +118,11 @@ impl Gate {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut state = self.gate.state.lock().expect("gate lock");
+        let mut state = self
+            .gate
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         state.active -= 1;
         drop(state);
         self.gate.freed.notify_one();

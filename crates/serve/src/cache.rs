@@ -89,11 +89,26 @@ impl ResultCache {
         self.map.insert(key, value);
         self.order.push_back(key);
         while self.bytes > self.budget {
-            let lru = self.order.pop_front().expect("over budget implies entries");
-            let evicted = self.map.remove(&lru).expect("order tracks the map");
-            self.bytes -= evicted.len();
+            // Over budget implies entries remain; an empty queue would mean
+            // the byte ledger drifted, so stop evicting rather than spin.
+            let Some(lru) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = self.map.remove(&lru) {
+                self.bytes -= evicted.len();
+            }
             self.evictions += 1;
         }
+    }
+
+    /// Remove `key` outright — the service uses this to evict an entry whose
+    /// payload turned out to be corrupt. Counts as neither a hit, a miss,
+    /// nor an eviction; callers account for the corruption themselves.
+    pub fn remove(&mut self, key: &Key) -> Option<Vec<u8>> {
+        let value = self.map.remove(key)?;
+        self.bytes -= value.len();
+        self.order.retain(|k| k != key);
+        Some(value)
     }
 
     fn touch(&mut self, key: &Key) {

@@ -19,10 +19,13 @@ use std::time::Instant;
 
 use greenness_trace::{metrics_file_json, Histogram};
 
-use crate::client::Client;
+use crate::client::RetryClient;
 use crate::json::Json;
-use crate::protocol::SCHEMA;
+use crate::protocol::{self, ErrorCode, SCHEMA};
 use crate::service::{Service, ServiceConfig};
+
+/// Retry budget the live harness gives each connection per request.
+const LOAD_RETRY_BUDGET: u32 = 8;
 
 /// The fixed request mix. Templates repeat as the workload cycles, so any
 /// run longer than one cycle exercises the cache.
@@ -58,20 +61,48 @@ pub struct ReplayOutput {
     pub responses: String,
     /// The service metrics as a `greenness-metrics/v1` file.
     pub metrics: String,
+    /// Requests re-driven after an injected connection drop (0 without a
+    /// fault schedule).
+    pub retries: u64,
 }
 
 /// Drive `requests` sequentially through a fresh in-process service.
 /// Single-threaded by construction (request side); `config.jobs` still
 /// parallelizes inside `sweep` requests without affecting any output byte.
+/// With a fault schedule in `config`, a dropped request is retried like a
+/// reconnecting client would, so the response log converges to one line per
+/// request and stays byte-identical for a fixed fault seed.
 pub fn run_replay(config: ServiceConfig, requests: &[String]) -> ReplayOutput {
     let service = Service::new(config);
+    let budget = config.faults.map_or(0, |plan| plan.max_retries);
     let mut responses = String::new();
+    let mut retries = 0u64;
     for request in requests {
-        responses.push_str(&service.handle_line(request).line);
+        let mut attempt = 0u32;
+        let line = loop {
+            let outcome = service.handle_line(request);
+            if !outcome.dropped {
+                break outcome.line;
+            }
+            if attempt >= budget {
+                break protocol::error_line(
+                    "null",
+                    ErrorCode::Internal,
+                    "connection dropped; retry budget exhausted",
+                );
+            }
+            attempt += 1;
+            retries += 1;
+        };
+        responses.push_str(&line);
         responses.push('\n');
     }
     let metrics = metrics_file_json(&[("serve".to_string(), service.metrics_clone())]);
-    ReplayOutput { responses, metrics }
+    ReplayOutput {
+        responses,
+        metrics,
+        retries,
+    }
 }
 
 /// Live load-generation mode.
@@ -100,6 +131,10 @@ pub struct LoadReport {
     /// Error responses (including shed requests — expected under open-loop
     /// overload).
     pub errors: usize,
+    /// Reconnect-and-resend attempts after dropped connections. Counted
+    /// separately from `errors`: a retried request that eventually succeeds
+    /// is degradation, not failure.
+    pub retries: u64,
     /// Wall-clock of the whole run, seconds.
     pub elapsed_s: f64,
     /// Client-side latency quantiles, milliseconds. Closed-loop: response
@@ -136,11 +171,12 @@ impl LoadReport {
             }
         };
         format!(
-            "{{\"mode\":{mode},\"requests\":{},\"conns\":{},\"ok\":{},\"errors\":{},\"elapsed_s\":{},\"throughput_rps\":{},\"latency_ms\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}}}}",
+            "{{\"mode\":{mode},\"requests\":{},\"conns\":{},\"ok\":{},\"errors\":{},\"retries\":{},\"elapsed_s\":{},\"throughput_rps\":{},\"latency_ms\":{{\"p50\":{},\"p90\":{},\"p99\":{}}},\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}}}}",
             self.requests,
             self.conns,
             self.ok,
             self.errors,
+            self.retries,
             fmt_f64(self.elapsed_s),
             fmt_f64(self.requests as f64 / self.elapsed_s.max(1e-9)),
             fmt_f64(self.p50_ms),
@@ -164,50 +200,61 @@ pub fn run_load(
     let conns = conns.clamp(1, requests.max(1));
     let workload = replay_workload(requests);
     let start = Instant::now();
-    let mut per_conn: Vec<(usize, Vec<f64>)> = Vec::new(); // (ok, latencies_ms)
+    // Per connection: (ok, retries, latencies_ms).
+    let mut per_conn: Vec<(usize, u64, Vec<f64>)> = Vec::new();
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut handles = Vec::new();
         for c in 0..conns {
             let workload = &workload;
-            handles.push(scope.spawn(move || -> std::io::Result<(usize, Vec<f64>)> {
-                let mut client = Client::connect(addr)?;
-                let mut ok = 0usize;
-                let mut latencies = Vec::new();
-                for (i, request) in workload.iter().enumerate() {
-                    if i % conns != c {
-                        continue;
-                    }
-                    let scheduled = match mode {
-                        LoadMode::Closed => Instant::now(),
-                        LoadMode::Open { rate_rps } => {
-                            let at = start
-                                + std::time::Duration::from_secs_f64(i as f64 / rate_rps.max(1e-9));
-                            if let Some(wait) = at.checked_duration_since(Instant::now()) {
-                                std::thread::sleep(wait);
-                            }
-                            at
+            handles.push(
+                scope.spawn(move || -> std::io::Result<(usize, u64, Vec<f64>)> {
+                    let mut client = RetryClient::new(addr, LOAD_RETRY_BUDGET);
+                    let mut ok = 0usize;
+                    let mut latencies = Vec::new();
+                    for (i, request) in workload.iter().enumerate() {
+                        if i % conns != c {
+                            continue;
                         }
-                    };
-                    let response = client.roundtrip(request)?;
-                    latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
-                    if response.contains("\"ok\":true") {
-                        ok += 1;
+                        let scheduled = match mode {
+                            LoadMode::Closed => Instant::now(),
+                            LoadMode::Open { rate_rps } => {
+                                let at = start
+                                    + std::time::Duration::from_secs_f64(
+                                        i as f64 / rate_rps.max(1e-9),
+                                    );
+                                if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                                    std::thread::sleep(wait);
+                                }
+                                at
+                            }
+                        };
+                        let response = client.roundtrip(request)?;
+                        latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                        if response.contains("\"ok\":true") {
+                            ok += 1;
+                        }
                     }
-                }
-                Ok((ok, latencies))
-            }));
+                    Ok((ok, client.retries, latencies))
+                }),
+            );
         }
         for handle in handles {
-            per_conn.push(handle.join().expect("load thread must not panic")?);
+            // A worker panic is a harness bug, but it must surface as a
+            // structured error, not take the whole process down with it.
+            let joined = handle
+                .join()
+                .map_err(|_| std::io::Error::other("load worker thread panicked"))?;
+            per_conn.push(joined?);
         }
         Ok(())
     })?;
 
     let elapsed_s = start.elapsed().as_secs_f64();
-    let ok: usize = per_conn.iter().map(|(k, _)| k).sum();
+    let ok: usize = per_conn.iter().map(|(k, _, _)| k).sum();
+    let retries: u64 = per_conn.iter().map(|(_, r, _)| r).sum();
     let mut latency = Histogram::default();
-    for (_, ms) in &per_conn {
+    for (_, _, ms) in &per_conn {
         for &v in ms {
             latency.observe(v);
         }
@@ -219,6 +266,7 @@ pub fn run_load(
         conns,
         ok,
         errors: requests - ok,
+        retries,
         elapsed_s,
         p50_ms: latency.quantile(0.50),
         p90_ms: latency.quantile(0.90),
@@ -286,6 +334,26 @@ mod tests {
             first.metrics, wide.metrics,
             "jobs must not leak into metrics"
         );
+    }
+
+    #[test]
+    fn faulted_replay_retries_drops_and_stays_byte_identical() {
+        use greenness_faults::FaultPlan;
+        let requests = replay_workload(12);
+        let config = ServiceConfig {
+            faults: Some(FaultPlan::with_seed(7)),
+            jobs: 1,
+            ..ServiceConfig::default()
+        };
+        let a = run_replay(config, &requests);
+        let b = run_replay(ServiceConfig { jobs: 8, ..config }, &requests);
+        assert_eq!(a.responses, b.responses, "jobs must not leak under faults");
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.retries, b.retries);
+        assert!(a.retries > 0, "seed 7 must drop at least one request");
+        // Every drop was retried to completion: one ok line per request.
+        assert_eq!(a.responses.lines().count(), 12);
+        assert!(a.responses.lines().all(|l| l.contains("\"ok\":true")));
     }
 
     #[test]

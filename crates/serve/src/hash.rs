@@ -110,8 +110,8 @@ fn g(v: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, x: u32, y: u32) 
 
 fn compress(h: &mut [u32; 8], block: &[u8; 64], t: u64, last: bool) {
     let mut m = [0u32; 16];
-    for (i, word) in m.iter_mut().enumerate() {
-        *word = u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    for (word, chunk) in m.iter_mut().zip(block.chunks_exact(4)) {
+        *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
     }
     let mut v = [0u32; 16];
     v[..8].copy_from_slice(h);

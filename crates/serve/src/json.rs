@@ -197,7 +197,11 @@ fn parse_value(bytes: &[u8], i: usize, depth: usize) -> Result<(Json, usize), St
             {
                 j += 1;
             }
-            let raw = std::str::from_utf8(&bytes[i..j]).expect("ascii number token");
+            // The scan above only admits ASCII bytes, so this cannot fail;
+            // report a parse error rather than panic if it somehow does.
+            let Ok(raw) = std::str::from_utf8(&bytes[i..j]) else {
+                return Err(format!("malformed number at byte {i}"));
+            };
             if raw.parse::<f64>().is_err() {
                 return Err(format!("malformed number '{raw}' at byte {i}"));
             }

@@ -37,7 +37,7 @@ pub mod server;
 pub mod service;
 
 pub use cache::ResultCache;
-pub use client::{query, Client};
+pub use client::{query, Client, RetryClient};
 pub use harness::{replay_workload, run_load, run_replay, LoadMode, LoadReport, ReplayOutput};
 pub use protocol::{ErrorCode, SCHEMA};
 pub use server::Server;

@@ -11,7 +11,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -96,13 +96,18 @@ fn accept_loop(listener: TcpListener, service: Arc<Service>, stop: Arc<AtomicBoo
                 let service = Arc::clone(&service);
                 let stop = Arc::clone(&stop);
                 let handle = std::thread::spawn(move || connection_loop(stream, &service, &stop));
-                conns.lock().expect("conn list lock").push(handle);
+                // A connection thread that panicked poisons nothing we care
+                // about — the list is just join handles — so recover.
+                conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
             Err(_) => break,
         }
     }
-    for handle in conns.into_inner().expect("conn list lock") {
+    for handle in conns.into_inner().unwrap_or_else(PoisonError::into_inner) {
         let _ = handle.join();
     }
 }
@@ -129,6 +134,11 @@ fn connection_loop(mut stream: TcpStream, service: &Service, stop: &AtomicBool) 
                         continue;
                     }
                     let outcome = service.handle_line(trimmed);
+                    if outcome.dropped {
+                        // Injected connection-drop fault: hang up without
+                        // responding; the client reconnects and retries.
+                        return;
+                    }
                     let mut response = outcome.line.into_bytes();
                     response.push(b'\n');
                     if stream.write_all(&response).is_err() {

@@ -12,13 +12,14 @@
 //! computed or replayed from cache; hits are visible only in the
 //! `serve.cache.*` counters.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use greenness_core::advisor::{self, IoBehavior, WorkloadProfile};
 use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{CaseComparison, ExperimentSetup, PipelineConfig, PipelineKind};
+use greenness_faults::{FaultInjector, FaultPlan, Site};
 use greenness_power::GreenMetrics;
 use greenness_trace::fmt_f64;
 use greenness_trace::MetricsRegistry;
@@ -27,6 +28,18 @@ use crate::admission::{Denial, Gate};
 use crate::cache::ResultCache;
 use crate::json::Json;
 use crate::protocol::{self, ErrorCode, Request};
+
+/// How long an injected slow-handler fault stalls the worker. Wall-clock
+/// only — it never enters any response or metric, so replay output stays
+/// byte-identical.
+const SLOW_FAULT_STALL: Duration = Duration::from_millis(2);
+
+/// Lock a service mutex, recovering from poisoning: a panicking handler
+/// must never brick the server, and every value these mutexes guard
+/// (cache, metrics, fault schedule) is valid at every await-free step.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs of one service instance.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +53,10 @@ pub struct ServiceConfig {
     pub slots: usize,
     /// Bounded waiting-room depth; a request arriving beyond it is shed.
     pub queue_depth: usize,
+    /// Seeded fault schedule: injected connection drops (the server hangs
+    /// up without responding) and slow handlers (a fixed wall-clock stall).
+    /// `None` — the default — is the fault-free fast path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +66,7 @@ impl Default for ServiceConfig {
             cache_bytes: 1 << 20,
             slots: 4,
             queue_depth: 16,
+            faults: None,
         }
     }
 }
@@ -61,6 +79,21 @@ pub struct Outcome {
     pub line: String,
     /// `true` for a granted `shutdown` op.
     pub shutdown: bool,
+    /// `true` when an injected connection-drop fault fired: the caller must
+    /// hang up (or, in replay, retry) instead of delivering `line`.
+    pub dropped: bool,
+}
+
+/// The seeded per-site fault schedules of one service instance.
+struct ServeFaults {
+    conn: FaultInjector,
+    handler: FaultInjector,
+}
+
+/// Which injected serve fault fired for a request.
+enum ServeFault {
+    Drop,
+    Slow,
 }
 
 /// The shared service state behind every connection.
@@ -69,6 +102,7 @@ pub struct Service {
     cache: Mutex<ResultCache>,
     gate: Gate,
     metrics: Mutex<MetricsRegistry>,
+    faults: Option<Mutex<ServeFaults>>,
 }
 
 impl Service {
@@ -78,6 +112,12 @@ impl Service {
             cache: Mutex::new(ResultCache::new(config.cache_bytes)),
             gate: Gate::new(config.slots, config.queue_depth),
             metrics: Mutex::new(MetricsRegistry::default()),
+            faults: config.faults.map(|plan| {
+                Mutex::new(ServeFaults {
+                    conn: plan.injector(Site::ServeConn, 0),
+                    handler: plan.injector(Site::ServeHandler, 1),
+                })
+            }),
             config,
         }
     }
@@ -89,7 +129,7 @@ impl Service {
 
     /// Snapshot of the service metrics registry.
     pub fn metrics_clone(&self) -> MetricsRegistry {
-        self.metrics.lock().expect("metrics lock").clone()
+        lock(&self.metrics).clone()
     }
 
     /// Handle one request line and produce one response line.
@@ -101,26 +141,48 @@ impl Service {
                 return Outcome {
                     line: protocol::error_line(&id, ErrorCode::BadRequest, &msg),
                     shutdown: false,
+                    dropped: false,
                 };
             }
         };
-        // Control ops bypass cache, admission, and the request counters so
-        // that observing the service never perturbs what is observed.
+        // Control ops bypass cache, admission, the request counters, and
+        // fault injection, so that observing the service never perturbs
+        // what is observed.
         match req.op.as_str() {
             "metrics" => {
-                let body = self.metrics.lock().expect("metrics lock").to_json();
+                let body = lock(&self.metrics).to_json();
                 return Outcome {
                     line: protocol::ok_line(&req.id, &body),
                     shutdown: false,
+                    dropped: false,
                 };
             }
             "shutdown" => {
                 return Outcome {
                     line: protocol::ok_line(&req.id, "{\"status\":\"draining\"}"),
                     shutdown: true,
+                    dropped: false,
                 };
             }
             _ => {}
+        }
+        // The fault schedule fires before any request accounting: a dropped
+        // connection never handled the request, so only the fault counter
+        // moves and the retry (if any) is accounted like a fresh arrival.
+        match self.next_fault() {
+            Some(ServeFault::Drop) => {
+                self.count("faults.serve.conn");
+                return Outcome {
+                    line: String::new(),
+                    shutdown: false,
+                    dropped: true,
+                };
+            }
+            Some(ServeFault::Slow) => {
+                self.count("faults.serve.handler");
+                std::thread::sleep(SLOW_FAULT_STALL);
+            }
+            None => {}
         }
         self.count("serve.requests");
 
@@ -130,6 +192,7 @@ impl Service {
             return Outcome {
                 line: protocol::ok_line(&req.id, &payload),
                 shutdown: false,
+                dropped: false,
             };
         }
         self.count("serve.cache.misses");
@@ -159,6 +222,7 @@ impl Service {
                 return Outcome {
                     line: protocol::error_line(&req.id, code, msg),
                     shutdown: false,
+                    dropped: false,
                 };
             }
         };
@@ -170,13 +234,14 @@ impl Service {
                     // Deterministic cost accounting: simulated seconds the
                     // request cost to compute, observed only on misses — the
                     // replay harness's stand-in for wall-clock latency.
-                    let mut m = self.metrics.lock().expect("metrics lock");
+                    let mut m = lock(&self.metrics);
                     m.observe("serve.virtual_s", virtual_s);
                 }
                 self.cache_put(req.cache_key, result.as_bytes().to_vec());
                 Outcome {
                     line: protocol::ok_line(&req.id, &result),
                     shutdown: false,
+                    dropped: false,
                 }
             }
             Err((code, msg)) => {
@@ -184,31 +249,56 @@ impl Service {
                 Outcome {
                     line: protocol::error_line(&req.id, code, &msg),
                     shutdown: false,
+                    dropped: false,
                 }
             }
         }
     }
 
     fn count(&self, name: &'static str) {
-        self.metrics.lock().expect("metrics lock").incr(name, 1);
+        lock(&self.metrics).incr(name, 1);
+    }
+
+    /// Consume the next fault-schedule slot (one per handled request).
+    fn next_fault(&self) -> Option<ServeFault> {
+        let mut faults = lock(self.faults.as_ref()?);
+        if faults.conn.next().is_some() {
+            return Some(ServeFault::Drop);
+        }
+        if faults.handler.next().is_some() {
+            return Some(ServeFault::Slow);
+        }
+        None
     }
 
     fn cache_get(&self, key: &[u8; 32]) -> Option<String> {
-        let mut cache = self.cache.lock().expect("cache lock");
-        cache
-            .get(key)
-            .map(|bytes| String::from_utf8(bytes.to_vec()).expect("cached payloads are JSON"))
+        let mut cache = lock(&self.cache);
+        let bytes = cache.get(key)?.to_vec();
+        match String::from_utf8(bytes) {
+            Ok(payload) => Some(payload),
+            Err(_) => {
+                // A corrupt payload must never panic the worker: evict the
+                // entry, reclassify the lookup as a miss (the caller will
+                // recompute), and count the corruption.
+                cache.remove(key);
+                cache.hits -= 1;
+                cache.misses += 1;
+                drop(cache);
+                self.count("serve.cache.corrupt");
+                None
+            }
+        }
     }
 
     fn cache_put(&self, key: [u8; 32], payload: Vec<u8>) {
         let (evictions, rejected) = {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = lock(&self.cache);
             let before = (cache.evictions, cache.rejected);
             cache.insert(key, payload);
             (cache.evictions - before.0, cache.rejected - before.1)
         };
         if evictions + rejected > 0 {
-            let mut m = self.metrics.lock().expect("metrics lock");
+            let mut m = lock(&self.metrics);
             m.incr("serve.cache.evictions", evictions);
             m.incr("serve.cache.rejected", rejected);
         }
@@ -599,6 +689,71 @@ mod tests {
         // Control ops did not count as requests.
         let m = s.metrics_clone();
         assert_eq!(m.counter("serve.requests"), 1);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_bricking_the_service() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let s = svc();
+        s.handle_line(&line(r#""id":1,"op":"advisor","params":{}"#));
+        // A handler that panics while holding a lock poisons it; the next
+        // request must still be served.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = s.metrics.lock().unwrap();
+            panic!("poison the metrics lock");
+        }));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = s.cache.lock().unwrap();
+            panic!("poison the cache lock");
+        }));
+        let out = s.handle_line(&line(r#""id":2,"op":"advisor","params":{}"#));
+        assert!(out.line.contains("\"ok\":true"), "{}", out.line);
+        assert_eq!(s.metrics_clone().counter("serve.requests"), 2);
+    }
+
+    #[test]
+    fn corrupt_cached_payload_is_evicted_and_recomputed() {
+        let s = svc();
+        let request = line(r#""id":3,"op":"advisor","params":{"passes":2}"#);
+        let cold = s.handle_line(&request);
+        // Corrupt the cached payload behind the service's back.
+        let key = protocol::parse_request(&request).expect("parses").cache_key;
+        s.cache.lock().unwrap().insert(key, vec![0xff, 0xfe, 0x80]);
+        let recomputed = s.handle_line(&request);
+        assert_eq!(cold.line, recomputed.line, "recompute, not garbage");
+        let warm = s.handle_line(&request);
+        assert_eq!(cold.line, warm.line);
+        let m = s.metrics_clone();
+        assert_eq!(m.counter("serve.cache.corrupt"), 1);
+        assert_eq!(m.counter("serve.cache.hits"), 1, "only the third lookup");
+        assert_eq!(m.counter("serve.cache.misses"), 2);
+    }
+
+    #[test]
+    fn injected_serve_faults_are_seeded_and_reproducible() {
+        let run = || {
+            let s = Service::new(ServiceConfig {
+                faults: Some(FaultPlan::with_seed(5)),
+                ..ServiceConfig::default()
+            });
+            let mut dropped = Vec::new();
+            for i in 0..40 {
+                let out =
+                    s.handle_line(&line(&format!(r#""id":{i},"op":"advisor","params":{{}}"#)));
+                dropped.push(out.dropped);
+            }
+            (dropped, s.metrics_clone())
+        };
+        let (a, ma) = run();
+        let (b, mb) = run();
+        assert_eq!(a, b, "same seed, same drop pattern");
+        assert_eq!(ma.to_json(), mb.to_json());
+        let drops = a.iter().filter(|d| **d).count() as u64;
+        assert!(drops > 0, "seed 5 must fire at least one drop");
+        assert_eq!(ma.counter("faults.serve.conn"), drops);
+        assert!(ma.counter("faults.serve.handler") > 0);
+        // A dropped request never reached the request counters.
+        assert_eq!(ma.counter("serve.requests"), 40 - drops);
     }
 
     #[test]

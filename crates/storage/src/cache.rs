@@ -184,6 +184,18 @@ impl PageCache {
         evicted
     }
 
+    /// Discard every dirty page *without* writing it back — the crash
+    /// simulation: whatever was not yet durable is gone, clean pages (which
+    /// match the device) survive as if re-read after journal replay.
+    /// Returns the number of dirty pages lost.
+    pub fn discard_dirty(&mut self) -> u64 {
+        let before = self.pages.len();
+        self.pages.retain(|_, p| !p.dirty);
+        let lost = (before - self.pages.len()) as u64;
+        self.stats.evictions += lost;
+        lost
+    }
+
     /// Discard the given pages outright, dirty or not — the truncate/delete
     /// path, where the blocks no longer belong to any file and their
     /// contents must not leak into a future owner. Returns the number of

@@ -18,6 +18,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use greenness_faults::FaultInjector;
 use greenness_platform::{AccessPattern, Activity, Node, Phase};
 use greenness_trace::Value;
 use rand::rngs::SmallRng;
@@ -41,6 +42,16 @@ pub enum FsError {
         /// Current file size.
         size: u64,
     },
+    /// A transient device or journal error (injected by the fault layer).
+    /// The operation may be retried: pages not yet durable are still dirty
+    /// in the cache, so a successful retry commits the remainder.
+    TransientIo {
+        /// The operation that faulted (e.g. `"fsync"`).
+        op: &'static str,
+        /// Pages made durable before the fault hit (a *torn* writeback
+        /// persisted a prefix; a clean transient error persisted none).
+        flushed_pages: u64,
+    },
 }
 
 impl std::fmt::Display for FsError {
@@ -50,6 +61,12 @@ impl std::fmt::Display for FsError {
             FsError::NoSpace => write!(f, "device full"),
             FsError::BadOffset { offset, size } => {
                 write!(f, "offset {offset} beyond end of file ({size})")
+            }
+            FsError::TransientIo { op, flushed_pages } => {
+                write!(
+                    f,
+                    "transient I/O error during {op} ({flushed_pages} pages durable)"
+                )
             }
         }
     }
@@ -159,6 +176,9 @@ pub struct FileSystem<D: BlockDevice> {
     /// Cache counters already published to a tracer (see
     /// [`Self::publish_cache_counters`]).
     published: CacheStats,
+    /// Seeded fsync fault schedule; `None` (the default) is the fault-free
+    /// fast path and leaves every cost and output untouched.
+    faults: Option<FaultInjector>,
 }
 
 impl<D: BlockDevice> FileSystem<D> {
@@ -180,7 +200,21 @@ impl<D: BlockDevice> FileSystem<D> {
             config,
             rng: SmallRng::seed_from_u64(seed),
             published: CacheStats::default(),
+            faults: None,
         }
+    }
+
+    /// Install (or clear) a seeded fsync fault schedule. Each
+    /// [`Self::fsync`] consumes one slot of the schedule; a firing slot
+    /// turns the commit into a transient error or a torn writeback.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
+    }
+
+    /// The configured retry budget (0 when no fault schedule is installed,
+    /// where the first attempt always succeeds).
+    pub fn fault_retry_budget(&self) -> u32 {
+        self.faults.as_ref().map_or(0, |f| f.plan().max_retries)
     }
 
     /// The active configuration.
@@ -551,6 +585,9 @@ impl<D: BlockDevice> FileSystem<D> {
             .ok_or_else(|| FsError::NotFound(name.to_string()))?;
         let file_blocks = inode.device_blocks();
         let dirty = self.cache.dirty_among(&file_blocks);
+        if let Some(entropy) = self.faults.as_mut().and_then(FaultInjector::next) {
+            return Err(self.faulted_fsync(node, &dirty, entropy, phase));
+        }
         self.charge_writeback(node, &dirty, phase);
         node.execute(
             Activity::DiskBarrier {
@@ -568,6 +605,101 @@ impl<D: BlockDevice> FileSystem<D> {
         }
         self.publish_cache_counters(node);
         Ok(())
+    }
+
+    /// An injected fsync fault: a *torn* writeback (entropy bit 0 set)
+    /// persists a prefix of the dirty pages before the journal commit
+    /// fails; a clean transient error persists none. Either way the
+    /// non-durable pages stay dirty in the cache, so a retry commits the
+    /// remainder — exactly the contract journal replay gives a real ext3.
+    fn faulted_fsync(
+        &mut self,
+        node: &mut Node,
+        dirty: &[u64],
+        entropy: u64,
+        phase: Phase,
+    ) -> FsError {
+        let torn = entropy & 1 == 1 && !dirty.is_empty();
+        let prefix = if torn { dirty.len().div_ceil(2) } else { 0 };
+        let flushed = &dirty[..prefix];
+        // The failed commit still cost real work: the prefix writeback and
+        // the journal seeks spent before the error surfaced.
+        self.charge_writeback(node, flushed, phase);
+        node.execute(
+            Activity::DiskBarrier {
+                seeks: self.config.journal_seeks_per_fsync,
+            },
+            phase,
+        );
+        self.cache.flush_blocks(&mut self.dev, flushed);
+        let tracer = node.tracer();
+        tracer.count("faults.storage.fsync", 1);
+        if tracer.is_on() {
+            tracer.instant(
+                node.now().as_nanos(),
+                "fault.injected",
+                vec![
+                    ("site", Value::from("storage.fsync")),
+                    ("mode", Value::from(if torn { "torn" } else { "transient" })),
+                    ("flushed_pages", Value::from(prefix)),
+                ],
+            );
+        }
+        self.publish_cache_counters(node);
+        FsError::TransientIo {
+            op: "fsync",
+            flushed_pages: prefix as u64,
+        }
+    }
+
+    /// [`Self::fsync`] with bounded retry over transient faults: each failed
+    /// attempt backs off exponentially (charged to `node` as real idle
+    /// time — static energy), then retries the remaining dirty pages. Other
+    /// errors and an exhausted budget are returned to the caller. With no
+    /// fault schedule installed this is exactly one plain `fsync`.
+    pub fn fsync_with_retry(
+        &mut self,
+        node: &mut Node,
+        name: &str,
+        phase: Phase,
+    ) -> Result<(), FsError> {
+        let plan = match &self.faults {
+            Some(f) => *f.plan(),
+            None => return self.fsync(node, name, phase),
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.fsync(node, name, phase) {
+                Err(FsError::TransientIo { .. }) if attempt < plan.max_retries => {
+                    let pause = plan.backoff_s(attempt);
+                    node.execute(Activity::idle_secs(pause), phase);
+                    let tracer = node.tracer();
+                    tracer.count("retries.storage.fsync", 1);
+                    if tracer.is_on() {
+                        tracer.instant(
+                            node.now().as_nanos(),
+                            "fault.retry",
+                            vec![
+                                ("site", Value::from("storage.fsync")),
+                                ("attempt", Value::from(attempt + 1)),
+                                ("backoff_s", Value::from(pause)),
+                            ],
+                        );
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Simulate a crash followed by journal replay: every page not yet
+    /// durably written is lost (discarded without writeback); metadata and
+    /// the device contents — everything an acknowledged `fsync` covered —
+    /// survive. Returns the number of dirty pages lost. The chaos suite
+    /// re-reads files after this to verify no acknowledged write is lost.
+    pub fn crash_and_recover(&mut self) -> u64 {
+        self.cache.discard_dirty()
     }
 
     /// Whole-filesystem `sync`: flush every dirty page, one barrier.
@@ -861,6 +993,69 @@ mod tests {
             Phase::Write,
         );
         assert_eq!(r.unwrap_err(), FsError::NoSpace);
+    }
+
+    #[test]
+    fn faulted_fsync_is_transient_and_retry_recovers() {
+        use greenness_faults::{FaultPlan, Site};
+        let (mut node, mut fs) = setup();
+        // Rate 1.0: every attempt faults, so a bare fsync reports the
+        // transient error to the caller.
+        let always = FaultPlan {
+            storage_fsync_rate: 1.0,
+            ..FaultPlan::with_seed(3)
+        };
+        fs.set_fault_injector(Some(always.injector(Site::StorageFsync, 0)));
+        fs.write(&mut node, "f", 0, &[5u8; 64 * 1024], Phase::Write)
+            .unwrap();
+        let r = fs.fsync(&mut node, "f", Phase::Write);
+        assert!(matches!(r, Err(FsError::TransientIo { op: "fsync", .. })));
+        // A moderate rate recovers within the budget.
+        fs.set_fault_injector(Some(
+            FaultPlan::with_seed(3).injector(Site::StorageFsync, 0),
+        ));
+        fs.fsync_with_retry(&mut node, "f", Phase::Write).unwrap();
+        assert!(fs.cache_stats().writebacks >= 16, "pages reached the disk");
+    }
+
+    #[test]
+    fn acknowledged_fsync_survives_crash_recovery() {
+        use greenness_faults::{FaultPlan, Site};
+        let (mut node, mut fs) = setup();
+        let plan = FaultPlan {
+            storage_fsync_rate: 0.5,
+            ..FaultPlan::with_seed(11)
+        };
+        fs.set_fault_injector(Some(plan.injector(Site::StorageFsync, 0)));
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 241) as u8).collect();
+        fs.write(&mut node, "ack", 0, &data, Phase::Write).unwrap();
+        fs.fsync_with_retry(&mut node, "ack", Phase::Write).unwrap();
+        // An unacknowledged sibling write is in flight when the node dies.
+        fs.write(&mut node, "lost", 0, &[1u8; 4096], Phase::Write)
+            .unwrap();
+        fs.crash_and_recover();
+        let back = fs
+            .read(&mut node, "ack", 0, data.len() as u64, Phase::Read)
+            .unwrap();
+        assert_eq!(back, data, "acknowledged write lost in the crash");
+    }
+
+    #[test]
+    fn fault_free_path_is_byte_and_cost_identical() {
+        use greenness_faults::{FaultPlan, Site};
+        // A quiet plan (rate 0) must not change costs or contents at all.
+        let run = |inject: bool| {
+            let (mut node, mut fs) = setup();
+            if inject {
+                let quiet = FaultPlan::quiet(9);
+                fs.set_fault_injector(Some(quiet.injector(Site::StorageFsync, 0)));
+            }
+            fs.write(&mut node, "f", 0, &[7u8; 128 * 1024], Phase::Write)
+                .unwrap();
+            fs.fsync_with_retry(&mut node, "f", Phase::Write).unwrap();
+            node.now().as_nanos()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() {
         ClusterKind::InSitu,
         ClusterKind::InTransit,
     ] {
-        let r = run_cluster(kind, &cfg);
+        let r = run_cluster(kind, &cfg).expect("example cluster fits its PFS");
         rows.push(vec![
             format!("{kind:?}"),
             report::f(r.makespan_s, 2),
@@ -55,7 +55,7 @@ fn main() {
     for nodes in [2usize, 4, 8] {
         let mut c = ClusterConfig::small(nodes, 2);
         c.timesteps = 8;
-        let r = run_cluster(ClusterKind::PostProcessing, &c);
+        let r = run_cluster(ClusterKind::PostProcessing, &c).expect("example cluster fits its PFS");
         rows.push(vec![
             format!("{nodes} nodes"),
             report::f(r.makespan_s, 2),

@@ -13,8 +13,8 @@ fn cluster_reproduces_the_single_node_conclusion() {
     // 4-node cluster with a 2-server PFS.
     let mut cfg = ClusterConfig::small(4, 2);
     cfg.timesteps = 8;
-    let post = run_cluster(ClusterKind::PostProcessing, &cfg);
-    let insitu = run_cluster(ClusterKind::InSitu, &cfg);
+    let post = run_cluster(ClusterKind::PostProcessing, &cfg).unwrap();
+    let insitu = run_cluster(ClusterKind::InSitu, &cfg).unwrap();
     assert!(post.verified);
     let savings = (1.0 - insitu.total_energy_j / post.total_energy_j) * 100.0;
     assert!(savings > 10.0, "cluster in-situ saved only {savings:.1}%");
@@ -30,8 +30,8 @@ fn cluster_scaling_shifts_energy_to_static_overheads() {
     small.timesteps = 6;
     let mut large = ClusterConfig::small(8, 2);
     large.timesteps = 6;
-    let two = run_cluster(ClusterKind::PostProcessing, &small);
-    let eight = run_cluster(ClusterKind::PostProcessing, &large);
+    let two = run_cluster(ClusterKind::PostProcessing, &small).unwrap();
+    let eight = run_cluster(ClusterKind::PostProcessing, &large).unwrap();
     assert!(
         eight.makespan_s < two.makespan_s,
         "{} vs {}",

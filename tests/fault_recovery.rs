@@ -1,0 +1,237 @@
+//! Chaos suite: seeded fault injection with retry/recovery across the
+//! storage, cluster, and serve layers.
+//!
+//! The properties under test are the ones the paper's energy argument
+//! depends on: a degraded run costs *more time and energy* (retries and
+//! backoff are real static power) but never changes *what* was computed —
+//! and with no fault plan configured, nothing changes at all.
+
+use greenness_cluster::{run_cluster, run_cluster_with_faults, ClusterConfig, ClusterKind};
+use greenness_core::{experiment, ExperimentSetup, PipelineConfig, PipelineKind};
+use greenness_faults::{FaultPlan, Site};
+use greenness_platform::{HardwareSpec, Node, Phase};
+use greenness_serve::{replay_workload, run_replay, ServiceConfig};
+use greenness_storage::{FileSystem, FsConfig, FsError, MemBlockDevice};
+
+fn fresh_fs() -> (Node, FileSystem<MemBlockDevice>) {
+    let node = Node::new(HardwareSpec::table1());
+    let fs = FileSystem::format(
+        MemBlockDevice::with_capacity_bytes(64 * 1024 * 1024),
+        FsConfig::default(),
+    );
+    (node, fs)
+}
+
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64 * 31 + seed * 17) % 251) as u8)
+        .collect()
+}
+
+/// The core durability property: any write whose `fsync` was acknowledged
+/// (within the retry budget) survives a crash plus journal replay, for
+/// every fault seed. Unacknowledged files promise nothing and are skipped.
+#[test]
+fn acknowledged_fsyncs_survive_crash_and_recovery() {
+    for seed in 0..24u64 {
+        let (mut node, mut fs) = fresh_fs();
+        let plan = FaultPlan {
+            storage_fsync_rate: 0.5,
+            ..FaultPlan::with_seed(seed)
+        };
+        fs.set_fault_injector(Some(plan.injector(Site::StorageFsync, 0)));
+        let mut acked = Vec::new();
+        for f in 0..4 {
+            let name = format!("snap{f}");
+            let data = payload(seed + f, 200_000 + f as usize * 777);
+            fs.write(&mut node, &name, 0, &data, Phase::Write)
+                .expect("write buffers in cache");
+            match fs.fsync_with_retry(&mut node, &name, Phase::Write) {
+                Ok(()) => acked.push((name, data)),
+                // Budget exhausted (p ≈ 0.5^9 per file): durability was
+                // never acknowledged, so the property says nothing.
+                Err(FsError::TransientIo { .. }) => {}
+                Err(e) => panic!("unexpected fsync error: {e}"),
+            }
+        }
+        fs.crash_and_recover();
+        for (name, data) in &acked {
+            let back = fs
+                .read(&mut node, name, 0, data.len() as u64, Phase::Read)
+                .expect("acknowledged file survives the crash");
+            assert_eq!(&back, data, "seed {seed}: {name} lost acknowledged bytes");
+        }
+    }
+}
+
+/// A crash before the fsync is acknowledged may lose the dirty pages — and
+/// `crash_and_recover` reports how many. This pins the negative space of
+/// the property above: the suite would be vacuous if nothing were ever at
+/// risk.
+#[test]
+fn unsynced_writes_are_genuinely_at_risk() {
+    let (mut node, mut fs) = fresh_fs();
+    let data = payload(7, 300_000);
+    fs.write(&mut node, "volatile", 0, &data, Phase::Write)
+        .expect("write buffers in cache");
+    let lost = fs.crash_and_recover();
+    assert!(lost > 0, "dirty pages must be discarded by the crash");
+}
+
+/// A faulted cluster run converges to the fault-free result: same bytes
+/// shipped, same useful work, same verification verdict — only slower and
+/// hungrier. Same seed twice is bit-identical.
+#[test]
+fn faulted_cluster_converges_to_the_fault_free_image() {
+    let cfg = ClusterConfig::small(4, 2);
+    for kind in [
+        ClusterKind::PostProcessing,
+        ClusterKind::InSitu,
+        ClusterKind::InTransit,
+    ] {
+        let clean = run_cluster(kind, &cfg).expect("fault-free run fits its PFS");
+        let (faulted, summary) =
+            run_cluster_with_faults(kind, &cfg, Some(FaultPlan::with_seed(11)))
+                .expect("degraded run completes within the retry budget");
+        assert_eq!(faulted.bytes_out, clean.bytes_out, "{kind:?}");
+        assert_eq!(
+            faulted.work_units.to_bits(),
+            clean.work_units.to_bits(),
+            "{kind:?}"
+        );
+        assert_eq!(faulted.verified, clean.verified, "{kind:?}");
+        if summary.total_faults() > 0 {
+            assert!(
+                faulted.makespan_s > clean.makespan_s,
+                "{kind:?}: retries are real time"
+            );
+            assert!(
+                faulted.total_energy_j > clean.total_energy_j,
+                "{kind:?}: degraded I/O is real static energy"
+            );
+        }
+        let (again, summary2) = run_cluster_with_faults(kind, &cfg, Some(FaultPlan::with_seed(11)))
+            .expect("rerun completes");
+        assert_eq!(faulted.makespan_s.to_bits(), again.makespan_s.to_bits());
+        assert_eq!(
+            faulted.total_energy_j.to_bits(),
+            again.total_energy_j.to_bits()
+        );
+        assert_eq!(summary, summary2, "{kind:?}: same seed, same schedule");
+    }
+}
+
+/// At least one cluster pipeline must actually absorb faults at the default
+/// rates, or the convergence test above proves nothing.
+#[test]
+fn default_fault_rates_actually_fire_in_the_cluster() {
+    let cfg = ClusterConfig::small(4, 2);
+    let total: u64 = [
+        ClusterKind::PostProcessing,
+        ClusterKind::InSitu,
+        ClusterKind::InTransit,
+    ]
+    .into_iter()
+    .map(|kind| {
+        run_cluster_with_faults(kind, &cfg, Some(FaultPlan::with_seed(11)))
+            .expect("degraded run completes")
+            .1
+            .total_faults()
+    })
+    .sum();
+    assert!(total > 0, "seed 11 must inject at least one fault");
+}
+
+/// A quiet plan (all rates zero) is indistinguishable from no plan at all:
+/// the golden outputs stay byte-identical. This is the "no plan configured
+/// → nothing changes" guarantee, exercised through the whole core pipeline.
+#[test]
+fn quiet_fault_plan_leaves_golden_outputs_untouched() {
+    let cfg = PipelineConfig::small(1);
+    let baseline = experiment::run(
+        PipelineKind::PostProcessing,
+        &cfg,
+        &ExperimentSetup {
+            trace: true,
+            ..ExperimentSetup::noiseless()
+        },
+    );
+    let quiet = experiment::run(
+        PipelineKind::PostProcessing,
+        &cfg,
+        &ExperimentSetup {
+            trace: true,
+            faults: Some(FaultPlan::quiet(99)),
+            ..ExperimentSetup::noiseless()
+        },
+    );
+    assert_eq!(
+        baseline.metrics.energy_j.to_bits(),
+        quiet.metrics.energy_j.to_bits()
+    );
+    assert_eq!(
+        baseline.metrics.execution_time_s.to_bits(),
+        quiet.metrics.execution_time_s.to_bits()
+    );
+    assert_eq!(baseline.journal, quiet.journal, "journals byte-identical");
+}
+
+/// Core pipeline runs under default fault rates keep their data invariants
+/// across a sweep of seeds: all reads verify, byte counts match the clean
+/// run, and cost only ever goes up.
+#[test]
+fn faulted_pipeline_output_is_intact_across_seeds() {
+    let cfg = PipelineConfig::small(1);
+    let clean = experiment::run(
+        PipelineKind::PostProcessing,
+        &cfg,
+        &ExperimentSetup::noiseless(),
+    );
+    for seed in [1u64, 2, 3] {
+        let faulted = experiment::run(
+            PipelineKind::PostProcessing,
+            &cfg,
+            &ExperimentSetup {
+                faults: Some(FaultPlan {
+                    storage_fsync_rate: 0.3,
+                    ..FaultPlan::with_seed(seed)
+                }),
+                ..ExperimentSetup::noiseless()
+            },
+        );
+        assert!(faulted.output.verified, "seed {seed}");
+        assert_eq!(faulted.output.bytes_written, clean.output.bytes_written);
+        assert_eq!(faulted.output.bytes_read, clean.output.bytes_read);
+        assert!(faulted.metrics.energy_j >= clean.metrics.energy_j);
+    }
+}
+
+/// Faulted serve replay is schedule-independent: responses, metrics, and
+/// the retry count are byte-identical across `--jobs` values, for several
+/// seeds.
+#[test]
+fn faulted_replay_is_schedule_independent() {
+    let requests = replay_workload(12);
+    for seed in [5u64, 7, 13] {
+        let faults = Some(FaultPlan::with_seed(seed));
+        let narrow = run_replay(
+            ServiceConfig {
+                jobs: 1,
+                faults,
+                ..ServiceConfig::default()
+            },
+            &requests,
+        );
+        let wide = run_replay(
+            ServiceConfig {
+                jobs: 8,
+                faults,
+                ..ServiceConfig::default()
+            },
+            &requests,
+        );
+        assert_eq!(narrow.responses, wide.responses, "seed {seed}");
+        assert_eq!(narrow.metrics, wide.metrics, "seed {seed}");
+        assert_eq!(narrow.retries, wide.retries, "seed {seed}");
+    }
+}

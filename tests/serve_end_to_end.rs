@@ -2,9 +2,10 @@
 //! over real TCP, warm-vs-cold byte identity, deterministic load shedding,
 //! graceful drain, and replay determinism across `--jobs`.
 
+use greenness_faults::FaultPlan;
 use greenness_serve::json::Json;
 use greenness_serve::{
-    query, replay_workload, run_replay, Client, Server, Service, ServiceConfig, SCHEMA,
+    query, replay_workload, run_replay, Client, RetryClient, Server, Service, ServiceConfig, SCHEMA,
 };
 
 fn request(body: &str) -> String {
@@ -171,6 +172,34 @@ fn shutdown_op_drains_the_server_to_completion() {
     assert!(is_ok(&parsed(&reply)));
     // join() returning proves the accept loop and all connection threads
     // exited; the test would hang here otherwise.
+    server.join();
+}
+
+#[test]
+fn dropped_connections_are_retried_transparently_over_tcp() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            faults: Some(FaultPlan::with_seed(3)),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = RetryClient::new(&addr, 8);
+    for i in 0..25 {
+        let reply = client
+            .roundtrip(&request(&format!(
+                r#""id":{i},"op":"advisor","params":{{}}"#
+            )))
+            .expect("retry client recovers from injected drops");
+        assert!(is_ok(&parsed(&reply)), "{reply}");
+    }
+    assert!(
+        client.retries > 0,
+        "seed 3 must drop at least one connection"
+    );
+    server.shutdown();
     server.join();
 }
 
