@@ -154,7 +154,8 @@ fn ablate_parallelism(c: &mut Criterion) {
                     let mut s = greenness_heatsim::HeatSolver::new(
                         g,
                         greenness_core::PipelineConfig::default_solver(256, 256),
-                    );
+                    )
+                    .expect("stable config");
                     s.run(10);
                     black_box(s.grid().total())
                 })
@@ -173,7 +174,8 @@ fn ablate_compression(c: &mut Criterion) {
                 0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
             }),
             greenness_core::PipelineConfig::default_solver(256, 256),
-        );
+        )
+        .expect("stable config");
         s.run(20);
         s.grid().clone()
     };

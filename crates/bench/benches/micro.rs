@@ -12,7 +12,8 @@ use std::hint::black_box;
 fn solver_step(c: &mut Criterion) {
     let g = Grid::from_fn(512, 512, |x, y| (x * 9.0).sin() * (y * 5.0).cos());
     c.bench_function("solver_step_512x512", |b| {
-        let mut s = HeatSolver::new(g.clone(), PipelineConfig::default_solver(512, 512));
+        let mut s = HeatSolver::new(g.clone(), PipelineConfig::default_solver(512, 512))
+            .expect("stable config");
         b.iter(|| {
             s.step();
             black_box(s.steps_taken())

@@ -37,7 +37,7 @@ fn usage() -> ! {
         "usage: greenness <command>\n\
          \n\
          commands:\n\
-         \x20 case <1|2|3>                         one case study, both pipelines\n\
+         \x20 case <1|2|3> [--alpha A] [--dt D]    one case study, both pipelines\n\
          \x20 sweep [--jobs N]                     full 3-case grid, parallel + manifest\n\
          \x20 fio [bytes]                          Table III matrix (default 4 GiB)\n\
          \x20 probes                               Table II nnread/nnwrite probes\n\
@@ -50,6 +50,7 @@ fn usage() -> ! {
          \x20 query <addr> <json-request>          one request against a running server\n\
          \x20 bench-serve --addr A [...]           live load harness (closed/open loop)\n\
          \x20 bench-serve --replay [...]           deterministic in-process replay\n\
+         \x20 bench [--reps N] [--quick] [--out F] hot-path micro suite -> BENCH_5.json\n\
          \n\
          sweep also accepts --trace PATH / --metrics PATH (event journal +\n\
          metrics registry; byte-identical for every --jobs value)\n\
@@ -70,13 +71,39 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
 }
 
 fn cmd_case(args: &[String]) {
-    let n: u32 = args.first().map(|s| parse(s, "case number")).unwrap_or(1);
+    let mut n: u32 = 1;
+    let mut alpha: Option<f64> = None;
+    let mut dt: Option<f64> = None;
+    let mut it = args.iter();
+    let mut saw_n = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--alpha" => alpha = Some(parse(it.next().unwrap_or_else(|| usage()), "alpha")),
+            "--dt" => dt = Some(parse(it.next().unwrap_or_else(|| usage()), "dt")),
+            s if !saw_n => {
+                n = parse(s, "case number");
+                saw_n = true;
+            }
+            _ => usage(),
+        }
+    }
     if !(1..=3).contains(&n) {
         eprintln!("case studies are 1-3");
         std::process::exit(2);
     }
+    let mut cfg = PipelineConfig::case_study(n);
+    if let Some(a) = alpha {
+        cfg.solver.alpha = a;
+    }
+    if let Some(d) = dt {
+        cfg.solver.dt = d;
+    }
+    if let Err(e) = cfg.solver.validate(cfg.grid_nx, cfg.grid_ny) {
+        eprintln!("invalid solver config: {e}");
+        std::process::exit(2);
+    }
     eprintln!("running case study {n} (both pipelines)...");
-    let cmp = CaseComparison::run_case(n, &ExperimentSetup::default());
+    let cmp = CaseComparison::run_config(n, &cfg, &ExperimentSetup::default());
     let rows = vec![
         vec![
             "Execution time (s)".into(),
@@ -614,6 +641,38 @@ fn cmd_bench_serve(args: &[String]) {
     println!("{}", report.to_json());
 }
 
+fn cmd_bench(args: &[String]) {
+    let mut config = greenness_bench::perf::BenchConfig::default();
+    let mut out = String::from("BENCH_5.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => config.reps = parse(it.next().unwrap_or_else(|| usage()), "reps"),
+            "--jobs" => config.jobs = parse(it.next().unwrap_or_else(|| usage()), "jobs"),
+            "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
+            "--quick" => config.quick = true,
+            _ => usage(),
+        }
+    }
+    if config.reps == 0 || config.jobs == 0 {
+        eprintln!("--reps and --jobs must be at least 1");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "running hot-path suite ({} rep(s){})...",
+        config.reps,
+        if config.quick { ", quick" } else { "" }
+    );
+    let suite = greenness_bench::perf::run_suite(&config);
+    print!("{}", greenness_bench::perf::suite_table(&suite));
+    let json = greenness_bench::perf::suite_json(&config, &suite);
+    std::fs::write(&out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -630,6 +689,7 @@ fn main() {
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "bench-serve" => cmd_bench_serve(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         _ => usage(),
     }
 }

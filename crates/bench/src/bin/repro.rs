@@ -20,14 +20,21 @@
 //! `--metrics PATH` its `greenness-metrics/v1` counter/gauge registry when
 //! the case-study grid runs (both are byte-identical across `--jobs`
 //! values; inspect a journal with `greenness trace summarize PATH`).
+//!
+//! `--alpha A` / `--dt D` override the solver's diffusivity and timestep on
+//! every case-study config; overrides are validated up front and a config
+//! that fails [`greenness_heatsim::SolverConfig::validate`] (non-finite,
+//! negative, or CFL-unstable) exits 2 with a structured message.
 
 use std::collections::BTreeSet;
 
-use greenness_bench::{default_jobs, run_case_grid};
+use greenness_bench::default_jobs;
 use greenness_core::breakdown::CaseBreakdown;
 use greenness_core::sweep::{self, SweepJob};
 use greenness_core::whatif::WhatIfAnalysis;
-use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineKind};
+use greenness_core::{
+    probes, report, CaseComparison, ExperimentSetup, PipelineConfig, PipelineKind,
+};
 use greenness_platform::{HardwareSpec, Phase};
 use greenness_power::PowerProfile;
 
@@ -51,6 +58,8 @@ const ARTIFACTS: &[&str] = &[
 struct Lazy {
     setup: ExperimentSetup,
     jobs: usize,
+    alpha: Option<f64>,
+    dt: Option<f64>,
     trace_path: Option<String>,
     metrics_path: Option<String>,
     cases: Option<Vec<CaseComparison>>,
@@ -65,7 +74,16 @@ impl Lazy {
                 self.jobs
             );
             let t0 = std::time::Instant::now();
-            let results = run_case_grid(&self.setup, self.jobs, &|done, total, key| {
+            let mut grid = sweep::case_grid(&self.setup, &[1, 2, 3]);
+            for job in &mut grid {
+                if let Some(a) = self.alpha {
+                    job.cfg.solver.alpha = a;
+                }
+                if let Some(d) = self.dt {
+                    job.cfg.solver.dt = d;
+                }
+            }
+            let results = sweep::run_sweep(grid, self.jobs, &|done, total, key| {
                 eprintln!("[sweep] {done}/{total} done: {key}");
             })
             .unwrap_or_else(|e| {
@@ -151,6 +169,8 @@ fn emit_pair_table(
 /// Parsed command-line options.
 struct Cli {
     jobs: usize,
+    alpha: Option<f64>,
+    dt: Option<f64>,
     trace_path: Option<String>,
     metrics_path: Option<String>,
     fault_seed: Option<u64>,
@@ -173,8 +193,16 @@ fn parse_cli(args: Vec<String>) -> Cli {
             std::process::exit(2);
         })
     }
+    fn solver_param(s: &str, what: &str) -> f64 {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {what}: {s}");
+            std::process::exit(2);
+        })
+    }
     let mut cli = Cli {
         jobs: default_jobs(),
+        alpha: None,
+        dt: None,
         trace_path: None,
         metrics_path: None,
         fault_seed: None,
@@ -204,6 +232,14 @@ fn parse_cli(args: Vec<String>) -> Cli {
             cli.fault_seed = Some(seed(&value(&a)));
         } else if let Some(n) = a.strip_prefix("--fault-seed=") {
             cli.fault_seed = Some(seed(n));
+        } else if a == "--alpha" {
+            cli.alpha = Some(solver_param(&value(&a), "alpha"));
+        } else if let Some(v) = a.strip_prefix("--alpha=") {
+            cli.alpha = Some(solver_param(v, "alpha"));
+        } else if a == "--dt" {
+            cli.dt = Some(solver_param(&value(&a), "dt"));
+        } else if let Some(v) = a.strip_prefix("--dt=") {
+            cli.dt = Some(solver_param(v, "dt"));
         } else {
             cli.rest.push(a);
         }
@@ -214,6 +250,23 @@ fn parse_cli(args: Vec<String>) -> Cli {
 
 fn main() {
     let cli = parse_cli(std::env::args().skip(1).collect());
+    // Solver overrides are usage input: validate them against every case
+    // config up front so a bad --alpha/--dt exits 2 before any work runs.
+    if cli.alpha.is_some() || cli.dt.is_some() {
+        for n in [1, 2, 3] {
+            let mut cfg = PipelineConfig::case_study(n);
+            if let Some(a) = cli.alpha {
+                cfg.solver.alpha = a;
+            }
+            if let Some(d) = cli.dt {
+                cfg.solver.dt = d;
+            }
+            if let Err(e) = cfg.solver.validate(cfg.grid_nx, cfg.grid_ny) {
+                eprintln!("invalid solver config for case {n}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let (jobs, args) = (cli.jobs, cli.rest);
     let wanted: BTreeSet<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ARTIFACTS.iter().map(|s| s.to_string()).collect()
@@ -240,6 +293,8 @@ fn main() {
     let mut lazy = Lazy {
         setup,
         jobs,
+        alpha: cli.alpha,
+        dt: cli.dt,
         trace_path: cli.trace_path,
         metrics_path: cli.metrics_path,
         cases: None,

@@ -8,6 +8,8 @@
 //! deterministic work-stealing executor: results (and the manifest written
 //! by `repro`) are bit-identical for any `--jobs` value.
 
+pub mod perf;
+
 use greenness_core::sweep::{self, JobResult};
 use greenness_core::{CaseComparison, ExperimentSetup};
 

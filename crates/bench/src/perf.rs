@@ -1,0 +1,406 @@
+//! The `greenness bench` harness: a reproducible performance trajectory for
+//! the repo's hot paths.
+//!
+//! Three code paths dominate host CPU time across the paper's experiments —
+//! the FTCS stencil step, snapshot encoding on the per-iteration dump path,
+//! and cache-key canonicalization in the serve layer. This module measures
+//! each with deterministic workloads and reports median-of-N wall-clock plus
+//! derived throughput, so `BENCH_<n>.json` files committed by successive
+//! optimization passes form a comparable trajectory.
+//!
+//! Determinism discipline mirrors the sweep executor's: every workload also
+//! emits **counters** (FNV-1a checksums of its outputs, plus exact work
+//! tallies) that must be byte-identical across reps, runs, and `--jobs`
+//! values — only the wall-clock fields may vary between hosts. The fast
+//! stencil path is additionally gated against the retained naive reference
+//! (`HeatSolver::step_reference`) inside the suite itself: if the checksums
+//! diverge, the bench aborts rather than report a speedup for wrong answers.
+//!
+//! Output schema (`greenness-bench/v1`) is a single stable JSON object; see
+//! [`suite_json`].
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use greenness_codec::rle::Rle;
+use greenness_codec::transpose::TransposeRle;
+use greenness_codec::ScratchCodec;
+use greenness_core::PipelineConfig;
+use greenness_heatsim::{Boundary, Grid, HeatSolver};
+use greenness_serve::protocol::parse_request;
+use greenness_serve::replay_workload;
+use greenness_trace::fmt_f64;
+
+/// How to run the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Wall-clock repetitions per workload (the median is reported).
+    pub reps: usize,
+    /// Shrink workloads ~4× for CI smoke runs.
+    pub quick: bool,
+    /// Worker threads for the solver's row-parallel step. Counters must not
+    /// depend on this; the suite re-checks that invariant every run.
+    pub jobs: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            reps: 5,
+            quick: false,
+            jobs: 1,
+        }
+    }
+}
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct BenchMeasurement {
+    /// Stable bench name, e.g. `stencil.fast.dirichlet`.
+    pub name: &'static str,
+    /// Human-readable workload size, e.g. `192x192x60`.
+    pub workload: String,
+    /// Median wall-clock of the reps, seconds.
+    pub median_wall_s: f64,
+    /// Work units per second at the median rep.
+    pub throughput: f64,
+    /// Throughput unit, e.g. `cells/s`.
+    pub unit: &'static str,
+    /// Deterministic counters (checksums and exact work tallies); identical
+    /// across reps, runs, and `--jobs` values.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+/// The whole suite's results plus derived cross-bench ratios.
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    /// Per-workload measurements, in fixed order.
+    pub benches: Vec<BenchMeasurement>,
+    /// Derived ratios, e.g. `stencil_speedup_dirichlet` (fast over naive
+    /// cells/s on the identical workload).
+    pub derived: BTreeMap<&'static str, f64>,
+}
+
+/// 64-bit FNV-1a over a byte stream — the suite's output checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Time `f` `reps` times; counters must repeat exactly, wall-clock is
+/// summarized by its median.
+fn measure<F>(
+    name: &'static str,
+    workload: String,
+    unit: &'static str,
+    reps: usize,
+    mut f: F,
+) -> BenchMeasurement
+where
+    F: FnMut() -> (f64, BTreeMap<&'static str, u64>),
+{
+    let reps = reps.max(1);
+    let mut walls = Vec::with_capacity(reps);
+    let mut work = 0.0;
+    let mut counters: Option<BTreeMap<&'static str, u64>> = None;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let (w, c) = f();
+        walls.push(t0.elapsed().as_secs_f64());
+        if let Some(prev) = &counters {
+            assert_eq!(prev, &c, "{name}: counters drifted at rep {rep}");
+        }
+        counters = Some(c);
+        work = w;
+    }
+    walls.sort_by(f64::total_cmp);
+    let median_wall_s = walls[walls.len() / 2];
+    BenchMeasurement {
+        name,
+        workload,
+        median_wall_s,
+        throughput: work / median_wall_s.max(1e-12),
+        unit,
+        counters: counters.unwrap_or_default(),
+    }
+}
+
+/// Deterministic initial field shared by the stencil workloads.
+fn bench_field(nx: usize, ny: usize) -> Grid {
+    Grid::from_fn(nx, ny, |x, y| {
+        0.5 + 0.25 * (x * 6.0).sin() * (y * 4.0).cos()
+    })
+}
+
+/// Run the stencil workload and return `(cell_updates, counters)`.
+fn stencil(
+    nx: usize,
+    ny: usize,
+    steps: u64,
+    boundary: Boundary,
+    fast: bool,
+) -> (f64, BTreeMap<&'static str, u64>) {
+    let mut cfg = PipelineConfig::default_solver(nx, ny);
+    cfg.boundary = boundary;
+    let mut solver = HeatSolver::new(bench_field(nx, ny), cfg).expect("stable bench config");
+    for _ in 0..steps {
+        if fast {
+            solver.step();
+        } else {
+            solver.step_reference();
+        }
+    }
+    let mut counters = BTreeMap::new();
+    counters.insert("checksum", fnv1a(&solver.grid().to_bytes()));
+    counters.insert("cell_updates", solver.cell_updates());
+    (solver.cell_updates() as f64, counters)
+}
+
+/// Run the whole suite. Panics (before writing anything) if any workload's
+/// counters drift across reps or the fast stencil diverges from the naive
+/// reference — a bench must never certify a speedup for different answers.
+pub fn run_suite(config: &BenchConfig) -> BenchSuite {
+    let reps = config.reps;
+    // Workload sizes: big enough that the stencil interior dominates, small
+    // enough that a full 5-rep suite stays in seconds.
+    let (nx, ny, steps) = if config.quick {
+        (96, 96, 24u64)
+    } else {
+        (192, 192, 60u64)
+    };
+    let stencil_desc = format!("{nx}x{ny}x{steps}");
+    let mut benches = Vec::new();
+
+    for (bname, boundary) in [
+        ("dirichlet", Boundary::Dirichlet(0.0)),
+        ("neumann", Boundary::Neumann),
+    ] {
+        let fast_name: &'static str = match bname {
+            "dirichlet" => "stencil.fast.dirichlet",
+            _ => "stencil.fast.neumann",
+        };
+        let naive_name: &'static str = match bname {
+            "dirichlet" => "stencil.naive.dirichlet",
+            _ => "stencil.naive.neumann",
+        };
+        let fast = measure(fast_name, stencil_desc.clone(), "cells/s", reps, || {
+            stencil(nx, ny, steps, boundary, true)
+        });
+        let naive = measure(naive_name, stencil_desc.clone(), "cells/s", reps, || {
+            stencil(nx, ny, steps, boundary, false)
+        });
+        assert_eq!(
+            fast.counters["checksum"], naive.counters["checksum"],
+            "{bname}: fast stencil path diverged from the naive reference"
+        );
+        benches.push(fast);
+        benches.push(naive);
+    }
+
+    // Snapshot encoding on the dump path: one warmed ScratchCodec reused
+    // across every encode, exactly as the compressed pipeline variant holds
+    // it. 8 encodes per rep ≈ one case study's I/O steps.
+    let field_bytes = bench_field(nx, ny).to_bytes();
+    let encodes_per_rep = 8u64;
+    let mut transpose = ScratchCodec::new(Box::new(TransposeRle));
+    let codec_desc = format!("{}B x{encodes_per_rep}", field_bytes.len());
+    benches.push(measure(
+        "codec.transpose_rle",
+        codec_desc.clone(),
+        "bytes/s",
+        reps,
+        || {
+            let mut out_hash = 0u64;
+            let mut bytes_out = 0u64;
+            for _ in 0..encodes_per_rep {
+                let encoded = transpose
+                    .try_encode(&field_bytes)
+                    .expect("aligned finite field");
+                out_hash = fnv1a(encoded);
+                bytes_out += encoded.len() as u64;
+            }
+            let bytes_in = field_bytes.len() as u64 * encodes_per_rep;
+            let mut counters = BTreeMap::new();
+            counters.insert("checksum", out_hash);
+            counters.insert("bytes_in", bytes_in);
+            counters.insert("bytes_out", bytes_out);
+            (bytes_in as f64, counters)
+        },
+    ));
+
+    // Byte-level RLE on run-heavy data (the rendered-image shape): the
+    // batched run scan vs the old byte-at-a-time loop.
+    let rle_input: Vec<u8> = (0..field_bytes.len())
+        .map(|i| ((i / 97) % 251) as u8)
+        .collect();
+    let mut rle = ScratchCodec::new(Box::new(Rle));
+    benches.push(measure(
+        "codec.rle",
+        format!("{}B x{encodes_per_rep}", rle_input.len()),
+        "bytes/s",
+        reps,
+        || {
+            let mut out_hash = 0u64;
+            let mut bytes_out = 0u64;
+            for _ in 0..encodes_per_rep {
+                let encoded = rle.try_encode(&rle_input).expect("rle is total");
+                out_hash = fnv1a(encoded);
+                bytes_out += encoded.len() as u64;
+            }
+            let bytes_in = rle_input.len() as u64 * encodes_per_rep;
+            let mut counters = BTreeMap::new();
+            counters.insert("checksum", out_hash);
+            counters.insert("bytes_in", bytes_in);
+            counters.insert("bytes_out", bytes_out);
+            (bytes_in as f64, counters)
+        },
+    ));
+
+    // Cache-key canonicalization: parse + single-pass canonical hash of the
+    // serve harness's replay mix.
+    let requests = replay_workload(if config.quick { 100 } else { 400 });
+    benches.push(measure(
+        "serve.cache_key",
+        format!("{} requests", requests.len()),
+        "keys/s",
+        reps,
+        || {
+            let mut key_hash = 0xcbf2_9ce4_8422_2325u64;
+            for line in &requests {
+                let request = parse_request(line).expect("templates are valid");
+                key_hash ^= fnv1a(&request.cache_key);
+                key_hash = key_hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut counters = BTreeMap::new();
+            counters.insert("checksum", key_hash);
+            counters.insert("keys", requests.len() as u64);
+            (requests.len() as f64, counters)
+        },
+    ));
+
+    let mut derived = BTreeMap::new();
+    let throughput = |name: &str| {
+        benches
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.throughput)
+            .unwrap_or(0.0)
+    };
+    derived.insert(
+        "stencil_speedup_dirichlet",
+        throughput("stencil.fast.dirichlet") / throughput("stencil.naive.dirichlet").max(1e-12),
+    );
+    derived.insert(
+        "stencil_speedup_neumann",
+        throughput("stencil.fast.neumann") / throughput("stencil.naive.neumann").max(1e-12),
+    );
+
+    BenchSuite { benches, derived }
+}
+
+/// Render the suite as one `greenness-bench/v1` JSON document (trailing
+/// newline included). Counter order is the BTreeMap's, so two runs with
+/// equal counters serialize those fields identically.
+pub fn suite_json(config: &BenchConfig, suite: &BenchSuite) -> String {
+    let benches: Vec<String> = suite
+        .benches
+        .iter()
+        .map(|b| {
+            let counters: Vec<String> = b
+                .counters
+                .iter()
+                .map(|(k, v)| format!("\"{k}\":{v}"))
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"workload\":\"{}\",\"median_wall_s\":{},\"throughput\":{},\"unit\":\"{}\",\"counters\":{{{}}}}}",
+                b.name,
+                b.workload,
+                fmt_f64(b.median_wall_s),
+                fmt_f64(b.throughput),
+                b.unit,
+                counters.join(",")
+            )
+        })
+        .collect();
+    let derived: Vec<String> = suite
+        .derived
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{}", fmt_f64(*v)))
+        .collect();
+    format!(
+        "{{\"schema\":\"greenness-bench/v1\",\"bench_id\":\"BENCH_5\",\"reps\":{},\"quick\":{},\"jobs\":{},\"benches\":[{}],\"derived\":{{{}}}}}\n",
+        config.reps.max(1),
+        config.quick,
+        config.jobs,
+        benches.join(","),
+        derived.join(",")
+    )
+}
+
+/// Fixed-width summary table for the CLI.
+pub fn suite_table(suite: &BenchSuite) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>14} {:>16} {:<8}\n",
+        "bench", "median (ms)", "throughput", "unit"
+    ));
+    for b in &suite.benches {
+        out.push_str(&format!(
+            "{:<26} {:>14.3} {:>16.3e} {:<8}\n",
+            b.name,
+            b.median_wall_s * 1e3,
+            b.throughput,
+            b.unit
+        ));
+    }
+    for (k, v) in &suite.derived {
+        out.push_str(&format!("{k}: {v:.2}x\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_counters_are_deterministic_across_jobs() {
+        let quick = BenchConfig {
+            reps: 1,
+            quick: true,
+            jobs: 1,
+        };
+        let a = run_suite(&quick);
+        let b = run_suite(&BenchConfig { jobs: 8, ..quick });
+        let counters = |s: &BenchSuite| {
+            s.benches
+                .iter()
+                .map(|m| (m.name, m.counters.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counters(&a), counters(&b));
+        assert_eq!(a.benches.len(), 7);
+        for (k, v) in &a.derived {
+            assert!(v.is_finite() && *v > 0.0, "{k} = {v}");
+        }
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_stable_modulo_wall_clock() {
+        let cfg = BenchConfig {
+            reps: 1,
+            quick: true,
+            jobs: 1,
+        };
+        let json = suite_json(&cfg, &run_suite(&cfg));
+        assert!(json.starts_with("{\"schema\":\"greenness-bench/v1\""));
+        assert!(json.contains("\"bench_id\":\"BENCH_5\""));
+        assert!(json.contains("\"name\":\"stencil.fast.dirichlet\""));
+        assert!(json.contains("\"stencil_speedup_dirichlet\":"));
+        assert!(json.ends_with("}\n"));
+    }
+}

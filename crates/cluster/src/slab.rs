@@ -299,7 +299,7 @@ mod tests {
     #[test]
     fn decomposed_matches_single_node_bitwise() {
         for parts in [1usize, 2, 3, 5] {
-            let mut reference = HeatSolver::new(initial(30), config());
+            let mut reference = HeatSolver::new(initial(30), config()).expect("stable config");
             let mut decomposed = DecomposedSolver::new(&initial(30), config(), parts);
             reference.run(40);
             decomposed.run(40);
@@ -322,7 +322,7 @@ mod tests {
             }],
             ..config()
         };
-        let mut reference = HeatSolver::new(initial(24), cfg.clone());
+        let mut reference = HeatSolver::new(initial(24), cfg.clone()).expect("stable config");
         let mut decomposed = DecomposedSolver::new(&initial(24), cfg, 4);
         reference.run(60);
         decomposed.run(60);

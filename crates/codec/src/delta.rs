@@ -5,7 +5,7 @@
 //! the zigzagged delta shrinks them substantially while staying exactly
 //! lossless (the round-trip preserves every bit, including NaN payloads).
 
-use crate::Codec;
+use crate::{Codec, CodecError, Scratch};
 
 /// The delta-varint codec. Input length must be a multiple of 8 (a stream of
 /// little-endian `f64`s, as produced by `Grid::to_bytes`).
@@ -54,17 +54,24 @@ impl Codec for DeltaVarint {
         "delta-varint"
     }
 
-    fn encode(&self, input: &[u8]) -> Vec<u8> {
-        assert!(input.len() % 8 == 0, "delta codec expects a stream of f64s");
-        let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    fn encode_into(
+        &self,
+        input: &[u8],
+        _scratch: &mut Scratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if input.len() % 8 != 0 {
+            return Err(CodecError::Misaligned { len: input.len() });
+        }
+        out.clear();
         let mut prev = 0u64;
         for chunk in input.chunks_exact(8) {
             let bits = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
             let delta = bits.wrapping_sub(prev) as i64;
-            push_varint(&mut out, zigzag(delta));
+            push_varint(out, zigzag(delta));
             prev = bits;
         }
-        out
+        Ok(())
     }
 
     fn decode(&self, input: &[u8]) -> Option<Vec<u8>> {

@@ -7,7 +7,7 @@
 //!
 //! Stream format: `min: f64 | max: f64 | n: u64 | varint(zigzag(Δindex))…`.
 
-use crate::Codec;
+use crate::{Codec, CodecError, Scratch};
 
 /// The quantizing codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,39 +56,57 @@ impl Codec for Quant16 {
         "quant16"
     }
 
-    fn encode(&self, input: &[u8]) -> Vec<u8> {
-        assert!(input.len() % 8 == 0, "quant codec expects a stream of f64s");
-        let samples: Vec<f64> = input
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
-            .collect();
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for &v in &samples {
-            assert!(v.is_finite(), "quantization requires finite samples");
-            lo = lo.min(v);
-            hi = hi.max(v);
+    fn encode_into(
+        &self,
+        input: &[u8],
+        _scratch: &mut Scratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if input.len() % 8 != 0 {
+            return Err(CodecError::Misaligned { len: input.len() });
         }
-        if samples.is_empty() {
-            lo = 0.0;
-            hi = 0.0;
+        let n = input.len() / 8;
+        // Pass 1: value range (and the finiteness check), straight off the
+        // byte stream — no intermediate sample Vec.
+        let (mut lo, mut hi) = (0.0f64, 0.0f64);
+        for (index, c) in input.chunks_exact(8).enumerate() {
+            let v = f64::from_le_bytes(c.try_into().expect("chunks_exact(8)"));
+            if !v.is_finite() {
+                return Err(CodecError::NonFiniteSample { index });
+            }
+            if index == 0 {
+                lo = v;
+                hi = v;
+            } else {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
         }
-        let span = (hi - lo).max(0.0);
-        let mut out = Vec::with_capacity(samples.len() + 24);
+        let span = hi - lo;
+        out.clear();
+        out.reserve(n + 24);
         out.extend_from_slice(&lo.to_le_bytes());
         out.extend_from_slice(&hi.to_le_bytes());
-        out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        // Pass 2: quantize. `span` can overflow to +inf when lo and hi sit
+        // near opposite ends of the f64 range; quantize in halves there so
+        // the indices stay finite (the narrow-span path is byte-identical to
+        // the pre-overflow-fix format).
         let mut prev = 0i64;
-        for &v in &samples {
+        for c in input.chunks_exact(8) {
+            let v = f64::from_le_bytes(c.try_into().expect("chunks_exact(8)"));
             let idx = if span == 0.0 {
                 0
-            } else {
+            } else if span.is_finite() {
                 ((v - lo) / span * LEVELS).round() as i64
+            } else {
+                (((v / 2.0 - lo / 2.0) / (hi / 2.0 - lo / 2.0)) * LEVELS).round() as i64
             };
             let delta = idx - prev;
-            push_varint(&mut out, ((delta << 1) ^ (delta >> 63)) as u64);
+            push_varint(out, ((delta << 1) ^ (delta >> 63)) as u64);
             prev = idx;
         }
-        out
+        Ok(())
     }
 
     fn decode(&self, input: &[u8]) -> Option<Vec<u8>> {
@@ -118,7 +136,15 @@ impl Codec for Quant16 {
             if !(0..=u16::MAX as i64).contains(&prev) {
                 return None;
             }
-            let v = lo + (prev as f64 / LEVELS) * span;
+            let t = prev as f64 / LEVELS;
+            // Mirror the encoder's overflow split: with finite lo/hi but an
+            // overflowing span, interpolate without forming hi - lo so the
+            // reconstruction stays finite (exact at both endpoints).
+            let v = if span.is_finite() {
+                lo + t * span
+            } else {
+                lo * (1.0 - t) + hi * t
+            };
             out.extend_from_slice(&v.to_le_bytes());
         }
         if pos != input.len() {
@@ -196,5 +222,46 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_samples_are_rejected() {
         let _ = Quant16.encode(&f64::NAN.to_le_bytes());
+    }
+
+    #[test]
+    fn non_finite_samples_are_an_error_through_encode_into() {
+        let mut bytes = 1.0f64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&f64::INFINITY.to_le_bytes());
+        let err = Quant16
+            .encode_into(&bytes, &mut Scratch::default(), &mut Vec::new())
+            .unwrap_err();
+        assert_eq!(err, CodecError::NonFiniteSample { index: 1 });
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn misaligned_input_is_an_error_through_encode_into() {
+        let err = Quant16
+            .encode_into(&[0u8; 9], &mut Scratch::default(), &mut Vec::new())
+            .unwrap_err();
+        assert_eq!(err, CodecError::Misaligned { len: 9 });
+    }
+
+    #[test]
+    fn extreme_range_spans_round_trip_finite() {
+        // lo = -MAX, hi = MAX makes hi - lo overflow to +inf; the quantizer
+        // used to emit NaN indices here and decode to garbage.
+        let vals = [-f64::MAX, 0.0, f64::MAX];
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = Quant16;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        let rec = samples_of(&back);
+        assert!(rec.iter().all(|v| v.is_finite()), "{rec:?}");
+        // Range endpoints quantize to the lattice ends and reconstruct
+        // exactly; the midpoint lands within half a (huge) lattice step,
+        // i.e. within range/2/LEVELS computed in overflow-free halves.
+        assert_eq!(rec[0], -f64::MAX);
+        assert_eq!(rec[2], f64::MAX);
+        let half_step = (f64::MAX / 2.0 - (-f64::MAX) / 2.0) / LEVELS;
+        assert!(rec[1].abs() <= half_step * 1.001, "{}", rec[1]);
     }
 }

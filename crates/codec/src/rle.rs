@@ -4,31 +4,43 @@
 //! worst case 2× expansion on incompressible data — which the tests and the
 //! `ablate_compression` bench make visible rather than hide.
 
-use crate::Codec;
+use crate::{Codec, CodecError, Scratch};
 
 /// The run-length codec.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Rle;
+
+/// Append the RLE coding of `input` to a cleared `out`. The run scan is
+/// batched: one `position` sweep per run instead of a byte-at-a-time loop.
+pub(crate) fn rle_encode_into(input: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        let cap = (input.len() - i).min(255);
+        let run = input[i + 1..i + cap]
+            .iter()
+            .position(|&x| x != b)
+            .map_or(cap, |p| p + 1);
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+}
 
 impl Codec for Rle {
     fn name(&self) -> &'static str {
         "rle"
     }
 
-    fn encode(&self, input: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(input.len() / 4 + 8);
-        let mut i = 0;
-        while i < input.len() {
-            let b = input[i];
-            let mut run = 1usize;
-            while run < 255 && i + run < input.len() && input[i + run] == b {
-                run += 1;
-            }
-            out.push(run as u8);
-            out.push(b);
-            i += run;
-        }
-        out
+    fn encode_into(
+        &self,
+        input: &[u8],
+        _scratch: &mut Scratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        rle_encode_into(input, out);
+        Ok(())
     }
 
     fn decode(&self, input: &[u8]) -> Option<Vec<u8>> {
@@ -71,6 +83,19 @@ mod tests {
         let rle = Rle;
         let enc = rle.encode(&vec![9u8; 255 * 4]);
         assert_eq!(enc.len(), 8);
+    }
+
+    #[test]
+    fn runs_near_the_255_cap_split_exactly() {
+        let rle = Rle;
+        // Every boundary around the u8 run cap: one pair, a full pair plus a
+        // 1-run, two full pairs, two full pairs plus a 1-run.
+        for (len, pairs) in [(254, 1), (255, 1), (256, 2), (510, 2), (511, 3)] {
+            let input = vec![3u8; len];
+            let enc = rle.encode(&input);
+            assert_eq!(enc.len(), pairs * 2, "len {len}");
+            assert_eq!(rle.decode(&enc).expect("decode"), input, "len {len}");
+        }
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! Stream format:
 //! `n_values: u64 | 8 × (flag: u8 (0=raw, 1=rle, 2=delta+rle) | plane_len: u64 | plane)`.
 
-use crate::rle::Rle;
-use crate::Codec;
+use crate::rle::{rle_encode_into, Rle};
+use crate::{Codec, CodecError, Scratch};
 
 /// The transpose + RLE codec. Input length must be a multiple of 8.
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,40 +27,50 @@ impl Codec for TransposeRle {
         "transpose-rle"
     }
 
-    fn encode(&self, input: &[u8]) -> Vec<u8> {
-        assert!(
-            input.len() % 8 == 0,
-            "transpose codec expects a stream of f64s"
-        );
+    fn encode_into(
+        &self,
+        input: &[u8],
+        scratch: &mut Scratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if input.len() % 8 != 0 {
+            return Err(CodecError::Misaligned { len: input.len() });
+        }
         let n = input.len() / 8;
-        let rle = Rle;
-        let mut out = Vec::with_capacity(input.len() / 2 + 72);
+        let Scratch {
+            plane,
+            plane_rle,
+            plane_delta,
+            plane_delta_rle,
+        } = scratch;
+        out.clear();
+        out.reserve(input.len() / 2 + 72);
         out.extend_from_slice(&(n as u64).to_le_bytes());
-        let mut plane = Vec::with_capacity(n);
         for byte_idx in 0..8 {
             plane.clear();
-            plane.extend(input.iter().skip(byte_idx).step_by(8));
-            let coded = rle.encode(&plane);
-            let mut delta_plane = plane.clone();
+            plane.extend(input.chunks_exact(8).map(|c| c[byte_idx]));
+            rle_encode_into(plane, plane_rle);
+            plane_delta.clear();
             let mut prev = 0u8;
-            for b in &mut delta_plane {
+            plane_delta.extend(plane.iter().map(|&b| {
                 let d = b.wrapping_sub(prev);
-                prev = *b;
-                *b = d;
-            }
-            let delta_coded = rle.encode(&delta_plane);
-            let (flag, payload): (u8, &[u8]) = if delta_coded.len() < coded.len().min(plane.len()) {
-                (2, &delta_coded)
-            } else if coded.len() < plane.len() {
-                (1, &coded)
-            } else {
-                (0, &plane)
-            };
+                prev = b;
+                d
+            }));
+            rle_encode_into(plane_delta, plane_delta_rle);
+            let (flag, payload): (u8, &[u8]) =
+                if plane_delta_rle.len() < plane_rle.len().min(plane.len()) {
+                    (2, plane_delta_rle)
+                } else if plane_rle.len() < plane.len() {
+                    (1, plane_rle)
+                } else {
+                    (0, plane)
+                };
             out.push(flag);
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             out.extend_from_slice(payload);
         }
-        out
+        Ok(())
     }
 
     fn decode(&self, input: &[u8]) -> Option<Vec<u8>> {

@@ -3,7 +3,8 @@
 use greenness_codec::delta::DeltaVarint;
 use greenness_codec::quant::Quant16;
 use greenness_codec::rle::Rle;
-use greenness_codec::Codec;
+use greenness_codec::transpose::TransposeRle;
+use greenness_codec::{Codec, CodecError, ScratchCodec};
 use proptest::prelude::*;
 
 proptest! {
@@ -163,6 +164,111 @@ proptest! {
             let r = f64::from_le_bytes(c.try_into().unwrap());
             prop_assert!(r.is_finite());
             prop_assert!((r - v).abs() <= 1e-9 * v.abs().max(1.0), "{r} vs {v}");
+        }
+    }
+
+    /// RLE splits runs at the 255 cap with no drift around the boundary:
+    /// a single-byte run of any length round-trips and uses exactly
+    /// ceil(len / 255) pairs.
+    #[test]
+    fn rle_run_cap_boundaries(b in any::<u8>(), extra in 0usize..4) {
+        for base in [253usize, 254, 255, 256, 509, 510, 511, 512] {
+            let len = base + extra;
+            let input = vec![b; len];
+            let enc = Rle.encode(&input);
+            prop_assert_eq!(enc.len(), len.div_ceil(255) * 2, "len {}", len);
+            prop_assert_eq!(Rle.decode(&enc).expect("decode"), input);
+        }
+    }
+
+    /// Quantization of arbitrary finite samples — including extreme
+    /// magnitudes whose range overflows f64 — always reconstructs finite
+    /// values within half a lattice step (computed in overflow-free halves).
+    #[test]
+    fn quant_survives_extreme_ranges(
+        bits in prop::collection::vec(any::<u64>(), 1..64)
+    ) {
+        // Arbitrary bit patterns, with NaN/inf snapped to ±MAX: full-range
+        // finite samples, so lo = -MAX / hi = +MAX span overflows routinely.
+        let vals: Vec<f64> = bits
+            .iter()
+            .map(|&b| {
+                let v = f64::from_bits(b);
+                if v.is_finite() { v } else { f64::MAX.copysign(v) }
+            })
+            .collect();
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = Quant16;
+        let back = codec.decode(&codec.encode(&bytes)).expect("decode");
+        let rec: Vec<f64> =
+            back.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        prop_assert_eq!(rec.len(), vals.len());
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let half_step = (hi / 2.0 - lo / 2.0) / 65_535.0;
+        let bound = half_step * 1.001 + 1e-9 * hi.abs().max(lo.abs()).max(1.0);
+        for (a, b) in vals.iter().zip(&rec) {
+            prop_assert!(b.is_finite(), "{} decoded non-finite ({})", a, b);
+            prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+        }
+    }
+
+    /// A reused ScratchCodec produces byte-identical output to a fresh
+    /// allocating encode, for every codec, across a sequence of
+    /// different-shaped inputs.
+    #[test]
+    fn scratch_codec_matches_one_shot_encode(
+        streams in prop::collection::vec(
+            prop::collection::vec(prop::num::f64::ANY, 0..128),
+            1..6,
+        )
+    ) {
+        let codecs: [Box<dyn Codec>; 3] =
+            [Box::new(Rle), Box::new(DeltaVarint), Box::new(TransposeRle)];
+        for codec in codecs {
+            let one_shot: Vec<Vec<u8>> = streams
+                .iter()
+                .map(|vals| {
+                    let mut bytes = Vec::with_capacity(vals.len() * 8);
+                    for v in vals {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                    codec.encode(&bytes)
+                })
+                .collect();
+            let mut sc = ScratchCodec::new(codec);
+            for (vals, expect) in streams.iter().zip(&one_shot) {
+                let mut bytes = Vec::with_capacity(vals.len() * 8);
+                for v in vals {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                let name = sc.name();
+                let got = sc.try_encode(&bytes).expect("encode");
+                prop_assert_eq!(got, &expect[..], "{} drifted under reuse", name);
+            }
+        }
+    }
+
+    /// Misaligned input is an error value through encode_into for every
+    /// f64-stream codec, never a panic.
+    #[test]
+    fn misaligned_inputs_are_errors(raw_len in 1usize..64) {
+        // Snap multiples of 8 to the next (misaligned) length.
+        let len = if raw_len % 8 == 0 { raw_len + 1 } else { raw_len };
+        let input = vec![0u8; len];
+        for codec in [
+            Box::new(DeltaVarint) as Box<dyn Codec>,
+            Box::new(Quant16),
+            Box::new(TransposeRle),
+        ] {
+            let mut sc = ScratchCodec::new(codec);
+            prop_assert_eq!(
+                sc.try_encode(&input).unwrap_err(),
+                CodecError::Misaligned { len }
+            );
         }
     }
 }

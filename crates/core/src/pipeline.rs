@@ -179,7 +179,8 @@ pub fn run_with_faults(
         // A warm Gaussian patch on a cold plate.
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
     });
-    let mut solver = HeatSolver::new(initial, cfg.solver.clone());
+    let mut solver =
+        HeatSolver::new(initial, cfg.solver.clone()).expect("library-built solver config");
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
 

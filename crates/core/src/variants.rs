@@ -20,7 +20,7 @@
 
 use greenness_codec::quant::Quant16;
 use greenness_codec::transpose::TransposeRle;
-use greenness_codec::{Codec, CodecCostModel};
+use greenness_codec::{Codec, CodecCostModel, ScratchCodec};
 use greenness_heatsim::{Grid, HeatSolver};
 use greenness_platform::{Node, Phase};
 use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
@@ -149,7 +149,8 @@ fn sampled_post(node: &mut Node, cfg: &PipelineConfig, stride: usize) -> Variant
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
     );
-    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone());
+    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone())
+        .expect("library-built solver config");
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
     let mut written = 0u64;
@@ -192,13 +193,16 @@ fn sampled_post(node: &mut Node, cfg: &PipelineConfig, stride: usize) -> Variant
 }
 
 fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -> VariantOutput {
-    let codec = choice.codec();
+    // Encoding sits on the per-iteration dump path; the scratch wrapper
+    // keeps it allocation-free at steady state.
+    let mut codec = ScratchCodec::new(choice.codec());
     let codec_cost = CodecCostModel::default();
     let mut fs = FileSystem::format(
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
     );
-    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone());
+    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone())
+        .expect("library-built solver config");
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
     let mut written = 0u64;
@@ -214,7 +218,9 @@ fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -
         let bytes = solver.grid().to_bytes();
         raw += bytes.len() as u64;
         node.execute(codec_cost.encode_activity(bytes.len() as u64), Phase::Write);
-        let encoded = codec.encode(&bytes);
+        let encoded = codec
+            .try_encode(&bytes)
+            .expect("solver fields are finite f64 streams");
         let name = format!("snap{step:04}");
         names.push((
             name.clone(),
@@ -222,14 +228,7 @@ fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -
             solver.grid().min(),
             solver.grid().max(),
         ));
-        written += write_chunked(
-            node,
-            &mut fs,
-            &name,
-            &encoded,
-            cfg.chunk_bytes,
-            Phase::Write,
-        );
+        written += write_chunked(node, &mut fs, &name, encoded, cfg.chunk_bytes, Phase::Write);
     }
     fs.sync(node, Phase::CacheControl);
     fs.drop_caches();
@@ -293,7 +292,8 @@ fn dvfs_insitu(node: &mut Node, cfg: &PipelineConfig, freq_scale: f64) -> Varian
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
     );
-    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone());
+    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone())
+        .expect("library-built solver config");
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
     let mut written = 0u64;
@@ -332,7 +332,8 @@ fn image_database(node: &mut Node, cfg: &PipelineConfig, views: usize) -> Varian
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
     );
-    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone());
+    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone())
+        .expect("library-built solver config");
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
     let mut written = 0u64;
@@ -379,7 +380,8 @@ fn burst_buffer_post(node: &mut Node, cfg: &PipelineConfig, buffer_bytes: u64) -
         FsConfig::default(),
     );
     let mut bb = BurstBuffer::new(buffer_bytes);
-    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone());
+    let mut solver = HeatSolver::new(initial_field(cfg), cfg.solver.clone())
+        .expect("library-built solver config");
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
     let mut raw = 0u64;

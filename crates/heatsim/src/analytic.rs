@@ -60,7 +60,7 @@ mod tests {
             boundary: Boundary::Dirichlet(0.0),
             sources: Vec::new(),
         };
-        let mut s = HeatSolver::new(eigenmode(nx, nx, m, n), cfg);
+        let mut s = HeatSolver::new(eigenmode(nx, nx, m, n), cfg).expect("stable test config");
         s.run(steps);
         let t = steps as f64 * dt;
         let mut exact = eigenmode(nx, nx, m, n);

@@ -23,4 +23,4 @@ pub mod solver;
 
 pub use cost::SimCostModel;
 pub use grid::Grid;
-pub use solver::{Boundary, HeatSolver, PointSource, SolverConfig};
+pub use solver::{Boundary, HeatSolver, PointSource, SolverConfig, SolverError};

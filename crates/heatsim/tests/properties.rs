@@ -56,7 +56,7 @@ proptest! {
         };
         let lo = g.min().min(wall);
         let hi = g.max().max(wall);
-        let mut s = HeatSolver::new(g, cfg);
+        let mut s = HeatSolver::new(g, cfg).expect("stable config");
         s.run(steps);
         prop_assert!(s.grid().min() >= lo - 1e-9, "min {} < {}", s.grid().min(), lo);
         prop_assert!(s.grid().max() <= hi + 1e-9, "max {} > {}", s.grid().max(), hi);
@@ -79,7 +79,7 @@ proptest! {
             sources: vec![PointSource { i: nx / 2, j: ny / 2, rate }],
         };
         let before = g.total();
-        let mut s = HeatSolver::new(g, cfg);
+        let mut s = HeatSolver::new(g, cfg).expect("stable config");
         s.run(steps);
         let injected = rate * 0.05 * steps as f64;
         let after = s.grid().total();
@@ -93,8 +93,8 @@ proptest! {
     #[test]
     fn determinism(g in arb_grid(), steps in 1u64..50) {
         let cfg = SolverConfig::default();
-        let mut a = HeatSolver::new(g.clone(), cfg.clone());
-        let mut b = HeatSolver::new(g, cfg);
+        let mut a = HeatSolver::new(g.clone(), cfg.clone()).expect("stable config");
+        let mut b = HeatSolver::new(g, cfg).expect("stable config");
         a.run(steps);
         b.run(steps);
         prop_assert_eq!(a.grid(), b.grid());

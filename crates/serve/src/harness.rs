@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use greenness_trace::{metrics_file_json, Histogram};
+use greenness_trace::{metrics_file_json, percentile_nearest_rank};
 
 use crate::client::RetryClient;
 use crate::json::Json;
@@ -253,12 +253,8 @@ pub fn run_load(
     let elapsed_s = start.elapsed().as_secs_f64();
     let ok: usize = per_conn.iter().map(|(k, _, _)| k).sum();
     let retries: u64 = per_conn.iter().map(|(_, r, _)| r).sum();
-    let mut latency = Histogram::default();
-    for (_, _, ms) in &per_conn {
-        for &v in ms {
-            latency.observe(v);
-        }
-    }
+    let (p50_ms, p90_ms, p99_ms) =
+        latency_percentiles(per_conn.iter().map(|(_, _, ms)| ms.as_slice()));
     let (hits, misses) = fetch_cache_counters(addr)?;
     Ok(LoadReport {
         mode,
@@ -268,12 +264,27 @@ pub fn run_load(
         errors: requests - ok,
         retries,
         elapsed_s,
-        p50_ms: latency.quantile(0.50),
-        p90_ms: latency.quantile(0.90),
-        p99_ms: latency.quantile(0.99),
+        p50_ms,
+        p90_ms,
+        p99_ms,
         cache_hits: hits,
         cache_misses: misses,
     })
+}
+
+/// The report's (p50, p90, p99) in ms: exact nearest-rank percentiles over
+/// the merged raw per-connection samples, not the log-bucketed `Histogram`
+/// estimate. At small n the bucket interpolation reported values no sample
+/// ever had (p99 of a single sample came back below it) — exactly where a
+/// latency report misleads the most.
+fn latency_percentiles<'a>(per_conn: impl Iterator<Item = &'a [f64]>) -> (f64, f64, f64) {
+    let mut latencies: Vec<f64> = per_conn.flatten().copied().collect();
+    latencies.sort_by(f64::total_cmp);
+    (
+        percentile_nearest_rank(&latencies, 0.50),
+        percentile_nearest_rank(&latencies, 0.90),
+        percentile_nearest_rank(&latencies, 0.99),
+    )
 }
 
 fn fetch_cache_counters(addr: &str) -> std::io::Result<(u64, u64)> {
@@ -354,6 +365,22 @@ mod tests {
         // Every drop was retried to completion: one ok line per request.
         assert_eq!(a.responses.lines().count(), 12);
         assert!(a.responses.lines().all(|l| l.contains("\"ok\":true")));
+    }
+
+    #[test]
+    fn report_percentiles_are_exact_over_merged_connections() {
+        // One sample total (n = 1): every percentile IS that sample.
+        let single: [&[f64]; 1] = [&[12.5]];
+        assert_eq!(latency_percentiles(single.into_iter()), (12.5, 12.5, 12.5));
+        // Four samples split unevenly across two connections, unsorted:
+        // merged sorted = [1, 2, 3, 4]; nearest ranks are p50 → 2 (rank
+        // ceil(0.5·4) = 2), p90 → 4 (rank ceil(3.6) = 4), p99 → 4 (rank
+        // ceil(3.96) = 4 — the last element, never index 4).
+        let split: [&[f64]; 2] = [&[4.0, 1.0], &[3.0, 2.0]];
+        assert_eq!(latency_percentiles(split.into_iter()), (2.0, 4.0, 4.0));
+        // No samples: all zeros rather than a panic.
+        let empty: [&[f64]; 0] = [];
+        assert_eq!(latency_percentiles(empty.into_iter()), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -81,6 +81,16 @@ impl Blake2s256 {
     }
 }
 
+/// Text can be streamed straight into the hasher (the cache-key path
+/// serializes canonical JSON directly into it, skipping the intermediate
+/// `String`).
+impl std::fmt::Write for Blake2s256 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
 /// One-shot digest.
 pub fn blake2s256(data: &[u8]) -> [u8; 32] {
     let mut h = Blake2s256::default();

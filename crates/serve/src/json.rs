@@ -8,7 +8,8 @@
 //! to `1000.0`), strings re-escaped minimally. Two requests that differ only
 //! in key order, whitespace, or number spelling therefore hash identically.
 
-use greenness_trace::{escape_json, fmt_f64};
+use greenness_trace::fmt_f64;
+use std::fmt::{self, Write};
 
 /// Parser recursion limit; a request nested deeper than this is rejected
 /// rather than allowed to exhaust the connection thread's stack.
@@ -97,7 +98,7 @@ impl Json {
     /// Serialize preserving source member order (used to echo request ids).
     pub fn to_string_raw(&self) -> String {
         let mut out = String::new();
-        write_value(self, false, &mut out);
+        let _ = write_value(self, false, &mut out);
         out
     }
 
@@ -105,65 +106,104 @@ impl Json {
     /// This is the content-addressing pre-image.
     pub fn to_canonical(&self) -> String {
         let mut out = String::new();
-        write_value(self, true, &mut out);
+        let _ = self.write_canonical(&mut out);
         out
+    }
+
+    /// Stream the canonical serialization into any [`fmt::Write`] sink —
+    /// the content-addressing path writes straight into the hasher with no
+    /// intermediate `String`.
+    pub fn write_canonical<W: Write>(&self, out: &mut W) -> fmt::Result {
+        write_value(self, true, out)
     }
 }
 
-fn write_value(v: &Json, canonical: bool, out: &mut String) {
+/// Stream the canonical form of an object with the given members (an
+/// already-filtered view, e.g. minus non-semantic keys) into `out`, without
+/// cloning the members into a temporary [`Json::Obj`].
+pub fn write_canonical_object<W: Write>(members: &[&(String, Json)], out: &mut W) -> fmt::Result {
+    let mut sorted: Vec<&(String, Json)> = members.to_vec();
+    sorted.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+    out.write_char('{')?;
+    for (i, (k, val)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        out.write_char('"')?;
+        write_escaped(k, out)?;
+        out.write_str("\":")?;
+        write_value(val, true, out)?;
+    }
+    out.write_char('}')
+}
+
+/// Streaming equivalent of `greenness_trace::escape_json`: identical output
+/// bytes, no intermediate allocation. Runs of plain characters are emitted
+/// as one `write_str` per run instead of char-at-a-time.
+fn write_escaped<W: Write>(s: &str, out: &mut W) -> fmt::Result {
+    let needs_escape = |c: char| matches!(c, '"' | '\\') || (c as u32) < 0x20;
+    let mut rest = s;
+    while let Some(pos) = rest.find(needs_escape) {
+        out.write_str(&rest[..pos])?;
+        let c = rest[pos..].chars().next().expect("char at match position");
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c => write!(out, "\\u{:04x}", c as u32)?,
+        }
+        rest = &rest[pos + c.len_utf8()..];
+    }
+    out.write_str(rest)
+}
+
+fn write_value<W: Write>(v: &Json, canonical: bool, out: &mut W) -> fmt::Result {
     match v {
-        Json::Null => out.push_str("null"),
-        Json::Bool(true) => out.push_str("true"),
-        Json::Bool(false) => out.push_str("false"),
+        Json::Null => out.write_str("null"),
+        Json::Bool(true) => out.write_str("true"),
+        Json::Bool(false) => out.write_str("false"),
         Json::Num(raw) => {
             if canonical {
                 let f: f64 = raw.parse().unwrap_or(f64::NAN);
-                out.push_str(&fmt_f64(f));
+                out.write_str(&fmt_f64(f))
             } else {
-                out.push_str(raw);
+                out.write_str(raw)
             }
         }
         Json::Str(s) => {
-            out.push('"');
-            out.push_str(&escape_json(s));
-            out.push('"');
+            out.write_char('"')?;
+            write_escaped(s, out)?;
+            out.write_char('"')
         }
         Json::Arr(items) => {
-            out.push('[');
+            out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                write_value(item, canonical, out);
+                write_value(item, canonical, out)?;
             }
-            out.push(']');
+            out.write_char(']')
         }
         Json::Obj(members) => {
-            out.push('{');
             if canonical {
-                let mut sorted: Vec<&(String, Json)> = members.iter().collect();
-                sorted.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
-                for (i, (k, val)) in sorted.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('"');
-                    out.push_str(&escape_json(k));
-                    out.push_str("\":");
-                    write_value(val, canonical, out);
-                }
+                let refs: Vec<&(String, Json)> = members.iter().collect();
+                write_canonical_object(&refs, out)
             } else {
+                out.write_char('{')?;
                 for (i, (k, val)) in members.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push('"');
-                    out.push_str(&escape_json(k));
-                    out.push_str("\":");
-                    write_value(val, canonical, out);
+                    out.write_char('"')?;
+                    write_escaped(k, out)?;
+                    out.write_str("\":")?;
+                    write_value(val, canonical, out)?;
                 }
+                out.write_char('}')
             }
-            out.push('}');
         }
     }
 }
@@ -334,6 +374,35 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "{\"a\":1} extra", "nul", "1..2"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn streamed_escaping_matches_the_allocating_escape() {
+        for s in [
+            "",
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "line\nbreaks\tand\rreturns",
+            "control \u{1} \u{1f} edge",
+            "unicode → snowman ☃ and emoji 🦀",
+            "\"\\\n\u{0}",
+        ] {
+            let mut streamed = String::new();
+            write_escaped(s, &mut streamed).expect("write to String");
+            assert_eq!(streamed, greenness_trace::escape_json(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_streaming_into_a_hasher_matches_the_string_path() {
+        let doc = Json::parse(
+            r#"{"op":"sweep","params":{"cases":[1,2,3],"txt":"a\"b\\c\nd","z":1e3},"id":7}"#,
+        )
+        .expect("parses");
+        let via_string = crate::hash::blake2s256(doc.to_canonical().as_bytes());
+        let mut hasher = crate::hash::Blake2s256::default();
+        doc.write_canonical(&mut hasher).expect("stream");
+        assert_eq!(hasher.finalize(), via_string);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use greenness_trace::escape_json;
 
-use crate::hash::blake2s256;
+use crate::hash::Blake2s256;
 use crate::json::Json;
 
 /// The protocol schema tag, required on every request.
@@ -106,14 +106,17 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
                 .ok_or_else(|| err("deadline_ms must be a non-negative integer"))?,
         ),
     };
-    let semantic = Json::Obj(
-        members
-            .iter()
-            .filter(|(k, _)| k != "id" && k != "deadline_ms")
-            .cloned()
-            .collect(),
-    );
-    let cache_key = blake2s256(semantic.to_canonical().as_bytes());
+    // Single pass: canonicalize the semantic members (everything but the
+    // non-semantic `id` / `deadline_ms`) straight into the hasher — no
+    // cloned Json tree, no intermediate canonical String.
+    let semantic: Vec<&(String, Json)> = members
+        .iter()
+        .filter(|(k, _)| k != "id" && k != "deadline_ms")
+        .collect();
+    let mut hasher = Blake2s256::default();
+    crate::json::write_canonical_object(&semantic, &mut hasher)
+        .expect("hashing canonical JSON cannot fail");
+    let cache_key = hasher.finalize();
     Ok(Request {
         id,
         op,

@@ -134,6 +134,23 @@ impl Histogram {
     }
 }
 
+/// Exact nearest-rank percentile (`p` in `[0, 1]`) over raw samples: the
+/// smallest sample such that at least `ceil(p * n)` samples are ≤ it.
+///
+/// `samples` must already be sorted ascending. Unlike
+/// [`Histogram::quantile`], which interpolates inside log buckets (an
+/// *estimate*), this is the textbook definition: p50 of `[1, 2, 3, 4]` is
+/// exactly 2, p99 of a single sample is that sample, and no percentile ever
+/// reads past the end of the data. Returns 0 for an empty slice.
+pub fn percentile_nearest_rank(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len();
+    let rank = (p.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    samples[rank.clamp(1, n) - 1]
+}
+
 /// Point-in-time copy of the registry taken by [`MetricsRegistry::snapshot`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -304,6 +321,27 @@ mod tests {
         h.observe(1e300); // beyond the last bound: clamped to the last bucket
         assert_eq!(h.count(), 3);
         assert!(h.to_json().contains("\"count\":3"));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact_at_tiny_n() {
+        // n = 1: every percentile is the one sample — the old bucketed
+        // estimate could return an interpolated value below it, and a
+        // naive `(p * n) as usize` index would read sorted[1], past the end.
+        let one = [7.25];
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(percentile_nearest_rank(&one, p), 7.25, "p = {p}");
+        }
+        // n = 4, hand-computed nearest ranks: p50 → ceil(2) = rank 2,
+        // p90 → ceil(3.6) = rank 4, p99 → ceil(3.96) = rank 4 (not index 4).
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_nearest_rank(&four, 0.50), 2.0);
+        assert_eq!(percentile_nearest_rank(&four, 0.90), 4.0);
+        assert_eq!(percentile_nearest_rank(&four, 0.99), 4.0);
+        assert_eq!(percentile_nearest_rank(&four, 1.00), 4.0);
+        // p = 0 clamps to the smallest sample rather than rank 0.
+        assert_eq!(percentile_nearest_rank(&four, 0.0), 1.0);
+        assert_eq!(percentile_nearest_rank(&[], 0.5), 0.0);
     }
 
     #[test]
