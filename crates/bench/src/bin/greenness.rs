@@ -23,6 +23,7 @@ use greenness_cluster::{run_cluster_with_faults, ClusterConfig, ClusterKind};
 use greenness_core::adaptive::{run_adaptive, AdaptivePolicy};
 use greenness_core::advisor::{recommend, IoBehavior, Technique, WorkloadProfile};
 use greenness_core::capping::cap_sweep;
+use greenness_core::placement;
 use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineConfig};
@@ -39,6 +40,7 @@ fn usage() -> ! {
          commands:\n\
          \x20 case <1|2|3> [--alpha A] [--dt D]    one case study, both pipelines\n\
          \x20 sweep [--jobs N]                     full 3-case grid, parallel + manifest\n\
+         \x20 placement [--jobs N] [--scale S]     tiered-storage policy grid (S: small|paper)\n\
          \x20 fio [bytes]                          Table III matrix (default 4 GiB)\n\
          \x20 probes                               Table II nnread/nnwrite probes\n\
          \x20 cluster [nodes] [servers]            distributed pipelines\n\
@@ -52,12 +54,12 @@ fn usage() -> ! {
          \x20 bench-serve --replay [...]           deterministic in-process replay\n\
          \x20 bench [--reps N] [--quick] [--out F] hot-path micro suite -> BENCH_5.json\n\
          \n\
-         sweep also accepts --trace PATH / --metrics PATH (event journal +\n\
-         metrics registry; byte-identical for every --jobs value)\n\
+         sweep and placement also accept --trace PATH / --metrics PATH (event\n\
+         journal + metrics registry; byte-identical for every --jobs value)\n\
          serve also accepts --cache-bytes B / --slots S / --queue-depth Q\n\
          bench-serve accepts --requests N --conns C --mode closed|open --rate R,\n\
          and with --replay: --jobs J --out FILE --metrics-out FILE\n\
-         sweep, cluster, serve, and bench-serve --replay accept --fault-seed N\n\
+         sweep, placement, cluster, serve, and bench-serve --replay accept --fault-seed N\n\
          (seeded fault injection with retry/recovery; deterministic per seed)"
     );
     std::process::exit(2);
@@ -233,6 +235,142 @@ fn cmd_sweep(args: &[String]) {
             &rows
         )
     );
+}
+
+fn cmd_placement(args: &[String]) {
+    let mut jobs = greenness_bench::default_jobs();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut scale = placement::PlacementScale::Small;
+    let parse_scale = |s: &str| {
+        placement::PlacementScale::parse(s).unwrap_or_else(|| {
+            eprintln!("invalid scale: {s} (small|paper)");
+            std::process::exit(2);
+        })
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .map(|s| parse(s, "worker count"))
+                    .unwrap_or_else(|| usage())
+            }
+            "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--fault-seed" => {
+                fault_seed = Some(
+                    it.next()
+                        .map(|s| parse(s, "fault seed"))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--scale" => scale = parse_scale(it.next().unwrap_or_else(|| usage())),
+            other => {
+                if let Some(n) = other.strip_prefix("--jobs=") {
+                    jobs = parse(n, "worker count");
+                } else if let Some(p) = other.strip_prefix("--trace=") {
+                    trace_path = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--metrics=") {
+                    metrics_path = Some(p.to_string());
+                } else if let Some(n) = other.strip_prefix("--fault-seed=") {
+                    fault_seed = Some(parse(n, "fault seed"));
+                } else if let Some(s) = other.strip_prefix("--scale=") {
+                    scale = parse_scale(s);
+                } else {
+                    usage()
+                }
+            }
+        }
+    }
+    let setup = placement::PlacementSetup {
+        scale,
+        trace: trace_path.is_some() || metrics_path.is_some(),
+        faults: fault_seed.map(FaultPlan::with_seed),
+        ..placement::PlacementSetup::default()
+    };
+    eprintln!(
+        "running the placement grid ({} scale) on {jobs} worker(s)...",
+        scale.label()
+    );
+    let t0 = std::time::Instant::now();
+    let results = placement::run_placement(
+        placement::placement_grid(),
+        &setup,
+        jobs,
+        &|done, total, key| {
+            eprintln!("[placement] {done}/{total} done: {key}");
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("placement grid failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "grid finished in {:.2} s host wall-clock",
+        t0.elapsed().as_secs_f64()
+    );
+    std::fs::create_dir_all("repro_out").expect("create ./repro_out");
+    std::fs::write(
+        "repro_out/placement.json",
+        placement::placement_manifest_json(scale, &results),
+    )
+    .expect("write placement manifest");
+    eprintln!("wrote repro_out/placement.json");
+    if let Some(path) = &trace_path {
+        let journal = placement::placement_journal(&results).expect("grid ran traced");
+        std::fs::write(path, journal).expect("write trace journal");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let metrics = placement::placement_metrics_json(&results).expect("grid ran traced");
+        std::fs::write(path, metrics).expect("write metrics registry");
+        eprintln!("wrote {path}");
+    }
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.key.clone(),
+            report::f(r.time_s, 2),
+            report::f(r.energy_j, 1),
+            report::f(r.read_energy_j, 1),
+            format!("{}", r.promotes),
+            format!("{}", r.demotes),
+            if r.verified {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table(
+            &format!("Placement grid ({} scale)", scale.label()),
+            &[
+                "workload/policy",
+                "Time (s)",
+                "Energy (J)",
+                "Read (J)",
+                "Promo",
+                "Demo",
+                "Verified"
+            ],
+            &rows
+        )
+    );
+    if let Some(noop) = placement::noop_gap_ratio(&results) {
+        println!(
+            "random/sequential read-energy ratio under noop: {noop:.1}x (the Table III cliff)"
+        );
+        for policy in ["freq-recency", "energy-greedy"] {
+            if let Some(r) = placement::gap_ratio_under(&results, policy) {
+                println!("  under {policy}: {r:.1}x");
+            }
+        }
+    }
 }
 
 fn cmd_fio(args: &[String]) {
@@ -679,6 +817,7 @@ fn main() {
     match cmd.as_str() {
         "case" => cmd_case(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "placement" => cmd_placement(&args[1..]),
         "fio" => cmd_fio(&args[1..]),
         "probes" => cmd_probes(),
         "cluster" => cmd_cluster(&args[1..]),

@@ -52,6 +52,7 @@ pub mod compare;
 pub mod config;
 pub mod experiment;
 pub mod pipeline;
+pub mod placement;
 pub mod probes;
 pub mod report;
 pub mod sweep;

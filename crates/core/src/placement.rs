@@ -1,0 +1,843 @@
+//! The placement sweep: tiered storage × placement policy × workload.
+//!
+//! The paper's §V-D "reorganization" argument is a statement about *where
+//! bytes live*: a random-access visualization against a 7200 rpm disk costs
+//! 238.6 kJ where the sequential equivalent costs 4.2 kJ (Table III), so
+//! moving the hot working set somewhere cheap-to-seek is worth real energy.
+//! This module turns that observation into an experiment grid: every
+//! workload (the three case studies, a sequential scan, and a random-access
+//! exploratory reader) runs against the same DRAM → NVMe → HDD tier stack
+//! under each [`PlacementPolicy`](greenness_storage::PlacementPolicy), and
+//! the sweep reports which policy closes the sequential-vs-random cliff.
+//!
+//! Determinism contract (pinned by `tests/placement_determinism.rs`): job
+//! keys are the only seed source — the random reader derives its access
+//! stream from its key, fault schedules derive per-job from the sweep plan,
+//! and migration decisions are pure functions of (epoch, access stats) — so
+//! the journal, metrics, and manifest are byte-identical for any `--jobs`
+//! value and across repeated runs with the same `--fault-seed`.
+
+use greenness_faults::{fnv1a64, splitmix64, FaultPlan, Site};
+use greenness_platform::{DiskModel, HardwareSpec, Node, Phase};
+use greenness_storage::{
+    EnergyGreedyPolicy, FileSystem, FreqRecencyPolicy, FsConfig, NoopPolicy, PlacementPolicy,
+    TierCounters, TierSpec, TieredStore,
+};
+use greenness_trace::{escape_json, MetricsRegistry, Tracer, Value};
+
+use crate::sweep::{run_pool, Progress, SweepError};
+
+/// Workload scale: `Small` keeps CI and the golden tests fast; `Paper`
+/// matches the §IV-C data volumes (2 MiB snapshots, 50 timesteps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementScale {
+    /// Scaled-down grid for tests and smoke runs.
+    Small,
+    /// Paper-scale data volumes.
+    Paper,
+}
+
+impl PlacementScale {
+    /// Stable label used in manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementScale::Small => "small",
+            PlacementScale::Paper => "paper",
+        }
+    }
+
+    /// Parse a CLI argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(PlacementScale::Small),
+            "paper" => Some(PlacementScale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// The workloads of the placement grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementWorkload {
+    /// Case study 1: I/O every iteration.
+    Case1,
+    /// Case study 2: I/O every 2 iterations.
+    Case2,
+    /// Case study 3: I/O every 8 iterations.
+    Case3,
+    /// Sequential full-dataset scans (Table III's cheap side).
+    SeqScan,
+    /// Random-access exploratory reader with an 80/20 hot set (Table III's
+    /// expensive side — the workload placement is supposed to rescue).
+    RandomAccess,
+}
+
+impl PlacementWorkload {
+    /// All workloads, grid order.
+    pub const ALL: [PlacementWorkload; 5] = [
+        PlacementWorkload::Case1,
+        PlacementWorkload::Case2,
+        PlacementWorkload::Case3,
+        PlacementWorkload::SeqScan,
+        PlacementWorkload::RandomAccess,
+    ];
+
+    /// Stable label (part of job keys — renaming reshuffles seeds).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementWorkload::Case1 => "case1",
+            PlacementWorkload::Case2 => "case2",
+            PlacementWorkload::Case3 => "case3",
+            PlacementWorkload::SeqScan => "seqscan",
+            PlacementWorkload::RandomAccess => "random",
+        }
+    }
+
+    fn shape(self, scale: PlacementScale) -> WorkloadShape {
+        let small = scale == PlacementScale::Small;
+        let mib = 1024 * 1024;
+        let timesteps: u64 = if small { 10 } else { 50 };
+        let case = |interval: u64| WorkloadShape {
+            snapshots: timesteps.div_ceil(interval),
+            snapshot_bytes: if small { 256 * 1024 } else { 2 * mib },
+            chunk_bytes: 128 * 1024,
+            read_passes: 1,
+            whole_file_reads: false,
+            random_reads: 0,
+            poke_bytes: 0,
+            epoch_every_reads: 0,
+        };
+        // SeqScan and RandomAccess share one dataset and read the same byte
+        // volume — the noop-policy energy ratio between the two is a pure
+        // access-pattern effect: the Table III cliff at sweep scale.
+        // Snapshots are ≥ the sequential threshold so a whole-file read is
+        // charged at full streaming rate; random pokes are 8 KiB, each cold
+        // (the exploratory dataset dwarfs the page cache).
+        let scan_snapshots = if small { 4 } else { 16 };
+        let scan_snapshot_bytes = if small { mib } else { 2 * mib };
+        let scan_passes = if small { 4 } else { 8 };
+        match self {
+            PlacementWorkload::Case1 => case(1),
+            PlacementWorkload::Case2 => case(2),
+            PlacementWorkload::Case3 => case(8),
+            PlacementWorkload::SeqScan => WorkloadShape {
+                snapshots: scan_snapshots,
+                snapshot_bytes: scan_snapshot_bytes,
+                chunk_bytes: 128 * 1024,
+                read_passes: scan_passes,
+                whole_file_reads: true,
+                random_reads: 0,
+                poke_bytes: 0,
+                epoch_every_reads: 0,
+            },
+            PlacementWorkload::RandomAccess => {
+                let poke_bytes = 8 * 1024;
+                WorkloadShape {
+                    snapshots: scan_snapshots,
+                    snapshot_bytes: scan_snapshot_bytes,
+                    chunk_bytes: 128 * 1024,
+                    read_passes: 0,
+                    whole_file_reads: false,
+                    random_reads: scan_snapshots * scan_snapshot_bytes * scan_passes / poke_bytes,
+                    poke_bytes,
+                    epoch_every_reads: if small { 128 } else { 1024 },
+                }
+            }
+        }
+    }
+}
+
+/// The placement policies of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Static pin: everything stays where it first lands (the bottom tier).
+    Noop,
+    /// Frequency-recency ranking with exponential decay.
+    FreqRecency,
+    /// Energy-greedy: migrate only when projected access savings beat the
+    /// migration cost.
+    EnergyGreedy,
+}
+
+impl PolicyKind {
+    /// All policies, grid order.
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::Noop,
+        PolicyKind::FreqRecency,
+        PolicyKind::EnergyGreedy,
+    ];
+
+    /// Stable label (part of job keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Noop => "noop",
+            PolicyKind::FreqRecency => "freq-recency",
+            PolicyKind::EnergyGreedy => "energy-greedy",
+        }
+    }
+
+    /// Instantiate the policy.
+    pub fn instantiate(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::Noop => Box::new(NoopPolicy),
+            PolicyKind::FreqRecency => Box::new(FreqRecencyPolicy::default()),
+            PolicyKind::EnergyGreedy => Box::new(EnergyGreedyPolicy::default()),
+        }
+    }
+}
+
+struct WorkloadShape {
+    snapshots: u64,
+    snapshot_bytes: u64,
+    chunk_bytes: u64,
+    read_passes: u64,
+    whole_file_reads: bool,
+    random_reads: u64,
+    poke_bytes: u64,
+    epoch_every_reads: u64,
+}
+
+/// One cell of the placement grid.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementJob {
+    /// The workload.
+    pub workload: PlacementWorkload,
+    /// The policy under test.
+    pub policy: PolicyKind,
+}
+
+impl PlacementJob {
+    /// The job's stable identity — everything that distinguishes one cell,
+    /// nothing about how the grid executes.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.workload.label(), self.policy.label())
+    }
+
+    /// The deterministic seed driving the job's access stream: a pure
+    /// function of the *workload* (not the policy, not the fault seed, not
+    /// the worker count), so every policy sees the identical access
+    /// sequence and comparisons isolate the policy effect.
+    pub fn access_seed(&self) -> u64 {
+        splitmix64(fnv1a64(self.workload.label().as_bytes()))
+    }
+}
+
+/// Rig for a placement sweep.
+#[derive(Debug, Clone)]
+pub struct PlacementSetup {
+    /// The node under test (tier stack's bottom device must match
+    /// `spec.disk` for the flat-parity anchor; `table1()` does).
+    pub spec: HardwareSpec,
+    /// Workload scale.
+    pub scale: PlacementScale,
+    /// Record per-job journals and metrics registries.
+    pub trace: bool,
+    /// Seeded fault schedule; derives per-job sub-plans like the main sweep.
+    pub faults: Option<FaultPlan>,
+    /// On-node monitoring overhead, watts.
+    pub monitoring_overhead_w: f64,
+}
+
+impl Default for PlacementSetup {
+    fn default() -> Self {
+        PlacementSetup {
+            spec: HardwareSpec::table1(),
+            scale: PlacementScale::Small,
+            trace: false,
+            faults: None,
+            monitoring_overhead_w: 0.2,
+        }
+    }
+}
+
+impl PlacementSetup {
+    /// The DRAM → NVMe → HDD stack the grid runs against. Bottom tier is
+    /// the spec's own disk model so the noop policy is exactly the flat
+    /// single-device system.
+    pub fn tier_stack(&self) -> Vec<TierSpec> {
+        let mib = 1024 * 1024;
+        let (dram, nvme, hdd) = match self.scale {
+            PlacementScale::Small => (mib, 4 * mib, 64 * mib),
+            PlacementScale::Paper => (8 * mib, 32 * mib, 512 * mib),
+        };
+        vec![
+            TierSpec::new("dram", DiskModel::dram_tier_32gb(), dram),
+            TierSpec::new("nvme", DiskModel::nvme_ssd_1tb(), nvme),
+            TierSpec::new("hdd", self.spec.disk.clone(), hdd),
+        ]
+    }
+}
+
+/// One finished placement cell.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// Submission index (manifest primary key).
+    pub id: usize,
+    /// Stable identity string.
+    pub key: String,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// The access-stream seed the job ran with.
+    pub seed: u64,
+    /// Virtual makespan, seconds.
+    pub time_s: f64,
+    /// Full-system energy over the makespan, joules (bottom-tier static
+    /// power included; see `extra_tier_idle_j` for the upper tiers).
+    pub energy_j: f64,
+    /// `energy_j / time_s`.
+    pub avg_power_w: f64,
+    /// Time spent in the read phase, seconds (the Table III quantity).
+    pub read_time_s: f64,
+    /// Full-system energy of the read phase, joules — the cliff is measured
+    /// here, where the write side (identical across the pair) cannot dilute
+    /// the pattern effect.
+    pub read_energy_j: f64,
+    /// Static energy of the tiers above the bottom one over the makespan
+    /// (idle watts × time), reported separately so the "is the extra
+    /// hardware worth it" trade-off stays visible.
+    pub extra_tier_idle_j: f64,
+    /// Logical bytes the workload wrote.
+    pub bytes_written: u64,
+    /// Logical bytes the workload read back.
+    pub bytes_read: u64,
+    /// Migrations up / down executed by the store.
+    pub promotes: u64,
+    /// Demotions executed.
+    pub demotes: u64,
+    /// Migrations lost to injected faults.
+    pub migration_faults: u64,
+    /// Transparent per-tier transfer retries.
+    pub io_retries: u64,
+    /// Every byte read back matched what was written.
+    pub verified: bool,
+    /// Per-tier transfer totals, fastest first.
+    pub tiers: Vec<TierCounters>,
+    /// Virtual end time, nanoseconds (journal assembly).
+    pub end_ns: u64,
+    /// Event journal when tracing (headerless `greenness-trace/v1` JSONL).
+    pub journal: Option<String>,
+    /// Metrics registry when tracing.
+    pub trace_metrics: Option<MetricsRegistry>,
+}
+
+/// The full grid: every workload under every policy, workload-major — the
+/// column order of the placement report.
+pub fn placement_grid() -> Vec<PlacementJob> {
+    let mut jobs = Vec::with_capacity(PlacementWorkload::ALL.len() * PolicyKind::ALL.len());
+    for workload in PlacementWorkload::ALL {
+        for policy in PolicyKind::ALL {
+            jobs.push(PlacementJob { workload, policy });
+        }
+    }
+    jobs
+}
+
+/// Deterministic chunk payload: a pure function of (snapshot, chunk index),
+/// so verification needs no retained copy.
+fn chunk_payload(snap: u64, chunk: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((snap * 131 + chunk * 29 + i as u64 * 7) % 251) as u8)
+        .collect()
+}
+
+/// The expected bytes of a sub-chunk poke at `offset` (chunk-aligned pokes
+/// only need the containing chunk's formula shifted by the in-chunk offset).
+fn poke_payload(snap: u64, offset: u64, len: usize, chunk_bytes: u64) -> Vec<u8> {
+    let chunk = offset / chunk_bytes;
+    let within = offset % chunk_bytes;
+    (0..len)
+        .map(|i| ((snap * 131 + chunk * 29 + (within + i as u64) * 7) % 251) as u8)
+        .collect()
+}
+
+/// Execute one placement job on a fresh node. Panics only on simulator
+/// invariant violations (caught by the pool and surfaced as
+/// [`SweepError::JobPanicked`]).
+fn execute(job: PlacementJob, setup: &PlacementSetup) -> PlacementResult {
+    let key = job.key();
+    let shape = job.workload.shape(setup.scale);
+    let mut node = Node::new(setup.spec.clone());
+    node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
+    if setup.trace {
+        let tracer = Tracer::jsonl();
+        tracer.begin(
+            0,
+            "run",
+            vec![
+                ("workload", Value::from(job.workload.label())),
+                ("policy", Value::from(job.policy.label())),
+            ],
+        );
+        node.set_tracer(tracer);
+    }
+
+    let mut store = TieredStore::new(setup.tier_stack(), job.policy.instantiate());
+    if let Some(plan) = &setup.faults {
+        let plan = plan.derive(&key);
+        store.set_fault_injectors(
+            Some(plan.injector(Site::TierIo, 0)),
+            Some(plan.injector(Site::TierMigration, 0)),
+        );
+    }
+    let extra_idle_w = store.idle_w_above_bottom();
+    let mut fs = FileSystem::format(store, FsConfig::default());
+    if let Some(plan) = &setup.faults {
+        fs.set_fault_injector(Some(plan.derive(&key).injector(Site::StorageFsync, 0)));
+    }
+
+    let chunks_per_snap = shape.snapshot_bytes / shape.chunk_bytes;
+    let chunk_len = shape.chunk_bytes as usize;
+    let mut bytes_written = 0u64;
+    let mut bytes_read = 0u64;
+    let mut verified = true;
+
+    // Write phase: every workload produces its snapshots chunk-by-chunk
+    // with a durability barrier per chunk (the paper's I/O discipline).
+    for snap in 0..shape.snapshots {
+        let name = snapshot_name(snap);
+        for c in 0..chunks_per_snap {
+            let data = chunk_payload(snap, c, chunk_len);
+            fs.append(&mut node, &name, &data, Phase::Write)
+                .expect("placement workload fits the tier stack");
+            fs.fsync_with_retry(&mut node, &name, Phase::Write)
+                .expect("bounded retry recovers at plan rates");
+            bytes_written += shape.chunk_bytes;
+        }
+        fs.device_mut().end_epoch(&mut node, Phase::Write);
+    }
+    fs.sync(&mut node, Phase::CacheControl);
+    fs.drop_caches();
+
+    // Read phase.
+    if shape.random_reads > 0 {
+        // 8 KiB exploratory pokes over the whole dataset, 80% against the
+        // first-fifth hot region, every poke cold: the dataset this models
+        // dwarfs the page cache, so placement — not caching — is the only
+        // lever. The draw stream is a pure function of the access seed.
+        let slots_per_snap = shape.snapshot_bytes / shape.poke_bytes;
+        let total_slots = shape.snapshots * slots_per_snap;
+        let hot_slots = (total_slots / 5).max(1);
+        let mut rng = job.access_seed();
+        let mut draw = |n: u64| {
+            rng = splitmix64(rng);
+            rng % n
+        };
+        for i in 0..shape.random_reads {
+            let slot = if draw(100) < 80 {
+                draw(hot_slots)
+            } else {
+                draw(total_slots)
+            };
+            let (snap, offset) = (
+                slot / slots_per_snap,
+                (slot % slots_per_snap) * shape.poke_bytes,
+            );
+            let got = fs
+                .read(
+                    &mut node,
+                    &snapshot_name(snap),
+                    offset,
+                    shape.poke_bytes,
+                    Phase::Read,
+                )
+                .expect("poke lands inside a snapshot");
+            bytes_read += got.len() as u64;
+            if got != poke_payload(snap, offset, shape.poke_bytes as usize, shape.chunk_bytes) {
+                verified = false;
+            }
+            fs.drop_caches();
+            if shape.epoch_every_reads > 0 && (i + 1) % shape.epoch_every_reads == 0 {
+                fs.device_mut().end_epoch(&mut node, Phase::Read);
+            }
+        }
+    } else {
+        for _pass in 0..shape.read_passes {
+            for snap in 0..shape.snapshots {
+                let name = snapshot_name(snap);
+                if shape.whole_file_reads {
+                    let got = fs
+                        .read(&mut node, &name, 0, shape.snapshot_bytes, Phase::Read)
+                        .expect("snapshot exists");
+                    bytes_read += got.len() as u64;
+                    for c in 0..chunks_per_snap {
+                        let lo = (c * shape.chunk_bytes) as usize;
+                        let hi = lo + chunk_len;
+                        if got[lo..hi] != chunk_payload(snap, c, chunk_len) {
+                            verified = false;
+                        }
+                    }
+                } else {
+                    for c in 0..chunks_per_snap {
+                        let got = fs
+                            .read(
+                                &mut node,
+                                &name,
+                                c * shape.chunk_bytes,
+                                shape.chunk_bytes,
+                                Phase::Read,
+                            )
+                            .expect("chunk exists");
+                        bytes_read += got.len() as u64;
+                        if got != chunk_payload(snap, c, chunk_len) {
+                            verified = false;
+                        }
+                    }
+                }
+                fs.device_mut().end_epoch(&mut node, Phase::Read);
+            }
+            // Paper §IV-C discipline between passes: nothing warm survives,
+            // so tier placement (not the page cache) carries the savings.
+            fs.drop_caches();
+        }
+    }
+
+    let store = fs.device();
+    let tiers = store.counters();
+    let (promotes, demotes) = (store.promotes(), store.demotes());
+    let (migration_faults, io_retries) = (store.migration_faults(), store.io_retries());
+
+    node.finish_trace();
+    let tracer = node.tracer().clone();
+    let timeline = node.into_timeline();
+    let time_s = timeline.end().as_secs_f64();
+    let energy_j = timeline.total_energy_j();
+    let read_time_s = timeline.phase_duration(Phase::Read).as_secs_f64();
+    let read_energy_j = timeline.phase_energy(Phase::Read).system_j();
+    let end_ns = timeline.end().as_nanos();
+    let (journal, trace_metrics) = if tracer.is_on() {
+        tracer.gauge("run.end_s", time_s);
+        tracer.gauge("energy.system_j", energy_j);
+        tracer.snapshot("run");
+        tracer.end(end_ns, "run", Vec::new());
+        let out = tracer.drain().expect("tracer is on");
+        (Some(out.journal), Some(out.metrics))
+    } else {
+        (None, None)
+    };
+
+    PlacementResult {
+        id: 0, // assigned by the collector
+        key,
+        workload: job.workload.label(),
+        policy: job.policy.label(),
+        seed: job.access_seed(),
+        time_s,
+        energy_j,
+        avg_power_w: energy_j / time_s.max(1e-300),
+        read_time_s,
+        read_energy_j,
+        extra_tier_idle_j: extra_idle_w * time_s,
+        bytes_written,
+        bytes_read,
+        promotes,
+        demotes,
+        migration_faults,
+        io_retries,
+        verified,
+        tiers,
+        end_ns,
+        journal,
+        trace_metrics,
+    }
+}
+
+fn snapshot_name(snap: u64) -> String {
+    format!("snap{snap:04}")
+}
+
+/// Run the placement grid on `workers` threads; results come back in
+/// submission order regardless of scheduling.
+///
+/// # Errors
+/// [`SweepError::DuplicateKey`] when two jobs share a key;
+/// [`SweepError::JobPanicked`] when a job panicked (lowest id reported).
+pub fn run_placement(
+    jobs: Vec<PlacementJob>,
+    setup: &PlacementSetup,
+    workers: usize,
+    on_done: Progress<'_>,
+) -> Result<Vec<PlacementResult>, SweepError> {
+    let total = jobs.len();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    {
+        let mut keys: Vec<String> = jobs.iter().map(PlacementJob::key).collect();
+        keys.sort();
+        for pair in keys.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(SweepError::DuplicateKey {
+                    key: pair[0].clone(),
+                });
+            }
+        }
+    }
+    let mut slots: Vec<Option<PlacementResult>> = (0..total).map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut finished = 0usize;
+    run_pool(
+        total,
+        workers,
+        &|idx| execute(jobs[idx], setup),
+        &mut |idx, outcome| match outcome {
+            Ok(mut result) => {
+                finished += 1;
+                on_done(finished, total, &jobs[idx].key());
+                result.id = idx;
+                slots[idx] = Some(result);
+            }
+            Err(message) => failures.push((idx, message)),
+        },
+    );
+    if let Some((id, message)) = failures.into_iter().min_by_key(|(id, _)| *id) {
+        return Err(SweepError::JobPanicked {
+            id,
+            key: jobs[id].key(),
+            message,
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| SweepError::JobLost {
+                id: i,
+                key: jobs[i].key(),
+            })
+        })
+        .collect()
+}
+
+/// Read-phase energy ratio random / sequential under the noop policy — the
+/// Table III cliff at sweep scale (both workloads read the same byte
+/// volume, so the ratio is a pure access-pattern effect). `None` if either
+/// cell is absent.
+pub fn noop_gap_ratio(results: &[PlacementResult]) -> Option<f64> {
+    let cell = |w: &str| {
+        results
+            .iter()
+            .find(|r| r.workload == w && r.policy == "noop")
+            .map(|r| r.read_energy_j)
+    };
+    Some(cell("random")? / cell("seqscan")?)
+}
+
+/// The same ratio under `policy` — how much of the cliff that policy closes.
+pub fn gap_ratio_under(results: &[PlacementResult], policy: &str) -> Option<f64> {
+    let cell = |w: &str| {
+        results
+            .iter()
+            .find(|r| r.workload == w && r.policy == policy)
+            .map(|r| r.read_energy_j)
+    };
+    Some(cell("random")? / cell("seqscan")?)
+}
+
+/// Assemble the placement-sweep journal: schema header, then each traced
+/// job's journal in a `job` span, job-id order — byte-identical across
+/// worker counts. `None` when no job was traced.
+pub fn placement_journal(results: &[PlacementResult]) -> Option<String> {
+    if results.iter().all(|r| r.journal.is_none()) {
+        return None;
+    }
+    let mut s = greenness_trace::journal_header();
+    for r in results {
+        let Some(journal) = &r.journal else {
+            continue;
+        };
+        s.push_str(&format!(
+            "{{\"t_ns\":0,\"ev\":\"begin\",\"name\":\"job\",\"job\":{},\"key\":\"{}\",\"seed\":{}}}\n",
+            r.id,
+            escape_json(&r.key),
+            r.seed
+        ));
+        s.push_str(journal);
+        s.push_str(&format!(
+            "{{\"t_ns\":{},\"ev\":\"end\",\"name\":\"job\",\"job\":{}}}\n",
+            r.end_ns, r.id
+        ));
+    }
+    Some(s)
+}
+
+/// Render the placement metrics file (`greenness-metrics/v1`): one labeled
+/// registry per traced job, job-id order. `None` when no job was traced.
+pub fn placement_metrics_json(results: &[PlacementResult]) -> Option<String> {
+    let entries: Vec<(String, MetricsRegistry)> = results
+        .iter()
+        .filter_map(|r| r.trace_metrics.clone().map(|m| (r.key.clone(), m)))
+        .collect();
+    if entries.is_empty() {
+        None
+    } else {
+        Some(greenness_trace::metrics_file_json(&entries))
+    }
+}
+
+/// Render the structured placement manifest
+/// (`repro_out/placement.json`) — a pure function of the results.
+pub fn placement_manifest_json(scale: PlacementScale, results: &[PlacementResult]) -> String {
+    let mut s = String::with_capacity(1024 + 768 * results.len());
+    s.push_str("{\n  \"schema\": \"greenness-placement-manifest/v1\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"jobs\": [\n",
+        scale.label()
+    ));
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"id\": {},\n", r.id));
+        s.push_str(&format!("      \"key\": \"{}\",\n", escape_json(&r.key)));
+        s.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
+        s.push_str(&format!("      \"policy\": \"{}\",\n", r.policy));
+        s.push_str(&format!("      \"seed\": {},\n", r.seed));
+        s.push_str(&format!("      \"time_s\": {:?},\n", r.time_s));
+        s.push_str(&format!("      \"energy_j\": {:?},\n", r.energy_j));
+        s.push_str(&format!("      \"avg_power_w\": {:?},\n", r.avg_power_w));
+        s.push_str(&format!("      \"read_time_s\": {:?},\n", r.read_time_s));
+        s.push_str(&format!(
+            "      \"read_energy_j\": {:?},\n",
+            r.read_energy_j
+        ));
+        s.push_str(&format!(
+            "      \"extra_tier_idle_j\": {:?},\n",
+            r.extra_tier_idle_j
+        ));
+        s.push_str(&format!(
+            "      \"bytes_written\": {},\n      \"bytes_read\": {},\n",
+            r.bytes_written, r.bytes_read
+        ));
+        s.push_str(&format!(
+            "      \"promotes\": {},\n      \"demotes\": {},\n",
+            r.promotes, r.demotes
+        ));
+        s.push_str(&format!(
+            "      \"migration_faults\": {},\n      \"io_retries\": {},\n",
+            r.migration_faults, r.io_retries
+        ));
+        s.push_str(&format!("      \"verified\": {},\n", r.verified));
+        s.push_str("      \"tiers\": [");
+        for (j, t) in r.tiers.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"bytes_read\": {}, \"bytes_written\": {}, \"hits\": {}}}",
+                escape_json(&t.name),
+                t.bytes_read,
+                t.bytes_written,
+                t.hits
+            ));
+        }
+        s.push_str("]\n");
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::silent_progress;
+
+    fn small_run(policy: PolicyKind, workload: PlacementWorkload) -> PlacementResult {
+        let mut r = run_placement(
+            vec![PlacementJob { workload, policy }],
+            &PlacementSetup::default(),
+            1,
+            &silent_progress(),
+        )
+        .expect("single job runs");
+        r.remove(0)
+    }
+
+    #[test]
+    fn grid_covers_every_cell_exactly_once() {
+        let jobs = placement_grid();
+        assert_eq!(jobs.len(), 15);
+        let mut keys: Vec<String> = jobs.iter().map(PlacementJob::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 15);
+    }
+
+    #[test]
+    fn every_cell_reads_back_verified_data() {
+        let setup = PlacementSetup::default();
+        let results =
+            run_placement(placement_grid(), &setup, 4, &silent_progress()).expect("grid runs");
+        assert_eq!(results.len(), 15);
+        for r in &results {
+            assert!(r.verified, "{} read back corrupted data", r.key);
+            assert!(r.bytes_read > 0, "{} read nothing", r.key);
+        }
+    }
+
+    #[test]
+    fn noop_gap_reproduces_the_table3_cliff_direction() {
+        let setup = PlacementSetup::default();
+        let results =
+            run_placement(placement_grid(), &setup, 4, &silent_progress()).expect("grid runs");
+        let ratio = noop_gap_ratio(&results).expect("both cells present");
+        assert!(
+            ratio > 10.0,
+            "random/seq read-energy ratio {ratio} too small for a 7200 rpm bottom tier"
+        );
+    }
+
+    #[test]
+    fn placement_policies_close_the_random_access_gap() {
+        let noop = small_run(PolicyKind::Noop, PlacementWorkload::RandomAccess);
+        let freq = small_run(PolicyKind::FreqRecency, PlacementWorkload::RandomAccess);
+        let greedy = small_run(PolicyKind::EnergyGreedy, PlacementWorkload::RandomAccess);
+        assert_eq!(noop.promotes, 0);
+        assert!(freq.promotes > 0, "freq-recency must promote the hot set");
+        assert!(
+            greedy.promotes > 0,
+            "energy-greedy must promote the hot set"
+        );
+        assert!(
+            freq.energy_j < noop.energy_j,
+            "freq-recency {} J !< noop {} J",
+            freq.energy_j,
+            noop.energy_j
+        );
+        assert!(
+            greedy.energy_j < noop.energy_j,
+            "energy-greedy {} J !< noop {} J",
+            greedy.energy_j,
+            noop.energy_j
+        );
+    }
+
+    #[test]
+    fn policies_see_the_identical_access_stream() {
+        // Same workload, different policy ⇒ same seed, same logical bytes.
+        let a = small_run(PolicyKind::Noop, PlacementWorkload::RandomAccess);
+        let b = small_run(PolicyKind::EnergyGreedy, PlacementWorkload::RandomAccess);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.bytes_read, b.bytes_read);
+        assert_eq!(a.bytes_written, b.bytes_written);
+    }
+
+    #[test]
+    fn manifest_is_schedule_invariant() {
+        let setup = PlacementSetup::default();
+        let a = placement_manifest_json(
+            setup.scale,
+            &run_placement(placement_grid(), &setup, 1, &silent_progress()).expect("ok"),
+        );
+        let b = placement_manifest_json(
+            setup.scale,
+            &run_placement(placement_grid(), &setup, 8, &silent_progress()).expect("ok"),
+        );
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"greenness-placement-manifest/v1\""));
+    }
+}

@@ -174,6 +174,56 @@ fn lock_queue(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<
     q.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The shared work-stealing pool under [`run_sweep`] and the placement
+/// sweep: run job indices `0..total` on `workers` threads (clamped to
+/// `1..=total`), calling `exec` on whatever worker picked each index and
+/// `on_collected` on the **calling** thread as results arrive (arrival
+/// order is scheduling-dependent; callers index into their own slot table).
+/// A panicking job is caught on its worker and delivered as `Err(message)`.
+pub(crate) fn run_pool<R: Send>(
+    total: usize,
+    workers: usize,
+    exec: &(dyn Fn(usize) -> R + Sync),
+    on_collected: &mut dyn FnMut(usize, Result<R, String>),
+) {
+    if total == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, total);
+
+    // Per-worker deques, dealt round-robin. A worker pops from the front of
+    // its own deque and steals from the *back* of the busiest other deque,
+    // the classic Arora-Blumofe-Plaxton shape, here with plain mutexed
+    // deques: the batch is fixed (no dynamic spawning), so lock-free
+    // machinery would buy nothing this side of thousands of jobs.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..total {
+        lock_queue(&queues[i % workers]).push_back(i);
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            scope.spawn(move || loop {
+                let next = pop_own(&queues[me]).or_else(|| steal_other(queues, me));
+                let Some(idx) = next else { break };
+                let outcome = catch_unwind(AssertUnwindSafe(|| exec(idx)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                if tx.send((idx, outcome)).is_err() {
+                    break; // collector gone; nothing left to report to
+                }
+            });
+        }
+        drop(tx);
+        for (idx, outcome) in rx {
+            on_collected(idx, outcome);
+        }
+    });
+}
+
 /// Execute `jobs` on `workers` threads and return results ordered by job id.
 ///
 /// `workers` is clamped to `1..=jobs.len()`; `workers == 1` degenerates to a
@@ -206,60 +256,30 @@ pub fn run_sweep(
             }
         }
     }
-    let workers = workers.clamp(1, total);
-
-    // Per-worker deques, dealt round-robin. A worker pops from the front of
-    // its own deque and steals from the *back* of the busiest other deque,
-    // the classic Arora-Blumofe-Plaxton shape, here with plain mutexed
-    // deques: the batch is fixed (no dynamic spawning), so lock-free
-    // machinery would buy nothing this side of thousands of jobs.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for (i, _) in jobs.iter().enumerate() {
-        lock_queue(&queues[i % workers]).push_back(i);
-    }
-
-    let (tx, rx) = mpsc::channel::<(usize, Result<PipelineReport, String>)>();
     let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
     let mut failures: Vec<(usize, String)> = Vec::new();
-
-    std::thread::scope(|scope| {
-        for me in 0..workers {
-            let tx = tx.clone();
-            let queues = &queues;
-            let jobs = &jobs;
-            scope.spawn(move || loop {
-                let next = pop_own(&queues[me]).or_else(|| steal_other(queues, me));
-                let Some(idx) = next else { break };
-                let outcome = catch_unwind(AssertUnwindSafe(|| jobs[idx].execute()))
-                    .map_err(|payload| panic_message(payload.as_ref()));
-                if tx.send((idx, outcome)).is_err() {
-                    break; // collector gone; nothing left to report to
-                }
-            });
-        }
-        drop(tx);
-
-        let mut finished = 0usize;
-        for (idx, outcome) in rx {
-            match outcome {
-                Ok(report) => {
-                    finished += 1;
-                    on_done(finished, total, &jobs[idx].key());
-                    slots[idx] = Some(JobResult {
-                        id: idx,
-                        key: jobs[idx].key(),
-                        group: jobs[idx].group(),
-                        seed: jobs[idx].derived_seed(),
-                        case: jobs[idx].case,
-                        kind: jobs[idx].kind,
-                        report,
-                    });
-                }
-                Err(message) => failures.push((idx, message)),
+    let mut finished = 0usize;
+    run_pool(
+        total,
+        workers,
+        &|idx| jobs[idx].execute(),
+        &mut |idx, outcome| match outcome {
+            Ok(report) => {
+                finished += 1;
+                on_done(finished, total, &jobs[idx].key());
+                slots[idx] = Some(JobResult {
+                    id: idx,
+                    key: jobs[idx].key(),
+                    group: jobs[idx].group(),
+                    seed: jobs[idx].derived_seed(),
+                    case: jobs[idx].case,
+                    kind: jobs[idx].kind,
+                    report,
+                });
             }
-        }
-    });
+            Err(message) => failures.push((idx, message)),
+        },
+    );
 
     if let Some((id, message)) = failures.into_iter().min_by_key(|(id, _)| *id) {
         return Err(SweepError::JobPanicked {

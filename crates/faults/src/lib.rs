@@ -32,6 +32,14 @@ pub enum Site {
     /// `serve` — the handler is artificially slowed (an overloaded staging
     /// node), observable through retry/latency accounting only.
     ServeHandler,
+    /// `storage::tier` — a transient device-level I/O error inside one tier
+    /// of a `TieredStore`; the controller retries transparently, costing a
+    /// second pass of the transfer.
+    TierIo,
+    /// `storage::tier` — a block migration between tiers fails: torn (the
+    /// destination copy is abandoned half-written) or transient (the copy
+    /// never starts). Either way the source copy survives.
+    TierMigration,
 }
 
 impl Site {
@@ -42,6 +50,8 @@ impl Site {
             Site::FabricTransfer => "fabric.transfer",
             Site::ServeConn => "serve.conn",
             Site::ServeHandler => "serve.handler",
+            Site::TierIo => "tier.io",
+            Site::TierMigration => "tier.migration",
         }
     }
 
@@ -52,6 +62,8 @@ impl Site {
             Site::FabricTransfer => plan.fabric_fault_rate,
             Site::ServeConn => plan.serve_drop_rate,
             Site::ServeHandler => plan.serve_slow_rate,
+            Site::TierIo => plan.tier_io_rate,
+            Site::TierMigration => plan.tier_migration_rate,
         }
     }
 }
@@ -70,6 +82,10 @@ pub struct FaultPlan {
     pub serve_drop_rate: f64,
     /// Probability a serve handler is slowed.
     pub serve_slow_rate: f64,
+    /// Probability a tiered-store transfer hits a transient device error.
+    pub tier_io_rate: f64,
+    /// Probability a tier migration is torn or aborted.
+    pub tier_migration_rate: f64,
     /// Bounded retry budget for every recovery loop.
     pub max_retries: u32,
     /// First-retry backoff in (virtual) seconds; doubles per attempt.
@@ -87,6 +103,8 @@ impl FaultPlan {
             fabric_fault_rate: 0.06,
             serve_drop_rate: 0.12,
             serve_slow_rate: 0.10,
+            tier_io_rate: 0.05,
+            tier_migration_rate: 0.10,
             max_retries: 8,
             backoff_base_s: 0.002,
         }
@@ -100,6 +118,8 @@ impl FaultPlan {
             fabric_fault_rate: 0.0,
             serve_drop_rate: 0.0,
             serve_slow_rate: 0.0,
+            tier_io_rate: 0.0,
+            tier_migration_rate: 0.0,
             ..FaultPlan::with_seed(seed)
         }
     }
@@ -252,6 +272,8 @@ mod tests {
             Site::FabricTransfer,
             Site::ServeConn,
             Site::ServeHandler,
+            Site::TierIo,
+            Site::TierMigration,
         ] {
             assert!(fire_pattern(&plan, site, 3, 256)
                 .iter()

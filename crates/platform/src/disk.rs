@@ -25,8 +25,12 @@ pub enum DiskKind {
     Hdd,
     /// SATA solid-state drive (paper future work).
     Ssd,
-    /// Byte-addressable non-volatile memory (paper future work).
+    /// Byte-addressable non-volatile memory / PMem (paper future work).
     Nvram,
+    /// A DRAM-backed staging tier (deep-memory-hierarchy burst buffers).
+    Dram,
+    /// PCIe NVMe solid-state drive.
+    Nvme,
 }
 
 /// The direction of a device transfer.
@@ -157,6 +161,66 @@ impl DiskModel {
             write_w: 2.5,
             elevator_w: 2.5,
         }
+    }
+
+    /// A DRAM staging tier treated as a storage device (the fastest rung of
+    /// the deep memory hierarchy): DDR3-1333-class streaming, sub-µs access,
+    /// and a small constant power for the DIMM region it pins.
+    pub fn dram_tier_32gb() -> Self {
+        DiskModel {
+            kind: DiskKind::Dram,
+            capacity_bytes: 32_000_000_000,
+            avg_seek_s: 0.2e-6,
+            settle_seek_s: 0.05e-6,
+            rot_latency_s: 0.0,
+            seq_read_rate: 12.8e9,
+            seq_write_rate: 12.8e9,
+            write_cache: false,
+            elevator_efficiency: 1.0,
+            ncq_k: 1.0,
+            idle_w: 2.0,
+            seek_w: 0.5,
+            journal_w: 1.0,
+            read_w: 4.0,
+            write_w: 4.0,
+            elevator_w: 4.0,
+        }
+    }
+
+    /// A PCIe NVMe SSD: ≈20 µs access, 3.2/2.2 GB/s streaming, controller
+    /// write cache.
+    pub fn nvme_ssd_1tb() -> Self {
+        DiskModel {
+            kind: DiskKind::Nvme,
+            capacity_bytes: 1_000_000_000_000,
+            avg_seek_s: 20.0e-6,
+            settle_seek_s: 5.0e-6,
+            rot_latency_s: 0.0,
+            seq_read_rate: 3.2e9,
+            seq_write_rate: 2.2e9,
+            write_cache: true,
+            elevator_efficiency: 0.97,
+            ncq_k: 1.0,
+            idle_w: 2.0,
+            seek_w: 1.2,
+            journal_w: 2.0,
+            read_w: 6.0,
+            write_w: 8.0,
+            elevator_w: 8.0,
+        }
+    }
+
+    /// The device zoo: every modeled tier technology from fastest to
+    /// slowest, with its conventional short name. The placement studies and
+    /// the README device table are generated from this list.
+    pub fn device_zoo() -> Vec<(&'static str, DiskModel)> {
+        vec![
+            ("dram", Self::dram_tier_32gb()),
+            ("pmem", Self::nvram_256gb()),
+            ("nvme", Self::nvme_ssd_1tb()),
+            ("ssd", Self::sata_ssd_512gb()),
+            ("hdd", Self::seagate_7200rpm_500gb()),
+        ]
     }
 
     /// A copy with the write cache (and elevator reordering) disabled —

@@ -122,6 +122,13 @@ impl Node {
         self.monitoring_overhead_w = overhead_w.max(0.0);
     }
 
+    /// The attached monitor's package-power overhead, watts. External device
+    /// models (e.g. the tiered store) add this to their own busy draws so
+    /// their segments compose bit-identically with [`Self::cost_of`]'s.
+    pub fn monitoring_overhead_w(&self) -> f64 {
+        self.monitoring_overhead_w
+    }
+
     /// The baseline draw with every subsystem idle.
     pub fn idle_draw(&self) -> PowerDraw {
         PowerDraw {

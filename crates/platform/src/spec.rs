@@ -95,6 +95,8 @@ impl HardwareSpec {
                     crate::disk::DiskKind::Hdd => "7200rpm hard disk".to_string(),
                     crate::disk::DiskKind::Ssd => "SATA SSD".to_string(),
                     crate::disk::DiskKind::Nvram => "NVRAM".to_string(),
+                    crate::disk::DiskKind::Dram => "DRAM tier".to_string(),
+                    crate::disk::DiskKind::Nvme => "NVMe SSD".to_string(),
                 },
             ),
             ("Static (idle) power", format!("{:.1} W", self.static_w())),

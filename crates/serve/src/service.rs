@@ -20,6 +20,7 @@ use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{CaseComparison, ExperimentSetup, PipelineConfig, PipelineKind};
 use greenness_faults::{FaultInjector, FaultPlan, Site};
+use greenness_platform::DiskModel;
 use greenness_power::GreenMetrics;
 use greenness_trace::fmt_f64;
 use greenness_trace::MetricsRegistry;
@@ -411,6 +412,29 @@ fn op_compare(params: &Json) -> OpResult {
     Ok((comparison_json(&c), comparison_virtual_s(&c)))
 }
 
+/// Resolve an optional `device` param against the device zoo: the analysis
+/// re-runs as if the node's disk were that device (the serving-layer view
+/// of the tiered-storage question — "would this workload still need
+/// reorganizing on an NVMe tier?").
+fn device_param(params: &Json) -> Result<(ExperimentSetup, String), (ErrorCode, String)> {
+    let mut setup = ExperimentSetup::default();
+    let Some(v) = params.get("device") else {
+        return Ok((setup, "hdd".to_string()));
+    };
+    let name = v.as_str().ok_or_else(|| bad("device must be a string"))?;
+    let model = DiskModel::device_zoo()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, m)| m)
+        .ok_or_else(|| {
+            bad(format!(
+                "unknown device '{name}' (expected dram|pmem|nvme|ssd|hdd)"
+            ))
+        })?;
+    setup.spec.disk = model;
+    Ok((setup, name.to_string()))
+}
+
 fn op_whatif(params: &Json) -> OpResult {
     let bytes = match params.get("bytes") {
         None => 4 * 1024 * 1024 * 1024,
@@ -419,7 +443,8 @@ fn op_whatif(params: &Json) -> OpResult {
             .filter(|b| *b > 0)
             .ok_or_else(|| bad("bytes must be a positive integer"))?,
     };
-    let w = WhatIfAnalysis::run(&ExperimentSetup::default(), bytes)
+    let (setup, device) = device_param(params)?;
+    let w = WhatIfAnalysis::run(&setup, bytes)
         .map_err(|e| (ErrorCode::Internal, format!("fio failed: {e}")))?;
     let fio: Vec<String> = w
         .fio
@@ -437,7 +462,7 @@ fn op_whatif(params: &Json) -> OpResult {
         .collect();
     let virtual_s: f64 = w.fio.iter().map(|r| r.execution_time_s).sum();
     let result = format!(
-        "{{\"bytes\":{bytes},\"random_io_energy_kj\":{},\"reorganized_io_energy_kj\":{},\"retained_fraction\":{},\"fio\":[{}]}}",
+        "{{\"bytes\":{bytes},\"device\":\"{device}\",\"random_io_energy_kj\":{},\"reorganized_io_energy_kj\":{},\"retained_fraction\":{},\"fio\":[{}]}}",
         fmt_f64(w.random_io_energy_kj),
         fmt_f64(w.reorganized_io_energy_kj),
         fmt_f64(w.retained_fraction()),
@@ -502,7 +527,8 @@ fn op_advisor(params: &Json) -> OpResult {
         needs_exploration,
         min_keep_fraction,
     };
-    let advice = advisor::recommend(&ExperimentSetup::default().spec, &profile);
+    let (setup, device) = device_param(params)?;
+    let advice = advisor::recommend(&setup.spec, &profile);
     let technique = match advice.technique {
         advisor::Technique::InSitu => "\"insitu\"".to_string(),
         advisor::Technique::Reorganize => "\"reorganize\"".to_string(),
@@ -515,7 +541,7 @@ fn op_advisor(params: &Json) -> OpResult {
         advisor::Technique::KeepPostProcessing => "\"keep_post_processing\"".to_string(),
     };
     let result = format!(
-        "{{\"current_io_j\":{},\"insitu_io_j\":{},\"reorg_cost_j\":{},\"reorg_pass_j\":{},\"sampling_pass_j\":{},\"technique\":{technique}}}",
+        "{{\"device\":\"{device}\",\"current_io_j\":{},\"insitu_io_j\":{},\"reorg_cost_j\":{},\"reorg_pass_j\":{},\"sampling_pass_j\":{},\"technique\":{technique}}}",
         fmt_f64(advice.current_io_j),
         fmt_f64(advice.insitu_io_j),
         fmt_f64(advice.reorg_cost_j),
@@ -652,6 +678,44 @@ mod tests {
         // Errors are never cached: the same bad request misses twice.
         let m = s.metrics_clone();
         assert_eq!(m.counter("serve.cache.hits"), 0);
+    }
+
+    #[test]
+    fn whatif_device_param_changes_the_answer() {
+        let s = svc();
+        let random_kj = |device: &str| {
+            let out = s.handle_line(&line(&format!(
+                r#""op":"whatif","params":{{"bytes":1073741824,"device":"{device}"}}"#
+            )));
+            let doc = Json::parse(&out.line).expect("parses");
+            assert_eq!(
+                doc.get("result")
+                    .and_then(|r| r.get("device"))
+                    .and_then(Json::as_str),
+                Some(device.to_string()).as_deref()
+            );
+            doc.get("result")
+                .and_then(|r| r.get("random_io_energy_kj"))
+                .and_then(Json::as_f64)
+                .expect("random_io_energy_kj present")
+        };
+        let hdd = random_kj("hdd");
+        let dram = random_kj("dram");
+        assert!(
+            dram < hdd / 10.0,
+            "dram random I/O ({dram} kJ) should be far cheaper than hdd ({hdd} kJ)"
+        );
+        let bad = s.handle_line(&line(
+            r#""op":"whatif","params":{"bytes":1,"device":"floppy"}"#,
+        ));
+        let doc = Json::parse(&bad.line).expect("parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad_request")
+        );
     }
 
     #[test]

@@ -16,8 +16,7 @@
 use greenness_platform::disk::{DiskModel, IoDir};
 use greenness_platform::{AccessPattern, Node, Phase};
 
-use crate::block::BlockDevice;
-use crate::fs::{FileSystem, FsError};
+use crate::fs::{CostedDevice, FileSystem, FsError};
 
 /// The staging tier: a capacity-bounded NVRAM region holding whole files
 /// until they are drained to the backing store.
@@ -68,7 +67,7 @@ impl BurstBuffer {
     /// snapshots). If the new file would overflow the buffer, the oldest
     /// staged files are force-drained to `fs` first (a blocking partial
     /// drain, as real burst buffers do under pressure).
-    pub fn stage<D: BlockDevice>(
+    pub fn stage<D: CostedDevice>(
         &mut self,
         node: &mut Node,
         fs: &mut FileSystem<D>,
@@ -91,7 +90,7 @@ impl BurstBuffer {
 
     /// Drain the oldest staged file into the backing filesystem as one
     /// sequential write + fsync.
-    fn drain_one<D: BlockDevice>(
+    fn drain_one<D: CostedDevice>(
         &mut self,
         node: &mut Node,
         fs: &mut FileSystem<D>,
@@ -112,7 +111,7 @@ impl BurstBuffer {
     }
 
     /// Drain everything (the end-of-phase flush).
-    pub fn drain_all<D: BlockDevice>(
+    pub fn drain_all<D: CostedDevice>(
         &mut self,
         node: &mut Node,
         fs: &mut FileSystem<D>,

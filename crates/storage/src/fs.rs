@@ -19,13 +19,14 @@
 use std::collections::{BTreeMap, HashMap};
 
 use greenness_faults::FaultInjector;
+use greenness_platform::disk::IoDir;
 use greenness_platform::{AccessPattern, Activity, Node, Phase};
 use greenness_trace::Value;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::block::{BlockDevice, BLOCK_SIZE};
+use crate::block::{BlockDevice, MemBlockDevice, NullBlockDevice, BLOCK_SIZE};
 use crate::cache::{CacheStats, PageCache};
 
 /// Filesystem errors.
@@ -118,6 +119,129 @@ impl Default for FsConfig {
     }
 }
 
+/// A block device that also knows how to charge a [`Node`] for its own
+/// transfers. The filesystem computes *which* blocks move and in what file
+/// order; the device decides what that layout costs on its medium.
+///
+/// Flat single-medium devices ([`MemBlockDevice`], [`NullBlockDevice`])
+/// charge the node's own `spec.disk` through [`Activity`], exactly as the
+/// filesystem did before this trait existed — byte-identical timelines and
+/// journals. A [`crate::TieredStore`] instead splits the transfer across its
+/// tiers and prices each slice with that tier's [`DiskModel`]
+/// (`greenness_platform::disk::DiskModel`).
+pub trait CostedDevice: BlockDevice {
+    /// Charge `node` for moving `blocks` (device block indices, file order)
+    /// in direction `dir`. Called *before* the data actually moves through
+    /// [`BlockDevice::read_block`]/[`BlockDevice::write_block`].
+    fn charge_transfer(
+        &mut self,
+        node: &mut Node,
+        blocks: &[u64],
+        dir: IoDir,
+        cfg: &FsConfig,
+        phase: Phase,
+    );
+
+    /// Charge `node` for a journal-commit barrier of `seeks` positioning
+    /// operations covering `blocks` (empty on a metadata-only commit).
+    fn charge_barrier(&mut self, node: &mut Node, seeks: u32, blocks: &[u64], phase: Phase);
+}
+
+/// The layout-derived access pattern shared by every costed device: one run
+/// is a stream (or a read-ahead-window chunk walk when small); multiple runs
+/// degrade to chunked or random I/O by average run length. Reads keep the
+/// historical single-run asymmetry (small single-run reads pay the
+/// read-ahead window; single-run writes always stream).
+pub(crate) fn layout_pattern(cfg: &FsConfig, runs: usize, bytes: u64, dir: IoDir) -> AccessPattern {
+    if runs <= 1 {
+        return match dir {
+            IoDir::Read if bytes < cfg.sequential_threshold => AccessPattern::Chunked {
+                op_bytes: cfg.readahead_bytes,
+            },
+            _ => AccessPattern::Sequential,
+        };
+    }
+    let avg_run = bytes / runs as u64;
+    if dir == IoDir::Read && avg_run >= cfg.sequential_threshold {
+        AccessPattern::Sequential
+    } else if avg_run > cfg.readahead_bytes {
+        AccessPattern::Chunked { op_bytes: avg_run }
+    } else {
+        AccessPattern::Random {
+            op_bytes: avg_run.max(BLOCK_SIZE),
+            queue_depth: cfg.queue_depth,
+        }
+    }
+}
+
+/// The flat-device charge path: cost the transfer against the node's own
+/// `spec.disk` via [`Activity`], preserving the pre-trait behavior bit for
+/// bit (seek counter first, then one buffered disk activity).
+pub(crate) fn flat_charge_transfer(
+    node: &mut Node,
+    blocks: &[u64],
+    dir: IoDir,
+    cfg: &FsConfig,
+    phase: Phase,
+) {
+    if blocks.is_empty() {
+        return;
+    }
+    let bytes = blocks.len() as u64 * BLOCK_SIZE;
+    let runs = runs_of(blocks);
+    // Each discontinuity between runs costs the head one repositioning.
+    node.tracer()
+        .count("disk.seeks", runs.len().saturating_sub(1) as u64);
+    let pattern = layout_pattern(cfg, runs.len(), bytes, dir);
+    let activity = match dir {
+        IoDir::Read => Activity::DiskRead {
+            bytes,
+            pattern,
+            buffered: true,
+        },
+        IoDir::Write => Activity::DiskWrite {
+            bytes,
+            pattern,
+            buffered: true,
+        },
+    };
+    node.execute(activity, phase);
+}
+
+impl CostedDevice for MemBlockDevice {
+    fn charge_transfer(
+        &mut self,
+        node: &mut Node,
+        blocks: &[u64],
+        dir: IoDir,
+        cfg: &FsConfig,
+        phase: Phase,
+    ) {
+        flat_charge_transfer(node, blocks, dir, cfg, phase);
+    }
+
+    fn charge_barrier(&mut self, node: &mut Node, seeks: u32, _blocks: &[u64], phase: Phase) {
+        node.execute(Activity::DiskBarrier { seeks }, phase);
+    }
+}
+
+impl CostedDevice for NullBlockDevice {
+    fn charge_transfer(
+        &mut self,
+        node: &mut Node,
+        blocks: &[u64],
+        dir: IoDir,
+        cfg: &FsConfig,
+        phase: Phase,
+    ) {
+        flat_charge_transfer(node, blocks, dir, cfg, phase);
+    }
+
+    fn charge_barrier(&mut self, node: &mut Node, seeks: u32, _blocks: &[u64], phase: Phase) {
+        node.execute(Activity::DiskBarrier { seeks }, phase);
+    }
+}
+
 /// A contiguous run of device blocks owned by one file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Extent {
@@ -165,7 +289,7 @@ impl Inode {
 
 /// The filesystem: allocator + page cache + inode table over a device.
 #[derive(Debug)]
-pub struct FileSystem<D: BlockDevice> {
+pub struct FileSystem<D: CostedDevice> {
     dev: D,
     cache: PageCache,
     files: HashMap<String, Inode>,
@@ -181,7 +305,7 @@ pub struct FileSystem<D: BlockDevice> {
     faults: Option<FaultInjector>,
 }
 
-impl<D: BlockDevice> FileSystem<D> {
+impl<D: CostedDevice> FileSystem<D> {
     /// Format `dev` with an empty filesystem.
     pub fn format(dev: D, config: FsConfig) -> Self {
         let mut free = BTreeMap::new();
@@ -369,77 +493,16 @@ impl<D: BlockDevice> FileSystem<D> {
     }
 
     /// Charge `node` for reading `miss_blocks` (device block indices, file
-    /// order) from the device, choosing the access pattern from the layout.
-    fn charge_read(&self, node: &mut Node, miss_blocks: &[u64], phase: Phase) {
-        if miss_blocks.is_empty() {
-            return;
-        }
-        let bytes = miss_blocks.len() as u64 * BLOCK_SIZE;
-        let runs = runs_of(miss_blocks);
-        // Each discontinuity between runs costs the head one repositioning.
-        node.tracer()
-            .count("disk.seeks", runs.len().saturating_sub(1) as u64);
-        let pattern = if runs.len() == 1 {
-            if bytes >= self.config.sequential_threshold {
-                AccessPattern::Sequential
-            } else {
-                AccessPattern::Chunked {
-                    op_bytes: self.config.readahead_bytes,
-                }
-            }
-        } else {
-            let avg_run = bytes / runs.len() as u64;
-            if avg_run >= self.config.sequential_threshold {
-                AccessPattern::Sequential
-            } else if avg_run > self.config.readahead_bytes {
-                AccessPattern::Chunked { op_bytes: avg_run }
-            } else {
-                AccessPattern::Random {
-                    op_bytes: avg_run.max(BLOCK_SIZE),
-                    queue_depth: self.config.queue_depth,
-                }
-            }
-        };
-        node.execute(
-            Activity::DiskRead {
-                bytes,
-                pattern,
-                buffered: true,
-            },
-            phase,
-        );
+    /// order) from the device; the device prices the layout itself.
+    fn charge_read(&mut self, node: &mut Node, miss_blocks: &[u64], phase: Phase) {
+        self.dev
+            .charge_transfer(node, miss_blocks, IoDir::Read, &self.config, phase);
     }
 
     /// Charge `node` for flushing `dirty_blocks` to the device.
-    fn charge_writeback(&self, node: &mut Node, dirty_blocks: &[u64], phase: Phase) {
-        if dirty_blocks.is_empty() {
-            return;
-        }
-        let bytes = dirty_blocks.len() as u64 * BLOCK_SIZE;
-        let runs = runs_of(dirty_blocks);
-        node.tracer()
-            .count("disk.seeks", runs.len().saturating_sub(1) as u64);
-        let pattern = if runs.len() == 1 {
-            AccessPattern::Sequential
-        } else {
-            let avg_run = bytes / runs.len() as u64;
-            if avg_run > self.config.readahead_bytes {
-                AccessPattern::Chunked { op_bytes: avg_run }
-            } else {
-                AccessPattern::Random {
-                    op_bytes: avg_run.max(BLOCK_SIZE),
-                    queue_depth: self.config.queue_depth,
-                }
-            }
-        };
-        node.execute(
-            Activity::DiskWrite {
-                bytes,
-                pattern,
-                buffered: true,
-            },
-            phase,
-        );
+    fn charge_writeback(&mut self, node: &mut Node, dirty_blocks: &[u64], phase: Phase) {
+        self.dev
+            .charge_transfer(node, dirty_blocks, IoDir::Write, &self.config, phase);
     }
 
     /// Write `data` at `offset` into `name` (creating or extending the file),
@@ -589,12 +652,8 @@ impl<D: BlockDevice> FileSystem<D> {
             return Err(self.faulted_fsync(node, &dirty, entropy, phase));
         }
         self.charge_writeback(node, &dirty, phase);
-        node.execute(
-            Activity::DiskBarrier {
-                seeks: self.config.journal_seeks_per_fsync,
-            },
-            phase,
-        );
+        self.dev
+            .charge_barrier(node, self.config.journal_seeks_per_fsync, &dirty, phase);
         self.cache.flush_blocks(&mut self.dev, &dirty);
         if node.tracer().is_on() {
             node.tracer().instant(
@@ -625,12 +684,8 @@ impl<D: BlockDevice> FileSystem<D> {
         // The failed commit still cost real work: the prefix writeback and
         // the journal seeks spent before the error surfaced.
         self.charge_writeback(node, flushed, phase);
-        node.execute(
-            Activity::DiskBarrier {
-                seeks: self.config.journal_seeks_per_fsync,
-            },
-            phase,
-        );
+        self.dev
+            .charge_barrier(node, self.config.journal_seeks_per_fsync, flushed, phase);
         self.cache.flush_blocks(&mut self.dev, flushed);
         let tracer = node.tracer();
         tracer.count("faults.storage.fsync", 1);
@@ -706,12 +761,8 @@ impl<D: BlockDevice> FileSystem<D> {
     pub fn sync(&mut self, node: &mut Node, phase: Phase) {
         let dirty = self.cache.dirty_blocks();
         self.charge_writeback(node, &dirty, phase);
-        node.execute(
-            Activity::DiskBarrier {
-                seeks: self.config.journal_seeks_per_fsync,
-            },
-            phase,
-        );
+        self.dev
+            .charge_barrier(node, self.config.journal_seeks_per_fsync, &dirty, phase);
         self.cache.flush_blocks(&mut self.dev, &dirty);
         if node.tracer().is_on() {
             node.tracer().instant(
@@ -772,6 +823,17 @@ impl<D: BlockDevice> FileSystem<D> {
     /// Direct device + cache access (used by the reorganization pass).
     pub(crate) fn cache_and_dev(&mut self) -> (&mut PageCache, &mut D) {
         (&mut self.cache, &mut self.dev)
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutable access to the underlying device — how placement runners reach
+    /// a [`crate::TieredStore`]'s epoch boundary (`end_epoch`) and counters.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
     }
 
     /// Device blocks of `name` in file order (used by the reorganization

@@ -20,12 +20,18 @@ pub mod cache;
 pub mod error;
 pub mod fio;
 pub mod fs;
+pub mod placement;
 pub mod reorg;
+pub mod tier;
 
 pub use block::{BlockDevice, MemBlockDevice, NullBlockDevice, BLOCK_SIZE};
 pub use burst::BurstBuffer;
 pub use cache::{CacheStats, PageCache};
 pub use error::StorageError;
 pub use fio::{FioJob, FioKind, FioResult};
-pub use fs::{AllocMode, FileSystem, FsConfig, FsError};
+pub use fs::{AllocMode, CostedDevice, FileSystem, FsConfig, FsError};
+pub use placement::{
+    BlockState, EnergyGreedyPolicy, FreqRecencyPolicy, Move, NoopPolicy, PlacementPolicy, TierUsage,
+};
 pub use reorg::reorganize;
+pub use tier::{TierCounters, TierSpec, TieredStore};

@@ -11,8 +11,8 @@
 use greenness_platform::{AccessPattern, Activity, Node, Phase};
 use serde::{Deserialize, Serialize};
 
-use crate::block::{BlockDevice, BLOCK_SIZE};
-use crate::fs::{FileSystem, FsError};
+use crate::block::BLOCK_SIZE;
+use crate::fs::{CostedDevice, FileSystem, FsError};
 
 /// Outcome of one reorganization pass.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,7 +32,7 @@ pub struct ReorgReport {
 /// Rewrite `name` into contiguous extents. The file's content is preserved
 /// byte-for-byte; the old blocks are freed. Charges `node` for the fragmented
 /// read and the sequential rewrite.
-pub fn reorganize<D: BlockDevice>(
+pub fn reorganize<D: CostedDevice>(
     node: &mut Node,
     fs: &mut FileSystem<D>,
     name: &str,

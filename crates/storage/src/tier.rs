@@ -1,0 +1,853 @@
+//! A multi-tier block store behind the [`crate::FileSystem`] path.
+//!
+//! A [`TieredStore`] stacks real block devices fastest-first (e.g. DRAM →
+//! NVMe → HDD) behind one logical block address space. Data honesty is the
+//! ground rule: every logical block lives on exactly one tier's
+//! [`MemBlockDevice`], reads return the real stored bytes, and migrations
+//! copy-then-commit so an interrupted move can never lose the only copy.
+//!
+//! Costing goes through the [`CostedDevice`] trait: the filesystem hands
+//! over the touched blocks in file order, the store splits them by tier,
+//! derives each slice's access pattern from the *physical* layout with the
+//! same heuristics a flat device uses, and prices it with the tier's own
+//! [`DiskModel`]. With a single tier equal to the node's `spec.disk` the
+//! resulting time and energy are bit-identical to the flat path — the
+//! Table III regression anchor.
+//!
+//! Migration happens only at explicit **epoch boundaries**
+//! ([`TieredStore::end_epoch`]): scores decay, the [`PlacementPolicy`]
+//! plans (a pure function — no wall clock), and the store executes the
+//! moves, charging each copy honestly and emitting `tier.promote` /
+//! `tier.demote` instants plus `tier.<name>.bytes` / `tier.<name>.hits`
+//! counters. Determinism end to end: same workload, same policy, same
+//! fault seed ⇒ byte-identical journal at any `--jobs` value.
+
+use std::collections::BTreeMap;
+
+use greenness_faults::FaultInjector;
+use greenness_platform::disk::{DiskModel, DiskOpCost, IoDir};
+use greenness_platform::{AccessPattern, Node, Phase, PowerDraw};
+use greenness_trace::Value;
+
+use crate::block::{BlockDevice, MemBlockDevice, BLOCK_SIZE};
+use crate::fs::{layout_pattern, runs_of, CostedDevice, FsConfig};
+use crate::placement::{BlockState, PlacementPolicy, TierUsage};
+
+/// One epoch's clean migrations, batched by (from, to) tier pair into
+/// (source phys, destination phys) block lists for elevator-sweep charging.
+type SweepAccumulator = BTreeMap<(usize, usize), (Vec<u64>, Vec<u64>)>;
+
+/// Declarative description of one tier.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// Short name used in counters and reports (`"dram"`, `"nvme"`, …).
+    pub name: String,
+    /// The tier's device model.
+    pub model: DiskModel,
+    /// Physical capacity in blocks.
+    pub capacity_blocks: u64,
+}
+
+impl TierSpec {
+    /// A tier named `name` of `capacity_bytes`, priced by `model`.
+    pub fn new(name: &str, model: DiskModel, capacity_bytes: u64) -> Self {
+        TierSpec {
+            name: name.to_string(),
+            model,
+            capacity_blocks: capacity_bytes.div_ceil(BLOCK_SIZE),
+        }
+    }
+}
+
+/// Per-tier transfer totals, for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Tier name.
+    pub name: String,
+    /// Bytes read from this tier.
+    pub bytes_read: u64,
+    /// Bytes written to this tier (including migration landings).
+    pub bytes_written: u64,
+    /// Logical-block touches served by this tier.
+    pub hits: u64,
+}
+
+/// Decayed access statistics for one logical block.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockScore {
+    score: f64,
+    hits_this_epoch: u64,
+}
+
+/// Intern a counter name: `MetricsRegistry` keys are `&'static str`, tier
+/// names are runtime strings. The set of distinct names is tiny (one per
+/// device-zoo entry), so a global dedup table bounds the leak.
+fn intern(s: String) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().expect("intern table poisoned");
+    if let Some(&existing) = set.get(s.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+struct Tier {
+    spec: TierSpec,
+    dev: MemBlockDevice,
+    /// Free runs: start block → run length.
+    free: BTreeMap<u64, u64>,
+    bytes_counter: &'static str,
+    hits_counter: &'static str,
+    bytes_read: u64,
+    bytes_written: u64,
+    hits: u64,
+}
+
+impl Tier {
+    fn new(spec: TierSpec) -> Self {
+        let mut free = BTreeMap::new();
+        if spec.capacity_blocks > 0 {
+            free.insert(0, spec.capacity_blocks);
+        }
+        Tier {
+            dev: MemBlockDevice::new(spec.capacity_blocks),
+            free,
+            bytes_counter: intern(format!("tier.{}.bytes", spec.name)),
+            hits_counter: intern(format!("tier.{}.hits", spec.name)),
+            spec,
+            bytes_read: 0,
+            bytes_written: 0,
+            hits: 0,
+        }
+    }
+
+    fn free_blocks(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// Take the lowest free physical block.
+    fn alloc_one(&mut self) -> Option<u64> {
+        let (&start, &len) = self.free.iter().next()?;
+        self.free.remove(&start);
+        if len > 1 {
+            self.free.insert(start + 1, len - 1);
+        }
+        Some(start)
+    }
+
+    /// Return a physical block to the free map, coalescing neighbors.
+    fn free_one(&mut self, idx: u64) {
+        self.free.insert(idx, 1);
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&start, &len) in &self.free {
+            match merged.iter_mut().next_back() {
+                Some((&last_start, last_len)) if last_start + *last_len >= start => {
+                    *last_len = (*last_len).max(start + len - last_start);
+                }
+                _ => {
+                    merged.insert(start, len);
+                }
+            }
+        }
+        self.free = merged;
+    }
+}
+
+/// The multi-tier store. See the module docs for the contract.
+pub struct TieredStore {
+    tiers: Vec<Tier>,
+    /// Logical block → (tier index, physical block).
+    map: BTreeMap<u64, (usize, u64)>,
+    scores: BTreeMap<u64, BlockScore>,
+    policy: Box<dyn PlacementPolicy>,
+    epoch: u64,
+    /// Score decay applied at each epoch boundary before planning.
+    decay: f64,
+    promotes: u64,
+    demotes: u64,
+    migration_faults: u64,
+    io_retries: u64,
+    io_fault_injector: Option<FaultInjector>,
+    migration_fault_injector: Option<FaultInjector>,
+}
+
+impl std::fmt::Debug for TieredStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field(
+                "tiers",
+                &self
+                    .tiers
+                    .iter()
+                    .map(|t| t.spec.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("policy", &self.policy)
+            .field("epoch", &self.epoch)
+            .field("mapped_blocks", &self.map.len())
+            .finish()
+    }
+}
+
+impl TieredStore {
+    /// Stack `tiers` (fastest first; the last is the bottom/slowest tier,
+    /// conventionally the node's `spec.disk`) under `policy`.
+    pub fn new(tiers: Vec<TierSpec>, policy: Box<dyn PlacementPolicy>) -> Self {
+        assert!(!tiers.is_empty(), "a TieredStore needs at least one tier");
+        TieredStore {
+            tiers: tiers.into_iter().map(Tier::new).collect(),
+            map: BTreeMap::new(),
+            scores: BTreeMap::new(),
+            policy,
+            epoch: 0,
+            decay: 0.5,
+            promotes: 0,
+            demotes: 0,
+            migration_faults: 0,
+            io_retries: 0,
+            io_fault_injector: None,
+            migration_fault_injector: None,
+        }
+    }
+
+    /// A single-tier store over the node's own disk model — the flat
+    /// baseline expressed in tiered clothing (used by the Table III
+    /// regression oracle).
+    pub fn single(name: &str, model: DiskModel, capacity_bytes: u64) -> Self {
+        TieredStore::new(
+            vec![TierSpec::new(name, model, capacity_bytes)],
+            Box::new(crate::placement::NoopPolicy),
+        )
+    }
+
+    /// Install (or clear) the per-tier fault schedules: `io` drives
+    /// transparent transfer retries (`Site::TierIo`), `migration` drives
+    /// torn/aborted migrations (`Site::TierMigration`).
+    pub fn set_fault_injectors(
+        &mut self,
+        io: Option<FaultInjector>,
+        migration: Option<FaultInjector>,
+    ) {
+        self.io_fault_injector = io;
+        self.migration_fault_injector = migration;
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The active policy's label.
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
+    }
+
+    /// Promotions executed.
+    pub fn promotes(&self) -> u64 {
+        self.promotes
+    }
+
+    /// Demotions executed.
+    pub fn demotes(&self) -> u64 {
+        self.demotes
+    }
+
+    /// Migrations lost to injected faults (torn or aborted).
+    pub fn migration_faults(&self) -> u64 {
+        self.migration_faults
+    }
+
+    /// Transparent transfer retries forced by injected device errors.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
+    /// Per-tier transfer totals.
+    pub fn counters(&self) -> Vec<TierCounters> {
+        self.tiers
+            .iter()
+            .map(|t| TierCounters {
+                name: t.spec.name.clone(),
+                bytes_read: t.bytes_read,
+                bytes_written: t.bytes_written,
+                hits: t.hits,
+            })
+            .collect()
+    }
+
+    /// Occupancy snapshot, fastest first.
+    pub fn usage(&self) -> Vec<TierUsage> {
+        self.tiers
+            .iter()
+            .map(|t| TierUsage {
+                name: t.spec.name.clone(),
+                model: t.spec.model.clone(),
+                capacity_blocks: t.spec.capacity_blocks,
+                used_blocks: t.spec.capacity_blocks - t.free_blocks(),
+            })
+            .collect()
+    }
+
+    /// Combined idle draw of every tier *above* the bottom one, watts. The
+    /// bottom tier is assumed to be the node's `spec.disk` (already part of
+    /// `idle_draw`); the faster tiers' idle power is charged on top during
+    /// store operations, and reported as extra static power by the
+    /// placement report for the whole makespan.
+    pub fn idle_w_above_bottom(&self) -> f64 {
+        self.tiers[..self.tiers.len() - 1]
+            .iter()
+            .map(|t| t.spec.model.idle_w)
+            .sum()
+    }
+
+    /// Which tier currently holds `logical`, if mapped.
+    pub fn tier_of(&self, logical: u64) -> Option<usize> {
+        self.map.get(&logical).map(|&(t, _)| t)
+    }
+
+    /// Map `logical` to a physical home, placing it on first touch. Falls
+    /// down (then up) from the policy's preferred tier until a tier has a
+    /// free block; total physical capacity equals the logical space, so a
+    /// slot always exists.
+    fn ensure_placed(&mut self, logical: u64) -> (usize, u64) {
+        if let Some(&loc) = self.map.get(&logical) {
+            return loc;
+        }
+        let usage = self.usage();
+        let pref = self
+            .policy
+            .place_new(logical, &usage)
+            .min(self.tiers.len() - 1);
+        for t in (pref..self.tiers.len()).chain((0..pref).rev()) {
+            if let Some(phys) = self.tiers[t].alloc_one() {
+                self.map.insert(logical, (t, phys));
+                return (t, phys);
+            }
+        }
+        panic!("TieredStore out of physical blocks");
+    }
+
+    /// One priced span on tier `t`, composed exactly like
+    /// `Node::cost_of`'s buffered-disk arm so a single-tier store matches
+    /// the flat path bit for bit.
+    fn charge_span(
+        &mut self,
+        node: &mut Node,
+        t: usize,
+        bytes: u64,
+        dir: IoDir,
+        cost: DiskOpCost,
+        phase: Phase,
+    ) {
+        let is_read = dir == IoDir::Read;
+        let extra_idle_w = self.idle_w_above_bottom();
+        let spec = node.spec();
+        let package_w = spec.cpu.io_busy_w(is_read) + node.monitoring_overhead_w();
+        let dram_w = spec.dram.background_w + spec.dram.dynamic_w(bytes * 2, cost.seconds);
+        let disk_w = spec.disk.idle_w + extra_idle_w + cost.dyn_w;
+        let board_w = spec.board_w;
+        node.execute_raw(
+            cost.seconds,
+            PowerDraw {
+                package_w,
+                dram_w,
+                disk_w,
+                net_w: 0.0,
+                board_w,
+            },
+            phase,
+        );
+        let tier = &mut self.tiers[t];
+        match dir {
+            IoDir::Read => tier.bytes_read += bytes,
+            IoDir::Write => tier.bytes_written += bytes,
+        }
+        node.tracer().count(tier.bytes_counter, bytes);
+    }
+
+    /// Charge one migrated block (`4 KiB` random touch) on tier `t`.
+    fn charge_migration_block(&mut self, node: &mut Node, t: usize, dir: IoDir, phase: Phase) {
+        let cost = self.tiers[t].spec.model.transfer(
+            BLOCK_SIZE,
+            dir,
+            AccessPattern::Random {
+                op_bytes: BLOCK_SIZE,
+                queue_depth: 1,
+            },
+        );
+        self.charge_span(node, t, BLOCK_SIZE, dir, cost, phase);
+    }
+
+    /// Close the current epoch: decay scores, let the policy plan, execute
+    /// the migrations (copy-then-commit, fault-aware), and reset per-epoch
+    /// hit counts. Deterministic: decisions depend only on (epoch, access
+    /// stats, occupancy) — never on wall clock or thread timing.
+    pub fn end_epoch(&mut self, node: &mut Node, phase: Phase) {
+        self.epoch += 1;
+        let decay = self.decay;
+        for s in self.scores.values_mut() {
+            s.score = s.score * decay + s.hits_this_epoch as f64;
+            s.hits_this_epoch = 0;
+        }
+        let mut states: BTreeMap<u64, BlockState> = BTreeMap::new();
+        for (&lb, &(t, _)) in &self.map {
+            states.insert(
+                lb,
+                BlockState {
+                    tier: t,
+                    score: self.scores.get(&lb).map_or(0.0, |s| s.score),
+                },
+            );
+        }
+        let plan = self.policy.plan(self.epoch, &states, &self.usage());
+        let mut sweeps: SweepAccumulator = BTreeMap::new();
+        for m in plan {
+            self.execute_move(node, m.logical, m.to, phase, &mut sweeps);
+        }
+        // Migration I/O is charged as per-tier elevator sweeps: all the
+        // epoch's clean moves between one (from, to) pair, sorted by
+        // physical address and priced with the layout-derived pattern — a
+        // background mover streams runs, it does not pay a full seek per
+        // 4 KiB block. Sweep order is the BTreeMap's (from, to) order:
+        // deterministic, independent of plan order.
+        let cfg = FsConfig::default();
+        for ((from, to), (src, dst)) in sweeps {
+            self.charge_sweep(node, from, src, IoDir::Read, &cfg, phase);
+            self.charge_sweep(node, to, dst, IoDir::Write, &cfg, phase);
+        }
+    }
+
+    /// Charge one side of a migration sweep on tier `t` over `phys` blocks.
+    fn charge_sweep(
+        &mut self,
+        node: &mut Node,
+        t: usize,
+        mut phys: Vec<u64>,
+        dir: IoDir,
+        cfg: &FsConfig,
+        phase: Phase,
+    ) {
+        if phys.is_empty() {
+            return;
+        }
+        phys.sort_unstable();
+        let bytes = phys.len() as u64 * BLOCK_SIZE;
+        let runs = runs_of(&phys);
+        let pattern = layout_pattern(cfg, runs.len(), bytes, dir);
+        let cost = self.tiers[t].spec.model.transfer(bytes, dir, pattern);
+        self.charge_span(node, t, bytes, dir, cost, phase);
+    }
+
+    /// Execute one planned migration. Copy-then-commit: the destination is
+    /// written before the mapping flips and the source is freed, so a torn
+    /// or aborted move always leaves the source copy authoritative. Clean
+    /// moves accumulate into `sweeps` for batched charging; faulted moves
+    /// charge their own wasted work immediately.
+    fn execute_move(
+        &mut self,
+        node: &mut Node,
+        logical: u64,
+        to: usize,
+        phase: Phase,
+        sweeps: &mut SweepAccumulator,
+    ) {
+        let Some(&(from, src_phys)) = self.map.get(&logical) else {
+            return;
+        };
+        if to == from || to >= self.tiers.len() {
+            return;
+        }
+        let Some(dst_phys) = self.tiers[to].alloc_one() else {
+            return; // destination full; the block simply stays put
+        };
+        if let Some(entropy) = self
+            .migration_fault_injector
+            .as_mut()
+            .and_then(FaultInjector::next)
+        {
+            let torn = entropy & 1 == 1;
+            if torn {
+                // The copy ran (and cost real work) but tore before the
+                // commit; the half-written destination is abandoned.
+                self.charge_migration_block(node, from, IoDir::Read, phase);
+                self.charge_migration_block(node, to, IoDir::Write, phase);
+            }
+            self.tiers[to].free_one(dst_phys);
+            self.migration_faults += 1;
+            let tracer = node.tracer();
+            tracer.count("faults.tier.migration", 1);
+            if tracer.is_on() {
+                tracer.instant(
+                    node.now().as_nanos(),
+                    "fault.injected",
+                    vec![
+                        ("site", Value::from("tier.migration")),
+                        ("mode", Value::from(if torn { "torn" } else { "transient" })),
+                        ("logical", Value::from(logical as usize)),
+                    ],
+                );
+            }
+            return;
+        }
+        let mut buf = [0u8; BLOCK_SIZE as usize];
+        self.tiers[from].dev.read_block(src_phys, &mut buf);
+        self.tiers[to].dev.write_block(dst_phys, &buf);
+        let sweep = sweeps.entry((from, to)).or_default();
+        sweep.0.push(src_phys);
+        sweep.1.push(dst_phys);
+        // Commit: flip the mapping, then release the source copy.
+        self.map.insert(logical, (to, dst_phys));
+        self.tiers[from].free_one(src_phys);
+        let promote = to < from;
+        if promote {
+            self.promotes += 1;
+        } else {
+            self.demotes += 1;
+        }
+        let ev = if promote {
+            "tier.promote"
+        } else {
+            "tier.demote"
+        };
+        let tracer = node.tracer();
+        tracer.count(
+            if promote {
+                "tier.promotes"
+            } else {
+                "tier.demotes"
+            },
+            1,
+        );
+        if tracer.is_on() {
+            let from_name = self.tiers[from].spec.name.clone();
+            let to_name = self.tiers[to].spec.name.clone();
+            tracer.instant(
+                node.now().as_nanos(),
+                ev,
+                vec![
+                    ("logical", Value::from(logical as usize)),
+                    ("from", Value::from(from_name)),
+                    ("to", Value::from(to_name)),
+                ],
+            );
+        }
+    }
+}
+
+impl BlockDevice for TieredStore {
+    fn block_count(&self) -> u64 {
+        self.tiers.iter().map(|t| t.spec.capacity_blocks).sum()
+    }
+
+    fn read_block(&self, idx: u64, buf: &mut [u8]) {
+        assert!(idx < self.block_count(), "block {idx} out of range");
+        match self.map.get(&idx) {
+            Some(&(t, phys)) => self.tiers[t].dev.read_block(phys, buf),
+            None => buf.copy_from_slice(&[0u8; BLOCK_SIZE as usize]),
+        }
+    }
+
+    fn write_block(&mut self, idx: u64, data: &[u8]) {
+        assert!(idx < self.block_count(), "block {idx} out of range");
+        let (t, phys) = self.ensure_placed(idx);
+        self.tiers[t].dev.write_block(phys, data);
+    }
+}
+
+impl CostedDevice for TieredStore {
+    fn charge_transfer(
+        &mut self,
+        node: &mut Node,
+        blocks: &[u64],
+        dir: IoDir,
+        cfg: &FsConfig,
+        phase: Phase,
+    ) {
+        if blocks.is_empty() {
+            return;
+        }
+        // First device touch decides a home (writebacks are charged before
+        // the pages physically land).
+        for &lb in blocks {
+            self.ensure_placed(lb);
+        }
+        // Device-level access statistics feed the policy.
+        for &lb in blocks {
+            self.scores.entry(lb).or_default().hits_this_epoch += 1;
+        }
+        // Split by tier, preserving file order within each slice.
+        let mut per_tier: Vec<Vec<u64>> = vec![Vec::new(); self.tiers.len()];
+        for &lb in blocks {
+            let (t, phys) = self.map[&lb];
+            per_tier[t].push(phys);
+        }
+        for (t, phys) in per_tier.into_iter().enumerate() {
+            if phys.is_empty() {
+                continue;
+            }
+            let bytes = phys.len() as u64 * BLOCK_SIZE;
+            let runs = runs_of(&phys);
+            node.tracer()
+                .count("disk.seeks", runs.len().saturating_sub(1) as u64);
+            let pattern = layout_pattern(cfg, runs.len(), bytes, dir);
+            let cost = self.tiers[t].spec.model.transfer(bytes, dir, pattern);
+            self.charge_span(node, t, bytes, dir, cost, phase);
+            self.tiers[t].hits += phys.len() as u64;
+            node.tracer()
+                .count(self.tiers[t].hits_counter, phys.len() as u64);
+            // A transient device error forces one transparent controller
+            // retry: the transfer is paid twice, the data is fine.
+            if self
+                .io_fault_injector
+                .as_mut()
+                .and_then(FaultInjector::next)
+                .is_some()
+            {
+                self.charge_span(node, t, bytes, dir, cost, phase);
+                self.io_retries += 1;
+                let tracer = node.tracer();
+                tracer.count("faults.tier.io", 1);
+                tracer.count("retries.tier.io", 1);
+                if tracer.is_on() {
+                    let name = self.tiers[t].spec.name.clone();
+                    tracer.instant(
+                        node.now().as_nanos(),
+                        "fault.injected",
+                        vec![
+                            ("site", Value::from("tier.io")),
+                            ("mode", Value::from("transient")),
+                            ("tier", Value::from(name)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    fn charge_barrier(&mut self, node: &mut Node, seeks: u32, blocks: &[u64], phase: Phase) {
+        // The journal commit lands on the slowest tier involved in the
+        // flush (the commit record lives with the data); a metadata-only
+        // barrier pays the bottom tier.
+        let t = blocks
+            .iter()
+            .filter_map(|lb| self.map.get(lb).map(|&(t, _)| t))
+            .max()
+            .unwrap_or(self.tiers.len() - 1);
+        let cost = self.tiers[t].spec.model.barrier(seeks);
+        let extra_idle_w = self.idle_w_above_bottom();
+        let spec = node.spec();
+        let package_w = if seeks > 0 {
+            spec.cpu.io_busy_w(false) + node.monitoring_overhead_w()
+        } else {
+            spec.cpu.idle_w() + node.monitoring_overhead_w()
+        };
+        let dram_w = spec.dram.background_w;
+        let disk_w = spec.disk.idle_w + extra_idle_w + cost.dyn_w;
+        let board_w = spec.board_w;
+        node.execute_raw(
+            cost.seconds,
+            PowerDraw {
+                package_w,
+                dram_w,
+                disk_w,
+                net_w: 0.0,
+                board_w,
+            },
+            phase,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{FreqRecencyPolicy, NoopPolicy};
+    use greenness_platform::HardwareSpec;
+
+    fn dram_hdd() -> TieredStore {
+        TieredStore::new(
+            vec![
+                TierSpec::new("dram", DiskModel::dram_tier_32gb(), 16 * BLOCK_SIZE),
+                TierSpec::new("hdd", DiskModel::seagate_7200rpm_500gb(), 1024 * BLOCK_SIZE),
+            ],
+            Box::new(FreqRecencyPolicy::default()),
+        )
+    }
+
+    fn node() -> Node {
+        Node::new(HardwareSpec::table1())
+    }
+
+    #[test]
+    fn blocks_round_trip_and_unwritten_reads_zero() {
+        let mut store = dram_hdd();
+        let data = [7u8; BLOCK_SIZE as usize];
+        store.write_block(42, &data);
+        let mut back = [0u8; BLOCK_SIZE as usize];
+        store.read_block(42, &mut back);
+        assert_eq!(back, data);
+        store.read_block(43, &mut back);
+        assert!(back.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hot_blocks_promote_and_survive_with_bytes_intact() {
+        let mut store = dram_hdd();
+        let mut n = node();
+        let cfg = FsConfig::default();
+        let mut payload = [0u8; BLOCK_SIZE as usize];
+        for lb in 0..8u64 {
+            payload[0] = lb as u8;
+            store.write_block(lb, &payload);
+        }
+        assert_eq!(store.tier_of(3), Some(1), "new blocks land on the bottom");
+        // Hammer blocks 0..4 across two epochs.
+        for _ in 0..3 {
+            store.charge_transfer(&mut n, &[0, 1, 2, 3], IoDir::Read, &cfg, Phase::Read);
+            store.end_epoch(&mut n, Phase::Read);
+        }
+        assert!(store.promotes() > 0, "hot blocks must promote");
+        assert_eq!(store.tier_of(0), Some(0), "block 0 is hot → dram");
+        assert_eq!(store.tier_of(7), Some(1), "block 7 is cold → hdd");
+        let mut back = [0u8; BLOCK_SIZE as usize];
+        for lb in 0..8u64 {
+            store.read_block(lb, &mut back);
+            assert_eq!(back[0], lb as u8, "block {lb} corrupted by migration");
+        }
+    }
+
+    #[test]
+    fn torn_migration_never_loses_the_only_copy() {
+        use greenness_faults::{FaultPlan, Site};
+        let mut store = dram_hdd();
+        let plan = FaultPlan {
+            tier_migration_rate: 1.0,
+            ..FaultPlan::with_seed(13)
+        };
+        store.set_fault_injectors(None, Some(plan.injector(Site::TierMigration, 0)));
+        let mut n = node();
+        let cfg = FsConfig::default();
+        let mut payload = [0u8; BLOCK_SIZE as usize];
+        for lb in 0..6u64 {
+            payload[0] = 0xA0 | lb as u8;
+            store.write_block(lb, &payload);
+        }
+        for _ in 0..4 {
+            store.charge_transfer(&mut n, &[0, 1, 2], IoDir::Read, &cfg, Phase::Read);
+            store.end_epoch(&mut n, Phase::Read);
+        }
+        assert!(store.migration_faults() > 0, "rate-1.0 plan must fire");
+        assert_eq!(store.promotes(), 0, "every migration was torn or aborted");
+        let mut back = [0u8; BLOCK_SIZE as usize];
+        for lb in 0..6u64 {
+            store.read_block(lb, &mut back);
+            assert_eq!(back[0], 0xA0 | lb as u8, "block {lb} lost to a torn move");
+        }
+    }
+
+    #[test]
+    fn single_hdd_tier_matches_flat_charging_bit_for_bit() {
+        // The Table III anchor: one tier, same model as spec.disk, noop
+        // policy ⇒ the same virtual time and energy as the flat device.
+        let cfg = FsConfig::default();
+        let blocks: Vec<u64> = (100..164).collect();
+        let mut flat = node();
+        crate::fs::flat_charge_transfer(&mut flat, &blocks, IoDir::Read, &cfg, Phase::Read);
+        let mut tiered = node();
+        let mut store =
+            TieredStore::single("hdd", DiskModel::seagate_7200rpm_500gb(), 512 * 1024 * 1024);
+        for &lb in &blocks {
+            store.write_block(lb, &[0u8; BLOCK_SIZE as usize]);
+        }
+        store.charge_transfer(&mut tiered, &blocks, IoDir::Read, &cfg, Phase::Read);
+        assert_eq!(flat.now().as_nanos(), tiered.now().as_nanos());
+        assert_eq!(
+            flat.timeline().total_energy_j().to_bits(),
+            tiered.timeline().total_energy_j().to_bits()
+        );
+    }
+
+    #[test]
+    fn epoch_boundaries_are_deterministic() {
+        let run = || {
+            let mut store = dram_hdd();
+            let mut n = node();
+            let cfg = FsConfig::default();
+            for lb in 0..12u64 {
+                store.write_block(lb, &[1u8; BLOCK_SIZE as usize]);
+            }
+            for round in 0..5u64 {
+                let touched: Vec<u64> = (0..4 + (round % 3)).collect();
+                store.charge_transfer(&mut n, &touched, IoDir::Read, &cfg, Phase::Read);
+                store.end_epoch(&mut n, Phase::Read);
+            }
+            (
+                n.now().as_nanos(),
+                store.promotes(),
+                store.demotes(),
+                store
+                    .counters()
+                    .iter()
+                    .map(|c| (c.bytes_read, c.bytes_written, c.hits))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noop_policy_never_migrates() {
+        let mut store = TieredStore::new(
+            vec![
+                TierSpec::new("dram", DiskModel::dram_tier_32gb(), 16 * BLOCK_SIZE),
+                TierSpec::new("hdd", DiskModel::seagate_7200rpm_500gb(), 256 * BLOCK_SIZE),
+            ],
+            Box::new(NoopPolicy),
+        );
+        let mut n = node();
+        let cfg = FsConfig::default();
+        for lb in 0..8u64 {
+            store.write_block(lb, &[2u8; BLOCK_SIZE as usize]);
+        }
+        for _ in 0..4 {
+            store.charge_transfer(&mut n, &[0, 1], IoDir::Read, &cfg, Phase::Read);
+            store.end_epoch(&mut n, Phase::Read);
+        }
+        assert_eq!(store.promotes() + store.demotes(), 0);
+        assert!(store.usage()[0].used_blocks == 0, "dram tier stays empty");
+    }
+
+    #[test]
+    fn tier_io_faults_cost_time_but_not_data() {
+        use greenness_faults::{FaultPlan, Site};
+        let cfg = FsConfig::default();
+        let run = |rate: f64| {
+            let mut store = dram_hdd();
+            if rate > 0.0 {
+                let plan = FaultPlan {
+                    tier_io_rate: rate,
+                    ..FaultPlan::with_seed(7)
+                };
+                store.set_fault_injectors(Some(plan.injector(Site::TierIo, 0)), None);
+            }
+            let mut n = node();
+            for lb in 0..32u64 {
+                store.write_block(lb, &[9u8; BLOCK_SIZE as usize]);
+            }
+            let blocks: Vec<u64> = (0..32).collect();
+            for _ in 0..8 {
+                store.charge_transfer(&mut n, &blocks, IoDir::Read, &cfg, Phase::Read);
+            }
+            (n.now().as_nanos(), store.io_retries())
+        };
+        let (clean_t, clean_retries) = run(0.0);
+        let (faulted_t, faulted_retries) = run(1.0);
+        assert_eq!(clean_retries, 0);
+        assert!(faulted_retries > 0);
+        assert!(faulted_t > clean_t, "retries are real time");
+    }
+}

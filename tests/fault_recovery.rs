@@ -9,9 +9,11 @@
 use greenness_cluster::{run_cluster, run_cluster_with_faults, ClusterConfig, ClusterKind};
 use greenness_core::{experiment, ExperimentSetup, PipelineConfig, PipelineKind};
 use greenness_faults::{FaultPlan, Site};
-use greenness_platform::{HardwareSpec, Node, Phase};
+use greenness_platform::{DiskModel, HardwareSpec, Node, Phase};
 use greenness_serve::{replay_workload, run_replay, ServiceConfig};
-use greenness_storage::{FileSystem, FsConfig, FsError, MemBlockDevice};
+use greenness_storage::{
+    FileSystem, FreqRecencyPolicy, FsConfig, FsError, MemBlockDevice, TierSpec, TieredStore,
+};
 
 fn fresh_fs() -> (Node, FileSystem<MemBlockDevice>) {
     let node = Node::new(HardwareSpec::table1());
@@ -234,4 +236,123 @@ fn faulted_replay_is_schedule_independent() {
         assert_eq!(narrow.metrics, wide.metrics, "seed {seed}");
         assert_eq!(narrow.retries, wide.retries, "seed {seed}");
     }
+}
+
+/// A tiered DRAM → NVMe → HDD filesystem with hostile per-tier fault
+/// rates, used by the hierarchy chaos tests below.
+fn tiered_fs(seed: u64) -> (Node, FileSystem<TieredStore>) {
+    let mib = 1024 * 1024;
+    let mut store = TieredStore::new(
+        vec![
+            TierSpec::new("dram", DiskModel::dram_tier_32gb(), mib),
+            TierSpec::new("nvme", DiskModel::nvme_ssd_1tb(), 4 * mib),
+            TierSpec::new("hdd", DiskModel::seagate_7200rpm_500gb(), 64 * mib),
+        ],
+        Box::new(FreqRecencyPolicy::default()),
+    );
+    let plan = FaultPlan {
+        storage_fsync_rate: 0.5,
+        tier_io_rate: 0.25,
+        tier_migration_rate: 0.5,
+        ..FaultPlan::with_seed(seed)
+    };
+    store.set_fault_injectors(
+        Some(plan.injector(Site::TierIo, 0)),
+        Some(plan.injector(Site::TierMigration, 0)),
+    );
+    let node = Node::new(HardwareSpec::table1());
+    let mut fs = FileSystem::format(store, FsConfig::default());
+    fs.set_fault_injector(Some(plan.injector(Site::StorageFsync, 0)));
+    (node, fs)
+}
+
+/// The durability property, on the hierarchy: an acknowledged fsync
+/// survives a crash even when epoch boundaries between the writes keep
+/// migrating (and half-tearing) the very blocks being persisted. Torn
+/// promotions abandon the copy in flight; they must never touch the one
+/// the journal acknowledged.
+#[test]
+fn acked_fsyncs_survive_crash_mid_migration() {
+    for seed in 0..24u64 {
+        let (mut node, mut fs) = tiered_fs(seed);
+        let mut acked = Vec::new();
+        for f in 0..4 {
+            let name = format!("snap{f}");
+            let data = payload(seed + f, 150_000 + f as usize * 777);
+            fs.write(&mut node, &name, 0, &data, Phase::Write)
+                .expect("write buffers in cache");
+            let synced = match fs.fsync_with_retry(&mut node, &name, Phase::Write) {
+                Ok(()) => true,
+                Err(FsError::TransientIo { .. }) => false,
+                Err(e) => panic!("unexpected fsync error: {e}"),
+            };
+            // Rescan what's there so the policy has heat to act on, then
+            // force a migration epoch *between* the acked fsyncs.
+            for done in &acked {
+                let (n, d): &(String, Vec<u8>) = done;
+                let back = fs
+                    .read(&mut node, n, 0, d.len() as u64, Phase::Read)
+                    .expect("interleaved read");
+                assert_eq!(&back, d, "seed {seed}: {n} corrupted before crash");
+            }
+            fs.device_mut().end_epoch(&mut node, Phase::CacheControl);
+            if synced {
+                acked.push((name, data));
+            }
+        }
+        fs.crash_and_recover();
+        for (name, data) in &acked {
+            let back = fs
+                .read(&mut node, name, 0, data.len() as u64, Phase::Read)
+                .expect("acknowledged file survives the crash");
+            assert_eq!(&back, data, "seed {seed}: {name} lost acknowledged bytes");
+        }
+    }
+}
+
+/// A torn promotion never loses the only copy: with every migration
+/// guaranteed to fault (rate 1.0), every block stays where it was, every
+/// byte reads back, and the store counted the carnage.
+#[test]
+fn torn_promotions_never_lose_the_only_copy() {
+    let mib = 1024 * 1024;
+    let mut store = TieredStore::new(
+        vec![
+            TierSpec::new("dram", DiskModel::dram_tier_32gb(), mib),
+            TierSpec::new("hdd", DiskModel::seagate_7200rpm_500gb(), 64 * mib),
+        ],
+        Box::new(FreqRecencyPolicy::default()),
+    );
+    let plan = FaultPlan {
+        tier_migration_rate: 1.0,
+        ..FaultPlan::with_seed(99)
+    };
+    store.set_fault_injectors(None, Some(plan.injector(Site::TierMigration, 0)));
+    let mut node = Node::new(HardwareSpec::table1());
+    let mut fs = FileSystem::format(store, FsConfig::default());
+    let data = payload(3, 200_000);
+    fs.write(&mut node, "hot", 0, &data, Phase::Write)
+        .expect("write");
+    fs.fsync(&mut node, "hot", Phase::Write).expect("fsync");
+    for _ in 0..4 {
+        let back = fs
+            .read(&mut node, "hot", 0, data.len() as u64, Phase::Read)
+            .expect("read");
+        assert_eq!(back, data);
+        fs.drop_caches();
+        fs.device_mut().end_epoch(&mut node, Phase::CacheControl);
+    }
+    assert!(
+        fs.device().migration_faults() > 0,
+        "rate-1.0 plan must tear every attempted move"
+    );
+    assert_eq!(
+        fs.device().promotes() + fs.device().demotes(),
+        0,
+        "no migration may commit when every copy is torn"
+    );
+    let back = fs
+        .read(&mut node, "hot", 0, data.len() as u64, Phase::Read)
+        .expect("final read");
+    assert_eq!(back, data, "torn promotions lost the only copy");
 }

@@ -190,3 +190,113 @@ fn golden_case1_headline_numbers() {
         "savings {savings:.1} % (paper 43 %)"
     );
 }
+
+// ------------------------------------------------- Placement sweep goldens
+
+/// Run the full placement grid once and index results by key.
+fn placement_by_key(
+) -> std::collections::BTreeMap<String, greenness_core::placement::PlacementResult> {
+    use greenness_core::{placement, sweep};
+    placement::run_placement(
+        placement::placement_grid(),
+        &placement::PlacementSetup::default(),
+        8,
+        &sweep::silent_progress(),
+    )
+    .expect("placement grid runs")
+    .into_iter()
+    .map(|r| (r.key.clone(), r))
+    .collect()
+}
+
+#[test]
+fn golden_placement_grid_values() {
+    // Pinned from the committed small-scale run (see EXPERIMENTS.md,
+    // "Placement and the reorganization argument"): (virtual seconds,
+    // total joules, read-phase joules) per grid cell, ±2 %. The runs are
+    // deterministic, so any drift is a real cost-model change.
+    let want: &[(&str, f64, f64, f64)] = &[
+        ("case1/noop", 3.541, 421.57, 199.648),
+        ("case1/freq-recency", 3.548, 422.42, 0.705),
+        ("case1/energy-greedy", 3.541, 421.57, 199.648),
+        ("case2/noop", 1.809, 215.31, 99.824),
+        ("case2/freq-recency", 1.812, 215.67, 0.326),
+        ("case2/energy-greedy", 1.809, 215.31, 99.824),
+        ("case3/noop", 0.769, 91.56, 39.93),
+        ("case3/freq-recency", 0.769, 91.57, 0.008),
+        ("case3/energy-greedy", 0.769, 91.56, 39.93),
+        ("seqscan/noop", 3.283, 392.12, 42.48),
+        ("seqscan/freq-recency", 5.652, 672.99, 3.659),
+        ("seqscan/energy-greedy", 3.283, 392.12, 42.48),
+        ("random/noop", 13.662, 1627.39, 1277.748),
+        ("random/freq-recency", 5.637, 671.07, 1.737),
+        ("random/energy-greedy", 7.491, 891.94, 542.291),
+    ];
+    let got = placement_by_key();
+    assert_eq!(got.len(), want.len(), "grid changed shape");
+    for &(key, time_s, energy_j, read_j) in want {
+        let r = got.get(key).unwrap_or_else(|| panic!("missing {key}"));
+        assert!(r.verified, "{key}: read-back verification failed");
+        assert!(
+            rel(r.time_s, time_s) < 0.02,
+            "{key}: time {:.3} s (golden {time_s})",
+            r.time_s
+        );
+        assert!(
+            rel(r.energy_j, energy_j) < 0.02,
+            "{key}: energy {:.1} J (golden {energy_j})",
+            r.energy_j
+        );
+        // Near-zero read energies (a fully promoted working set) get an
+        // absolute floor instead of a relative one.
+        assert!(
+            rel(r.read_energy_j, read_j) < 0.05 || (r.read_energy_j - read_j).abs() < 0.02,
+            "{key}: read energy {:.3} J (golden {read_j})",
+            r.read_energy_j
+        );
+    }
+}
+
+#[test]
+fn golden_placement_cliff_ratios() {
+    // The Table III sequential-vs-random cliff, restated as read-phase
+    // energy on equal byte volumes: ~30x under noop (nothing reorganized),
+    // collapsing below 1x under freq-recency and to ~13x under the more
+    // conservative energy-greedy policy. The noop ratio is the regression
+    // anchor — the cliff must survive unchanged when no policy intervenes.
+    use greenness_core::placement;
+    let results: Vec<_> = placement_by_key().into_values().collect();
+    let noop = placement::noop_gap_ratio(&results).expect("noop ratio");
+    assert!(
+        (25.0..35.0).contains(&noop),
+        "noop cliff ratio {noop:.1}x drifted (golden 30.1x)"
+    );
+    let freq = placement::gap_ratio_under(&results, "freq-recency").expect("freq ratio");
+    assert!(
+        freq < 1.5,
+        "freq-recency must close the cliff, got {freq:.1}x"
+    );
+    let greedy = placement::gap_ratio_under(&results, "energy-greedy").expect("greedy ratio");
+    assert!(
+        greedy < noop * 0.6,
+        "energy-greedy must narrow the cliff: {greedy:.1}x vs noop {noop:.1}x"
+    );
+}
+
+#[test]
+fn golden_placement_energy_greedy_is_conservative() {
+    // Energy-greedy only moves blocks when projected savings beat the
+    // migration cost with hysteresis — on the sequential case studies it
+    // must be bit-identical to doing nothing at all.
+    let got = placement_by_key();
+    for case in ["case1", "case2", "case3", "seqscan"] {
+        let noop = &got[&format!("{case}/noop")];
+        let greedy = &got[&format!("{case}/energy-greedy")];
+        assert_eq!(
+            greedy.energy_j.to_bits(),
+            noop.energy_j.to_bits(),
+            "{case}: energy-greedy should not have intervened"
+        );
+        assert_eq!(greedy.promotes, 0, "{case}: unexpected promotions");
+    }
+}
