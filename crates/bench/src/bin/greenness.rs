@@ -52,7 +52,7 @@ fn usage() -> ! {
          \x20 query <addr> <json-request>          one request against a running server\n\
          \x20 bench-serve --addr A [...]           live load harness (closed/open loop)\n\
          \x20 bench-serve --replay [...]           deterministic in-process replay\n\
-         \x20 bench [--reps N] [--quick] [--out F] hot-path micro suite -> BENCH_5.json\n\
+         \x20 bench [--reps N] [--quick] [--out F] hot-path micro suite -> BENCH_6.json\n\
          \n\
          sweep and placement also accept --trace PATH / --metrics PATH (event\n\
          journal + metrics registry; byte-identical for every --jobs value)\n\
@@ -781,7 +781,7 @@ fn cmd_bench_serve(args: &[String]) {
 
 fn cmd_bench(args: &[String]) {
     let mut config = greenness_bench::perf::BenchConfig::default();
-    let mut out = String::from("BENCH_5.json");
+    let mut out = String::from("BENCH_6.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -801,7 +801,10 @@ fn cmd_bench(args: &[String]) {
         config.reps,
         if config.quick { ", quick" } else { "" }
     );
-    let suite = greenness_bench::perf::run_suite(&config);
+    let suite = greenness_bench::perf::run_suite(&config).unwrap_or_else(|e| {
+        eprintln!("bench failed: {e}");
+        std::process::exit(2);
+    });
     print!("{}", greenness_bench::perf::suite_table(&suite));
     let json = greenness_bench::perf::suite_json(&config, &suite);
     std::fs::write(&out, json).unwrap_or_else(|e| {

@@ -76,11 +76,12 @@ impl std::error::Error for CodecError {}
 /// encoding allocation-free.
 #[derive(Debug, Default, Clone)]
 pub struct Scratch {
-    /// One transposed byte plane.
-    pub(crate) plane: Vec<u8>,
-    /// RLE coding of the raw plane.
+    /// All eight transposed byte planes, filled by one blocked pass over
+    /// the input (see `transpose::transpose_planes`).
+    pub(crate) planes: [Vec<u8>; 8],
+    /// RLE coding of the plane currently being sized.
     pub(crate) plane_rle: Vec<u8>,
-    /// Byte-delta transform of the plane.
+    /// Byte-delta transform of the plane currently being sized.
     pub(crate) plane_delta: Vec<u8>,
     /// RLE coding of the delta plane.
     pub(crate) plane_delta_rle: Vec<u8>,
@@ -195,9 +196,10 @@ mod tests {
         // Warmed buffers must be reused, not regrown: capacities stay put
         // across repeated same-shaped encodes.
         let caps = |sc: &ScratchCodec| {
+            let plane_caps: Vec<usize> = sc.scratch.planes.iter().map(Vec::capacity).collect();
             (
                 sc.out.capacity(),
-                sc.scratch.plane.capacity(),
+                plane_caps,
                 sc.scratch.plane_rle.capacity(),
                 sc.scratch.plane_delta.capacity(),
                 sc.scratch.plane_delta_rle.capacity(),

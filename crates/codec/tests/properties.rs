@@ -252,6 +252,79 @@ proptest! {
         }
     }
 
+    /// The blocked single-pass transpose is bit-identical to the retained
+    /// strided-gather reference at every value count — including counts
+    /// that are not a multiple of the 8-value tile, where the tail path
+    /// runs — and the stream round-trips.
+    #[test]
+    fn transpose_blocked_matches_reference_at_any_length(
+        vals in prop::collection::vec(prop::num::f64::ANY, 0..300)
+    ) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = TransposeRle;
+        let fast = codec.encode(&bytes);
+        prop_assert_eq!(&fast, &codec.encode_reference(&bytes).expect("aligned"));
+        prop_assert_eq!(codec.decode(&fast).expect("decode"), bytes);
+    }
+
+    /// The word-at-a-time RLE run scan is bit-identical to the retained
+    /// byte-at-a-time reference on arbitrary streams.
+    #[test]
+    fn rle_word_scan_matches_reference(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let rle = Rle;
+        prop_assert_eq!(rle.encode(&input), rle.encode_reference(&input));
+    }
+
+    /// Corrupting any single byte of a valid transpose-RLE stream — the
+    /// length header, a plane flag, a plane_len field, or payload — never
+    /// panics or over-reads: decode returns None or some equally-sized safe
+    /// result.
+    #[test]
+    fn transpose_decode_survives_corruption(
+        vals in prop::collection::vec(prop::num::f64::ANY, 1..64),
+        pos_seed in any::<usize>(),
+        xor in 1u8..255,
+    ) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = TransposeRle;
+        let mut enc = codec.encode(&bytes);
+        let pos = pos_seed % enc.len();
+        enc[pos] ^= xor;
+        if let Some(out) = codec.decode(&enc) {
+            // A stream that still parses must still describe 8 full planes.
+            prop_assert_eq!(out.len() % 8, 0);
+        }
+    }
+
+    /// Truncating a valid transpose-RLE stream at any point is detected.
+    #[test]
+    fn transpose_decode_rejects_truncation(
+        vals in prop::collection::vec(prop::num::f64::ANY, 1..64),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in &vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let codec = TransposeRle;
+        let enc = codec.encode(&bytes);
+        let cut = cut_seed % enc.len(); // strictly shorter than the stream
+        prop_assert!(codec.decode(&enc[..cut]).is_none());
+    }
+
+    /// Arbitrary garbage through the transpose decoder is rejected or safe,
+    /// never a panic — the plane_len fields are attacker-controlled u64s.
+    #[test]
+    fn transpose_decoder_is_total(garbage in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = TransposeRle.decode(&garbage);
+    }
+
     /// Misaligned input is an error value through encode_into for every
     /// f64-stream codec, never a panic.
     #[test]

@@ -25,7 +25,9 @@ use greenness_storage::{
 };
 use greenness_trace::{escape_json, MetricsRegistry, Tracer, Value};
 
-use crate::sweep::{run_pool, Progress, SweepError};
+use greenness_pool::run_pool;
+
+use crate::sweep::{Progress, SweepError};
 
 /// Workload scale: `Small` keeps CI and the golden tests fast; `Paper`
 /// matches the §IV-C data volumes (2 MiB snapshots, 50 timesteps).

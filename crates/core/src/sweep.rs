@@ -9,9 +9,10 @@
 //!
 //! * a [`SweepJob`] is one pipeline run: `(case, PipelineKind,
 //!   PipelineConfig, ExperimentSetup)`;
-//! * [`run_sweep`] executes a batch on a bounded **work-stealing pool**
-//!   built on `std::thread` + `std::sync::mpsc` (no external dependencies —
-//!   the crate registry is not always reachable from the build hosts);
+//! * [`run_sweep`] executes a batch on the bounded **work-stealing pool**
+//!   from `greenness-pool` (std-only — the crate registry is not always
+//!   reachable from the build hosts), the same pool the placement sweep and
+//!   the threaded stencil tiles schedule onto;
 //! * results come back **keyed and ordered by job id** (submission order),
 //!   so output never depends on scheduling;
 //! * every job derives its RNG seed from its own *job key* — never from
@@ -22,10 +23,7 @@
 //!   binary writes to `repro_out/manifest.json` and the golden tests
 //!   consume.
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::sync::{Mutex, PoisonError};
+use greenness_pool::run_pool;
 
 use crate::compare::CaseComparison;
 use crate::config::PipelineConfig;
@@ -167,63 +165,6 @@ impl std::fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-/// Lock a queue, treating a poisoned mutex as usable: the deques hold plain
-/// `usize` ids and every critical section is a single push/pop, so a panic
-/// elsewhere cannot leave them mid-mutation.
-fn lock_queue(q: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
-    q.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// The shared work-stealing pool under [`run_sweep`] and the placement
-/// sweep: run job indices `0..total` on `workers` threads (clamped to
-/// `1..=total`), calling `exec` on whatever worker picked each index and
-/// `on_collected` on the **calling** thread as results arrive (arrival
-/// order is scheduling-dependent; callers index into their own slot table).
-/// A panicking job is caught on its worker and delivered as `Err(message)`.
-pub(crate) fn run_pool<R: Send>(
-    total: usize,
-    workers: usize,
-    exec: &(dyn Fn(usize) -> R + Sync),
-    on_collected: &mut dyn FnMut(usize, Result<R, String>),
-) {
-    if total == 0 {
-        return;
-    }
-    let workers = workers.clamp(1, total);
-
-    // Per-worker deques, dealt round-robin. A worker pops from the front of
-    // its own deque and steals from the *back* of the busiest other deque,
-    // the classic Arora-Blumofe-Plaxton shape, here with plain mutexed
-    // deques: the batch is fixed (no dynamic spawning), so lock-free
-    // machinery would buy nothing this side of thousands of jobs.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for i in 0..total {
-        lock_queue(&queues[i % workers]).push_back(i);
-    }
-
-    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
-    std::thread::scope(|scope| {
-        for me in 0..workers {
-            let tx = tx.clone();
-            let queues = &queues;
-            scope.spawn(move || loop {
-                let next = pop_own(&queues[me]).or_else(|| steal_other(queues, me));
-                let Some(idx) = next else { break };
-                let outcome = catch_unwind(AssertUnwindSafe(|| exec(idx)))
-                    .map_err(|payload| panic_message(payload.as_ref()));
-                if tx.send((idx, outcome)).is_err() {
-                    break; // collector gone; nothing left to report to
-                }
-            });
-        }
-        drop(tx);
-        for (idx, outcome) in rx {
-            on_collected(idx, outcome);
-        }
-    });
-}
-
 /// Execute `jobs` on `workers` threads and return results ordered by job id.
 ///
 /// `workers` is clamped to `1..=jobs.len()`; `workers == 1` degenerates to a
@@ -298,36 +239,6 @@ pub fn run_sweep(
             })
         })
         .collect()
-}
-
-/// Best-effort stringification of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    lock_queue(queue).pop_front()
-}
-
-fn steal_other(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    // Steal from the currently longest queue; ties break toward the lowest
-    // worker index. Which worker *runs* a job never affects its result.
-    let victim = queues
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| *i != me)
-        .max_by_key(|(i, q)| (lock_queue(q).len(), usize::MAX - i))?;
-    victim
-        .1
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .pop_back()
 }
 
 /// The standard figure grid: both measured pipelines over each requested
@@ -543,6 +454,8 @@ fn splitmix64(seed: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::{Mutex, PoisonError};
+
     use super::*;
 
     fn small_grid() -> Vec<SweepJob> {
@@ -584,7 +497,6 @@ mod tests {
 
     #[test]
     fn progress_reports_every_job_exactly_once() {
-        use std::sync::Mutex;
         let seen = Mutex::new(Vec::new());
         let jobs = small_grid();
         let total = jobs.len();

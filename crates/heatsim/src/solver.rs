@@ -12,9 +12,23 @@
 //! [`HeatSolver::step_reference`] implementation is kept as the bit-for-bit
 //! oracle and as the pre-optimization baseline the `greenness bench`
 //! trajectory measures speedups against.
+//!
+//! ## Threading
+//!
+//! [`HeatSolver::set_jobs`] turns on domain decomposition: the output rows
+//! are split into contiguous bands — a pure function of `(ny, jobs)`, so
+//! the decomposition never depends on scheduling — and the bands run on the
+//! bounded work-stealing pool from `greenness-pool`. Each band reads the
+//! shared previous level and writes only its own disjoint slice, and every
+//! cell's update expression is exactly the sequential one, so results are
+//! **bit-identical for every `jobs` value** (pinned by tests here and by
+//! `tests/bench_trajectory.rs`). With more workers than rows the partition
+//! degenerates cleanly to one row per band.
 
 use std::fmt;
+use std::sync::{Mutex, PoisonError};
 
+use greenness_pool::run_pool;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -187,6 +201,7 @@ pub struct HeatSolver {
     scratch: Grid,
     steps_taken: u64,
     cell_updates: u64,
+    jobs: usize,
 }
 
 impl HeatSolver {
@@ -202,7 +217,20 @@ impl HeatSolver {
             scratch,
             steps_taken: 0,
             cell_updates: 0,
+            jobs: 1,
         })
+    }
+
+    /// Set the worker count for [`Self::step`]'s domain decomposition.
+    /// `jobs <= 1` keeps the sequential path. Results are bit-identical for
+    /// every value — threading changes wall-clock, never bytes.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The current field.
@@ -262,9 +290,12 @@ impl HeatSolver {
         // function of the wall cell's own value `u`: the clamped mirror
         // index of such a neighbor is the wall cell itself, so Dirichlet's
         // second-order ghost is `2v − u` and Neumann's reflection is `u`.
+        let jobs = self.jobs;
         match self.config.boundary {
-            Boundary::Dirichlet(v) => step_field(prev, out, nx, ny, rx, ry, move |u| 2.0 * v - u),
-            Boundary::Neumann => step_field(prev, out, nx, ny, rx, ry, |u| u),
+            Boundary::Dirichlet(v) => {
+                step_field(prev, out, nx, ny, rx, ry, move |u| 2.0 * v - u, jobs)
+            }
+            Boundary::Neumann => step_field(prev, out, nx, ny, rx, ry, |u| u, jobs),
         }
         self.commit_step();
     }
@@ -338,10 +369,10 @@ fn update(u: f64, e: f64, w: f64, n: f64, s: f64, rx: f64, ry: f64) -> f64 {
     u + rx * (e - 2.0 * u + w) + ry * (n - 2.0 * u + s)
 }
 
-/// One output row. `north`/`south` yield the vertical neighbors of column
-/// `i` whose center value is `u`; wall rows substitute the ghost there.
-/// Interior columns take the branch-free indexed path; the two wall
-/// columns are peeled out explicitly.
+/// One output row where one vertical neighbor may be a ghost (wall rows).
+/// `north`/`south` yield the vertical neighbors of column `i` whose center
+/// value is `u`. Interior columns take the branch-free indexed path; the
+/// two wall columns are peeled out explicitly.
 #[inline(always)]
 fn stencil_row<G, N, S>(
     row: &mut [f64],
@@ -375,14 +406,69 @@ fn stencil_row<G, N, S>(
     );
 }
 
-/// One full time level on the fast path. `ghost(u)` is the value of an
-/// out-of-grid neighbor of a wall cell holding `u`.
-fn step_field<G>(prev: &[f64], out: &mut [f64], nx: usize, ny: usize, rx: f64, ry: f64, ghost: G)
-where
-    G: Fn(f64) -> f64 + Copy + Send + Sync,
+/// Interior (non-wall) rows, where all four neighbors are real slices. The
+/// middle columns walk `[f64; 8]` chunks — six parallel arrays with a
+/// fixed-trip inner loop, the shape LLVM autovectorizes — and the scalar
+/// remainder plus both wall columns use the very same [`update`] expression,
+/// so the chunking changes instruction scheduling, never results.
+#[inline(always)]
+fn stencil_row_interior<G>(
+    row: &mut [f64],
+    cur: &[f64],
+    north: &[f64],
+    south: &[f64],
+    rx: f64,
+    ry: f64,
+    ghost: G,
+) where
+    G: Fn(f64) -> f64,
+{
+    const LANES: usize = 8;
+    let last = cur.len() - 1;
+    let u = cur[0];
+    row[0] = update(u, cur[1], ghost(u), north[0], south[0], rx, ry);
+    // n interior columns starting at 1: center c, east e, west w.
+    let n = last - 1;
+    let chunks = n / LANES;
+    for blk in 0..chunks {
+        let base = 1 + blk * LANES;
+        let o: &mut [f64; LANES] = (&mut row[base..base + LANES]).try_into().expect("chunk");
+        let c: &[f64; LANES] = cur[base..base + LANES].try_into().expect("chunk");
+        let e: &[f64; LANES] = cur[base + 1..base + 1 + LANES].try_into().expect("chunk");
+        let w: &[f64; LANES] = cur[base - 1..base - 1 + LANES].try_into().expect("chunk");
+        let nn: &[f64; LANES] = north[base..base + LANES].try_into().expect("chunk");
+        let ss: &[f64; LANES] = south[base..base + LANES].try_into().expect("chunk");
+        for k in 0..LANES {
+            o[k] = update(c[k], e[k], w[k], nn[k], ss[k], rx, ry);
+        }
+    }
+    for i in 1 + chunks * LANES..last {
+        let u = cur[i];
+        row[i] = update(u, cur[i + 1], cur[i - 1], north[i], south[i], rx, ry);
+    }
+    let u = cur[last];
+    row[last] = update(u, ghost(u), cur[last - 1], north[last], south[last], rx, ry);
+}
+
+/// Compute a contiguous band of output rows starting at global row `j0`.
+/// `band` is the destination slice (`rows × nx` cells); `prev` is the full
+/// previous level, so neighbor rows just outside the band stay in reach.
+#[allow(clippy::too_many_arguments)]
+fn step_rows<G>(
+    prev: &[f64],
+    band: &mut [f64],
+    nx: usize,
+    ny: usize,
+    j0: usize,
+    rx: f64,
+    ry: f64,
+    ghost: G,
+) where
+    G: Fn(f64) -> f64 + Copy,
 {
     let last_row = ny - 1;
-    out.par_chunks_mut(nx).enumerate().for_each(|(j, row)| {
+    for (jj, row) in band.chunks_mut(nx).enumerate() {
+        let j = j0 + jj;
         let base = j * nx;
         let cur = &prev[base..base + nx];
         if j == 0 {
@@ -394,9 +480,75 @@ where
         } else {
             let north = &prev[base + nx..base + 2 * nx];
             let south = &prev[base - nx..base];
-            stencil_row(row, cur, rx, ry, ghost, |i, _| north[i], |i, _| south[i]);
+            stencil_row_interior(row, cur, north, south, rx, ry, ghost);
         }
-    });
+    }
+}
+
+/// Row counts of the contiguous bands `jobs` workers get over `ny` rows —
+/// a pure function of `(ny, jobs)`, so the decomposition is identical
+/// across runs and never depends on which worker executes which band. With
+/// more workers than rows this degenerates cleanly to one row per band.
+fn partition_rows(ny: usize, jobs: usize) -> Vec<usize> {
+    let tiles = jobs.clamp(1, ny.max(1));
+    let base = ny / tiles;
+    let rem = ny % tiles;
+    (0..tiles).map(|t| base + usize::from(t < rem)).collect()
+}
+
+/// One full time level on the fast path. `ghost(u)` is the value of an
+/// out-of-grid neighbor of a wall cell holding `u`. With `jobs > 1` the
+/// row bands run on the work-stealing pool; every band writes only its own
+/// disjoint slice of `out`, so which worker runs a band never affects the
+/// output bytes.
+#[allow(clippy::too_many_arguments)]
+fn step_field<G>(
+    prev: &[f64],
+    out: &mut [f64],
+    nx: usize,
+    ny: usize,
+    rx: f64,
+    ry: f64,
+    ghost: G,
+    jobs: usize,
+) where
+    G: Fn(f64) -> f64 + Copy + Send + Sync,
+{
+    let tiles = partition_rows(ny, jobs);
+    if tiles.len() <= 1 {
+        step_rows(prev, out, nx, ny, 0, rx, ry, ghost);
+        return;
+    }
+    // Disjoint destination bands behind per-band mutexes: split_at_mut
+    // proves disjointness to the borrow checker, the (uncontended) mutexes
+    // make the bands reachable from the pool's Sync closure.
+    let mut bands: Vec<Mutex<(usize, &mut [f64])>> = Vec::with_capacity(tiles.len());
+    let mut rest = out;
+    let mut j0 = 0;
+    for &rows in &tiles {
+        let (band, tail) = rest.split_at_mut(rows * nx);
+        bands.push(Mutex::new((j0, band)));
+        rest = tail;
+        j0 += rows;
+    }
+    let mut first_panic: Option<String> = None;
+    run_pool(
+        bands.len(),
+        jobs,
+        &|t| {
+            let mut guard = bands[t].lock().unwrap_or_else(PoisonError::into_inner);
+            let (j0, band) = &mut *guard;
+            step_rows(prev, band, nx, ny, *j0, rx, ry, ghost);
+        },
+        &mut |_, result| {
+            if let (Err(message), None) = (result, &first_panic) {
+                first_panic = Some(message);
+            }
+        },
+    );
+    if let Some(message) = first_panic {
+        panic!("stencil band worker panicked: {message}");
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +754,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn threaded_step_is_bit_identical_for_every_job_count() {
+        for boundary in [Boundary::Dirichlet(1.5), Boundary::Neumann] {
+            let cfg = SolverConfig {
+                boundary,
+                ..Default::default()
+            };
+            // nx = 37 engages the [f64; 8] chunked interior path (multiple
+            // chunks plus a scalar remainder).
+            let init = Grid::from_fn(37, 23, |x, y| (x * 9.0).sin() + (y * 4.0).cos());
+            let mut reference = solver(init.clone(), cfg.clone());
+            for _ in 0..25 {
+                reference.step_reference();
+            }
+            for jobs in [1usize, 2, 3, 8, 64] {
+                let mut s = solver(init.clone(), cfg.clone());
+                s.set_jobs(jobs);
+                assert_eq!(s.jobs(), jobs);
+                for _ in 0..25 {
+                    s.step();
+                }
+                assert_eq!(
+                    s.grid().as_slice(),
+                    reference.grid().as_slice(),
+                    "{boundary:?} diverged at jobs={jobs}"
+                );
+                assert_eq!(s.cell_updates(), reference.cell_updates());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_slabs_with_more_workers_than_rows_fall_back_cleanly() {
+        // The PR-5 proptested slab shapes: 3×N and N×3, plus the thinnest
+        // legal slabs — jobs far exceeds the row count, so the partition
+        // must degenerate to one row per band without empty bands or
+        // out-of-range neighbor slices.
+        for (nx, ny) in [(3usize, 37usize), (37, 3), (3, 3), (3, 4), (4, 3)] {
+            for boundary in [Boundary::Dirichlet(0.5), Boundary::Neumann] {
+                let cfg = SolverConfig {
+                    boundary,
+                    ..Default::default()
+                };
+                let init = Grid::from_fn(nx, ny, |x, y| (x * 7.0).sin() * (y * 3.0).cos());
+                let mut reference = solver(init.clone(), cfg.clone());
+                let mut threaded = solver(init, cfg);
+                threaded.set_jobs(8);
+                for step in 0..15 {
+                    reference.step_reference();
+                    threaded.step();
+                    assert_eq!(
+                        threaded.grid().as_slice(),
+                        reference.grid().as_slice(),
+                        "{nx}x{ny} {boundary:?} diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_rows_is_exact_and_degenerates_cleanly() {
+        for (ny, jobs) in [(7usize, 2usize), (3, 8), (1, 8), (64, 8), (5, 5), (9, 1)] {
+            let bands = partition_rows(ny, jobs);
+            assert_eq!(bands.iter().sum::<usize>(), ny, "ny={ny} jobs={jobs}");
+            assert!(bands.len() <= jobs.max(1));
+            assert!(bands.iter().all(|&rows| rows >= 1), "empty band");
+            let spread = bands.iter().max().unwrap() - bands.iter().min().unwrap();
+            assert!(spread <= 1, "unbalanced bands {bands:?}");
+        }
+        assert_eq!(partition_rows(5, 0), vec![5], "jobs=0 clamps to one band");
+    }
+
+    #[test]
+    fn set_jobs_zero_clamps_to_sequential() {
+        let mut s = solver(hot_center(9), SolverConfig::default());
+        s.set_jobs(0);
+        assert_eq!(s.jobs(), 1);
+        s.step();
+        assert_eq!(s.steps_taken(), 1);
     }
 
     #[test]

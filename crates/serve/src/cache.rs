@@ -1,5 +1,8 @@
 //! Content-addressed result cache: a strict-LRU map from request digests to
-//! serialized result payloads, bounded by a byte budget.
+//! shared (`Arc`-backed) serialized result payloads, bounded by a byte
+//! budget. Payloads are handed out as `Arc` clones, so a cache hit costs a
+//! refcount bump — the response path writes the cache's own allocation to
+//! the wire, never a copy.
 //!
 //! The budget counts **payload bytes only** and is exact: after any insert,
 //! the sum of stored payload lengths never exceeds the budget, with
@@ -10,6 +13,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Cache key: a BLAKE2s-256 digest of the canonicalized request.
 pub type Key = [u8; 32];
@@ -21,7 +25,7 @@ pub struct ResultCache {
     bytes: usize,
     /// Recency order, front = least recently used.
     order: VecDeque<Key>,
-    map: HashMap<Key, Vec<u8>>,
+    map: HashMap<Key, Arc<Vec<u8>>>,
     /// Lookups that found an entry.
     pub hits: u64,
     /// Lookups that found nothing.
@@ -62,12 +66,13 @@ impl ResultCache {
         self.map.is_empty()
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &Key) -> Option<&[u8]> {
+    /// Look up `key`, refreshing its recency on a hit. The returned `Arc`
+    /// shares the stored allocation — no payload bytes are copied.
+    pub fn get(&mut self, key: &Key) -> Option<Arc<Vec<u8>>> {
         if self.map.contains_key(key) {
             self.hits += 1;
             self.touch(key);
-            self.map.get(key).map(Vec::as_slice)
+            self.map.get(key).map(Arc::clone)
         } else {
             self.misses += 1;
             None
@@ -76,7 +81,8 @@ impl ResultCache {
 
     /// Insert `value` under `key` as the most recently used entry, evicting
     /// LRU entries until the byte budget holds.
-    pub fn insert(&mut self, key: Key, value: Vec<u8>) {
+    pub fn insert(&mut self, key: Key, value: impl Into<Arc<Vec<u8>>>) {
+        let value = value.into();
         if value.len() > self.budget {
             self.rejected += 1;
             return;
@@ -104,7 +110,7 @@ impl ResultCache {
     /// Remove `key` outright — the service uses this to evict an entry whose
     /// payload turned out to be corrupt. Counts as neither a hit, a miss,
     /// nor an eviction; callers account for the corruption themselves.
-    pub fn remove(&mut self, key: &Key) -> Option<Vec<u8>> {
+    pub fn remove(&mut self, key: &Key) -> Option<Arc<Vec<u8>>> {
         let value = self.map.remove(key)?;
         self.bytes -= value.len();
         self.order.retain(|k| k != key);
@@ -172,12 +178,21 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_the_stored_allocation() {
+        let mut c = ResultCache::new(100);
+        let payload = Arc::new(vec![7u8; 10]);
+        c.insert(key(1), Arc::clone(&payload));
+        let got = c.get(&key(1)).expect("hit");
+        assert!(Arc::ptr_eq(&got, &payload), "hit must not copy the payload");
+    }
+
+    #[test]
     fn reinsert_replaces_without_double_counting() {
         let mut c = ResultCache::new(100);
         c.insert(key(1), vec![0; 60]);
         c.insert(key(1), vec![1; 30]);
         assert_eq!(c.bytes(), 30);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&key(1)).unwrap(), &[1u8; 30][..]);
+        assert_eq!(c.get(&key(1)).unwrap().as_slice(), &[1u8; 30][..]);
     }
 }

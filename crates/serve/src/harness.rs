@@ -82,7 +82,7 @@ pub fn run_replay(config: ServiceConfig, requests: &[String]) -> ReplayOutput {
         let line = loop {
             let outcome = service.handle_line(request);
             if !outcome.dropped {
-                break outcome.line;
+                break outcome.line();
             }
             if attempt >= budget {
                 break protocol::error_line(

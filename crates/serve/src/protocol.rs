@@ -131,6 +131,77 @@ pub fn ok_line(id: &str, result: &str) -> String {
     format!("{{\"schema\":\"{SCHEMA}\",\"id\":{id},\"ok\":true,\"result\":{result}}}")
 }
 
+/// The prefix of a success envelope, up to and including `"result":` — the
+/// payload and the closing `}` follow as separate [`Response`] segments.
+/// `ok_head(id) + result + "}"` is byte-identical to [`ok_line`], which the
+/// envelope tests pin.
+pub fn ok_head(id: &str) -> String {
+    format!("{{\"schema\":\"{SCHEMA}\",\"id\":{id},\"ok\":true,\"result\":")
+}
+
+/// A response envelope split into wire segments, so a cached result is
+/// written to the socket straight from the shared cache payload — no
+/// intermediate `format!` copy of potentially megabytes of result JSON.
+/// Responses without a shared payload (errors, control ops) are a single
+/// head segment.
+#[derive(Debug, Clone)]
+pub struct Response {
+    head: String,
+    payload: Option<std::sync::Arc<Vec<u8>>>,
+}
+
+impl Response {
+    /// A response that is already one complete line.
+    pub fn whole(line: String) -> Response {
+        Response {
+            head: line,
+            payload: None,
+        }
+    }
+
+    /// A success response whose result is the shared `payload` — the very
+    /// allocation the cache holds, so hit responses copy nothing.
+    pub fn enveloped(id: &str, payload: std::sync::Arc<Vec<u8>>) -> Response {
+        Response {
+            head: ok_head(id),
+            payload: Some(payload),
+        }
+    }
+
+    /// The wire segments in write order. The final newline is the writer's
+    /// job ([`Response::write_to`] appends it).
+    pub fn segments(&self) -> [&[u8]; 3] {
+        match &self.payload {
+            Some(payload) => [self.head.as_bytes(), payload, b"}"],
+            None => [self.head.as_bytes(), b"", b""],
+        }
+    }
+
+    /// Write the newline-terminated response to `w` segment by segment —
+    /// the zero-copy path the server uses. Segments of one stream are
+    /// written in order by its single connection thread, so framing is
+    /// never torn.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        for segment in self.segments() {
+            if !segment.is_empty() {
+                w.write_all(segment)?;
+            }
+        }
+        w.write_all(b"\n")
+    }
+
+    /// Materialize the full line (tests and the replay harness; the server
+    /// streams [`Response::segments`] instead).
+    pub fn to_line(&self) -> String {
+        let [head, payload, tail] = self.segments();
+        let mut line = Vec::with_capacity(head.len() + payload.len() + tail.len());
+        line.extend_from_slice(head);
+        line.extend_from_slice(payload);
+        line.extend_from_slice(tail);
+        String::from_utf8(line).expect("response segments are valid UTF-8")
+    }
+}
+
 /// An error envelope.
 pub fn error_line(id: &str, code: ErrorCode, message: &str) -> String {
     format!(
@@ -184,6 +255,29 @@ mod tests {
             crate::json::Json::parse(line).expect("envelope parses");
         }
         assert!(err.contains("\"code\":\"overloaded\""));
+    }
+
+    #[test]
+    fn segmented_response_is_byte_identical_to_ok_line() {
+        let payload = std::sync::Arc::new(b"{\"x\":1}".to_vec());
+        let response = Response::enveloped("7", std::sync::Arc::clone(&payload));
+        assert_eq!(response.to_line(), ok_line("7", "{\"x\":1}"));
+        let mut wire = Vec::new();
+        response.write_to(&mut wire).expect("write");
+        assert_eq!(
+            wire,
+            format!("{}\n", ok_line("7", "{\"x\":1}")).into_bytes()
+        );
+        // The payload segment is the cache's own allocation, not a copy.
+        let [_, seg, _] = response.segments();
+        assert!(std::ptr::eq(seg.as_ptr(), payload.as_slice().as_ptr()));
+        // Whole-line responses pass through untouched.
+        let whole = Response::whole(error_line("1", ErrorCode::Internal, "x"));
+        assert_eq!(whole.to_line(), error_line("1", ErrorCode::Internal, "x"));
+        let mut wire = Vec::new();
+        whole.write_to(&mut wire).expect("write");
+        assert_eq!(wire.pop(), Some(b'\n'));
+        assert_eq!(wire, whole.to_line().into_bytes());
     }
 
     /// Build a request JSON string with the given member order.

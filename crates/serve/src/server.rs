@@ -5,8 +5,9 @@
 //! first closes the admission gate — queued requests are turned away with
 //! `shutting_down`, in-flight ones run to completion — then raises the stop
 //! flag. Connection threads notice the flag at their next read timeout and
-//! hang up *between* responses; every response is written with a single
-//! `write_all`, so output is never torn even mid-drain.
+//! hang up *between* responses; each response's segments are written in
+//! order by the stream's single connection thread before the next read, so
+//! output is never torn even mid-drain.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -139,9 +140,10 @@ fn connection_loop(mut stream: TcpStream, service: &Service, stop: &AtomicBool) 
                         // responding; the client reconnects and retries.
                         return;
                     }
-                    let mut response = outcome.line.into_bytes();
-                    response.push(b'\n');
-                    if stream.write_all(&response).is_err() {
+                    // Zero-copy: the response's payload segment is the
+                    // cache's own allocation, streamed straight to the
+                    // socket without assembling an intermediate line.
+                    if outcome.response.write_to(&mut stream).is_err() {
                         return;
                     }
                     if outcome.shutdown {

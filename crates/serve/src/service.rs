@@ -12,7 +12,7 @@
 //! computed or replayed from cache; hits are visible only in the
 //! `serve.cache.*` counters.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use greenness_core::advisor::{self, IoBehavior, WorkloadProfile};
@@ -28,7 +28,7 @@ use greenness_trace::MetricsRegistry;
 use crate::admission::{Denial, Gate};
 use crate::cache::ResultCache;
 use crate::json::Json;
-use crate::protocol::{self, ErrorCode, Request};
+use crate::protocol::{self, ErrorCode, Request, Response};
 
 /// How long an injected slow-handler fault stalls the worker. Wall-clock
 /// only — it never enters any response or metric, so replay output stays
@@ -72,17 +72,36 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One handled request: the response line (no trailing newline) plus
-/// whether the request asked the server to drain.
+/// One handled request: the response (no trailing newline) plus whether
+/// the request asked the server to drain.
 #[derive(Debug, Clone)]
 pub struct Outcome {
-    /// The NDJSON response line.
-    pub line: String,
+    /// The NDJSON response, in wire segments. Cache hits and misses carry
+    /// the shared cache payload here — the server writes it without an
+    /// intermediate envelope copy.
+    pub response: Response,
     /// `true` for a granted `shutdown` op.
     pub shutdown: bool,
     /// `true` when an injected connection-drop fault fired: the caller must
-    /// hang up (or, in replay, retry) instead of delivering `line`.
+    /// hang up (or, in replay, retry) instead of delivering the response.
     pub dropped: bool,
+}
+
+impl Outcome {
+    /// A plain reply carrying one complete line.
+    fn reply(line: String) -> Outcome {
+        Outcome {
+            response: Response::whole(line),
+            shutdown: false,
+            dropped: false,
+        }
+    }
+
+    /// The materialized response line (tests and the replay harness; the
+    /// server streams `self.response` segment by segment instead).
+    pub fn line(&self) -> String {
+        self.response.to_line()
+    }
 }
 
 /// The seeded per-site fault schedules of one service instance.
@@ -139,11 +158,7 @@ impl Service {
             Ok(req) => req,
             Err((id, msg)) => {
                 self.count("serve.bad_request");
-                return Outcome {
-                    line: protocol::error_line(&id, ErrorCode::BadRequest, &msg),
-                    shutdown: false,
-                    dropped: false,
-                };
+                return Outcome::reply(protocol::error_line(&id, ErrorCode::BadRequest, &msg));
             }
         };
         // Control ops bypass cache, admission, the request counters, and
@@ -152,17 +167,12 @@ impl Service {
         match req.op.as_str() {
             "metrics" => {
                 let body = lock(&self.metrics).to_json();
-                return Outcome {
-                    line: protocol::ok_line(&req.id, &body),
-                    shutdown: false,
-                    dropped: false,
-                };
+                return Outcome::reply(protocol::ok_line(&req.id, &body));
             }
             "shutdown" => {
                 return Outcome {
-                    line: protocol::ok_line(&req.id, "{\"status\":\"draining\"}"),
                     shutdown: true,
-                    dropped: false,
+                    ..Outcome::reply(protocol::ok_line(&req.id, "{\"status\":\"draining\"}"))
                 };
             }
             _ => {}
@@ -174,9 +184,8 @@ impl Service {
             Some(ServeFault::Drop) => {
                 self.count("faults.serve.conn");
                 return Outcome {
-                    line: String::new(),
-                    shutdown: false,
                     dropped: true,
+                    ..Outcome::reply(String::new())
                 };
             }
             Some(ServeFault::Slow) => {
@@ -187,11 +196,13 @@ impl Service {
         }
         self.count("serve.requests");
 
-        // Cache first: hits never burn an execution slot.
+        // Cache first: hits never burn an execution slot, and the payload
+        // crosses to the wire as the cache's own allocation — an Arc clone,
+        // not a byte copy.
         if let Some(payload) = self.cache_get(&req.cache_key) {
             self.count("serve.cache.hits");
             return Outcome {
-                line: protocol::ok_line(&req.id, &payload),
+                response: Response::enveloped(&req.id, payload),
                 shutdown: false,
                 dropped: false,
             };
@@ -220,11 +231,7 @@ impl Service {
                     ),
                 };
                 self.count(counter);
-                return Outcome {
-                    line: protocol::error_line(&req.id, code, msg),
-                    shutdown: false,
-                    dropped: false,
-                };
+                return Outcome::reply(protocol::error_line(&req.id, code, msg));
             }
         };
 
@@ -238,20 +245,20 @@ impl Service {
                     let mut m = lock(&self.metrics);
                     m.observe("serve.virtual_s", virtual_s);
                 }
-                self.cache_put(req.cache_key, result.as_bytes().to_vec());
+                // One allocation serves both the cache entry and this
+                // response: warm and cold replies are byte-identical by
+                // construction, not by convention.
+                let payload = Arc::new(result.into_bytes());
+                self.cache_put(req.cache_key, Arc::clone(&payload));
                 Outcome {
-                    line: protocol::ok_line(&req.id, &result),
+                    response: Response::enveloped(&req.id, payload),
                     shutdown: false,
                     dropped: false,
                 }
             }
             Err((code, msg)) => {
                 self.count("serve.err");
-                Outcome {
-                    line: protocol::error_line(&req.id, code, &msg),
-                    shutdown: false,
-                    dropped: false,
-                }
+                Outcome::reply(protocol::error_line(&req.id, code, &msg))
             }
         }
     }
@@ -272,11 +279,11 @@ impl Service {
         None
     }
 
-    fn cache_get(&self, key: &[u8; 32]) -> Option<String> {
+    fn cache_get(&self, key: &[u8; 32]) -> Option<Arc<Vec<u8>>> {
         let mut cache = lock(&self.cache);
-        let bytes = cache.get(key)?.to_vec();
-        match String::from_utf8(bytes) {
-            Ok(payload) => Some(payload),
+        let payload = cache.get(key)?;
+        match std::str::from_utf8(&payload) {
+            Ok(_) => Some(payload),
             Err(_) => {
                 // A corrupt payload must never panic the worker: evict the
                 // entry, reclassify the lookup as a miss (the caller will
@@ -291,7 +298,7 @@ impl Service {
         }
     }
 
-    fn cache_put(&self, key: [u8; 32], payload: Vec<u8>) {
+    fn cache_put(&self, key: [u8; 32], payload: Arc<Vec<u8>>) {
         let (evictions, rejected) = {
             let mut cache = lock(&self.cache);
             let before = (cache.evictions, cache.rejected);
@@ -627,7 +634,7 @@ mod tests {
             r#""id":1,"op":"run","params":{"pipeline":"post","case":1}"#,
         ));
         assert!(!out.shutdown);
-        let doc = Json::parse(&out.line).expect("response parses");
+        let doc = Json::parse(&out.line()).expect("response parses");
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(doc.get("id").and_then(Json::as_u64), Some(1));
         let energy = doc
@@ -645,7 +652,11 @@ mod tests {
         let request = line(r#""id":7,"op":"compare","params":{"case":2}"#);
         let cold = s.handle_line(&request);
         let warm = s.handle_line(&request);
-        assert_eq!(cold.line, warm.line, "warm response must be byte-identical");
+        assert_eq!(
+            cold.line(),
+            warm.line(),
+            "warm response must be byte-identical"
+        );
         let m = s.metrics_clone();
         assert_eq!(m.counter("serve.cache.hits"), 1);
         assert_eq!(m.counter("serve.cache.misses"), 1);
@@ -665,7 +676,7 @@ mod tests {
             (r#""op":"sweep","params":{"cases":[]}"#, "bad_request"),
         ] {
             let out = s.handle_line(&line(body));
-            let doc = Json::parse(&out.line).expect("error response parses");
+            let doc = Json::parse(&out.line()).expect("error response parses");
             assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{body}");
             let code = doc
                 .get("error")
@@ -687,7 +698,7 @@ mod tests {
             let out = s.handle_line(&line(&format!(
                 r#""op":"whatif","params":{{"bytes":1073741824,"device":"{device}"}}"#
             )));
-            let doc = Json::parse(&out.line).expect("parses");
+            let doc = Json::parse(&out.line()).expect("parses");
             assert_eq!(
                 doc.get("result")
                     .and_then(|r| r.get("device"))
@@ -708,7 +719,7 @@ mod tests {
         let bad = s.handle_line(&line(
             r#""op":"whatif","params":{"bytes":1,"device":"floppy"}"#,
         ));
-        let doc = Json::parse(&bad.line).expect("parses");
+        let doc = Json::parse(&bad.line()).expect("parses");
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(
             doc.get("error")
@@ -724,7 +735,7 @@ mod tests {
         let out = s.handle_line(&line(
             r#""op":"advisor","params":{"pass_bytes":4294967296,"passes":2,"pattern":"random","needs_exploration":true}"#,
         ));
-        let doc = Json::parse(&out.line).expect("parses");
+        let doc = Json::parse(&out.line()).expect("parses");
         assert_eq!(
             doc.get("result")
                 .and_then(|r| r.get("technique"))
@@ -738,7 +749,7 @@ mod tests {
         let s = svc();
         s.handle_line(&line(r#""op":"run","params":{}"#));
         let metrics = s.handle_line(&line(r#""op":"metrics""#));
-        let doc = Json::parse(&metrics.line).expect("parses");
+        let doc = Json::parse(&metrics.line()).expect("parses");
         let counters = doc
             .get("result")
             .and_then(|r| r.get("counters"))
@@ -749,7 +760,7 @@ mod tests {
         );
         let down = s.handle_line(&line(r#""op":"shutdown""#));
         assert!(down.shutdown);
-        assert!(down.line.contains("\"status\":\"draining\""));
+        assert!(down.line().contains("\"status\":\"draining\""));
         // Control ops did not count as requests.
         let m = s.metrics_clone();
         assert_eq!(m.counter("serve.requests"), 1);
@@ -771,7 +782,7 @@ mod tests {
             panic!("poison the cache lock");
         }));
         let out = s.handle_line(&line(r#""id":2,"op":"advisor","params":{}"#));
-        assert!(out.line.contains("\"ok\":true"), "{}", out.line);
+        assert!(out.line().contains("\"ok\":true"), "{}", out.line());
         assert_eq!(s.metrics_clone().counter("serve.requests"), 2);
     }
 
@@ -784,9 +795,9 @@ mod tests {
         let key = protocol::parse_request(&request).expect("parses").cache_key;
         s.cache.lock().unwrap().insert(key, vec![0xff, 0xfe, 0x80]);
         let recomputed = s.handle_line(&request);
-        assert_eq!(cold.line, recomputed.line, "recompute, not garbage");
+        assert_eq!(cold.line(), recomputed.line(), "recompute, not garbage");
         let warm = s.handle_line(&request);
-        assert_eq!(cold.line, warm.line);
+        assert_eq!(cold.line(), warm.line());
         let m = s.metrics_clone();
         assert_eq!(m.counter("serve.cache.corrupt"), 1);
         assert_eq!(m.counter("serve.cache.hits"), 1, "only the third lookup");

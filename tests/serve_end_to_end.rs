@@ -117,12 +117,12 @@ fn load_is_shed_deterministically_when_slots_are_exhausted() {
     });
     let permit = service.gate().admit(None).expect("take the only slot");
     let shed = service.handle_line(&request(r#""id":1,"op":"run","params":{}"#));
-    let doc = parsed(&shed.line);
+    let doc = parsed(&shed.line());
     assert!(!is_ok(&doc));
     assert_eq!(error_code(&doc), "overloaded");
     drop(permit);
     let ok = service.handle_line(&request(r#""id":2,"op":"run","params":{}"#));
-    assert!(is_ok(&parsed(&ok.line)), "freed slot must admit again");
+    assert!(is_ok(&parsed(&ok.line())), "freed slot must admit again");
 }
 
 #[test]
@@ -136,7 +136,7 @@ fn queued_requests_respect_their_deadline() {
     let out = service.handle_line(&request(
         r#""id":1,"deadline_ms":30,"op":"run","params":{}"#,
     ));
-    let doc = parsed(&out.line);
+    let doc = parsed(&out.line());
     assert_eq!(error_code(&doc), "deadline_exceeded");
     let m = service.metrics_clone();
     assert_eq!(m.counter("serve.shed.deadline"), 1);
@@ -147,14 +147,14 @@ fn draining_service_refuses_new_work_but_still_serves_cache_hits() {
     let service = Service::new(ServiceConfig::default());
     let req = request(r#""id":1,"op":"compare","params":{"case":3}"#);
     let cold = service.handle_line(&req);
-    assert!(is_ok(&parsed(&cold.line)));
+    assert!(is_ok(&parsed(&cold.line())));
     service.gate().shutdown();
     // Warm request: answered from cache without touching the gate.
     let warm = service.handle_line(&req);
-    assert_eq!(cold.line, warm.line);
+    assert_eq!(cold.line(), warm.line());
     // Cold request: turned away with the structured drain error.
     let fresh = service.handle_line(&request(r#""id":2,"op":"run","params":{"case":2}"#));
-    assert_eq!(error_code(&parsed(&fresh.line)), "shutting_down");
+    assert_eq!(error_code(&parsed(&fresh.line())), "shutting_down");
 }
 
 #[test]
