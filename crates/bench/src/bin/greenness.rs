@@ -12,8 +12,9 @@
 //! greenness adaptive [threshold]        adaptive runtime demo
 //! greenness advisor <bytes> <passes> <seq|rand> <explore|no-explore>
 //! greenness serve [--addr A]            NDJSON query server (greenness-serve/v1)
+//! greenness fleet [--shards N]          sharded fleet router over in-process shards
 //! greenness query <addr> <json>         one request against a running server
-//! greenness bench-serve ...             load harness (closed/open loop, --replay)
+//! greenness bench-serve ...             load harness (closed/open loop, --replay, fleet)
 //! ```
 //!
 //! Everything prints fixed-width tables; see the `repro` binary for the
@@ -28,6 +29,7 @@ use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{probes, report, CaseComparison, ExperimentSetup, PipelineConfig};
 use greenness_faults::FaultPlan;
+use greenness_fleet::{Fleet, FleetConfig, FleetServer};
 use greenness_platform::{HardwareSpec, Node};
 use greenness_serve::{LoadMode, Server, ServiceConfig};
 
@@ -49,18 +51,24 @@ fn usage() -> ! {
          \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>\n\
          \x20 trace summarize <journal>            reconstruct + audit a trace journal\n\
          \x20 serve [--addr A] [--jobs N]          NDJSON query server (greenness-serve/v1)\n\
+         \x20 fleet [--shards N] [--replicas K]    consistent-hash fleet router (greenness fleet)\n\
          \x20 query <addr> <json-request>          one request against a running server\n\
          \x20 bench-serve --addr A [...]           live load harness (closed/open loop)\n\
          \x20 bench-serve --replay [...]           deterministic in-process replay\n\
-         \x20 bench [--reps N] [--quick] [--out F] hot-path micro suite -> BENCH_6.json\n\
+         \x20 bench [--reps N] [--quick] [--out F] hot-path micro suite -> BENCH_7.json\n\
          \n\
          sweep and placement also accept --trace PATH / --metrics PATH (event\n\
          journal + metrics registry; byte-identical for every --jobs value)\n\
          serve also accepts --cache-bytes B / --slots S / --queue-depth Q\n\
+         fleet also accepts --addr A --ring-seed S --vnodes V --shard-addrs (debug\n\
+         listeners) plus the serve tuning flags, applied per shard\n\
          bench-serve accepts --requests N --conns C --mode closed|open --rate R,\n\
-         and with --replay: --jobs J --out FILE --metrics-out FILE\n\
-         sweep, placement, cluster, serve, and bench-serve --replay accept --fault-seed N\n\
-         (seeded fault injection with retry/recovery; deterministic per seed)"
+         and with --replay: --jobs J --out FILE --metrics-out FILE; adding\n\
+         --shards N runs the open-loop fleet replay (--replicas K --ring-seed S\n\
+         --universe U --zipf S --report-out FILE --shard-metrics-out FILE)\n\
+         sweep, placement, cluster, serve, fleet, and bench-serve --replay accept\n\
+         --fault-seed N (seeded fault injection with retry/recovery; deterministic\n\
+         per seed — for fleet this includes shard churn)"
     );
     std::process::exit(2);
 }
@@ -675,6 +683,81 @@ fn cmd_serve(args: &[String]) {
     eprintln!("drained; bye");
 }
 
+fn cmd_fleet(args: &[String]) {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = FleetConfig::default();
+    let mut shard_addrs = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--shards" => config.shards = parse(&take("--shards"), "shard count"),
+            "--replicas" => config.replicas = parse(&take("--replicas"), "replica count"),
+            "--ring-seed" => config.ring_seed = parse(&take("--ring-seed"), "ring seed"),
+            "--vnodes" => config.vnodes = parse(&take("--vnodes"), "vnode count"),
+            "--jobs" | "-j" => config.jobs = parse(&take("--jobs"), "worker count"),
+            "--cache-bytes" => config.cache_bytes = parse(&take("--cache-bytes"), "cache budget"),
+            "--slots" => config.slots = parse(&take("--slots"), "slot count"),
+            "--queue-depth" => config.queue_depth = parse(&take("--queue-depth"), "queue depth"),
+            "--hot-threshold" => {
+                config.hot_threshold = parse(&take("--hot-threshold"), "hot threshold")
+            }
+            "--fault-seed" => {
+                config.faults = Some(FaultPlan::with_seed(parse(
+                    &take("--fault-seed"),
+                    "fault seed",
+                )))
+            }
+            "--shard-addrs" => shard_addrs = true,
+            _ => usage(),
+        }
+    }
+    if config.shards == 0 {
+        eprintln!("--shards must be at least 1");
+        std::process::exit(2);
+    }
+    let fleet = std::sync::Arc::new(Fleet::new(config));
+    let server = FleetServer::start(&addr, std::sync::Arc::clone(&fleet)).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The smoke harness greps this exact line for the ephemeral port.
+    println!("listening on {}", server.addr());
+    // Optional per-shard debug listeners: a direct window onto one shard's
+    // cache and metrics, bypassing the router. Churn only removes a shard
+    // from the *ring*; its debug port stays up until drain.
+    let mut shard_servers = Vec::new();
+    if shard_addrs {
+        for id in 0..config.shards {
+            let service = fleet.shard_service(id).expect("shard exists at boot");
+            let shard = Server::start_with_service("127.0.0.1:0", service).unwrap_or_else(|e| {
+                eprintln!("cannot bind shard {id} listener: {e}");
+                std::process::exit(1);
+            });
+            println!("shard {id} listening on {}", shard.addr());
+            shard_servers.push(shard);
+        }
+    }
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!(
+        "routing over {} shard(s), {}-way replication, ring seed {}; send {{\"op\":\"shutdown\"}} to drain",
+        config.shards, config.replicas, config.ring_seed
+    );
+    server.run_to_completion();
+    for shard in shard_servers {
+        shard.shutdown();
+        shard.join();
+    }
+    eprintln!("drained; bye");
+}
+
 fn cmd_query(args: &[String]) {
     let (Some(addr), Some(request)) = (args.first(), args.get(1)) else {
         usage()
@@ -701,10 +784,17 @@ fn cmd_bench_serve(args: &[String]) {
     let mut conns = 4usize;
     let mut jobs = greenness_bench::default_jobs();
     let mut mode = "closed".to_string();
-    let mut rate = 50.0f64;
+    let mut rate: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut shards: Option<u32> = None;
+    let mut replicas = 2usize;
+    let mut ring_seed = 42u64;
+    let mut universe = greenness_fleet::DEFAULT_UNIVERSE;
+    let mut zipf = greenness_fleet::DEFAULT_ZIPF_S;
+    let mut report_out: Option<String> = None;
+    let mut shard_metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| {
@@ -720,12 +810,70 @@ fn cmd_bench_serve(args: &[String]) {
             "--conns" | "-c" => conns = parse(&take("--conns"), "connection count"),
             "--jobs" | "-j" => jobs = parse(&take("--jobs"), "worker count"),
             "--mode" => mode = take("--mode"),
-            "--rate" => rate = parse(&take("--rate"), "request rate"),
+            "--rate" => rate = Some(parse(&take("--rate"), "request rate")),
             "--out" => out = Some(take("--out")),
             "--metrics-out" => metrics_out = Some(take("--metrics-out")),
             "--fault-seed" => fault_seed = Some(parse(&take("--fault-seed"), "fault seed")),
+            "--shards" => shards = Some(parse(&take("--shards"), "shard count")),
+            "--replicas" => replicas = parse(&take("--replicas"), "replica count"),
+            "--ring-seed" => ring_seed = parse(&take("--ring-seed"), "ring seed"),
+            "--universe" => universe = parse(&take("--universe"), "key universe"),
+            "--zipf" => zipf = parse(&take("--zipf"), "zipf exponent"),
+            "--report-out" => report_out = Some(take("--report-out")),
+            "--shard-metrics-out" => shard_metrics_out = Some(take("--shard-metrics-out")),
             _ => usage(),
         }
+    }
+    if let Some(shards) = shards {
+        // Fleet replay: open-loop on the virtual clock, Zipfian keys. The
+        // response log and the fleet metrics are byte-identical across
+        // --jobs always, and across --shards in the fault-free regime.
+        if !replay {
+            eprintln!("--shards implies --replay (the fleet harness is replay-only)");
+            usage()
+        }
+        let workload = greenness_fleet::fleet_workload(requests, universe, zipf, ring_seed);
+        let result = greenness_fleet::run_fleet_replay(
+            FleetConfig {
+                shards,
+                replicas,
+                ring_seed,
+                jobs,
+                faults: fault_seed.map(FaultPlan::with_seed),
+                ..FleetConfig::default()
+            },
+            &workload,
+            rate.unwrap_or(greenness_fleet::DEFAULT_RATE_RPS),
+        );
+        if result.reroutes > 0 {
+            eprintln!(
+                "fleet replay ran degraded: {} reroute hop(s) around dropped shard connections",
+                result.reroutes
+            );
+        }
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &result.responses).expect("write response log");
+                eprintln!("wrote {path}");
+            }
+            None => print!("{}", result.responses),
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, &result.fleet_metrics).expect("write fleet metrics");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &shard_metrics_out {
+            std::fs::write(path, &result.shard_metrics).expect("write shard metrics");
+            eprintln!("wrote {path}");
+        }
+        match &report_out {
+            Some(path) => {
+                std::fs::write(path, &result.report).expect("write fleet report");
+                eprintln!("wrote {path}");
+            }
+            None => eprintln!("{}", result.report),
+        }
+        return;
     }
     if replay {
         let workload = greenness_serve::replay_workload(requests);
@@ -765,7 +913,9 @@ fn cmd_bench_serve(args: &[String]) {
     }
     let load_mode = match mode.as_str() {
         "closed" => LoadMode::Closed,
-        "open" => LoadMode::Open { rate_rps: rate },
+        "open" => LoadMode::Open {
+            rate_rps: rate.unwrap_or(50.0),
+        },
         other => {
             eprintln!("unknown mode {other} (expected closed|open)");
             std::process::exit(2);
@@ -781,7 +931,7 @@ fn cmd_bench_serve(args: &[String]) {
 
 fn cmd_bench(args: &[String]) {
     let mut config = greenness_bench::perf::BenchConfig::default();
-    let mut out = String::from("BENCH_6.json");
+    let mut out = String::from("BENCH_7.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -829,6 +979,7 @@ fn main() {
         "advisor" => cmd_advisor(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "bench-serve" => cmd_bench_serve(&args[1..]),
         "bench" => cmd_bench(&args[1..]),

@@ -1,12 +1,14 @@
 //! The `greenness bench` harness: a reproducible performance trajectory for
 //! the repo's hot paths.
 //!
-//! Three code paths dominate host CPU time across the paper's experiments —
-//! the FTCS stencil step, snapshot encoding on the per-iteration dump path,
-//! and cache-key canonicalization in the serve layer. This module measures
-//! each with deterministic workloads and reports median-of-N wall-clock plus
-//! derived throughput, so `BENCH_<n>.json` files committed by successive
-//! optimization passes form a comparable trajectory.
+//! A handful of code paths dominate host CPU time across the paper's
+//! experiments — the FTCS stencil step, snapshot encoding on the
+//! per-iteration dump path, cache-key canonicalization in the serve layer,
+//! and (per request, fleet-wide) the router's consistent-hash lookup and
+//! Zipfian workload sampler. This module measures each with deterministic
+//! workloads and reports median-of-N wall-clock plus derived throughput, so
+//! `BENCH_<n>.json` files committed by successive optimization passes form
+//! a comparable trajectory.
 //!
 //! Determinism discipline mirrors the sweep executor's: every workload also
 //! emits **counters** (FNV-1a checksums of its outputs, plus exact work
@@ -27,6 +29,7 @@ use greenness_codec::rle::Rle;
 use greenness_codec::transpose::TransposeRle;
 use greenness_codec::ScratchCodec;
 use greenness_core::PipelineConfig;
+use greenness_fleet::{Ring, Zipf, DEFAULT_VNODES};
 use greenness_heatsim::{Boundary, Grid, HeatSolver};
 use greenness_serve::protocol::parse_request;
 use greenness_serve::replay_workload;
@@ -347,6 +350,53 @@ pub fn run_suite(config: &BenchConfig) -> Result<BenchSuite, String> {
         },
     )?);
 
+    // Fleet router overhead: consistent-hash lookups over a warm ring. This
+    // is the per-request cost the fleet front tier adds before any shard
+    // does work, so regressions here tax every query in the fleet harness.
+    let route_keys = if config.quick { 20_000u64 } else { 80_000u64 };
+    let ring = Ring::new(42, 8, DEFAULT_VNODES);
+    benches.push(measure(
+        "fleet.route",
+        format!("{route_keys} keys, 8 shards x{DEFAULT_VNODES} vnodes"),
+        "keys/s",
+        reps,
+        || {
+            let mut route_hash = 0xcbf2_9ce4_8422_2325u64;
+            for i in 0..route_keys {
+                let key = format!("fleet/key/{i}");
+                let shard = ring.route(key.as_bytes()).expect("non-empty ring");
+                route_hash ^= u64::from(shard) + 1;
+                route_hash = route_hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut counters = BTreeMap::new();
+            counters.insert("checksum", route_hash);
+            counters.insert("keys", route_keys);
+            (route_keys as f64, counters)
+        },
+    )?);
+
+    // Zipfian rank generation: the fleet workload's popularity sampler
+    // (binary search over a precomputed CDF, stateless per index).
+    let zipf_draws = if config.quick { 50_000u64 } else { 200_000u64 };
+    let zipf = Zipf::new(4096, 1.1, 42);
+    benches.push(measure(
+        "fleet.zipf",
+        format!("{zipf_draws} draws, universe 4096 s=1.1"),
+        "draws/s",
+        reps,
+        || {
+            let mut rank_hash = 0xcbf2_9ce4_8422_2325u64;
+            for i in 0..zipf_draws {
+                rank_hash ^= zipf.rank(i);
+                rank_hash = rank_hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut counters = BTreeMap::new();
+            counters.insert("checksum", rank_hash);
+            counters.insert("draws", zipf_draws);
+            (zipf_draws as f64, counters)
+        },
+    )?);
+
     let mut derived = BTreeMap::new();
     let throughput = |name: &str| {
         benches
@@ -404,7 +454,7 @@ pub fn suite_json(config: &BenchConfig, suite: &BenchSuite) -> String {
         .map(|(k, v)| format!("\"{k}\":{}", fmt_f64(*v)))
         .collect();
     format!(
-        "{{\"schema\":\"greenness-bench/v1\",\"bench_id\":\"BENCH_6\",\"reps\":{},\"quick\":{},\"jobs\":{},\"benches\":[{}],\"derived\":{{{}}}}}\n",
+        "{{\"schema\":\"greenness-bench/v1\",\"bench_id\":\"BENCH_7\",\"reps\":{},\"quick\":{},\"jobs\":{},\"benches\":[{}],\"derived\":{{{}}}}}\n",
         config.reps.max(1),
         config.quick,
         config.jobs,
@@ -455,7 +505,7 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(counters(&a), counters(&b));
-        assert_eq!(a.benches.len(), 8);
+        assert_eq!(a.benches.len(), 10);
         let by_name = |s: &BenchSuite, name: &str| {
             s.benches
                 .iter()
@@ -523,9 +573,11 @@ mod tests {
         };
         let json = suite_json(&cfg, &run_suite(&cfg).expect("suite completes"));
         assert!(json.starts_with("{\"schema\":\"greenness-bench/v1\""));
-        assert!(json.contains("\"bench_id\":\"BENCH_6\""));
+        assert!(json.contains("\"bench_id\":\"BENCH_7\""));
         assert!(json.contains("\"name\":\"stencil.fast.dirichlet\""));
         assert!(json.contains("\"name\":\"stencil.threaded\""));
+        assert!(json.contains("\"name\":\"fleet.route\""));
+        assert!(json.contains("\"name\":\"fleet.zipf\""));
         assert!(json.contains("\"stencil_speedup_dirichlet\":"));
         assert!(json.contains("\"stencil_threaded_scaling\":"));
         assert!(json.ends_with("}\n"));

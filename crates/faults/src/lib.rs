@@ -40,6 +40,11 @@ pub enum Site {
     /// destination copy is abandoned half-written) or transient (the copy
     /// never starts). Either way the source copy survives.
     TierMigration,
+    /// `fleet` — shard churn: a simulated node loss (the shard's cache is
+    /// gone, the ring reroutes around it) or rejoin (a fresh instance takes
+    /// its ring positions back and is rebalanced). The entropy word picks
+    /// the mode and the victim.
+    FleetChurn,
 }
 
 impl Site {
@@ -52,6 +57,7 @@ impl Site {
             Site::ServeHandler => "serve.handler",
             Site::TierIo => "tier.io",
             Site::TierMigration => "tier.migration",
+            Site::FleetChurn => "fleet.churn",
         }
     }
 
@@ -64,6 +70,7 @@ impl Site {
             Site::ServeHandler => plan.serve_slow_rate,
             Site::TierIo => plan.tier_io_rate,
             Site::TierMigration => plan.tier_migration_rate,
+            Site::FleetChurn => plan.fleet_churn_rate,
         }
     }
 }
@@ -86,6 +93,9 @@ pub struct FaultPlan {
     pub tier_io_rate: f64,
     /// Probability a tier migration is torn or aborted.
     pub tier_migration_rate: f64,
+    /// Probability a fleet request triggers a shard churn event (node loss
+    /// or rejoin) before routing.
+    pub fleet_churn_rate: f64,
     /// Bounded retry budget for every recovery loop.
     pub max_retries: u32,
     /// First-retry backoff in (virtual) seconds; doubles per attempt.
@@ -105,6 +115,7 @@ impl FaultPlan {
             serve_slow_rate: 0.10,
             tier_io_rate: 0.05,
             tier_migration_rate: 0.10,
+            fleet_churn_rate: 0.05,
             max_retries: 8,
             backoff_base_s: 0.002,
         }
@@ -120,6 +131,7 @@ impl FaultPlan {
             serve_slow_rate: 0.0,
             tier_io_rate: 0.0,
             tier_migration_rate: 0.0,
+            fleet_churn_rate: 0.0,
             ..FaultPlan::with_seed(seed)
         }
     }
@@ -274,6 +286,7 @@ mod tests {
             Site::ServeHandler,
             Site::TierIo,
             Site::TierMigration,
+            Site::FleetChurn,
         ] {
             assert!(fire_pattern(&plan, site, 3, 256)
                 .iter()

@@ -1,0 +1,570 @@
+//! The fleet itself: N in-process serve shards behind a consistent-hash
+//! router, with hot-key replication and churn-driven rebalancing.
+//!
+//! Every routing decision is deterministic: the ring is a pure function of
+//! its seed, hot-key spreading is a pure function of the router's per-key
+//! access count, and churn fires from a seeded `FaultInjector` slot consumed
+//! once per compute request — so a replay driven sequentially through
+//! [`Fleet::handle_line`] produces the same response log and router metrics
+//! on every run, for any `--jobs` value, and (in the fault-free,
+//! eviction-free regime the CI artifacts pin) for any shard count.
+//!
+//! The router never drops a request toward the client: an injected
+//! connection drop inside a shard is rerouted to the next replica candidate
+//! (counted under `retries.fleet.reroute`) until the plan's retry budget is
+//! exhausted, and only then surfaces as a structured `internal` error. A
+//! rerouted request that lands on a cold replica recomputes — byte-identical
+//! by the serve crate's cache discipline — so **no acked result is ever
+//! lost** to churn: any response the fleet has acked can be asked for again
+//! and comes back byte-for-byte the same.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use greenness_faults::{FaultInjector, FaultPlan, Site};
+use greenness_serve::protocol::{self, ErrorCode};
+use greenness_serve::{Disposition, Service, ServiceConfig};
+use greenness_trace::MetricsRegistry;
+
+use crate::ring::{Ring, DEFAULT_VNODES};
+
+/// Accesses to a key before the router starts spreading its reads over
+/// replicas (and filling them). Three warm reads is the classic "this is a
+/// dashboard, not a one-off" signal.
+pub const DEFAULT_HOT_THRESHOLD: u64 = 3;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Fleet topology and tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Shard instances (ids `0..shards`).
+    pub shards: u32,
+    /// Replication factor for hot keys (primary included). Clamped to the
+    /// live shard count at routing time.
+    pub replicas: usize,
+    /// Seed for ring placement and (by convention) the workload generator.
+    pub ring_seed: u64,
+    /// Virtual nodes per shard.
+    pub vnodes: usize,
+    /// Worker threads inside each shard's `sweep` handler; never visible in
+    /// any output byte.
+    pub jobs: usize,
+    /// Per-shard result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Per-shard execution slots.
+    pub slots: usize,
+    /// Per-shard admission queue depth.
+    pub queue_depth: usize,
+    /// Accesses before a key counts as hot.
+    pub hot_threshold: u64,
+    /// Fault schedule: drives shard churn at the router (`Site::FleetChurn`)
+    /// and derives an independent per-shard plan for connection drops and
+    /// slow handlers.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            replicas: 2,
+            ring_seed: 42,
+            vnodes: DEFAULT_VNODES,
+            jobs: 4,
+            cache_bytes: 1 << 20,
+            slots: 4,
+            queue_depth: 16,
+            hot_threshold: DEFAULT_HOT_THRESHOLD,
+            faults: None,
+        }
+    }
+}
+
+/// A churn event the router applied while handling a request, in virtual
+/// request order (the harness timestamps these at the request's scheduled
+/// send time for the energy ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A live shard was lost: ring arcs handed to its successors, cache
+    /// gone.
+    Lost(u32),
+    /// A dead shard rejoined with a fresh cache and reclaimed exactly its
+    /// old arcs; `moved` entries were copied in from the shards that had
+    /// been covering for it.
+    Joined {
+        /// The rejoining shard.
+        shard: u32,
+        /// Cache entries rebalanced onto it.
+        moved: u64,
+    },
+}
+
+/// One request's trip through the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The response line (no trailing newline).
+    pub line: String,
+    /// The shard that produced the response (`None` for router-level
+    /// replies: control ops, bad requests, no-shard errors).
+    pub shard: Option<u32>,
+    /// What happened, from the serving shard's point of view.
+    pub disposition: Disposition,
+    /// Simulated compute seconds (nonzero only on a miss).
+    pub virtual_s: f64,
+    /// Times the request was rerouted to another replica after an injected
+    /// connection drop.
+    pub reroutes: u32,
+    /// `true` for a granted `shutdown` op — every live shard's gate is
+    /// already closed when this returns.
+    pub shutdown: bool,
+    /// Churn applied while handling this request (at most one event).
+    pub events: Vec<ChurnEvent>,
+}
+
+/// Mutable topology: which shards are live and who owns which arc.
+struct FleetState {
+    ring: Ring,
+    /// Shard services by id. Replaced with a fresh instance on rejoin.
+    services: Vec<Arc<Service>>,
+    live: Vec<bool>,
+    /// Router-side access counts by cache key — the hot-key signal.
+    access: HashMap<[u8; 32], u64>,
+}
+
+impl FleetState {
+    fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    fn live_ids(&self) -> Vec<u32> {
+        (0..self.live.len() as u32)
+            .filter(|&i| self.live[i as usize])
+            .collect()
+    }
+}
+
+/// The fleet: shards, ring, router metrics, and the churn schedule.
+pub struct Fleet {
+    config: FleetConfig,
+    state: Mutex<FleetState>,
+    metrics: Mutex<MetricsRegistry>,
+    churn: Option<Mutex<FaultInjector>>,
+}
+
+impl Fleet {
+    /// Boot a fleet of `config.shards` fresh shards.
+    pub fn new(config: FleetConfig) -> Fleet {
+        let services = (0..config.shards)
+            .map(|i| Arc::new(Service::new(shard_config(&config, i))))
+            .collect();
+        Fleet {
+            state: Mutex::new(FleetState {
+                ring: Ring::new(config.ring_seed, config.shards, config.vnodes),
+                services,
+                live: vec![true; config.shards as usize],
+                access: HashMap::new(),
+            }),
+            metrics: Mutex::new(MetricsRegistry::default()),
+            churn: config
+                .faults
+                .map(|plan| Mutex::new(plan.injector(Site::FleetChurn, 0))),
+            config,
+        }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Live shard ids, ascending.
+    pub fn live_shards(&self) -> Vec<u32> {
+        lock(&self.state).live_ids()
+    }
+
+    /// Snapshot of the router's `fleet.*` registry.
+    pub fn metrics_clone(&self) -> MetricsRegistry {
+        lock(&self.metrics).clone()
+    }
+
+    /// Snapshots of every shard's own registry, labeled `shard/<id>`.
+    /// Debug material: per-shard counters depend on the shard count by
+    /// construction, so these never enter the byte-compared artifacts.
+    pub fn shard_metrics(&self) -> Vec<(String, MetricsRegistry)> {
+        let state = lock(&self.state);
+        state
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("shard/{i}"), s.metrics_clone()))
+            .collect()
+    }
+
+    /// The shard service for `id` (fleet CLI debug listeners).
+    pub fn shard_service(&self, id: u32) -> Option<Arc<Service>> {
+        lock(&self.state).services.get(id as usize).map(Arc::clone)
+    }
+
+    /// Close every live shard's gate (drain).
+    pub fn shutdown(&self) {
+        let state = lock(&self.state);
+        for (i, service) in state.services.iter().enumerate() {
+            if state.live[i] {
+                service.gate().shutdown();
+            }
+        }
+    }
+
+    fn count(&self, name: &'static str, by: u64) {
+        lock(&self.metrics).incr(name, by);
+    }
+
+    /// Route one request line through the fleet and produce one response.
+    pub fn handle_line(&self, line: &str) -> FleetOutcome {
+        let req = match protocol::parse_request(line) {
+            Ok(req) => req,
+            Err((id, msg)) => {
+                self.count("fleet.bad_request", 1);
+                return router_reply(
+                    protocol::error_line(&id, ErrorCode::BadRequest, &msg),
+                    Disposition::Error,
+                );
+            }
+        };
+        match req.op.as_str() {
+            "metrics" => {
+                self.count("fleet.control", 1);
+                let body = lock(&self.metrics).to_json();
+                return router_reply(protocol::ok_line(&req.id, &body), Disposition::Control);
+            }
+            "shutdown" => {
+                self.count("fleet.control", 1);
+                self.shutdown();
+                return FleetOutcome {
+                    shutdown: true,
+                    ..router_reply(
+                        protocol::ok_line(&req.id, "{\"status\":\"draining\"}"),
+                        Disposition::Control,
+                    )
+                };
+            }
+            _ => {}
+        }
+
+        // One churn slot per compute request, consumed *before* routing, so
+        // the schedule is a pure function of the request index.
+        let events = self.apply_churn();
+
+        self.count("fleet.requests", 1);
+        let (candidates, first, services) = {
+            let mut state = lock(&self.state);
+            let live = state.live_count();
+            if live == 0 {
+                drop(state);
+                self.count("fleet.err", 1);
+                return router_reply(
+                    protocol::error_line(&req.id, ErrorCode::Internal, "no live shards"),
+                    Disposition::Error,
+                );
+            }
+            let k_eff = self.config.replicas.clamp(1, live);
+            let candidates = state.ring.replicas(&req.cache_key, k_eff);
+            let c = {
+                let entry = state.access.entry(req.cache_key).or_insert(0);
+                let c = *entry;
+                *entry += 1;
+                c
+            };
+            // Hot keys round-robin over the candidate list; cold keys stay
+            // on the primary so the cache warms once, in one place.
+            let first = if c >= self.config.hot_threshold {
+                ((c - self.config.hot_threshold) % candidates.len() as u64) as usize
+            } else {
+                0
+            };
+            let services: Vec<Arc<Service>> = candidates
+                .iter()
+                .map(|&s| Arc::clone(&state.services[s as usize]))
+                .collect();
+            (candidates, first, services)
+        };
+        if first != 0 {
+            self.count("fleet.replica.reads", 1);
+        }
+
+        // Serve, rerouting past injected connection drops.
+        let budget = self.config.faults.map_or(0, |plan| plan.max_retries);
+        let mut reroutes = 0u32;
+        let mut at = first;
+        let outcome = loop {
+            let outcome = services[at].handle_line(line);
+            if outcome.disposition != Disposition::Dropped {
+                break Some((at, outcome));
+            }
+            if reroutes >= budget {
+                break None;
+            }
+            reroutes += 1;
+            self.count("retries.fleet.reroute", 1);
+            at = (at + 1) % services.len();
+        };
+        let Some((served_at, outcome)) = outcome else {
+            self.count("fleet.err", 1);
+            return FleetOutcome {
+                reroutes,
+                ..router_reply(
+                    protocol::error_line(
+                        &req.id,
+                        ErrorCode::Internal,
+                        "connection dropped; retry budget exhausted",
+                    ),
+                    Disposition::Error,
+                )
+            };
+        };
+        let shard = candidates[served_at];
+
+        match outcome.disposition {
+            Disposition::Hit => {
+                self.count("fleet.hits", 1);
+                self.count("fleet.ok", 1);
+            }
+            Disposition::Miss => {
+                self.count("fleet.misses", 1);
+                self.count("fleet.ok", 1);
+                if outcome.virtual_s > 0.0 {
+                    lock(&self.metrics).observe("fleet.virtual_s", outcome.virtual_s);
+                }
+            }
+            _ => self.count("fleet.err", 1),
+        }
+
+        // Replicate hot payloads: once a key crosses the threshold, every
+        // candidate carries it, so spread reads hit warm caches.
+        if matches!(outcome.disposition, Disposition::Hit | Disposition::Miss) {
+            let c_after = {
+                let state = lock(&self.state);
+                state.access.get(&req.cache_key).copied().unwrap_or(0)
+            };
+            if c_after >= self.config.hot_threshold {
+                if let Some(payload) = outcome.response.payload() {
+                    let mut fills = 0u64;
+                    for (i, service) in services.iter().enumerate() {
+                        if i != served_at && service.cache_fill(req.cache_key, Arc::clone(payload))
+                        {
+                            fills += 1;
+                        }
+                    }
+                    if fills > 0 {
+                        self.count("fleet.replica.fills", fills);
+                    }
+                }
+            }
+        }
+
+        FleetOutcome {
+            line: outcome.line(),
+            shard: Some(shard),
+            disposition: outcome.disposition,
+            virtual_s: outcome.virtual_s,
+            reroutes,
+            shutdown: false,
+            events,
+        }
+    }
+
+    /// Consume one churn slot; apply at most one node loss or rejoin.
+    fn apply_churn(&self) -> Vec<ChurnEvent> {
+        let Some(churn) = &self.churn else {
+            return Vec::new();
+        };
+        let Some(entropy) = lock(churn).next() else {
+            return Vec::new();
+        };
+        let mut state = lock(&self.state);
+        let pick = entropy >> 1;
+        if entropy & 1 == 0 {
+            // Kill — but never the last shard standing.
+            let live = state.live_ids();
+            if live.len() <= 1 {
+                return Vec::new();
+            }
+            let victim = live[(pick % live.len() as u64) as usize];
+            state.ring.remove(victim);
+            state.live[victim as usize] = false;
+            drop(state);
+            self.count("fleet.shard.lost", 1);
+            vec![ChurnEvent::Lost(victim)]
+        } else {
+            // Rejoin a dead shard with a fresh cache, then rebalance: copy
+            // in every entry whose primary arc the joiner just reclaimed.
+            let dead: Vec<u32> = (0..state.live.len() as u32)
+                .filter(|&i| !state.live[i as usize])
+                .collect();
+            if dead.is_empty() {
+                return Vec::new();
+            }
+            let joiner = dead[(pick % dead.len() as u64) as usize];
+            let fresh = Arc::new(Service::new(shard_config(&self.config, joiner)));
+            state.services[joiner as usize] = Arc::clone(&fresh);
+            state.live[joiner as usize] = true;
+            state.ring.add(joiner);
+            let mut moved = 0u64;
+            for donor in state.live_ids() {
+                if donor == joiner {
+                    continue;
+                }
+                let donor_svc = Arc::clone(&state.services[donor as usize]);
+                for key in donor_svc.cache_keys() {
+                    if state.ring.route(&key) == Some(joiner) {
+                        if let Some(payload) = donor_svc.cache_share(&key) {
+                            if fresh.cache_fill(key, payload) {
+                                moved += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            drop(state);
+            self.count("fleet.shard.joined", 1);
+            if moved > 0 {
+                self.count("fleet.rebalance.moved", moved);
+            }
+            vec![ChurnEvent::Joined {
+                shard: joiner,
+                moved,
+            }]
+        }
+    }
+}
+
+fn shard_config(config: &FleetConfig, shard: u32) -> ServiceConfig {
+    ServiceConfig {
+        jobs: config.jobs,
+        cache_bytes: config.cache_bytes,
+        slots: config.slots,
+        queue_depth: config.queue_depth,
+        // Each shard gets an independent schedule so killing one never
+        // reshuffles another's faults.
+        faults: config
+            .faults
+            .map(|plan| plan.derive(&format!("fleet.shard/{shard}"))),
+    }
+}
+
+fn router_reply(line: String, disposition: Disposition) -> FleetOutcome {
+    FleetOutcome {
+        line,
+        shard: None,
+        disposition,
+        virtual_s: 0.0,
+        reroutes: 0,
+        shutdown: false,
+        events: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_serve::SCHEMA;
+
+    fn line(op_and_params: &str) -> String {
+        format!("{{\"schema\":\"{SCHEMA}\",{op_and_params}}}")
+    }
+
+    #[test]
+    fn requests_route_and_answer_through_shards() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let out = fleet.handle_line(&line(r#""id":1,"op":"advisor","params":{}"#));
+        assert!(out.line.contains("\"ok\":true"), "{}", out.line);
+        assert!(out.shard.is_some());
+        assert_eq!(out.disposition, Disposition::Miss);
+        let again = fleet.handle_line(&line(r#""id":1,"op":"advisor","params":{}"#));
+        assert_eq!(again.disposition, Disposition::Hit);
+        assert_eq!(again.shard, out.shard, "cold keys stay on their primary");
+        assert_eq!(out.line, again.line, "hit must be byte-identical");
+        let m = fleet.metrics_clone();
+        assert_eq!(m.counter("fleet.requests"), 2);
+        assert_eq!(m.counter("fleet.hits"), 1);
+        assert_eq!(m.counter("fleet.misses"), 1);
+        assert_eq!(m.counter("fleet.ok"), 2);
+    }
+
+    #[test]
+    fn hot_keys_spread_over_filled_replicas() {
+        let config = FleetConfig {
+            hot_threshold: 2,
+            ..FleetConfig::default()
+        };
+        let fleet = Fleet::new(config);
+        let request = line(r#""id":5,"op":"advisor","params":{"passes":3}"#);
+        let mut shards = Vec::new();
+        for _ in 0..6 {
+            let out = fleet.handle_line(&request);
+            assert!(out.line.contains("\"ok\":true"));
+            shards.push(out.shard.expect("served by a shard"));
+        }
+        let distinct: std::collections::BTreeSet<u32> = shards.iter().copied().collect();
+        assert_eq!(distinct.len(), 2, "hot key must spread over k=2 replicas");
+        let m = fleet.metrics_clone();
+        assert!(m.counter("fleet.replica.reads") > 0);
+        assert!(m.counter("fleet.replica.fills") > 0);
+        // After the fill, replica reads are warm hits, not recomputes.
+        assert_eq!(m.counter("fleet.misses"), 1);
+        assert_eq!(m.counter("fleet.hits"), 5);
+    }
+
+    #[test]
+    fn control_ops_answer_at_the_router() {
+        let fleet = Fleet::new(FleetConfig::default());
+        fleet.handle_line(&line(r#""id":1,"op":"advisor","params":{}"#));
+        let m = fleet.handle_line(&line(r#""id":2,"op":"metrics""#));
+        assert!(m.line.contains("fleet.requests"), "{}", m.line);
+        assert_eq!(m.shard, None);
+        let down = fleet.handle_line(&line(r#""id":3,"op":"shutdown""#));
+        assert!(down.shutdown);
+        // Gates are closed: a queued-path request is refused, a cached one
+        // still answers (hits bypass admission).
+        let shed = fleet.handle_line(&line(r#""id":4,"op":"whatif","params":{}"#));
+        assert!(shed.line.contains("shutting_down"), "{}", shed.line);
+        let warm = fleet.handle_line(&line(r#""id":1,"op":"advisor","params":{}"#));
+        assert!(warm.line.contains("\"ok\":true"), "{}", warm.line);
+    }
+
+    #[test]
+    fn churn_kills_and_rejoins_deterministically() {
+        let run = |seed: u64| {
+            let fleet = Fleet::new(FleetConfig {
+                faults: Some(FaultPlan {
+                    fleet_churn_rate: 0.5,
+                    ..FaultPlan::quiet(seed)
+                }),
+                ..FleetConfig::default()
+            });
+            let mut log = Vec::new();
+            for i in 0..40 {
+                let out = fleet.handle_line(&line(&format!(
+                    r#""id":{i},"op":"advisor","params":{{"passes":{}}}"#,
+                    i % 5
+                )));
+                assert!(out.line.contains("\"ok\":true"), "{}", out.line);
+                log.extend(out.events);
+            }
+            (log, fleet.metrics_clone().to_json())
+        };
+        let (events_a, metrics_a) = run(11);
+        let (events_b, metrics_b) = run(11);
+        assert_eq!(events_a, events_b, "same seed, same churn history");
+        assert_eq!(metrics_a, metrics_b);
+        assert!(
+            events_a.iter().any(|e| matches!(e, ChurnEvent::Lost(_))),
+            "seed 11 at rate 0.5 must kill at least one shard: {events_a:?}"
+        );
+        let (events_c, _) = run(12);
+        assert_ne!(events_a, events_c, "different seeds, different churn");
+    }
+}

@@ -81,6 +81,12 @@ impl Gate {
                     let now = Instant::now();
                     if now >= at {
                         state.waiting -= 1;
+                        drop(state);
+                        // This waiter may have been woken by a permit drop's
+                        // single notify; leaving without passing it on would
+                        // strand another waiter asleep next to a free slot
+                        // until its own deadline fires.
+                        self.freed.notify_one();
                         return Err(Denial::DeadlineExceeded);
                     }
                     let (guard, _) = self
@@ -96,6 +102,8 @@ impl Gate {
             };
             if state.shutting_down {
                 state.waiting -= 1;
+                drop(state);
+                self.freed.notify_one();
                 return Err(Denial::ShuttingDown);
             }
             if state.active < self.slots {
@@ -174,6 +182,38 @@ mod tests {
         );
         assert_eq!(gate.admit(None).unwrap_err(), Denial::ShuttingDown);
         drop(held); // in-flight work still completes and releases cleanly
+    }
+
+    #[test]
+    fn a_departing_waiter_passes_its_wakeup_on() {
+        // One slot, two queued waiters with very different deadlines. When
+        // the held permit drops near waiter A's deadline, A may consume the
+        // drop's single notify just to discover it has timed out; without
+        // the re-notify on that early return, B would sleep out its full
+        // 10 s deadline next to a free slot.
+        let gate = Arc::new(Gate::new(1, 4));
+        let held = gate.admit(None).expect("first admission");
+        let a = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit(Some(Duration::from_millis(60))).map(|_| ()))
+        };
+        let b = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let r = gate.admit(Some(Duration::from_secs(10))).map(|_| ());
+                (r, t0.elapsed())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(55));
+        drop(held);
+        let _ = a.join().expect("no panic");
+        let (admitted, waited) = b.join().expect("no panic");
+        admitted.expect("slot must reach the surviving waiter");
+        assert!(
+            waited < Duration::from_secs(5),
+            "waiter B slept {waited:?} next to a free slot"
+        );
     }
 
     #[test]

@@ -66,6 +66,29 @@ impl ResultCache {
         self.map.is_empty()
     }
 
+    /// Whether `key` is stored, without touching recency or any counter —
+    /// the fleet router's fill-if-absent probe.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Read `key` without counting a hit or a miss and without refreshing
+    /// recency — replication and rebalancing must be able to copy entries
+    /// between shards without perturbing the hit/miss ledger the replay
+    /// artifacts pin.
+    pub fn peek(&self, key: &Key) -> Option<Arc<Vec<u8>>> {
+        self.map.get(key).map(Arc::clone)
+    }
+
+    /// All stored keys in sorted (byte-lexicographic) order — a
+    /// deterministic iteration order for rebalancing scans, independent of
+    /// `HashMap` layout.
+    pub fn keys_sorted(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self.map.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Look up `key`, refreshing its recency on a hit. The returned `Arc`
     /// shares the stored allocation — no payload bytes are copied.
     pub fn get(&mut self, key: &Key) -> Option<Arc<Vec<u8>>> {
@@ -184,6 +207,21 @@ mod tests {
         c.insert(key(1), Arc::clone(&payload));
         let got = c.get(&key(1)).expect("hit");
         assert!(Arc::ptr_eq(&got, &payload), "hit must not copy the payload");
+    }
+
+    #[test]
+    fn peek_and_contains_do_not_touch_counters_or_recency() {
+        let mut c = ResultCache::new(80);
+        c.insert(key(1), vec![0; 40]);
+        c.insert(key(2), vec![0; 40]);
+        assert!(c.contains(&key(1)));
+        assert!(c.peek(&key(1)).is_some());
+        assert!(c.peek(&key(9)).is_none());
+        assert_eq!((c.hits, c.misses), (0, 0), "peek must not count");
+        // Peek did not refresh key 1: it is still the LRU entry.
+        c.insert(key(3), vec![0; 40]);
+        assert!(!c.contains(&key(1)), "peek must not refresh recency");
+        assert_eq!(c.keys_sorted(), vec![key(2), key(3)]);
     }
 
     #[test]

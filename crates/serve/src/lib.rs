@@ -41,4 +41,4 @@ pub use client::{query, Client, RetryClient};
 pub use harness::{replay_workload, run_load, run_replay, LoadMode, LoadReport, ReplayOutput};
 pub use protocol::{ErrorCode, SCHEMA};
 pub use server::Server;
-pub use service::{Service, ServiceConfig};
+pub use service::{Disposition, Outcome, Service, ServiceConfig};

@@ -168,6 +168,13 @@ impl Response {
         }
     }
 
+    /// The shared result payload, when this response carries one. The fleet
+    /// router clones this `Arc` to fill replica caches without re-serializing
+    /// (or even re-reading) the result.
+    pub fn payload(&self) -> Option<&std::sync::Arc<Vec<u8>>> {
+        self.payload.as_ref()
+    }
+
     /// The wire segments in write order. The final newline is the writer's
     /// job ([`Response::write_to`] appends it).
     pub fn segments(&self) -> [&[u8]; 3] {

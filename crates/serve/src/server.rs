@@ -37,10 +37,17 @@ impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
     /// serving in background threads.
     pub fn start(addr: &str, config: ServiceConfig) -> std::io::Result<Server> {
+        Server::start_with_service(addr, Arc::new(Service::new(config)))
+    }
+
+    /// Bind `addr` and serve an **existing** service instance. The fleet
+    /// uses this to expose a shard's service — cache, gate, and metrics
+    /// included — on its own debug port while the router keeps handling the
+    /// same instance in-process.
+    pub fn start_with_service(addr: &str, service: Arc<Service>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let service = Arc::new(Service::new(config));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let service = Arc::clone(&service);

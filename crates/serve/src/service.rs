@@ -72,6 +72,22 @@ impl Default for ServiceConfig {
     }
 }
 
+/// How the service disposed of a request — the router-facing summary the
+/// fleet layer accounts by without re-parsing response lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Answered from the result cache.
+    Hit,
+    /// Computed, cached, and answered.
+    Miss,
+    /// A control op (`metrics` / `shutdown`).
+    Control,
+    /// A structured error reply (bad request, shed, or handler failure).
+    Error,
+    /// An injected connection drop: no reply was produced.
+    Dropped,
+}
+
 /// One handled request: the response (no trailing newline) plus whether
 /// the request asked the server to drain.
 #[derive(Debug, Clone)]
@@ -85,6 +101,12 @@ pub struct Outcome {
     /// `true` when an injected connection-drop fault fired: the caller must
     /// hang up (or, in replay, retry) instead of delivering the response.
     pub dropped: bool,
+    /// What happened, for router-side accounting.
+    pub disposition: Disposition,
+    /// Simulated seconds the request cost to compute (`0.0` on hits,
+    /// control ops, and errors) — the same quantity the service observes
+    /// into `serve.virtual_s` on a miss.
+    pub virtual_s: f64,
 }
 
 impl Outcome {
@@ -94,6 +116,8 @@ impl Outcome {
             response: Response::whole(line),
             shutdown: false,
             dropped: false,
+            disposition: Disposition::Error,
+            virtual_s: 0.0,
         }
     }
 
@@ -152,6 +176,34 @@ impl Service {
         lock(&self.metrics).clone()
     }
 
+    /// Fill `key` with `payload` **if absent**, as the most recently used
+    /// entry. Returns whether the entry was inserted. This is the fleet
+    /// router's replication path: it must not count a hit or a miss (the
+    /// hit/miss ledger belongs to real lookups), but evictions and
+    /// rejections it causes are real and are counted.
+    pub fn cache_fill(&self, key: [u8; 32], payload: Arc<Vec<u8>>) -> bool {
+        {
+            let cache = lock(&self.cache);
+            if cache.contains(&key) {
+                return false;
+            }
+        }
+        self.cache_put(key, payload);
+        true
+    }
+
+    /// Read `key` without touching hit/miss counters or recency — the
+    /// rebalancer copies entries between shards through this.
+    pub fn cache_share(&self, key: &[u8; 32]) -> Option<Arc<Vec<u8>>> {
+        lock(&self.cache).peek(key)
+    }
+
+    /// All cached keys in sorted order (a deterministic scan order for
+    /// rebalancing).
+    pub fn cache_keys(&self) -> Vec<[u8; 32]> {
+        lock(&self.cache).keys_sorted()
+    }
+
     /// Handle one request line and produce one response line.
     pub fn handle_line(&self, line: &str) -> Outcome {
         let req = match protocol::parse_request(line) {
@@ -167,11 +219,22 @@ impl Service {
         match req.op.as_str() {
             "metrics" => {
                 let body = lock(&self.metrics).to_json();
-                return Outcome::reply(protocol::ok_line(&req.id, &body));
+                return Outcome {
+                    disposition: Disposition::Control,
+                    ..Outcome::reply(protocol::ok_line(&req.id, &body))
+                };
             }
             "shutdown" => {
+                // Close the gate here, not in the TCP server: any embedding
+                // (the fleet router, the replay harness, tests) that grants a
+                // shutdown op begins draining immediately, and a request
+                // parked in the bounded wait queue is woken and shed with a
+                // structured `shutting_down` error instead of sleeping out
+                // its deadline.
+                self.gate.shutdown();
                 return Outcome {
                     shutdown: true,
+                    disposition: Disposition::Control,
                     ..Outcome::reply(protocol::ok_line(&req.id, "{\"status\":\"draining\"}"))
                 };
             }
@@ -185,6 +248,7 @@ impl Service {
                 self.count("faults.serve.conn");
                 return Outcome {
                     dropped: true,
+                    disposition: Disposition::Dropped,
                     ..Outcome::reply(String::new())
                 };
             }
@@ -205,6 +269,8 @@ impl Service {
                 response: Response::enveloped(&req.id, payload),
                 shutdown: false,
                 dropped: false,
+                disposition: Disposition::Hit,
+                virtual_s: 0.0,
             };
         }
         self.count("serve.cache.misses");
@@ -254,6 +320,8 @@ impl Service {
                     response: Response::enveloped(&req.id, payload),
                     shutdown: false,
                     dropped: false,
+                    disposition: Disposition::Miss,
+                    virtual_s,
                 }
             }
             Err((code, msg)) => {
@@ -829,6 +897,70 @@ mod tests {
         assert!(ma.counter("faults.serve.handler") > 0);
         // A dropped request never reached the request counters.
         assert_eq!(ma.counter("serve.requests"), 40 - drops);
+    }
+
+    #[test]
+    fn shutdown_op_frees_parked_requests_immediately() {
+        use std::time::{Duration, Instant};
+        // Regression: the shutdown op must close the gate itself. Before it
+        // did, an in-process embedding (fleet router, replay harness) that
+        // granted a shutdown left queued requests to sleep out their full
+        // deadlines — here 10 s — because only the TCP server closed the
+        // gate.
+        let s = Arc::new(Service::new(ServiceConfig {
+            slots: 1,
+            queue_depth: 2,
+            ..ServiceConfig::default()
+        }));
+        let _held = s.gate().admit(None).expect("occupy the only slot");
+        let parked = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let out = s.handle_line(&line(
+                    r#""id":9,"op":"advisor","params":{},"deadline_ms":10000"#,
+                ));
+                (out, t0.elapsed())
+            })
+        };
+        // Let the request park in the wait queue, then drain via the op.
+        std::thread::sleep(Duration::from_millis(50));
+        let down = s.handle_line(&line(r#""op":"shutdown""#));
+        assert!(down.shutdown);
+        let (out, waited) = parked.join().expect("no panic");
+        let doc = Json::parse(&out.line()).expect("parses");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("shutting_down"),
+            "{}",
+            out.line()
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "parked request waited {waited:?} instead of being shed on drain"
+        );
+        assert_eq!(s.metrics_clone().counter("serve.shed.shutting_down"), 1);
+    }
+
+    #[test]
+    fn cache_fill_and_share_move_payloads_without_counting_lookups() {
+        let s = svc();
+        let request = line(r#""id":4,"op":"advisor","params":{}"#);
+        let key = protocol::parse_request(&request).expect("parses").cache_key;
+        s.handle_line(&request);
+        let shared = s.cache_share(&key).expect("computed entry is shareable");
+        assert_eq!(s.cache_keys(), vec![key]);
+        // Fill into a second instance: inserted once, a no-op when present.
+        let other = svc();
+        assert!(other.cache_fill(key, Arc::clone(&shared)));
+        assert!(!other.cache_fill(key, shared));
+        let warm = other.handle_line(&request);
+        assert!(warm.line().contains("\"ok\":true"));
+        let m = other.metrics_clone();
+        assert_eq!(m.counter("serve.cache.hits"), 1, "the real lookup counts");
+        assert_eq!(m.counter("serve.cache.misses"), 0, "the fill does not");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Five properties are pinned here:
 //!
-//! * the emitted `BENCH_6.json` is parseable, schema-tagged
+//! * the emitted `BENCH_7.json` is parseable, schema-tagged
 //!   `greenness-bench/v1`, and structurally complete;
 //! * workload counters (checksums + work tallies) are identical across
 //!   `--jobs` values — only wall-clock may vary between runs;
@@ -44,11 +44,15 @@ fn bench_json_is_schema_valid_and_complete() {
         doc.get("schema"),
         Some(&Json::Str("greenness-bench/v1".into()))
     );
-    assert_eq!(doc.get("bench_id"), Some(&Json::Str("BENCH_6".into())));
+    assert_eq!(doc.get("bench_id"), Some(&Json::Str("BENCH_7".into())));
     let Some(Json::Arr(benches)) = doc.get("benches") else {
         panic!("benches must be an array");
     };
-    assert_eq!(benches.len(), 8, "5 stencil + 2 codec + 1 serve workloads");
+    assert_eq!(
+        benches.len(),
+        10,
+        "5 stencil + 2 codec + 1 serve + 2 fleet workloads"
+    );
     for b in benches {
         for key in ["name", "workload", "median_wall_s", "throughput", "unit"] {
             assert!(b.get(key).is_some(), "bench entry missing {key}");

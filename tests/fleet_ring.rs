@@ -1,0 +1,121 @@
+//! Property tests for the consistent-hash ring: load balance within bounds
+//! across shard counts, and provably minimal key movement under add /
+//! remove — the invariants the fleet's "no acked result lost" story leans
+//! on.
+
+use greenness_fleet::{Ring, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+fn keys(n: u64) -> impl Iterator<Item = Vec<u8>> {
+    (0..n).map(|i| format!("fleet/key/{i}").into_bytes())
+}
+
+/// Route `n` keys and tally per-shard counts.
+fn tally(ring: &Ring, n: u64) -> std::collections::BTreeMap<u32, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for key in keys(n) {
+        let shard = ring.route(&key).expect("non-empty ring routes");
+        *counts.entry(shard).or_insert(0) += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every shard's share of a large key set stays within a constant
+    /// factor of the fair share, for any seed and fleet size.
+    #[test]
+    fn key_distribution_stays_within_bounds(
+        seed in 0u64..10_000,
+        shards in 2u32..9,
+    ) {
+        let ring = Ring::new(seed, shards, DEFAULT_VNODES);
+        let n = 4_000u64;
+        let counts = tally(&ring, n);
+        prop_assert_eq!(counts.len(), shards as usize, "every shard owns keys");
+        let fair = n as f64 / shards as f64;
+        for (&shard, &c) in &counts {
+            prop_assert!(
+                (c as f64) > fair / 4.0 && (c as f64) < fair * 2.5,
+                "shard {} owns {} of {} keys (fair share {})",
+                shard, c, n, fair
+            );
+        }
+    }
+
+    /// Adding one shard moves only keys that land on the new shard — every
+    /// other key keeps its owner — and the moved fraction is near the new
+    /// shard's fair share.
+    #[test]
+    fn adding_a_shard_moves_only_minimal_ranges(
+        seed in 0u64..10_000,
+        shards in 2u32..8,
+    ) {
+        let before = Ring::new(seed, shards, DEFAULT_VNODES);
+        let mut after = before.clone();
+        after.add(shards); // new shard id = old count
+        let n = 4_000u64;
+        let mut moved = 0u64;
+        for key in keys(n) {
+            let old = before.route(&key).unwrap();
+            let new = after.route(&key).unwrap();
+            if old != new {
+                prop_assert_eq!(
+                    new, shards,
+                    "a moved key must move TO the new shard, not between old ones"
+                );
+                moved += 1;
+            }
+        }
+        let fair = n as f64 / f64::from(shards + 1);
+        prop_assert!(
+            (moved as f64) < fair * 2.5,
+            "added shard pulled {} keys; fair share is {}",
+            moved, fair
+        );
+        prop_assert!(moved > 0, "the new shard must take some load");
+    }
+
+    /// Removing one shard moves only that shard's keys — everyone else's
+    /// mapping is untouched (this is what bounds rebalance traffic under
+    /// churn).
+    #[test]
+    fn removing_a_shard_strands_no_other_keys(
+        seed in 0u64..10_000,
+        shards in 2u32..9,
+        victim_pick in 0u32..8,
+    ) {
+        let before = Ring::new(seed, shards, DEFAULT_VNODES);
+        let victim = victim_pick % shards;
+        let mut after = before.clone();
+        after.remove(victim);
+        for key in keys(2_000) {
+            let old = before.route(&key).unwrap();
+            let new = after.route(&key).unwrap();
+            if old != victim {
+                prop_assert_eq!(old, new, "non-victim keys must not move");
+            } else {
+                prop_assert_ne!(new, victim, "victim keys must be re-homed");
+            }
+        }
+    }
+
+    /// Replica candidate lists are distinct shards, primary-first, and
+    /// consistent with `route`.
+    #[test]
+    fn replica_lists_are_distinct_and_primary_first(
+        seed in 0u64..10_000,
+        shards in 2u32..9,
+        k in 1usize..5,
+    ) {
+        let ring = Ring::new(seed, shards, DEFAULT_VNODES);
+        for key in keys(200) {
+            let reps = ring.replicas(&key, k);
+            prop_assert_eq!(reps.len(), k.min(shards as usize));
+            prop_assert_eq!(Some(reps[0]), ring.route(&key));
+            let distinct: std::collections::BTreeSet<u32> = reps.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), reps.len(), "replicas must be distinct");
+        }
+    }
+}
