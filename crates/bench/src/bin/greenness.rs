@@ -7,7 +7,7 @@
 //! greenness trace summarize <journal>   reconstruct + audit a trace journal
 //! greenness fio [bytes]                 Table III fio matrix (default 4 GiB)
 //! greenness probes                      Table II nnread/nnwrite probes
-//! greenness cluster [nodes] [servers]   distributed pipelines
+//! greenness cluster [--kind K] [...]    case-study grid over the distributed pipelines
 //! greenness cap <watts> [watts...]      power-cap sweep (in-situ)
 //! greenness adaptive [threshold]        adaptive runtime demo
 //! greenness advisor <bytes> <passes> <seq|rand> <explore|no-explore>
@@ -20,10 +20,11 @@
 //! Everything prints fixed-width tables; see the `repro` binary for the
 //! paper's full table/figure set.
 
-use greenness_cluster::{run_cluster_with_faults, ClusterConfig, ClusterKind};
+use greenness_cluster::{ClusterKind, StagingConfig, WireCodec};
 use greenness_core::adaptive::{run_adaptive, AdaptivePolicy};
 use greenness_core::advisor::{recommend, IoBehavior, Technique, WorkloadProfile};
 use greenness_core::capping::cap_sweep;
+use greenness_core::cluster_sweep;
 use greenness_core::placement;
 use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
@@ -45,7 +46,9 @@ fn usage() -> ! {
          \x20 placement [--jobs N] [--scale S]     tiered-storage policy grid (S: small|paper)\n\
          \x20 fio [bytes]                          Table III matrix (default 4 GiB)\n\
          \x20 probes                               Table II nnread/nnwrite probes\n\
-         \x20 cluster [nodes] [servers]            distributed pipelines\n\
+         \x20 cluster [--kind post|insitu|intransit] [--staging-nodes N]\n\
+         \x20         [--queue-depth D] [--wire-codec none|delta-rle|quant8]\n\
+         \x20         [--jobs N]                   case-study grid over the distributed pipelines\n\
          \x20 cap <watts> [watts ...]              power-cap sweep (in-situ)\n\
          \x20 adaptive [io-energy-threshold]       adaptive runtime demo\n\
          \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>\n\
@@ -448,57 +451,156 @@ fn cmd_probes() {
 }
 
 fn cmd_cluster(args: &[String]) {
+    let mut jobs = greenness_bench::default_jobs();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
-    let mut positional: Vec<&String> = Vec::new();
+    let mut kind: Option<ClusterKind> = None;
+    let mut staging = StagingConfig::default();
+    let parse_kind = |s: &str| {
+        ClusterKind::parse(s).unwrap_or_else(|| {
+            eprintln!("invalid kind: {s} (post|insitu|intransit)");
+            std::process::exit(2);
+        })
+    };
+    let parse_codec = |s: &str| {
+        WireCodec::parse(s).unwrap_or_else(|| {
+            eprintln!("invalid wire codec: {s} (none|delta-rle|quant8)");
+            std::process::exit(2);
+        })
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--fault-seed" => {
-                let v = it.next().unwrap_or_else(|| {
-                    eprintln!("--fault-seed needs a value");
-                    usage()
-                });
-                fault_seed = Some(parse(v, "fault seed"));
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .map(|s| parse(s, "worker count"))
+                    .unwrap_or_else(|| usage())
             }
-            _ => positional.push(a),
+            "--trace" => trace_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--fault-seed" => {
+                fault_seed = Some(
+                    it.next()
+                        .map(|s| parse(s, "fault seed"))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--kind" => kind = Some(parse_kind(it.next().unwrap_or_else(|| usage()))),
+            "--staging-nodes" => {
+                staging.staging_nodes = it
+                    .next()
+                    .map(|s| parse(s, "staging node count"))
+                    .unwrap_or_else(|| usage())
+            }
+            "--queue-depth" => {
+                staging.queue_depth = it
+                    .next()
+                    .map(|s| parse(s, "queue depth"))
+                    .unwrap_or_else(|| usage())
+            }
+            "--wire-codec" => {
+                staging.wire_codec = parse_codec(it.next().unwrap_or_else(|| usage()))
+            }
+            other => {
+                if let Some(n) = other.strip_prefix("--jobs=") {
+                    jobs = parse(n, "worker count");
+                } else if let Some(p) = other.strip_prefix("--trace=") {
+                    trace_path = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--metrics=") {
+                    metrics_path = Some(p.to_string());
+                } else if let Some(n) = other.strip_prefix("--fault-seed=") {
+                    fault_seed = Some(parse(n, "fault seed"));
+                } else if let Some(k) = other.strip_prefix("--kind=") {
+                    kind = Some(parse_kind(k));
+                } else if let Some(n) = other.strip_prefix("--staging-nodes=") {
+                    staging.staging_nodes = parse(n, "staging node count");
+                } else if let Some(n) = other.strip_prefix("--queue-depth=") {
+                    staging.queue_depth = parse(n, "queue depth");
+                } else if let Some(c) = other.strip_prefix("--wire-codec=") {
+                    staging.wire_codec = parse_codec(c);
+                } else {
+                    usage()
+                }
+            }
         }
     }
-    let nodes: usize = positional
-        .first()
-        .map(|s| parse(s, "node count"))
-        .unwrap_or(4);
-    let servers: usize = positional
-        .get(1)
-        .map(|s| parse(s, "server count"))
-        .unwrap_or(2);
-    let cfg = ClusterConfig::small(nodes, servers);
-    let plan = fault_seed.map(FaultPlan::with_seed);
-    eprintln!("running distributed pipelines on {nodes}+{servers}+1 nodes...");
+    let setup = cluster_sweep::ClusterSetup {
+        staging,
+        faults: fault_seed.map(FaultPlan::with_seed),
+        trace: trace_path.is_some() || metrics_path.is_some(),
+    };
+    let grid = cluster_sweep::cluster_jobs(kind);
+    eprintln!(
+        "running the cluster grid ({} cell(s), staging {} node(s), depth {}, wire {}) on \
+         {jobs} worker(s)...",
+        grid.len(),
+        staging.staging_nodes,
+        staging.queue_depth,
+        staging.wire_codec.label()
+    );
+    let t0 = std::time::Instant::now();
+    let results = cluster_sweep::run_cluster_sweep(grid, &setup, jobs, &|done, total, key| {
+        eprintln!("[cluster] {done}/{total} done: {key}");
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cluster grid failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "grid finished in {:.2} s host wall-clock",
+        t0.elapsed().as_secs_f64()
+    );
+    std::fs::create_dir_all("repro_out").expect("create ./repro_out");
+    std::fs::write(
+        "repro_out/cluster.json",
+        cluster_sweep::cluster_manifest_json(&setup, &results),
+    )
+    .expect("write cluster manifest");
+    eprintln!("wrote repro_out/cluster.json");
+    if let Some(path) = &trace_path {
+        let journal = cluster_sweep::cluster_journal(&results).expect("grid ran traced");
+        std::fs::write(path, journal).expect("write trace journal");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let metrics = cluster_sweep::cluster_metrics_json(&results).expect("grid ran traced");
+        std::fs::write(path, metrics).expect("write metrics registry");
+        eprintln!("wrote {path}");
+    }
     let mut rows = Vec::new();
-    for kind in [
-        ClusterKind::PostProcessing,
-        ClusterKind::InSitu,
-        ClusterKind::InTransit,
-    ] {
-        let (r, faults) = run_cluster_with_faults(kind, &cfg, plan).unwrap_or_else(|e| {
-            eprintln!("cluster {kind:?} failed: {e}");
-            std::process::exit(1);
-        });
-        if faults.total_faults() > 0 {
-            eprintln!("{kind:?} ran degraded: {}", faults.describe());
+    for r in &results {
+        if r.summary.total_faults() > 0 {
+            eprintln!("{} ran degraded: {}", r.key, r.summary.describe());
         }
         rows.push(vec![
-            format!("{kind:?}"),
-            report::f(r.makespan_s, 2),
-            report::f(r.total_energy_j / 1000.0, 2),
-            report::f(r.average_power_w, 0),
+            r.key.clone(),
+            report::f(r.report.makespan_s, 2),
+            report::f(r.report.total_energy_j / 1000.0, 2),
+            report::f(r.report.average_power_w, 0),
+            format!("{}", r.report.fabric_bytes),
+            format!("{}", r.report.pfs_bytes),
+            if r.report.verified {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print!(
         "{}",
         report::render_table(
-            "Distributed pipelines",
-            &["Pipeline", "Makespan (s)", "Energy (kJ)", "Avg W"],
+            "Distributed pipelines (case-study grid)",
+            &[
+                "case/kind",
+                "Makespan (s)",
+                "Energy (kJ)",
+                "Avg W",
+                "Fabric B",
+                "PFS B",
+                "Verified"
+            ],
             &rows
         )
     );

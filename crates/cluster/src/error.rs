@@ -40,6 +40,16 @@ pub enum ClusterError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A staged slab could not be wire-encoded (misaligned or non-finite
+    /// payload — indicates solver corruption, not a codec defect).
+    WireCodec {
+        /// Timestep of the failing stage.
+        step: u64,
+        /// Sending compute node.
+        node: usize,
+        /// The codec's reason.
+        reason: String,
+    },
     /// A snapshot read back from the PFS does not have the configured grid
     /// shape (torn or corrupt data that checksums could not repair).
     SnapshotShape {
@@ -75,6 +85,10 @@ impl std::fmt::Display for ClusterError {
                 f,
                 "fabric transfer of {bytes} B dropped {attempts} times; retry budget exhausted"
             ),
+            ClusterError::WireCodec { step, node, reason } => write!(
+                f,
+                "wire-encoding the staged slab from node {node} at step {step} failed: {reason}"
+            ),
             ClusterError::SnapshotShape {
                 file,
                 got_bytes,
@@ -106,23 +120,27 @@ pub struct FaultSummary {
     pub fabric_delays: u64,
     /// Fabric retransmissions.
     pub fabric_retries: u64,
+    /// Staging-node frame renders torn mid-flight and redone from the
+    /// still-assembled slabs (output is never corrupted, only re-rendered).
+    pub staging_torn_renders: u64,
 }
 
 impl FaultSummary {
     /// Total injected faults.
     pub fn total_faults(&self) -> u64 {
-        self.storage_faults + self.fabric_drops + self.fabric_delays
+        self.storage_faults + self.fabric_drops + self.fabric_delays + self.staging_torn_renders
     }
 
     /// One-line degraded-mode report.
     pub fn describe(&self) -> String {
         format!(
-            "faults injected: {} (storage {}, fabric drops {}, fabric delays {}); \
-             retries: storage {}, fabric {}",
+            "faults injected: {} (storage {}, fabric drops {}, fabric delays {}, \
+             torn staging renders {}); retries: storage {}, fabric {}",
             self.total_faults(),
             self.storage_faults,
             self.fabric_drops,
             self.fabric_delays,
+            self.staging_torn_renders,
             self.storage_retries,
             self.fabric_retries
         )

@@ -36,7 +36,11 @@ pub fn barrier(nodes: &mut [Node], phase: Phase) {
 /// when tracing is off.
 fn trace_fault(node: &Node, site: &'static str, mode: &'static str, attempt: u32, backoff_s: f64) {
     let tracer = node.tracer();
-    tracer.count("faults.fabric.transfer", 1);
+    let counter = match site {
+        "staging.send" => "faults.staging.send",
+        _ => "faults.fabric.transfer",
+    };
+    tracer.count(counter, 1);
     if tracer.is_on() {
         tracer.instant(
             node.now().as_nanos(),
@@ -73,6 +77,11 @@ pub struct Fabric {
 }
 
 impl Fabric {
+    /// A fabric over an arbitrary link model.
+    pub fn new(net: NetModel) -> Fabric {
+        Fabric { net, faults: None }
+    }
+
     /// A 10 GbE fabric.
     pub fn ten_gbe() -> Fabric {
         Fabric {
@@ -150,6 +159,11 @@ impl Fabric {
                     cell.borrow_mut().drops += 1;
                     self.transfer(src, dst, bytes, messages, phase);
                     if attempt >= plan.max_retries {
+                        // The terminal drop is still an injected fault: trace
+                        // it before giving up so the journal's fault.injected
+                        // instants stay in lockstep with the drop counter
+                        // (no retry is scheduled, hence backoff 0).
+                        trace_fault(src, "fabric.transfer", "drop", attempt, 0.0);
                         return Err(ClusterError::FabricExhausted {
                             bytes,
                             attempts: attempt + 1,
@@ -165,6 +179,86 @@ impl Fabric {
                 }
             }
         }
+    }
+
+    /// One-sided staged send: only the *sender's* NIC is occupied, and the
+    /// payload's arrival instant (the sender's clock after transmission) is
+    /// returned without touching the receiver. This is what lets a staging
+    /// node drain transfers at its own clock while compute advances — the
+    /// receiver later calls [`Self::recv`] once it has idled to the arrival.
+    ///
+    /// Hardened against the same fault schedule as
+    /// [`Self::transfer_reliable`]: a drop retransmits from the still-live
+    /// send buffer after backoff (sender-only idle — the receiver never
+    /// learns the attempt happened), a delay stalls the sender before the
+    /// wire. Fails only when the retry budget is exhausted.
+    pub fn send_reliable(
+        &self,
+        src: &mut Node,
+        bytes: u64,
+        messages: u32,
+        phase: Phase,
+    ) -> Result<SimTime, ClusterError> {
+        let Some(cell) = &self.faults else {
+            return Ok(self.send(src, bytes, messages, phase));
+        };
+        let mut attempt = 0u32;
+        loop {
+            let (fault, plan) = {
+                let mut s = cell.borrow_mut();
+                let f = s.inj.next();
+                (f, *s.inj.plan())
+            };
+            match fault {
+                None => return Ok(self.send(src, bytes, messages, phase)),
+                Some(entropy) if entropy & 1 == 1 => {
+                    // Congestion on the staged path: the sender stalls, then
+                    // the payload lands intact.
+                    cell.borrow_mut().delays += 1;
+                    let pause = plan.backoff_s(0);
+                    trace_fault(src, "staging.send", "delay", attempt, pause);
+                    src.execute(Activity::idle_secs(pause), phase);
+                    return Ok(self.send(src, bytes, messages, phase));
+                }
+                Some(_) => {
+                    // Dropped staged slab: the transmission was paid for, but
+                    // the send buffer is still live, so back off and
+                    // retransmit from it.
+                    cell.borrow_mut().drops += 1;
+                    self.send(src, bytes, messages, phase);
+                    if attempt >= plan.max_retries {
+                        trace_fault(src, "staging.send", "drop", attempt, 0.0);
+                        return Err(ClusterError::FabricExhausted {
+                            bytes,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    let pause = plan.backoff_s(attempt);
+                    trace_fault(src, "staging.send", "drop", attempt, pause);
+                    src.execute(Activity::idle_secs(pause), phase);
+                    cell.borrow_mut().retries += 1;
+                    src.tracer().count("retries.staging.send", 1);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// The sender half of a staged transfer: occupy `src`'s NIC for the
+    /// message and return the arrival instant (= the sender's clock when the
+    /// last byte leaves; wire latency is part of the NIC activity).
+    fn send(&self, src: &mut Node, bytes: u64, messages: u32, phase: Phase) -> SimTime {
+        let a = src.execute(Activity::NetTransfer { bytes, messages }, phase);
+        a.end()
+    }
+
+    /// The receiver half of a staged transfer: occupy `dst`'s NIC for the
+    /// message at its current clock. Callers [`sync_to`] the arrival instant
+    /// first; the split keeps the receive charge honest without coupling the
+    /// two endpoints' clocks. Returns the receive-completion instant.
+    pub fn recv(&self, dst: &mut Node, bytes: u64, messages: u32, phase: Phase) -> SimTime {
+        let a = dst.execute(Activity::NetTransfer { bytes, messages }, phase);
+        a.end()
     }
 
     /// Move `bytes` from `src` to `dst` as `messages` messages. The transfer

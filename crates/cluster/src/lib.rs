@@ -18,9 +18,10 @@
 //!   extents, journal barriers);
 //! * [`pipeline`] — the distributed pipelines: post-processing writes slabs
 //!   to the PFS and a visualization node reads them back; in-situ renders on
-//!   the compute nodes and ships only images; in-transit stages raw slabs to
-//!   a dedicated visualization node over the fabric (Bennett et al., the
-//!   paper's ref [10]).
+//!   the compute nodes and ships only images; in-transit stages slabs —
+//!   optionally compressed on the wire — into dedicated staging nodes
+//!   through bounded send queues, genuinely overlapping simulation with
+//!   transfer and rendering (Bennett et al., the paper's ref [10]).
 //!
 //! Cluster-level accounting sums every node's timeline (compute + I/O
 //! servers + viz/staging node); makespan is the latest clock. Load imbalance
@@ -37,6 +38,7 @@ pub use error::{ClusterError, FaultSummary};
 pub use fabric::{barrier, sync_to, Fabric};
 pub use pfs::ParallelFs;
 pub use pipeline::{
-    run_cluster, run_cluster_with_faults, ClusterConfig, ClusterKind, ClusterReport,
+    run_cluster, run_cluster_traced, run_cluster_with_faults, ClusterConfig, ClusterKind,
+    ClusterReport, StagingConfig, WireCodec,
 };
 pub use slab::DecomposedSolver;

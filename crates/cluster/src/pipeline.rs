@@ -8,17 +8,32 @@
 //!   snapshot back and renders it;
 //! * **in-situ**: compute nodes render their own slabs and write only PPM
 //!   images to the PFS;
-//! * **in-transit**: compute nodes stream raw slabs over the fabric to the
-//!   visualization node, which renders them while simulation continues —
-//!   the Bennett et al. staging organization (paper ref [10]).
+//! * **in-transit**: compute nodes stage slabs — optionally compressed on
+//!   the wire — into dedicated staging nodes through bounded per-stager
+//!   send queues. A compute node only blocks (real static idle, charged, and
+//!   visible as `staging.queue.block` in the trace) when its stager's queue
+//!   is full; otherwise its clock advances into the next simulation step
+//!   while the stager drains transfers and renders the *previous* frame at
+//!   its own clock — the Bennett et al. staging organization (paper ref
+//!   [10]), with genuine simulate/transfer/render overlap.
 //!
-//! Energy is accounted across *every* node (compute + I/O servers + viz);
-//! the run ends at the makespan, and nodes that finish early idle — at real
-//! static power — until it, as in any space-shared allocation.
+//! Wire compression replays the paper's own dynamic-vs-static trade at
+//! cluster scale: encode/decode are charged as CPU dynamic energy against
+//! the fabric-byte and both-endpoint static-time savings.
+//!
+//! Energy is accounted across *every* node (compute + I/O servers +
+//! staging); the run ends at the makespan, and nodes that finish early idle
+//! — at real static power — until it, as in any space-shared allocation.
 
-use greenness_faults::{FaultPlan, Site};
+use std::collections::VecDeque;
+
+use greenness_codec::delta::DeltaVarint;
+use greenness_codec::quant::Quant8;
+use greenness_codec::{Codec, CodecCostModel, ScratchCodec};
+use greenness_faults::{FaultInjector, FaultPlan, Site};
 use greenness_heatsim::{Grid, SimCostModel, SolverConfig};
-use greenness_platform::{HardwareSpec, Node, Phase, SimTime};
+use greenness_platform::{HardwareSpec, NetModel, Node, Phase, SimTime};
+use greenness_trace::{Tracer, Value};
 use greenness_viz::{encode_ppm, render_field, RenderCostModel, RenderOptions};
 use serde::{Deserialize, Serialize};
 
@@ -34,8 +49,103 @@ pub enum ClusterKind {
     PostProcessing,
     /// Render on the compute nodes; persist only images.
     InSitu,
-    /// Stage raw slabs to the viz node over the fabric.
+    /// Stage slabs to the staging nodes over the fabric.
     InTransit,
+}
+
+impl ClusterKind {
+    /// CLI label (`post` / `insitu` / `intransit`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterKind::PostProcessing => "post",
+            ClusterKind::InSitu => "insitu",
+            ClusterKind::InTransit => "intransit",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<ClusterKind> {
+        match s {
+            "post" | "post-processing" => Some(ClusterKind::PostProcessing),
+            "insitu" | "in-situ" => Some(ClusterKind::InSitu),
+            "intransit" | "in-transit" => Some(ClusterKind::InTransit),
+            _ => None,
+        }
+    }
+}
+
+/// Compression applied to staged slabs on the fabric (in-transit only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireCodec {
+    /// Raw little-endian f64 slabs on the wire.
+    None,
+    /// Lossless bit-delta + zigzag varint (`greenness_codec::delta`).
+    DeltaRle,
+    /// Lossy 255-level quantization + delta coding
+    /// (`greenness_codec::quant::Quant8`): bounded error, large byte wins
+    /// on smooth fields.
+    Quant8,
+}
+
+impl WireCodec {
+    /// CLI label (`none` / `delta-rle` / `quant8`).
+    pub fn label(self) -> &'static str {
+        match self {
+            WireCodec::None => "none",
+            WireCodec::DeltaRle => "delta-rle",
+            WireCodec::Quant8 => "quant8",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<WireCodec> {
+        match s {
+            "none" => Some(WireCodec::None),
+            "delta-rle" => Some(WireCodec::DeltaRle),
+            "quant8" => Some(WireCodec::Quant8),
+            _ => None,
+        }
+    }
+
+    /// Whether decoded payloads are bit-identical to the originals (gates
+    /// checksum verification of staged slabs).
+    pub fn lossless(self) -> bool {
+        !matches!(self, WireCodec::Quant8)
+    }
+
+    /// Instantiate the codec; `None` for the raw wire.
+    fn build(self) -> Option<Box<dyn Codec>> {
+        match self {
+            WireCodec::None => None,
+            WireCodec::DeltaRle => Some(Box::new(DeltaVarint)),
+            WireCodec::Quant8 => Some(Box::new(Quant8)),
+        }
+    }
+}
+
+/// In-transit staging topology and flow control.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagingConfig {
+    /// Dedicated staging nodes; frames are distributed round-robin.
+    pub staging_nodes: usize,
+    /// Frames that may be in flight per stager before the *senders* block
+    /// (charged static idle). `0` degenerates to the synchronous legacy
+    /// organization — every compute node waits for the stager to finish
+    /// each frame — which doubles as the serialized baseline the overlap
+    /// goldens compare against.
+    pub queue_depth: usize,
+    /// Compression applied to staged slabs on the wire.
+    pub wire_codec: WireCodec,
+}
+
+impl Default for StagingConfig {
+    fn default() -> Self {
+        StagingConfig {
+            staging_nodes: 1,
+            queue_depth: 2,
+            wire_codec: WireCodec::None,
+        }
+    }
 }
 
 /// Cluster workload description.
@@ -65,6 +175,10 @@ pub struct ClusterConfig {
     pub render: RenderOptions,
     /// Node hardware (all nodes identical).
     pub spec: HardwareSpec,
+    /// Interconnect link model (fabric transfers and PFS traffic).
+    pub net: NetModel,
+    /// In-transit staging topology (ignored by the other pipelines).
+    pub staging: StagingConfig,
 }
 
 impl ClusterConfig {
@@ -99,6 +213,54 @@ impl ClusterConfig {
                 ..Default::default()
             },
             spec: HardwareSpec::table1(),
+            net: NetModel::ten_gbe(),
+            staging: StagingConfig::default(),
+        }
+    }
+
+    /// The paper's case-study workloads (§IV: I/O every 1 / 2 / 8 steps) on
+    /// a 4-compute-node, 2-server cluster at 256×256 grid scale, over a
+    /// deliberately narrow staging fabric (a per-node share of a heavily
+    /// oversubscribed link) so wire time is a first-order term — the regime
+    /// where compression-on-the-wire earns or loses its keep.
+    pub fn case_study(n: u32) -> ClusterConfig {
+        let io_interval = match n {
+            1 => 1,
+            2 => 2,
+            3 => 8,
+            _ => panic!("the paper defines case studies 1-3, got {n}"),
+        };
+        let scale = (512.0 * 512.0) / (256.0 * 256.0);
+        let mut sim_cost = SimCostModel::default();
+        sim_cost.flops_per_cell_update *= scale;
+        sim_cost.dram_bytes_per_cell_update *= scale;
+        let mut render_cost = RenderCostModel::default();
+        render_cost.flops_per_pixel *= scale;
+        render_cost.dram_bytes_per_pixel *= scale;
+        ClusterConfig {
+            compute_nodes: 4,
+            io_servers: 2,
+            grid_nx: 256,
+            grid_ny: 256,
+            timesteps: 16,
+            io_interval,
+            stripe_bytes: 128 * 1024,
+            solver: default_solver(256, 256),
+            sim_cost,
+            render_cost,
+            render: RenderOptions {
+                width: 256,
+                height: 256,
+                range: Some((0.0, 1.0)),
+                ..Default::default()
+            },
+            spec: HardwareSpec::table1(),
+            net: NetModel {
+                bandwidth_bytes_per_s: 0.75e6,
+                active_w: 2.5,
+                latency_s: 100e-6,
+            },
+            staging: StagingConfig::default(),
         }
     }
 
@@ -139,11 +301,26 @@ pub struct ClusterReport {
     pub compute_energy_j: f64,
     /// Energy of the PFS servers alone, joules.
     pub io_energy_j: f64,
-    /// Energy of the visualization/staging node alone, joules.
+    /// Energy of the visualization/staging nodes alone, joules.
     pub viz_energy_j: f64,
-    /// Raw bytes shipped into the PFS or over the fabric to staging.
+    /// Bytes staged over the fabric to the staging nodes (post-compression
+    /// wire bytes; zero outside in-transit — ghost exchange and PFS striping
+    /// are accounted in their own channels, not here).
+    pub fabric_bytes: u64,
+    /// Bytes written into the parallel filesystem (raw snapshots or images).
+    pub pfs_bytes: u64,
+    /// Total output: `fabric_bytes + pfs_bytes`. Kept for compatibility;
+    /// the split fields are the comparable quantities across pipelines.
     pub bytes_out: u64,
-    /// Post-processing only: all snapshots read back intact.
+    /// Pre-compression size of the staged slabs (equals `fabric_bytes` on a
+    /// raw wire; zero outside in-transit).
+    pub staging_raw_bytes: u64,
+    /// FNV-1a over every emitted PPM image, in emission order — the
+    /// pipeline's visual output fingerprint (chaos tests assert faulted
+    /// runs converge to it).
+    pub image_hash: u64,
+    /// All integrity checks passed: post-processing snapshot round-trips,
+    /// and (for a lossless wire) staged slabs decoded bit-identically.
     pub verified: bool,
     /// Useful work (cell updates).
     pub work_units: f64,
@@ -160,13 +337,26 @@ impl ClusterReport {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a_with(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     h
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_with(FNV_SEED, bytes)
+}
+
+/// Exact pixel-row partition for slab renders: slab rows `[j0, j0+rows)` of
+/// a `ny`-row grid own pixel rows `[height*j0/ny, height*(j0+rows)/ny)`.
+/// The boundaries telescope, so per-slab heights (and pixel charges) sum to
+/// exactly the full frame — no truncation bias on odd grids.
+fn slab_rows_px(height: usize, ny: usize, j0: usize, rows: usize) -> usize {
+    height * (j0 + rows) / ny - height * j0 / ny
 }
 
 /// Run the distributed pipeline described by `cfg`, fault-free.
@@ -184,22 +374,39 @@ pub fn run_cluster_with_faults(
     cfg: &ClusterConfig,
     faults: Option<FaultPlan>,
 ) -> Result<(ClusterReport, FaultSummary), ClusterError> {
-    let mut fabric = Fabric::ten_gbe();
+    run_cluster_traced(kind, cfg, faults, &Tracer::off())
+}
+
+/// [`run_cluster_with_faults`] with a tracer attached to every compute and
+/// staging node: phase spans, `fault.injected` instants, and the staging
+/// vocabulary (`staging.queue.block` / `staging.frame.render` instants,
+/// `staging.bytes.wire` / `staging.bytes.raw` counters) land in `tracer`.
+pub fn run_cluster_traced(
+    kind: ClusterKind,
+    cfg: &ClusterConfig,
+    faults: Option<FaultPlan>,
+    tracer: &Tracer,
+) -> Result<(ClusterReport, FaultSummary), ClusterError> {
+    let mut fabric = Fabric::new(cfg.net.clone());
     if let Some(plan) = faults {
         fabric.set_fault_injector(Some(plan.injector(Site::FabricTransfer, 0)));
     }
     let fabric = fabric;
+    // NetTransfer activities are priced by the endpoint NICs, so the
+    // cluster's link model must live on every node's spec.
+    let mut spec = cfg.spec.clone();
+    spec.net = cfg.net.clone();
+    let n_stagers = cfg.staging.staging_nodes.max(1);
     let mut compute: Vec<Node> = (0..cfg.compute_nodes)
-        .map(|_| Node::new(cfg.spec.clone()))
+        .map(|_| Node::new(spec.clone()))
         .collect();
-    let mut viz = Node::new(cfg.spec.clone());
-    let mut pfs = ParallelFs::new(
-        cfg.io_servers,
-        &cfg.spec,
-        cfg.stripe_bytes,
-        1024 * 1024 * 1024,
-    );
+    let mut stagers: Vec<Node> = (0..n_stagers).map(|_| Node::new(spec.clone())).collect();
+    for node in compute.iter_mut().chain(stagers.iter_mut()) {
+        node.set_tracer(tracer.clone());
+    }
+    let mut pfs = ParallelFs::new(cfg.io_servers, &spec, cfg.stripe_bytes, 1024 * 1024 * 1024);
     pfs.set_fault_plan(faults);
+    let mut render_inj: Option<FaultInjector> = faults.map(|p| p.injector(Site::StagingRender, 0));
 
     let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
@@ -208,7 +415,29 @@ pub fn run_cluster_with_faults(
     let ghost = solver.ghost_traffic();
     let pixels = (cfg.render.width * cfg.render.height) as u64;
 
-    let mut bytes_out = 0u64;
+    // Wire compression state: one warm buffer set per sender (steady-state
+    // encoding performs no heap allocation), one decoder on the staging
+    // side. Encode and decode are charged as CPU dynamic energy.
+    let codec_cost = CodecCostModel::default();
+    let mut encoders: Vec<ScratchCodec> = if kind == ClusterKind::InTransit {
+        (0..cfg.compute_nodes)
+            .filter_map(|_| cfg.staging.wire_codec.build().map(ScratchCodec::new))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let wire_decoder: Option<Box<dyn Codec>> = cfg.staging.wire_codec.build();
+
+    // Per-stager bounded send queues: release instants (stager clock at
+    // frame completion) of the frames still occupying a queue slot.
+    let mut inflight: Vec<VecDeque<SimTime>> = vec![VecDeque::new(); n_stagers];
+    let mut frame_no = 0usize;
+
+    let mut fabric_bytes = 0u64;
+    let mut pfs_bytes = 0u64;
+    let mut staging_raw_bytes = 0u64;
+    let mut staging_torn_renders = 0u64;
+    let mut image_hash = FNV_SEED;
     let mut verified = true;
     let mut checksums: Vec<(u64, Vec<u64>)> = Vec::new(); // (step, per-slab fnv)
 
@@ -238,7 +467,7 @@ pub fn run_cluster_with_faults(
                 for (k, node) in compute.iter_mut().enumerate() {
                     let bytes = solver.slab_bytes(k);
                     sums.push(fnv1a(&bytes));
-                    bytes_out += bytes.len() as u64;
+                    pfs_bytes += bytes.len() as u64;
                     pfs.write(
                         node,
                         &fabric,
@@ -252,21 +481,25 @@ pub fn run_cluster_with_faults(
             ClusterKind::InSitu => {
                 for (k, node) in compute.iter_mut().enumerate() {
                     let info = solver.slab_info(k);
-                    // Render this node's share of the frame.
-                    let share = info.rows as f64 / cfg.grid_ny as f64;
+                    // Render this node's share of the frame: an exact
+                    // partition of the pixel rows, so charges and output
+                    // sum to one full frame even on odd grids.
+                    let rows_px = slab_rows_px(cfg.render.height, cfg.grid_ny, info.j0, info.rows);
                     node.execute(
-                        cfg.render_cost.activity((pixels as f64 * share) as u64),
+                        cfg.render_cost
+                            .activity((cfg.render.width * rows_px) as u64),
                         Phase::Visualization,
                     );
                     let slab_render = render_field(
                         &solver.slab_grid(k),
                         &RenderOptions {
-                            height: ((cfg.render.height as f64 * share) as usize).max(1),
+                            height: rows_px,
                             ..cfg.render
                         },
                     );
                     let ppm = encode_ppm(&slab_render);
-                    bytes_out += ppm.len() as u64;
+                    image_hash = fnv1a_with(image_hash, &ppm);
+                    pfs_bytes += ppm.len() as u64;
                     pfs.write(
                         node,
                         &fabric,
@@ -277,31 +510,157 @@ pub fn run_cluster_with_faults(
                 }
             }
             ClusterKind::InTransit => {
-                for (k, node) in compute.iter_mut().enumerate() {
-                    let bytes = solver.slab_bytes(k);
-                    bytes_out += bytes.len() as u64;
-                    let messages = bytes.len().div_ceil(cfg.stripe_bytes) as u32;
-                    fabric.transfer_reliable(
-                        node,
-                        &mut viz,
-                        bytes.len() as u64,
-                        messages,
-                        Phase::Network,
-                    )?;
+                let s = frame_no % n_stagers;
+                let depth = cfg.staging.queue_depth;
+                // Backpressure: with all of this stager's queue slots
+                // occupied, the senders must wait for the oldest in-flight
+                // frame to release — real static idle, charged and traced.
+                if depth > 0 && inflight[s].len() >= depth {
+                    let release = inflight[s].pop_front().expect("non-empty queue");
+                    for (k, node) in compute.iter_mut().enumerate() {
+                        if node.now() < release {
+                            let wait = release.duration_since(node.now()).as_secs_f64();
+                            tracer.count("staging.queue.blocks", 1);
+                            if tracer.is_on() {
+                                tracer.instant(
+                                    node.now().as_nanos(),
+                                    "staging.queue.block",
+                                    vec![
+                                        ("step", Value::from(step)),
+                                        ("node", Value::from(k)),
+                                        ("stager", Value::from(s)),
+                                        ("wait_s", Value::from(wait)),
+                                    ],
+                                );
+                            }
+                            sync_to(node, release, Phase::Network);
+                        }
+                    }
                 }
-                // The staging node renders the assembled frame while the
-                // compute nodes move on, and persists the image to the PFS
-                // (its only durable output, as in the in-situ pipeline).
-                viz.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
-                let frame = render_field(&solver.assemble(), &cfg.render);
+                // Encode and stage every slab: one-sided sends occupy only
+                // the sender's NIC, so compute clocks advance into the next
+                // step while the stager drains at its own pace.
+                let mut staged: Vec<(SimTime, u32, Vec<u8>, u64, u64)> =
+                    Vec::with_capacity(cfg.compute_nodes);
+                for (k, node) in compute.iter_mut().enumerate() {
+                    let raw = solver.slab_bytes(k);
+                    let raw_len = raw.len() as u64;
+                    let sum = fnv1a(&raw);
+                    staging_raw_bytes += raw_len;
+                    tracer.count("staging.bytes.raw", raw_len);
+                    let payload: Vec<u8> = match encoders.get_mut(k) {
+                        Some(enc) => {
+                            node.execute(codec_cost.encode_activity(raw_len), Phase::Network);
+                            enc.try_encode(&raw)
+                                .map_err(|e| ClusterError::WireCodec {
+                                    step,
+                                    node: k,
+                                    reason: e.to_string(),
+                                })?
+                                .to_vec()
+                        }
+                        None => raw,
+                    };
+                    let wire_len = payload.len() as u64;
+                    fabric_bytes += wire_len;
+                    tracer.count("staging.bytes.wire", wire_len);
+                    let messages = payload.len().div_ceil(cfg.stripe_bytes).max(1) as u32;
+                    let arrival = fabric.send_reliable(node, wire_len, messages, Phase::Network)?;
+                    staged.push((arrival, messages, payload, raw_len, sum));
+                }
+                // The stager drains the transfers and renders the frame at
+                // its own clock (the overlap window for the senders).
+                let stager = &mut stagers[s];
+                let mut slabs: Vec<Vec<u8>> = Vec::with_capacity(cfg.compute_nodes);
+                for (arrival, messages, payload, raw_len, sum) in staged {
+                    sync_to(stager, arrival, Phase::Network);
+                    fabric.recv(stager, payload.len() as u64, messages, Phase::Network);
+                    let raw = match &wire_decoder {
+                        Some(codec) => {
+                            stager.execute(codec_cost.decode_activity(raw_len), Phase::Network);
+                            codec.decode(&payload).ok_or(ClusterError::SnapshotShape {
+                                file: format!("stage{step:04}"),
+                                got_bytes: 0,
+                                want: (cfg.grid_nx, cfg.grid_ny),
+                            })?
+                        }
+                        None => payload,
+                    };
+                    if cfg.staging.wire_codec.lossless() && fnv1a(&raw) != sum {
+                        verified = false;
+                    }
+                    slabs.push(raw);
+                }
+                let all: Vec<u8> = slabs.concat();
+                let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &all).ok_or_else(|| {
+                    ClusterError::SnapshotShape {
+                        file: format!("stage{step:04}"),
+                        got_bytes: all.len(),
+                        want: (cfg.grid_nx, cfg.grid_ny),
+                    }
+                })?;
+                // A torn staging render re-renders from the (still live)
+                // assembled slabs: the work is paid again, the output is
+                // never corrupted. Bounded by the plan's retry budget.
+                let mut torn = 0u32;
+                if let Some(inj) = render_inj.as_mut() {
+                    let budget = inj.plan().max_retries;
+                    while torn < budget {
+                        if inj.next().is_none() {
+                            break;
+                        }
+                        stager.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+                        staging_torn_renders += 1;
+                        torn += 1;
+                        tracer.count("faults.staging.render", 1);
+                        if tracer.is_on() {
+                            tracer.instant(
+                                stager.now().as_nanos(),
+                                "fault.injected",
+                                vec![
+                                    ("site", Value::from(Site::StagingRender.label())),
+                                    ("mode", Value::from("torn")),
+                                    ("attempt", Value::from(torn - 1)),
+                                    ("backoff_s", Value::from(0.0)),
+                                ],
+                            );
+                        }
+                    }
+                }
+                stager.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+                let frame = render_field(&grid, &cfg.render);
                 let ppm = encode_ppm(&frame);
+                if tracer.is_on() {
+                    tracer.instant(
+                        stager.now().as_nanos(),
+                        "staging.frame.render",
+                        vec![
+                            ("step", Value::from(step)),
+                            ("stager", Value::from(s)),
+                            ("torn", Value::from(torn)),
+                        ],
+                    );
+                }
+                image_hash = fnv1a_with(image_hash, &ppm);
+                pfs_bytes += ppm.len() as u64;
                 pfs.write(
-                    &mut viz,
+                    stager,
                     &fabric,
                     &format!("frame{step:04}.ppm"),
                     &ppm,
                     Phase::ImageWrite,
                 )?;
+                let release = stager.now();
+                if depth == 0 {
+                    // Synchronous legacy staging: every sender waits for
+                    // the stager to finish the frame (serialized baseline).
+                    for node in compute.iter_mut() {
+                        sync_to(node, release, Phase::Network);
+                    }
+                } else {
+                    inflight[s].push_back(release);
+                }
+                frame_no += 1;
             }
         }
         barrier(&mut compute, Phase::Idle);
@@ -312,17 +671,14 @@ pub fn run_cluster_with_faults(
     // Post-processing phase 2: the viz node reads every snapshot back.
     if kind == ClusterKind::PostProcessing {
         // Visualization starts after the simulation allocation completes.
+        let viz = &mut stagers[0];
         let sim_done = compute.iter().map(Node::now).max().unwrap_or(SimTime::ZERO);
-        sync_to(&mut viz, sim_done, Phase::Idle);
+        sync_to(viz, sim_done, Phase::Idle);
         for (step, sums) in &checksums {
             let mut slabs = Vec::with_capacity(cfg.compute_nodes);
             for (k, sum) in sums.iter().enumerate() {
-                let bytes = pfs.read(
-                    &mut viz,
-                    &fabric,
-                    &format!("snap{step:04}.n{k:02}"),
-                    Phase::Read,
-                )?;
+                let bytes =
+                    pfs.read(viz, &fabric, &format!("snap{step:04}.n{k:02}"), Phase::Read)?;
                 if fnv1a(&bytes) != *sum {
                     verified = false;
                 }
@@ -337,13 +693,14 @@ pub fn run_cluster_with_faults(
                 }
             })?;
             viz.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
-            let _ = render_field(&grid, &cfg.render);
+            let frame = render_field(&grid, &cfg.render);
+            image_hash = fnv1a_with(image_hash, &encode_ppm(&frame));
         }
     }
 
     // The allocation ends at the makespan; early finishers idle until then.
     let mut everyone: Vec<&mut Node> = compute.iter_mut().collect();
-    everyone.push(&mut viz);
+    everyone.extend(stagers.iter_mut());
     let makespan = everyone
         .iter()
         .map(|n| n.now())
@@ -352,6 +709,9 @@ pub fn run_cluster_with_faults(
         .unwrap_or(SimTime::ZERO);
     for node in everyone {
         sync_to(node, makespan, Phase::Idle);
+    }
+    for node in compute.iter_mut().chain(stagers.iter_mut()) {
+        node.finish_trace();
     }
 
     let compute_energy_j: f64 = compute.iter().map(|n| n.timeline().total_energy_j()).sum();
@@ -364,7 +724,7 @@ pub fn run_cluster_with_faults(
                 + s.node.spec().static_w() * makespan.duration_since(s.node.now()).as_secs_f64()
         })
         .sum();
-    let viz_energy_j = viz.timeline().total_energy_j();
+    let viz_energy_j: f64 = stagers.iter().map(|n| n.timeline().total_energy_j()).sum();
     let total_energy_j = compute_energy_j + io_energy_j + viz_energy_j;
     let makespan_s = makespan.as_secs_f64();
 
@@ -376,6 +736,7 @@ pub fn run_cluster_with_faults(
         fabric_drops,
         fabric_delays,
         fabric_retries,
+        staging_torn_renders,
     };
 
     let report = ClusterReport {
@@ -390,7 +751,11 @@ pub fn run_cluster_with_faults(
         compute_energy_j,
         io_energy_j,
         viz_energy_j,
-        bytes_out,
+        fabric_bytes,
+        pfs_bytes,
+        bytes_out: fabric_bytes + pfs_bytes,
+        staging_raw_bytes,
+        image_hash,
         verified,
         work_units: cfg.work_units(),
     };
@@ -413,8 +778,13 @@ mod tests {
         let r = run_cluster(ClusterKind::PostProcessing, &small()).unwrap();
         assert!(r.verified, "PFS corrupted a snapshot");
         assert!(r.makespan_s > 0.0);
-        assert_eq!(r.bytes_out, 6 * 128 * 128 * 8);
+        // Byte channels are split: post-processing ships nothing over the
+        // staging fabric; the PFS holds every raw snapshot.
+        assert_eq!(r.fabric_bytes, 0);
+        assert_eq!(r.pfs_bytes, 6 * 128 * 128 * 8);
+        assert_eq!(r.bytes_out, r.fabric_bytes + r.pfs_bytes);
         assert!(r.viz_energy_j > 0.0, "viz node never worked");
+        assert_ne!(r.image_hash, FNV_SEED, "no frames were rendered");
     }
 
     #[test]
@@ -450,6 +820,113 @@ mod tests {
     }
 
     #[test]
+    fn overlap_beats_synchronous_staging() {
+        // queue_depth 0 is the serialized legacy organization: every sender
+        // waits out the stager's render. Any real queue must beat it.
+        let overlapped = small();
+        let mut synchronous = small();
+        synchronous.staging.queue_depth = 0;
+        let fast = run_cluster(ClusterKind::InTransit, &overlapped).unwrap();
+        let slow = run_cluster(ClusterKind::InTransit, &synchronous).unwrap();
+        assert!(
+            fast.makespan_s < slow.makespan_s,
+            "overlap {} s vs synchronous {} s",
+            fast.makespan_s,
+            slow.makespan_s
+        );
+        // Same images either way: flow control never touches content.
+        assert_eq!(fast.image_hash, slow.image_hash);
+    }
+
+    #[test]
+    fn backpressure_blocks_are_traced() {
+        let (tracer, _handle) = Tracer::memory();
+        let mut cfg = small();
+        cfg.staging.queue_depth = 1;
+        run_cluster_traced(ClusterKind::InTransit, &cfg, None, &tracer).unwrap();
+        assert!(
+            tracer.counter("staging.queue.blocks") > 0,
+            "a depth-1 queue against a render-bound stager must block"
+        );
+        assert!(tracer.counter("staging.bytes.wire") > 0);
+        assert_eq!(
+            tracer.counter("staging.bytes.raw"),
+            6 * 128 * 128 * 8,
+            "raw staged bytes are the full snapshot stream"
+        );
+    }
+
+    #[test]
+    fn lossless_wire_codec_preserves_images_and_verifies() {
+        let raw = small();
+        let mut coded = small();
+        coded.staging.wire_codec = WireCodec::DeltaRle;
+        let a = run_cluster(ClusterKind::InTransit, &raw).unwrap();
+        let b = run_cluster(ClusterKind::InTransit, &coded).unwrap();
+        assert!(b.verified, "lossless wire failed checksum verification");
+        assert_eq!(a.image_hash, b.image_hash, "lossless wire changed pixels");
+        assert_eq!(a.staging_raw_bytes, b.staging_raw_bytes);
+        assert_ne!(
+            a.fabric_bytes, b.fabric_bytes,
+            "codec did not touch the wire"
+        );
+    }
+
+    #[test]
+    fn extra_stagers_share_frames_without_changing_them() {
+        let one = small();
+        let mut two = small();
+        two.staging.staging_nodes = 2;
+        let a = run_cluster(ClusterKind::InTransit, &one).unwrap();
+        let b = run_cluster(ClusterKind::InTransit, &two).unwrap();
+        assert_eq!(a.image_hash, b.image_hash, "round-robin changed content");
+        assert!(
+            b.makespan_s <= a.makespan_s,
+            "a second stager should never slow the pipeline: {} vs {}",
+            b.makespan_s,
+            a.makespan_s
+        );
+    }
+
+    #[test]
+    fn insitu_partition_is_exact_on_odd_grids() {
+        // 130 rows over 4 slabs: 33+33+32+32. The pixel-row partition must
+        // telescope to the full frame height with no truncation bias.
+        let heights = [(130usize, 130usize), (100, 130), (64, 30)];
+        for (height, ny) in heights {
+            let base = ny / 4;
+            let extra = ny % 4;
+            let mut j0 = 0usize;
+            let mut total = 0usize;
+            for k in 0..4 {
+                let rows = base + usize::from(k < extra);
+                total += slab_rows_px(height, ny, j0, rows);
+                j0 += rows;
+            }
+            assert_eq!(total, height, "height {height} over ny {ny}");
+        }
+
+        // And end to end: an odd grid renders and accounts cleanly.
+        let mut cfg = ClusterConfig::small(4, 2);
+        cfg.grid_nx = 130;
+        cfg.grid_ny = 130;
+        cfg.solver = default_solver(130, 130);
+        cfg.render.width = 130;
+        cfg.render.height = 130;
+        cfg.timesteps = 2;
+        let r = run_cluster(ClusterKind::InSitu, &cfg).unwrap();
+        // 4 PPM slab images per step, heights summing to 130 rows exactly:
+        // payload bytes are 3*w*h, headers are "P6\n130 H\n255\n".
+        let payload = 2 * 3 * 130 * 130;
+        let headers: usize = [33, 33, 32, 32]
+            .iter()
+            .map(|h| format!("P6\n130 {h}\n255\n").len())
+            .sum::<usize>()
+            * 2;
+        assert_eq!(r.pfs_bytes, (payload + headers) as u64);
+    }
+
+    #[test]
     fn energy_partition_sums() {
         let r = run_cluster(ClusterKind::PostProcessing, &small()).unwrap();
         let sum = r.compute_energy_j + r.io_energy_j + r.viz_energy_j;
@@ -472,6 +949,7 @@ mod tests {
         assert!(summary.total_faults() > 0, "seed 42 injected nothing");
         assert!(faulted.verified, "faults corrupted data");
         assert_eq!(faulted.bytes_out, clean.bytes_out);
+        assert_eq!(faulted.image_hash, clean.image_hash);
         assert!(
             faulted.makespan_s > clean.makespan_s,
             "degraded run should be slower: {} vs {}",
@@ -493,6 +971,7 @@ mod tests {
         assert_eq!(sa, sb);
         assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
         assert_eq!(a.total_energy_j.to_bits(), b.total_energy_j.to_bits());
+        assert_eq!(a.image_hash, b.image_hash);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * [`transpose`] — byte-plane transposition + RLE, the standard lossless
 //!   trick for floating-point fields (the codec the compressed pipeline
 //!   variant uses);
-//! * [`quant`] — lossy bounded-error quantization to u16 + delta coding
+//! * [`quant`] — lossy bounded-error quantization to u16 (or u8, for
+//!   wire compression on the cluster's staging fabric) + delta coding
 //!   (the paper's sampling/triage family trades information for bytes; this
 //!   codec makes the loss *bounded and measurable*);
 //! * [`cost`] — calibrated CPU cost of (de)compression, charged to the

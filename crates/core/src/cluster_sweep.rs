@@ -1,0 +1,353 @@
+//! The cluster sweep: three case-study workloads × three distributed
+//! pipelines, in one deterministic grid.
+//!
+//! The paper's single-node verdict (in-situ wins because it shortens the
+//! occupied window) gets its cluster-scale counterpart here: post-processing
+//! vs in-situ vs overlapped in-transit staging, each over the paper's three
+//! I/O cadences, with energy split per node class and the staging byte
+//! channels reported separately. The `greenness cluster` subcommand renders
+//! this sweep as the `greenness-cluster-manifest/v1` artifact.
+//!
+//! Determinism contract (pinned by `tests/determinism.rs`): job keys are
+//! the only seed source — fault schedules derive per-job from the sweep
+//! plan and each job runs on its own virtual cluster — so the manifest,
+//! journal, and metrics are byte-identical for any `--jobs` value and
+//! across repeated runs with the same `--fault-seed`.
+
+use greenness_cluster::{
+    run_cluster_traced, ClusterConfig, ClusterKind, ClusterReport, FaultSummary, StagingConfig,
+};
+use greenness_faults::FaultPlan;
+use greenness_platform::SimTime;
+use greenness_pool::run_pool;
+use greenness_trace::{escape_json, MetricsRegistry, Tracer, Value};
+
+use crate::sweep::{Progress, SweepError};
+
+/// The paper's case-study numbers, grid order.
+pub const CASES: [u32; 3] = [1, 2, 3];
+
+/// The three pipelines, grid order.
+pub const KINDS: [ClusterKind; 3] = [
+    ClusterKind::PostProcessing,
+    ClusterKind::InSitu,
+    ClusterKind::InTransit,
+];
+
+/// One cell of the cluster grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterJob {
+    /// Case-study number (1–3).
+    pub case: u32,
+    /// Which pipeline.
+    pub kind: ClusterKind,
+}
+
+impl ClusterJob {
+    /// Stable job key — the only per-job seed source.
+    pub fn key(&self) -> String {
+        format!("case{}:{}", self.case, self.kind.label())
+    }
+}
+
+/// The full grid (or a kind-filtered slice of it), submission order.
+pub fn cluster_jobs(kind: Option<ClusterKind>) -> Vec<ClusterJob> {
+    let mut jobs = Vec::new();
+    for case in CASES {
+        for k in KINDS {
+            if kind.map_or(true, |only| only == k) {
+                jobs.push(ClusterJob { case, kind: k });
+            }
+        }
+    }
+    jobs
+}
+
+/// Sweep-wide knobs shared by every job.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSetup {
+    /// Staging topology applied to the in-transit cells.
+    pub staging: StagingConfig,
+    /// Sweep-level fault plan; each job derives its own schedule from its
+    /// key, so schedules are independent of job order and worker count.
+    pub faults: Option<FaultPlan>,
+    /// Capture per-job journals and metrics.
+    pub trace: bool,
+}
+
+/// One finished cell: the cluster report plus trace artifacts.
+#[derive(Debug, Clone)]
+pub struct ClusterJobResult {
+    /// Submission-order id (also the manifest order).
+    pub id: usize,
+    /// The job key.
+    pub key: String,
+    /// Case-study number.
+    pub case: u32,
+    /// Pipeline label.
+    pub kind: &'static str,
+    /// The distributed run's report.
+    pub report: ClusterReport,
+    /// Degraded-mode accounting for the run.
+    pub summary: FaultSummary,
+    /// Virtual end instant, nanoseconds (for the job span's end event).
+    pub end_ns: u64,
+    /// The job's journal (when traced).
+    pub journal: Option<String>,
+    /// The job's metrics registry (when traced).
+    pub trace_metrics: Option<MetricsRegistry>,
+}
+
+/// Execute one cell on a fresh virtual cluster.
+fn execute(job: ClusterJob, setup: &ClusterSetup) -> ClusterJobResult {
+    let key = job.key();
+    let mut cfg = ClusterConfig::case_study(job.case);
+    cfg.staging = setup.staging;
+    let plan = setup.faults.map(|p| p.derive(&key));
+    let tracer = if setup.trace {
+        let t = Tracer::jsonl();
+        t.begin(
+            0,
+            "run",
+            vec![
+                ("case", Value::from(job.case)),
+                ("kind", Value::from(job.kind.label())),
+            ],
+        );
+        t
+    } else {
+        Tracer::off()
+    };
+    let (report, summary) = run_cluster_traced(job.kind, &cfg, plan, &tracer)
+        .expect("case-study cluster runs complete under plan-rate faults");
+    let end_ns = SimTime::from_secs_f64(report.makespan_s).as_nanos();
+    let (journal, trace_metrics) = if tracer.is_on() {
+        tracer.gauge("run.end_s", report.makespan_s);
+        tracer.gauge("energy.system_j", report.total_energy_j);
+        tracer.snapshot("run");
+        tracer.end(end_ns, "run", Vec::new());
+        let out = tracer.drain().expect("tracer is on");
+        (Some(out.journal), Some(out.metrics))
+    } else {
+        (None, None)
+    };
+    ClusterJobResult {
+        id: 0, // assigned by the collector
+        key,
+        case: job.case,
+        kind: job.kind.label(),
+        report,
+        summary,
+        end_ns,
+        journal,
+        trace_metrics,
+    }
+}
+
+/// Run the cluster grid on `workers` threads; results come back in
+/// submission order regardless of scheduling.
+///
+/// # Errors
+/// [`SweepError::DuplicateKey`] when two jobs share a key;
+/// [`SweepError::JobPanicked`] when a job panicked (lowest id reported).
+pub fn run_cluster_sweep(
+    jobs: Vec<ClusterJob>,
+    setup: &ClusterSetup,
+    workers: usize,
+    on_done: Progress<'_>,
+) -> Result<Vec<ClusterJobResult>, SweepError> {
+    let total = jobs.len();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    {
+        let mut keys: Vec<String> = jobs.iter().map(ClusterJob::key).collect();
+        keys.sort();
+        for pair in keys.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(SweepError::DuplicateKey {
+                    key: pair[0].clone(),
+                });
+            }
+        }
+    }
+    let mut slots: Vec<Option<ClusterJobResult>> = (0..total).map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut finished = 0usize;
+    run_pool(
+        total,
+        workers,
+        &|idx| execute(jobs[idx], setup),
+        &mut |idx, outcome| match outcome {
+            Ok(mut result) => {
+                finished += 1;
+                on_done(finished, total, &jobs[idx].key());
+                result.id = idx;
+                slots[idx] = Some(result);
+            }
+            Err(message) => failures.push((idx, message)),
+        },
+    );
+    if let Some((id, message)) = failures.into_iter().min_by_key(|(id, _)| *id) {
+        return Err(SweepError::JobPanicked {
+            id,
+            key: jobs[id].key(),
+            message,
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| SweepError::JobLost {
+                id: i,
+                key: jobs[i].key(),
+            })
+        })
+        .collect()
+}
+
+/// Assemble the cluster-sweep journal: schema header, then each traced
+/// job's journal in a `job` span, job-id order — byte-identical across
+/// worker counts. `None` when no job was traced.
+pub fn cluster_journal(results: &[ClusterJobResult]) -> Option<String> {
+    if results.iter().all(|r| r.journal.is_none()) {
+        return None;
+    }
+    let mut s = greenness_trace::journal_header();
+    for r in results {
+        let Some(journal) = &r.journal else {
+            continue;
+        };
+        s.push_str(&format!(
+            "{{\"t_ns\":0,\"ev\":\"begin\",\"name\":\"job\",\"job\":{},\"key\":\"{}\"}}\n",
+            r.id,
+            escape_json(&r.key)
+        ));
+        s.push_str(journal);
+        s.push_str(&format!(
+            "{{\"t_ns\":{},\"ev\":\"end\",\"name\":\"job\",\"job\":{}}}\n",
+            r.end_ns, r.id
+        ));
+    }
+    Some(s)
+}
+
+/// Render the cluster metrics file (`greenness-metrics/v1`): one labeled
+/// registry per traced job, job-id order. `None` when no job was traced.
+pub fn cluster_metrics_json(results: &[ClusterJobResult]) -> Option<String> {
+    let entries: Vec<(String, MetricsRegistry)> = results
+        .iter()
+        .filter_map(|r| r.trace_metrics.clone().map(|m| (r.key.clone(), m)))
+        .collect();
+    if entries.is_empty() {
+        None
+    } else {
+        Some(greenness_trace::metrics_file_json(&entries))
+    }
+}
+
+/// Render the structured cluster manifest (`repro_out/cluster.json`) — a
+/// pure function of the setup and results.
+pub fn cluster_manifest_json(setup: &ClusterSetup, results: &[ClusterJobResult]) -> String {
+    let mut s = String::with_capacity(1024 + 640 * results.len());
+    s.push_str("{\n  \"schema\": \"greenness-cluster-manifest/v1\",\n");
+    s.push_str(&format!(
+        "  \"staging_nodes\": {},\n  \"queue_depth\": {},\n  \"wire_codec\": \"{}\",\n",
+        setup.staging.staging_nodes,
+        setup.staging.queue_depth,
+        setup.staging.wire_codec.label()
+    ));
+    match setup.faults {
+        Some(plan) => s.push_str(&format!("  \"fault_seed\": {},\n", plan.seed)),
+        None => s.push_str("  \"fault_seed\": null,\n"),
+    }
+    s.push_str("  \"jobs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let rep = &r.report;
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"id\": {},\n", r.id));
+        s.push_str(&format!("      \"key\": \"{}\",\n", escape_json(&r.key)));
+        s.push_str(&format!("      \"case\": {},\n", r.case));
+        s.push_str(&format!("      \"kind\": \"{}\",\n", r.kind));
+        s.push_str(&format!("      \"makespan_s\": {:?},\n", rep.makespan_s));
+        s.push_str(&format!(
+            "      \"total_energy_j\": {:?},\n",
+            rep.total_energy_j
+        ));
+        s.push_str(&format!(
+            "      \"avg_power_w\": {:?},\n",
+            rep.average_power_w
+        ));
+        s.push_str(&format!(
+            "      \"compute_energy_j\": {:?},\n",
+            rep.compute_energy_j
+        ));
+        s.push_str(&format!("      \"io_energy_j\": {:?},\n", rep.io_energy_j));
+        s.push_str(&format!(
+            "      \"viz_energy_j\": {:?},\n",
+            rep.viz_energy_j
+        ));
+        s.push_str(&format!(
+            "      \"fabric_bytes\": {},\n      \"pfs_bytes\": {},\n      \"bytes_out\": {},\n",
+            rep.fabric_bytes, rep.pfs_bytes, rep.bytes_out
+        ));
+        s.push_str(&format!(
+            "      \"staging_raw_bytes\": {},\n",
+            rep.staging_raw_bytes
+        ));
+        s.push_str(&format!("      \"image_hash\": {},\n", rep.image_hash));
+        s.push_str(&format!("      \"verified\": {},\n", rep.verified));
+        s.push_str(&format!(
+            "      \"faults\": {{\"total\": {}, \"storage\": {}, \"fabric_drops\": {}, \
+             \"fabric_delays\": {}, \"torn_renders\": {}, \"storage_retries\": {}, \
+             \"fabric_retries\": {}}}\n",
+            r.summary.total_faults(),
+            r.summary.storage_faults,
+            r.summary.fabric_drops,
+            r.summary.fabric_delays,
+            r.summary.staging_torn_renders,
+            r.summary.storage_retries,
+            r.summary.fabric_retries
+        ));
+        s.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_three_by_three() {
+        let jobs = cluster_jobs(None);
+        assert_eq!(jobs.len(), 9);
+        let keys: Vec<String> = jobs.iter().map(ClusterJob::key).collect();
+        assert_eq!(keys[0], "case1:post");
+        assert_eq!(keys[8], "case3:intransit");
+        let filtered = cluster_jobs(Some(ClusterKind::InTransit));
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.iter().all(|j| j.kind == ClusterKind::InTransit));
+    }
+
+    #[test]
+    fn manifest_shape_is_stable() {
+        let setup = ClusterSetup::default();
+        let jobs = vec![ClusterJob {
+            case: 1,
+            kind: ClusterKind::InSitu,
+        }];
+        let results = run_cluster_sweep(jobs, &setup, 1, &|_, _, _| {}).unwrap();
+        let manifest = cluster_manifest_json(&setup, &results);
+        assert!(manifest.contains("\"schema\": \"greenness-cluster-manifest/v1\""));
+        assert!(manifest.contains("\"key\": \"case1:insitu\""));
+        assert!(manifest.contains("\"fault_seed\": null"));
+        assert!(manifest.ends_with("  ]\n}\n"));
+    }
+}

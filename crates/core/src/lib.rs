@@ -48,6 +48,7 @@ pub mod adaptive;
 pub mod advisor;
 pub mod breakdown;
 pub mod capping;
+pub mod cluster_sweep;
 pub mod compare;
 pub mod config;
 pub mod experiment;

@@ -45,6 +45,10 @@ pub enum Site {
     /// its ring positions back and is rebalanced). The entropy word picks
     /// the mode and the victim.
     FleetChurn,
+    /// `cluster::staging` — a staging-node frame render is torn (the node
+    /// faulted mid-frame); the render must repeat from the assembled slabs,
+    /// which stay live in staging memory, so output is never corrupted.
+    StagingRender,
 }
 
 impl Site {
@@ -58,6 +62,7 @@ impl Site {
             Site::TierIo => "tier.io",
             Site::TierMigration => "tier.migration",
             Site::FleetChurn => "fleet.churn",
+            Site::StagingRender => "staging.render",
         }
     }
 
@@ -71,6 +76,7 @@ impl Site {
             Site::TierIo => plan.tier_io_rate,
             Site::TierMigration => plan.tier_migration_rate,
             Site::FleetChurn => plan.fleet_churn_rate,
+            Site::StagingRender => plan.staging_render_rate,
         }
     }
 }
@@ -96,6 +102,8 @@ pub struct FaultPlan {
     /// Probability a fleet request triggers a shard churn event (node loss
     /// or rejoin) before routing.
     pub fleet_churn_rate: f64,
+    /// Probability a staging-node frame render is torn and must repeat.
+    pub staging_render_rate: f64,
     /// Bounded retry budget for every recovery loop.
     pub max_retries: u32,
     /// First-retry backoff in (virtual) seconds; doubles per attempt.
@@ -116,6 +124,7 @@ impl FaultPlan {
             tier_io_rate: 0.05,
             tier_migration_rate: 0.10,
             fleet_churn_rate: 0.05,
+            staging_render_rate: 0.06,
             max_retries: 8,
             backoff_base_s: 0.002,
         }
@@ -132,6 +141,7 @@ impl FaultPlan {
             tier_io_rate: 0.0,
             tier_migration_rate: 0.0,
             fleet_churn_rate: 0.0,
+            staging_render_rate: 0.0,
             ..FaultPlan::with_seed(seed)
         }
     }
@@ -287,6 +297,7 @@ mod tests {
             Site::TierIo,
             Site::TierMigration,
             Site::FleetChurn,
+            Site::StagingRender,
         ] {
             assert!(fire_pattern(&plan, site, 3, 256)
                 .iter()

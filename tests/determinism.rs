@@ -68,3 +68,44 @@ fn all_pipelines_are_deterministic() {
         assert_eq!(a.output.bytes_written, b.output.bytes_written, "{kind:?}");
     }
 }
+
+/// The cluster sweep's emitted artifacts — manifest, journal, metrics —
+/// are byte-identical for any worker count and for repeated runs of the
+/// same fault seed: per-job fault schedules derive from job *keys*, never
+/// from worker identity or completion order.
+#[test]
+fn cluster_sweep_artifacts_are_byte_identical_across_workers_and_reruns() {
+    use greenness_core::{cluster_sweep, sweep};
+    use greenness_faults::FaultPlan;
+    let setup = cluster_sweep::ClusterSetup {
+        faults: Some(FaultPlan::with_seed(5)),
+        trace: true,
+        ..cluster_sweep::ClusterSetup::default()
+    };
+    let run = |workers: usize| {
+        let results = cluster_sweep::run_cluster_sweep(
+            cluster_sweep::cluster_jobs(None),
+            &setup,
+            workers,
+            &sweep::silent_progress(),
+        )
+        .expect("cluster sweep runs");
+        (
+            cluster_sweep::cluster_manifest_json(&setup, &results),
+            cluster_sweep::cluster_journal(&results).expect("traced sweep has a journal"),
+            cluster_sweep::cluster_metrics_json(&results).expect("traced sweep has metrics"),
+        )
+    };
+    let serial = run(1);
+    let wide = run(8);
+    let again = run(8);
+    assert_eq!(serial.0, wide.0, "manifest depends on worker count");
+    assert_eq!(serial.1, wide.1, "journal depends on worker count");
+    assert_eq!(serial.2, wide.2, "metrics depend on worker count");
+    assert_eq!(
+        wide.0, again.0,
+        "manifest not reproducible for a fixed seed"
+    );
+    assert_eq!(wide.1, again.1, "journal not reproducible for a fixed seed");
+    assert_eq!(wide.2, again.2, "metrics not reproducible for a fixed seed");
+}

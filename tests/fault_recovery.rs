@@ -356,3 +356,130 @@ fn torn_promotions_never_lose_the_only_copy() {
         .expect("final read");
     assert_eq!(back, data, "torn promotions lost the only copy");
 }
+
+/// The in-transit chaos sweep: 24 fault seeds, alternating the wire codec,
+/// with staged-slab drops retransmitting from the still-live send buffer
+/// and torn staging renders re-rendering from the assembled slabs. Every
+/// degraded run must converge bit-identically to the fault-free frame
+/// images (same chained image hash), and across the sweep both fault
+/// classes must actually fire — otherwise the convergence proves nothing.
+#[test]
+fn intransit_chaos_sweep_converges_to_fault_free_images() {
+    use greenness_cluster::WireCodec;
+    let mut clean_hash = std::collections::BTreeMap::new();
+    for codec in [WireCodec::None, WireCodec::DeltaRle] {
+        let mut cfg = ClusterConfig::small(4, 2);
+        cfg.staging.wire_codec = codec;
+        let clean = run_cluster(ClusterKind::InTransit, &cfg).expect("clean run");
+        clean_hash.insert(codec.label(), (clean.image_hash, clean.bytes_out));
+    }
+    let (mut staged_faults, mut torn_renders) = (0u64, 0u64);
+    for seed in 0..24u64 {
+        let codec = if seed % 2 == 0 {
+            WireCodec::None
+        } else {
+            WireCodec::DeltaRle
+        };
+        let mut cfg = ClusterConfig::small(4, 2);
+        cfg.staging.wire_codec = codec;
+        let plan = FaultPlan {
+            fabric_fault_rate: 0.15,
+            staging_render_rate: 0.15,
+            ..FaultPlan::with_seed(seed)
+        };
+        let (faulted, summary) = run_cluster_with_faults(ClusterKind::InTransit, &cfg, Some(plan))
+            .unwrap_or_else(|e| panic!("seed {seed}: degraded run must recover: {e}"));
+        let &(hash, bytes) = &clean_hash[codec.label()];
+        assert_eq!(
+            faulted.image_hash,
+            hash,
+            "seed {seed} ({}): degraded frames must be bit-identical",
+            codec.label()
+        );
+        assert_eq!(
+            faulted.bytes_out, bytes,
+            "seed {seed}: output volume changed"
+        );
+        assert!(faulted.verified, "seed {seed}: verification failed");
+        staged_faults += summary.fabric_drops + summary.fabric_delays;
+        torn_renders += summary.staging_torn_renders;
+    }
+    assert!(staged_faults > 0, "no staged transfer ever faulted");
+    assert!(torn_renders > 0, "no staging render was ever torn");
+}
+
+/// Regression for the untraced-terminal-drop bug: every injected fabric or
+/// staging fault — drops, delays, torn renders, including the *terminal*
+/// drop that exhausts the retry budget — must land in the journal as a
+/// `fault.injected` instant, in lockstep with the summary counters.
+#[test]
+fn fault_journal_instants_match_the_summary_counters() {
+    use greenness_cluster::run_cluster_traced;
+    use greenness_trace::{EventKind, Tracer};
+    let cfg = ClusterConfig::small(4, 2);
+    let plan = FaultPlan {
+        fabric_fault_rate: 0.15,
+        staging_render_rate: 0.15,
+        ..FaultPlan::with_seed(7)
+    };
+    let (tracer, handle) = Tracer::memory();
+    let (_, summary) = run_cluster_traced(ClusterKind::InTransit, &cfg, Some(plan), &tracer)
+        .expect("degraded run recovers");
+    let injected = summary.fabric_drops + summary.fabric_delays + summary.staging_torn_renders;
+    assert!(injected > 0, "seed 7 must inject at least one fabric fault");
+    let instants = handle
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant && e.name == "fault.injected")
+        .count() as u64;
+    assert_eq!(
+        instants, injected,
+        "journal fault.injected instants must match the summary counters"
+    );
+}
+
+/// The terminal drop itself is traced: when the retry budget is exhausted
+/// the final drop must still emit its `fault.injected` instant before the
+/// structured error surfaces, so `fault_counts()` and the journal agree.
+#[test]
+fn terminal_fabric_drop_still_lands_in_the_journal() {
+    use greenness_cluster::{ClusterError, Fabric};
+    use greenness_platform::NetModel;
+    use greenness_trace::{EventKind, Tracer};
+    let plan = FaultPlan {
+        fabric_fault_rate: 1.0,
+        max_retries: 0,
+        ..FaultPlan::with_seed(3)
+    };
+    let mut fabric = Fabric::new(NetModel::ten_gbe());
+    fabric.set_fault_injector(Some(plan.injector(Site::FabricTransfer, 0)));
+    let (tracer, handle) = Tracer::memory();
+    let mut src = Node::new(HardwareSpec::table1());
+    src.set_tracer(tracer.clone());
+    let mut dst = Node::new(HardwareSpec::table1());
+    // Every transfer faults; with a zero retry budget the first drop is
+    // terminal. Delays (odd entropy) recover on their own, so push until
+    // the budget actually exhausts.
+    let err = loop {
+        match fabric.transfer_reliable(&mut src, &mut dst, 4096, 1, Phase::Network) {
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, ClusterError::FabricExhausted { attempts: 1, .. }),
+        "zero retry budget must exhaust on the first drop: {err}"
+    );
+    let (drops, delays, _) = fabric.fault_counts();
+    assert!(drops > 0, "a drop must have occurred");
+    let instants = handle
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant && e.name == "fault.injected")
+        .count() as u64;
+    assert_eq!(
+        instants,
+        drops + delays,
+        "the terminal drop must be journaled like every other injected fault"
+    );
+}
