@@ -29,7 +29,7 @@ fn fig04_time_breakdown(c: &mut Criterion) {
     let setup = setup();
     c.bench_function("fig04_time_breakdown", |b| {
         b.iter(|| {
-            let r = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+            let r = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
             black_box(r.phase_rows())
         })
     });
@@ -38,7 +38,7 @@ fn fig04_time_breakdown(c: &mut Criterion) {
 fn fig05_power_profiles(c: &mut Criterion) {
     let cfg = cfg();
     let setup = setup();
-    let report = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+    let report = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
     c.bench_function("fig05_power_profiles", |b| {
         b.iter(|| black_box(PowerProfile::measure(&report.timeline, &setup.meter)))
     });
@@ -60,7 +60,7 @@ fn comparison_metric(c: &mut Criterion, name: &'static str, f: fn(&CaseCompariso
     let setup = setup();
     c.bench_function(name, |b| {
         b.iter(|| {
-            let cmp = CaseComparison::run_config(1, &cfg, &setup);
+            let cmp = CaseComparison::run_config(1, &cfg, &setup).expect("case runs");
             black_box(f(&cmp))
         })
     });
@@ -93,7 +93,7 @@ fn fig11_efficiency(c: &mut Criterion) {
 fn sec5c_savings_breakdown(c: &mut Criterion) {
     let cfg = cfg();
     let setup = setup();
-    let cmp = CaseComparison::run_config(1, &cfg, &setup);
+    let cmp = CaseComparison::run_config(1, &cfg, &setup).expect("case runs");
     c.bench_function("sec5c_savings_breakdown", |b| {
         b.iter(|| {
             black_box(CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 1.0).expect("probes ok"))

@@ -12,6 +12,7 @@
 //! greenness adaptive [threshold]        adaptive runtime demo
 //! greenness advisor <bytes> <passes> <seq|rand> <explore|no-explore>
 //! greenness serve [--addr A]            NDJSON query server (greenness-serve/v1)
+//! greenness steer [--shards N]          scripted interactive steering session
 //! greenness fleet [--shards N]          sharded fleet router over in-process shards
 //! greenness query <addr> <json>         one request against a running server
 //! greenness bench-serve ...             load harness (closed/open loop, --replay, fleet)
@@ -54,6 +55,8 @@ fn usage() -> ! {
          \x20 advisor <bytes> <passes> <seq|rand> <explore|no-explore>\n\
          \x20 trace summarize <journal>            reconstruct + audit a trace journal\n\
          \x20 serve [--addr A] [--jobs N]          NDJSON query server (greenness-serve/v1)\n\
+         \x20 steer [--shards N] [--jobs N]        scripted steering session through the fleet\n\
+         \x20       [--session NAME] [--fault-seed N] [--out FILE]\n\
          \x20 fleet [--shards N] [--replicas K]    consistent-hash fleet router (greenness fleet)\n\
          \x20 query <addr> <json-request>          one request against a running server\n\
          \x20 bench-serve --addr A [...]           live load harness (closed/open loop)\n\
@@ -68,7 +71,8 @@ fn usage() -> ! {
          bench-serve accepts --requests N --conns C --mode closed|open --rate R,\n\
          and with --replay: --jobs J --out FILE --metrics-out FILE; adding\n\
          --shards N runs the open-loop fleet replay (--replicas K --ring-seed S\n\
-         --universe U --zipf S --report-out FILE --shard-metrics-out FILE)\n\
+         --universe U --zipf S --report-out FILE --shard-metrics-out FILE);\n\
+         --sessions N interleaves N scripted steering sessions instead\n\
          sweep, placement, cluster, serve, fleet, and bench-serve --replay accept\n\
          --fault-seed N (seeded fault injection with retry/recovery; deterministic\n\
          per seed — for fleet this includes shard churn)"
@@ -116,7 +120,11 @@ fn cmd_case(args: &[String]) {
         std::process::exit(2);
     }
     eprintln!("running case study {n} (both pipelines)...");
-    let cmp = CaseComparison::run_config(n, &cfg, &ExperimentSetup::default());
+    let cmp =
+        CaseComparison::run_config(n, &cfg, &ExperimentSetup::default()).unwrap_or_else(|e| {
+            eprintln!("pipeline run failed: {e}");
+            std::process::exit(2);
+        });
     let rows = vec![
         vec![
             "Execution time (s)".into(),
@@ -616,7 +624,10 @@ fn cmd_cap(args: &[String]) {
         "sweeping {} power caps over the in-situ pipeline...",
         caps.len()
     );
-    let runs = cap_sweep(&cfg, &caps);
+    let runs = cap_sweep(&cfg, &caps).unwrap_or_else(|e| {
+        eprintln!("capped run failed: {e}");
+        std::process::exit(2);
+    });
     if runs.is_empty() {
         println!("no feasible cap (the node's floor is ~123.5 W)");
         return;
@@ -650,7 +661,10 @@ fn cmd_adaptive(args: &[String]) {
     };
     eprintln!("running the adaptive runtime (threshold {threshold})...");
     let mut node = Node::new(HardwareSpec::table1());
-    let r = run_adaptive(&mut node, &cfg, &policy);
+    let r = run_adaptive(&mut node, &cfg, &policy).unwrap_or_else(|e| {
+        eprintln!("adaptive run failed: {e}");
+        std::process::exit(2);
+    });
     match r.switched_at_step {
         Some(step) => println!("switched to in-situ after step {step}"),
         None => println!("stayed in post-processing for the whole run"),
@@ -879,6 +893,107 @@ fn cmd_query(args: &[String]) {
     }
 }
 
+/// The fixed scripted steering session used by `greenness steer`, the
+/// `bench-serve --sessions` harness, and CI's byte-compare smoke: attach,
+/// three adjust/render rounds (I/O cadence, resolution, camera), a
+/// mid-session re-attach (the resume path), a final render, detach. `id0`
+/// offsets request ids so interleaved sessions stay globally unique.
+fn steer_script(session: &str, id0: u64) -> Vec<String> {
+    let ops = [
+        format!(
+            r#""op":"steer.attach","params":{{"session":"{session}","interval":2,"timesteps":12}}"#
+        ),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":1,"steps":3}}"#),
+        format!(
+            r#""op":"steer.adjust","params":{{"session":"{session}","seq":2,"kind":"io_interval","io_interval":3}}"#
+        ),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":3,"steps":3}}"#),
+        format!(
+            r#""op":"steer.adjust","params":{{"session":"{session}","seq":4,"kind":"resolution","width":96,"height":96}}"#
+        ),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":5,"steps":2}}"#),
+        format!(
+            r#""op":"steer.adjust","params":{{"session":"{session}","seq":6,"kind":"camera","colormap":"viridis","range":[0.0,0.3]}}"#
+        ),
+        format!(
+            r#""op":"steer.attach","params":{{"session":"{session}","interval":2,"timesteps":12}}"#
+        ),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":7,"steps":4}}"#),
+        format!(r#""op":"steer.detach","params":{{"session":"{session}","seq":8}}"#),
+    ];
+    ops.iter()
+        .enumerate()
+        .map(|(i, body)| {
+            format!(
+                "{{\"schema\":\"{}\",\"id\":{},{body}}}",
+                greenness_serve::SCHEMA,
+                id0 + i as u64 + 1
+            )
+        })
+        .collect()
+}
+
+fn cmd_steer(args: &[String]) {
+    let mut shards = 4u32;
+    let mut jobs = 1usize;
+    let mut session = String::from("s1");
+    let mut fault_seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--shards" => shards = parse(&take("--shards"), "shard count"),
+            "--jobs" | "-j" => jobs = parse(&take("--jobs"), "worker count"),
+            "--session" => session = take("--session"),
+            "--fault-seed" => fault_seed = Some(parse(&take("--fault-seed"), "fault seed")),
+            "--out" => out = Some(take("--out")),
+            _ => usage(),
+        }
+    }
+    // The scripted session runs through the fleet router so churn and
+    // connection drops exercise the re-home/replay machinery; the reply
+    // transcript is byte-identical across --jobs, across reruns, and across
+    // fault seeds (the router absorbs every fault before replying).
+    let fleet = Fleet::new(FleetConfig {
+        shards,
+        jobs,
+        faults: fault_seed.map(FaultPlan::with_seed),
+        ..FleetConfig::default()
+    });
+    let mut transcript = String::new();
+    for line in steer_script(&session, 0) {
+        let outcome = fleet.handle_line(&line);
+        transcript.push_str(&outcome.line);
+        transcript.push('\n');
+        if !outcome.line.contains("\"ok\":true") {
+            eprint!("{transcript}");
+            eprintln!("steering script failed on: {line}");
+            std::process::exit(1);
+        }
+    }
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &transcript).expect("write steering transcript");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{transcript}"),
+    }
+    let m = fleet.metrics_clone();
+    eprintln!(
+        "session '{session}': {} op(s) ok, {} rehome(s), {} op(s) replayed, {} drop-resume retr(ies)",
+        m.counter("fleet.ok"),
+        m.counter("fleet.session.rehomed"),
+        m.counter("fleet.session.replayed"),
+        m.counter("retries.fleet.session.resume"),
+    );
+}
+
 fn cmd_bench_serve(args: &[String]) {
     let mut replay = false;
     let mut addr: Option<String> = None;
@@ -897,6 +1012,7 @@ fn cmd_bench_serve(args: &[String]) {
     let mut zipf = greenness_fleet::DEFAULT_ZIPF_S;
     let mut report_out: Option<String> = None;
     let mut shard_metrics_out: Option<String> = None;
+    let mut sessions = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| {
@@ -923,8 +1039,77 @@ fn cmd_bench_serve(args: &[String]) {
             "--zipf" => zipf = parse(&take("--zipf"), "zipf exponent"),
             "--report-out" => report_out = Some(take("--report-out")),
             "--shard-metrics-out" => shard_metrics_out = Some(take("--shard-metrics-out")),
+            "--sessions" => sessions = parse(&take("--sessions"), "session count"),
             _ => usage(),
         }
+    }
+    if sessions > 0 {
+        // Steering-session harness: N scripted sessions interleaved
+        // round-robin against one in-process service. Injected connection
+        // drops are retried like the stateless replay harness — the drop
+        // fires *after* the op commits, so the retry hits the engine's
+        // sequence-replay path and the transcript stays byte-identical.
+        if !replay {
+            eprintln!("--sessions implies --replay (the session harness is replay-only)");
+            usage()
+        }
+        let service = greenness_serve::Service::new(ServiceConfig {
+            jobs,
+            session_slots: sessions.max(8),
+            faults: fault_seed.map(FaultPlan::with_seed),
+            ..ServiceConfig::default()
+        });
+        let scripts: Vec<Vec<String>> = (0..sessions)
+            .map(|s| steer_script(&format!("s{s}"), (s as u64) * 100))
+            .collect();
+        let mut responses = String::new();
+        let mut retries = 0u64;
+        for phase in 0..scripts[0].len() {
+            for script in &scripts {
+                let line = &script[phase];
+                let mut outcome = service.handle_line(line);
+                let mut budget = 8u32;
+                while outcome.dropped && budget > 0 {
+                    retries += 1;
+                    budget -= 1;
+                    outcome = service.handle_line(line);
+                }
+                let reply = outcome.line();
+                if !reply.contains("\"ok\":true") {
+                    eprintln!("session harness failed on: {line}\n  reply: {reply}");
+                    std::process::exit(1);
+                }
+                responses.push_str(&reply);
+                responses.push('\n');
+            }
+        }
+        if retries > 0 {
+            eprintln!(
+                "session replay ran degraded: {retries} dropped op(s) retried via seq-replay"
+            );
+        }
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &responses).expect("write session response log");
+                eprintln!("wrote {path}");
+            }
+            None => print!("{responses}"),
+        }
+        let m = service.metrics_clone();
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, m.to_json()).expect("write metrics snapshot");
+            eprintln!("wrote {path}");
+        }
+        eprintln!(
+            "{sessions} session(s): {} attach(es), {} adjust(s), {} incremental render(s), {} cached delta(s), {} computed delta(s), {} seq-replay(s)",
+            m.counter("steer.attach"),
+            m.counter("steer.adjust"),
+            m.counter("steer.render.incremental"),
+            m.counter("steer.delta.cached"),
+            m.counter("steer.delta.computed"),
+            m.counter("steer.replayed"),
+        );
+        return;
     }
     if let Some(shards) = shards {
         // Fleet replay: open-loop on the virtual clock, Zipfian keys. The
@@ -1081,6 +1266,7 @@ fn main() {
         "advisor" => cmd_advisor(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "steer" => cmd_steer(&args[1..]),
         "fleet" => cmd_fleet(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "bench-serve" => cmd_bench_serve(&args[1..]),

@@ -21,7 +21,7 @@ use greenness_viz::{encode_ppm, render_field};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PipelineConfig;
-use crate::pipeline::{read_chunked, write_chunked};
+use crate::pipeline::{read_chunked, write_chunked, PipelineError};
 
 /// Adaptive policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,16 +58,32 @@ pub struct AdaptiveReport {
 }
 
 /// Run the workload under the adaptive runtime.
+///
+/// # Errors
+/// [`PipelineError::Config`] on a zero window or an out-of-range threshold
+/// (both reachable from CLI flags and, through the serve layer, from
+/// requests); otherwise the usual pipeline storage/solver errors.
 pub fn run_adaptive(
     node: &mut Node,
     cfg: &PipelineConfig,
     policy: &AdaptivePolicy,
-) -> AdaptiveReport {
-    assert!(policy.window_steps >= 1, "window must be at least one step");
-    assert!(
-        (0.0..=1.0).contains(&policy.io_energy_threshold),
-        "threshold must be a fraction"
-    );
+) -> Result<AdaptiveReport, PipelineError> {
+    if policy.window_steps < 1 {
+        return Err(PipelineError::Config(
+            "window must be at least one step".to_string(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&policy.io_energy_threshold) {
+        return Err(PipelineError::Config(format!(
+            "threshold must be a fraction in 0..=1, got {}",
+            policy.io_energy_threshold
+        )));
+    }
+    if cfg.io_interval == 0 {
+        return Err(PipelineError::Config(
+            "io_interval must be at least 1".to_string(),
+        ));
+    }
     let mut fs = FileSystem::format(
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
@@ -75,8 +91,7 @@ pub fn run_adaptive(
     let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
     });
-    let mut solver =
-        HeatSolver::new(initial, cfg.solver.clone()).expect("library-built solver config");
+    let mut solver = HeatSolver::new(initial, cfg.solver.clone())?;
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
 
@@ -107,7 +122,7 @@ pub fn run_adaptive(
                     &ppm,
                     cfg.chunk_bytes,
                     Phase::ImageWrite,
-                );
+                )?;
                 images_written += 1;
             } else {
                 let bytes = solver.grid().to_bytes();
@@ -118,7 +133,7 @@ pub fn run_adaptive(
                     &bytes,
                     cfg.chunk_bytes,
                     Phase::Write,
-                );
+                )?;
                 snapshots_kept += 1;
             }
         }
@@ -148,20 +163,20 @@ pub fn run_adaptive(
         .collect();
     kept.sort();
     for name in kept {
-        let bytes = read_chunked(node, &mut fs, &name, cfg.chunk_bytes, Phase::Read);
+        let bytes = read_chunked(node, &mut fs, &name, cfg.chunk_bytes, Phase::Read)?;
         let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &bytes)
-            .expect("snapshot has the configured shape");
+            .ok_or(PipelineError::CorruptSnapshot { name })?;
         node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
         let _ = render_field(&grid, &cfg.render);
     }
 
-    AdaptiveReport {
+    Ok(AdaptiveReport {
         switched_at_step,
         execution_time_s: node.now().as_secs_f64(),
         energy_j: node.timeline().total_energy_j(),
         snapshots_kept,
         images_written,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -171,7 +186,7 @@ mod tests {
 
     fn run(cfg: &PipelineConfig, policy: &AdaptivePolicy) -> AdaptiveReport {
         let mut node = Node::new(HardwareSpec::table1());
-        run_adaptive(&mut node, cfg, policy)
+        run_adaptive(&mut node, cfg, policy).expect("adaptive run ok")
     }
 
     fn io_heavy() -> PipelineConfig {
@@ -244,12 +259,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must be")]
-    fn zero_window_is_rejected() {
+    fn zero_window_is_rejected_as_a_value() {
         let policy = AdaptivePolicy {
             window_steps: 0,
             io_energy_threshold: 0.5,
         };
-        let _ = run(&io_heavy(), &policy);
+        let mut node = Node::new(HardwareSpec::table1());
+        let err = run_adaptive(&mut node, &io_heavy(), &policy).expect_err("zero window");
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
+        assert!(err.to_string().contains("window must be"));
+    }
+
+    #[test]
+    fn out_of_range_threshold_is_rejected_as_a_value() {
+        let policy = AdaptivePolicy {
+            window_steps: 4,
+            io_energy_threshold: 1.5,
+        };
+        let mut node = Node::new(HardwareSpec::table1());
+        let err = run_adaptive(&mut node, &io_heavy(), &policy).expect_err("bad threshold");
+        assert!(err.to_string().contains("threshold must be a fraction"));
     }
 }

@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn static_share_dominates() {
         let setup = ExperimentSetup::noiseless();
-        let cmp = CaseComparison::run_config(1, &PipelineConfig::small(1), &setup);
+        let cmp = CaseComparison::run_config(1, &PipelineConfig::small(1), &setup).expect("runs");
         let b = CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 5.0).expect("probes ok");
         assert!(b.savings.total_j > 0.0);
         // The paper's qualitative headline: most savings are static.
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn probe_results_are_embedded() {
         let setup = ExperimentSetup::noiseless();
-        let cmp = CaseComparison::run_config(1, &PipelineConfig::small(2), &setup);
+        let cmp = CaseComparison::run_config(1, &PipelineConfig::small(2), &setup).expect("runs");
         let b = CaseBreakdown::analyze(&cmp, &setup, 8 * 1024, 3.0).expect("probes ok");
         assert_eq!(b.nnread.name, "nnread");
         assert_eq!(b.nnwrite.name, "nnwrite");

@@ -14,7 +14,7 @@ use greenness_viz::{encode_ppm, render_field};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PipelineConfig;
-use crate::pipeline::write_chunked;
+use crate::pipeline::{write_chunked, PipelineError};
 
 /// Result of one capped run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,11 +62,25 @@ pub fn freq_scale_for_cap(node: &Node, cfg: &PipelineConfig, cap_w: f64) -> Opti
     Some(lo)
 }
 
-/// Run the in-situ pipeline under a full-system power cap. Returns `None`
-/// when the cap is infeasible for this hardware.
-pub fn run_capped_insitu(cfg: &PipelineConfig, cap_w: f64) -> Option<CappedRun> {
+/// Run the in-situ pipeline under a full-system power cap. Returns
+/// `Ok(None)` when the cap is infeasible for this hardware.
+///
+/// # Errors
+/// The usual pipeline solver/storage errors — reachable from CLI flags and
+/// serve requests, so reported as values rather than panics.
+pub fn run_capped_insitu(
+    cfg: &PipelineConfig,
+    cap_w: f64,
+) -> Result<Option<CappedRun>, PipelineError> {
     let mut node = Node::new(greenness_platform::HardwareSpec::table1());
-    let freq_scale = freq_scale_for_cap(&node, cfg, cap_w)?;
+    let Some(freq_scale) = freq_scale_for_cap(&node, cfg, cap_w) else {
+        return Ok(None);
+    };
+    if cfg.io_interval == 0 {
+        return Err(PipelineError::Config(
+            "io_interval must be at least 1".to_string(),
+        ));
+    }
     let scaled_spec = {
         let mut s = node.spec().clone();
         s.cpu = s.cpu.with_freq_scale(freq_scale);
@@ -81,8 +95,7 @@ pub fn run_capped_insitu(cfg: &PipelineConfig, cap_w: f64) -> Option<CappedRun> 
     let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
     });
-    let mut solver =
-        HeatSolver::new(initial, cfg.solver.clone()).expect("library-built solver config");
+    let mut solver = HeatSolver::new(initial, cfg.solver.clone())?;
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
 
@@ -105,26 +118,32 @@ pub fn run_capped_insitu(cfg: &PipelineConfig, cap_w: f64) -> Option<CappedRun> 
             &ppm,
             cfg.chunk_bytes,
             Phase::ImageWrite,
-        );
+        )?;
     }
     fs.sync(&mut node, Phase::CacheControl);
     fs.drop_caches();
 
-    Some(CappedRun {
+    Ok(Some(CappedRun {
         cap_w,
         freq_scale,
         execution_time_s: node.now().as_secs_f64(),
         energy_j: node.timeline().total_energy_j(),
         peak_power_w: node.timeline().peak_power_w(),
-    })
+    }))
 }
 
 /// Sweep a set of caps; infeasible caps are skipped.
-pub fn cap_sweep(cfg: &PipelineConfig, caps_w: &[f64]) -> Vec<CappedRun> {
-    caps_w
-        .iter()
-        .filter_map(|&cap| run_capped_insitu(cfg, cap))
-        .collect()
+///
+/// # Errors
+/// Propagates the first [`PipelineError`] from a feasible capped run.
+pub fn cap_sweep(cfg: &PipelineConfig, caps_w: &[f64]) -> Result<Vec<CappedRun>, PipelineError> {
+    let mut out = Vec::with_capacity(caps_w.len());
+    for &cap in caps_w {
+        if let Some(run) = run_capped_insitu(cfg, cap)? {
+            out.push(run);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -140,7 +159,9 @@ mod tests {
     #[test]
     fn governor_respects_the_cap() {
         for cap in [143.0, 135.0, 128.0, 124.0] {
-            let run = run_capped_insitu(&cfg(), cap).expect("feasible cap");
+            let run = run_capped_insitu(&cfg(), cap)
+                .expect("run ok")
+                .expect("feasible cap");
             assert!(
                 run.peak_power_w <= cap + 0.5,
                 "cap {cap}: peak {} exceeds budget",
@@ -151,14 +172,20 @@ mod tests {
 
     #[test]
     fn generous_caps_run_at_full_clock() {
-        let run = run_capped_insitu(&cfg(), 200.0).expect("feasible");
+        let run = run_capped_insitu(&cfg(), 200.0)
+            .expect("run ok")
+            .expect("feasible");
         assert_eq!(run.freq_scale, 1.0);
     }
 
     #[test]
     fn tighter_caps_cost_time() {
-        let loose = run_capped_insitu(&cfg(), 143.0).expect("feasible");
-        let tight = run_capped_insitu(&cfg(), 125.0).expect("feasible");
+        let loose = run_capped_insitu(&cfg(), 143.0)
+            .expect("run ok")
+            .expect("feasible");
+        let tight = run_capped_insitu(&cfg(), 125.0)
+            .expect("run ok")
+            .expect("feasible");
         assert!(tight.freq_scale < loose.freq_scale);
         assert!(tight.execution_time_s > loose.execution_time_s);
     }
@@ -166,12 +193,12 @@ mod tests {
     #[test]
     fn infeasible_caps_are_rejected() {
         // Below the static floor (≈105 W) no clock can satisfy the budget.
-        assert!(run_capped_insitu(&cfg(), 100.0).is_none());
+        assert!(run_capped_insitu(&cfg(), 100.0).expect("run ok").is_none());
     }
 
     #[test]
     fn sweep_skips_infeasible_points_and_is_monotone_in_time() {
-        let runs = cap_sweep(&cfg(), &[100.0, 125.0, 135.0, 150.0]);
+        let runs = cap_sweep(&cfg(), &[100.0, 125.0, 135.0, 150.0]).expect("sweep ok");
         assert_eq!(runs.len(), 3, "the 100 W point must be dropped");
         for pair in runs.windows(2) {
             assert!(

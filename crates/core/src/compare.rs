@@ -2,7 +2,7 @@
 
 use crate::config::PipelineConfig;
 use crate::experiment::{run, ExperimentSetup, PipelineReport};
-use crate::pipeline::PipelineKind;
+use crate::pipeline::{PipelineError, PipelineKind};
 
 /// Both pipelines run over the same case-study workload.
 #[derive(Debug, Clone)]
@@ -17,17 +17,27 @@ pub struct CaseComparison {
 
 impl CaseComparison {
     /// Run case study `n` end-to-end with both pipelines.
-    pub fn run_case(n: u32, setup: &ExperimentSetup) -> CaseComparison {
+    ///
+    /// # Errors
+    /// Propagates [`PipelineError`] from either run.
+    pub fn run_case(n: u32, setup: &ExperimentSetup) -> Result<CaseComparison, PipelineError> {
         Self::run_config(n, &PipelineConfig::case_study(n), setup)
     }
 
     /// Run both pipelines over an arbitrary workload.
-    pub fn run_config(n: u32, cfg: &PipelineConfig, setup: &ExperimentSetup) -> CaseComparison {
-        CaseComparison {
+    ///
+    /// # Errors
+    /// Propagates [`PipelineError`] from either run.
+    pub fn run_config(
+        n: u32,
+        cfg: &PipelineConfig,
+        setup: &ExperimentSetup,
+    ) -> Result<CaseComparison, PipelineError> {
+        Ok(CaseComparison {
             case: n,
-            post: run(PipelineKind::PostProcessing, cfg, setup),
-            insitu: run(PipelineKind::InSitu, cfg, setup),
-        }
+            post: run(PipelineKind::PostProcessing, cfg, setup)?,
+            insitu: run(PipelineKind::InSitu, cfg, setup)?,
+        })
     }
 
     /// Run several case studies through the parallel sweep executor
@@ -120,7 +130,7 @@ mod tests {
 
     fn small_case(interval: u64) -> CaseComparison {
         let cfg = PipelineConfig::small(interval);
-        CaseComparison::run_config(1, &cfg, &ExperimentSetup::noiseless())
+        CaseComparison::run_config(1, &cfg, &ExperimentSetup::noiseless()).expect("runs ok")
     }
 
     #[test]

@@ -11,7 +11,7 @@ use greenness_power::{GreenMetrics, PowerProfile, WattsupMeter};
 use greenness_trace::{MetricsRegistry, Tracer, Value};
 
 use crate::config::PipelineConfig;
-use crate::pipeline::{self, PipelineKind, PipelineOutput};
+use crate::pipeline::{self, PipelineError, PipelineKind, PipelineOutput};
 
 /// The measurement rig and hardware for a run.
 #[derive(Debug, Clone)]
@@ -119,7 +119,15 @@ impl PipelineReport {
 }
 
 /// Run `kind` over `cfg` on a fresh instrumented node.
-pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) -> PipelineReport {
+///
+/// # Errors
+/// Propagates [`PipelineError`] from the pipeline run — the serve layer maps
+/// it into a protocol error envelope instead of panicking.
+pub fn run(
+    kind: PipelineKind,
+    cfg: &PipelineConfig,
+    setup: &ExperimentSetup,
+) -> Result<PipelineReport, PipelineError> {
     let mut node = Node::new(setup.spec.clone());
     node.set_monitoring_overhead_w(setup.monitoring_overhead_w);
     if setup.trace {
@@ -134,7 +142,7 @@ pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) ->
         );
         node.set_tracer(tracer);
     }
-    let output = pipeline::run_with_faults(kind, &mut node, cfg, setup.faults);
+    let output = pipeline::run_with_faults(kind, &mut node, cfg, setup.faults)?;
     node.finish_trace();
     let tracer = node.tracer().clone();
     let timeline = node.into_timeline();
@@ -144,19 +152,19 @@ pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) ->
         tracer.begin(end_ns, "measure", Vec::new());
     }
     let profile = PowerProfile::measure_traced(&timeline, &setup.meter, &tracer);
-    let (journal, trace_metrics) = if tracer.is_on() {
+    if tracer.is_on() {
         tracer.end(end_ns, "measure", Vec::new());
         dump_timeline(&tracer, &timeline, end_ns);
         tracer.gauge("run.end_s", timeline.end().as_secs_f64());
         tracer.gauge("energy.system_j", timeline.total_energy_j());
         tracer.snapshot("run");
         tracer.end(end_ns, "run", Vec::new());
-        let out = tracer.drain().expect("tracer is on");
-        (Some(out.journal), Some(out.metrics))
-    } else {
-        (None, None)
+    }
+    let (journal, trace_metrics) = match tracer.drain() {
+        Some(out) => (Some(out.journal), Some(out.metrics)),
+        None => (None, None),
     };
-    PipelineReport {
+    Ok(PipelineReport {
         kind,
         config_label: cfg.label.clone(),
         metrics,
@@ -165,7 +173,7 @@ pub fn run(kind: PipelineKind, cfg: &PipelineConfig, setup: &ExperimentSetup) ->
         output,
         journal,
         trace_metrics,
-    }
+    })
 }
 
 /// Journal the exact power history: one `segment` event per timeline segment
@@ -223,7 +231,8 @@ mod tests {
             PipelineKind::PostProcessing,
             &cfg,
             &ExperimentSetup::noiseless(),
-        );
+        )
+        .expect("run ok");
         assert!((r.metrics.execution_time_s - r.timeline.end().as_secs_f64()).abs() < 1e-9);
         assert!((r.metrics.energy_j - r.timeline.total_energy_j()).abs() < 1e-6);
         // The 1 Hz profile covers the run (minus the partial last second).
@@ -238,7 +247,8 @@ mod tests {
             PipelineKind::PostProcessing,
             &cfg,
             &ExperimentSetup::noiseless(),
-        );
+        )
+        .expect("run ok");
         let rows = r.phase_rows();
         let pct: f64 = rows.iter().map(|x| x.time_pct).sum();
         assert!((pct - 100.0).abs() < 1e-6, "phases cover {pct}%");
@@ -249,7 +259,7 @@ mod tests {
     #[test]
     fn monitoring_overhead_shows_up_in_energy() {
         let cfg = PipelineConfig::small(1);
-        let with = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::noiseless());
+        let with = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::noiseless()).expect("run ok");
         let without = run(
             PipelineKind::InSitu,
             &cfg,
@@ -257,7 +267,8 @@ mod tests {
                 monitoring_overhead_w: 0.0,
                 ..ExperimentSetup::noiseless()
             },
-        );
+        )
+        .expect("run ok");
         let dt = with.metrics.execution_time_s;
         let de = with.metrics.energy_j - without.metrics.energy_j;
         assert!(
@@ -273,7 +284,8 @@ mod tests {
             PipelineKind::PostProcessing,
             &cfg,
             &ExperimentSetup::noiseless(),
-        );
+        )
+        .expect("run ok");
         assert!(plain.journal.is_none());
         assert!(plain.trace_metrics.is_none());
 
@@ -284,7 +296,8 @@ mod tests {
                 trace: true,
                 ..ExperimentSetup::noiseless()
             },
-        );
+        )
+        .expect("run ok");
         let journal = traced.journal.as_deref().expect("journal recorded");
         assert!(journal.starts_with("{\"t_ns\":0,\"ev\":\"begin\",\"name\":\"run\""));
         assert!(journal.contains("\"name\":\"phase_summary\""));
@@ -304,7 +317,8 @@ mod tests {
             PipelineKind::PostProcessing,
             &cfg,
             &ExperimentSetup::noiseless(),
-        );
+        )
+        .expect("run ok");
         let setup = ExperimentSetup {
             faults: Some(FaultPlan {
                 storage_fsync_rate: 0.5,
@@ -312,8 +326,8 @@ mod tests {
             }),
             ..ExperimentSetup::noiseless()
         };
-        let faulted = run(PipelineKind::PostProcessing, &cfg, &setup);
-        let again = run(PipelineKind::PostProcessing, &cfg, &setup);
+        let faulted = run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
+        let again = run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
         // Faults and retries cost time and energy but never change the data.
         assert!(faulted.output.verified);
         assert_eq!(faulted.output.bytes_written, clean.output.bytes_written);
@@ -330,8 +344,8 @@ mod tests {
     #[test]
     fn seeded_meter_noise_is_reproducible() {
         let cfg = PipelineConfig::small(1);
-        let a = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::default());
-        let b = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::default());
+        let a = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::default()).expect("run ok");
+        let b = run(PipelineKind::InSitu, &cfg, &ExperimentSetup::default()).expect("run ok");
         assert_eq!(a.profile.samples, b.profile.samples);
     }
 }

@@ -39,8 +39,8 @@
 //! // A scaled-down case study 1 (full scale is PipelineConfig::case_study(1)).
 //! let cfg = PipelineConfig::small(1);
 //! let setup = experiment::ExperimentSetup::default();
-//! let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
-//! let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup);
+//! let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
+//! let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup).expect("run ok");
 //! assert!(insitu.metrics.energy_j < post.metrics.energy_j);
 //! ```
 
@@ -56,6 +56,7 @@ pub mod pipeline;
 pub mod placement;
 pub mod probes;
 pub mod report;
+pub mod steering;
 pub mod sweep;
 pub mod variants;
 pub mod whatif;

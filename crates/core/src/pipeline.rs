@@ -21,13 +21,65 @@
 //! storage-stack corruption fails loudly.
 
 use greenness_faults::{FaultPlan, Site};
-use greenness_heatsim::{Grid, HeatSolver};
+use greenness_heatsim::{Grid, HeatSolver, SolverError};
 use greenness_platform::{Activity, Node, Phase};
-use greenness_storage::{FileSystem, FsConfig, MemBlockDevice};
+use greenness_storage::{FileSystem, FsConfig, FsError, MemBlockDevice};
 use greenness_trace::Value;
 use greenness_viz::{encode_ppm, render_field, Framebuffer};
 
 use crate::config::PipelineConfig;
+
+/// Why a pipeline run could not complete. All of these are reachable from
+/// caller-supplied configuration (and, through the serve layer, from network
+/// requests), so they are reported as values instead of panics — the
+/// "no panic on request paths" invariant the deny test in
+/// `tests/no_panic_paths.rs` pins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The solver rejected its configuration (unstable CFL, bad source…).
+    Solver(SolverError),
+    /// A storage operation failed terminally: the device is too small for
+    /// the workload, a snapshot vanished, or the fsync retry budget ran out.
+    Storage {
+        /// What the pipeline was doing (`"write"`, `"fsync"`, `"read"`…).
+        op: &'static str,
+        /// The filesystem's error.
+        source: FsError,
+    },
+    /// A read-back snapshot did not have the configured grid shape.
+    CorruptSnapshot {
+        /// The snapshot file name.
+        name: String,
+    },
+    /// A caller-supplied parameter was out of range.
+    Config(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Solver(e) => write!(f, "solver config rejected: {e}"),
+            PipelineError::Storage { op, source } => {
+                write!(f, "storage {op} failed: {source}")
+            }
+            PipelineError::CorruptSnapshot { name } => {
+                write!(
+                    f,
+                    "snapshot '{name}' does not match the configured grid shape"
+                )
+            }
+            PipelineError::Config(msg) => write!(f, "bad pipeline parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SolverError> for PipelineError {
+    fn from(e: SolverError) -> Self {
+        PipelineError::Solver(e)
+    }
+}
 
 /// Which pipeline organization to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,20 +170,26 @@ pub(crate) fn write_chunked(
     data: &[u8],
     chunk: usize,
     phase: Phase,
-) -> u64 {
+) -> Result<u64, PipelineError> {
     let mut off = 0usize;
     while off < data.len() {
         let end = (off + chunk).min(data.len());
         fs.write(node, name, off as u64, &data[off..end], phase)
-            .expect("device sized for the run");
+            .map_err(|source| PipelineError::Storage {
+                op: "write",
+                source,
+            })?;
         // Transient fsync faults (when a schedule is installed) are retried
         // with backoff inside the filesystem; only budget exhaustion or a
-        // genuine metadata error surfaces, and either is fatal here.
+        // genuine metadata error surfaces, and either is terminal here.
         fs.fsync_with_retry(node, name, phase)
-            .expect("fsync committed within the retry budget");
+            .map_err(|source| PipelineError::Storage {
+                op: "fsync",
+                source,
+            })?;
         off = end;
     }
-    data.len() as u64
+    Ok(data.len() as u64)
 }
 
 pub(crate) fn read_chunked(
@@ -140,23 +198,33 @@ pub(crate) fn read_chunked(
     name: &str,
     chunk: usize,
     phase: Phase,
-) -> Vec<u8> {
-    let size = fs.size(name).expect("snapshot exists");
+) -> Result<Vec<u8>, PipelineError> {
+    let size = fs
+        .size(name)
+        .map_err(|source| PipelineError::Storage { op: "stat", source })?;
     let mut out = Vec::with_capacity(size as usize);
     let mut off = 0u64;
     while off < size {
         let part = fs
             .read(node, name, off, chunk as u64, phase)
-            .expect("snapshot readable");
+            .map_err(|source| PipelineError::Storage { op: "read", source })?;
         off += part.len() as u64;
         out.extend_from_slice(&part);
     }
-    out
+    Ok(out)
 }
 
 /// Run the chosen pipeline over `node`. The node accumulates the power
 /// timeline; the returned output carries the data-side results.
-pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> PipelineOutput {
+///
+/// # Errors
+/// [`PipelineError`] when the solver rejects its configuration, the device
+/// is too small for the workload, or a read-back snapshot is malformed.
+pub fn run(
+    kind: PipelineKind,
+    node: &mut Node,
+    cfg: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
     run_with_faults(kind, node, cfg, None)
 }
 
@@ -164,12 +232,20 @@ pub fn run(kind: PipelineKind, node: &mut Node, cfg: &PipelineConfig) -> Pipelin
 /// injected per the plan and retried with exponential backoff, so a flaky
 /// disk stretches the run (real static energy) instead of changing its
 /// output. `None` is exactly the fault-free fast path.
+///
+/// # Errors
+/// Same conditions as [`run`].
 pub fn run_with_faults(
     kind: PipelineKind,
     node: &mut Node,
     cfg: &PipelineConfig,
     faults: Option<FaultPlan>,
-) -> PipelineOutput {
+) -> Result<PipelineOutput, PipelineError> {
+    if cfg.io_interval == 0 {
+        return Err(PipelineError::Config(
+            "io_interval must be at least 1".to_string(),
+        ));
+    }
     let mut fs = FileSystem::format(
         MemBlockDevice::with_capacity_bytes(cfg.device_bytes),
         FsConfig::default(),
@@ -179,8 +255,7 @@ pub fn run_with_faults(
         // A warm Gaussian patch on a cold plate.
         0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
     });
-    let mut solver =
-        HeatSolver::new(initial, cfg.solver.clone()).expect("library-built solver config");
+    let mut solver = HeatSolver::new(initial, cfg.solver.clone())?;
     let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
     let pixels = (cfg.render.width * cfg.render.height) as u64;
 
@@ -193,7 +268,7 @@ pub fn run_with_faults(
         frames: Vec::new(),
         verified: true,
     };
-    let mut checksums: Vec<(String, u64)> = Vec::new();
+    let mut checksums: Vec<(String, u64, u64)> = Vec::new();
 
     // ---- Phase 1: simulation (+ per-step I/O or in-situ visualization) ----
     for step in 1..=cfg.timesteps {
@@ -208,9 +283,9 @@ pub fn run_with_faults(
             PipelineKind::PostProcessing => {
                 let bytes = solver.grid().to_bytes();
                 let name = format!("snap{step:04}");
-                checksums.push((name.clone(), fnv1a(&bytes)));
+                checksums.push((name.clone(), step, fnv1a(&bytes)));
                 out.bytes_written +=
-                    write_chunked(node, &mut fs, &name, &bytes, cfg.chunk_bytes, Phase::Write);
+                    write_chunked(node, &mut fs, &name, &bytes, cfg.chunk_bytes, Phase::Write)?;
             }
             PipelineKind::InSitu => {
                 // Hand the live field to the renderer (in-memory).
@@ -230,7 +305,7 @@ pub fn run_with_faults(
                     &ppm,
                     cfg.chunk_bytes,
                     Phase::ImageWrite,
-                );
+                )?;
                 if cfg.keep_frames {
                     out.frames.push(FrameRecord { step, image });
                 }
@@ -264,24 +339,23 @@ pub fn run_with_faults(
 
     // ---- Phase 2 (post-processing only): read back and visualize ----
     if kind == PipelineKind::PostProcessing {
-        for (name, checksum) in &checksums {
-            let bytes = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read);
+        for (name, step, checksum) in &checksums {
+            let bytes = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read)?;
             out.bytes_read += bytes.len() as u64;
             if fnv1a(&bytes) != *checksum {
                 out.verified = false;
             }
             let grid = Grid::from_bytes(cfg.grid_nx, cfg.grid_ny, &bytes)
-                .expect("snapshot has the configured grid shape");
+                .ok_or_else(|| PipelineError::CorruptSnapshot { name: name.clone() })?;
             node.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
             let image = render_field(&grid, &cfg.render);
             if cfg.keep_frames {
-                let step: u64 = name["snap".len()..].parse().expect("snapNNNN name");
-                out.frames.push(FrameRecord { step, image });
+                out.frames.push(FrameRecord { step: *step, image });
             }
         }
     }
 
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -292,7 +366,7 @@ mod tests {
     fn run_small(kind: PipelineKind, interval: u64) -> (Node, PipelineOutput) {
         let mut node = Node::new(HardwareSpec::table1());
         let cfg = PipelineConfig::small(interval);
-        let out = run(kind, &mut node, &cfg);
+        let out = run(kind, &mut node, &cfg).expect("small config runs");
         (node, out)
     }
 
@@ -363,9 +437,9 @@ mod tests {
         let mut cfg = PipelineConfig::small(2);
         cfg.keep_frames = true;
         let mut a = Node::new(HardwareSpec::table1());
-        let post = run(PipelineKind::PostProcessing, &mut a, &cfg);
+        let post = run(PipelineKind::PostProcessing, &mut a, &cfg).expect("post runs");
         let mut b = Node::new(HardwareSpec::table1());
-        let insitu = run(PipelineKind::InSitu, &mut b, &cfg);
+        let insitu = run(PipelineKind::InSitu, &mut b, &cfg).expect("insitu runs");
         assert_eq!(post.frames.len(), insitu.frames.len());
         for (p, i) in post.frames.iter().zip(&insitu.frames) {
             assert_eq!(p.step, i.step);
@@ -375,6 +449,25 @@ mod tests {
                 p.step
             );
         }
+    }
+
+    #[test]
+    fn undersized_device_is_an_error_not_a_panic() {
+        let mut cfg = PipelineConfig::small(1);
+        cfg.device_bytes = 16 * 1024;
+        let mut node = Node::new(HardwareSpec::table1());
+        let err = run(PipelineKind::PostProcessing, &mut node, &cfg).expect_err("device too small");
+        assert!(matches!(err, PipelineError::Storage { .. }), "{err}");
+        assert!(err.to_string().contains("storage"));
+    }
+
+    #[test]
+    fn zero_io_interval_is_an_error_not_a_divide_by_zero() {
+        let mut cfg = PipelineConfig::small(1);
+        cfg.io_interval = 0;
+        let mut node = Node::new(HardwareSpec::table1());
+        let err = run(PipelineKind::InSitu, &mut node, &cfg).expect_err("bad interval");
+        assert!(matches!(err, PipelineError::Config(_)), "{err}");
     }
 
     #[test]

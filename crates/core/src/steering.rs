@@ -1,0 +1,503 @@
+//! Interactive steering: a resumable in-situ pipeline that renders
+//! incrementally and answers what-if questions about the *remaining* run.
+//!
+//! The batch pipelines in [`crate::pipeline`] run start-to-finish and report
+//! afterwards. A steering session instead holds the solver live: the client
+//! advances virtual time in slices, re-renders the current field on demand,
+//! and adjusts parameters (I/O interval, render resolution, camera) mid-run.
+//! Before committing an adjustment, the client can ask for the **energy
+//! delta** it would cause. That delta is computed by replaying only the
+//! affected phase spans — the per-step activity schedule — on a scratch
+//! [`Node`], never by re-running the solver or renderer: per-step costs in
+//! this model are state-independent, so the replay is bit-identical to a
+//! full recompute while doing none of the stencil or rasterization work.
+//!
+//! Everything here is deterministic. Frames are hashed with the same FNV-1a
+//! the batch pipelines use for snapshot checksums, so two sessions that apply
+//! the same adjustments at the same steps produce byte-identical transcripts
+//! for any solver thread count and across reruns.
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{fnv1a, PipelineError};
+use greenness_heatsim::{Grid, HeatSolver};
+use greenness_platform::{AccessPattern, Activity, Node, Phase};
+use greenness_viz::{encode_ppm, ppm_size_bytes, render_field, Colormap};
+
+/// A parameter change a steering client may apply mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Adjustment {
+    /// Render every `n`-th step from now on (must be ≥ 1).
+    IoInterval(u64),
+    /// Change the output image resolution.
+    Resolution {
+        /// New image width, pixels (must be ≥ 1).
+        width: usize,
+        /// New image height, pixels (must be ≥ 1).
+        height: usize,
+    },
+    /// Re-aim the "camera": colormap and value range of the transfer
+    /// function. Free in the energy model (same pixel count), but changes
+    /// the bytes of every subsequent frame.
+    Camera {
+        /// New colormap.
+        colormap: Colormap,
+        /// New explicit value range, or `None` for auto-scaling.
+        range: Option<(f64, f64)>,
+    },
+}
+
+impl Adjustment {
+    /// A stable lowercase label for transcripts and trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Adjustment::IoInterval(_) => "io_interval",
+            Adjustment::Resolution { .. } => "resolution",
+            Adjustment::Camera { .. } => "camera",
+        }
+    }
+
+    /// Canonical encoding used in cache keys and transcripts. Floats are
+    /// rendered through their shortest round-trip form, so equal values
+    /// always encode identically.
+    pub fn canonical(&self) -> String {
+        match self {
+            Adjustment::IoInterval(n) => format!("io_interval={n}"),
+            Adjustment::Resolution { width, height } => {
+                format!("resolution={width}x{height}")
+            }
+            Adjustment::Camera { colormap, range } => match range {
+                Some((lo, hi)) => format!("camera={colormap:?}/{lo}..{hi}"),
+                None => format!("camera={colormap:?}/auto"),
+            },
+        }
+    }
+}
+
+/// What a render produced: enough to reproduce and compare transcripts
+/// without shipping pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameStamp {
+    /// Simulation step the frame shows.
+    pub step: u64,
+    /// Image width, pixels.
+    pub width: usize,
+    /// Image height, pixels.
+    pub height: usize,
+    /// FNV-1a hash of the encoded PPM bytes.
+    pub hash: u64,
+    /// Encoded size, bytes.
+    pub bytes: u64,
+}
+
+impl FrameStamp {
+    /// One-line transcript form: `step=12 1024x768 5fa3… (786447 B)`.
+    pub fn transcript_line(&self) -> String {
+        format!(
+            "step={} {}x{} {:016x} ({} B)",
+            self.step, self.width, self.height, self.hash, self.bytes
+        )
+    }
+}
+
+/// What-if answer: the projected remaining energy before and after an
+/// adjustment, computed by schedule replay (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhatIfDelta {
+    /// Projected energy to finish the run under the current parameters, J.
+    pub baseline_j: f64,
+    /// Projected energy to finish under the adjusted parameters, J.
+    pub adjusted_j: f64,
+}
+
+impl WhatIfDelta {
+    /// Signed change in remaining energy, J (negative = the adjustment
+    /// saves energy).
+    pub fn delta_j(&self) -> f64 {
+        self.adjusted_j - self.baseline_j
+    }
+}
+
+/// An in-situ pipeline held open for steering: live solver, live energy
+/// timeline, adjustable parameters.
+#[derive(Debug, Clone)]
+pub struct SteeringPipeline {
+    cfg: PipelineConfig,
+    node: Node,
+    solver: HeatSolver,
+    step: u64,
+    frames_rendered: u64,
+    bytes_written: u64,
+}
+
+impl SteeringPipeline {
+    /// Open a session over `cfg` with `jobs` solver threads. The thread
+    /// count changes wall-clock speed only — never output bytes.
+    ///
+    /// # Errors
+    /// [`PipelineError::Config`] for a zero `io_interval`, and solver
+    /// validation errors as [`PipelineError::Solver`].
+    pub fn new(cfg: &PipelineConfig, jobs: usize) -> Result<SteeringPipeline, PipelineError> {
+        if cfg.io_interval == 0 {
+            return Err(PipelineError::Config(
+                "io_interval must be at least 1".to_string(),
+            ));
+        }
+        let initial = Grid::from_fn(cfg.grid_nx, cfg.grid_ny, |x, y| {
+            // Same warm Gaussian patch the batch pipelines start from.
+            0.3 * (-((x - 0.5).powi(2) + (y - 0.4).powi(2)) * 40.0).exp()
+        });
+        let mut solver = HeatSolver::new(initial, cfg.solver.clone())?;
+        solver.set_jobs(jobs.max(1));
+        Ok(SteeringPipeline {
+            cfg: cfg.clone(),
+            node: Node::new(greenness_platform::HardwareSpec::table1()),
+            solver,
+            step: 0,
+            frames_rendered: 0,
+            bytes_written: 0,
+        })
+    }
+
+    /// Current simulation step (0 before the first [`advance`](Self::advance)).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Total steps the run was configured for.
+    pub fn timesteps(&self) -> u64 {
+        self.cfg.timesteps
+    }
+
+    /// True once the configured timestep budget is exhausted.
+    pub fn finished(&self) -> bool {
+        self.step >= self.cfg.timesteps
+    }
+
+    /// Virtual seconds elapsed on the session node.
+    pub fn virtual_time_s(&self) -> f64 {
+        self.node.now().as_secs_f64()
+    }
+
+    /// Energy spent so far, J.
+    pub fn energy_j(&self) -> f64 {
+        self.node.timeline().total_energy_j()
+    }
+
+    /// Stencil steps actually executed (the expensive work what-if replay
+    /// avoids).
+    pub fn solver_steps(&self) -> u64 {
+        self.solver.steps_taken()
+    }
+
+    /// Frames rendered so far (scheduled and on-demand).
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// Image bytes charged to the virtual disk so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The live configuration (reflects applied adjustments).
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Apply an adjustment to the remaining run.
+    ///
+    /// # Errors
+    /// [`PipelineError::Config`] for a zero interval or a zero-pixel
+    /// resolution.
+    pub fn adjust(&mut self, adj: &Adjustment) -> Result<(), PipelineError> {
+        match *adj {
+            Adjustment::IoInterval(n) => {
+                if n == 0 {
+                    return Err(PipelineError::Config(
+                        "io_interval must be at least 1".to_string(),
+                    ));
+                }
+                self.cfg.io_interval = n;
+            }
+            Adjustment::Resolution { width, height } => {
+                if width == 0 || height == 0 {
+                    return Err(PipelineError::Config(format!(
+                        "render resolution must be at least 1x1, got {width}x{height}"
+                    )));
+                }
+                self.cfg.render.width = width;
+                self.cfg.render.height = height;
+            }
+            Adjustment::Camera { colormap, range } => {
+                self.cfg.render.colormap = colormap;
+                self.cfg.render.range = range;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance up to `steps` simulation steps (clamped to the configured
+    /// budget), rendering at every step divisible by the live `io_interval`.
+    /// Returns the stamps of the frames produced, in step order.
+    pub fn advance(&mut self, steps: u64) -> Vec<FrameStamp> {
+        let cells = (self.cfg.grid_nx * self.cfg.grid_ny) as u64;
+        let stop = self.cfg.timesteps.min(self.step.saturating_add(steps));
+        let mut frames = Vec::new();
+        while self.step < stop {
+            self.step += 1;
+            self.solver.step();
+            self.node.tracer().count("solver.steps", 1);
+            self.node
+                .execute(self.cfg.sim_cost.activity(cells), Phase::Simulation);
+            if self.step % self.cfg.io_interval == 0 {
+                frames.push(self.render_frame());
+            }
+        }
+        frames
+    }
+
+    /// Render the current field immediately — the incremental re-render a
+    /// client requests right after an adjustment, without waiting for the
+    /// next scheduled frame.
+    pub fn render_now(&mut self) -> FrameStamp {
+        self.render_frame()
+    }
+
+    fn render_frame(&mut self) -> FrameStamp {
+        let pixels = (self.cfg.render.width * self.cfg.render.height) as u64;
+        self.node.execute(
+            Activity::MemTraffic {
+                bytes: self.cfg.snapshot_bytes(),
+            },
+            Phase::Visualization,
+        );
+        self.node
+            .execute(self.cfg.render_cost.activity(pixels), Phase::Visualization);
+        let image = render_field(self.solver.grid(), &self.cfg.render);
+        let ppm = encode_ppm(&image);
+        self.node.execute(
+            frame_write_activity(ppm.len() as u64, self.cfg.chunk_bytes),
+            Phase::ImageWrite,
+        );
+        self.frames_rendered += 1;
+        self.bytes_written += ppm.len() as u64;
+        FrameStamp {
+            step: self.step,
+            width: self.cfg.render.width,
+            height: self.cfg.render.height,
+            hash: fnv1a(&ppm),
+            bytes: ppm.len() as u64,
+        }
+    }
+
+    /// Projected energy to finish the run under the live parameters, J.
+    /// Pure schedule replay: no solver or renderer work.
+    pub fn projected_remaining_j(&self) -> f64 {
+        replay_remaining(&self.node, &self.cfg, self.step)
+    }
+
+    /// What-if: projected remaining energy before/after `adj`, without
+    /// applying it. Both sides are schedule replays, so the answer costs no
+    /// stencil or rasterization work.
+    ///
+    /// # Errors
+    /// Same validation as [`adjust`](Self::adjust).
+    pub fn whatif(&self, adj: &Adjustment) -> Result<WhatIfDelta, PipelineError> {
+        let mut trial = self.clone_cfg_only();
+        trial.adjust(adj)?;
+        Ok(WhatIfDelta {
+            baseline_j: replay_remaining(&self.node, &self.cfg, self.step),
+            adjusted_j: replay_remaining(&self.node, &trial.cfg, self.step),
+        })
+    }
+
+    /// Ground truth for tests and audits: actually run the remaining steps
+    /// (cloned solver, real stencil and renderer) under `cfg` and measure
+    /// the energy. Bit-identical to [`projected_remaining_j`](Self::projected_remaining_j)
+    /// because per-step costs are state-independent — but it pays for every
+    /// stencil update and rasterized pixel the replay skips.
+    pub fn full_recompute_remaining_j(&self, cfg: &PipelineConfig) -> f64 {
+        let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
+        let pixels = (cfg.render.width * cfg.render.height) as u64;
+        let mut solver = self.solver.clone();
+        let mut probe = Node::new(self.node.spec().clone());
+        for k in self.step + 1..=cfg.timesteps {
+            solver.step();
+            probe.execute(cfg.sim_cost.activity(cells), Phase::Simulation);
+            if k % cfg.io_interval == 0 {
+                probe.execute(
+                    Activity::MemTraffic {
+                        bytes: cfg.snapshot_bytes(),
+                    },
+                    Phase::Visualization,
+                );
+                probe.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+                let ppm = encode_ppm(&render_field(solver.grid(), &cfg.render));
+                probe.execute(
+                    frame_write_activity(ppm.len() as u64, cfg.chunk_bytes),
+                    Phase::ImageWrite,
+                );
+            }
+        }
+        probe.timeline().total_energy_j()
+    }
+
+    /// A copy that shares configuration but owns nothing live — used to
+    /// validate trial adjustments without touching the session.
+    fn clone_cfg_only(&self) -> SteeringPipeline {
+        SteeringPipeline {
+            cfg: self.cfg.clone(),
+            node: Node::new(self.node.spec().clone()),
+            solver: self.solver.clone(),
+            step: self.step,
+            frames_rendered: 0,
+            bytes_written: 0,
+        }
+    }
+}
+
+/// The per-frame image-write charge. Steering charges the activity directly
+/// (no [`greenness_storage::FileSystem`]) precisely so that per-frame cost is
+/// independent of filesystem state and the schedule replay stays exact.
+fn frame_write_activity(bytes: u64, chunk_bytes: usize) -> Activity {
+    Activity::DiskWrite {
+        bytes,
+        pattern: AccessPattern::Chunked {
+            op_bytes: chunk_bytes as u64,
+        },
+        buffered: true,
+    }
+}
+
+/// Replay the remaining activity schedule of `cfg` from `step` on a scratch
+/// node and return its total energy. Frame sizes come from
+/// [`ppm_size_bytes`], which is exact for the PPM encoder, so the replayed
+/// charges are the same bytes the live path would write.
+fn replay_remaining(node: &Node, cfg: &PipelineConfig, step: u64) -> f64 {
+    let cells = (cfg.grid_nx * cfg.grid_ny) as u64;
+    let pixels = (cfg.render.width * cfg.render.height) as u64;
+    let frame_bytes = ppm_size_bytes(cfg.render.width, cfg.render.height) as u64;
+    let mut probe = Node::new(node.spec().clone());
+    for k in step + 1..=cfg.timesteps {
+        probe.execute(cfg.sim_cost.activity(cells), Phase::Simulation);
+        if k % cfg.io_interval == 0 {
+            probe.execute(
+                Activity::MemTraffic {
+                    bytes: cfg.snapshot_bytes(),
+                },
+                Phase::Visualization,
+            );
+            probe.execute(cfg.render_cost.activity(pixels), Phase::Visualization);
+            probe.execute(
+                frame_write_activity(frame_bytes, cfg.chunk_bytes),
+                Phase::ImageWrite,
+            );
+        }
+    }
+    probe.timeline().total_energy_j()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> SteeringPipeline {
+        SteeringPipeline::new(&PipelineConfig::small(2), 1).expect("session opens")
+    }
+
+    #[test]
+    fn advance_renders_on_the_interval_and_tracks_progress() {
+        let mut s = session();
+        let frames = s.advance(5);
+        assert_eq!(s.step(), 5);
+        assert_eq!(
+            frames.iter().map(|f| f.step).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert_eq!(s.frames_rendered(), 2);
+        assert!(s.energy_j() > 0.0 && s.virtual_time_s() > 0.0);
+        // Clamped at the configured budget.
+        let rest = s.advance(100);
+        assert!(s.finished());
+        assert_eq!(rest.last().map(|f| f.step), Some(10));
+    }
+
+    #[test]
+    fn transcripts_are_identical_across_jobs() {
+        let run = |jobs: usize| -> Vec<String> {
+            let mut s = SteeringPipeline::new(&PipelineConfig::small(2), jobs).expect("opens");
+            let mut lines = Vec::new();
+            lines.extend(s.advance(4).iter().map(FrameStamp::transcript_line));
+            s.adjust(&Adjustment::Resolution {
+                width: 96,
+                height: 96,
+            })
+            .expect("valid");
+            lines.push(s.render_now().transcript_line());
+            lines.extend(s.advance(6).iter().map(FrameStamp::transcript_line));
+            lines
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn camera_changes_frame_bytes_but_not_energy_projection() {
+        let mut s = session();
+        s.advance(2);
+        let before = s.render_now();
+        let wi = s
+            .whatif(&Adjustment::Camera {
+                colormap: Colormap::Viridis,
+                range: None,
+            })
+            .expect("valid");
+        assert_eq!(wi.delta_j(), 0.0, "camera is free in the energy model");
+        s.adjust(&Adjustment::Camera {
+            colormap: Colormap::Viridis,
+            range: None,
+        })
+        .expect("valid");
+        let after = s.render_now();
+        assert_eq!(before.bytes, after.bytes);
+        assert_ne!(before.hash, after.hash, "colormap must change the pixels");
+    }
+
+    #[test]
+    fn whatif_replay_matches_full_recompute_without_solver_work() {
+        let mut s = session();
+        s.advance(3);
+        let steps_before = s.solver_steps();
+        let adj = Adjustment::IoInterval(5);
+        let wi = s.whatif(&adj).expect("valid");
+        // The replay did no stencil work on the live solver.
+        assert_eq!(s.solver_steps(), steps_before);
+        // Ground truth: run the remainder for real, both ways.
+        let full_base = s.full_recompute_remaining_j(s.config());
+        let mut trial = s.config().clone();
+        trial.io_interval = 5;
+        let full_adj = s.full_recompute_remaining_j(&trial);
+        assert!(
+            (wi.baseline_j - full_base).abs() <= 1e-9,
+            "baseline drifted"
+        );
+        assert!((wi.adjusted_j - full_adj).abs() <= 1e-9, "adjusted drifted");
+        // Thinning I/O from every 2nd to every 5th step must save energy.
+        assert!(wi.delta_j() < 0.0);
+    }
+
+    #[test]
+    fn invalid_adjustments_are_rejected_as_values() {
+        let mut s = session();
+        assert!(matches!(
+            s.adjust(&Adjustment::IoInterval(0)),
+            Err(PipelineError::Config(_))
+        ));
+        assert!(matches!(
+            s.whatif(&Adjustment::Resolution {
+                width: 0,
+                height: 64
+            }),
+            Err(PipelineError::Config(_))
+        ));
+    }
+}

@@ -168,14 +168,16 @@ fn sampled_post(node: &mut Node, cfg: &PipelineConfig, stride: usize) -> Variant
         let bytes = reduced.to_bytes();
         let name = format!("snap{step:04}");
         names.push((name.clone(), fnv1a(&bytes), reduced.nx(), reduced.ny()));
-        written += write_chunked(node, &mut fs, &name, &bytes, cfg.chunk_bytes, Phase::Write);
+        written += write_chunked(node, &mut fs, &name, &bytes, cfg.chunk_bytes, Phase::Write)
+            .expect("device sized for the variant run");
     }
     fs.sync(node, Phase::CacheControl);
     fs.drop_caches();
 
     let mut verified = true;
     for (name, sum, nx, ny) in &names {
-        let bytes = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read);
+        let bytes = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read)
+            .expect("snapshot readable");
         if fnv1a(&bytes) != *sum {
             verified = false;
         }
@@ -228,14 +230,16 @@ fn compressed_post(node: &mut Node, cfg: &PipelineConfig, choice: CodecChoice) -
             solver.grid().min(),
             solver.grid().max(),
         ));
-        written += write_chunked(node, &mut fs, &name, encoded, cfg.chunk_bytes, Phase::Write);
+        written += write_chunked(node, &mut fs, &name, encoded, cfg.chunk_bytes, Phase::Write)
+            .expect("device sized for the variant run");
     }
     fs.sync(node, Phase::CacheControl);
     fs.drop_caches();
 
     let mut verified = true;
     for (name, raw_sum, lo, hi) in &names {
-        let encoded = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read);
+        let encoded = read_chunked(node, &mut fs, name, cfg.chunk_bytes, Phase::Read)
+            .expect("snapshot readable");
         let decoded = match codec.decode(&encoded) {
             Some(d) => d,
             None => {
@@ -319,7 +323,8 @@ fn dvfs_insitu(node: &mut Node, cfg: &PipelineConfig, freq_scale: f64) -> Varian
             &ppm,
             cfg.chunk_bytes,
             Phase::ImageWrite,
-        );
+        )
+        .expect("device sized for the variant run");
     }
     fs.sync(node, Phase::CacheControl);
     fs.drop_caches();
@@ -365,7 +370,8 @@ fn image_database(node: &mut Node, cfg: &PipelineConfig, views: usize) -> Varian
                 &ppm,
                 cfg.chunk_bytes,
                 Phase::ImageWrite,
-            );
+            )
+            .expect("device sized for the variant run");
         }
     }
     fs.sync(node, Phase::CacheControl);
@@ -453,7 +459,8 @@ mod tests {
                 monitoring_overhead_w: 0.0,
                 ..ExperimentSetup::noiseless()
             },
-        );
+        )
+        .expect("run ok");
         (r.metrics.energy_j, r.metrics.execution_time_s)
     }
 
@@ -514,7 +521,7 @@ mod tests {
     #[test]
     fn dvfs_at_full_clock_matches_plain_insitu() {
         let mut node = Node::new(HardwareSpec::table1());
-        let insitu = pipeline::run(PipelineKind::InSitu, &mut node, &cfg());
+        let insitu = pipeline::run(PipelineKind::InSitu, &mut node, &cfg()).expect("run ok");
         let v = run_on_fresh(Variant::DvfsSim { freq_scale: 1.0 });
         // Identical organization; DVFS variant skips the in-situ MemTraffic
         // hand-off charge, which is sub-millisecond.

@@ -13,6 +13,37 @@ use greenness_storage::{fio, FioJob, FioKind, FioResult, NullBlockDevice, Storag
 
 use crate::experiment::ExperimentSetup;
 
+/// Why the §V-D analysis could not be derived. Reachable from the serve
+/// `whatif` op, so reported as a value (surfaced as a protocol error
+/// envelope) rather than a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhatIfError {
+    /// A fio job failed to run (malformed configuration).
+    Fio(StorageError),
+    /// The result set was missing one of the four Table III kinds — the
+    /// analysis would have nothing to sum for that column.
+    MissingKind(FioKind),
+}
+
+impl std::fmt::Display for WhatIfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhatIfError::Fio(e) => write!(f, "fio failed: {e}"),
+            WhatIfError::MissingKind(k) => {
+                write!(f, "fio results missing the {k:?} column of Table III")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WhatIfError {}
+
+impl From<StorageError> for WhatIfError {
+    fn from(e: StorageError) -> Self {
+        WhatIfError::Fio(e)
+    }
+}
+
 /// The §V-D numbers, derived from freshly-run fio jobs.
 #[derive(Debug, Clone)]
 pub struct WhatIfAnalysis {
@@ -28,9 +59,10 @@ pub struct WhatIfAnalysis {
 
 impl WhatIfAnalysis {
     /// Run the four Table III fio jobs at `total_bytes` (paper: 4 GiB) and
-    /// derive the §V-D comparison. A malformed job configuration is reported
-    /// as a [`StorageError`] instead of panicking.
-    pub fn run(setup: &ExperimentSetup, total_bytes: u64) -> Result<WhatIfAnalysis, StorageError> {
+    /// derive the §V-D comparison. A malformed job configuration or an
+    /// incomplete result set is reported as a [`WhatIfError`] instead of
+    /// panicking.
+    pub fn run(setup: &ExperimentSetup, total_bytes: u64) -> Result<WhatIfAnalysis, WhatIfError> {
         let mut fio_results = Vec::with_capacity(4);
         for kind in FioKind::ALL {
             // Each job on a fresh node, as separate fio invocations would be.
@@ -43,17 +75,25 @@ impl WhatIfAnalysis {
             };
             fio_results.push(fio::run(&mut node, &mut dev, &job)?);
         }
-        let energy = |k: FioKind| {
+        Self::from_results(fio_results)
+    }
+
+    /// Derive the comparison from an already-run result set. Each Table III
+    /// column must be present exactly once; a missing kind surfaces as
+    /// [`WhatIfError::MissingKind`] — the condition the old code turned into
+    /// a process-killing `.expect("all four kinds ran")`.
+    pub fn from_results(fio_results: Vec<FioResult>) -> Result<WhatIfAnalysis, WhatIfError> {
+        let energy = |k: FioKind| -> Result<f64, WhatIfError> {
             fio_results
                 .iter()
                 .find(|r| r.kind == k)
-                .expect("all four kinds ran")
-                .full_system_energy_kj
+                .map(|r| r.full_system_energy_kj)
+                .ok_or(WhatIfError::MissingKind(k))
         };
         Ok(WhatIfAnalysis {
-            random_io_energy_kj: energy(FioKind::RandomRead) + energy(FioKind::RandomWrite),
-            reorganized_io_energy_kj: energy(FioKind::SequentialRead)
-                + energy(FioKind::SequentialWrite),
+            random_io_energy_kj: energy(FioKind::RandomRead)? + energy(FioKind::RandomWrite)?,
+            reorganized_io_energy_kj: energy(FioKind::SequentialRead)?
+                + energy(FioKind::SequentialWrite)?,
             fio: fio_results,
         })
     }
@@ -89,6 +129,26 @@ mod tests {
         );
         assert!(w.retained_fraction() < 0.05);
         assert_eq!(w.fio.len(), 4);
+    }
+
+    #[test]
+    fn missing_kind_is_a_structured_error_not_a_panic() {
+        let full = WhatIfAnalysis::run(&ExperimentSetup::noiseless(), 64 * 1024 * 1024)
+            .unwrap()
+            .fio;
+        // Drop one column: the analysis must refuse as a value.
+        let partial: Vec<FioResult> = full
+            .into_iter()
+            .filter(|r| r.kind != FioKind::RandomWrite)
+            .collect();
+        let err = WhatIfAnalysis::from_results(partial).expect_err("incomplete set");
+        assert_eq!(err, WhatIfError::MissingKind(FioKind::RandomWrite));
+        assert!(err.to_string().contains("missing"));
+        // An empty set fails on the first column it looks for.
+        assert!(matches!(
+            WhatIfAnalysis::from_results(Vec::new()),
+            Err(WhatIfError::MissingKind(_))
+        ));
     }
 
     #[test]

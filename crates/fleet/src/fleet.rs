@@ -22,8 +22,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use greenness_faults::{FaultInjector, FaultPlan, Site};
-use greenness_serve::protocol::{self, ErrorCode};
+use greenness_serve::json::Json;
+use greenness_serve::protocol::{self, ErrorCode, Request};
 use greenness_serve::{Disposition, Service, ServiceConfig};
+use greenness_trace::hash::blake2s256;
 use greenness_trace::MetricsRegistry;
 
 use crate::ring::{Ring, DEFAULT_VNODES};
@@ -60,6 +62,8 @@ pub struct FleetConfig {
     pub queue_depth: usize,
     /// Accesses before a key counts as hot.
     pub hot_threshold: u64,
+    /// Per-shard steering-session slots (`steer.*` ops).
+    pub session_slots: usize,
     /// Fault schedule: drives shard churn at the router (`Site::FleetChurn`)
     /// and derives an independent per-shard plan for connection drops and
     /// slow handlers.
@@ -78,6 +82,7 @@ impl Default for FleetConfig {
             slots: 4,
             queue_depth: 16,
             hot_threshold: DEFAULT_HOT_THRESHOLD,
+            session_slots: 8,
             faults: None,
         }
     }
@@ -124,6 +129,22 @@ pub struct FleetOutcome {
     pub events: Vec<ChurnEvent>,
 }
 
+/// Where a steering session lives and how to rebuild it elsewhere.
+struct SessionHome {
+    /// Current home shard.
+    shard: u32,
+    /// The exact service instance holding the session state. Compared by
+    /// pointer against the shard slot: a rejoined shard is a *fresh*
+    /// instance, so a stale pointer means the session must be replayed even
+    /// though the shard id is live again.
+    service: Arc<Service>,
+    /// Every acked `steer.*` request line, in order. Replaying this log
+    /// into a fresh shard reconstructs the session bit-identically (the
+    /// engine is deterministic and replays duplicate seqs from its own
+    /// record).
+    log: Vec<String>,
+}
+
 /// Mutable topology: which shards are live and who owns which arc.
 struct FleetState {
     ring: Ring,
@@ -132,6 +153,8 @@ struct FleetState {
     live: Vec<bool>,
     /// Router-side access counts by cache key — the hot-key signal.
     access: HashMap<[u8; 32], u64>,
+    /// Steering sessions pinned to their home shard.
+    sessions: HashMap<String, SessionHome>,
 }
 
 impl FleetState {
@@ -166,6 +189,7 @@ impl Fleet {
                 services,
                 live: vec![true; config.shards as usize],
                 access: HashMap::new(),
+                sessions: HashMap::new(),
             }),
             metrics: Mutex::new(MetricsRegistry::default()),
             churn: config
@@ -252,6 +276,12 @@ impl Fleet {
                 };
             }
             _ => {}
+        }
+
+        // Steering sessions are stateful: they pin to a home shard instead
+        // of routing by cache key, and they survive churn by log replay.
+        if req.op.starts_with("steer.") {
+            return self.handle_steer(&req, line);
         }
 
         // One churn slot per compute request, consumed *before* routing, so
@@ -376,6 +406,157 @@ impl Fleet {
         }
     }
 
+    /// Route one `steer.*` request. Sessions are pinned: every op for a
+    /// session goes to its home shard (not the ring's replica set), so the
+    /// live pipeline state is in exactly one place. Two failure modes are
+    /// healed here:
+    ///
+    /// * **Connection drop inside the home shard** — the shard applies the
+    ///   op *before* its drop fault fires, so the router simply retries the
+    ///   same line on the same shard and the engine answers from its seq
+    ///   replay log (`retries.fleet.session.resume`).
+    /// * **Home shard churned away** — the session re-homes to the ring's
+    ///   current owner for its key and the acked-op log is replayed into
+    ///   the fresh shard, rebuilding the session bit-identically
+    ///   (`fleet.session.rehomed` / `fleet.session.replayed`).
+    fn handle_steer(&self, req: &Request, line: &str) -> FleetOutcome {
+        let events = self.apply_churn();
+        self.count("fleet.requests", 1);
+        let session = req
+            .params
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let key = blake2s256(format!("fleet.session/{session}").as_bytes());
+
+        // Find (or re-establish) the home shard.
+        let homed = {
+            let state = lock(&self.state);
+            if state.live_count() == 0 {
+                drop(state);
+                self.count("fleet.err", 1);
+                return FleetOutcome {
+                    events,
+                    ..router_reply(
+                        protocol::error_line(&req.id, ErrorCode::Internal, "no live shards"),
+                        Disposition::Error,
+                    )
+                };
+            }
+            match state.sessions.get(&session) {
+                Some(h)
+                    if state.live[h.shard as usize]
+                        && Arc::ptr_eq(&h.service, &state.services[h.shard as usize]) =>
+                {
+                    Ok((h.shard, Arc::clone(&h.service)))
+                }
+                Some(h) => Err(Some(h.log.clone())),
+                None => Err(None),
+            }
+        };
+        let (shard, service) = match homed {
+            Ok(home) => home,
+            Err(lost_log) => {
+                // (Re-)home on the ring's current owner for the session key.
+                let (shard, service) = {
+                    let state = lock(&self.state);
+                    let Some(shard) = state.ring.route(&key) else {
+                        drop(state);
+                        self.count("fleet.err", 1);
+                        return FleetOutcome {
+                            events,
+                            ..router_reply(
+                                protocol::error_line(
+                                    &req.id,
+                                    ErrorCode::Internal,
+                                    "no live shards",
+                                ),
+                                Disposition::Error,
+                            )
+                        };
+                    };
+                    (shard, Arc::clone(&state.services[shard as usize]))
+                };
+                if let Some(log) = lost_log {
+                    for acked in &log {
+                        // Replay commits even when the shard's own fault
+                        // schedule "drops" the reply: steer ops apply
+                        // before their fault slot.
+                        let _ = service.handle_line(acked);
+                    }
+                    self.count("fleet.session.rehomed", 1);
+                    self.count("fleet.session.replayed", log.len() as u64);
+                    let mut state = lock(&self.state);
+                    if let Some(h) = state.sessions.get_mut(&session) {
+                        h.shard = shard;
+                        h.service = Arc::clone(&service);
+                    }
+                }
+                (shard, service)
+            }
+        };
+
+        // Serve on the pinned shard, resuming through injected drops.
+        let budget = self.config.faults.map_or(0, |plan| plan.max_retries);
+        let mut retries = 0u32;
+        let outcome = loop {
+            let outcome = service.handle_line(line);
+            if outcome.disposition != Disposition::Dropped {
+                break Some(outcome);
+            }
+            if retries >= budget {
+                break None;
+            }
+            retries += 1;
+            self.count("retries.fleet.session.resume", 1);
+        };
+        let Some(outcome) = outcome else {
+            self.count("fleet.err", 1);
+            return FleetOutcome {
+                reroutes: retries,
+                events,
+                ..router_reply(
+                    protocol::error_line(
+                        &req.id,
+                        ErrorCode::Internal,
+                        "connection dropped; retry budget exhausted",
+                    ),
+                    Disposition::Error,
+                )
+            };
+        };
+
+        if outcome.disposition == Disposition::Session {
+            self.count("fleet.ok", 1);
+            // Record the acked line so a future re-home can replay it.
+            let mut state = lock(&self.state);
+            let entry = state
+                .sessions
+                .entry(session)
+                .or_insert_with(|| SessionHome {
+                    shard,
+                    service: Arc::clone(&service),
+                    log: Vec::new(),
+                });
+            entry.shard = shard;
+            entry.service = Arc::clone(&service);
+            entry.log.push(line.to_string());
+        } else {
+            self.count("fleet.err", 1);
+        }
+
+        FleetOutcome {
+            line: outcome.line(),
+            shard: Some(shard),
+            disposition: outcome.disposition,
+            virtual_s: outcome.virtual_s,
+            reroutes: retries,
+            shutdown: false,
+            events,
+        }
+    }
+
     /// Consume one churn slot; apply at most one node loss or rejoin.
     fn apply_churn(&self) -> Vec<ChurnEvent> {
         let Some(churn) = &self.churn else {
@@ -447,6 +628,7 @@ fn shard_config(config: &FleetConfig, shard: u32) -> ServiceConfig {
         cache_bytes: config.cache_bytes,
         slots: config.slots,
         queue_depth: config.queue_depth,
+        session_slots: config.session_slots,
         // Each shard gets an independent schedule so killing one never
         // reshuffles another's faults.
         faults: config
@@ -533,6 +715,60 @@ mod tests {
         assert!(shed.line.contains("shutting_down"), "{}", shed.line);
         let warm = fleet.handle_line(&line(r#""id":1,"op":"advisor","params":{}"#));
         assert!(warm.line.contains("\"ok\":true"), "{}", warm.line);
+    }
+
+    #[test]
+    fn steering_sessions_pin_to_one_shard_and_answer() {
+        let fleet = Fleet::new(FleetConfig::default());
+        let attach = fleet.handle_line(&line(
+            r#""id":1,"op":"steer.attach","params":{"session":"pin","interval":2}"#,
+        ));
+        assert!(attach.line.contains("\"ok\":true"), "{}", attach.line);
+        assert_eq!(attach.disposition, Disposition::Session);
+        let home = attach.shard.expect("homed");
+        for seq in 1..=3 {
+            let out = fleet.handle_line(&line(&format!(
+                r#""id":{},"op":"steer.render","params":{{"session":"pin","seq":{seq},"steps":2}}"#,
+                seq + 1
+            )));
+            assert!(out.line.contains("\"ok\":true"), "{}", out.line);
+            assert_eq!(out.shard, Some(home), "session must stay pinned");
+        }
+        assert_eq!(fleet.metrics_clone().counter("fleet.ok"), 4);
+    }
+
+    #[test]
+    fn steering_sessions_survive_churn_by_replay() {
+        // Unfaulted reference transcript.
+        let script = |fleet: &Fleet| -> Vec<String> {
+            let mut t = Vec::new();
+            for (id, body) in [
+                (1, r#""op":"steer.attach","params":{"session":"c","interval":2}"#.to_string()),
+                (2, r#""op":"steer.render","params":{"session":"c","seq":1,"steps":3}"#.to_string()),
+                (3, r#""op":"steer.adjust","params":{"session":"c","seq":2,"kind":"io_interval","io_interval":4}"#.to_string()),
+                (4, r#""op":"steer.render","params":{"session":"c","seq":3,"steps":4}"#.to_string()),
+                (5, r#""op":"steer.detach","params":{"session":"c","seq":4}"#.to_string()),
+            ] {
+                let out = fleet.handle_line(&line(&format!(r#""id":{id},{body}"#)));
+                assert!(out.line.contains("\"ok\":true"), "{}", out.line);
+                t.push(out.line);
+            }
+            t
+        };
+        let clean = script(&Fleet::new(FleetConfig::default()));
+        // Now under heavy churn: the session must re-home and converge to
+        // the same reply bytes.
+        let faulted = Fleet::new(FleetConfig {
+            faults: Some(FaultPlan {
+                fleet_churn_rate: 0.6,
+                ..FaultPlan::quiet(23)
+            }),
+            ..FleetConfig::default()
+        });
+        // Burn churn slots with unrelated traffic so shards die and rejoin
+        // between steering ops.
+        let interleaved: Vec<String> = script(&faulted);
+        assert_eq!(clean, interleaved, "churned session diverged");
     }
 
     #[test]

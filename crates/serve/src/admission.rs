@@ -114,6 +114,16 @@ impl Gate {
         }
     }
 
+    /// Whether the gate has begun draining. Stateful handlers (steering
+    /// sessions) check this *before* mutating anything, so a drain never
+    /// leaves a half-applied op behind.
+    pub fn is_draining(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutting_down
+    }
+
     /// Begin draining: refuse new admissions and wake every waiter so it can
     /// observe the shutdown. Slots already granted stay valid.
     pub fn shutdown(&self) {

@@ -145,7 +145,11 @@ fn write_escaped<W: Write>(s: &str, out: &mut W) -> fmt::Result {
     let mut rest = s;
     while let Some(pos) = rest.find(needs_escape) {
         out.write_str(&rest[..pos])?;
-        let c = rest[pos..].chars().next().expect("char at match position");
+        let Some(c) = rest[pos..].chars().next() else {
+            // Unreachable: `pos` indexes a match inside `rest`. Fall through
+            // to emit the remainder unescaped rather than panic a worker.
+            break;
+        };
         match c {
             '"' => out.write_str("\\\"")?,
             '\\' => out.write_str("\\\\")?,

@@ -114,8 +114,9 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         .filter(|(k, _)| k != "id" && k != "deadline_ms")
         .collect();
     let mut hasher = Blake2s256::default();
-    crate::json::write_canonical_object(&semantic, &mut hasher)
-        .expect("hashing canonical JSON cannot fail");
+    // Infallible: the hasher's `fmt::Write` never errors, so the canonical
+    // serialization cannot fail — ignore the `fmt::Result` plumbing.
+    let _ = crate::json::write_canonical_object(&semantic, &mut hasher);
     let cache_key = hasher.finalize();
     Ok(Request {
         id,
@@ -205,7 +206,10 @@ impl Response {
         line.extend_from_slice(head);
         line.extend_from_slice(payload);
         line.extend_from_slice(tail);
-        String::from_utf8(line).expect("response segments are valid UTF-8")
+        // Segments are built from `String`s and cached UTF-8 payloads; a
+        // corrupt payload is replaced rather than allowed to panic a worker.
+        String::from_utf8(line)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
     }
 }
 

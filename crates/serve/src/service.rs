@@ -16,12 +16,14 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use greenness_core::advisor::{self, IoBehavior, WorkloadProfile};
+use greenness_core::steering::Adjustment;
 use greenness_core::sweep;
 use greenness_core::whatif::WhatIfAnalysis;
 use greenness_core::{CaseComparison, ExperimentSetup, PipelineConfig, PipelineKind};
 use greenness_faults::{FaultInjector, FaultPlan, Site};
 use greenness_platform::DiskModel;
 use greenness_power::GreenMetrics;
+use greenness_steer::{AttachSpec, EngineConfig, SessionEngine, SteerError};
 use greenness_trace::fmt_f64;
 use greenness_trace::MetricsRegistry;
 
@@ -58,6 +60,8 @@ pub struct ServiceConfig {
     /// up without responding) and slow handlers (a fixed wall-clock stall).
     /// `None` — the default — is the fault-free fast path.
     pub faults: Option<FaultPlan>,
+    /// Maximum concurrently attached steering sessions (`steer.*` ops).
+    pub session_slots: usize,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +72,7 @@ impl Default for ServiceConfig {
             slots: 4,
             queue_depth: 16,
             faults: None,
+            session_slots: 8,
         }
     }
 }
@@ -82,6 +87,9 @@ pub enum Disposition {
     Miss,
     /// A control op (`metrics` / `shutdown`).
     Control,
+    /// A stateful steering op (`steer.*`): applied to a session, never
+    /// cached.
+    Session,
     /// A structured error reply (bad request, shed, or handler failure).
     Error,
     /// An injected connection drop: no reply was produced.
@@ -147,6 +155,7 @@ pub struct Service {
     gate: Gate,
     metrics: Mutex<MetricsRegistry>,
     faults: Option<Mutex<ServeFaults>>,
+    steer: Mutex<SessionEngine>,
 }
 
 impl Service {
@@ -162,6 +171,11 @@ impl Service {
                     handler: plan.injector(Site::ServeHandler, 1),
                 })
             }),
+            steer: Mutex::new(SessionEngine::new(EngineConfig {
+                session_slots: config.session_slots,
+                jobs: config.jobs,
+                ..EngineConfig::default()
+            })),
             config,
         }
     }
@@ -239,6 +253,12 @@ impl Service {
                 };
             }
             _ => {}
+        }
+        // Steering ops are stateful: they bypass the result cache, check the
+        // drain flag before mutating anything, and take their fault-schedule
+        // slot only *after* the op committed (see `handle_steer`).
+        if req.op.starts_with("steer.") {
+            return self.handle_steer(&req);
         }
         // The fault schedule fires before any request accounting: a dropped
         // connection never handled the request, so only the fault counter
@@ -335,6 +355,140 @@ impl Service {
         lock(&self.metrics).incr(name, 1);
     }
 
+    /// Handle a `steer.*` op. Ordering is load-bearing:
+    ///
+    /// 1. **Drain check first.** A draining server refuses the op *before*
+    ///    touching the session, so no frame is ever torn mid-render; the
+    ///    refusal embeds the session's deterministic resume token.
+    /// 2. **Execute under the engine lock**, mirroring the engine's counter
+    ///    movement into the service metrics registry.
+    /// 3. **Fault slot last.** An injected connection drop fires only after
+    ///    the op committed (drop-after-apply), so the client's retry of the
+    ///    same seq exercises the byte-identical replay path instead of
+    ///    double-applying.
+    fn handle_steer(&self, req: &Request) -> Outcome {
+        let session = req
+            .params
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if self.gate.is_draining() {
+            let token = lock(&self.steer).resume_token(&session);
+            self.count("serve.shed.shutting_down");
+            return Outcome::reply(protocol::error_line(
+                &req.id,
+                ErrorCode::ShuttingDown,
+                &format!(
+                    "server is draining; re-attach session '{session}' elsewhere and resume with token {token}"
+                ),
+            ));
+        }
+        self.count("serve.requests");
+        let executed = self.execute_steer(req, &session);
+        let dropped = match self.next_fault() {
+            Some(ServeFault::Drop) => {
+                self.count("faults.serve.conn");
+                true
+            }
+            Some(ServeFault::Slow) => {
+                self.count("faults.serve.handler");
+                std::thread::sleep(SLOW_FAULT_STALL);
+                false
+            }
+            None => false,
+        };
+        if dropped {
+            return Outcome {
+                dropped: true,
+                disposition: Disposition::Dropped,
+                ..Outcome::reply(String::new())
+            };
+        }
+        match executed {
+            Ok((result, virtual_s)) => {
+                self.count("serve.ok");
+                Outcome {
+                    response: Response::whole(protocol::ok_line(&req.id, &result)),
+                    shutdown: false,
+                    dropped: false,
+                    disposition: Disposition::Session,
+                    virtual_s,
+                }
+            }
+            Err((code, msg)) => {
+                self.count("serve.err");
+                Outcome::reply(protocol::error_line(&req.id, code, &msg))
+            }
+        }
+    }
+
+    /// Parse and apply one steering op against the session engine.
+    fn execute_steer(&self, req: &Request, session: &str) -> OpResult {
+        if session.is_empty() {
+            return Err(bad("session must be a non-empty string"));
+        }
+        let params = &req.params;
+        let mut engine = lock(&self.steer);
+        let before = engine.counters();
+        let result = match req.op.as_str() {
+            "steer.attach" => {
+                let mut spec = AttachSpec::default();
+                if let Some(v) = params.get("interval") {
+                    spec.interval = v
+                        .as_u64()
+                        .ok_or_else(|| bad("interval must be an integer"))?;
+                }
+                if let Some(v) = params.get("timesteps") {
+                    spec.timesteps = v
+                        .as_u64()
+                        .ok_or_else(|| bad("timesteps must be an integer"))?;
+                }
+                engine.attach(session, &spec)
+            }
+            "steer.adjust" => {
+                let seq = steer_seq(params)?;
+                let adj = parse_adjustment(params)?;
+                engine.adjust(session, seq, &adj)
+            }
+            "steer.render" => {
+                let seq = steer_seq(params)?;
+                let steps = match params.get("steps") {
+                    None => 1,
+                    Some(v) => v.as_u64().ok_or_else(|| bad("steps must be an integer"))?,
+                };
+                engine.render(session, seq, steps)
+            }
+            "steer.detach" => engine.detach(session, steer_seq(params)?),
+            other => {
+                return Err(bad(format!(
+                    "unknown steer op '{other}' (expected steer.attach|steer.adjust|steer.render|steer.detach)"
+                )))
+            }
+        };
+        let after = engine.counters();
+        drop(engine);
+        {
+            let mut m = lock(&self.metrics);
+            for ((name, was), (_, now)) in before.iter().zip(after) {
+                if now > *was {
+                    m.incr(name, now - was);
+                }
+            }
+        }
+        match result {
+            Ok((line, energy_j)) => Ok((
+                format!(
+                    "{{\"steer\":\"{}\",\"energy_j\":{}}}",
+                    greenness_trace::escape_json(&line),
+                    fmt_f64(energy_j)
+                ),
+                0.0,
+            )),
+            Err(e) => Err(steer_err(e)),
+        }
+    }
+
     /// Consume the next fault-schedule slot (one per handled request).
     fn next_fault(&self) -> Option<ServeFault> {
         let mut faults = lock(self.faults.as_ref()?);
@@ -391,7 +545,7 @@ impl Service {
             "sweep" => op_sweep(&req.params, self.config.jobs),
             other => Err((
                 ErrorCode::BadRequest,
-                format!("unknown op '{other}' (expected run|compare|whatif|advisor|sweep|metrics|shutdown)"),
+                format!("unknown op '{other}' (expected run|compare|whatif|advisor|sweep|steer.attach|steer.adjust|steer.render|steer.detach|metrics|shutdown)"),
             )),
         }
     }
@@ -401,6 +555,110 @@ type OpResult = Result<(String, f64), (ErrorCode, String)>;
 
 fn bad(msg: impl Into<String>) -> (ErrorCode, String) {
     (ErrorCode::BadRequest, msg.into())
+}
+
+/// Map a pipeline error onto the protocol: config/solver problems are the
+/// caller's (bad request), storage/corruption are the server's (internal).
+/// Either way the request dies as an error envelope, never a panic.
+fn pipeline_err(e: greenness_core::pipeline::PipelineError) -> (ErrorCode, String) {
+    use greenness_core::pipeline::PipelineError;
+    match &e {
+        PipelineError::Config(_) | PipelineError::Solver(_) => {
+            (ErrorCode::BadRequest, e.to_string())
+        }
+        PipelineError::Storage { .. } | PipelineError::CorruptSnapshot { .. } => {
+            (ErrorCode::Internal, e.to_string())
+        }
+    }
+}
+
+/// Map a steering refusal onto the protocol: slot exhaustion is
+/// back-pressure (`overloaded`), pipeline failures keep the pipeline
+/// mapping, everything else is the caller's mistake.
+fn steer_err(e: SteerError) -> (ErrorCode, String) {
+    match e {
+        SteerError::Slots { .. } => (ErrorCode::Overloaded, e.to_string()),
+        SteerError::Pipeline(pe) => pipeline_err(pe),
+        other => (ErrorCode::BadRequest, other.to_string()),
+    }
+}
+
+/// The mandatory per-op sequence number (attach is seq 0; ops start at 1).
+fn steer_seq(params: &Json) -> Result<u64, (ErrorCode, String)> {
+    params
+        .get("seq")
+        .and_then(Json::as_u64)
+        .filter(|s| *s >= 1)
+        .ok_or_else(|| bad("seq must be an integer >= 1"))
+}
+
+/// Parse the `steer.adjust` payload into a typed [`Adjustment`].
+fn parse_adjustment(params: &Json) -> Result<Adjustment, (ErrorCode, String)> {
+    let kind = params
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("kind must be io_interval|resolution|camera"))?;
+    match kind {
+        "io_interval" => {
+            let n = params
+                .get("io_interval")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("io_interval must be an integer"))?;
+            Ok(Adjustment::IoInterval(n))
+        }
+        "resolution" => {
+            let width = params
+                .get("width")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("width must be an integer"))? as usize;
+            let height = params
+                .get("height")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("height must be an integer"))? as usize;
+            Ok(Adjustment::Resolution { width, height })
+        }
+        "camera" => {
+            let colormap = match params
+                .get("colormap")
+                .and_then(Json::as_str)
+                .unwrap_or("hot")
+            {
+                "viridis" => greenness_viz::Colormap::Viridis,
+                "hot" => greenness_viz::Colormap::Hot,
+                "coolwarm" => greenness_viz::Colormap::CoolWarm,
+                "gray" => greenness_viz::Colormap::Gray,
+                other => {
+                    return Err(bad(format!(
+                        "unknown colormap '{other}' (expected viridis|hot|coolwarm|gray)"
+                    )))
+                }
+            };
+            let range = match params.get("range") {
+                None => None,
+                Some(v) => {
+                    let arr = v
+                        .as_arr()
+                        .ok_or_else(|| bad("range must be a [lo, hi] array"))?;
+                    let (Some(lo), Some(hi)) = (
+                        arr.first().and_then(Json::as_f64),
+                        arr.get(1).and_then(Json::as_f64),
+                    ) else {
+                        return Err(bad("range must be a [lo, hi] array of numbers"));
+                    };
+                    // partial_cmp so a NaN bound is rejected, not accepted.
+                    let ordered = lo.partial_cmp(&hi) == Some(std::cmp::Ordering::Less);
+                    if arr.len() != 2 || !ordered {
+                        return Err(bad("range must be [lo, hi] with lo < hi"));
+                    }
+                    Some((lo, hi))
+                }
+            };
+            Ok(Adjustment::Camera { colormap, range })
+        }
+        other => Err(bad(format!(
+            "unknown adjustment kind '{other}' (expected io_interval|resolution|camera)"
+        ))),
+    }
 }
 
 /// The case-study workload at the requested scale. `"small"` (default) is
@@ -454,7 +712,8 @@ fn op_run(params: &Json) -> OpResult {
             .map_err(bad)?,
     };
     let (case, cfg) = workload(params)?;
-    let report = greenness_core::experiment::run(kind, &cfg, &ExperimentSetup::default());
+    let report = greenness_core::experiment::run(kind, &cfg, &ExperimentSetup::default())
+        .map_err(pipeline_err)?;
     let result = format!(
         "{{\"pipeline\":\"{}\",\"case\":{case},\"config\":\"{}\",\"metrics\":{}}}",
         kind.label(),
@@ -483,7 +742,8 @@ fn comparison_virtual_s(c: &CaseComparison) -> f64 {
 
 fn op_compare(params: &Json) -> OpResult {
     let (case, cfg) = workload(params)?;
-    let c = CaseComparison::run_config(case, &cfg, &ExperimentSetup::default());
+    let c = CaseComparison::run_config(case, &cfg, &ExperimentSetup::default())
+        .map_err(pipeline_err)?;
     Ok((comparison_json(&c), comparison_virtual_s(&c)))
 }
 
@@ -961,6 +1221,144 @@ mod tests {
         let m = other.metrics_clone();
         assert_eq!(m.counter("serve.cache.hits"), 1, "the real lookup counts");
         assert_eq!(m.counter("serve.cache.misses"), 0, "the fill does not");
+    }
+
+    #[test]
+    fn steer_session_round_trips_over_the_wire() {
+        let s = svc();
+        let result_str = |out: &Outcome, key: &str| {
+            let doc = Json::parse(&out.line()).expect("parses");
+            assert_eq!(
+                doc.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{}",
+                out.line()
+            );
+            doc.get("result")
+                .and_then(|r| r.get(key))
+                .and_then(Json::as_str)
+                .expect("steer field")
+                .to_string()
+        };
+        let attach = s.handle_line(&line(
+            r#""id":1,"op":"steer.attach","params":{"session":"s1","interval":2,"timesteps":10}"#,
+        ));
+        assert_eq!(attach.disposition, Disposition::Session);
+        assert!(result_str(&attach, "steer").contains("resumed=false"));
+        let render = s.handle_line(&line(
+            r#""id":2,"op":"steer.render","params":{"session":"s1","seq":1,"steps":3}"#,
+        ));
+        assert!(result_str(&render, "steer").contains("step=3"));
+        let adjust = s.handle_line(&line(
+            r#""id":3,"op":"steer.adjust","params":{"session":"s1","seq":2,"kind":"io_interval","io_interval":4}"#,
+        ));
+        assert!(result_str(&adjust, "steer").contains("delta_j="));
+        let retry = s.handle_line(&line(
+            r#""id":3,"op":"steer.adjust","params":{"session":"s1","seq":2,"kind":"io_interval","io_interval":4}"#,
+        ));
+        assert_eq!(
+            adjust.line(),
+            retry.line(),
+            "replayed seq must be byte-identical"
+        );
+        let detach = s.handle_line(&line(
+            r#""id":4,"op":"steer.detach","params":{"session":"s1","seq":3}"#,
+        ));
+        assert!(result_str(&detach, "steer").starts_with("detached"));
+        let m = s.metrics_clone();
+        assert_eq!(m.counter("steer.attach"), 1);
+        assert_eq!(m.counter("steer.render.incremental"), 1);
+        assert_eq!(m.counter("steer.adjust"), 1);
+        assert_eq!(m.counter("steer.replayed"), 1);
+        assert_eq!(m.counter("steer.delta.computed"), 1);
+        assert_eq!(m.counter("serve.cache.misses"), 0, "steer bypasses cache");
+    }
+
+    #[test]
+    fn draining_refuses_steer_ops_with_a_resume_token_before_mutating() {
+        let s = svc();
+        s.handle_line(&line(
+            r#""id":1,"op":"steer.attach","params":{"session":"s1"}"#,
+        ));
+        s.handle_line(&line(
+            r#""id":2,"op":"steer.render","params":{"session":"s1","seq":1,"steps":2}"#,
+        ));
+        s.gate().shutdown();
+        let refused = s.handle_line(&line(
+            r#""id":3,"op":"steer.render","params":{"session":"s1","seq":2,"steps":2}"#,
+        ));
+        let doc = Json::parse(&refused.line()).expect("parses");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("shutting_down"),
+            "{}",
+            refused.line()
+        );
+        let msg = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(msg.contains("token"), "{msg}");
+        // Nothing mutated: the session is still at seq 1, and the refused
+        // op was never half-applied (no torn frame).
+        assert_eq!(s.metrics_clone().counter("steer.render.incremental"), 1);
+    }
+
+    #[test]
+    fn steer_errors_are_structured_envelopes() {
+        let s = svc();
+        for (body, expect) in [
+            (r#""op":"steer.render","params":{"seq":1}"#, "bad_request"),
+            (
+                r#""op":"steer.render","params":{"session":"nope","seq":1}"#,
+                "bad_request",
+            ),
+            (
+                r#""op":"steer.adjust","params":{"session":"s","seq":1,"kind":"warp"}"#,
+                "bad_request",
+            ),
+            (
+                r#""op":"steer.attach","params":{"session":"s","interval":0}"#,
+                "bad_request",
+            ),
+        ] {
+            let out = s.handle_line(&line(body));
+            let doc = Json::parse(&out.line()).expect("parses");
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false), "{body}");
+            assert_eq!(
+                doc.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some(expect),
+                "{body}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_slots_shed_as_overloaded() {
+        let s = Service::new(ServiceConfig {
+            session_slots: 1,
+            ..ServiceConfig::default()
+        });
+        s.handle_line(&line(
+            r#""id":1,"op":"steer.attach","params":{"session":"s1"}"#,
+        ));
+        let refused = s.handle_line(&line(
+            r#""id":2,"op":"steer.attach","params":{"session":"s2"}"#,
+        ));
+        let doc = Json::parse(&refused.line()).expect("parses");
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("overloaded"),
+            "{}",
+            refused.line()
+        );
     }
 
     #[test]

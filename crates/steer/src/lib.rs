@@ -1,0 +1,715 @@
+//! # greenness-steer
+//!
+//! Interactive steering sessions over the in-situ pipeline: a client
+//! attaches to a running (virtual-time) simulation, advances it in slices,
+//! re-renders incrementally, and asks live what-if questions before
+//! committing a parameter change. The engine is the session bookkeeping
+//! layer the serve/fleet tiers expose as the `steer.*` op family:
+//!
+//! * **Sessions** are named by the client and bounded by a slot budget.
+//! * **Sequence numbers** make every mutating op idempotent: op `seq` must
+//!   be exactly `applied + 1`; a replayed `seq ≤ applied` returns the
+//!   recorded reply byte-for-byte (this is how clients resume after a
+//!   dropped connection without double-applying), and a gap is rejected.
+//!   The session name is identity, not content: it never enters the
+//!   what-if cache key, so identical sessions share cached deltas.
+//! * **What-if deltas** come from [`SteeringPipeline::whatif`] schedule
+//!   replay and are memoized in a BLAKE2s content-addressed cache keyed by
+//!   the canonical step-prefix of the session (workload, every applied op,
+//!   and the proposed adjustment), so repeated questions cost nothing at
+//!   all and fresh ones cost no solver or renderer work.
+//!
+//! Everything is deterministic: identical op sequences produce identical
+//! transcripts for any solver thread count and across reruns.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use greenness_core::pipeline::PipelineError;
+use greenness_core::steering::{Adjustment, SteeringPipeline};
+use greenness_core::PipelineConfig;
+use greenness_trace::hash::{blake2s256, hex};
+
+/// Engine-wide limits and execution knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum concurrently attached (live) sessions.
+    pub session_slots: usize,
+    /// Solver threads per session — wall-clock only, never output bytes.
+    pub jobs: usize,
+    /// Upper bound on a session's `timesteps` (bounds per-session work).
+    pub max_timesteps: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            session_slots: 8,
+            jobs: 1,
+            max_timesteps: 512,
+        }
+    }
+}
+
+/// Workload a session attaches to: the scaled-down case study with a chosen
+/// I/O interval and step budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttachSpec {
+    /// Render every `interval`-th step (≥ 1).
+    pub interval: u64,
+    /// Total simulation steps for the session (≥ 1, capped by
+    /// [`EngineConfig::max_timesteps`]).
+    pub timesteps: u64,
+}
+
+impl Default for AttachSpec {
+    fn default() -> Self {
+        AttachSpec {
+            interval: 2,
+            timesteps: 10,
+        }
+    }
+}
+
+/// Why a steering op was refused. The serve tier maps these onto its error
+/// envelope codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SteerError {
+    /// All session slots are attached.
+    Slots {
+        /// The configured slot budget.
+        limit: usize,
+    },
+    /// No session with that name was ever attached.
+    UnknownSession(String),
+    /// The session was explicitly detached; its name is tombstoned.
+    Detached(String),
+    /// `seq` skipped ahead: the client missed an ack it never sent.
+    SeqGap {
+        /// The next seq the session will accept.
+        expected: u64,
+        /// What the client sent.
+        got: u64,
+    },
+    /// A malformed name or parameter.
+    BadParam(String),
+    /// The underlying pipeline rejected the op.
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for SteerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SteerError::Slots { limit } => {
+                write!(f, "all {limit} steering session slots are attached")
+            }
+            SteerError::UnknownSession(name) => write!(f, "no steering session named '{name}'"),
+            SteerError::Detached(name) => {
+                write!(
+                    f,
+                    "steering session '{name}' was detached; attach a new name"
+                )
+            }
+            SteerError::SeqGap { expected, got } => {
+                write!(f, "sequence gap: expected seq {expected}, got {got}")
+            }
+            SteerError::BadParam(msg) => write!(f, "bad steering parameter: {msg}"),
+            SteerError::Pipeline(e) => write!(f, "steering pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SteerError {}
+
+impl From<PipelineError> for SteerError {
+    fn from(e: PipelineError) -> Self {
+        SteerError::Pipeline(e)
+    }
+}
+
+/// A session reply: the transcript line plus the session's cumulative
+/// energy after the op (the serve tier's `(result, energy_j)` envelope).
+pub type SteerReply = (String, f64);
+
+enum SessionState {
+    Live(Box<SteeringPipeline>),
+    Detached,
+}
+
+struct Session {
+    state: SessionState,
+    /// Highest op seq applied (attach is seq 0).
+    applied: u64,
+    /// Recorded replies, indexed by `seq - 1`, replayed byte-for-byte.
+    log: Vec<SteerReply>,
+    /// Canonical step-prefix: workload + every applied op, in order. The
+    /// BLAKE2s of this string (plus a proposed adjustment) keys the
+    /// what-if cache.
+    prefix: String,
+}
+
+/// Counter snapshot names, in the order [`SessionEngine::counters`] reports
+/// them.
+pub const COUNTER_NAMES: [&str; 7] = [
+    "steer.attach",
+    "steer.adjust",
+    "steer.render.incremental",
+    "steer.detach",
+    "steer.replayed",
+    "steer.delta.cached",
+    "steer.delta.computed",
+];
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    attach: u64,
+    adjust: u64,
+    render: u64,
+    detach: u64,
+    replayed: u64,
+    delta_cached: u64,
+    delta_computed: u64,
+}
+
+/// The steering session engine: session table, sequence/replay protocol,
+/// and the content-addressed what-if cache.
+pub struct SessionEngine {
+    cfg: EngineConfig,
+    sessions: HashMap<String, Session>,
+    whatif_cache: HashMap<[u8; 32], (f64, f64)>,
+    counters: Counters,
+}
+
+impl SessionEngine {
+    /// A fresh engine with no sessions.
+    pub fn new(cfg: EngineConfig) -> SessionEngine {
+        SessionEngine {
+            cfg,
+            sessions: HashMap::new(),
+            whatif_cache: HashMap::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Attach (or re-attach) the session `name`.
+    ///
+    /// A first attach claims a slot and opens the pipeline. Re-attaching an
+    /// existing live session is idempotent and is the resume path after a
+    /// dropped connection: the reply reports the current `applied` seq and
+    /// step so the client knows exactly where to pick up. The `spec` of a
+    /// re-attach must match the original.
+    ///
+    /// # Errors
+    /// [`SteerError::Slots`] when the budget is exhausted,
+    /// [`SteerError::Detached`] for a tombstoned name,
+    /// [`SteerError::BadParam`] for a bad name or spec (including a
+    /// re-attach whose spec disagrees with the original).
+    pub fn attach(&mut self, name: &str, spec: &AttachSpec) -> Result<SteerReply, SteerError> {
+        validate_name(name)?;
+        if spec.interval == 0 {
+            return Err(SteerError::BadParam(
+                "interval must be at least 1".to_string(),
+            ));
+        }
+        if spec.timesteps == 0 || spec.timesteps > self.cfg.max_timesteps {
+            return Err(SteerError::BadParam(format!(
+                "timesteps must be in 1..={}, got {}",
+                self.cfg.max_timesteps, spec.timesteps
+            )));
+        }
+        let prefix = session_prefix(name, spec);
+        if let Some(session) = self.sessions.get(name) {
+            return match &session.state {
+                SessionState::Detached => Err(SteerError::Detached(name.to_string())),
+                SessionState::Live(pipe) => {
+                    if !session.prefix.starts_with(&prefix) {
+                        return Err(SteerError::BadParam(format!(
+                            "re-attach spec disagrees with session '{name}'"
+                        )));
+                    }
+                    self.counters.attach += 1;
+                    self.counters.replayed += 1;
+                    // `resumed` reflects session *state*, not name reuse: a
+                    // client retrying a dropped initial attach lands here
+                    // with nothing applied yet, and its reply must be
+                    // byte-identical to the fresh-attach reply it missed.
+                    Ok((
+                        format!(
+                            "attached session={name} token={} applied={} step={} resumed={}",
+                            resume_token(name, session.applied),
+                            session.applied,
+                            pipe.step(),
+                            session.applied > 0 || pipe.step() > 0,
+                        ),
+                        pipe.energy_j(),
+                    ))
+                }
+            };
+        }
+        let live = self
+            .sessions
+            .values()
+            .filter(|s| matches!(s.state, SessionState::Live(_)))
+            .count();
+        if live >= self.cfg.session_slots {
+            return Err(SteerError::Slots {
+                limit: self.cfg.session_slots,
+            });
+        }
+        let mut workload = PipelineConfig::small(spec.interval);
+        workload.timesteps = spec.timesteps;
+        workload.label = format!("steer:{name}");
+        let pipe = SteeringPipeline::new(&workload, self.cfg.jobs)?;
+        let reply = (
+            format!(
+                "attached session={name} token={} applied=0 step=0 resumed=false",
+                resume_token(name, 0)
+            ),
+            pipe.energy_j(),
+        );
+        self.sessions.insert(
+            name.to_string(),
+            Session {
+                state: SessionState::Live(Box::new(pipe)),
+                applied: 0,
+                log: Vec::new(),
+                prefix,
+            },
+        );
+        self.counters.attach += 1;
+        Ok(reply)
+    }
+
+    /// Answer the what-if for `adj`, then apply it. Op `seq` must be
+    /// `applied + 1`; earlier seqs replay their recorded reply.
+    ///
+    /// # Errors
+    /// Sequence and session errors as in [`attach`](Self::attach); invalid
+    /// adjustments surface as [`SteerError::Pipeline`].
+    pub fn adjust(
+        &mut self,
+        name: &str,
+        seq: u64,
+        adj: &Adjustment,
+    ) -> Result<SteerReply, SteerError> {
+        if let Some(reply) = self.replay(name, seq)? {
+            return Ok(reply);
+        }
+        let cache_key = {
+            let session = self.session(name)?;
+            // Content-addressed: the session *name* is identity, not
+            // content, so it is stripped before hashing — two sessions with
+            // identical workloads and op histories asking the same question
+            // share one cache entry.
+            let mut key = session.prefix.replacen(&format!("session={name};"), "", 1);
+            key.push_str(";whatif=");
+            key.push_str(&adj.canonical());
+            blake2s256(key.as_bytes())
+        };
+        let (baseline_j, adjusted_j, cached) = match self.whatif_cache.get(&cache_key) {
+            Some(&(b, a)) => {
+                self.counters.delta_cached += 1;
+                (b, a, true)
+            }
+            None => {
+                let session = self.session(name)?;
+                let SessionState::Live(pipe) = &session.state else {
+                    unreachable!("session() returns only live sessions")
+                };
+                let wi = pipe.whatif(adj)?;
+                self.whatif_cache
+                    .insert(cache_key, (wi.baseline_j, wi.adjusted_j));
+                self.counters.delta_computed += 1;
+                (wi.baseline_j, wi.adjusted_j, false)
+            }
+        };
+        let session = self.session_mut(name)?;
+        let SessionState::Live(pipe) = &mut session.state else {
+            unreachable!("session_mut() returns only live sessions")
+        };
+        pipe.adjust(adj)?;
+        let reply = (
+            format!(
+                "adjusted session={name} seq={seq} {} delta_j={} baseline_j={} adjusted_j={} cached={cached}",
+                adj.canonical(),
+                adjusted_j - baseline_j,
+                baseline_j,
+                adjusted_j,
+            ),
+            pipe.energy_j(),
+        );
+        self.record(name, seq, &format!("adjust({})", adj.canonical()), &reply);
+        self.counters.adjust += 1;
+        Ok(reply)
+    }
+
+    /// Advance `steps` simulation steps (0 = none) and re-render the
+    /// current field incrementally. Scheduled frames produced while
+    /// advancing are folded into the transcript line.
+    ///
+    /// # Errors
+    /// Sequence and session errors as in [`attach`](Self::attach).
+    pub fn render(&mut self, name: &str, seq: u64, steps: u64) -> Result<SteerReply, SteerError> {
+        if let Some(reply) = self.replay(name, seq)? {
+            return Ok(reply);
+        }
+        let session = self.session_mut(name)?;
+        let SessionState::Live(pipe) = &mut session.state else {
+            unreachable!("session_mut() returns only live sessions")
+        };
+        let scheduled = pipe.advance(steps);
+        let frame = pipe.render_now();
+        let mut line = format!(
+            "frame session={name} seq={seq} {} proj_j={}",
+            frame.transcript_line(),
+            pipe.projected_remaining_j(),
+        );
+        if !scheduled.is_empty() {
+            let hashes: Vec<String> = scheduled
+                .iter()
+                .map(|f| format!("{:016x}", f.hash))
+                .collect();
+            line.push_str(&format!(" scheduled=[{}]", hashes.join(",")));
+        }
+        let reply = (line, pipe.energy_j());
+        self.record(name, seq, &format!("render({steps})"), &reply);
+        self.counters.render += 1;
+        Ok(reply)
+    }
+
+    /// Close the session and tombstone its name. The reply summarizes the
+    /// whole run; replaying the final seq returns it again.
+    ///
+    /// # Errors
+    /// Sequence and session errors as in [`attach`](Self::attach).
+    pub fn detach(&mut self, name: &str, seq: u64) -> Result<SteerReply, SteerError> {
+        if let Some(reply) = self.replay(name, seq)? {
+            return Ok(reply);
+        }
+        let session = self.session_mut(name)?;
+        let SessionState::Live(pipe) = &mut session.state else {
+            unreachable!("session_mut() returns only live sessions")
+        };
+        let reply = (
+            format!(
+                "detached session={name} seq={seq} step={} frames={} solver_steps={} bytes_written={}",
+                pipe.step(),
+                pipe.frames_rendered(),
+                pipe.solver_steps(),
+                pipe.bytes_written(),
+            ),
+            pipe.energy_j(),
+        );
+        session.state = SessionState::Detached;
+        session.applied = seq;
+        session.log.push(reply.clone());
+        self.counters.detach += 1;
+        Ok(reply)
+    }
+
+    /// The deterministic resume token for `name` at its current applied
+    /// seq — what a `shutting_down` refusal hands the client so it can
+    /// re-attach elsewhere and replay from the right place. Stable across
+    /// reruns; defined even for never-attached names (applied = 0).
+    pub fn resume_token(&self, name: &str) -> String {
+        let applied = self.sessions.get(name).map_or(0, |s| s.applied);
+        resume_token(name, applied)
+    }
+
+    /// Number of currently live (attached, not detached) sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| matches!(s.state, SessionState::Live(_)))
+            .count()
+    }
+
+    /// Counter snapshot, in [`COUNTER_NAMES`] order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let c = &self.counters;
+        vec![
+            ("steer.attach", c.attach),
+            ("steer.adjust", c.adjust),
+            ("steer.render.incremental", c.render),
+            ("steer.detach", c.detach),
+            ("steer.replayed", c.replayed),
+            ("steer.delta.cached", c.delta_cached),
+            ("steer.delta.computed", c.delta_computed),
+        ]
+    }
+
+    /// The live pipeline behind `name`, for audits and ground-truth checks.
+    pub fn pipeline(&self, name: &str) -> Option<&SteeringPipeline> {
+        match &self.sessions.get(name)?.state {
+            SessionState::Live(pipe) => Some(pipe),
+            SessionState::Detached => None,
+        }
+    }
+
+    /// Replay bookkeeping: `Ok(Some(reply))` when `seq` was already
+    /// applied, `Ok(None)` when it is the next op to execute.
+    fn replay(&mut self, name: &str, seq: u64) -> Result<Option<SteerReply>, SteerError> {
+        if seq == 0 {
+            return Err(SteerError::BadParam(
+                "op seq starts at 1 (attach is seq 0)".to_string(),
+            ));
+        }
+        let session = match self.sessions.get(name) {
+            None => return Err(SteerError::UnknownSession(name.to_string())),
+            Some(s) => s,
+        };
+        if seq <= session.applied {
+            self.counters.replayed += 1;
+            return Ok(Some(session.log[(seq - 1) as usize].clone()));
+        }
+        if matches!(session.state, SessionState::Detached) {
+            return Err(SteerError::Detached(name.to_string()));
+        }
+        if seq != session.applied + 1 {
+            return Err(SteerError::SeqGap {
+                expected: session.applied + 1,
+                got: seq,
+            });
+        }
+        Ok(None)
+    }
+
+    fn session(&self, name: &str) -> Result<&Session, SteerError> {
+        match self.sessions.get(name) {
+            None => Err(SteerError::UnknownSession(name.to_string())),
+            Some(s) if matches!(s.state, SessionState::Detached) => {
+                Err(SteerError::Detached(name.to_string()))
+            }
+            Some(s) => Ok(s),
+        }
+    }
+
+    fn session_mut(&mut self, name: &str) -> Result<&mut Session, SteerError> {
+        match self.sessions.get_mut(name) {
+            None => Err(SteerError::UnknownSession(name.to_string())),
+            Some(s) if matches!(s.state, SessionState::Detached) => {
+                Err(SteerError::Detached(name.to_string()))
+            }
+            Some(s) => Ok(s),
+        }
+    }
+
+    fn record(&mut self, name: &str, seq: u64, op: &str, reply: &SteerReply) {
+        let session = self
+            .sessions
+            .get_mut(name)
+            .unwrap_or_else(|| unreachable!("record() follows a successful session_mut()"));
+        session.applied = seq;
+        session.log.push(reply.clone());
+        session.prefix.push_str(&format!(";seq={seq}:{op}"));
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), SteerError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.');
+    if ok {
+        Ok(())
+    } else {
+        Err(SteerError::BadParam(format!(
+            "session name must be 1-64 chars of [A-Za-z0-9._-], got '{name}'"
+        )))
+    }
+}
+
+fn session_prefix(name: &str, spec: &AttachSpec) -> String {
+    format!(
+        "steer/v1;session={name};interval={};timesteps={}",
+        spec.interval, spec.timesteps
+    )
+}
+
+fn resume_token(name: &str, applied: u64) -> String {
+    let digest = blake2s256(format!("steer/v1;{name};applied={applied}").as_bytes());
+    hex(&digest)[..16].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenness_viz::Colormap;
+
+    fn engine() -> SessionEngine {
+        SessionEngine::new(EngineConfig::default())
+    }
+
+    fn spec() -> AttachSpec {
+        AttachSpec::default()
+    }
+
+    #[test]
+    fn a_scripted_session_is_deterministic_across_engines_and_jobs() {
+        let run = |jobs: usize| -> Vec<String> {
+            let mut e = SessionEngine::new(EngineConfig {
+                jobs,
+                ..EngineConfig::default()
+            });
+            vec![
+                e.attach("s1", &spec()).expect("attach").0,
+                e.render("s1", 1, 3).expect("render").0,
+                e.adjust("s1", 2, &Adjustment::IoInterval(4))
+                    .expect("adjust")
+                    .0,
+                e.render("s1", 3, 4).expect("render").0,
+                e.detach("s1", 4).expect("detach").0,
+            ]
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn replayed_seqs_return_recorded_replies_byte_for_byte() {
+        let mut e = engine();
+        e.attach("s1", &spec()).expect("attach");
+        let first = e.render("s1", 1, 2).expect("render");
+        // The client never saw the ack and retries: same bytes, no
+        // double-advance.
+        let retried = e.render("s1", 1, 2).expect("replay");
+        assert_eq!(first, retried);
+        let next = e.render("s1", 2, 0).expect("render");
+        assert!(next.0.contains("step=2"), "{}", next.0);
+        // A gap is an error, not silent reordering.
+        assert_eq!(
+            e.render("s1", 4, 1),
+            Err(SteerError::SeqGap {
+                expected: 3,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn reattach_resumes_with_applied_seq_and_matching_spec() {
+        let mut e = engine();
+        e.attach("s1", &spec()).expect("attach");
+        e.render("s1", 1, 3).expect("render");
+        let resumed = e.attach("s1", &spec()).expect("re-attach");
+        assert!(
+            resumed.0.contains("applied=1 step=3 resumed=true"),
+            "{}",
+            resumed.0
+        );
+        let wrong = AttachSpec {
+            interval: 5,
+            ..spec()
+        };
+        assert!(matches!(
+            e.attach("s1", &wrong),
+            Err(SteerError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn whatif_cache_hits_on_identical_step_prefixes() {
+        let mut e = engine();
+        e.attach("a", &spec()).expect("attach");
+        e.attach("b", &spec()).expect("attach");
+        e.render("a", 1, 2).expect("render");
+        e.render("b", 1, 2).expect("render");
+        let adj = Adjustment::Resolution {
+            width: 96,
+            height: 96,
+        };
+        let first = e.adjust("a", 2, &adj).expect("adjust");
+        assert!(first.0.contains("cached=false"), "{}", first.0);
+        // Session `b` has the same workload and op history — the name is
+        // identity, not content, so the same question is a cache hit with
+        // the exact same numbers.
+        let second = e.adjust("b", 2, &adj).expect("adjust");
+        assert!(second.0.contains("cached=true"), "{}", second.0);
+        let delta_of = |line: &str| {
+            line.split(" delta_j=")
+                .nth(1)
+                .and_then(|rest| rest.split(' ').next())
+                .expect("delta field")
+                .to_string()
+        };
+        assert_eq!(delta_of(&first.0), delta_of(&second.0));
+        // A replayed seq hits the recorded log, not the cache:
+        let replay = e.adjust("a", 2, &adj).expect("replay");
+        assert_eq!(replay, first);
+        let count = |name: &str| {
+            e.counters()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .expect("known counter")
+                .1
+        };
+        let (attaches, adjusts) = (count("steer.attach"), count("steer.adjust"));
+        let (cached, computed) = (count("steer.delta.cached"), count("steer.delta.computed"));
+        assert_eq!((attaches, adjusts), (2, 2));
+        assert_eq!((cached, computed), (1, 1));
+    }
+
+    #[test]
+    fn slots_detach_and_tombstones_are_enforced() {
+        let mut e = SessionEngine::new(EngineConfig {
+            session_slots: 1,
+            ..EngineConfig::default()
+        });
+        e.attach("s1", &spec()).expect("attach");
+        assert!(matches!(
+            e.attach("s2", &spec()),
+            Err(SteerError::Slots { limit: 1 })
+        ));
+        let done = e.detach("s1", 1).expect("detach");
+        assert!(done.0.starts_with("detached session=s1"), "{}", done.0);
+        // The slot frees up; the old name stays tombstoned.
+        e.attach("s2", &spec()).expect("attach after detach");
+        assert!(matches!(
+            e.attach("s1", &spec()),
+            Err(SteerError::Detached(_))
+        ));
+        // Replaying the final detach seq still returns the recorded reply.
+        assert_eq!(e.detach("s1", 1).expect("replay"), done);
+    }
+
+    #[test]
+    fn adjusting_camera_changes_subsequent_frames_only() {
+        let mut e = engine();
+        e.attach("s1", &spec()).expect("attach");
+        let before = e.render("s1", 1, 2).expect("render");
+        e.adjust(
+            "s1",
+            2,
+            &Adjustment::Camera {
+                colormap: Colormap::CoolWarm,
+                range: Some((0.0, 0.5)),
+            },
+        )
+        .expect("adjust");
+        let after = e.render("s1", 3, 0).expect("render");
+        let hash = |line: &str| {
+            line.split_whitespace()
+                .nth(5)
+                .expect("hash field")
+                .to_string()
+        };
+        assert_ne!(hash(&before.0), hash(&after.0));
+    }
+
+    #[test]
+    fn resume_tokens_are_stable_and_advance_with_applied_seq() {
+        let mut e = engine();
+        let t0 = e.resume_token("s1");
+        e.attach("s1", &spec()).expect("attach");
+        assert_eq!(e.resume_token("s1"), t0, "attach is seq 0");
+        e.render("s1", 1, 1).expect("render");
+        let t1 = e.resume_token("s1");
+        assert_ne!(t0, t1);
+        assert_eq!(t1.len(), 16);
+        // A second engine replaying the same ops lands on the same token.
+        let mut e2 = engine();
+        e2.attach("s1", &spec()).expect("attach");
+        e2.render("s1", 1, 1).expect("render");
+        assert_eq!(e2.resume_token("s1"), t1);
+    }
+}

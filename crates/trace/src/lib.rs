@@ -26,6 +26,7 @@
 //! with round-trippable `{:?}` float formatting so journals are
 //! byte-identical across `--jobs` values.
 
+pub mod hash;
 mod json;
 mod metrics;
 mod sink;

@@ -32,7 +32,8 @@ fn main() -> std::io::Result<()> {
         PipelineKind::InSitu,
         &cfg,
         &experiment::ExperimentSetup::default(),
-    );
+    )
+    .expect("run ok");
 
     std::fs::create_dir_all("heat_movie")?;
     let mut written = 0usize;

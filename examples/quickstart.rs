@@ -17,7 +17,7 @@ fn main() {
     println!();
 
     println!("running case study 1 (50 timesteps, 2 MiB snapshots, I/O every step)...");
-    let cmp = CaseComparison::run_case(1, &setup);
+    let cmp = CaseComparison::run_case(1, &setup).expect("case runs");
 
     let rows = vec![
         vec![

@@ -28,7 +28,7 @@ fn main() {
             spec,
             ..ExperimentSetup::default()
         };
-        let cmp = CaseComparison::run_config(1, &cfg, &setup);
+        let cmp = CaseComparison::run_config(1, &cfg, &setup).expect("case runs");
         rows.push(vec![
             name.to_string(),
             report::f(cmp.post.metrics.execution_time_s, 1),

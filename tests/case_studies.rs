@@ -15,14 +15,14 @@ fn small_cases() -> Vec<CaseComparison> {
         .map(|(n, interval)| {
             let mut cfg = PipelineConfig::small(interval);
             cfg.timesteps = 16;
-            CaseComparison::run_config(n, &cfg, &setup)
+            CaseComparison::run_config(n, &cfg, &setup).expect("case runs")
         })
         .collect()
 }
 
 #[test]
 fn full_scale_case_study_1_matches_the_paper() {
-    let cmp = CaseComparison::run_case(1, &ExperimentSetup::noiseless());
+    let cmp = CaseComparison::run_case(1, &ExperimentSetup::noiseless()).expect("case runs");
 
     // Figure 4: time split ≈ 33 / 30 / 27 / 10 % (sim/write/read/viz).
     let sim = cmp.post.time_pct(Phase::Simulation);
@@ -129,7 +129,7 @@ fn post_processing_profile_has_two_power_phases() {
     let cmp = {
         let mut cfg = PipelineConfig::small(1);
         cfg.timesteps = 16;
-        CaseComparison::run_config(1, &cfg, &ExperimentSetup::noiseless())
+        CaseComparison::run_config(1, &cfg, &ExperimentSetup::noiseless()).expect("case runs")
     };
     let post = &cmp.post.timeline;
     let phase_avg = |phases: [Phase; 2]| {

@@ -7,8 +7,8 @@ use greenness_power::WattsupMeter;
 fn identical_runs_produce_identical_reports() {
     let cfg = PipelineConfig::small(1);
     let setup = ExperimentSetup::default(); // noisy meter, fixed seed
-    let a = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
-    let b = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+    let a = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
+    let b = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
     assert_eq!(a.metrics.execution_time_s, b.metrics.execution_time_s);
     assert_eq!(a.metrics.energy_j, b.metrics.energy_j);
     assert_eq!(a.profile.samples, b.profile.samples);
@@ -26,8 +26,8 @@ fn meter_seed_changes_profile_but_not_truth() {
         },
         ..ExperimentSetup::default()
     };
-    let a = experiment::run(PipelineKind::InSitu, &cfg, &s1);
-    let b = experiment::run(PipelineKind::InSitu, &cfg, &s2);
+    let a = experiment::run(PipelineKind::InSitu, &cfg, &s1).expect("run ok");
+    let b = experiment::run(PipelineKind::InSitu, &cfg, &s2).expect("run ok");
     // The underlying physics is identical...
     assert_eq!(a.metrics.energy_j, b.metrics.energy_j);
     assert_eq!(a.metrics.execution_time_s, b.metrics.execution_time_s);
@@ -42,7 +42,8 @@ fn noiseless_profile_integrates_to_timeline_energy() {
         PipelineKind::PostProcessing,
         &cfg,
         &ExperimentSetup::noiseless(),
-    );
+    )
+    .expect("run ok");
     // Integer-watt rounding plus the dropped partial final interval bound
     // the integration error.
     let covered = r.profile.len() as f64 * r.profile.period_s;
@@ -62,8 +63,8 @@ fn all_pipelines_are_deterministic() {
         PipelineKind::InSitu,
         PipelineKind::InTransit,
     ] {
-        let a = experiment::run(kind, &cfg, &setup);
-        let b = experiment::run(kind, &cfg, &setup);
+        let a = experiment::run(kind, &cfg, &setup).expect("run ok");
+        let b = experiment::run(kind, &cfg, &setup).expect("run ok");
         assert_eq!(a.metrics.energy_j, b.metrics.energy_j, "{kind:?}");
         assert_eq!(a.output.bytes_written, b.output.bytes_written, "{kind:?}");
     }

@@ -49,8 +49,8 @@ fn variants_rank_sensibly_against_the_baselines() {
         monitoring_overhead_w: 0.0,
         ..ExperimentSetup::noiseless()
     };
-    let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
-    let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup);
+    let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
+    let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup).expect("run ok");
 
     let mut node = Node::new(HardwareSpec::table1());
     let sampled = run_variant(Variant::SampledPost { stride: 4 }, &mut node, &cfg);
@@ -128,7 +128,8 @@ fn raid0_speeds_streaming_but_not_fsync_bound_pipelines() {
     // in-situ advantage barely moves (a finding, not a bug: RAID-0 does not
     // help journal-commit-dominated workloads).
     let cfg = PipelineConfig::small(1);
-    let hdd = greenness_core::CaseComparison::run_config(1, &cfg, &ExperimentSetup::noiseless());
+    let hdd = greenness_core::CaseComparison::run_config(1, &cfg, &ExperimentSetup::noiseless())
+        .expect("case runs");
     let raid = greenness_core::CaseComparison::run_config(
         1,
         &cfg,
@@ -136,7 +137,8 @@ fn raid0_speeds_streaming_but_not_fsync_bound_pipelines() {
             spec,
             ..ExperimentSetup::noiseless()
         },
-    );
+    )
+    .expect("case runs");
     let delta = (raid.energy_savings_pct() - hdd.energy_savings_pct()).abs();
     assert!(delta < 3.0, "savings moved by {delta} points");
 }
@@ -152,7 +154,7 @@ fn full_scale_burst_buffer_beats_even_insitu_while_keeping_raw_data() {
         monitoring_overhead_w: 0.0,
         ..ExperimentSetup::noiseless()
     };
-    let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup);
+    let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup).expect("run ok");
     let mut node = Node::new(HardwareSpec::table1());
     let bb = run_variant(
         Variant::BurstBufferPost {

@@ -157,7 +157,8 @@ fn quiet_fault_plan_leaves_golden_outputs_untouched() {
             trace: true,
             ..ExperimentSetup::noiseless()
         },
-    );
+    )
+    .expect("run ok");
     let quiet = experiment::run(
         PipelineKind::PostProcessing,
         &cfg,
@@ -166,7 +167,8 @@ fn quiet_fault_plan_leaves_golden_outputs_untouched() {
             faults: Some(FaultPlan::quiet(99)),
             ..ExperimentSetup::noiseless()
         },
-    );
+    )
+    .expect("run ok");
     assert_eq!(
         baseline.metrics.energy_j.to_bits(),
         quiet.metrics.energy_j.to_bits()
@@ -188,7 +190,8 @@ fn faulted_pipeline_output_is_intact_across_seeds() {
         PipelineKind::PostProcessing,
         &cfg,
         &ExperimentSetup::noiseless(),
-    );
+    )
+    .expect("run ok");
     for seed in [1u64, 2, 3] {
         let faulted = experiment::run(
             PipelineKind::PostProcessing,
@@ -200,7 +203,8 @@ fn faulted_pipeline_output_is_intact_across_seeds() {
                 }),
                 ..ExperimentSetup::noiseless()
             },
-        );
+        )
+        .expect("run ok");
         assert!(faulted.output.verified, "seed {seed}");
         assert_eq!(faulted.output.bytes_written, clean.output.bytes_written);
         assert_eq!(faulted.output.bytes_read, clean.output.bytes_read);

@@ -59,7 +59,7 @@ fn golden_section5c_energy_split() {
     // headline, matches exactly. Pin the reproduced values at ±2 % and the
     // share at ±1 point.
     let setup = ExperimentSetup::noiseless();
-    let cmp = CaseComparison::run_case(1, &setup);
+    let cmp = CaseComparison::run_case(1, &setup).expect("case runs");
     let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0).expect("probes ok");
     let static_kj = b.savings.static_j / 1000.0;
     let dynamic_kj = b.savings.dynamic_j / 1000.0;
@@ -178,7 +178,7 @@ fn golden_table3_times_and_powers() {
 fn golden_case1_headline_numbers() {
     // Figure 10 / §V-A: case 1 post-processing burns ≈30 kJ and in-situ
     // saves ≈43 % (we reproduce ≈41 %, see EXPERIMENTS.md).
-    let cmp = CaseComparison::run_case(1, &ExperimentSetup::noiseless());
+    let cmp = CaseComparison::run_case(1, &ExperimentSetup::noiseless()).expect("case runs");
     assert!(
         rel(cmp.post.metrics.energy_j, 30_000.0) < 0.07,
         "post energy {:.1} kJ (paper ≈30)",

@@ -18,8 +18,8 @@ fn config() -> PipelineConfig {
 fn pipelines_render_byte_identical_frames() {
     let cfg = config();
     let setup = ExperimentSetup::noiseless();
-    let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
-    let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup);
+    let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
+    let insitu = experiment::run(PipelineKind::InSitu, &cfg, &setup).expect("run ok");
     assert_eq!(post.output.frames.len(), 5);
     assert_eq!(insitu.output.frames.len(), 5);
     for (p, i) in post.output.frames.iter().zip(&insitu.output.frames) {
@@ -32,7 +32,7 @@ fn pipelines_render_byte_identical_frames() {
 fn frames_survive_ppm_round_trip() {
     let cfg = config();
     let mut node = Node::new(HardwareSpec::table1());
-    let out = pipeline::run(PipelineKind::InSitu, &mut node, &cfg);
+    let out = pipeline::run(PipelineKind::InSitu, &mut node, &cfg).expect("run ok");
     for frame in &out.frames {
         let encoded = encode_ppm(&frame.image);
         let decoded = decode_ppm(&encoded).expect("valid PPM");
@@ -46,7 +46,7 @@ fn frames_evolve_over_time() {
     // consecutive frames must differ.
     let cfg = config();
     let mut node = Node::new(HardwareSpec::table1());
-    let out = pipeline::run(PipelineKind::InSitu, &mut node, &cfg);
+    let out = pipeline::run(PipelineKind::InSitu, &mut node, &cfg).expect("run ok");
     let mut changed = 0;
     for pair in out.frames.windows(2) {
         if pair[0].image != pair[1].image {
@@ -64,6 +64,6 @@ fn post_processing_verifies_snapshot_integrity() {
     // The checksum machinery is active and passes on a clean storage stack.
     let cfg = config();
     let setup = ExperimentSetup::noiseless();
-    let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup);
+    let post = experiment::run(PipelineKind::PostProcessing, &cfg, &setup).expect("run ok");
     assert!(post.output.verified);
 }

@@ -1,0 +1,106 @@
+//! Panic-sweep audit: no `.unwrap()` / `.expect(` on request-reachable
+//! paths.
+//!
+//! Every op the query service exposes (`run`, `compare`, `whatif`,
+//! `advisor`, `sweep`, `steer.*`) executes inside `crates/core` and
+//! `crates/serve`; a panic there tears down a worker mid-request instead of
+//! producing a structured error envelope. This test walks the non-test
+//! source of both crates and fails on any surviving panic site, so a
+//! future `.unwrap()` cannot sneak back in without showing up here.
+//!
+//! Allowlisted: CLI-only table drivers that are never linked into a serve
+//! op (`greenness cluster` / `greenness placement` and the repro binary's
+//! variant grids). Their expects document impossible states in fixed,
+//! library-built workloads and print tables straight to a terminal.
+
+use std::path::{Path, PathBuf};
+
+/// CLI-only modules in `crates/core` that no serve op calls into. Keep this
+/// list short and justified — anything reachable from `Service::handle_line`
+/// must not be here.
+const ALLOWLIST: [&str; 3] = ["cluster_sweep.rs", "placement.rs", "variants.rs"];
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Panic sites in the non-test, non-comment portion of `path`, as
+/// `line_number: line` strings.
+fn panic_sites(path: &Path) -> Vec<String> {
+    let src =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut hits = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        // Everything below the first `#[cfg(test)]` is test code; these
+        // crates keep their test modules at the bottom of each file.
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if trimmed.contains(".unwrap()") || trimmed.contains(".expect(") {
+            hits.push(format!("{}: {}", i + 1, trimmed));
+        }
+    }
+    hits
+}
+
+#[test]
+fn no_unwrap_or_expect_on_request_reachable_paths() {
+    // CARGO_MANIFEST_DIR is crates/serve (this test is attached there), so
+    // the workspace crates live one directory up.
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir");
+    let mut files = Vec::new();
+    rs_files(&crates.join("core").join("src"), &mut files);
+    rs_files(&crates.join("serve").join("src"), &mut files);
+    assert!(
+        files.len() >= 10,
+        "suspiciously few source files ({}) — did the layout move?",
+        files.len()
+    );
+    let mut violations = Vec::new();
+    let mut allowlist_used = [false; ALLOWLIST.len()];
+    for path in &files {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 file name");
+        let sites = panic_sites(path);
+        if let Some(slot) = ALLOWLIST.iter().position(|a| *a == name) {
+            allowlist_used[slot] = !sites.is_empty();
+            continue;
+        }
+        for site in sites {
+            violations.push(format!("{}:{site}", path.display()));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "panic sites on request-reachable paths (return a structured error \
+         instead, or move the code under #[cfg(test)]):\n{}",
+        violations.join("\n")
+    );
+    // Prune the allowlist when a module comes clean, so it never shadows a
+    // future regression.
+    for (used, name) in allowlist_used.iter().zip(ALLOWLIST) {
+        assert!(
+            used,
+            "{name} no longer has panic sites — remove it from ALLOWLIST"
+        );
+    }
+}

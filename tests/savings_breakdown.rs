@@ -38,7 +38,7 @@ fn table2_probe_powers_match_the_paper() {
 fn case1_savings_are_mostly_static() {
     // §V-C headline: ≈12.8 kJ static vs ≈1.2 kJ dynamic — 91% / 9%.
     let setup = ExperimentSetup::noiseless();
-    let cmp = CaseComparison::run_case(1, &setup);
+    let cmp = CaseComparison::run_case(1, &setup).expect("case runs");
     let b = CaseBreakdown::analyze(&cmp, &setup, 128 * 1024, 50.0).expect("probes ok");
 
     let static_kj = b.savings.static_j / 1000.0;

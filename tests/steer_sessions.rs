@@ -1,0 +1,204 @@
+//! Steering-session regression suite: the 24-seed chaos sweep, the
+//! cached-delta exactness audit, and the drain/resume guarantee.
+//!
+//! These pin the three behaviors the steering subsystem promises:
+//!
+//! 1. A scripted attach/adjust/render/detach session routed through the
+//!    fleet converges to bit-identical reply bytes under connection drops
+//!    and shard churn, for every fault seed — the client never observes a
+//!    fault, only the clean transcript.
+//! 2. What-if deltas answered from the content-addressed cache (or from
+//!    schedule replay) match a full recompute — real stencil, real
+//!    renderer — to within 1e-9 J, while doing zero additional solver
+//!    work.
+//! 3. A drain mid-session refuses the op *before* mutating anything,
+//!    hands back a resume token instead of a torn frame, and the session
+//!    re-derived on another instance reproduces the clean transcript.
+
+use greenness_core::steering::Adjustment;
+use greenness_faults::FaultPlan;
+use greenness_fleet::{Fleet, FleetConfig};
+use greenness_serve::{Service, ServiceConfig, SCHEMA};
+use greenness_steer::{AttachSpec, EngineConfig, SessionEngine};
+
+/// The scripted session: attach, three adjust/render rounds, a mid-session
+/// re-attach (resume), a final render, detach. Mirrors `greenness steer`.
+fn script(session: &str) -> Vec<String> {
+    [
+        format!(r#""op":"steer.attach","params":{{"session":"{session}","interval":2,"timesteps":12}}"#),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":1,"steps":3}}"#),
+        format!(
+            r#""op":"steer.adjust","params":{{"session":"{session}","seq":2,"kind":"io_interval","io_interval":3}}"#
+        ),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":3,"steps":3}}"#),
+        format!(
+            r#""op":"steer.adjust","params":{{"session":"{session}","seq":4,"kind":"resolution","width":96,"height":96}}"#
+        ),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":5,"steps":2}}"#),
+        format!(
+            r#""op":"steer.adjust","params":{{"session":"{session}","seq":6,"kind":"camera","colormap":"viridis","range":[0.0,0.3]}}"#
+        ),
+        format!(r#""op":"steer.attach","params":{{"session":"{session}","interval":2,"timesteps":12}}"#),
+        format!(r#""op":"steer.render","params":{{"session":"{session}","seq":7,"steps":4}}"#),
+        format!(r#""op":"steer.detach","params":{{"session":"{session}","seq":8}}"#),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, body)| format!("{{\"schema\":\"{SCHEMA}\",\"id\":{},{body}}}", i + 1))
+    .collect()
+}
+
+fn run_script_through(fleet: &Fleet, session: &str) -> Vec<String> {
+    script(session)
+        .iter()
+        .map(|line| {
+            let out = fleet.handle_line(line);
+            assert!(
+                out.line.contains("\"ok\":true"),
+                "script op failed\n  request: {line}\n  reply:   {}",
+                out.line
+            );
+            out.line
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_sweep_converges_to_clean_transcripts_for_24_seeds() {
+    let clean = run_script_through(&Fleet::new(FleetConfig::default()), "chaos");
+    for seed in 0..24 {
+        let fleet = Fleet::new(FleetConfig {
+            faults: Some(FaultPlan {
+                serve_drop_rate: 0.25,
+                fleet_churn_rate: 0.35,
+                ..FaultPlan::quiet(seed)
+            }),
+            ..FleetConfig::default()
+        });
+        let faulted = run_script_through(&fleet, "chaos");
+        assert_eq!(
+            clean, faulted,
+            "seed {seed}: faulted session diverged from the clean transcript"
+        );
+        // The sweep is only meaningful if the fault machinery actually
+        // fired somewhere across the sweep; check per-seed activity via
+        // the router registry (drops retried, shards re-homed).
+        let m = fleet.metrics_clone();
+        let exercised =
+            m.counter("retries.fleet.session.resume") + m.counter("fleet.session.rehomed");
+        if seed == 0 {
+            // Deterministic per seed: seed 0 is known-active at these
+            // rates; a rate regression that silences it should fail loud.
+            assert!(exercised > 0, "seed 0 no longer exercises any fault");
+        }
+    }
+}
+
+#[test]
+fn cached_deltas_match_full_recompute_within_1e9_joules() {
+    let mut engine = SessionEngine::new(EngineConfig::default());
+    let spec = AttachSpec {
+        interval: 2,
+        timesteps: 12,
+    };
+    engine.attach("a", &spec).expect("attach a");
+    engine.attach("b", &spec).expect("attach b");
+    engine.render("a", 1, 3).expect("render a");
+    engine.render("b", 1, 3).expect("render b");
+
+    let adj = Adjustment::IoInterval(4);
+    // Ground truth *before* anything is applied: clone the live pipeline
+    // and actually run the remaining steps — real stencil, real
+    // rasterization — under both configurations.
+    let pipe = engine.pipeline("b").expect("live session").clone();
+    let solver_steps_before = pipe.solver_steps();
+    let baseline_truth = pipe.full_recompute_remaining_j(pipe.config());
+    let adjusted_truth = {
+        let mut trial = pipe.clone();
+        trial.adjust(&adj).expect("valid adjustment");
+        pipe.full_recompute_remaining_j(trial.config())
+    };
+
+    let computed = engine.adjust("a", 2, &adj).expect("adjust a");
+    let cached = engine.adjust("b", 2, &adj).expect("adjust b");
+    assert!(computed.0.contains("cached=false"), "{}", computed.0);
+    assert!(cached.0.contains("cached=true"), "{}", cached.0);
+
+    let field = |line: &str, key: &str| -> f64 {
+        line.split(&format!(" {key}="))
+            .nth(1)
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("missing {key} in: {line}"))
+            .parse()
+            .unwrap_or_else(|e| panic!("bad {key} in: {line}: {e}"))
+    };
+    for reply in [&computed.0, &cached.0] {
+        assert!(
+            (field(reply, "baseline_j") - baseline_truth).abs() <= 1e-9,
+            "baseline drifted from full recompute: {reply}\n  truth: {baseline_truth}"
+        );
+        assert!(
+            (field(reply, "adjusted_j") - adjusted_truth).abs() <= 1e-9,
+            "adjusted drifted from full recompute: {reply}\n  truth: {adjusted_truth}"
+        );
+    }
+    // The live answer cost no solver work: session b's solver has not
+    // advanced a single step for either what-if.
+    let after = engine.pipeline("b").expect("live session").solver_steps();
+    assert_eq!(solver_steps_before, after, "what-if ran the solver");
+    let count = |name: &str| {
+        engine
+            .counters()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("known counter")
+            .1
+    };
+    assert_eq!(count("steer.delta.computed"), 1);
+    assert_eq!(count("steer.delta.cached"), 1);
+}
+
+#[test]
+fn drain_mid_session_hands_back_a_resume_token_then_reattach_elsewhere_converges() {
+    let lines = script("d");
+    let run_all = |svc: &Service| -> Vec<String> {
+        lines
+            .iter()
+            .map(|l| {
+                let out = svc.handle_line(l);
+                assert!(out.line().contains("\"ok\":true"), "{}", out.line());
+                out.line()
+            })
+            .collect()
+    };
+    let clean = run_all(&Service::new(ServiceConfig::default()));
+
+    // A second instance drains halfway through the same session.
+    let draining = Service::new(ServiceConfig::default());
+    for l in &lines[..5] {
+        assert!(draining.handle_line(l).line().contains("\"ok\":true"));
+    }
+    let down = draining.handle_line(&format!(
+        "{{\"schema\":\"{SCHEMA}\",\"id\":90,\"op\":\"shutdown\"}}"
+    ));
+    assert!(down.shutdown, "shutdown op must be granted");
+    let refused = draining.handle_line(&lines[5]).line();
+    assert!(
+        refused.contains("\"code\":\"shutting_down\""),
+        "steer op during drain must be refused: {refused}"
+    );
+    assert!(
+        refused.contains("token "),
+        "the refusal must carry a resume token: {refused}"
+    );
+    assert!(
+        !refused.contains("frame "),
+        "a drained render must never emit a (torn) frame: {refused}"
+    );
+
+    // "Elsewhere": a fresh instance. Re-deriving the session from the
+    // client's op log converges to the clean transcript, byte for byte —
+    // including the ops the drained instance had already applied.
+    let elsewhere = run_all(&Service::new(ServiceConfig::default()));
+    assert_eq!(clean, elsewhere, "re-derived session diverged");
+}

@@ -17,7 +17,7 @@ fn journal_reconstruction_matches_timeline_on_all_case_studies() {
     for case in 1..=3 {
         let cfg = PipelineConfig::case_study(case);
         for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
-            let r = experiment::run(kind, &cfg, &setup);
+            let r = experiment::run(kind, &cfg, &setup).expect("run ok");
             let journal = format!(
                 "{}{}",
                 journal_header(),
